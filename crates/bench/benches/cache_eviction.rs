@@ -1,0 +1,61 @@
+//! CACHE bench — §5.1 ablation: cache insert/lookup throughput and the
+//! preload cost under LRU vs LFU.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use rootless_proto::name::Name;
+use rootless_proto::rr::{RData, RType, Record};
+use rootless_resolver::cache::{Cache, Eviction};
+use rootless_util::time::SimTime;
+use rootless_zone::{rootzone, RootZoneConfig};
+
+fn record(i: usize) -> Record {
+    Record::new(
+        Name::parse(&format!("site{i}.example.com")).unwrap(),
+        3_600,
+        RData::A(std::net::Ipv4Addr::new(10, (i >> 8) as u8, i as u8, 1)),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_eviction");
+    g.sample_size(10);
+    let records: Vec<Record> = (0..20_000).map(record).collect();
+    for policy in [Eviction::Lru, Eviction::Lfu] {
+        g.bench_with_input(
+            BenchmarkId::new("insert_20k_capacity_5k", format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut cache = Cache::new(5_000, policy);
+                    for r in &records {
+                        cache.insert(SimTime::ZERO, vec![r.clone()]);
+                    }
+                    cache.len()
+                })
+            },
+        );
+    }
+    g.bench_function("lookup_hit", |b| {
+        let mut cache = Cache::new(0, Eviction::Lru);
+        for r in records.iter().take(5_000) {
+            cache.insert(SimTime::ZERO, vec![r.clone()]);
+        }
+        let name = records[100].name.clone();
+        b.iter(|| cache.get(SimTime::ZERO, black_box(&name), RType::A))
+    });
+    g.bench_function("preload_root_zone", |b| {
+        let zone = rootzone::build(&RootZoneConfig::small(300));
+        b.iter(|| {
+            let mut cache = Cache::new(0, Eviction::Lru);
+            for set in zone.rrsets() {
+                cache.preload(SimTime::ZERO, set.records());
+            }
+            cache.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

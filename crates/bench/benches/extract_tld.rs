@@ -1,0 +1,42 @@
+//! EXTRACT bench — the §5.1 table: extracting one TLD's records from the
+//! compressed root zone file, naive (per-trial decompress + scan, the
+//! paper's 37 ms Python script) vs indexed (the paper's suggested speedup).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use rootless_util::lzss;
+use rootless_zone::extract::{extract_tld_text, TldIndex};
+use rootless_zone::{master, rootzone, RootZoneConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extract_tld");
+    g.sample_size(10);
+    let zone = rootzone::build(&RootZoneConfig::default());
+    let text = master::serialize(&zone);
+    let compressed = lzss::compress(text.as_bytes());
+    let tlds: Vec<String> = zone
+        .tlds()
+        .iter()
+        .map(|t| t.to_string().trim_end_matches('.').to_string())
+        .collect();
+    let index = TldIndex::build(text.clone());
+
+    let mut i = 0usize;
+    g.bench_function("naive_decompress_scan", |b| {
+        b.iter(|| {
+            i = (i + 97) % tlds.len();
+            extract_tld_text(black_box(&compressed), &tlds[i]).unwrap()
+        })
+    });
+    g.bench_function("indexed_lookup", |b| {
+        b.iter(|| {
+            i = (i + 97) % tlds.len();
+            black_box(&index).lookup(&tlds[i])
+        })
+    });
+    g.bench_function("decompress_only", |b| b.iter(|| lzss::decompress(black_box(&compressed)).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

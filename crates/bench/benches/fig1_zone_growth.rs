@@ -1,0 +1,23 @@
+//! FIG1 bench: regenerating the root-zone-growth series (fitted model and
+//! one exact full-scale zone build).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use rootless_util::time::Date;
+use rootless_zone::history;
+use rootless_zone::rootzone::{self, RootZoneConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_zone_growth");
+    g.sample_size(10);
+    g.bench_function("fitted_series_decade", |b| {
+        b.iter(|| history::fig1_series(Date::new(2009, 4, 28), Date::new(2019, 12, 31), false))
+    });
+    g.bench_function("exact_build_1532_tlds", |b| {
+        b.iter(|| rootzone::build(black_box(&RootZoneConfig::default())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

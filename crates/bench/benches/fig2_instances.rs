@@ -1,0 +1,19 @@
+//! FIG2 bench: the instance-count deployment model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rootless_util::time::Date;
+use rootless_zone::history;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_instances");
+    g.bench_function("monthly_series", |b| {
+        b.iter(|| history::fig2_series(history::FIG2_START, Date::new(2019, 7, 31)))
+    });
+    g.bench_function("deployment_breakdown", |b| {
+        b.iter(|| history::deployment_on(Date::new(2019, 5, 15)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

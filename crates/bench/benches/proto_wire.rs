@@ -1,0 +1,40 @@
+//! Microbench: DNS message encode/decode (the per-query cost every root
+//! nameserver instance pays ~66K times per second in §2.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use rootless_proto::message::{Message, Rcode};
+use rootless_proto::name::Name;
+use rootless_proto::rr::{RData, RType, Record};
+
+fn referral_message() -> Message {
+    let q = Message::query(42, Name::parse("www.example.com").unwrap(), RType::A);
+    let mut resp = Message::response_to(&q, Rcode::NoError);
+    for i in 0..6 {
+        let host = Name::parse(&format!("{}.gtld-servers.net", (b'a' + i) as char)).unwrap();
+        resp.authorities
+            .push(Record::new(Name::parse("com").unwrap(), 172_800, RData::Ns(host.clone())));
+        resp.additionals.push(Record::new(
+            host,
+            172_800,
+            RData::A(std::net::Ipv4Addr::new(192, 5, 6, 30 + i)),
+        ));
+    }
+    resp
+}
+
+fn bench(c: &mut Criterion) {
+    let msg = referral_message();
+    let wire = msg.encode();
+    let mut g = c.benchmark_group("proto_wire");
+    g.bench_function("encode_referral", |b| b.iter(|| black_box(&msg).encode()));
+    g.bench_function("decode_referral", |b| b.iter(|| Message::decode(black_box(&wire)).unwrap()));
+    g.bench_function("roundtrip_query", |b| {
+        let q = Message::query(1, Name::parse("example.com").unwrap(), RType::A);
+        b.iter(|| Message::decode(&black_box(&q).encode()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

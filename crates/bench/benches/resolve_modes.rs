@@ -1,0 +1,48 @@
+//! PERF bench — the §4/§3 ablation: end-to-end resolution cost (CPU, not
+//! simulated latency) under each root mode, cold and warm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use rootless_proto::name::Name;
+use rootless_proto::rr::RType;
+use rootless_resolver::harness::{build_world, WorldConfig};
+use rootless_resolver::resolver::{Resolver, ResolverConfig, RootMode};
+use rootless_util::time::SimTime;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resolve_modes");
+    g.sample_size(10);
+    let cfg = WorldConfig { tld_count: 30, ..WorldConfig::default() };
+    for mode in [
+        RootMode::Hints,
+        RootMode::LocalPreload,
+        RootMode::LocalOnDemand,
+        RootMode::LoopbackAuth,
+    ] {
+        g.bench_with_input(BenchmarkId::new("cold_lookup", mode.label()), &mode, |b, &mode| {
+            let (mut net, zone) = build_world(&cfg);
+            let tld = zone.tlds()[7].clone();
+            let qname = Name::parse(&format!("www.domain0.{tld}")).unwrap();
+            b.iter(|| {
+                let mut r = Resolver::new(ResolverConfig::with_mode(mode));
+                if mode.needs_local_zone() {
+                    r.install_root_zone(SimTime::ZERO, Arc::clone(&zone));
+                }
+                r.resolve(SimTime::ZERO, &mut net, &qname, RType::A)
+            })
+        });
+    }
+    // Warm path: cache answers dominate in every mode.
+    g.bench_function("warm_lookup_cached", |b| {
+        let (mut net, zone) = build_world(&cfg);
+        let tld = zone.tlds()[7].clone();
+        let qname = Name::parse(&format!("www.domain0.{tld}")).unwrap();
+        let mut r = Resolver::new(ResolverConfig::default());
+        r.resolve(SimTime::ZERO, &mut net, &qname, RType::A);
+        b.iter(|| r.resolve(SimTime::ZERO, &mut net, &qname, RType::A))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

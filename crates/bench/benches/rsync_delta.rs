@@ -1,0 +1,40 @@
+//! DIST bench — the §5.2 table: rsync signature/delta computation on
+//! day-over-day root zone files, vs full-file compression.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use rootless_delta::rsync::{apply_delta, compute_delta, Signature, DEFAULT_BLOCK};
+use rootless_util::lzss;
+use rootless_util::time::Date;
+use rootless_zone::churn::{ChurnConfig, Timeline};
+use rootless_zone::{master, RootZoneConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rsync_delta");
+    g.sample_size(10);
+    let timeline = Timeline::generate(
+        RootZoneConfig::small(500),
+        ChurnConfig::default(),
+        Date::new(2019, 4, 1),
+        3,
+    );
+    let day0 = master::serialize(&timeline.snapshot(0)).into_bytes();
+    let day1 = master::serialize(&timeline.snapshot(1)).into_bytes();
+    let sig = Signature::compute(&day0, DEFAULT_BLOCK);
+    let delta = compute_delta(&sig, &day1);
+
+    g.bench_function("signature", |b| {
+        b.iter(|| Signature::compute(black_box(&day0), DEFAULT_BLOCK))
+    });
+    g.bench_function("compute_delta_day_over_day", |b| {
+        b.iter(|| compute_delta(black_box(&sig), black_box(&day1)))
+    });
+    g.bench_function("apply_delta", |b| {
+        b.iter(|| apply_delta(black_box(&day0), DEFAULT_BLOCK, black_box(&delta)).unwrap())
+    });
+    g.bench_function("lzss_compress_full_file", |b| b.iter(|| lzss::compress(black_box(&day1))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

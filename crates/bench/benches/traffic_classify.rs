@@ -1,0 +1,24 @@
+//! TRAFFIC bench: trace generation + the §2.2 junk classifier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use rootless_ditl::classify::classify;
+use rootless_ditl::population::WorkloadConfig;
+use rootless_ditl::trace::generate;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traffic_classify");
+    g.sample_size(10);
+    let cfg = WorkloadConfig {
+        total_queries: 200_000,
+        resolvers: 500,
+        ..WorkloadConfig::default()
+    };
+    let trace = generate(&cfg);
+    g.bench_function("generate_200k", |b| b.iter(|| generate(black_box(&cfg))));
+    g.bench_function("classify_200k", |b| b.iter(|| classify(black_box(&trace))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Microbench: zone construction, master-file parse/serialize, lookup, and
+//! whole-zone verification (the per-refresh cost of the paper's proposal).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use rootless_dnssec::keys::ZoneKey;
+use rootless_dnssec::zonemd;
+use rootless_proto::name::Name;
+use rootless_proto::rr::RType;
+use rootless_zone::{master, rootzone, RootZoneConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zone_ops");
+    g.sample_size(10);
+    let cfg = RootZoneConfig::small(300);
+    let zone = rootzone::build(&cfg);
+    let text = master::serialize(&zone);
+    let key = ZoneKey::generate(Name::root(), true, 1);
+    let signed = zonemd::attach(&zone, Some(&key), 0, u32::MAX);
+    let tld = zone.tlds()[42].clone();
+    let qname = tld.child("www").unwrap();
+
+    g.bench_function("build_300_tld_zone", |b| b.iter(|| rootzone::build(black_box(&cfg))));
+    g.bench_function("serialize_master", |b| b.iter(|| master::serialize(black_box(&zone))));
+    g.bench_function("parse_master", |b| {
+        b.iter(|| master::parse(black_box(&text), Name::root()).unwrap())
+    });
+    g.bench_function("lookup_referral", |b| {
+        b.iter(|| black_box(&zone).lookup(black_box(&qname), RType::A))
+    });
+    g.bench_function("zonemd_verify", |b| {
+        b.iter(|| zonemd::verify(black_box(&signed), Some((&key, 100))).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

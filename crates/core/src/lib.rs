@@ -1,0 +1,53 @@
+//! # rootless-core
+//!
+//! The paper's contribution as a library: everything a recursive resolver
+//! needs to *eliminate the root nameservers* and run from a local, verified
+//! copy of the root zone instead.
+//!
+//! * [`manager`] — [`manager::RootZoneManager`]: the obtain → verify →
+//!   install → refresh state machine with the §4 timing discipline
+//!   (42-hour refresh, hourly retries inside the 6-hour safety window,
+//!   48-hour expiry).
+//! * [`sources`] — publisher-side [`manager::ZoneSource`] implementations
+//!   over the churn timeline, plus outage and tampering wrappers for the
+//!   robustness/security experiments.
+//! * [`reachability`] — the §5.2 staleness-vs-reachability analysis.
+//!
+//! The resolver-side incorporation strategies (§3: cache preload, on-demand
+//! file, RFC 7706 loopback) live in `rootless-resolver`'s `RootMode`; the
+//! typical wiring is:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rootless_core::manager::{RefreshPolicy, RootZoneManager, Verification};
+//! use rootless_core::sources::MirrorZoneSource;
+//! use rootless_dnssec::keys::ZoneKey;
+//! use rootless_resolver::resolver::{Resolver, ResolverConfig, RootMode};
+//! use rootless_util::time::{Date, SimTime};
+//! use rootless_zone::churn::{ChurnConfig, Timeline};
+//! use rootless_zone::rootzone::RootZoneConfig;
+//!
+//! let key = ZoneKey::generate(rootless_proto::name::Name::root(), true, 1);
+//! let timeline = Arc::new(Timeline::generate(
+//!     RootZoneConfig::small(50), ChurnConfig::default(), Date::new(2019, 4, 1), 5));
+//! let source = MirrorZoneSource::new(timeline, key.clone());
+//! let mut manager = RootZoneManager::new(
+//!     Box::new(source),
+//!     Verification::Zonemd { key: Some(key) },
+//!     RefreshPolicy::default(),
+//! );
+//! let mut resolver = Resolver::new(ResolverConfig::with_mode(RootMode::LocalOnDemand));
+//! if let Some(zone) = manager.tick(SimTime::ZERO) {
+//!     resolver.install_root_zone(SimTime::ZERO, zone);
+//! }
+//! assert!(resolver.root_zone_serial().is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod manager;
+pub mod reachability;
+pub mod sources;
+
+pub use manager::{ManagerState, RefreshPolicy, RootZoneManager, Verification, ZoneSource};
+pub use sources::{FlakySource, MirrorZoneSource, TamperingSource};

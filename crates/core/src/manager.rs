@@ -1,0 +1,421 @@
+//! The root zone manager: obtain → verify → install → refresh.
+//!
+//! This is the operational heart of the paper's proposal. A recursive
+//! resolver that has abandoned the root nameservers must keep a verified,
+//! fresh copy of the root zone. §4 (Robustness) specifies the timing
+//! discipline this module implements:
+//!
+//! > "a recursive resolver that obtains the root zone file at time X could
+//! > attempt to update its copy at time X + 42 hours. If the retrieval
+//! > fails, the resolver has 6 hours to re-try before its current root zone
+//! > file expires and there is an actual impact on DNS lookups."
+//!
+//! The manager is a sans-IO state machine driven by [`RootZoneManager::tick`]:
+//! fetches go through a pluggable [`ZoneSource`] (mirror / AXFR / rsync /
+//! swarm — anything that yields zone bytes), every fetched copy is verified
+//! (ZONEMD + signature by default), and installation hands an `Arc<Zone>` to
+//! however many resolvers share the copy.
+
+use std::sync::Arc;
+
+use rootless_dnssec::keys::ZoneKey;
+use rootless_dnssec::sign::DnssecError;
+use rootless_dnssec::zonemd;
+use rootless_util::time::{SimDuration, SimTime};
+use rootless_zone::zone::Zone;
+
+/// A place the manager can fetch root zone copies from.
+pub trait ZoneSource {
+    /// The newest serial the source offers, or `None` if unreachable.
+    fn latest_serial(&mut self, now: SimTime) -> Option<u32>;
+    /// Fetches the newest zone version. `have` is the serial currently held
+    /// (incremental channels exploit it). `None` = fetch failed.
+    fn fetch(&mut self, now: SimTime, have: Option<u32>) -> Option<FetchedZone>;
+}
+
+/// A fetched zone plus transfer accounting.
+#[derive(Clone, Debug)]
+pub struct FetchedZone {
+    /// The zone as received (possibly tampered; verify before install).
+    pub zone: Zone,
+    /// Bytes downloaded to get it.
+    pub bytes_down: usize,
+    /// Bytes uploaded (rsync signatures and the like).
+    pub bytes_up: usize,
+}
+
+/// How fetched copies are verified before installation (§3: "Cryptographically
+/// Sign Root Zone").
+#[derive(Clone)]
+pub enum Verification {
+    /// No verification (for ablation only).
+    None,
+    /// Whole-zone digest must be present and correct; signature checked when
+    /// a key is supplied.
+    Zonemd {
+        /// Trust anchor for the apex ZONEMD signature.
+        key: Option<ZoneKey>,
+    },
+    /// Full per-RRset DNSSEC validation against the trust anchor.
+    FullRrset {
+        /// Trust anchor.
+        key: ZoneKey,
+    },
+}
+
+/// Refresh-loop policy (§4 timings).
+#[derive(Clone, Copy, Debug)]
+pub struct RefreshPolicy {
+    /// When to attempt the next update after a successful install (42h).
+    pub refresh_after: SimDuration,
+    /// Retry cadence once an attempt fails.
+    pub retry_every: SimDuration,
+    /// Age at which the held copy stops being served (48h: the 2-day TTLs
+    /// inside the zone have run out).
+    pub expire_after: SimDuration,
+}
+
+impl Default for RefreshPolicy {
+    fn default() -> Self {
+        RefreshPolicy {
+            refresh_after: SimDuration::from_hours(42),
+            retry_every: SimDuration::from_hours(1),
+            expire_after: SimDuration::from_hours(48),
+        }
+    }
+}
+
+/// Manager state, visible for tests and dashboards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ManagerState {
+    /// No copy held yet.
+    Empty,
+    /// Copy fresh; next refresh scheduled.
+    Fresh,
+    /// A refresh attempt failed; retrying within the safety window.
+    Retrying,
+    /// The held copy aged past expiry; lookups are impacted (§4).
+    Expired,
+}
+
+/// Counters over the manager's lifetime.
+#[derive(Clone, Debug, Default)]
+pub struct ManagerStats {
+    /// Successful installs.
+    pub installs: u64,
+    /// Fetch attempts that failed (source unreachable).
+    pub fetch_failures: u64,
+    /// Fetched copies rejected by verification.
+    pub verify_failures: u64,
+    /// Serial probes answered "already current".
+    pub already_current: u64,
+    /// Total bytes downloaded.
+    pub bytes_down: u64,
+    /// Total bytes uploaded.
+    pub bytes_up: u64,
+    /// Ticks spent in the Expired state.
+    pub expired_ticks: u64,
+}
+
+/// The root zone manager.
+pub struct RootZoneManager {
+    source: Box<dyn ZoneSource>,
+    verification: Verification,
+    /// Refresh timings.
+    pub policy: RefreshPolicy,
+    current: Option<(Arc<Zone>, SimTime)>,
+    next_attempt: SimTime,
+    /// Counters.
+    pub stats: ManagerStats,
+}
+
+impl RootZoneManager {
+    /// Creates a manager over a source with the given verification.
+    pub fn new(source: Box<dyn ZoneSource>, verification: Verification, policy: RefreshPolicy) -> Self {
+        RootZoneManager {
+            source,
+            verification,
+            policy,
+            current: None,
+            next_attempt: SimTime::ZERO,
+            stats: ManagerStats::default(),
+        }
+    }
+
+    /// The held copy, if any.
+    pub fn zone(&self) -> Option<Arc<Zone>> {
+        self.current.as_ref().map(|(z, _)| Arc::clone(z))
+    }
+
+    /// Serial of the held copy.
+    pub fn serial(&self) -> Option<u32> {
+        self.current.as_ref().map(|(z, _)| z.serial())
+    }
+
+    /// Age of the held copy at `now`.
+    pub fn age(&self, now: SimTime) -> Option<SimDuration> {
+        self.current.as_ref().map(|(_, at)| now - *at)
+    }
+
+    /// Current state at `now`.
+    pub fn state(&self, now: SimTime) -> ManagerState {
+        match &self.current {
+            None => ManagerState::Empty,
+            Some((_, at)) => {
+                let age = now - *at;
+                if age > self.policy.expire_after {
+                    ManagerState::Expired
+                } else if now >= self.next_attempt {
+                    ManagerState::Retrying
+                } else {
+                    ManagerState::Fresh
+                }
+            }
+        }
+    }
+
+    /// True while the held copy may be served (§4: within expiry).
+    pub fn is_serving(&self, now: SimTime) -> bool {
+        matches!(self.state(now), ManagerState::Fresh | ManagerState::Retrying)
+    }
+
+    /// When the next tick is due.
+    pub fn next_attempt(&self) -> SimTime {
+        self.next_attempt
+    }
+
+    /// Drives the refresh loop. Call at (or after) [`Self::next_attempt`].
+    /// Returns a newly installed zone when one landed this tick.
+    pub fn tick(&mut self, now: SimTime) -> Option<Arc<Zone>> {
+        if now < self.next_attempt {
+            return None;
+        }
+        if self.state(now) == ManagerState::Expired {
+            self.stats.expired_ticks += 1;
+        }
+
+        // Serial probe first: skip the download when already current.
+        let have = self.serial();
+        match self.source.latest_serial(now) {
+            Some(latest) if Some(latest) == have => {
+                self.stats.already_current += 1;
+                // Treat as a successful refresh: the copy is confirmed
+                // current, so its freshness clock restarts.
+                if let Some((_, at)) = &mut self.current {
+                    *at = now;
+                }
+                self.next_attempt = now + self.policy.refresh_after;
+                return None;
+            }
+            Some(_) => {}
+            None => {
+                self.stats.fetch_failures += 1;
+                self.next_attempt = now + self.policy.retry_every;
+                return None;
+            }
+        }
+
+        let Some(fetched) = self.source.fetch(now, have) else {
+            self.stats.fetch_failures += 1;
+            self.next_attempt = now + self.policy.retry_every;
+            return None;
+        };
+        self.stats.bytes_down += fetched.bytes_down as u64;
+        self.stats.bytes_up += fetched.bytes_up as u64;
+
+        if let Err(_e) = self.verify(&fetched.zone, now) {
+            self.stats.verify_failures += 1;
+            self.next_attempt = now + self.policy.retry_every;
+            return None;
+        }
+
+        let zone = Arc::new(fetched.zone);
+        self.current = Some((Arc::clone(&zone), now));
+        self.next_attempt = now + self.policy.refresh_after;
+        self.stats.installs += 1;
+        Some(zone)
+    }
+
+    fn verify(&self, zone: &Zone, now: SimTime) -> Result<(), DnssecError> {
+        match &self.verification {
+            Verification::None => Ok(()),
+            Verification::Zonemd { key } => {
+                zonemd::verify(zone, key.as_ref().map(|k| (k, now.as_secs() as u32)))
+            }
+            Verification::FullRrset { key } => {
+                rootless_dnssec::sign::validate_zone(zone, key, now.as_secs() as u32).map(|_| ())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::{FlakySource, MirrorZoneSource, TamperingSource};
+    use rootless_proto::name::Name;
+    use rootless_util::time::Date;
+    use rootless_zone::churn::{ChurnConfig, Timeline};
+    use rootless_zone::rootzone::RootZoneConfig;
+
+    fn key() -> ZoneKey {
+        ZoneKey::generate(Name::root(), true, 77)
+    }
+
+    fn timeline() -> Arc<Timeline> {
+        Arc::new(Timeline::generate(
+            RootZoneConfig::small(60),
+            ChurnConfig::default(),
+            Date::new(2019, 4, 1),
+            30,
+        ))
+    }
+
+    fn manager_with(source: Box<dyn ZoneSource>) -> RootZoneManager {
+        RootZoneManager::new(
+            source,
+            Verification::Zonemd { key: Some(key()) },
+            RefreshPolicy::default(),
+        )
+    }
+
+    fn hours(h: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_hours(h)
+    }
+
+    #[test]
+    fn initial_fetch_installs() {
+        let src = MirrorZoneSource::new(timeline(), key());
+        let mut m = manager_with(Box::new(src));
+        assert_eq!(m.state(SimTime::ZERO), ManagerState::Empty);
+        let installed = m.tick(SimTime::ZERO);
+        assert!(installed.is_some());
+        assert_eq!(m.state(hours(1)), ManagerState::Fresh);
+        assert_eq!(m.stats.installs, 1);
+        assert!(m.is_serving(hours(1)));
+    }
+
+    #[test]
+    fn refresh_scheduled_at_42h() {
+        let src = MirrorZoneSource::new(timeline(), key());
+        let mut m = manager_with(Box::new(src));
+        m.tick(SimTime::ZERO);
+        assert_eq!(m.next_attempt(), hours(42));
+        // Nothing happens before the schedule.
+        assert!(m.tick(hours(41)).is_none());
+        assert_eq!(m.stats.installs, 1);
+        // At 42h a newer daily serial exists; a new copy installs.
+        let installed = m.tick(hours(42));
+        assert!(installed.is_some());
+        assert_eq!(m.stats.installs, 2);
+    }
+
+    #[test]
+    fn already_current_skips_download() {
+        // A timeline with zero churn keeps the same serial... serials bump
+        // daily in our timeline, so instead probe twice within the same day.
+        let src = MirrorZoneSource::new(timeline(), key());
+        let mut m = manager_with(Box::new(src));
+        m.policy.refresh_after = SimDuration::from_hours(2);
+        m.tick(SimTime::ZERO);
+        let down_after_first = m.stats.bytes_down;
+        assert!(m.tick(hours(2)).is_none(), "same-day serial: no new install");
+        assert_eq!(m.stats.already_current, 1);
+        assert_eq!(m.stats.bytes_down, down_after_first, "probe must not download");
+    }
+
+    #[test]
+    fn retry_window_survives_transient_outage() {
+        // Source down between hours 42 and 46; the 6h window absorbs it.
+        let src = FlakySource::new(
+            MirrorZoneSource::new(timeline(), key()),
+            vec![(hours(42), hours(46))],
+        );
+        let mut m = manager_with(Box::new(src));
+        m.tick(SimTime::ZERO);
+        assert!(m.tick(hours(42)).is_none());
+        assert_eq!(m.stats.fetch_failures, 1);
+        assert_eq!(m.state(hours(43)), ManagerState::Retrying);
+        assert!(m.is_serving(hours(43)), "still serving during retries");
+        // Retries hourly; at 47h the source is back, before the 48h expiry.
+        let mut installed = None;
+        for h in 43..=47 {
+            if let Some(z) = m.tick(hours(h)) {
+                installed = Some(z);
+                break;
+            }
+        }
+        assert!(installed.is_some(), "recovered within the retry window");
+        assert!(m.is_serving(hours(47)));
+        assert_eq!(m.stats.expired_ticks, 0);
+    }
+
+    #[test]
+    fn expiry_after_48h_outage() {
+        let src = FlakySource::new(
+            MirrorZoneSource::new(timeline(), key()),
+            vec![(hours(42), hours(200))],
+        );
+        let mut m = manager_with(Box::new(src));
+        m.tick(SimTime::ZERO);
+        for h in (42..=49).step_by(1) {
+            m.tick(hours(h));
+        }
+        assert_eq!(m.state(hours(49)), ManagerState::Expired);
+        assert!(!m.is_serving(hours(49)));
+        assert!(m.stats.expired_ticks > 0);
+    }
+
+    #[test]
+    fn tampered_zone_rejected() {
+        let src = TamperingSource::new(MirrorZoneSource::new(timeline(), key()));
+        let mut m = manager_with(Box::new(src));
+        assert!(m.tick(SimTime::ZERO).is_none());
+        assert_eq!(m.stats.verify_failures, 1);
+        assert_eq!(m.state(hours(0)), ManagerState::Empty);
+        // Retries are scheduled at the retry cadence, not the refresh one.
+        assert_eq!(m.next_attempt(), SimTime::ZERO + SimDuration::from_hours(1));
+    }
+
+    #[test]
+    fn no_verification_accepts_tampered_zone() {
+        // Ablation: without §3's signing requirement the attack succeeds.
+        let src = TamperingSource::new(MirrorZoneSource::new(timeline(), key()));
+        let mut m = RootZoneManager::new(Box::new(src), Verification::None, RefreshPolicy::default());
+        assert!(m.tick(SimTime::ZERO).is_some());
+        assert_eq!(m.stats.verify_failures, 0);
+    }
+
+    #[test]
+    fn full_rrset_verification_works() {
+        let src = MirrorZoneSource::new(timeline(), key()).with_rrset_signing();
+        let mut m = RootZoneManager::new(
+            Box::new(src),
+            Verification::FullRrset { key: key() },
+            RefreshPolicy::default(),
+        );
+        assert!(m.tick(SimTime::ZERO).is_some());
+    }
+
+    #[test]
+    fn serial_advances_across_installs() {
+        let src = MirrorZoneSource::new(timeline(), key());
+        let mut m = manager_with(Box::new(src));
+        m.tick(SimTime::ZERO);
+        let s1 = m.serial().unwrap();
+        m.tick(hours(42));
+        let s2 = m.serial().unwrap();
+        assert!(s2 > s1, "{s1} -> {s2}");
+    }
+
+    #[test]
+    fn bytes_accounting_accumulates() {
+        let src = MirrorZoneSource::new(timeline(), key());
+        let mut m = manager_with(Box::new(src));
+        m.tick(SimTime::ZERO);
+        let b1 = m.stats.bytes_down;
+        assert!(b1 > 10_000, "first download is a full file: {b1}");
+        m.tick(hours(42));
+        assert!(m.stats.bytes_down > b1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Staleness vs reachability: the §5.2 TTL-stability analysis as a library.
+//!
+//! The paper's question: if a resolver keeps using a root zone file that is
+//! N days old, what fraction of TLDs does it still reach? (Paper answers:
+//! one month stale → 99.6% — only five rotator TLDs lost; ≤14 days stale →
+//! 100%; one year stale → 96.7%.)
+
+use rootless_zone::churn::Timeline;
+
+/// Reachability of every TLD with a file from `file_day` evaluated at
+/// `now_day`.
+#[derive(Clone, Debug)]
+pub struct StalenessReport {
+    /// Days of staleness.
+    pub stale_days: u64,
+    /// TLDs active at both endpoints.
+    pub tlds_considered: usize,
+    /// Of those, how many remain reachable (≥1 constant nameserver IP).
+    pub reachable: usize,
+    /// Names of the unreachable TLDs.
+    pub lost: Vec<String>,
+}
+
+impl StalenessReport {
+    /// Fraction of considered TLDs still reachable.
+    pub fn fraction(&self) -> f64 {
+        if self.tlds_considered == 0 {
+            1.0
+        } else {
+            self.reachable as f64 / self.tlds_considered as f64
+        }
+    }
+}
+
+/// Evaluates reachability with a file from `file_day` used on `now_day`.
+pub fn staleness_report(timeline: &Timeline, file_day: u64, now_day: u64) -> StalenessReport {
+    let then: std::collections::HashSet<usize> =
+        timeline.active_indices(file_day).into_iter().collect();
+    let now: std::collections::HashSet<usize> =
+        timeline.active_indices(now_day).into_iter().collect();
+    let mut considered = 0;
+    let mut reachable = 0;
+    let mut lost = Vec::new();
+    for &index in then.iter() {
+        if !now.contains(&index) {
+            continue; // TLD itself was removed; not a staleness casualty
+        }
+        considered += 1;
+        if timeline.reachable_with_stale_file(index, file_day, now_day) {
+            reachable += 1;
+        } else {
+            lost.push(timeline.delegation(index).name.to_string());
+        }
+    }
+    lost.sort();
+    StalenessReport { stale_days: now_day - file_day, tlds_considered: considered, reachable, lost }
+}
+
+/// Sweeps staleness from 0 to `max_days`, evaluating at the end of the
+/// timeline: `(stale_days, fraction_reachable)` series.
+pub fn staleness_sweep(timeline: &Timeline, max_days: u64) -> Vec<(u64, f64)> {
+    let now_day = timeline.horizon() - 1;
+    (0..=max_days.min(now_day))
+        .map(|stale| {
+            let report = staleness_report(timeline, now_day - stale, now_day);
+            (stale, report.fraction())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rootless_util::time::Date;
+    use rootless_zone::churn::ChurnConfig;
+    use rootless_zone::rootzone::RootZoneConfig;
+
+    fn month_timeline() -> Timeline {
+        Timeline::generate(
+            RootZoneConfig::small(500),
+            ChurnConfig::default(),
+            Date::new(2019, 4, 1),
+            40,
+        )
+    }
+
+    #[test]
+    fn fresh_file_reaches_everything() {
+        let t = month_timeline();
+        let r = staleness_report(&t, 30, 30);
+        assert_eq!(r.reachable, r.tlds_considered);
+        assert!(r.lost.is_empty());
+    }
+
+    #[test]
+    fn fourteen_days_stale_keeps_full_reachability() {
+        // §5.2: "a root zone file that is no more than 14 days out of date
+        // will ensure constant TLD reachability."
+        let t = month_timeline();
+        let r = staleness_report(&t, 16, 30);
+        assert_eq!(r.stale_days, 14);
+        assert!(
+            r.fraction() > 0.995,
+            "14-day staleness lost too much: {:.4} ({:?})",
+            r.fraction(),
+            r.lost
+        );
+    }
+
+    #[test]
+    fn month_stale_loses_only_rotators() {
+        // §5.2: "all but five have at least one nameserver (by IP) that is
+        // constant for the entire month" → 99.6% of 1,532.
+        let t = month_timeline();
+        let r = staleness_report(&t, 0, 31);
+        let rotators: std::collections::HashSet<String> =
+            t.rotator_names().iter().map(|n| n.to_string()).collect();
+        // Every rotator must be among the lost; a rare slow migration may
+        // add one or two more.
+        for rot in &rotators {
+            assert!(r.lost.contains(rot), "rotator {rot} unexpectedly reachable");
+        }
+        assert!(r.lost.len() <= rotators.len() + 3, "too many lost: {:?}", r.lost);
+        assert!(
+            r.fraction() >= 0.98,
+            "month staleness fraction {:.4}, lost {:?}",
+            r.fraction(),
+            r.lost
+        );
+        assert!(!r.lost.is_empty(), "rotators must show up as lost");
+    }
+
+    #[test]
+    fn sweep_is_monotonically_nonincreasing_mostly() {
+        let t = month_timeline();
+        let sweep = staleness_sweep(&t, 30);
+        assert_eq!(sweep.first().unwrap().1, 1.0);
+        // Reachability at 30 days ≤ reachability at 1 day.
+        assert!(sweep.last().unwrap().1 <= sweep[1].1 + 1e-9);
+    }
+}

@@ -1,0 +1,251 @@
+//! Zone sources: publisher-side implementations of [`ZoneSource`] over the
+//! churn timeline, plus fault-injection wrappers (outages, on-path
+//! tampering) for the robustness and security experiments.
+
+use std::sync::Arc;
+
+use rootless_delta::channel::{Channel, ZoneFile};
+use rootless_dnssec::keys::ZoneKey;
+use rootless_dnssec::zonemd;
+use rootless_proto::name::Name;
+use rootless_proto::rr::{RData, RType};
+use rootless_util::time::{SimDuration, SimTime};
+use rootless_zone::churn::Timeline;
+use rootless_zone::rrset::RrSet;
+use rootless_zone::zone::Zone;
+
+use crate::manager::{FetchedZone, ZoneSource};
+
+/// Signature validity attached to published zones.
+const SIG_VALIDITY: SimDuration = SimDuration::from_days(10);
+
+/// A mirror publishing the timeline's daily zone versions, signed with a
+/// ZONEMD (and optionally full per-RRset signatures).
+pub struct MirrorZoneSource {
+    timeline: Arc<Timeline>,
+    key: ZoneKey,
+    rrset_sign: bool,
+    channel: Channel,
+    /// Day → prepared artifact cache (zones are deterministic).
+    prepared: std::collections::HashMap<u64, (Zone, ZoneFile)>,
+}
+
+impl MirrorZoneSource {
+    /// Creates a mirror over `timeline`, signing with `key`, serving full
+    /// compressed downloads.
+    pub fn new(timeline: Arc<Timeline>, key: ZoneKey) -> MirrorZoneSource {
+        MirrorZoneSource {
+            timeline,
+            key,
+            rrset_sign: false,
+            channel: Channel::FullMirror,
+            prepared: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Also signs every RRset (needed for `Verification::FullRrset`).
+    pub fn with_rrset_signing(mut self) -> Self {
+        self.rrset_sign = true;
+        self
+    }
+
+    /// Uses a different distribution channel for cost accounting.
+    pub fn with_channel(mut self, channel: Channel) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    fn day_of(&self, now: SimTime) -> u64 {
+        (now.as_secs() / 86_400).min(self.timeline.horizon().saturating_sub(1))
+    }
+
+    fn serial_of_day(&self, day: u64) -> u32 {
+        self.timeline.base.serial + day as u32
+    }
+
+    fn day_of_serial(&self, serial: u32) -> Option<u64> {
+        serial.checked_sub(self.timeline.base.serial).map(u64::from)
+    }
+
+    fn prepare(&mut self, day: u64, now: SimTime) -> &(Zone, ZoneFile) {
+        if !self.prepared.contains_key(&day) {
+            let raw = self.timeline.snapshot(day);
+            let inception = now.as_secs().saturating_sub(3_600) as u32;
+            let expiration = (now + SIG_VALIDITY).as_secs() as u32;
+            let signed_base = if self.rrset_sign {
+                rootless_dnssec::sign::sign_zone(&raw, &self.key, inception, expiration)
+            } else {
+                raw
+            };
+            let published = zonemd::attach(&signed_base, Some(&self.key), inception, expiration);
+            let prev = day
+                .checked_sub(1)
+                .and_then(|d| self.prepared.get(&d).map(|(z, _)| z.clone()));
+            let file = ZoneFile::build(&published, prev.as_ref());
+            self.prepared.insert(day, (published, file));
+        }
+        &self.prepared[&day]
+    }
+}
+
+impl ZoneSource for MirrorZoneSource {
+    fn latest_serial(&mut self, now: SimTime) -> Option<u32> {
+        Some(self.serial_of_day(self.day_of(now)))
+    }
+
+    fn fetch(&mut self, now: SimTime, have: Option<u32>) -> Option<FetchedZone> {
+        let day = self.day_of(now);
+        // Cost accounting wants the holder's old artifact when it exists.
+        let old_file = have
+            .and_then(|s| self.day_of_serial(s))
+            .filter(|d| *d < day)
+            .map(|d| self.prepare(d, now).1.clone());
+        let (zone, file) = self.prepare(day, now).clone();
+        let cost = self.channel.update_cost(old_file.as_ref(), &file);
+        Some(FetchedZone { zone, bytes_down: cost.down, bytes_up: cost.up })
+    }
+}
+
+/// Wraps a source with scheduled outages: within any `(from, to)` window the
+/// source is unreachable.
+pub struct FlakySource<S> {
+    inner: S,
+    outages: Vec<(SimTime, SimTime)>,
+}
+
+impl<S: ZoneSource> FlakySource<S> {
+    /// Creates the wrapper.
+    pub fn new(inner: S, outages: Vec<(SimTime, SimTime)>) -> FlakySource<S> {
+        FlakySource { inner, outages }
+    }
+
+    fn is_down(&self, now: SimTime) -> bool {
+        self.outages.iter().any(|(a, b)| now >= *a && now < *b)
+    }
+}
+
+impl<S: ZoneSource> ZoneSource for FlakySource<S> {
+    fn latest_serial(&mut self, now: SimTime) -> Option<u32> {
+        if self.is_down(now) {
+            None
+        } else {
+            self.inner.latest_serial(now)
+        }
+    }
+
+    fn fetch(&mut self, now: SimTime, have: Option<u32>) -> Option<FetchedZone> {
+        if self.is_down(now) {
+            None
+        } else {
+            self.inner.fetch(now, have)
+        }
+    }
+}
+
+/// An on-path attacker on the *distribution* channel: every fetched copy has
+/// one TLD's NS records replaced (the §4 "root manipulation" move aimed at
+/// the file instead of the query stream). Signed zones make this detectable.
+pub struct TamperingSource<S> {
+    inner: S,
+    /// Nameserver name injected into the victim TLD.
+    pub evil_ns: Name,
+}
+
+impl<S: ZoneSource> TamperingSource<S> {
+    /// Creates the wrapper with a default attacker nameserver.
+    pub fn new(inner: S) -> TamperingSource<S> {
+        TamperingSource { inner, evil_ns: Name::parse("ns.attacker.example").unwrap() }
+    }
+}
+
+impl<S: ZoneSource> ZoneSource for TamperingSource<S> {
+    fn latest_serial(&mut self, now: SimTime) -> Option<u32> {
+        self.inner.latest_serial(now)
+    }
+
+    fn fetch(&mut self, now: SimTime, have: Option<u32>) -> Option<FetchedZone> {
+        let mut fetched = self.inner.fetch(now, have)?;
+        if let Some(victim) = fetched.zone.tlds().first().cloned() {
+            let mut evil = RrSet::new(victim.clone(), RType::NS, 172_800);
+            evil.push(172_800, RData::Ns(self.evil_ns.clone()));
+            fetched.zone.insert_rrset(evil).expect("tld within root");
+        }
+        Some(fetched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rootless_util::time::Date;
+    use rootless_zone::churn::ChurnConfig;
+    use rootless_zone::rootzone::RootZoneConfig;
+
+    fn timeline() -> Arc<Timeline> {
+        Arc::new(Timeline::generate(
+            RootZoneConfig::small(40),
+            ChurnConfig::default(),
+            Date::new(2019, 4, 1),
+            10,
+        ))
+    }
+
+    fn key() -> ZoneKey {
+        ZoneKey::generate(Name::root(), true, 9)
+    }
+
+    #[test]
+    fn mirror_serves_signed_zone() {
+        let mut src = MirrorZoneSource::new(timeline(), key());
+        let fetched = src.fetch(SimTime::ZERO, None).unwrap();
+        zonemd::verify(&fetched.zone, Some((&key(), 100))).unwrap();
+        assert!(fetched.bytes_down > 0);
+    }
+
+    #[test]
+    fn mirror_serial_tracks_days() {
+        let mut src = MirrorZoneSource::new(timeline(), key());
+        let s0 = src.latest_serial(SimTime::ZERO).unwrap();
+        let s1 = src.latest_serial(SimTime::ZERO + SimDuration::from_days(1)).unwrap();
+        assert_eq!(s1, s0 + 1);
+    }
+
+    #[test]
+    fn incremental_channel_charges_less() {
+        let t = timeline();
+        let mut full = MirrorZoneSource::new(Arc::clone(&t), key());
+        let mut rsync = MirrorZoneSource::new(t, key())
+            .with_channel(Channel::Rsync { block: 1_024 });
+        let day1 = SimTime::ZERO + SimDuration::from_days(1);
+        // Both hold day 0 and fetch day 1.
+        let f0 = full.fetch(SimTime::ZERO, None).unwrap();
+        let r0 = rsync.fetch(SimTime::ZERO, None).unwrap();
+        let f1 = full.fetch(day1, Some(f0.zone.serial())).unwrap();
+        let r1 = rsync.fetch(day1, Some(r0.zone.serial())).unwrap();
+        assert!(
+            r1.bytes_down + r1.bytes_up < f1.bytes_down / 2,
+            "rsync {}+{} vs full {}",
+            r1.bytes_down,
+            r1.bytes_up,
+            f1.bytes_down
+        );
+    }
+
+    #[test]
+    fn flaky_source_obeys_windows() {
+        let down_from = SimTime::ZERO + SimDuration::from_hours(5);
+        let down_to = SimTime::ZERO + SimDuration::from_hours(10);
+        let mut src = FlakySource::new(MirrorZoneSource::new(timeline(), key()), vec![(down_from, down_to)]);
+        assert!(src.latest_serial(SimTime::ZERO).is_some());
+        assert!(src.latest_serial(down_from).is_none());
+        assert!(src.fetch(down_from + SimDuration::from_hours(1), None).is_none());
+        assert!(src.latest_serial(down_to).is_some());
+    }
+
+    #[test]
+    fn tampered_zone_fails_zonemd() {
+        let mut src = TamperingSource::new(MirrorZoneSource::new(timeline(), key()));
+        let fetched = src.fetch(SimTime::ZERO, None).unwrap();
+        assert!(zonemd::verify(&fetched.zone, Some((&key(), 100))).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Distribution channels for the root zone file (§3 "Root Zone
+//! Distribution"): *"the root zone could be distributed via a set of HTTP
+//! mirrors as we use for software distribution. Or, a public recursive
+//! server may provide the root zone via DNS' own zone transfer mechanism.
+//! Alternatively, the root zone could be shared via BitTorrent ... Finally,
+//! an rsync server or similar system could be used."*
+//!
+//! Each channel reports how many bytes must cross the network to bring a
+//! resolver from one zone version to the next; the DIST experiment sweeps
+//! these over a month of simulated churn.
+
+use rootless_util::lzss;
+use rootless_zone::diff::ZoneDiff;
+use rootless_zone::master;
+use rootless_zone::zone::Zone;
+
+use crate::rsync;
+
+/// A prepared distribution artifact for one zone version.
+#[derive(Clone, Debug)]
+pub struct ZoneFile {
+    /// SOA serial of this version.
+    pub serial: u32,
+    /// Master-file text.
+    pub text: String,
+    /// LZSS-compressed text (the ~1.1 MB artifact of §5.2).
+    pub compressed: Vec<u8>,
+    /// Binary diff from the immediately preceding version, if any.
+    pub diff_from_prev: Option<Vec<u8>>,
+    /// Bytes of a full AXFR of this version.
+    pub axfr_bytes: usize,
+}
+
+impl ZoneFile {
+    /// Builds the artifacts for `zone`, diffing against `prev` when given.
+    pub fn build(zone: &Zone, prev: Option<&Zone>) -> ZoneFile {
+        let text = master::serialize(zone);
+        let compressed = lzss::compress(text.as_bytes());
+        let diff_from_prev = prev.map(|p| ZoneDiff::compute(p, zone).encode());
+        let axfr_bytes = rootless_server::axfr::transfer_bytes(zone);
+        ZoneFile {
+            serial: zone.serial(),
+            text,
+            compressed,
+            diff_from_prev,
+            axfr_bytes,
+        }
+    }
+}
+
+/// Network cost of one update check/transfer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateCost {
+    /// Bytes downloaded by the resolver.
+    pub down: usize,
+    /// Bytes uploaded by the resolver (rsync signatures).
+    pub up: usize,
+}
+
+impl UpdateCost {
+    /// Total bytes moved.
+    pub fn total(&self) -> usize {
+        self.down + self.up
+    }
+}
+
+/// Size of a serial probe (SOA query + response).
+pub const SERIAL_PROBE_BYTES: usize = 100;
+
+/// A distribution mechanism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Channel {
+    /// HTTP-mirror-style: probe the serial, download the full compressed
+    /// file when it changed.
+    FullMirror,
+    /// DNS zone transfer (AXFR) after a SOA serial check.
+    Axfr,
+    /// Incremental transfer: apply the per-version diff chain when the local
+    /// copy is at the immediately preceding serial, else fall back to a full
+    /// compressed download.
+    Ixfr,
+    /// rsync: exchange block signatures and literal data over the
+    /// uncompressed text.
+    Rsync {
+        /// rsync block size.
+        block: usize,
+    },
+}
+
+impl Channel {
+    /// Human-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Channel::FullMirror => "mirror",
+            Channel::Axfr => "axfr",
+            Channel::Ixfr => "ixfr",
+            Channel::Rsync { .. } => "rsync",
+        }
+    }
+
+    /// Cost of updating a resolver at version `old` (None = cold start) to
+    /// version `new`.
+    pub fn update_cost(&self, old: Option<&ZoneFile>, new: &ZoneFile) -> UpdateCost {
+        // Every mechanism starts with a freshness probe.
+        let probe = SERIAL_PROBE_BYTES;
+        if let Some(old) = old {
+            if old.serial == new.serial {
+                return UpdateCost { down: probe, up: 0 };
+            }
+        }
+        match self {
+            Channel::FullMirror => UpdateCost { down: probe + new.compressed.len(), up: 0 },
+            Channel::Axfr => UpdateCost { down: probe + new.axfr_bytes, up: 0 },
+            Channel::Ixfr => match (old, &new.diff_from_prev) {
+                (Some(old), Some(diff)) if old.serial + 1 == new.serial => {
+                    UpdateCost { down: probe + diff.len(), up: 0 }
+                }
+                _ => UpdateCost { down: probe + new.compressed.len(), up: 0 },
+            },
+            Channel::Rsync { block } => match old {
+                None => UpdateCost { down: probe + new.compressed.len(), up: 0 },
+                Some(old) => {
+                    let sig = rsync::Signature::compute(old.text.as_bytes(), *block);
+                    let delta = rsync::compute_delta(&sig, new.text.as_bytes());
+                    UpdateCost { down: probe + delta.wire_size(), up: sig.wire_size() }
+                }
+            },
+        }
+    }
+}
+
+/// All four channels, for sweeps.
+pub fn all_channels() -> Vec<Channel> {
+    vec![
+        Channel::FullMirror,
+        Channel::Axfr,
+        Channel::Ixfr,
+        Channel::Rsync { block: rsync::DEFAULT_BLOCK },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rootless_util::time::Date;
+    use rootless_zone::churn::{ChurnConfig, Timeline};
+    use rootless_zone::rootzone::RootZoneConfig;
+
+    fn two_versions() -> (ZoneFile, ZoneFile) {
+        let t = Timeline::generate(
+            RootZoneConfig::small(200),
+            ChurnConfig::default(),
+            Date::new(2019, 4, 1),
+            3,
+        );
+        let z0 = t.snapshot(0);
+        let z1 = t.snapshot(1);
+        let f0 = ZoneFile::build(&z0, None);
+        let f1 = ZoneFile::build(&z1, Some(&z0));
+        (f0, f1)
+    }
+
+    #[test]
+    fn same_serial_costs_only_probe() {
+        let (f0, _) = two_versions();
+        for ch in all_channels() {
+            let cost = ch.update_cost(Some(&f0), &f0);
+            assert_eq!(cost.down, SERIAL_PROBE_BYTES, "{}", ch.name());
+            assert_eq!(cost.up, 0);
+        }
+    }
+
+    #[test]
+    fn cold_start_downloads_full_file() {
+        let (f0, _) = two_versions();
+        for ch in all_channels() {
+            let cost = ch.update_cost(None, &f0);
+            assert!(cost.down > f0.compressed.len() / 2, "{} cold start too cheap", ch.name());
+        }
+    }
+
+    #[test]
+    fn incremental_channels_beat_full_mirror_day_over_day() {
+        let (f0, f1) = two_versions();
+        let full = Channel::FullMirror.update_cost(Some(&f0), &f1).total();
+        let ixfr = Channel::Ixfr.update_cost(Some(&f0), &f1).total();
+        let rsync = Channel::Rsync { block: 1_024 }.update_cost(Some(&f0), &f1).total();
+        assert!(ixfr * 3 < full, "ixfr {ixfr} vs full {full}");
+        assert!(rsync < full, "rsync {rsync} vs full {full}");
+    }
+
+    #[test]
+    fn ixfr_falls_back_when_chain_broken() {
+        let (f0, f1) = two_versions();
+        // Pretend the resolver is two versions behind by lying about serial.
+        let mut stale = f0.clone();
+        stale.serial = f0.serial.wrapping_sub(5);
+        let cost = Channel::Ixfr.update_cost(Some(&stale), &f1);
+        assert!(cost.down >= f1.compressed.len(), "broken chain must re-download");
+    }
+
+    #[test]
+    fn compressed_file_is_smaller_than_text() {
+        // The zone text carries random-hex DS digests, so (like the real
+        // root zone's ~1.9x gzip ratio) full 2x is not reachable; LZSS must
+        // still shave a meaningful fraction.
+        let (f0, _) = two_versions();
+        assert!(
+            f0.compressed.len() * 10 < f0.text.len() * 8,
+            "LZSS got {} of {}",
+            f0.compressed.len(),
+            f0.text.len()
+        );
+    }
+
+    #[test]
+    fn axfr_and_mirror_are_both_full_transfers() {
+        // AXFR moves the uncompressed zone but with wire-format name
+        // compression; the mirror moves LZSS-compressed text. Both are
+        // "full transfer" class: the same order of magnitude, and far above
+        // the incremental channels.
+        let (f0, f1) = two_versions();
+        let axfr = Channel::Axfr.update_cost(Some(&f0), &f1).total();
+        let mirror = Channel::FullMirror.update_cost(Some(&f0), &f1).total();
+        let ixfr = Channel::Ixfr.update_cost(Some(&f0), &f1).total();
+        let ratio = axfr as f64 / mirror as f64;
+        assert!((0.5..2.0).contains(&ratio), "axfr {axfr} vs mirror {mirror}");
+        assert!(ixfr * 5 < axfr.min(mirror), "ixfr {ixfr} should be far cheaper");
+    }
+}

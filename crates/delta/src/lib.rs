@@ -1,0 +1,22 @@
+//! # rootless-delta
+//!
+//! Root-zone distribution mechanisms (§3 "Root Zone Distribution" / §5.2
+//! "Distribution Load"): the machinery that replaces "ask a root server"
+//! with "fetch the file".
+//!
+//! * [`rsync`] — the actual rsync algorithm: rolling weak checksums, strong
+//!   SHA-256 block hashes, delta computation and application.
+//! * [`channel`] — comparable update-cost models for HTTP mirrors, AXFR,
+//!   IXFR-style diffs, and rsync.
+//! * [`swarm`] — a BitTorrent-like piece swarm showing the origin offload a
+//!   peer-to-peer channel buys.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod rsync;
+pub mod swarm;
+
+pub use channel::{Channel, UpdateCost, ZoneFile};
+pub use rsync::{apply_delta, compute_delta, Delta, Signature};
+pub use swarm::{simulate as simulate_swarm, SwarmConfig, SwarmReport};

@@ -1,0 +1,484 @@
+//! The rsync algorithm (Tridgell & Mackerras), as proposed for root-zone
+//! distribution in §3/§5.2 of the paper: *"an rsync server or similar system
+//! could be used such that only changes in the root zone file would need to
+//! propagate instead of the entire file."*
+//!
+//! Protocol shape, faithful to the original:
+//!
+//! 1. the receiver computes a [`Signature`] of its **old** file — one
+//!    (rolling Adler, SHA-256) pair per fixed-size block;
+//! 2. the sender slides a window over the **new** file, matching the weak
+//!    checksum against a hash table of the signature and confirming with
+//!    the strong hash, emitting `Copy` tokens for matches and literal bytes
+//!    between them ([`compute_delta`]);
+//! 3. the receiver reconstructs the new file from its old file plus the
+//!    delta ([`apply_delta`]).
+
+use std::collections::HashMap;
+
+use rootless_util::rolling::{weak_checksum, Roller};
+use rootless_util::sha256::sha256;
+use rootless_util::varint;
+
+/// Default block size (rsync uses ~700–32K depending on file size).
+pub const DEFAULT_BLOCK: usize = 1_024;
+
+/// Per-block signature entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockSig {
+    /// Rolling (weak) checksum of the block.
+    pub weak: u32,
+    /// SHA-256 (strong) hash of the block.
+    pub strong: [u8; 32],
+}
+
+/// Signature of a file: block size plus per-block checksums. This is what
+/// the receiver sends to the delta source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Signature {
+    /// Block length in bytes.
+    pub block_len: usize,
+    /// One entry per block; the final block may be short.
+    pub blocks: Vec<BlockSig>,
+    /// Length of the file the signature describes.
+    pub file_len: usize,
+}
+
+impl Signature {
+    /// Computes the signature of `data` with the given block size.
+    pub fn compute(data: &[u8], block_len: usize) -> Signature {
+        assert!(block_len > 0);
+        let blocks = data
+            .chunks(block_len)
+            .map(|b| BlockSig { weak: weak_checksum(b), strong: sha256(b) })
+            .collect();
+        Signature { block_len, blocks, file_len: data.len() }
+    }
+
+    /// Serialized size in bytes (what the receiver uploads).
+    pub fn wire_size(&self) -> usize {
+        // 8 bytes header + (4 weak + 32 strong) per block.
+        8 + self.blocks.len() * 36
+    }
+}
+
+/// One delta instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Copy `count` consecutive blocks of the old file starting at
+    /// `block_index`.
+    Copy {
+        /// First old-file block.
+        block_index: u32,
+        /// Number of consecutive blocks.
+        count: u32,
+    },
+    /// Raw bytes not present in the old file.
+    Literal(Vec<u8>),
+}
+
+/// A delta from an old file (described by a signature) to a new file.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Delta {
+    /// Instructions in output order.
+    pub ops: Vec<Op>,
+}
+
+impl Delta {
+    /// Bytes of literal data carried.
+    pub fn literal_bytes(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Literal(v) => v.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Blocks copied from the old file.
+    pub fn copied_blocks(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Copy { count, .. } => *count as usize,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Wire encoding: varint-tagged op stream.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        varint::write_u64(&mut out, self.ops.len() as u64);
+        for op in &self.ops {
+            match op {
+                Op::Copy { block_index, count } => {
+                    varint::write_u64(&mut out, 0);
+                    varint::write_u64(&mut out, *block_index as u64);
+                    varint::write_u64(&mut out, *count as u64);
+                }
+                Op::Literal(bytes) => {
+                    varint::write_u64(&mut out, 1);
+                    varint::write_u64(&mut out, bytes.len() as u64);
+                    out.extend_from_slice(bytes);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a wire-encoded delta.
+    pub fn decode(buf: &[u8]) -> Option<Delta> {
+        let mut pos = 0;
+        let (n, used) = varint::read_u64(&buf[pos..])?;
+        pos += used;
+        // `n` is attacker-controlled; every op needs at least one byte, so
+        // anything beyond the remaining buffer is malformed. Never
+        // preallocate from the raw count.
+        if n as usize > buf.len() - pos {
+            return None;
+        }
+        let mut ops = Vec::with_capacity((n as usize).min(1_024));
+        for _ in 0..n {
+            let (tag, used) = varint::read_u64(&buf[pos..])?;
+            pos += used;
+            match tag {
+                0 => {
+                    let (bi, used) = varint::read_u64(&buf[pos..])?;
+                    pos += used;
+                    let (c, used) = varint::read_u64(&buf[pos..])?;
+                    pos += used;
+                    ops.push(Op::Copy { block_index: bi as u32, count: c as u32 });
+                }
+                1 => {
+                    let (len, used) = varint::read_u64(&buf[pos..])?;
+                    pos += used;
+                    let len = len as usize;
+                    if buf.len() < pos + len {
+                        return None;
+                    }
+                    ops.push(Op::Literal(buf[pos..pos + len].to_vec()));
+                    pos += len;
+                }
+                _ => return None,
+            }
+        }
+        if pos != buf.len() {
+            return None;
+        }
+        Some(Delta { ops })
+    }
+
+    /// Wire size in bytes (what actually moves over the network).
+    pub fn wire_size(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+/// Computes the delta turning the signature's old file into `new`.
+pub fn compute_delta(sig: &Signature, new: &[u8]) -> Delta {
+    let block = sig.block_len;
+    // weak → candidate block indices.
+    let mut table: HashMap<u32, Vec<u32>> = HashMap::new();
+    for (i, b) in sig.blocks.iter().enumerate() {
+        // Only full blocks are matchable mid-file; a short final block is
+        // matchable only at its exact size, which the literal path covers.
+        let is_final_short = i == sig.blocks.len() - 1 && sig.file_len % block != 0;
+        if !is_final_short {
+            table.entry(b.weak).or_default().push(i as u32);
+        }
+    }
+
+    let mut delta = Delta::default();
+    let mut literal: Vec<u8> = Vec::new();
+    let mut pos = 0usize;
+
+    let flush =
+        |delta: &mut Delta, literal: &mut Vec<u8>| {
+            if !literal.is_empty() {
+                delta.ops.push(Op::Literal(std::mem::take(literal)));
+            }
+        };
+
+    let mut roller: Option<Roller> = None;
+    while pos + block <= new.len() {
+        let r = roller.get_or_insert_with(|| Roller::new(&new[pos..pos + block]));
+        let weak = r.digest();
+        let mut matched = None;
+        if let Some(candidates) = table.get(&weak) {
+            let strong = sha256(&new[pos..pos + block]);
+            // Prefer the block that extends the current copy run (repeated
+            // content makes many blocks identical).
+            let preferred = match delta.ops.last() {
+                Some(Op::Copy { block_index, count }) if literal.is_empty() => {
+                    Some(*block_index + *count)
+                }
+                _ => None,
+            };
+            if let Some(p) = preferred {
+                if candidates.contains(&p) && sig.blocks[p as usize].strong == strong {
+                    matched = Some(p);
+                }
+            }
+            if matched.is_none() {
+                for &ci in candidates {
+                    if sig.blocks[ci as usize].strong == strong {
+                        matched = Some(ci);
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(ci) = matched {
+            flush(&mut delta, &mut literal);
+            // Extend an existing copy run when contiguous.
+            match delta.ops.last_mut() {
+                Some(Op::Copy { block_index, count }) if *block_index + *count == ci => {
+                    *count += 1;
+                }
+                _ => delta.ops.push(Op::Copy { block_index: ci, count: 1 }),
+            }
+            pos += block;
+            roller = None;
+        } else {
+            literal.push(new[pos]);
+            if pos + block < new.len() {
+                let r = roller.as_mut().expect("roller present");
+                r.roll(new[pos], new[pos + block]);
+            } else {
+                roller = None;
+            }
+            pos += 1;
+        }
+    }
+    literal.extend_from_slice(&new[pos..]);
+    flush(&mut delta, &mut literal);
+    delta
+}
+
+/// Errors reconstructing a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyError {
+    /// A copy referenced a block beyond the old file.
+    BadBlock(u32),
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApplyError::BadBlock(i) => write!(f, "delta references missing block {i}"),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+/// Reconstructs the new file from the old file and a delta.
+pub fn apply_delta(old: &[u8], block_len: usize, delta: &Delta) -> Result<Vec<u8>, ApplyError> {
+    let mut out = Vec::new();
+    for op in &delta.ops {
+        match op {
+            Op::Literal(bytes) => out.extend_from_slice(bytes),
+            Op::Copy { block_index, count } => {
+                for i in 0..*count {
+                    let bi = (*block_index + i) as usize;
+                    let start = bi * block_len;
+                    if start >= old.len() {
+                        return Err(ApplyError::BadBlock(*block_index + i));
+                    }
+                    let end = (start + block_len).min(old.len());
+                    out.extend_from_slice(&old[start..end]);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Convenience: full receiver/sender exchange. Returns the new file as
+/// reconstructed plus the bytes that crossed the network in each direction
+/// `(signature_up, delta_down)`.
+pub fn sync(old: &[u8], new: &[u8], block_len: usize) -> (Vec<u8>, usize, usize) {
+    let sig = Signature::compute(old, block_len);
+    let delta = compute_delta(&sig, new);
+    let rebuilt = apply_delta(old, block_len, &delta).expect("self-consistent delta");
+    let up = sig.wire_size();
+    let down = delta.wire_size();
+    (rebuilt, up, down)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rootless_util::rng::DetRng;
+
+    fn sync_check(old: &[u8], new: &[u8], block: usize) -> Delta {
+        let sig = Signature::compute(old, block);
+        let delta = compute_delta(&sig, new);
+        let rebuilt = apply_delta(old, block, &delta).unwrap();
+        assert_eq!(rebuilt, new, "reconstruction mismatch");
+        delta
+    }
+
+    #[test]
+    fn identical_files_are_all_copies() {
+        let data = vec![7u8; 10_000];
+        let delta = sync_check(&data, &data, 1_000);
+        assert_eq!(delta.literal_bytes(), 0);
+        assert_eq!(delta.copied_blocks(), 10);
+        // One coalesced run.
+        assert_eq!(delta.ops.len(), 1);
+    }
+
+    #[test]
+    fn empty_old_file_is_all_literals() {
+        let new = b"fresh content".repeat(100);
+        let delta = sync_check(b"", &new, 512);
+        assert_eq!(delta.copied_blocks(), 0);
+        assert_eq!(delta.literal_bytes(), new.len());
+    }
+
+    #[test]
+    fn empty_new_file() {
+        let delta = sync_check(b"old stuff", b"", 4);
+        assert!(delta.ops.is_empty());
+    }
+
+    #[test]
+    fn insertion_in_middle() {
+        let mut rng = DetRng::seed_from_u64(1);
+        let old: Vec<u8> = (0..50_000).map(|_| rng.next_u64() as u8).collect();
+        let mut new = old.clone();
+        new.splice(25_000..25_000, b"INSERTED CHUNK".iter().copied());
+        let delta = sync_check(&old, &new, 1_024);
+        // Almost everything should be block copies.
+        assert!(delta.literal_bytes() < 2_500, "literals {}", delta.literal_bytes());
+        assert!(delta.wire_size() < old.len() / 10);
+    }
+
+    #[test]
+    fn deletion_in_middle() {
+        let mut rng = DetRng::seed_from_u64(2);
+        let old: Vec<u8> = (0..50_000).map(|_| rng.next_u64() as u8).collect();
+        let mut new = old.clone();
+        new.drain(10_000..12_000);
+        let delta = sync_check(&old, &new, 1_024);
+        assert!(delta.literal_bytes() < 2_500, "literals {}", delta.literal_bytes());
+    }
+
+    #[test]
+    fn small_edit_produces_small_delta() {
+        let mut rng = DetRng::seed_from_u64(3);
+        // Length chosen as a whole number of blocks so only the edited
+        // block (not an unmatchable short tail) becomes literal data.
+        let old: Vec<u8> = (0..196 * DEFAULT_BLOCK).map(|_| rng.next_u64() as u8).collect();
+        let mut new = old.clone();
+        new[100_000] ^= 0xff;
+        let delta = sync_check(&old, &new, DEFAULT_BLOCK);
+        // One block re-sent, the rest copied.
+        assert!(delta.literal_bytes() <= DEFAULT_BLOCK, "literals {}", delta.literal_bytes());
+        assert!(
+            delta.wire_size() < 3 * DEFAULT_BLOCK,
+            "delta {} bytes for a 1-byte edit",
+            delta.wire_size()
+        );
+    }
+
+    #[test]
+    fn unrelated_files_degrade_to_literals() {
+        let mut rng = DetRng::seed_from_u64(4);
+        let old: Vec<u8> = (0..10_000).map(|_| rng.next_u64() as u8).collect();
+        let new: Vec<u8> = (0..10_000).map(|_| rng.next_u64() as u8).collect();
+        let delta = sync_check(&old, &new, 1_024);
+        assert_eq!(delta.copied_blocks(), 0);
+        assert_eq!(delta.literal_bytes(), new.len());
+    }
+
+    #[test]
+    fn short_final_block_handled() {
+        let old = b"0123456789abcdefXYZ".to_vec(); // 19 bytes, block 8 → short tail
+        let mut new = old.clone();
+        new.extend_from_slice(b"-tail");
+        sync_check(&old, &new, 8);
+        sync_check(&old, &old, 8);
+    }
+
+    #[test]
+    fn reordered_blocks_still_copy() {
+        let a = vec![1u8; 1_024];
+        let b = vec![2u8; 1_024];
+        let c = vec![3u8; 1_024];
+        let old: Vec<u8> = [a.clone(), b.clone(), c.clone()].concat();
+        let new: Vec<u8> = [c, a, b].concat();
+        let delta = sync_check(&old, &new, 1_024);
+        assert_eq!(delta.literal_bytes(), 0, "pure reorder needs no literals");
+        assert_eq!(delta.copied_blocks(), 3);
+    }
+
+    #[test]
+    fn delta_wire_roundtrip() {
+        let mut rng = DetRng::seed_from_u64(5);
+        let old: Vec<u8> = (0..30_000).map(|_| rng.next_u64() as u8).collect();
+        let mut new = old.clone();
+        new.splice(5_000..5_000, (0..100).map(|_| rng.next_u64() as u8));
+        let sig = Signature::compute(&old, 1_024);
+        let delta = compute_delta(&sig, &new);
+        let decoded = Delta::decode(&delta.encode()).unwrap();
+        assert_eq!(decoded, delta);
+        assert_eq!(apply_delta(&old, 1_024, &decoded).unwrap(), new);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Delta::decode(&[0xff, 0xff, 0xff]).is_none());
+        let delta = Delta { ops: vec![Op::Literal(b"xy".to_vec())] };
+        let mut buf = delta.encode();
+        buf.pop();
+        assert!(Delta::decode(&buf).is_none());
+    }
+
+    #[test]
+    fn apply_rejects_bad_block() {
+        let delta = Delta { ops: vec![Op::Copy { block_index: 99, count: 1 }] };
+        assert_eq!(apply_delta(b"short", 4, &delta), Err(ApplyError::BadBlock(99)));
+    }
+
+    #[test]
+    fn sync_reports_transfer_sizes() {
+        let old = vec![9u8; 100_000];
+        let mut new = old.clone();
+        new[50] = 1;
+        let (rebuilt, up, down) = sync(&old, &new, DEFAULT_BLOCK);
+        assert_eq!(rebuilt, new);
+        // Signature: ~98 blocks * 36B ≈ 3.5KB; delta ≈ 1 block.
+        assert!(up < 8_000, "sig {up}");
+        assert!(down < 4_000, "delta {down}");
+        assert!(up + down < old.len() / 5, "rsync must beat full transfer");
+    }
+
+    #[test]
+    fn zone_file_day_over_day_delta_is_small() {
+        use rootless_zone::churn::{ChurnConfig, Timeline};
+        use rootless_zone::rootzone::RootZoneConfig;
+        use rootless_util::time::Date;
+        let t = Timeline::generate(
+            RootZoneConfig::small(300),
+            ChurnConfig::default(),
+            Date::new(2019, 4, 1),
+            3,
+        );
+        let day0 = rootless_zone::master::serialize(&t.snapshot(0));
+        let day1 = rootless_zone::master::serialize(&t.snapshot(1));
+        let (rebuilt, up, down) = sync(day0.as_bytes(), day1.as_bytes(), DEFAULT_BLOCK);
+        assert_eq!(rebuilt.as_slice(), day1.as_bytes());
+        let full = day1.len();
+        assert!(
+            (up + down) * 3 < full,
+            "delta {}+{} should be well under full {}",
+            up,
+            down,
+            full
+        );
+    }
+}

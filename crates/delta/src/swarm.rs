@@ -1,0 +1,241 @@
+//! Peer-to-peer zone distribution: the §3 "shared via BitTorrent or a
+//! similar peer-to-peer system" option.
+//!
+//! A deterministic round-based swarm: the file is cut into pieces, an origin
+//! seed starts with all of them, and every round each peer uploads up to a
+//! configured number of pieces to peers that lack them, choosing the rarest
+//! pieces first. The interesting outputs are how little the *origin* has to
+//! upload (the community absorbs distribution cost) and how quickly the
+//! whole resolver fleet converges.
+
+use std::collections::HashMap;
+
+use rootless_util::rng::DetRng;
+
+/// Swarm parameters.
+#[derive(Clone, Debug)]
+pub struct SwarmConfig {
+    /// Piece size in bytes.
+    pub piece_size: usize,
+    /// Number of downloading peers (resolvers).
+    pub peers: usize,
+    /// Upload slots per peer per round (pieces it can send).
+    pub uploads_per_round: usize,
+    /// Peers each node knows (gossip degree).
+    pub neighbors: usize,
+    /// Seed for peer/piece selection.
+    pub seed: u64,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> Self {
+        SwarmConfig { piece_size: 262_144, peers: 100, uploads_per_round: 4, neighbors: 8, seed: 0xbee5 }
+    }
+}
+
+/// Result of a swarm run.
+#[derive(Clone, Debug)]
+pub struct SwarmReport {
+    /// Rounds until every peer completed.
+    pub rounds: usize,
+    /// Bytes uploaded by the origin seed.
+    pub origin_bytes: usize,
+    /// Bytes uploaded by all downloading peers together.
+    pub peer_bytes: usize,
+    /// Number of pieces in the file.
+    pub pieces: usize,
+    /// Peers that completed (equals config.peers on success).
+    pub completed: usize,
+}
+
+impl SwarmReport {
+    /// Fraction of total distribution carried by peers rather than the
+    /// origin.
+    pub fn peer_fraction(&self) -> f64 {
+        let total = self.origin_bytes + self.peer_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.peer_bytes as f64 / total as f64
+        }
+    }
+}
+
+/// Simulates distributing a file of `file_len` bytes through the swarm.
+pub fn simulate(cfg: &SwarmConfig, file_len: usize) -> SwarmReport {
+    let pieces = file_len.div_ceil(cfg.piece_size).max(1);
+    let mut rng = DetRng::seed_from_u64(cfg.seed);
+    let n = cfg.peers;
+
+    // have[p][piece]; peer index n is the origin seed.
+    let mut have: Vec<Vec<bool>> = (0..n).map(|_| vec![false; pieces]).collect();
+    have.push(vec![true; pieces]);
+    let origin = n;
+
+    // Static random neighbor lists; everyone also knows the origin.
+    let mut neighbors: Vec<Vec<usize>> = Vec::with_capacity(n + 1);
+    for p in 0..n {
+        let mut set = Vec::new();
+        while set.len() < cfg.neighbors.min(n.saturating_sub(1)) {
+            let q = rng.index(n);
+            if q != p && !set.contains(&q) {
+                set.push(q);
+            }
+        }
+        set.push(origin);
+        neighbors.push(set);
+    }
+    // The origin uploads to random peers.
+    neighbors.push((0..n).collect());
+
+    let mut origin_up = 0usize;
+    let mut peer_up = 0usize;
+    let mut rounds = 0usize;
+
+    let piece_bytes = |idx: usize| -> usize {
+        if idx + 1 == pieces && file_len % cfg.piece_size != 0 {
+            file_len % cfg.piece_size
+        } else {
+            cfg.piece_size.min(file_len)
+        }
+    };
+
+    let max_rounds = 10_000;
+    while rounds < max_rounds {
+        let done = (0..n).all(|p| have[p].iter().all(|&b| b));
+        if done {
+            break;
+        }
+        rounds += 1;
+        // Piece rarity across downloaders (origin excluded).
+        let mut rarity = vec![0usize; pieces];
+        for p in 0..n {
+            for (i, &h) in have[p].iter().enumerate() {
+                if h {
+                    rarity[i] += 1;
+                }
+            }
+        }
+        // Each node (including origin) fills its upload slots.
+        let order: Vec<usize> = {
+            let mut v: Vec<usize> = (0..=n).collect();
+            rng.shuffle(&mut v);
+            v
+        };
+        let mut transfers: Vec<(usize, usize, usize)> = Vec::new(); // (from, to, piece)
+        let mut incoming: HashMap<usize, usize> = HashMap::new(); // per-peer per-round download cap
+        for &p in &order {
+            let mut slots = cfg.uploads_per_round;
+            // Candidate receivers in random order.
+            let mut recv = neighbors[p].clone();
+            rng.shuffle(&mut recv);
+            for &q in &recv {
+                if slots == 0 {
+                    break;
+                }
+                if q == origin {
+                    continue;
+                }
+                if *incoming.get(&q).unwrap_or(&0) >= cfg.uploads_per_round {
+                    continue;
+                }
+                // Rarest piece p has that q lacks.
+                let mut best: Option<(usize, usize)> = None; // (rarity, piece)
+                for i in 0..pieces {
+                    if have[p][i] && !have[q][i] {
+                        let r = rarity[i];
+                        if best.map(|(br, _)| r < br).unwrap_or(true) {
+                            best = Some((r, i));
+                        }
+                    }
+                }
+                if let Some((_, piece)) = best {
+                    transfers.push((p, q, piece));
+                    have[q][piece] = true; // optimistic within-round propagation
+                    rarity[piece] += 1;
+                    *incoming.entry(q).or_insert(0) += 1;
+                    slots -= 1;
+                }
+            }
+        }
+        for (from, _to, piece) in transfers {
+            let b = piece_bytes(piece);
+            if from == origin {
+                origin_up += b;
+            } else {
+                peer_up += b;
+            }
+        }
+    }
+
+    let completed = (0..n).filter(|&p| have[p].iter().all(|&b| b)).count();
+    SwarmReport { rounds, origin_bytes: origin_up, peer_bytes: peer_up, pieces, completed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swarm_completes() {
+        let cfg = SwarmConfig { peers: 50, ..SwarmConfig::default() };
+        let report = simulate(&cfg, 1_100_000);
+        assert_eq!(report.completed, 50);
+        assert!(report.rounds > 0 && report.rounds < 200, "rounds {}", report.rounds);
+        assert_eq!(report.pieces, 5);
+    }
+
+    #[test]
+    fn peers_carry_most_of_the_load() {
+        let cfg = SwarmConfig { peers: 200, ..SwarmConfig::default() };
+        let report = simulate(&cfg, 1_100_000);
+        assert!(
+            report.peer_fraction() > 0.7,
+            "peer fraction {:.2} too low",
+            report.peer_fraction()
+        );
+        // Origin uploads a small multiple of the file, not peers× the file.
+        assert!(report.origin_bytes < 20 * 1_100_000, "origin {}", report.origin_bytes);
+    }
+
+    #[test]
+    fn total_bytes_cover_all_peers() {
+        let cfg = SwarmConfig { peers: 30, ..SwarmConfig::default() };
+        let file = 600_000;
+        let report = simulate(&cfg, file);
+        // Every peer must receive every byte exactly once.
+        assert_eq!(report.origin_bytes + report.peer_bytes, 30 * file);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = SwarmConfig { peers: 40, ..SwarmConfig::default() };
+        let a = simulate(&cfg, 1_000_000);
+        let b = simulate(&cfg, 1_000_000);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.origin_bytes, b.origin_bytes);
+        assert_eq!(a.peer_bytes, b.peer_bytes);
+    }
+
+    #[test]
+    fn single_piece_file() {
+        let cfg = SwarmConfig { peers: 10, ..SwarmConfig::default() };
+        let report = simulate(&cfg, 1_000);
+        assert_eq!(report.pieces, 1);
+        assert_eq!(report.completed, 10);
+        assert_eq!(report.origin_bytes + report.peer_bytes, 10 * 1_000);
+    }
+
+    #[test]
+    fn growth_is_roughly_logarithmic() {
+        // Doubling the fleet should not double the rounds.
+        let small = simulate(&SwarmConfig { peers: 50, ..SwarmConfig::default() }, 1_100_000);
+        let big = simulate(&SwarmConfig { peers: 400, ..SwarmConfig::default() }, 1_100_000);
+        assert!(
+            big.rounds < small.rounds * 4,
+            "rounds {} -> {}",
+            small.rounds,
+            big.rounds
+        );
+    }
+}

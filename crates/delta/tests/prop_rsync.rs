@@ -1,0 +1,54 @@
+//! Property tests: rsync round-trips arbitrary old/new file pairs.
+
+use proptest::prelude::*;
+use rootless_delta::rsync::{apply_delta, compute_delta, Delta, Signature};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sync_reconstructs_new_file(
+        old in proptest::collection::vec(any::<u8>(), 0..4096),
+        new in proptest::collection::vec(any::<u8>(), 0..4096),
+        block in 1usize..512,
+    ) {
+        let sig = Signature::compute(&old, block);
+        let delta = compute_delta(&sig, &new);
+        let rebuilt = apply_delta(&old, block, &delta).unwrap();
+        prop_assert_eq!(rebuilt, new);
+    }
+
+    #[test]
+    fn sync_reconstructs_related_files(
+        base in proptest::collection::vec(any::<u8>(), 256..4096),
+        edit_at in any::<prop::sample::Index>(),
+        insert in proptest::collection::vec(any::<u8>(), 0..64),
+        block in 16usize..256,
+    ) {
+        let mut new = base.clone();
+        let at = edit_at.index(new.len());
+        new.splice(at..at, insert);
+        let sig = Signature::compute(&base, block);
+        let delta = compute_delta(&sig, &new);
+        let rebuilt = apply_delta(&base, block, &delta).unwrap();
+        prop_assert_eq!(&rebuilt, &new);
+        // Delta framing must never blow up beyond the new file size.
+        prop_assert!(delta.wire_size() <= new.len() + new.len() / 4 + 64);
+    }
+
+    #[test]
+    fn delta_wire_roundtrip(
+        old in proptest::collection::vec(any::<u8>(), 0..2048),
+        new in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let sig = Signature::compute(&old, 64);
+        let delta = compute_delta(&sig, &new);
+        let decoded = Delta::decode(&delta.encode()).unwrap();
+        prop_assert_eq!(decoded, delta);
+    }
+
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Delta::decode(&bytes);
+    }
+}

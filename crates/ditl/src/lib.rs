@@ -1,0 +1,23 @@
+//! # rootless-ditl
+//!
+//! The §2.2 root-traffic study: a calibrated synthetic stand-in for the
+//! DITL-2018 j-root capture (which is not redistributable; see DESIGN.md §2)
+//! plus the classifier that splits one day of root traffic into bogus-TLD
+//! queries, cacheable repeats, and the small valid residue.
+//!
+//! * [`population`] — resolver classes, bogus-label pool, TLD popularity
+//!   with the new-TLD adoption discount.
+//! * [`trace`] — one-day trace generation (bursty repeats per
+//!   resolver×TLD, heavy-tailed volumes).
+//! * [`classify`] — the ideal-cache and 15-minute-window junk classifiers
+//!   and the report formatter.
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod population;
+pub mod trace;
+
+pub use classify::{classify, TrafficReport};
+pub use population::WorkloadConfig;
+pub use trace::{generate, Query, QueryName, Trace};

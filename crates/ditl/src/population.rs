@@ -1,0 +1,206 @@
+//! The resolver population and workload model behind the DITL traffic study.
+//!
+//! §2.2 of the paper measures one day of traffic at j-root: 5.7B queries
+//! from 4.1M distinct resolvers, of which 723K query only for bogus TLDs;
+//! 61.0% of queries name bogus TLDs, 38.4% are repeats an ideal cache would
+//! have absorbed, and once resolvers are allowed a fresh lookup per 15
+//! minutes, 3.3% of queries remain valid. The DITL capture itself is not
+//! redistributable, so this module generates traces with the same
+//! *structure* (DESIGN.md §2): a population mixing
+//!
+//! * **bogus-only resolvers** — misconfigured devices that leak queries for
+//!   names like `local`, `belkin` or `corp` and nothing else,
+//! * **normal resolvers** — each interested in a handful of TLDs (drawn
+//!   from a heavy-tailed popularity distribution with an adoption discount
+//!   for recently-delegated TLDs), issuing *bursts* of repeated queries
+//!   because real resolver caches are imperfect.
+//!
+//! Default mixture weights are calibrated so the §2.2 classifier reproduces
+//! the paper's table; every weight is exposed for sweeps.
+
+use rootless_util::rng::DetRng;
+
+/// Labels misconfigured clients leak toward the root. The classic offenders
+/// measured in root traffic studies, padded with generated junk.
+pub const BOGUS_SEED_LABELS: [&str; 24] = [
+    "local", "home", "lan", "corp", "internal", "localdomain", "belkin", "dlink", "router",
+    "invalid", "wpad", "domain", "intranet", "private", "workgroup", "mshome", "dlinkrouter",
+    "airdream", "totolink", "zyxel-usg", "openstacklocal", "ctc", "dhcp", "localnet",
+];
+
+/// Workload configuration (defaults reproduce the paper's proportions at
+/// 1/1000 scale).
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Total queries in the day (paper: 5.7B; default 5.7M = 1/1000).
+    pub total_queries: u64,
+    /// Number of distinct resolvers (paper: 4.1M; default 4.1K).
+    pub resolvers: u32,
+    /// Fraction of resolvers that only send bogus queries (723K/4.1M).
+    pub bogus_only_resolver_fraction: f64,
+    /// Fraction of all queries naming bogus TLDs (61.0%).
+    pub bogus_query_fraction: f64,
+    /// Share of bogus queries emitted by the bogus-only population.
+    pub bogus_only_share: f64,
+    /// Mean distinct valid TLDs a normal resolver touches in the day.
+    pub tlds_per_resolver: f64,
+    /// Mean 15-minute windows in which a (resolver, TLD) pair is active.
+    pub windows_per_pair: f64,
+    /// Number of valid TLDs in the root zone (paper era: 1,532).
+    pub valid_tld_count: usize,
+    /// Zipf exponent for TLD popularity.
+    pub popularity_exponent: f64,
+    /// Number of distinct bogus labels in circulation.
+    pub bogus_label_count: usize,
+    /// Indices ≥ this count as "recently delegated" and get the adoption
+    /// discount (the §5.3 new-TLD effect).
+    pub new_tld_start: usize,
+    /// Adoption discount applied to the newest TLD (ramps linearly back to
+    /// 1.0 at `new_tld_start`).
+    pub newest_tld_discount: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            total_queries: 5_700_000,
+            resolvers: 4_100,
+            bogus_only_resolver_fraction: 723.0 / 4_100.0,
+            bogus_query_fraction: 0.61,
+            bogus_only_share: 0.55,
+            tlds_per_resolver: 8.4,
+            windows_per_pair: 6.6,
+            valid_tld_count: 1_532,
+            popularity_exponent: 1.0,
+            bogus_label_count: 400,
+            new_tld_start: 1_450,
+            newest_tld_discount: 1e-3,
+            seed: 0xD17_2018,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// A small configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        WorkloadConfig {
+            total_queries: 60_000,
+            resolvers: 200,
+            valid_tld_count: 300,
+            new_tld_start: 280,
+            ..WorkloadConfig::default()
+        }
+    }
+}
+
+/// The generated pool of bogus labels.
+pub fn bogus_labels(count: usize, seed: u64) -> Vec<String> {
+    let mut out: Vec<String> = BOGUS_SEED_LABELS.iter().map(|s| s.to_string()).collect();
+    let mut rng = DetRng::seed_from_u64(seed ^ 0xb065);
+    while out.len() < count {
+        // Device-ish junk: e.g. "cam-2819", "nas73", random words.
+        let style = rng.below(3);
+        let label = match style {
+            0 => format!("device-{}", rng.below(100_000)),
+            1 => format!("host{}", rng.below(10_000)),
+            _ => {
+                let mut w = String::new();
+                for _ in 0..(3 + rng.below(8)) {
+                    w.push((b'a' + rng.below(26) as u8) as char);
+                }
+                w
+            }
+        };
+        if !out.contains(&label) {
+            out.push(label);
+        }
+    }
+    out.truncate(count);
+    out
+}
+
+/// Popularity weights over valid TLD indices (index = growth order, so high
+/// indices are the newest TLDs). Zipf by rank with an adoption discount on
+/// the new-TLD tail.
+pub fn tld_weights(cfg: &WorkloadConfig) -> Vec<f64> {
+    let n = cfg.valid_tld_count;
+    (0..n)
+        .map(|i| {
+            let base = 1.0 / ((i + 1) as f64).powf(cfg.popularity_exponent);
+            if i >= cfg.new_tld_start && n > cfg.new_tld_start {
+                // Linear ramp in log-space from 1.0 at new_tld_start to
+                // `newest_tld_discount` at the newest index.
+                let frac = (i - cfg.new_tld_start) as f64 / (n - cfg.new_tld_start) as f64;
+                base * cfg.newest_tld_discount.powf(frac)
+            } else {
+                base
+            }
+        })
+        .collect()
+}
+
+/// Per-resolver behavioural class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResolverClass {
+    /// Sends only bogus queries.
+    BogusOnly,
+    /// Ordinary recursive resolver with imperfect caching.
+    Normal,
+}
+
+/// Assigns classes deterministically.
+pub fn classify_resolvers(cfg: &WorkloadConfig) -> Vec<ResolverClass> {
+    let mut rng = DetRng::seed_from_u64(cfg.seed ^ 0xc1a5);
+    (0..cfg.resolvers)
+        .map(|_| {
+            if rng.chance(cfg.bogus_only_resolver_fraction) {
+                ResolverClass::BogusOnly
+            } else {
+                ResolverClass::Normal
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bogus_labels_unique_and_sized() {
+        let labels = bogus_labels(400, 1);
+        assert_eq!(labels.len(), 400);
+        let set: std::collections::HashSet<&String> = labels.iter().collect();
+        assert_eq!(set.len(), 400);
+        assert!(labels.contains(&"local".to_string()));
+    }
+
+    #[test]
+    fn weights_are_heavy_tailed() {
+        let cfg = WorkloadConfig::default();
+        let w = tld_weights(&cfg);
+        assert_eq!(w.len(), 1_532);
+        assert!(w[0] > w[100] * 50.0, "com must dwarf rank 100");
+        // Newest TLD gets the adoption discount on top of its rank.
+        let zipf_tail = 1.0 / 1_532f64.powf(1.0);
+        assert!(w[1_531] < zipf_tail * 0.01, "newest weight {} not discounted", w[1_531]);
+    }
+
+    #[test]
+    fn class_mix_matches_fraction() {
+        let cfg = WorkloadConfig::default();
+        let classes = classify_resolvers(&cfg);
+        let bogus = classes.iter().filter(|c| **c == ResolverClass::BogusOnly).count();
+        let frac = bogus as f64 / classes.len() as f64;
+        assert!((frac - 723.0 / 4_100.0).abs() < 0.03, "bogus-only fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = WorkloadConfig::tiny();
+        assert_eq!(classify_resolvers(&cfg), classify_resolvers(&cfg));
+        assert_eq!(bogus_labels(100, 5), bogus_labels(100, 5));
+    }
+}

@@ -1,0 +1,276 @@
+//! Trace generation: one day of root-bound queries in a compact form.
+
+use rootless_util::rng::DetRng;
+
+use crate::population::{classify_resolvers, tld_weights, ResolverClass, WorkloadConfig};
+
+/// Seconds in the trace day.
+pub const DAY_SECS: u32 = 86_400;
+/// 15-minute windows per day (the §2.2 relaxed cache model).
+pub const WINDOWS_PER_DAY: u32 = 96;
+
+/// What a query asked for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryName {
+    /// Index into the valid TLD table.
+    ValidTld(u32),
+    /// Index into the bogus label pool.
+    BogusTld(u32),
+}
+
+/// One query in the trace.
+#[derive(Clone, Copy, Debug)]
+pub struct Query {
+    /// Second-of-day timestamp.
+    pub time: u32,
+    /// Resolver id.
+    pub resolver: u32,
+    /// TLD of the queried name.
+    pub name: QueryName,
+}
+
+impl Query {
+    /// The 15-minute window this query falls in.
+    pub fn window(&self) -> u32 {
+        self.time / (DAY_SECS / WINDOWS_PER_DAY)
+    }
+}
+
+/// A generated one-day trace, sorted by time.
+pub struct Trace {
+    /// The queries.
+    pub queries: Vec<Query>,
+    /// Resolver classes used.
+    pub classes: Vec<ResolverClass>,
+    /// The config that produced it.
+    pub config: WorkloadConfig,
+}
+
+/// Generates the trace for `cfg`.
+///
+/// Budget split: `bogus_query_fraction` of queries are bogus, divided
+/// between bogus-only resolvers (`bogus_only_share`) and normal resolvers;
+/// the valid remainder is distributed over (resolver, TLD) pairs as bursts
+/// within a few 15-minute windows, which is what makes the ideal-cache and
+/// 15-minute classifications differ.
+pub fn generate(cfg: &WorkloadConfig) -> Trace {
+    let mut rng = DetRng::seed_from_u64(cfg.seed);
+    let classes = classify_resolvers(cfg);
+    let bogus_only: Vec<u32> = (0..cfg.resolvers)
+        .filter(|&r| classes[r as usize] == ResolverClass::BogusOnly)
+        .collect();
+    let normal: Vec<u32> = (0..cfg.resolvers)
+        .filter(|&r| classes[r as usize] == ResolverClass::Normal)
+        .collect();
+
+    let weights = tld_weights(cfg);
+    let total_weight: f64 = weights.iter().sum();
+    // Cumulative distribution for fast sampling.
+    let cdf: Vec<f64> = {
+        let mut acc = 0.0;
+        weights
+            .iter()
+            .map(|w| {
+                acc += w / total_weight;
+                acc
+            })
+            .collect()
+    };
+    let sample_tld = |rng: &mut DetRng| -> u32 {
+        let u = rng.next_f64();
+        match cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i as u32,
+            Err(i) => (i.min(cdf.len() - 1)) as u32,
+        }
+    };
+
+    let bogus_total = (cfg.total_queries as f64 * cfg.bogus_query_fraction) as u64;
+    let bogus_from_bogus_only = (bogus_total as f64 * cfg.bogus_only_share) as u64;
+    let bogus_from_normal = bogus_total - bogus_from_bogus_only;
+    let valid_total = cfg.total_queries - bogus_total;
+
+    let mut queries: Vec<Query> = Vec::with_capacity(cfg.total_queries as usize);
+
+    // Bogus-only resolvers: per-resolver volume is heavy-tailed (one stuck
+    // device can hammer the roots all day).
+    if !bogus_only.is_empty() {
+        let weights: Vec<f64> = bogus_only.iter().map(|_| rng.pareto(1.0, 1.2)).collect();
+        let wsum: f64 = weights.iter().sum();
+        let mut emitted = 0u64;
+        for (i, &r) in bogus_only.iter().enumerate() {
+            let share = ((weights[i] / wsum) * bogus_from_bogus_only as f64) as u64;
+            // Every bogus-only resolver emits at least one query so the
+            // distinct-resolver count matches the class assignment.
+            let count = share.max(1);
+            emitted += count;
+            for _ in 0..count {
+                queries.push(Query {
+                    time: rng.below(DAY_SECS as u64) as u32,
+                    resolver: r,
+                    name: QueryName::BogusTld(rng.below(cfg.bogus_label_count as u64) as u32),
+                });
+            }
+        }
+        // Per-resolver truncation undershoots the budget; top up from random
+        // bogus-only resolvers so totals stay predictable.
+        while emitted < bogus_from_bogus_only {
+            let r = bogus_only[rng.index(bogus_only.len())];
+            queries.push(Query {
+                time: rng.below(DAY_SECS as u64) as u32,
+                resolver: r,
+                name: QueryName::BogusTld(rng.below(cfg.bogus_label_count as u64) as u32),
+            });
+            emitted += 1;
+        }
+    }
+
+    // Normal resolvers: bogus background noise...
+    if !normal.is_empty() {
+        for _ in 0..bogus_from_normal {
+            let r = normal[rng.index(normal.len())];
+            queries.push(Query {
+                time: rng.below(DAY_SECS as u64) as u32,
+                resolver: r,
+                name: QueryName::BogusTld(rng.below(cfg.bogus_label_count as u64) as u32),
+            });
+        }
+
+        // ...plus the valid workload: (resolver, TLD) pairs with bursty
+        // repeats.
+        let target_pairs =
+            ((normal.len() as f64) * cfg.tlds_per_resolver).max(1.0) as u64;
+        let mean_queries_per_pair = valid_total as f64 / target_pairs as f64;
+        let mut emitted = 0u64;
+        let mut pair_index = 0u64;
+        'outer: loop {
+            let r = normal[(pair_index % normal.len() as u64) as usize];
+            pair_index += 1;
+            let tld = sample_tld(&mut rng);
+            // Pair volume: exponential around the mean, at least 1.
+            let volume = (rng.exponential(mean_queries_per_pair).round() as u64).max(1);
+            // Occupied windows: 1 + Poisson-ish around windows_per_pair - 1.
+            let windows = 1 + (rng.exponential((cfg.windows_per_pair - 1.0).max(0.01)).round() as u32)
+                .min(WINDOWS_PER_DAY - 1);
+            let mut slots: Vec<u32> = (0..windows)
+                .map(|_| rng.below(WINDOWS_PER_DAY as u64) as u32)
+                .collect();
+            slots.sort_unstable();
+            slots.dedup();
+            for k in 0..volume {
+                let w = slots[(k % slots.len() as u64) as usize];
+                let base = w * (DAY_SECS / WINDOWS_PER_DAY);
+                queries.push(Query {
+                    time: base + rng.below((DAY_SECS / WINDOWS_PER_DAY) as u64) as u32,
+                    resolver: r,
+                    name: QueryName::ValidTld(tld),
+                });
+                emitted += 1;
+                if emitted >= valid_total {
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    queries.sort_by_key(|q| q.time);
+    Trace { queries, classes, config: cfg.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_trace() -> Trace {
+        generate(&WorkloadConfig::tiny())
+    }
+
+    #[test]
+    fn trace_has_requested_volume() {
+        let t = tiny_trace();
+        let total = t.queries.len() as u64;
+        let want = t.config.total_queries;
+        // Bogus-only minimum-one rule can add a few extras.
+        assert!(
+            total >= want && total < want + t.config.resolvers as u64,
+            "{total} vs {want}"
+        );
+    }
+
+    #[test]
+    fn trace_is_time_sorted() {
+        let t = tiny_trace();
+        assert!(t.queries.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(t.queries.iter().all(|q| q.time < DAY_SECS));
+    }
+
+    #[test]
+    fn bogus_fraction_near_target() {
+        let t = tiny_trace();
+        let bogus = t
+            .queries
+            .iter()
+            .filter(|q| matches!(q.name, QueryName::BogusTld(_)))
+            .count() as f64;
+        let frac = bogus / t.queries.len() as f64;
+        assert!((frac - 0.61).abs() < 0.05, "bogus fraction {frac}");
+    }
+
+    #[test]
+    fn bogus_only_resolvers_send_only_bogus() {
+        let t = tiny_trace();
+        for q in &t.queries {
+            if t.classes[q.resolver as usize] == ResolverClass::BogusOnly {
+                assert!(matches!(q.name, QueryName::BogusTld(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn every_resolver_appears() {
+        let t = tiny_trace();
+        let seen: std::collections::HashSet<u32> = t.queries.iter().map(|q| q.resolver).collect();
+        // Normal resolvers get pairs round-robin, bogus-only get ≥1 query.
+        assert!(
+            seen.len() as f64 > t.config.resolvers as f64 * 0.95,
+            "only {} of {} resolvers appear",
+            seen.len(),
+            t.config.resolvers
+        );
+    }
+
+    #[test]
+    fn window_mapping() {
+        let q = Query { time: 0, resolver: 0, name: QueryName::BogusTld(0) };
+        assert_eq!(q.window(), 0);
+        let q = Query { time: 86_399, resolver: 0, name: QueryName::BogusTld(0) };
+        assert_eq!(q.window(), 95);
+        let q = Query { time: 900, resolver: 0, name: QueryName::BogusTld(0) };
+        assert_eq!(q.window(), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = tiny_trace();
+        let b = tiny_trace();
+        assert_eq!(a.queries.len(), b.queries.len());
+        assert!(a
+            .queries
+            .iter()
+            .zip(&b.queries)
+            .all(|(x, y)| x.time == y.time && x.resolver == y.resolver && x.name == y.name));
+    }
+
+    #[test]
+    fn valid_queries_prefer_popular_tlds() {
+        let t = tiny_trace();
+        let mut counts = vec![0u64; t.config.valid_tld_count];
+        for q in &t.queries {
+            if let QueryName::ValidTld(i) = q.name {
+                counts[i as usize] += 1;
+            }
+        }
+        let head: u64 = counts[..10].iter().sum();
+        let tail: u64 = counts[t.config.valid_tld_count - 10..].iter().sum();
+        assert!(head > tail * 5, "head {head} tail {tail}");
+    }
+}

@@ -1,0 +1,295 @@
+//! Chain of trust: root trust anchor → root DNSKEY → TLD DS → TLD DNSKEY →
+//! TLD data (RFC 4035 §5 structure over the simulated algorithm).
+//!
+//! §3 of the paper leans on exactly this property: a resolver holding the
+//! root trust anchor can verify a downloaded root zone, and — because the
+//! root zone carries DS records — everything below it verifies without
+//! trusting any server or path. This module builds and validates such
+//! hierarchies so the experiments can show that neither eliminating the
+//! root *servers* nor swapping the distribution channel weakens the chain.
+
+use std::collections::HashMap;
+
+use rootless_proto::name::Name;
+use rootless_proto::rr::{Dnskey, RData, RType};
+use rootless_util::sha256::sha256;
+use rootless_zone::zone::Zone;
+
+use crate::keys::{ZoneKey, DS_DIGEST_TYPE, SIM_ALGORITHM};
+use crate::sign::{self, DnssecError};
+
+/// A fully signed root + TLD hierarchy.
+pub struct SignedHierarchy {
+    /// The signed root zone, carrying real DS records for every TLD key.
+    pub root_zone: Zone,
+    /// The root signing key (its owner is the trust anchor).
+    pub root_key: ZoneKey,
+    /// Signed TLD zones by name.
+    pub tld_zones: HashMap<Name, Zone>,
+    /// TLD signing keys by name.
+    pub tld_keys: HashMap<Name, ZoneKey>,
+}
+
+/// Chain-validation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// The root zone itself failed validation.
+    Root(DnssecError),
+    /// The root zone has no DS RRset for this TLD (insecure delegation).
+    NoDs(String),
+    /// The TLD zone has no DNSKEY.
+    NoDnskey(String),
+    /// No DS digest matches any TLD DNSKEY.
+    DsMismatch(String),
+    /// The TLD zone failed validation under its (DS-matched) key.
+    TldZone(DnssecError),
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::Root(e) => write!(f, "root zone invalid: {e}"),
+            ChainError::NoDs(t) => write!(f, "no DS for {t} in the root zone"),
+            ChainError::NoDnskey(t) => write!(f, "no DNSKEY in the {t} zone"),
+            ChainError::DsMismatch(t) => write!(f, "DS/DNSKEY mismatch for {t}"),
+            ChainError::TldZone(e) => write!(f, "TLD zone invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// The DS digest for (`owner`, `key`): SHA-256 over owner canonical wire ||
+/// DNSKEY RDATA (RFC 4034 §5.1.4).
+pub fn ds_digest(owner: &Name, key: &Dnskey) -> Vec<u8> {
+    let mut buf = owner.canonical_wire();
+    buf.extend_from_slice(&key.flags.to_be_bytes());
+    buf.push(key.protocol);
+    buf.push(key.algorithm);
+    buf.extend_from_slice(&key.public_key);
+    sha256(&buf).to_vec()
+}
+
+/// Signs a root zone and a set of TLD zones into a consistent hierarchy:
+/// per-TLD keys are generated from `seed`, the root zone's DS records are
+/// replaced with digests of the real TLD keys, and every zone is RRset-signed.
+pub fn sign_hierarchy(
+    root: &Zone,
+    tld_zones: Vec<Zone>,
+    seed: u64,
+    inception: u32,
+    expiration: u32,
+) -> SignedHierarchy {
+    let root_key = ZoneKey::generate(Name::root(), true, seed);
+    let mut unsigned_root = root.clone();
+    let mut signed_tlds = HashMap::new();
+    let mut tld_keys = HashMap::new();
+
+    for zone in tld_zones {
+        let tld = zone.origin().clone();
+        let label_seed = tld
+            .to_string()
+            .bytes()
+            .fold(seed ^ 0x71d, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
+        let key = ZoneKey::generate(tld.clone(), false, label_seed);
+        // Parent side: replace whatever DS the synthetic zone carried with
+        // the real digest of this key.
+        unsigned_root.remove_rrset(&tld, RType::DS);
+        unsigned_root
+            .insert(key.ds(86_400))
+            .expect("tld within root");
+        // Child side: sign the TLD zone with its key.
+        let signed = sign::sign_zone(&zone, &key, inception, expiration);
+        signed_tlds.insert(tld.clone(), signed);
+        tld_keys.insert(tld, key);
+    }
+
+    let root_zone = sign::sign_zone(&unsigned_root, &root_key, inception, expiration);
+    SignedHierarchy { root_zone, root_key, tld_zones: signed_tlds, tld_keys }
+}
+
+/// Validates the chain for one TLD at time `now`:
+///
+/// 1. the root zone validates under the trust anchor;
+/// 2. the root zone's DS RRset for the TLD matches one of the TLD zone's
+///    DNSKEYs (by key tag, algorithm and digest);
+/// 3. the TLD zone validates under that key.
+pub fn validate_chain(
+    root_zone: &Zone,
+    anchor: &ZoneKey,
+    tld_zone: &Zone,
+    now: u32,
+) -> Result<(), ChainError> {
+    sign::validate_zone(root_zone, anchor, now).map_err(ChainError::Root)?;
+
+    let tld = tld_zone.origin().clone();
+    let ds_set = root_zone
+        .get(&tld, RType::DS)
+        .ok_or_else(|| ChainError::NoDs(tld.to_string()))?;
+    let key_set = tld_zone
+        .get(&tld, RType::DNSKEY)
+        .ok_or_else(|| ChainError::NoDnskey(tld.to_string()))?;
+
+    let mut matched: Option<Dnskey> = None;
+    'outer: for ds_rd in ds_set.rdatas() {
+        let RData::Ds(ds) = ds_rd else { continue };
+        if ds.digest_type != DS_DIGEST_TYPE || ds.algorithm != SIM_ALGORITHM {
+            continue;
+        }
+        for key_rd in key_set.rdatas() {
+            let RData::Dnskey(k) = key_rd else { continue };
+            if k.key_tag() == ds.key_tag && ds_digest(&tld, k) == ds.digest {
+                matched = Some(k.clone());
+                break 'outer;
+            }
+        }
+    }
+    let matched = matched.ok_or_else(|| ChainError::DsMismatch(tld.to_string()))?;
+
+    // Rebuild the verification key from the matched DNSKEY (the simulated
+    // scheme publishes the HMAC key; see keys.rs for the substitution note).
+    let tld_key = ZoneKey { zone: tld, flags: matched.flags, key: matched.public_key };
+    sign::validate_zone(tld_zone, &tld_key, now).map_err(ChainError::TldZone)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rootless_proto::rr::Record;
+    use rootless_zone::rootzone::{self, RootZoneConfig};
+    use rootless_zone::rrset::RrSet;
+
+    fn build_hierarchy(tlds: usize) -> SignedHierarchy {
+        let root = rootzone::build(&RootZoneConfig::small(tlds));
+        let tld_zones: Vec<Zone> = root
+            .tlds()
+            .into_iter()
+            .take(3)
+            .enumerate()
+            .map(|(i, tld)| {
+                let server = rootless_server_stub(&tld, i as u64);
+                server
+            })
+            .collect();
+        sign_hierarchy(&root, tld_zones, 0x1357, 0, 1_000_000)
+    }
+
+    // A tiny TLD zone without depending on rootless-server (dev-dep cycle).
+    fn rootless_server_stub(tld: &Name, seed: u64) -> Zone {
+        let mut z = Zone::new(tld.clone());
+        let ns = tld.child("ns1").unwrap();
+        z.insert(Record::new(
+            tld.clone(),
+            86_400,
+            RData::Soa(rootless_proto::rr::Soa {
+                mname: ns.clone(),
+                rname: tld.child("hostmaster").unwrap(),
+                serial: 1,
+                refresh: 1,
+                retry: 1,
+                expire: 1,
+                minimum: 3_600,
+            }),
+        ))
+        .unwrap();
+        z.insert(Record::new(tld.clone(), 172_800, RData::Ns(ns.clone()))).unwrap();
+        z.insert(Record::new(ns, 172_800, RData::A(std::net::Ipv4Addr::new(10, 0, 0, seed as u8 + 1))))
+            .unwrap();
+        z
+    }
+
+    #[test]
+    fn full_chain_validates() {
+        let h = build_hierarchy(10);
+        for (tld, zone) in &h.tld_zones {
+            validate_chain(&h.root_zone, &h.root_key, zone, 100)
+                .unwrap_or_else(|e| panic!("{tld}: {e}"));
+        }
+    }
+
+    #[test]
+    fn wrong_anchor_fails_at_the_root() {
+        let h = build_hierarchy(10);
+        let wrong = ZoneKey::generate(Name::root(), true, 0xbad);
+        let (_, zone) = h.tld_zones.iter().next().unwrap();
+        assert!(matches!(
+            validate_chain(&h.root_zone, &wrong, zone, 100),
+            Err(ChainError::Root(_))
+        ));
+    }
+
+    #[test]
+    fn tampered_tld_zone_fails_below_the_ds() {
+        let h = build_hierarchy(10);
+        let (tld, zone) = h.tld_zones.iter().next().unwrap();
+        let mut tampered = zone.clone();
+        let mut evil = RrSet::new(tld.child("www").unwrap(), RType::A, 60);
+        evil.push(60, RData::A(std::net::Ipv4Addr::new(6, 6, 6, 6)));
+        tampered.insert_rrset(evil).unwrap();
+        assert!(matches!(
+            validate_chain(&h.root_zone, &h.root_key, &tampered, 100),
+            Err(ChainError::TldZone(_))
+        ));
+    }
+
+    #[test]
+    fn swapped_tld_key_fails_at_the_ds() {
+        // A TLD zone re-signed with a different key: the root's DS no longer
+        // matches, so the chain breaks exactly at the delegation.
+        let h = build_hierarchy(10);
+        let (tld, zone) = h.tld_zones.iter().next().unwrap();
+        let unsigned = {
+            // Strip DNSSEC records back out.
+            let mut z = Zone::new(tld.clone());
+            for set in zone.rrsets() {
+                if set.rtype != RType::RRSIG && set.rtype != RType::DNSKEY {
+                    z.insert_rrset(set.clone()).unwrap();
+                }
+            }
+            z
+        };
+        let other_key = ZoneKey::generate(tld.clone(), false, 0xfeed);
+        let resigned = sign::sign_zone(&unsigned, &other_key, 0, 1_000_000);
+        assert!(matches!(
+            validate_chain(&h.root_zone, &h.root_key, &resigned, 100),
+            Err(ChainError::DsMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn unsigned_delegation_reports_no_ds() {
+        let h = build_hierarchy(10);
+        let (_, zone) = h.tld_zones.iter().next().unwrap();
+        let mut root_without_ds = h.root_zone.clone();
+        root_without_ds.remove_rrset(zone.origin(), RType::DS);
+        // Removing the DS invalidates the root zone's own signature set for
+        // that name only if we also dropped the RRSIG; validate_zone skips
+        // RRSIGs without counterpart sets? It requires every non-RRSIG set
+        // signed — DS is gone entirely, so the root still validates; the
+        // chain then stops with NoDs.
+        match validate_chain(&root_without_ds, &h.root_key, zone, 100) {
+            Err(ChainError::NoDs(_)) | Err(ChainError::Root(_)) => {}
+            other => panic!("expected NoDs/Root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ds_digest_is_stable_and_key_specific() {
+        let tld = Name::parse("shop").unwrap();
+        let k1 = ZoneKey::generate(tld.clone(), false, 1);
+        let k2 = ZoneKey::generate(tld.clone(), false, 2);
+        assert_eq!(ds_digest(&tld, &k1.dnskey()), ds_digest(&tld, &k1.dnskey()));
+        assert_ne!(ds_digest(&tld, &k1.dnskey()), ds_digest(&tld, &k2.dnskey()));
+    }
+
+    #[test]
+    fn expired_signatures_fail_the_chain() {
+        let root = rootzone::build(&RootZoneConfig::small(8));
+        let tlds: Vec<Zone> = root.tlds().into_iter().take(1).map(|t| rootless_server_stub(&t, 0)).collect();
+        let h = sign_hierarchy(&root, tlds, 0x42, 0, 50);
+        let (_, zone) = h.tld_zones.iter().next().unwrap();
+        assert!(validate_chain(&h.root_zone, &h.root_key, zone, 100).is_err());
+        validate_chain(&h.root_zone, &h.root_key, zone, 25).unwrap();
+    }
+}

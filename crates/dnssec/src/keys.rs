@@ -1,0 +1,162 @@
+//! Zone signing keys for the simulated DNSSEC scheme.
+//!
+//! **Substitution note (DESIGN.md §2):** real DNSSEC signs RRsets with
+//! public-key algorithms (RSA, ECDSA, Ed25519). No cryptography crates are in
+//! the approved offline set, so this workspace uses algorithm number **250**
+//! (private range): the signature is `HMAC-SHA256(key, data)` and the DNSKEY
+//! record publishes the key itself. Within the simulation the signing key is
+//! held only by the zone publisher, and on-path attackers are modeled as
+//! *not* knowing it — which reproduces the property the paper relies on
+//! ("the integrity of the contents [is] cryptographically secure") without
+//! reproducing the asymmetric math. Nothing here is real security.
+
+use rootless_proto::name::Name;
+use rootless_proto::rr::{Dnskey, Ds, RData, Record};
+use rootless_util::rng::DetRng;
+use rootless_util::sha256;
+
+/// The algorithm number this workspace uses for its simulated scheme.
+pub const SIM_ALGORITHM: u8 = 250;
+/// Digest type used in DS records (2 = SHA-256, as in real deployments).
+pub const DS_DIGEST_TYPE: u8 = 2;
+/// The hash-algorithm number our ZONEMD records carry (private range; the
+/// RFC's value 1 means SHA-384 which we do not implement).
+pub const ZONEMD_HASH_ALG: u8 = 240;
+
+/// A zone signing key (the simulation does not distinguish KSK/ZSK roles
+/// cryptographically, but carries the flag for fidelity).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZoneKey {
+    /// The zone this key signs.
+    pub zone: Name,
+    /// DNSKEY flags: 257 = KSK (SEP bit), 256 = ZSK.
+    pub flags: u16,
+    /// The HMAC key (doubles as the DNSKEY "public key" field).
+    pub key: Vec<u8>,
+}
+
+impl ZoneKey {
+    /// Generates a key for `zone` deterministically from `seed`.
+    pub fn generate(zone: Name, ksk: bool, seed: u64) -> ZoneKey {
+        let mut rng = DetRng::seed_from_u64(seed ^ if ksk { 0x5e9 } else { 0x25c });
+        let key: Vec<u8> = (0..32).map(|_| rng.next_u64() as u8).collect();
+        ZoneKey { zone, flags: if ksk { 257 } else { 256 }, key }
+    }
+
+    /// The DNSKEY RDATA for this key.
+    pub fn dnskey(&self) -> Dnskey {
+        Dnskey {
+            flags: self.flags,
+            protocol: 3,
+            algorithm: SIM_ALGORITHM,
+            public_key: self.key.clone(),
+        }
+    }
+
+    /// The DNSKEY record (TTL matches the root zone's 2-day delegation TTL).
+    pub fn dnskey_record(&self, ttl: u32) -> Record {
+        Record::new(self.zone.clone(), ttl, RData::Dnskey(self.dnskey()))
+    }
+
+    /// RFC 4034 key tag of the DNSKEY.
+    pub fn key_tag(&self) -> u16 {
+        self.dnskey().key_tag()
+    }
+
+    /// The DS record a parent zone would publish for this key: digest over
+    /// `owner canonical wire || DNSKEY rdata` (RFC 4034 §5.1.4).
+    pub fn ds(&self, ttl: u32) -> Record {
+        let mut buf = self.zone.canonical_wire();
+        let k = self.dnskey();
+        buf.extend_from_slice(&k.flags.to_be_bytes());
+        buf.push(k.protocol);
+        buf.push(k.algorithm);
+        buf.extend_from_slice(&k.public_key);
+        let digest = sha256::sha256(&buf).to_vec();
+        Record::new(
+            self.zone.clone(),
+            ttl,
+            RData::Ds(Ds {
+                key_tag: self.key_tag(),
+                algorithm: SIM_ALGORITHM,
+                digest_type: DS_DIGEST_TYPE,
+                digest,
+            }),
+        )
+    }
+
+    /// Signs raw bytes.
+    pub fn sign_bytes(&self, data: &[u8]) -> Vec<u8> {
+        sha256::hmac_sha256(&self.key, data).to_vec()
+    }
+
+    /// Verifies a signature over raw bytes.
+    pub fn verify_bytes(&self, data: &[u8], signature: &[u8]) -> bool {
+        if signature.len() != sha256::DIGEST_LEN {
+            return false;
+        }
+        let mut expect = [0u8; sha256::DIGEST_LEN];
+        expect.copy_from_slice(&self.sign_bytes(data));
+        let mut got = [0u8; sha256::DIGEST_LEN];
+        got.copy_from_slice(signature);
+        sha256::digest_eq(&expect, &got)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> ZoneKey {
+        ZoneKey::generate(Name::root(), true, 42)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(key(), ZoneKey::generate(Name::root(), true, 42));
+        assert_ne!(key().key, ZoneKey::generate(Name::root(), true, 43).key);
+        assert_ne!(key().key, ZoneKey::generate(Name::root(), false, 42).key);
+    }
+
+    #[test]
+    fn ksk_flag() {
+        assert_eq!(key().flags, 257);
+        assert!(key().dnskey().is_ksk());
+        assert_eq!(ZoneKey::generate(Name::root(), false, 1).flags, 256);
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let k = key();
+        let sig = k.sign_bytes(b"the root zone");
+        assert!(k.verify_bytes(b"the root zone", &sig));
+        assert!(!k.verify_bytes(b"a tampered zone", &sig));
+        assert!(!k.verify_bytes(b"the root zone", &sig[..31]));
+    }
+
+    #[test]
+    fn wrong_key_fails_verification() {
+        let k1 = key();
+        let k2 = ZoneKey::generate(Name::root(), true, 99);
+        let sig = k1.sign_bytes(b"data");
+        assert!(!k2.verify_bytes(b"data", &sig));
+    }
+
+    #[test]
+    fn ds_digest_binds_key_and_owner() {
+        let k = key();
+        let ds1 = k.ds(86_400);
+        let ds2 = k.ds(86_400);
+        assert_eq!(ds1, ds2);
+        let other = ZoneKey::generate(Name::parse("com").unwrap(), true, 42);
+        let RData::Ds(d1) = &ds1.rdata else { panic!() };
+        let RData::Ds(d2) = &other.ds(86_400).rdata else { panic!() };
+        assert_ne!(d1.digest, d2.digest);
+    }
+
+    #[test]
+    fn key_tag_matches_dnskey() {
+        let k = key();
+        assert_eq!(k.key_tag(), k.dnskey().key_tag());
+    }
+}

@@ -1,0 +1,32 @@
+//! # rootless-dnssec
+//!
+//! Simulated DNSSEC for the `rootless` workspace: the machinery that lets a
+//! recursive resolver verify a downloaded root zone instead of trusting the
+//! path it arrived over (§3 of the paper: "Cryptographically Sign Root
+//! Zone").
+//!
+//! The workflow is faithful to RFC 4033–4035 / RFC 8976 — canonical RRset
+//! form, RRSIG/DNSKEY/DS records, key tags, validity windows, NSEC denial,
+//! whole-zone digests — but the hard cryptography is HMAC-SHA256 under
+//! algorithm number 250 because no public-key crates are in the approved
+//! offline set. See [`keys`] and DESIGN.md §2 for the substitution argument.
+//!
+//! * [`keys`] — zone keys, DNSKEY/DS records, key tags.
+//! * [`sign`] — per-RRset signing and full-zone validation.
+//! * [`zonemd`] — whole-zone digests (the §3 "sign the entire file"
+//!   optimization) and detached file signatures for non-DNS channels.
+//! * [`nsec`] — authenticated denial chains for the root's NXDOMAIN-heavy
+//!   workload.
+//! * [`chain`] — full chains of trust: anchor → root DNSKEY → TLD DS → TLD
+//!   DNSKEY → TLD data.
+
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod keys;
+pub mod nsec;
+pub mod sign;
+pub mod zonemd;
+
+pub use keys::ZoneKey;
+pub use sign::{sign_zone, validate_zone, DnssecError};

@@ -1,0 +1,157 @@
+//! NSEC chains: authenticated denial of existence (RFC 4034 §4).
+//!
+//! More than 60% of the queries hitting the roots ask for names that do not
+//! exist (§2.2), so the root's *negative* answers matter as much as its
+//! referrals. A signed root zone proves nonexistence with NSEC records
+//! linking every owner name to the next in canonical order; the final record
+//! wraps back to the apex.
+
+use rootless_proto::name::Name;
+use rootless_proto::rr::{RData, RType, Record};
+use rootless_zone::zone::Zone;
+
+/// Builds the NSEC chain for `zone`, returning a copy with one NSEC record
+/// per existing owner name. Must run before RRset signing so the NSECs get
+/// signatures too.
+pub fn build_chain(zone: &Zone) -> Zone {
+    let mut out = zone.clone();
+    // Distinct owner names in canonical order, with their type lists.
+    let mut owners: Vec<Name> = Vec::new();
+    let mut types: std::collections::HashMap<Name, Vec<RType>> = std::collections::HashMap::new();
+    for set in zone.rrsets() {
+        if owners.last() != Some(&set.name) {
+            owners.push(set.name.clone());
+        }
+        types.entry(set.name.clone()).or_default().push(set.rtype);
+    }
+    let ttl = zone.soa().map(|s| s.minimum).unwrap_or(86_400);
+    for (i, owner) in owners.iter().enumerate() {
+        let next = owners[(i + 1) % owners.len()].clone();
+        let mut bitmap = types[owner].clone();
+        bitmap.push(RType::NSEC);
+        bitmap.push(RType::RRSIG);
+        out.insert(Record::new(owner.clone(), ttl, RData::Nsec(next, bitmap)))
+            .expect("nsec owner in zone");
+    }
+    out
+}
+
+/// Finds the NSEC record proving `qname` does not exist: the chain entry
+/// whose owner precedes `qname` and whose next-name follows it (with
+/// wraparound at the apex).
+pub fn denial_for<'a>(zone: &'a Zone, qname: &Name) -> Option<Record> {
+    let mut candidates: Vec<&rootless_zone::rrset::RrSet> =
+        zone.rrsets().filter(|s| s.rtype == RType::NSEC).collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    candidates.sort_by(|a, b| a.name.canonical_cmp(&b.name));
+    for set in &candidates {
+        if let RData::Nsec(next, _) = &set.rdatas()[0] {
+            let after_owner = set.name.canonical_cmp(qname) == std::cmp::Ordering::Less;
+            let before_next = qname.canonical_cmp(next) == std::cmp::Ordering::Less;
+            let wraps = next.canonical_cmp(&set.name) != std::cmp::Ordering::Greater;
+            if (after_owner && before_next) || (wraps && (after_owner || before_next)) {
+                return set.records().into_iter().next();
+            }
+        }
+    }
+    None
+}
+
+/// Checks an NSEC record actually covers (denies) `qname`.
+pub fn covers(nsec: &Record, qname: &Name) -> bool {
+    let RData::Nsec(next, _) = &nsec.rdata else { return false };
+    let after_owner = nsec.name.canonical_cmp(qname) == std::cmp::Ordering::Less;
+    let before_next = qname.canonical_cmp(next) == std::cmp::Ordering::Less;
+    let wraps = next.canonical_cmp(&nsec.name) != std::cmp::Ordering::Greater;
+    (after_owner && before_next) || (wraps && (after_owner || before_next))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rootless_zone::rootzone::{self, RootZoneConfig};
+
+    fn chained_zone() -> Zone {
+        build_chain(&rootzone::build(&RootZoneConfig::small(25)))
+    }
+
+    #[test]
+    fn every_owner_gets_nsec() {
+        let plain = rootzone::build(&RootZoneConfig::small(25));
+        let zone = build_chain(&plain);
+        let owners: std::collections::HashSet<Name> =
+            plain.rrsets().map(|s| s.name.clone()).collect();
+        let nsec_owners: std::collections::HashSet<Name> = zone
+            .rrsets()
+            .filter(|s| s.rtype == RType::NSEC)
+            .map(|s| s.name.clone())
+            .collect();
+        assert_eq!(owners, nsec_owners);
+    }
+
+    #[test]
+    fn chain_is_a_single_cycle() {
+        let zone = chained_zone();
+        let nsecs: Vec<_> = zone.rrsets().filter(|s| s.rtype == RType::NSEC).collect();
+        let start = nsecs[0].name.clone();
+        let mut seen = 0;
+        let mut cursor = start.clone();
+        loop {
+            let set = zone.get(&cursor, RType::NSEC).expect("chain continues");
+            let RData::Nsec(next, _) = &set.rdatas()[0] else { panic!() };
+            cursor = next.clone();
+            seen += 1;
+            assert!(seen <= nsecs.len(), "chain loops early");
+            if cursor == start {
+                break;
+            }
+        }
+        assert_eq!(seen, nsecs.len(), "chain must visit every owner once");
+    }
+
+    #[test]
+    fn denial_found_for_bogus_tld() {
+        let zone = chained_zone();
+        let bogus = Name::parse("zzz-no-such-tld").unwrap();
+        assert!(zone.get(&bogus, RType::NS).is_none());
+        let nsec = denial_for(&zone, &bogus).expect("denial exists");
+        assert!(covers(&nsec, &bogus));
+    }
+
+    #[test]
+    fn denial_for_many_random_absent_names() {
+        let zone = chained_zone();
+        for i in 0..50 {
+            let name = Name::parse(&format!("absent-{i}.example-under-tld")).unwrap();
+            if zone.name_exists(&name) {
+                continue;
+            }
+            let nsec = denial_for(&zone, &name).unwrap_or_else(|| panic!("no denial for {name}"));
+            assert!(covers(&nsec, &name), "{name} not covered by {nsec}");
+        }
+    }
+
+    #[test]
+    fn existing_name_not_covered() {
+        let zone = chained_zone();
+        let tld = zone.tlds()[0].clone();
+        if let Some(nsec) = denial_for(&zone, &tld) {
+            // A denial record may exist structurally, but it must not claim
+            // to cover an existing owner.
+            assert!(!covers(&nsec, &tld), "NSEC covers existing name {tld}");
+        }
+    }
+
+    #[test]
+    fn nsec_bitmap_lists_owner_types() {
+        let plain = rootzone::build(&RootZoneConfig::small(25));
+        let zone = build_chain(&plain);
+        let tld = plain.tlds()[0].clone();
+        let set = zone.get(&tld, RType::NSEC).unwrap();
+        let RData::Nsec(_, types) = &set.rdatas()[0] else { panic!() };
+        assert!(types.contains(&RType::NS));
+        assert!(types.contains(&RType::NSEC));
+    }
+}

@@ -1,0 +1,331 @@
+//! RRset signing and validation (RFC 4034/4035 workflow over the simulated
+//! algorithm) plus whole-zone signing.
+
+use rootless_proto::name::Name;
+use rootless_proto::rr::{RData, RType, Record, Rrsig};
+use rootless_zone::rrset::RrSet;
+use rootless_zone::zone::Zone;
+
+use crate::keys::{ZoneKey, SIM_ALGORITHM};
+
+/// Validation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DnssecError {
+    /// No RRSIG covering the RRset.
+    MissingSignature(String),
+    /// Signature bytes did not verify.
+    BadSignature(String),
+    /// Signature validity window excludes `now`.
+    Expired {
+        /// The RRset whose signature expired.
+        what: String,
+        /// Expiration time (seconds).
+        expiration: u32,
+        /// Validation time (seconds).
+        now: u32,
+    },
+    /// Signature is not yet valid.
+    NotYetValid(String),
+    /// Signer/algorithm/key-tag fields do not match the key.
+    KeyMismatch(String),
+    /// Zone is missing its DNSKEY RRset.
+    MissingDnskey,
+    /// ZONEMD digest mismatch.
+    ZonemdMismatch,
+    /// ZONEMD record missing.
+    MissingZonemd,
+}
+
+impl std::fmt::Display for DnssecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DnssecError::MissingSignature(w) => write!(f, "no RRSIG for {w}"),
+            DnssecError::BadSignature(w) => write!(f, "bad signature on {w}"),
+            DnssecError::Expired { what, expiration, now } => {
+                write!(f, "signature on {what} expired at {expiration}, now {now}")
+            }
+            DnssecError::NotYetValid(w) => write!(f, "signature on {w} not yet valid"),
+            DnssecError::KeyMismatch(w) => write!(f, "signature key fields mismatch on {w}"),
+            DnssecError::MissingDnskey => write!(f, "zone has no DNSKEY RRset"),
+            DnssecError::ZonemdMismatch => write!(f, "ZONEMD digest mismatch"),
+            DnssecError::MissingZonemd => write!(f, "zone has no ZONEMD record"),
+        }
+    }
+}
+
+impl std::error::Error for DnssecError {}
+
+/// The canonical signing buffer for an RRset (RFC 4034 §3.1.8.1): the RRSIG
+/// RDATA with the signature field empty, followed by the RRset in canonical
+/// form (owner lowercased, RDATAs sorted, TTL = original TTL).
+pub fn signing_buffer(sig: &Rrsig, set: &RrSet) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&sig.type_covered.to_u16().to_be_bytes());
+    buf.push(sig.algorithm);
+    buf.push(sig.labels);
+    buf.extend_from_slice(&sig.original_ttl.to_be_bytes());
+    buf.extend_from_slice(&sig.expiration.to_be_bytes());
+    buf.extend_from_slice(&sig.inception.to_be_bytes());
+    buf.extend_from_slice(&sig.key_tag.to_be_bytes());
+    buf.extend_from_slice(&sig.signer.canonical_wire());
+
+    let canon = set.canonicalized();
+    let owner = set.name.canonical_wire();
+    for rdata in canon.rdatas() {
+        buf.extend_from_slice(&owner);
+        buf.extend_from_slice(&set.rtype.to_u16().to_be_bytes());
+        buf.extend_from_slice(&1u16.to_be_bytes()); // class IN
+        buf.extend_from_slice(&sig.original_ttl.to_be_bytes());
+        let rd = rdata.canonical_bytes();
+        buf.extend_from_slice(&(rd.len() as u16).to_be_bytes());
+        buf.extend_from_slice(&rd);
+    }
+    buf
+}
+
+/// Signs one RRset, returning the RRSIG record.
+pub fn sign_rrset(key: &ZoneKey, set: &RrSet, inception: u32, expiration: u32) -> Record {
+    let mut sig = Rrsig {
+        type_covered: set.rtype,
+        algorithm: SIM_ALGORITHM,
+        labels: set.name.label_count() as u8,
+        original_ttl: set.ttl,
+        expiration,
+        inception,
+        key_tag: key.key_tag(),
+        signer: key.zone.clone(),
+        signature: Vec::new(),
+    };
+    let buf = signing_buffer(&sig, set);
+    sig.signature = key.sign_bytes(&buf);
+    Record::new(set.name.clone(), set.ttl, RData::Rrsig(sig))
+}
+
+/// Verifies one RRSIG over one RRset at validation time `now`.
+pub fn verify_rrset(key: &ZoneKey, set: &RrSet, sig: &Rrsig, now: u32) -> Result<(), DnssecError> {
+    let what = format!("{} {}", set.name, set.rtype);
+    if sig.algorithm != SIM_ALGORITHM || sig.signer != key.zone || sig.key_tag != key.key_tag() {
+        return Err(DnssecError::KeyMismatch(what));
+    }
+    if sig.type_covered != set.rtype {
+        return Err(DnssecError::KeyMismatch(what));
+    }
+    if now > sig.expiration {
+        return Err(DnssecError::Expired { what, expiration: sig.expiration, now });
+    }
+    if now < sig.inception {
+        return Err(DnssecError::NotYetValid(what));
+    }
+    let mut unsigned = sig.clone();
+    unsigned.signature = Vec::new();
+    let buf = signing_buffer(&unsigned, set);
+    if key.verify_bytes(&buf, &sig.signature) {
+        Ok(())
+    } else {
+        Err(DnssecError::BadSignature(what))
+    }
+}
+
+/// Signs every RRset in `zone` (skipping RRSIGs themselves), adds the DNSKEY
+/// RRset and its signature, and returns the signed zone.
+///
+/// This is the per-RRset model; [`crate::zonemd`] provides the paper's
+/// "sign the entire root zone file ... validated quickly" optimization.
+pub fn sign_zone(zone: &Zone, key: &ZoneKey, inception: u32, expiration: u32) -> Zone {
+    let mut signed = zone.clone();
+    // DNSKEY at the apex first, so it gets signed below.
+    let dnskey_ttl = 172_800;
+    signed.insert(key.dnskey_record(dnskey_ttl)).expect("dnskey in zone");
+    let sets: Vec<RrSet> = signed
+        .rrsets()
+        .filter(|s| s.rtype != RType::RRSIG)
+        .cloned()
+        .collect();
+    for set in sets {
+        let sig = sign_rrset(key, &set, inception, expiration);
+        signed.insert(sig).expect("rrsig in zone");
+    }
+    signed
+}
+
+/// Validates every non-RRSIG RRset of a signed zone against `key` at `now`.
+/// Returns the number of RRsets verified.
+pub fn validate_zone(zone: &Zone, key: &ZoneKey, now: u32) -> Result<usize, DnssecError> {
+    if zone.get(zone.origin(), RType::DNSKEY).is_none() {
+        return Err(DnssecError::MissingDnskey);
+    }
+    let mut verified = 0;
+    for set in zone.rrsets().filter(|s| s.rtype != RType::RRSIG) {
+        let sigs = zone
+            .get(&set.name, RType::RRSIG)
+            .ok_or_else(|| DnssecError::MissingSignature(format!("{} {}", set.name, set.rtype)))?;
+        let covering: Vec<&Rrsig> = sigs
+            .rdatas()
+            .iter()
+            .filter_map(|rd| match rd {
+                RData::Rrsig(s) if s.type_covered == set.rtype => Some(s),
+                _ => None,
+            })
+            .collect();
+        if covering.is_empty() {
+            return Err(DnssecError::MissingSignature(format!("{} {}", set.name, set.rtype)));
+        }
+        let mut ok = false;
+        let mut last_err = None;
+        for sig in covering {
+            match verify_rrset(key, set, sig, now) {
+                Ok(()) => {
+                    ok = true;
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if !ok {
+            return Err(last_err.expect("at least one covering signature"));
+        }
+        verified += 1;
+    }
+    Ok(verified)
+}
+
+/// Finds the RRSIG covering `rtype` at `name` in a zone, if any.
+pub fn find_signature<'a>(zone: &'a Zone, name: &Name, rtype: RType) -> Option<&'a Rrsig> {
+    zone.get(name, RType::RRSIG).and_then(|sigs| {
+        sigs.rdatas().iter().find_map(|rd| match rd {
+            RData::Rrsig(s) if s.type_covered == rtype => Some(s),
+            _ => None,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rootless_zone::rootzone::{self, RootZoneConfig};
+
+    fn key() -> ZoneKey {
+        ZoneKey::generate(Name::root(), true, 7)
+    }
+
+    fn sample_set() -> RrSet {
+        let mut set = RrSet::new(Name::parse("com").unwrap(), RType::NS, 172_800);
+        set.push(172_800, RData::Ns(Name::parse("a.gtld-servers.net").unwrap()));
+        set.push(172_800, RData::Ns(Name::parse("b.gtld-servers.net").unwrap()));
+        set
+    }
+
+    #[test]
+    fn sign_and_verify_rrset() {
+        let k = key();
+        let set = sample_set();
+        let sig_record = sign_rrset(&k, &set, 100, 10_000);
+        let RData::Rrsig(sig) = &sig_record.rdata else { panic!() };
+        assert!(verify_rrset(&k, &set, sig, 5_000).is_ok());
+    }
+
+    #[test]
+    fn signature_is_case_insensitive_on_owner() {
+        // Canonical form lowercases, so a case-twiddled copy still verifies.
+        let k = key();
+        let set = sample_set();
+        let sig_record = sign_rrset(&k, &set, 0, 10_000);
+        let RData::Rrsig(sig) = &sig_record.rdata else { panic!() };
+        let mut twiddled = RrSet::new(Name::parse("COM").unwrap(), RType::NS, 172_800);
+        twiddled.push(172_800, RData::Ns(Name::parse("A.GTLD-SERVERS.NET").unwrap()));
+        twiddled.push(172_800, RData::Ns(Name::parse("B.gtld-servers.net").unwrap()));
+        assert!(verify_rrset(&k, &twiddled, sig, 5).is_ok());
+    }
+
+    #[test]
+    fn signature_order_independent() {
+        let k = key();
+        let set = sample_set();
+        let sig_record = sign_rrset(&k, &set, 0, 10_000);
+        let RData::Rrsig(sig) = &sig_record.rdata else { panic!() };
+        // Same rdatas inserted in the other order.
+        let mut other = RrSet::new(Name::parse("com").unwrap(), RType::NS, 172_800);
+        other.push(172_800, RData::Ns(Name::parse("b.gtld-servers.net").unwrap()));
+        other.push(172_800, RData::Ns(Name::parse("a.gtld-servers.net").unwrap()));
+        assert!(verify_rrset(&k, &other, sig, 5).is_ok());
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let k = key();
+        let set = sample_set();
+        let sig_record = sign_rrset(&k, &set, 0, 10_000);
+        let RData::Rrsig(sig) = &sig_record.rdata else { panic!() };
+        let mut tampered = set.clone();
+        tampered.push(172_800, RData::Ns(Name::parse("evil.example").unwrap()));
+        assert!(matches!(
+            verify_rrset(&k, &tampered, sig, 5),
+            Err(DnssecError::BadSignature(_))
+        ));
+    }
+
+    #[test]
+    fn expiration_enforced() {
+        let k = key();
+        let set = sample_set();
+        let sig_record = sign_rrset(&k, &set, 100, 200);
+        let RData::Rrsig(sig) = &sig_record.rdata else { panic!() };
+        assert!(verify_rrset(&k, &set, sig, 150).is_ok());
+        assert!(matches!(verify_rrset(&k, &set, sig, 201), Err(DnssecError::Expired { .. })));
+        assert!(matches!(verify_rrset(&k, &set, sig, 50), Err(DnssecError::NotYetValid(_))));
+    }
+
+    #[test]
+    fn wrong_key_detected() {
+        let k = key();
+        let other = ZoneKey::generate(Name::root(), true, 8);
+        let set = sample_set();
+        let sig_record = sign_rrset(&k, &set, 0, 10_000);
+        let RData::Rrsig(sig) = &sig_record.rdata else { panic!() };
+        // Different key tag → KeyMismatch.
+        assert!(matches!(
+            verify_rrset(&other, &set, sig, 5),
+            Err(DnssecError::KeyMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn sign_zone_validates() {
+        let zone = rootzone::build(&RootZoneConfig::small(40));
+        let k = key();
+        let signed = sign_zone(&zone, &k, 0, 1_000_000);
+        let verified = validate_zone(&signed, &k, 500).unwrap();
+        assert!(verified > 40, "verified {verified} RRsets");
+        // DNSKEY present and signed.
+        assert!(signed.get(&Name::root(), RType::DNSKEY).is_some());
+        assert!(find_signature(&signed, &Name::root(), RType::DNSKEY).is_some());
+    }
+
+    #[test]
+    fn validate_zone_rejects_tampered_zone() {
+        let zone = rootzone::build(&RootZoneConfig::small(40));
+        let k = key();
+        let mut signed = sign_zone(&zone, &k, 0, 1_000_000);
+        // Attacker swaps a TLD's nameserver without re-signing.
+        let victim = zone.tlds()[7].clone();
+        let mut evil = RrSet::new(victim.clone(), RType::NS, 172_800);
+        evil.push(172_800, RData::Ns(Name::parse("evil.attacker.example").unwrap()));
+        signed.insert_rrset(evil).unwrap();
+        assert!(validate_zone(&signed, &k, 500).is_err());
+    }
+
+    #[test]
+    fn validate_zone_rejects_expired() {
+        let zone = rootzone::build(&RootZoneConfig::small(10));
+        let k = key();
+        let signed = sign_zone(&zone, &k, 0, 100);
+        assert!(matches!(validate_zone(&signed, &k, 101), Err(DnssecError::Expired { .. })));
+    }
+
+    #[test]
+    fn unsigned_zone_fails_validation() {
+        let zone = rootzone::build(&RootZoneConfig::small(10));
+        let k = key();
+        assert_eq!(validate_zone(&zone, &k, 5), Err(DnssecError::MissingDnskey));
+    }
+}

@@ -1,0 +1,153 @@
+//! ANYCAST — the §1/§4 latency rationale for the fleet, quantified.
+//!
+//! §1: the ~1K-instance replication exists to provide "a server close to
+//! many Internet users and hence ... low delays", and §4 concedes the local
+//! root's performance win is small *because* the fleet already made root
+//! RTTs short. This experiment measures that: the RTT from a resolver
+//! population to its nearest root instance, under the deployment sizes of
+//! 2015-03 (~420 instances), 2017-06 and 2019-05 (985), versus a single
+//! unicast root and versus the local copy (0 ms by construction).
+
+use rootless_netsim::geo::{city_point, GeoPoint};
+use rootless_util::rng::DetRng;
+use rootless_util::stats::Percentiles;
+use rootless_util::time::Date;
+use rootless_zone::history;
+
+use crate::report::{render_rows, Row};
+
+/// Per-deployment RTT distribution.
+pub struct DeploymentRtt {
+    /// Deployment date.
+    pub date: Date,
+    /// Total instances.
+    pub instances: usize,
+    /// RTT (ms) from each resolver to its nearest instance of the *best*
+    /// root letter for that resolver.
+    pub best_letter: Percentiles,
+    /// RTT (ms) to the nearest instance of a single fixed letter (what a
+    /// resolver pinned to one root sees).
+    pub single_letter: Percentiles,
+}
+
+/// Experiment output.
+pub struct AnycastReport {
+    /// One row per deployment date.
+    pub deployments: Vec<DeploymentRtt>,
+    /// Resolvers sampled.
+    pub resolvers: usize,
+}
+
+/// Places `count` instances for a letter deterministically on city anchors.
+fn place_instances(letter: char, count: usize, rng: &mut DetRng) -> Vec<GeoPoint> {
+    (0..count).map(|i| city_point(i * 13 + letter as usize, rng)).collect()
+}
+
+/// Runs the catchment study with `resolvers` sampled client locations.
+pub fn run(resolvers: usize) -> AnycastReport {
+    let mut rng = DetRng::seed_from_u64(0xa27);
+    let clients: Vec<GeoPoint> = (0..resolvers).map(|_| GeoPoint::random(&mut rng)).collect();
+
+    let mut deployments = Vec::new();
+    for date in [Date::new(2015, 3, 15), Date::new(2017, 6, 15), Date::new(2019, 5, 15)] {
+        let mut placement_rng = DetRng::seed_from_u64(0x91ac&0xffff);
+        let per_letter = history::deployment_on(date);
+        let placements: Vec<(char, Vec<GeoPoint>)> = per_letter
+            .iter()
+            .map(|(l, n)| (*l, place_instances(*l, *n, &mut placement_rng)))
+            .collect();
+
+        let mut best = Vec::with_capacity(clients.len());
+        let mut single = Vec::with_capacity(clients.len());
+        for c in &clients {
+            let mut best_ms = f64::INFINITY;
+            for (_, instances) in &placements {
+                let nearest = instances
+                    .iter()
+                    .map(|g| c.rtt(g).as_millis_f64())
+                    .fold(f64::INFINITY, f64::min);
+                best_ms = best_ms.min(nearest);
+            }
+            best.push(best_ms);
+            // The single-letter view: j-root (index 9).
+            let j = &placements[9].1;
+            single.push(j.iter().map(|g| c.rtt(g).as_millis_f64()).fold(f64::INFINITY, f64::min));
+        }
+        deployments.push(DeploymentRtt {
+            date,
+            instances: per_letter.iter().map(|(_, n)| n).sum(),
+            best_letter: Percentiles::new(best),
+            single_letter: Percentiles::new(single),
+        });
+    }
+    AnycastReport { deployments, resolvers }
+}
+
+/// Renders the latency table.
+pub fn render(r: &AnycastReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== ANYCAST (§1/§4): root RTT vs deployment size ({} resolvers) ==\n",
+        r.resolvers
+    ));
+    out.push_str("  date        instances   best-letter p50/p95 ms   j-root p50/p95 ms\n");
+    for d in &r.deployments {
+        out.push_str(&format!(
+            "  {}  {:>9}   {:>9.1} / {:>6.1}      {:>8.1} / {:>6.1}\n",
+            d.date,
+            d.instances,
+            d.best_letter.median(),
+            d.best_letter.q(0.95),
+            d.single_letter.median(),
+            d.single_letter.q(0.95),
+        ));
+    }
+    let first = &r.deployments[0];
+    let last = r.deployments.last().unwrap();
+    let rows = vec![
+        Row::new(
+            "fleet growth lowers tail RTT",
+            "the fleet's raison d'être (§1)",
+            format!(
+                "p95 {:.1} -> {:.1} ms (420 -> 985 instances)",
+                first.best_letter.q(0.95),
+                last.best_letter.q(0.95)
+            ),
+            last.best_letter.q(0.95) <= first.best_letter.q(0.95),
+        ),
+        Row::new(
+            "root RTT already small by 2019",
+            "why §4 calls the local-root saving modest",
+            format!("median {:.1} ms", last.best_letter.median()),
+            // Observed root RTT medians are a few tens of ms; the city-anchor
+            // placement model floors around ~30ms for off-anchor clients.
+            last.best_letter.median() < 45.0,
+        ),
+        Row::new(
+            "13-letter choice beats one letter",
+            "the §4 SRTT selection exists for a reason",
+            format!(
+                "median {:.1} vs {:.1} ms",
+                last.best_letter.median(),
+                last.single_letter.median()
+            ),
+            last.best_letter.median() <= last.single_letter.median(),
+        ),
+    ];
+    out.push_str(&render_rows("ANYCAST checks", &rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_growth_improves_latency() {
+        let r = run(300);
+        let text = render(&r);
+        assert!(!text.contains("DIVERGES"), "{text}");
+        assert_eq!(r.deployments.len(), 3);
+        assert_eq!(r.deployments[2].instances, 985);
+    }
+}

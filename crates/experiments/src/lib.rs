@@ -1,0 +1,44 @@
+//! # rootless-experiments
+//!
+//! The reproduction harness: one module per figure, table and quantitative
+//! claim in *On Eliminating Root Nameservers from the DNS* (HotNets 2019).
+//! Each module exposes `run(...) -> Report` and `render(&Report) -> String`;
+//! the `experiments` binary drives them and `EXPERIMENTS.md` records the
+//! paper-vs-measured outcomes. See DESIGN.md §4 for the experiment index.
+//!
+//! | id | module | paper reference |
+//! |----|--------|-----------------|
+//! | FIG1 | [`fig1`] | Fig. 1, root zone growth |
+//! | FIG2 | [`fig2`] | Fig. 2, root instance counts |
+//! | TRAFFIC | [`traffic`] | §2.2 DITL junk classification |
+//! | ROOTLOAD | [`root_load`] | §2.2 served through real root server code |
+//! | SIZES | [`sizes`] | §2.1/§5.1 hints vs zone file |
+//! | CACHE | [`cache_size`] | §5.1 cache impact |
+//! | EXTRACT | [`extract`] | §5.1 37 ms extraction test |
+//! | DIST | [`distribution`] | §5.2 distribution load |
+//! | TTL | [`ttl_stability`] | §5.2 zone stability |
+//! | LLC | [`new_tld`] | §5.3 new-TLD adoption |
+//! | PERF | [`performance`] | §4 performance |
+//! | ANYCAST | [`anycast`] | §1/§4 fleet-size vs root RTT |
+//! | ROBUST | [`robustness`] | §4 robustness |
+//! | SEC | [`security`] | §4 security (root manipulation) |
+//! | PRIV | [`privacy`] | §4 privacy |
+
+#![warn(missing_docs)]
+
+pub mod anycast;
+pub mod cache_size;
+pub mod distribution;
+pub mod extract;
+pub mod fig1;
+pub mod fig2;
+pub mod new_tld;
+pub mod performance;
+pub mod privacy;
+pub mod report;
+pub mod robustness;
+pub mod root_load;
+pub mod security;
+pub mod sizes;
+pub mod traffic;
+pub mod ttl_stability;

@@ -1,0 +1,107 @@
+//! The `experiments` binary: regenerates every figure, table and claim.
+//!
+//! Usage:
+//!   experiments [all|fig1|fig2|traffic|sizes|cache|extract|dist|ttl|llc|perf|robust|sec|priv] [--fast]
+//!
+//! `--fast` shrinks the workloads for a quick smoke pass; the default runs
+//! paper-comparable scales (a few minutes total).
+
+use rootless_experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let which: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|a| *a != "--fast").collect();
+    let which = if which.is_empty() { vec!["all"] } else { which };
+    let all = which.contains(&"all");
+    let wants = |name: &str| all || which.contains(&name);
+
+    let mut ran = 0;
+    if wants("fig1") {
+        // Exact mode builds one zone per month; fine either way.
+        println!("{}", exp::fig1::render(&exp::fig1::run(!fast)));
+        ran += 1;
+    }
+    if wants("fig2") {
+        println!("{}", exp::fig2::render(&exp::fig2::run()));
+        ran += 1;
+    }
+    if wants("traffic") {
+        let scale = if fast { 8_000 } else { 1_000 };
+        println!("{}", exp::traffic::render(&exp::traffic::run(scale)));
+        ran += 1;
+    }
+    if wants("rootload") {
+        let (scale, instances) = if fast { (20_000, 2) } else { (2_000, 4) };
+        println!("{}", exp::root_load::render(&exp::root_load::run(scale, instances)));
+        ran += 1;
+    }
+    if wants("sizes") {
+        println!("{}", exp::sizes::render(&exp::sizes::run()));
+        ran += 1;
+    }
+    if wants("cache") {
+        let w = if fast {
+            exp::cache_size::CacheWorkload {
+                distinct_names: 7_000,
+                lookups: 70_000,
+                ..exp::cache_size::CacheWorkload::default()
+            }
+        } else {
+            exp::cache_size::CacheWorkload::default()
+        };
+        println!("{}", exp::cache_size::render(&exp::cache_size::run(&w)));
+        ran += 1;
+    }
+    if wants("extract") {
+        let trials = if fast { 50 } else { 1_000 };
+        println!("{}", exp::extract::render(&exp::extract::run(trials)));
+        ran += 1;
+    }
+    if wants("dist") {
+        let (days, tlds) = if fast { (8, 300) } else { (30, 1_532) };
+        println!("{}", exp::distribution::render(&exp::distribution::run(days, tlds)));
+        ran += 1;
+    }
+    if wants("ttl") {
+        let tlds = if fast { 500 } else { 1_532 };
+        println!("{}", exp::ttl_stability::render(&exp::ttl_stability::run(tlds)));
+        ran += 1;
+    }
+    if wants("llc") {
+        let scale = if fast { 4_000 } else { 1_000 };
+        println!("{}", exp::new_tld::render(&exp::new_tld::run(scale)));
+        ran += 1;
+    }
+    if wants("perf") {
+        let (lookups, tlds) = if fast { (400, 30) } else { (3_000, 60) };
+        println!("{}", exp::performance::render(&exp::performance::run(lookups, tlds)));
+        ran += 1;
+    }
+    if wants("anycast") {
+        let resolvers = if fast { 300 } else { 2_000 };
+        println!("{}", exp::anycast::render(&exp::anycast::run(resolvers)));
+        ran += 1;
+    }
+    if wants("robust") {
+        let (lookups, tlds) = if fast { (30, 20) } else { (100, 40) };
+        println!("{}", exp::robustness::render(&exp::robustness::run(lookups, tlds)));
+        ran += 1;
+    }
+    if wants("sec") {
+        let (lookups, tlds) = if fast { (20, 12) } else { (100, 30) };
+        println!("{}", exp::security::render(&exp::security::run(lookups, tlds)));
+        ran += 1;
+    }
+    if wants("priv") {
+        let (lookups, tlds) = if fast { (20, 12) } else { (100, 30) };
+        println!("{}", exp::privacy::render(&exp::privacy::run(lookups, tlds)));
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!(
+            "unknown experiment; choose from: all fig1 fig2 traffic rootload sizes cache extract dist ttl llc perf anycast robust sec priv (plus --fast)"
+        );
+        std::process::exit(2);
+    }
+}

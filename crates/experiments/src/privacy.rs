@@ -1,0 +1,169 @@
+//! PRIV — §4 "Privacy".
+//!
+//! Paper: cleartext queries expose full hostnames to every nameserver on
+//! the resolution path; a root query for `www.sensitive-domain.com` reveals
+//! the full target even though the root only acts on `.com`. QNAME
+//! minimization hides labels in transit; the local root zone removes the
+//! root transactions altogether.
+//!
+//! The experiment counts, per (root mode × QMin) cell, how many cold
+//! lookups exposed the *full* query name to root servers and to TLD
+//! servers.
+
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use rootless_proto::name::Name;
+use rootless_proto::rr::RType;
+use rootless_resolver::harness::{build_network, build_world, WorldConfig};
+use rootless_resolver::resolver::{Resolver, ResolverConfig, RootMode};
+use rootless_util::time::SimTime;
+use rootless_zone::hints::RootHints;
+
+use crate::report::{render_rows, Row};
+
+/// One cell of the exposure matrix.
+pub struct ExposureCell {
+    /// Mode label.
+    pub mode: &'static str,
+    /// QMin enabled?
+    pub qmin: bool,
+    /// Lookups run.
+    pub lookups: usize,
+    /// Lookups whose full qname reached a root server.
+    pub full_name_to_root: usize,
+    /// Any transactions to root servers at all.
+    pub any_root_transactions: usize,
+    /// Lookups whose full qname reached a TLD server.
+    pub full_name_to_tld: usize,
+}
+
+/// Experiment output.
+pub struct PrivReport {
+    /// The matrix.
+    pub cells: Vec<ExposureCell>,
+}
+
+/// Runs the exposure matrix.
+pub fn run(lookups: usize, tlds: usize) -> PrivReport {
+    let world_cfg = WorldConfig { tld_count: tlds, ..WorldConfig::default() };
+    let (_, root_zone) = build_world(&world_cfg);
+    let tld_names = root_zone.tlds();
+    let root_addrs: HashSet<Ipv4Addr> = RootHints::standard().v4_addrs().into_iter().collect();
+
+    let mut cells = Vec::new();
+    for mode in [RootMode::Hints, RootMode::LocalOnDemand] {
+        for qmin in [false, true] {
+            let mut net = build_network(&world_cfg, Arc::clone(&root_zone));
+            let mut resolver = Resolver::new(ResolverConfig {
+                qmin,
+                ..ResolverConfig::with_mode(mode)
+            });
+            if mode.needs_local_zone() {
+                resolver.install_root_zone(SimTime::ZERO, Arc::clone(&root_zone));
+            }
+            let mut cell = ExposureCell {
+                mode: mode.label(),
+                qmin,
+                lookups,
+                full_name_to_root: 0,
+                any_root_transactions: 0,
+                full_name_to_tld: 0,
+            };
+            for i in 0..lookups {
+                let tld = &tld_names[i % tld_names.len()];
+                let qname = Name::parse(&format!("www.domain0.{tld}")).unwrap();
+                resolver.cache = rootless_resolver::cache::Cache::new(
+                    0,
+                    rootless_resolver::cache::Eviction::Lru,
+                );
+                let res = resolver.resolve(SimTime::ZERO, &mut net, &qname, RType::A);
+                let mut root_full = false;
+                let mut root_any = false;
+                let mut tld_full = false;
+                for tx in &res.transactions {
+                    let to_root = root_addrs.contains(&tx.server);
+                    if to_root {
+                        root_any = true;
+                        if tx.qname_sent == qname {
+                            root_full = true;
+                        }
+                    } else if tx.zone.label_count() == 1 && tx.qname_sent == qname {
+                        tld_full = true;
+                    }
+                }
+                cell.full_name_to_root += root_full as usize;
+                cell.any_root_transactions += root_any as usize;
+                cell.full_name_to_tld += tld_full as usize;
+            }
+            cells.push(cell);
+        }
+    }
+    PrivReport { cells }
+}
+
+/// Renders the matrix plus checks.
+pub fn render(r: &PrivReport) -> String {
+    let mut out = String::new();
+    out.push_str("== PRIV (§4): full-qname exposure on cold lookups ==\n");
+    out.push_str("  mode            qmin   root-sees-full  root-transactions  tld-sees-full\n");
+    for c in &r.cells {
+        out.push_str(&format!(
+            "  {:<14} {:>5}   {:>14}   {:>17}   {:>13}\n",
+            c.mode, c.qmin, c.full_name_to_root, c.any_root_transactions, c.full_name_to_tld
+        ));
+    }
+    let find = |mode: &str, qmin: bool| r.cells.iter().find(|c| c.mode == mode && c.qmin == qmin).unwrap();
+    let h = find("hints", false);
+    let hq = find("hints", true);
+    let l = find("local-ondemand", false);
+    let rows = vec![
+        Row::new(
+            "cleartext hints exposes full name to root",
+            "every cold lookup",
+            format!("{}/{}", h.full_name_to_root, h.lookups),
+            h.full_name_to_root == h.lookups,
+        ),
+        Row::new(
+            "QMin hides labels from the root",
+            "\"send only the germane part\"",
+            format!("{}/{}", hq.full_name_to_root, hq.lookups),
+            hq.full_name_to_root == 0 && hq.any_root_transactions == hq.lookups,
+        ),
+        Row::new(
+            "local root removes the transactions",
+            "\"eliminating the need for some transactions\"",
+            format!("{} root transactions", l.any_root_transactions),
+            l.any_root_transactions == 0,
+        ),
+        Row::new(
+            "TLD servers still see full names (no QMin)",
+            "remaining exposure",
+            format!("{}/{}", l.full_name_to_tld, l.lookups),
+            l.full_name_to_tld == l.lookups,
+        ),
+        Row::new(
+            "authoritative server always sees full name",
+            "QMin hides from *ancestors* only",
+            format!("{}/{}", find("local-ondemand", true).full_name_to_tld, l.lookups),
+            // Our TLD servers are authoritative for the leaf names, so even
+            // QMin must reveal the full name to them eventually.
+            find("local-ondemand", true).full_name_to_tld == l.lookups,
+        ),
+    ];
+    out.push_str(&render_rows("PRIV checks", &rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposure_matrix_matches_the_argument() {
+        let r = run(20, 12);
+        let text = render(&r);
+        assert!(!text.contains("DIVERGES"), "{text}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Report plumbing shared by all experiments: paper-vs-measured comparison
+//! rows and simple text tables/plots.
+
+use std::fmt::Write as _;
+
+/// One paper-vs-measured row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// What is being compared.
+    pub metric: String,
+    /// The value the paper reports.
+    pub paper: String,
+    /// What this reproduction measured.
+    pub measured: String,
+    /// Whether the measured value is within the acceptance band.
+    pub ok: bool,
+}
+
+impl Row {
+    /// Builds a row.
+    pub fn new(metric: &str, paper: impl Into<String>, measured: impl Into<String>, ok: bool) -> Row {
+        Row { metric: metric.to_string(), paper: paper.into(), measured: measured.into(), ok }
+    }
+}
+
+/// Renders comparison rows as an aligned table.
+pub fn render_rows(title: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let w_metric = rows.iter().map(|r| r.metric.len()).max().unwrap_or(6).max(6);
+    let w_paper = rows.iter().map(|r| r.paper.len()).max().unwrap_or(5).max(5);
+    let w_meas = rows.iter().map(|r| r.measured.len()).max().unwrap_or(8).max(8);
+    let _ = writeln!(
+        out,
+        "  {:<w_metric$}  {:>w_paper$}  {:>w_meas$}  status",
+        "metric", "paper", "measured"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "  {:<w_metric$}  {:>w_paper$}  {:>w_meas$}  {}",
+            r.metric,
+            r.paper,
+            r.measured,
+            if r.ok { "ok" } else { "DIVERGES" }
+        );
+    }
+    out
+}
+
+/// Renders a `(label, value)` series as an ASCII bar chart (for the figure
+/// reproductions).
+pub fn render_series(title: &str, series: &[(String, f64)], width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let max = series.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(1e-9);
+    let w_label = series.iter().map(|(l, _)| l.len()).max().unwrap_or(4);
+    for (label, value) in series {
+        let bar = "#".repeat(((value / max) * width as f64).round() as usize);
+        let _ = writeln!(out, "  {label:<w_label$} {value:>12.0} {bar}");
+    }
+    out
+}
+
+/// True when `measured` is within `tolerance` (relative) of `paper`.
+pub fn within(measured: f64, paper: f64, tolerance: f64) -> bool {
+    if paper == 0.0 {
+        return measured.abs() <= tolerance;
+    }
+    ((measured - paper) / paper).abs() <= tolerance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_render() {
+        let rows = vec![
+            Row::new("total queries", "5.7B", "5.7M (1/1000)", true),
+            Row::new("bogus fraction", "61.0%", "60.4%", true),
+        ];
+        let text = render_rows("TRAFFIC", &rows);
+        assert!(text.contains("TRAFFIC"));
+        assert!(text.contains("61.0%"));
+        assert!(text.contains("ok"));
+    }
+
+    #[test]
+    fn series_render() {
+        let series = vec![("2015".to_string(), 420.0), ("2019".to_string(), 985.0)];
+        let text = render_series("FIG2", &series, 20);
+        assert!(text.lines().count() >= 3);
+        let l2015 = text.lines().nth(1).unwrap().matches('#').count();
+        let l2019 = text.lines().nth(2).unwrap().matches('#').count();
+        assert!(l2019 > l2015);
+    }
+
+    #[test]
+    fn within_tolerance() {
+        assert!(within(61.5, 61.0, 0.05));
+        assert!(!within(75.0, 61.0, 0.05));
+        assert!(within(0.0, 0.0, 0.01));
+    }
+}

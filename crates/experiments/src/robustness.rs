@@ -1,0 +1,234 @@
+//! ROBUST — §4 "Robustness".
+//!
+//! Paper: eliminating the roots removes one dependency from every lookup;
+//! in practice the anycast fleet already absorbs failures, so the benefit is
+//! "fairly minor ... at a much lower cost". Out-of-band refresh has natural
+//! slack: a failed 42-hour update leaves a 6-hour retry window.
+//!
+//! Part 1 sweeps root-letter outages (k of 13 letters down) and measures
+//! cold-lookup success for a hints resolver vs a local-root resolver.
+//! Part 2 sweeps distribution-source outage durations against the refresh
+//! policy and reports whether resolution was ever impacted.
+
+use std::sync::Arc;
+
+use rootless_core::manager::{RefreshPolicy, RootZoneManager, Verification};
+use rootless_core::sources::{FlakySource, MirrorZoneSource};
+use rootless_dnssec::keys::ZoneKey;
+use rootless_proto::name::Name;
+use rootless_proto::rr::RType;
+use rootless_resolver::harness::{build_network, build_world, WorldConfig};
+use rootless_resolver::resolver::{Resolver, ResolverConfig, RootMode};
+use rootless_util::time::{Date, SimDuration, SimTime};
+use rootless_zone::churn::{ChurnConfig, Timeline};
+use rootless_zone::hints::RootHints;
+use rootless_zone::rootzone::RootZoneConfig;
+
+use crate::report::{render_rows, Row};
+
+/// Result of one outage level.
+pub struct OutageRow {
+    /// Root letters taken down.
+    pub letters_down: usize,
+    /// Cold-lookup success rate, hints mode.
+    pub hints_success: f64,
+    /// Mean cold latency (ms), hints mode (successful lookups).
+    pub hints_latency_ms: f64,
+    /// Cold-lookup success rate, local mode.
+    pub local_success: f64,
+}
+
+/// Refresh-outage sweep entry.
+pub struct RefreshRow {
+    /// Hours the distribution source was down (starting at the 42h mark).
+    pub outage_hours: u64,
+    /// Whether the local copy ever expired (lookup impact).
+    pub expired: bool,
+    /// Hours of lookup impact (copy past expiry).
+    pub impact_hours: u64,
+}
+
+/// Experiment output.
+pub struct RobustReport {
+    /// Outage sweep.
+    pub outages: Vec<OutageRow>,
+    /// Refresh sweep.
+    pub refresh: Vec<RefreshRow>,
+}
+
+/// Runs both parts.
+pub fn run(lookups_per_level: usize, tlds: usize) -> RobustReport {
+    let world_cfg = WorldConfig { tld_count: tlds, ..WorldConfig::default() };
+    let (_, root_zone) = build_world(&world_cfg);
+    let root_addrs = RootHints::standard().v4_addrs();
+    let tld_names = root_zone.tlds();
+
+    let mut outages = Vec::new();
+    for letters_down in [0usize, 4, 8, 12, 13] {
+        // Hints resolver with a cold cache per level.
+        let mut net = build_network(&world_cfg, Arc::clone(&root_zone));
+        for addr in root_addrs.iter().take(letters_down) {
+            net.down.insert(*addr);
+        }
+        let mut hints = Resolver::new(ResolverConfig {
+            // Keep retry cost representative but bounded.
+            max_tries: 13,
+            ..ResolverConfig::default()
+        });
+        let mut ok = 0;
+        let mut lat = 0.0;
+        for i in 0..lookups_per_level {
+            let tld = &tld_names[i % tld_names.len()];
+            let qname = Name::parse(&format!("www.domain0.{tld}")).unwrap();
+            // Fresh resolver state per lookup: we want *cold* behaviour.
+            hints.cache = rootless_resolver::cache::Cache::new(0, rootless_resolver::cache::Eviction::Lru);
+            let res = hints.resolve(SimTime::ZERO, &mut net, &qname, RType::A);
+            if res.outcome.is_answer() {
+                ok += 1;
+                lat += res.latency.as_millis_f64();
+            }
+        }
+        let hints_success = ok as f64 / lookups_per_level as f64;
+        let hints_latency_ms = if ok > 0 { lat / ok as f64 } else { f64::NAN };
+
+        let mut local = Resolver::new(ResolverConfig::with_mode(RootMode::LocalOnDemand));
+        local.install_root_zone(SimTime::ZERO, Arc::clone(&root_zone));
+        let mut ok_local = 0;
+        for i in 0..lookups_per_level {
+            let tld = &tld_names[i % tld_names.len()];
+            let qname = Name::parse(&format!("www.domain0.{tld}")).unwrap();
+            local.cache = rootless_resolver::cache::Cache::new(0, rootless_resolver::cache::Eviction::Lru);
+            let res = local.resolve(SimTime::ZERO, &mut net, &qname, RType::A);
+            if res.outcome.is_answer() {
+                ok_local += 1;
+            }
+        }
+        outages.push(OutageRow {
+            letters_down,
+            hints_success,
+            hints_latency_ms,
+            local_success: ok_local as f64 / lookups_per_level as f64,
+        });
+    }
+
+    // Part 2: refresh-loop resilience.
+    let key = ZoneKey::generate(Name::root(), true, 0x0b07);
+    let timeline = Arc::new(Timeline::generate(
+        RootZoneConfig::small(tlds.min(120)),
+        ChurnConfig::default(),
+        Date::new(2019, 4, 1),
+        12,
+    ));
+    let mut refresh = Vec::new();
+    for outage_hours in [0u64, 3, 5, 12, 48] {
+        let from = SimTime::ZERO + SimDuration::from_hours(42);
+        let to = from + SimDuration::from_hours(outage_hours);
+        let source = FlakySource::new(
+            MirrorZoneSource::new(Arc::clone(&timeline), key.clone()),
+            vec![(from, to)],
+        );
+        let mut manager = RootZoneManager::new(
+            Box::new(source),
+            Verification::Zonemd { key: Some(key.clone()) },
+            RefreshPolicy::default(),
+        );
+        manager.tick(SimTime::ZERO);
+        let mut impact_hours = 0u64;
+        for h in 1..=96u64 {
+            let now = SimTime::ZERO + SimDuration::from_hours(h);
+            if now >= manager.next_attempt() {
+                manager.tick(now);
+            }
+            if !manager.is_serving(now) {
+                impact_hours += 1;
+            }
+        }
+        refresh.push(RefreshRow { outage_hours, expired: impact_hours > 0, impact_hours });
+    }
+
+    RobustReport { outages, refresh }
+}
+
+/// Renders both sweeps.
+pub fn render(r: &RobustReport) -> String {
+    let mut out = String::new();
+    out.push_str("== ROBUST (§4): root outages and refresh resilience ==\n");
+    out.push_str("  root letters down   hints success   hints cold ms   local success\n");
+    for row in &r.outages {
+        out.push_str(&format!(
+            "  {:>17}   {:>12.0}%   {:>13.1}   {:>12.0}%\n",
+            row.letters_down,
+            row.hints_success * 100.0,
+            row.hints_latency_ms,
+            row.local_success * 100.0
+        ));
+    }
+    out.push_str("  distribution outage (h)   copy expired   lookup-impact hours\n");
+    for row in &r.refresh {
+        out.push_str(&format!(
+            "  {:>22}   {:>12}   {:>19}\n",
+            row.outage_hours, row.expired, row.impact_hours
+        ));
+    }
+
+    let all13 = r.outages.last().unwrap();
+    let partial = &r.outages[1];
+    let short = r.refresh.iter().find(|x| x.outage_hours == 5).unwrap();
+    let long = r.refresh.iter().find(|x| x.outage_hours == 48).unwrap();
+    let rows = vec![
+        Row::new(
+            "partial outage, hints mode",
+            "anycast absorbs it",
+            format!("{:.0}% success, 4 letters down", partial.hints_success * 100.0),
+            partial.hints_success > 0.99,
+        ),
+        Row::new(
+            "all 13 letters down, hints",
+            "lookups fail",
+            format!("{:.0}% success", all13.hints_success * 100.0),
+            all13.hints_success == 0.0,
+        ),
+        Row::new(
+            "all 13 letters down, local",
+            "immune",
+            format!("{:.0}% success", all13.local_success * 100.0),
+            all13.local_success == 1.0,
+        ),
+        Row::new(
+            "latency rises as letters fail",
+            "farther instances / retries",
+            format!(
+                "{:.1} -> {:.1} ms",
+                r.outages[0].hints_latency_ms,
+                r.outages[3].hints_latency_ms
+            ),
+            r.outages[3].hints_latency_ms >= r.outages[0].hints_latency_ms,
+        ),
+        Row::new(
+            "≤6h source outage",
+            "absorbed by retry window",
+            format!("impact {} h", short.impact_hours),
+            !short.expired,
+        ),
+        Row::new(
+            "48h source outage",
+            "copy expires; lookups impacted",
+            format!("impact {} h", long.impact_hours),
+            long.expired,
+        ),
+    ];
+    out.push_str(&render_rows("ROBUST checks", &rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn robustness_shape() {
+        let r = run(30, 20);
+        let text = render(&r);
+        assert!(!text.contains("DIVERGES"), "{text}");
+    }
+}

@@ -1,0 +1,222 @@
+//! SEC — §4 "Security": root manipulation.
+//!
+//! Paper: root queries are trivial to spot (13 well-known destination
+//! addresses) and hijacking them "can give an attacker control of the
+//! entire namespace"; eliminating root transactions removes that attack
+//! surface, and the signed zone file protects the replacement channel.
+//!
+//! The experiment puts an on-path attacker in front of the resolver:
+//!
+//! 1. **query-stream manipulation** — forge referrals for any query sent to
+//!    a root address, steering the victim to an attacker nameserver;
+//!    measured as the fraction of cold lookups that end at attacker data,
+//!    per root mode;
+//! 2. **distribution-channel manipulation** — tamper with the fetched zone
+//!    file; measured as accepted/rejected under the §3 signing requirement.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use rootless_core::manager::{RefreshPolicy, RootZoneManager, Verification};
+use rootless_core::sources::{MirrorZoneSource, TamperingSource};
+use rootless_dnssec::keys::ZoneKey;
+use rootless_netsim::geo::GeoPoint;
+use rootless_proto::message::{Message, Rcode};
+use rootless_proto::name::Name;
+use rootless_proto::rr::{RData, RType, Record};
+use rootless_resolver::harness::{build_network, build_world, WorldConfig};
+use rootless_resolver::net::shared;
+use rootless_resolver::resolver::{Outcome, Resolver, ResolverConfig, RootMode};
+use rootless_server::auth::AuthServer;
+use rootless_util::time::{Date, SimTime};
+use rootless_zone::churn::{ChurnConfig, Timeline};
+use rootless_zone::hints::RootHints;
+use rootless_zone::rootzone::RootZoneConfig;
+use rootless_zone::zone::Zone;
+
+use crate::report::{render_rows, Row};
+
+/// The attacker's sinkhole address: every hijacked name resolves here.
+pub const ATTACKER_ADDR: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 66);
+/// The attacker's nameserver address.
+pub const ATTACKER_NS_ADDR: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 53);
+
+/// Experiment output.
+pub struct SecReport {
+    /// (mode label, lookups, hijacked count).
+    pub hijacks: Vec<(&'static str, usize, usize)>,
+    /// Tampered zone fetches accepted with verification on.
+    pub tampered_accepted_verified: u64,
+    /// Tampered zone fetches accepted with verification off (ablation).
+    pub tampered_accepted_unverified: u64,
+}
+
+/// Builds the attacker's authoritative server: answers any A query with the
+/// sinkhole address.
+fn attacker_auth() -> AuthServer {
+    // A zone at the root claiming everything, with a wildcard-ish behaviour:
+    // the AuthServer answers from zone data, so the interceptor instead
+    // steers victims to a TLD zone the attacker controls per query. Simplest
+    // faithful model: the attacker runs a root-like zone whose every
+    // delegation points at itself; here we just need an A answer, so the
+    // handler below is replaced by a catch-all zone built per TLD at attack
+    // time. For the experiment we pre-build a zone for every TLD.
+    AuthServer::new(Zone::new(Name::root()))
+}
+
+/// Runs the query-stream attack for each root mode plus the
+/// distribution-channel attack.
+pub fn run(lookups: usize, tlds: usize) -> SecReport {
+    let world_cfg = WorldConfig { tld_count: tlds, ..WorldConfig::default() };
+    let (_, root_zone) = build_world(&world_cfg);
+    let tld_names = root_zone.tlds();
+    let root_addrs: HashSet<Ipv4Addr> = RootHints::standard().v4_addrs().into_iter().collect();
+
+    let mut hijacks = Vec::new();
+    for mode in [RootMode::Hints, RootMode::LocalOnDemand, RootMode::LoopbackAuth] {
+        let mut net = build_network(&world_cfg, Arc::clone(&root_zone));
+
+        // The attacker's nameserver: authoritative for every TLD, answering
+        // any name with the sinkhole address.
+        let mut evil = attacker_auth();
+        for tld in &tld_names {
+            let mut z = Zone::new(tld.clone());
+            let ns_name = Name::parse("ns.attacker.example").unwrap();
+            z.insert(Record::new(tld.clone(), 300, RData::Ns(ns_name))).unwrap();
+            for sld in 0..world_cfg.sld_per_tld {
+                let name = Name::parse(&format!("www.domain{sld}.{tld}")).unwrap();
+                z.insert(Record::new(name.clone(), 300, RData::A(ATTACKER_ADDR))).unwrap();
+                z.insert(Record::new(name.parent().unwrap(), 300, RData::A(ATTACKER_ADDR))).unwrap();
+            }
+            evil.add_zone(Arc::new(z));
+        }
+        net.add_server(ATTACKER_NS_ADDR, GeoPoint::new(50.0, 10.0), shared(evil));
+
+        // On-path interceptor: any packet to a root address gets a forged
+        // referral to the attacker's nameserver (the §4 observation that
+        // root queries are identifiable by their 13 destinations).
+        let roots = root_addrs.clone();
+        let forged: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
+        let forged_in = Rc::clone(&forged);
+        net.add_interceptor(Box::new(move |_now, dst, query: &Message| {
+            if !roots.contains(&dst) {
+                return None;
+            }
+            let q = query.question()?;
+            let tld = q.qname.tld()?;
+            let mut resp = Message::response_to(query, Rcode::NoError);
+            let ns_name = Name::parse("ns.attacker.example").unwrap();
+            resp.authorities.push(Record::new(tld, 300, RData::Ns(ns_name.clone())));
+            resp.additionals.push(Record::new(ns_name, 300, RData::A(ATTACKER_NS_ADDR)));
+            *forged_in.borrow_mut() += 1;
+            Some(resp)
+        }));
+
+        let mut resolver = Resolver::new(ResolverConfig::with_mode(mode));
+        if mode.needs_local_zone() {
+            resolver.install_root_zone(SimTime::ZERO, Arc::clone(&root_zone));
+        }
+        let mut hijacked = 0;
+        for i in 0..lookups {
+            let tld = &tld_names[i % tld_names.len()];
+            let qname = Name::parse(&format!("www.domain0.{tld}")).unwrap();
+            // Cold lookups: the attack matters when the root is consulted.
+            resolver.cache =
+                rootless_resolver::cache::Cache::new(0, rootless_resolver::cache::Eviction::Lru);
+            let res = resolver.resolve(SimTime::ZERO, &mut net, &qname, RType::A);
+            if let Outcome::Answer(records) = &res.outcome {
+                if records.iter().any(|r| r.rdata == RData::A(ATTACKER_ADDR)) {
+                    hijacked += 1;
+                }
+            }
+        }
+        hijacks.push((mode.label(), lookups, hijacked));
+    }
+
+    // Distribution-channel attack: tampered fetches vs verification.
+    let key = ZoneKey::generate(Name::root(), true, 0x5ec);
+    let timeline = Arc::new(Timeline::generate(
+        RootZoneConfig::small(tlds.min(100)),
+        ChurnConfig::default(),
+        Date::new(2019, 4, 1),
+        5,
+    ));
+    let mut verified_mgr = RootZoneManager::new(
+        Box::new(TamperingSource::new(MirrorZoneSource::new(Arc::clone(&timeline), key.clone()))),
+        Verification::Zonemd { key: Some(key.clone()) },
+        RefreshPolicy::default(),
+    );
+    let tampered_accepted_verified = verified_mgr.tick(SimTime::ZERO).map(|_| 1).unwrap_or(0);
+
+    let mut unverified_mgr = RootZoneManager::new(
+        Box::new(TamperingSource::new(MirrorZoneSource::new(timeline, key))),
+        Verification::None,
+        RefreshPolicy::default(),
+    );
+    let tampered_accepted_unverified = unverified_mgr.tick(SimTime::ZERO).map(|_| 1).unwrap_or(0);
+
+    SecReport { hijacks, tampered_accepted_verified, tampered_accepted_unverified }
+}
+
+/// Renders the attack results.
+pub fn render(r: &SecReport) -> String {
+    let mut out = String::new();
+    out.push_str("== SEC (§4): root manipulation ==\n");
+    out.push_str("  query-stream attacker (forged referrals for the 13 root addresses):\n");
+    for (mode, lookups, hijacked) in &r.hijacks {
+        out.push_str(&format!(
+            "    {mode:<14} {hijacked}/{lookups} cold lookups hijacked ({:.0}%)\n",
+            *hijacked as f64 / *lookups as f64 * 100.0
+        ));
+    }
+    let hints = r.hijacks.iter().find(|(m, _, _)| *m == "hints").unwrap();
+    let locals: Vec<&(&str, usize, usize)> =
+        r.hijacks.iter().filter(|(m, _, _)| *m != "hints").collect();
+    let rows = vec![
+        Row::new(
+            "hijack rate, hints mode",
+            "\"control of the entire namespace\"",
+            format!("{:.0}%", hints.2 as f64 / hints.1 as f64 * 100.0),
+            hints.2 == hints.1,
+        ),
+        Row::new(
+            "hijack rate, local modes",
+            "0% (no root transactions)",
+            locals
+                .iter()
+                .map(|(_, l, h)| format!("{h}/{l}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            locals.iter().all(|(_, _, h)| *h == 0),
+        ),
+        Row::new(
+            "tampered file vs signed zone",
+            "rejected (§3 signing)",
+            format!("accepted={}", r.tampered_accepted_verified),
+            r.tampered_accepted_verified == 0,
+        ),
+        Row::new(
+            "tampered file, no verification",
+            "accepted (ablation)",
+            format!("accepted={}", r.tampered_accepted_unverified),
+            r.tampered_accepted_unverified == 1,
+        ),
+    ];
+    out.push_str(&render_rows("SEC checks", &rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_manipulation_hits_hints_only() {
+        let r = run(20, 12);
+        let text = render(&r);
+        assert!(!text.contains("DIVERGES"), "{text}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Geography → latency: nodes sit at coordinates on the globe and RTT is
+//! great-circle propagation through fiber with a path-stretch factor.
+//!
+//! The paper's performance/robustness arguments are about *which* server a
+//! resolver talks to and how far away it is — anycast sends you to the
+//! nearest root instance. A latency model derived from geography reproduces
+//! exactly that structure.
+
+use rootless_util::rng::DetRng;
+use rootless_util::time::SimDuration;
+
+/// Mean earth radius, km.
+pub const EARTH_RADIUS_KM: f64 = 6_371.0;
+/// Signal speed in fiber: ~2/3 c, km per millisecond.
+pub const FIBER_KM_PER_MS: f64 = 200.0;
+/// Real paths are not great circles; typical stretch factor.
+pub const PATH_STRETCH: f64 = 1.5;
+/// Fixed per-hop processing overhead added to every one-way trip.
+pub const HOP_OVERHEAD_MS: f64 = 0.35;
+
+/// A point on the globe.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees, −90..90.
+    pub lat: f64,
+    /// Longitude in degrees, −180..180.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in km (haversine).
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+
+    /// One-way propagation delay to `other`.
+    pub fn one_way_delay(&self, other: &GeoPoint) -> SimDuration {
+        let ms = self.distance_km(other) * PATH_STRETCH / FIBER_KM_PER_MS + HOP_OVERHEAD_MS;
+        SimDuration::from_millis_f64(ms)
+    }
+
+    /// Round-trip time to `other`.
+    pub fn rtt(&self, other: &GeoPoint) -> SimDuration {
+        let ms = 2.0 * (self.distance_km(other) * PATH_STRETCH / FIBER_KM_PER_MS + HOP_OVERHEAD_MS);
+        SimDuration::from_millis_f64(ms)
+    }
+
+    /// A deterministic pseudo-random location drawn from a rough population
+    /// distribution (clusters around populated latitudes, no poles).
+    pub fn random(rng: &mut DetRng) -> GeoPoint {
+        // Latitude concentrated in -40..65 with a northern bias.
+        let lat = loop {
+            let l = rng.next_f64() * 105.0 - 40.0;
+            let weight = if l > 20.0 && l < 55.0 { 1.0 } else { 0.45 };
+            if rng.chance(weight) {
+                break l;
+            }
+        };
+        let lon = rng.next_f64() * 360.0 - 180.0;
+        GeoPoint { lat, lon }
+    }
+}
+
+/// Major-city anchor points used to place root instances and resolvers in a
+/// realistic pattern.
+pub const CITIES: [(&str, f64, f64); 24] = [
+    ("ashburn", 39.0, -77.5),
+    ("losangeles", 34.0, -118.2),
+    ("chicago", 41.9, -87.6),
+    ("seattle", 47.6, -122.3),
+    ("saopaulo", -23.5, -46.6),
+    ("buenosaires", -34.6, -58.4),
+    ("london", 51.5, -0.1),
+    ("amsterdam", 52.4, 4.9),
+    ("frankfurt", 50.1, 8.7),
+    ("paris", 48.9, 2.4),
+    ("stockholm", 59.3, 18.1),
+    ("moscow", 55.8, 37.6),
+    ("johannesburg", -26.2, 28.0),
+    ("nairobi", -1.3, 36.8),
+    ("dubai", 25.2, 55.3),
+    ("mumbai", 19.1, 72.9),
+    ("singapore", 1.35, 103.8),
+    ("hongkong", 22.3, 114.2),
+    ("tokyo", 35.7, 139.7),
+    ("seoul", 37.6, 127.0),
+    ("sydney", -33.9, 151.2),
+    ("auckland", -36.8, 174.8),
+    ("toronto", 43.7, -79.4),
+    ("mexicocity", 19.4, -99.1),
+];
+
+/// A city anchor, possibly perturbed a little so co-located nodes differ.
+pub fn city_point(index: usize, rng: &mut DetRng) -> GeoPoint {
+    let (_, lat, lon) = CITIES[index % CITIES.len()];
+    GeoPoint {
+        lat: lat + rng.next_f64() * 2.0 - 1.0,
+        lon: lon + rng.next_f64() * 2.0 - 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = GeoPoint::new(52.0, 13.0);
+        assert!(p.distance_km(&p) < 1e-9);
+    }
+
+    #[test]
+    fn known_distance_london_newyork() {
+        let london = GeoPoint::new(51.5074, -0.1278);
+        let nyc = GeoPoint::new(40.7128, -74.0060);
+        let d = london.distance_km(&nyc);
+        assert!((5_400.0..5_800.0).contains(&d), "London-NYC {d} km");
+    }
+
+    #[test]
+    fn rtt_scale_is_sane() {
+        let london = GeoPoint::new(51.5074, -0.1278);
+        let nyc = GeoPoint::new(40.7128, -74.0060);
+        let rtt = london.rtt(&nyc).as_millis_f64();
+        // Observed transatlantic RTTs are ~70-90ms.
+        assert!((60.0..110.0).contains(&rtt), "RTT {rtt} ms");
+        let frankfurt = GeoPoint::new(50.1, 8.7);
+        let nearby = london.rtt(&frankfurt).as_millis_f64();
+        assert!(nearby < rtt, "nearer city must have lower RTT");
+    }
+
+    #[test]
+    fn rtt_is_twice_one_way() {
+        let a = GeoPoint::new(10.0, 20.0);
+        let b = GeoPoint::new(-30.0, 140.0);
+        let one = a.one_way_delay(&b).as_millis_f64();
+        let rtt = a.rtt(&b).as_millis_f64();
+        assert!((rtt - 2.0 * one).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rtt_symmetric() {
+        let a = GeoPoint::new(35.7, 139.7);
+        let b = GeoPoint::new(-33.9, 151.2);
+        assert_eq!(a.rtt(&b), b.rtt(&a));
+    }
+
+    #[test]
+    fn random_points_in_bounds() {
+        let mut rng = DetRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let p = GeoPoint::random(&mut rng);
+            assert!((-40.0..=65.0).contains(&p.lat));
+            assert!((-180.0..=180.0).contains(&p.lon));
+        }
+    }
+
+    #[test]
+    fn city_points_near_anchor() {
+        let mut rng = DetRng::seed_from_u64(2);
+        let p = city_point(0, &mut rng);
+        assert!((p.lat - 39.0).abs() <= 1.0);
+        assert!((p.lon + 77.5).abs() <= 1.0);
+    }
+
+    #[test]
+    fn antipodal_rtt_bounded() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 180.0);
+        // Half the circumference * stretch / speed * 2 ≈ 300ms.
+        let rtt = a.rtt(&b).as_millis_f64();
+        assert!((250.0..350.0).contains(&rtt), "antipodal {rtt}");
+    }
+}

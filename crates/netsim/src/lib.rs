@@ -1,0 +1,20 @@
+//! # rootless-netsim
+//!
+//! A deterministic discrete-event network simulator: the substrate under the
+//! resolver/server experiments. Latency derives from geography ([`geo`]),
+//! anycast addresses route to the nearest live instance (how ~1K root
+//! instances share 13 IPs), nodes are sans-IO state machines, and on-path
+//! middleboxes model the §4 attacker (observation, dropping, rewriting, and
+//! "root manipulation" impersonation).
+//!
+//! Determinism contract: a run is a pure function of the seed, the node set
+//! and the injected events — every experiment in this workspace replays
+//! bit-identically.
+
+#![warn(missing_docs)]
+
+pub mod geo;
+pub mod sim;
+
+pub use geo::GeoPoint;
+pub use sim::{Ctx, Datagram, Middlebox, Node, NodeId, Sim, SimStats, Verdict};

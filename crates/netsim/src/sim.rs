@@ -1,0 +1,643 @@
+//! The deterministic discrete-event simulator.
+//!
+//! Sans-IO design (per the workspace's networking guides): protocol logic
+//! lives in [`Node`] state machines that react to datagrams and timers; all
+//! I/O effects are buffered in a [`Ctx`] and applied by the engine, so a run
+//! is a pure function of the seed and the node set.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::Ipv4Addr;
+
+use rootless_util::rng::DetRng;
+use rootless_util::time::{SimDuration, SimTime};
+
+use crate::geo::GeoPoint;
+
+/// Node handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// A network-layer packet.
+#[derive(Clone, Debug)]
+pub struct Datagram {
+    /// Sender address.
+    pub src: Ipv4Addr,
+    /// Destination address (possibly an anycast address).
+    pub dst: Ipv4Addr,
+    /// Payload bytes (DNS wire messages in this workspace).
+    pub payload: Vec<u8>,
+}
+
+/// What a middlebox decides to do with a packet in flight.
+pub enum Verdict {
+    /// Forward unchanged.
+    Pass,
+    /// Silently drop.
+    Drop,
+    /// Replace the payload (on-path rewriting / response forgery). The packet
+    /// continues to its destination with the new bytes.
+    Rewrite(Vec<u8>),
+    /// Answer the sender directly with this payload, impersonating `dst`
+    /// (the §4 "root manipulation" move: answer root queries as they are
+    /// observed). The original packet is dropped.
+    Impersonate(Vec<u8>),
+}
+
+/// An on-path observer/attacker. Sees packets whose path it covers.
+pub trait Middlebox {
+    /// Inspect a packet at time `now`; return the action to take.
+    fn inspect(&mut self, now: SimTime, dgram: &Datagram) -> Verdict;
+}
+
+/// Protocol state machine attached to a node.
+///
+/// `Any` is a supertrait so tests and experiment harnesses can downcast a
+/// `&dyn Node` back to its concrete type after a run.
+pub trait Node: std::any::Any {
+    /// A datagram arrived.
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram);
+    /// A timer set with [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64);
+}
+
+/// Side-effect buffer handed to node callbacks.
+pub struct Ctx<'a> {
+    now: SimTime,
+    node: NodeId,
+    addr: Ipv4Addr,
+    rng: &'a mut DetRng,
+    sends: Vec<Datagram>,
+    timers: Vec<(SimDuration, u64)>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's own unicast address.
+    pub fn addr(&self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Deterministic randomness stream.
+    pub fn rng(&mut self) -> &mut DetRng {
+        self.rng
+    }
+
+    /// Queues a datagram for sending.
+    pub fn send(&mut self, dst: Ipv4Addr, payload: Vec<u8>) {
+        self.sends.push(Datagram { src: self.addr, dst, payload });
+    }
+
+    /// Schedules [`Node::on_timer`] after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.timers.push((delay, token));
+    }
+}
+
+enum EventKind {
+    Deliver(NodeId, Datagram),
+    Timer(NodeId, u64),
+}
+
+/// Traffic counters, including the per-destination accounting the root
+/// traffic study needs.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Datagrams handed to the engine.
+    pub sent: u64,
+    /// Datagrams delivered to a node.
+    pub delivered: u64,
+    /// Lost to random loss.
+    pub dropped_loss: u64,
+    /// Dropped because the destination (or every anycast instance) was down
+    /// or unknown.
+    pub dropped_unreachable: u64,
+    /// Dropped or rewritten by middleboxes.
+    pub middlebox_drops: u64,
+    /// Rewrites + impersonations performed by middleboxes.
+    pub middlebox_forgeries: u64,
+    /// Total payload bytes sent.
+    pub bytes_sent: u64,
+    /// Per-destination-address delivered counts.
+    pub per_dst: HashMap<Ipv4Addr, u64>,
+}
+
+/// The simulation engine.
+pub struct Sim {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    events: Vec<Option<EventKind>>,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    geos: Vec<GeoPoint>,
+    addrs: Vec<Ipv4Addr>,
+    down: Vec<bool>,
+    unicast: HashMap<Ipv4Addr, NodeId>,
+    anycast: HashMap<Ipv4Addr, Vec<NodeId>>,
+    middleboxes: Vec<Box<dyn Middlebox>>,
+    /// Base random loss probability applied to every send.
+    pub loss: f64,
+    /// Link bandwidth in bytes/ms for size-dependent delay (zone transfers).
+    pub bandwidth_bytes_per_ms: f64,
+    rng: DetRng,
+    /// Counters.
+    pub stats: SimStats,
+}
+
+impl Sim {
+    /// Creates an engine with the given seed.
+    pub fn new(seed: u64) -> Sim {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            events: Vec::new(),
+            nodes: Vec::new(),
+            geos: Vec::new(),
+            addrs: Vec::new(),
+            down: Vec::new(),
+            unicast: HashMap::new(),
+            anycast: HashMap::new(),
+            middleboxes: Vec::new(),
+            loss: 0.0,
+            bandwidth_bytes_per_ms: 1_250.0, // ~10 Mbit/s
+            rng: DetRng::seed_from_u64(seed),
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Registers a node at `addr` / `geo`. The address must be unique.
+    pub fn add_node(&mut self, addr: Ipv4Addr, geo: GeoPoint, node: Box<dyn Node>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Some(node));
+        self.geos.push(geo);
+        self.addrs.push(addr);
+        self.down.push(false);
+        let prev = self.unicast.insert(addr, id);
+        assert!(prev.is_none(), "duplicate unicast address {addr}");
+        id
+    }
+
+    /// Declares `anycast_addr` served by `instances` (each already added as a
+    /// node). Packets to the address route to the nearest live instance.
+    pub fn add_anycast(&mut self, anycast_addr: Ipv4Addr, instances: Vec<NodeId>) {
+        assert!(!instances.is_empty());
+        self.anycast.insert(anycast_addr, instances);
+    }
+
+    /// Installs an on-path middlebox; middleboxes see every packet in
+    /// installation order.
+    pub fn add_middlebox(&mut self, mb: Box<dyn Middlebox>) {
+        self.middleboxes.push(mb);
+    }
+
+    /// Marks a node up or down. Anycast routing skips down instances;
+    /// unicast packets to a down node are dropped.
+    pub fn set_down(&mut self, node: NodeId, down: bool) {
+        self.down[node.0] = down;
+    }
+
+    /// Whether a node is currently down.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.down[node.0]
+    }
+
+    /// The geographic position of a node.
+    pub fn geo(&self, node: NodeId) -> GeoPoint {
+        self.geos[node.0]
+    }
+
+    /// The unicast address of a node.
+    pub fn addr_of(&self, node: NodeId) -> Ipv4Addr {
+        self.addrs[node.0]
+    }
+
+    /// Resolves a destination address to the receiving node, honoring anycast
+    /// and liveness: the nearest live instance to `from`.
+    pub fn route(&self, from: GeoPoint, dst: Ipv4Addr) -> Option<NodeId> {
+        if let Some(instances) = self.anycast.get(&dst) {
+            instances
+                .iter()
+                .copied()
+                .filter(|id| !self.down[id.0])
+                .min_by(|a, b| {
+                    from.distance_km(&self.geos[a.0])
+                        .partial_cmp(&from.distance_km(&self.geos[b.0]))
+                        .unwrap()
+                })
+        } else {
+            self.unicast.get(&dst).copied().filter(|id| !self.down[id.0])
+        }
+    }
+
+    /// Schedules a timer for a node (engine-level; nodes normally use
+    /// [`Ctx::set_timer`]).
+    pub fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, token: u64) {
+        let at = self.now + delay;
+        self.push_event(at, EventKind::Timer(node, token));
+    }
+
+    /// Injects a datagram from an arbitrary source position (used to seed
+    /// traffic from outside any node, e.g. trace replay).
+    pub fn inject(&mut self, from_geo: GeoPoint, dgram: Datagram) {
+        self.dispatch_send(from_geo, dgram);
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        let idx = self.events.len();
+        self.events.push(Some(kind));
+        self.seq += 1;
+        self.queue.push(Reverse((at, self.seq, idx)));
+    }
+
+    fn dispatch_send(&mut self, from_geo: GeoPoint, mut dgram: Datagram) {
+        self.stats.sent += 1;
+        self.stats.bytes_sent += dgram.payload.len() as u64;
+
+        // Middleboxes inspect in order.
+        let mut impersonated: Option<Vec<u8>> = None;
+        for mb in &mut self.middleboxes {
+            match mb.inspect(self.now, &dgram) {
+                Verdict::Pass => {}
+                Verdict::Drop => {
+                    self.stats.middlebox_drops += 1;
+                    return;
+                }
+                Verdict::Rewrite(payload) => {
+                    self.stats.middlebox_forgeries += 1;
+                    dgram.payload = payload;
+                }
+                Verdict::Impersonate(payload) => {
+                    self.stats.middlebox_forgeries += 1;
+                    impersonated = Some(payload);
+                    break;
+                }
+            }
+        }
+        if let Some(payload) = impersonated {
+            // Reply to the sender "from" the original destination, arriving
+            // after a plausible short path (middlebox sits on-path, so use
+            // half the sender→destination delay).
+            let reply = Datagram { src: dgram.dst, dst: dgram.src, payload };
+            let target = match self.unicast.get(&dgram.src) {
+                Some(&id) if !self.down[id.0] => id,
+                _ => {
+                    self.stats.dropped_unreachable += 1;
+                    return;
+                }
+            };
+            let delay = from_geo.one_way_delay(&self.geos[target.0])
+                + self.transmission_delay(reply.payload.len());
+            let at = self.now + delay;
+            self.push_event(at, EventKind::Deliver(target, reply));
+            return;
+        }
+
+        if self.loss > 0.0 && self.rng.chance(self.loss) {
+            self.stats.dropped_loss += 1;
+            return;
+        }
+        let Some(target) = self.route(from_geo, dgram.dst) else {
+            self.stats.dropped_unreachable += 1;
+            return;
+        };
+        let delay = from_geo.one_way_delay(&self.geos[target.0]) + self.transmission_delay(dgram.payload.len());
+        let at = self.now + delay;
+        self.push_event(at, EventKind::Deliver(target, dgram));
+    }
+
+    fn transmission_delay(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_millis_f64(bytes as f64 / self.bandwidth_bytes_per_ms)
+    }
+
+    /// Runs until the event queue empties or `deadline` passes. Returns the
+    /// number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(&Reverse((at, _, idx))) = self.queue.peek() {
+            if at > deadline {
+                break;
+            }
+            self.queue.pop();
+            let Some(kind) = self.events[idx].take() else { continue };
+            self.now = at;
+            processed += 1;
+            match kind {
+                EventKind::Deliver(node_id, dgram) => {
+                    if self.down[node_id.0] {
+                        self.stats.dropped_unreachable += 1;
+                        continue;
+                    }
+                    self.stats.delivered += 1;
+                    *self.stats.per_dst.entry(dgram.dst).or_insert(0) += 1;
+                    self.with_node(node_id, |node, ctx| node.on_datagram(ctx, dgram));
+                }
+                EventKind::Timer(node_id, token) => {
+                    if self.down[node_id.0] {
+                        continue;
+                    }
+                    self.with_node(node_id, |node, ctx| node.on_timer(ctx, token));
+                }
+            }
+        }
+        processed
+    }
+
+    /// Runs until the queue is empty.
+    pub fn run_to_completion(&mut self) -> u64 {
+        self.run_until(SimTime(u64::MAX))
+    }
+
+    fn with_node<F: FnOnce(&mut dyn Node, &mut Ctx<'_>)>(&mut self, id: NodeId, f: F) {
+        let mut node = self.nodes[id.0].take().expect("node re-entered");
+        let mut ctx = Ctx {
+            now: self.now,
+            node: id,
+            addr: self.addrs[id.0],
+            rng: &mut self.rng,
+            sends: Vec::new(),
+            timers: Vec::new(),
+        };
+        f(node.as_mut(), &mut ctx);
+        let Ctx { sends, timers, .. } = ctx;
+        self.nodes[id.0] = Some(node);
+        let geo = self.geos[id.0];
+        for dgram in sends {
+            self.dispatch_send(geo, dgram);
+        }
+        for (delay, token) in timers {
+            self.schedule_timer(id, delay, token);
+        }
+    }
+
+    /// Borrows a node for inspection after a run (panics while dispatching).
+    pub fn node(&self, id: NodeId) -> &dyn Node {
+        self.nodes[id.0].as_deref().expect("node taken")
+    }
+
+    /// Mutably borrows a node between runs.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut dyn Node {
+        self.nodes[id.0].as_deref_mut().expect("node taken")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every datagram back to its source.
+    struct Echo {
+        received: Vec<Vec<u8>>,
+    }
+
+    impl Node for Echo {
+        fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+            self.received.push(dgram.payload.clone());
+            ctx.send(dgram.src, dgram.payload);
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+    }
+
+    /// Sends one probe at startup (via timer 0) and records replies with
+    /// their arrival time.
+    struct Probe {
+        target: Ipv4Addr,
+        replies: Vec<(SimTime, Vec<u8>)>,
+    }
+
+    impl Node for Probe {
+        fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+            self.replies.push((ctx.now(), dgram.payload));
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            ctx.send(self.target, b"ping".to_vec());
+        }
+    }
+
+    fn addr(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(a, b, c, d)
+    }
+
+    fn downcast_probe(sim: &Sim, id: NodeId) -> &Probe {
+        (sim.node(id) as &dyn std::any::Any).downcast_ref::<Probe>().expect("probe node")
+    }
+
+    #[test]
+    fn ping_pong_rtt_matches_geometry() {
+        let mut sim = Sim::new(1);
+        let london = GeoPoint::new(51.5, -0.1);
+        let nyc = GeoPoint::new(40.7, -74.0);
+        let server = sim.add_node(addr(10, 0, 0, 1), nyc, Box::new(Echo { received: vec![] }));
+        let client = sim.add_node(
+            addr(10, 0, 0, 2),
+            london,
+            Box::new(Probe { target: addr(10, 0, 0, 1), replies: vec![] }),
+        );
+        let _ = server;
+        sim.schedule_timer(client, SimDuration::ZERO, 0);
+        sim.run_to_completion();
+        let probe = downcast_probe(&sim, client);
+        assert_eq!(probe.replies.len(), 1);
+        let rtt_ms = probe.replies[0].0.as_secs_f64() * 1e3;
+        let geo_rtt = london.rtt(&nyc).as_millis_f64();
+        assert!((rtt_ms - geo_rtt).abs() < 2.0, "rtt {rtt_ms} vs geo {geo_rtt}");
+    }
+
+    #[test]
+    fn anycast_routes_to_nearest_instance() {
+        let mut sim = Sim::new(2);
+        let any = addr(198, 41, 0, 4);
+        let tokyo = sim.add_node(addr(10, 1, 0, 1), GeoPoint::new(35.7, 139.7), Box::new(Echo { received: vec![] }));
+        let paris = sim.add_node(addr(10, 1, 0, 2), GeoPoint::new(48.9, 2.4), Box::new(Echo { received: vec![] }));
+        sim.add_anycast(any, vec![tokyo, paris]);
+        let client = sim.add_node(
+            addr(10, 1, 0, 3),
+            GeoPoint::new(52.4, 4.9), // Amsterdam → Paris is nearest
+            Box::new(Probe { target: any, replies: vec![] }),
+        );
+        sim.schedule_timer(client, SimDuration::ZERO, 0);
+        sim.run_to_completion();
+        assert_eq!(sim.route(GeoPoint::new(52.4, 4.9), any), Some(paris));
+        let probe = downcast_probe(&sim, client);
+        assert_eq!(probe.replies.len(), 1);
+        // Reply should arrive within ~Amsterdam-Paris RTT, far below Tokyo's.
+        assert!(probe.replies[0].0.as_secs_f64() < 0.05);
+    }
+
+    #[test]
+    fn anycast_fails_over_when_instance_down() {
+        let mut sim = Sim::new(3);
+        let any = addr(198, 41, 0, 4);
+        let near = sim.add_node(addr(10, 2, 0, 1), GeoPoint::new(48.9, 2.4), Box::new(Echo { received: vec![] }));
+        let far = sim.add_node(addr(10, 2, 0, 2), GeoPoint::new(35.7, 139.7), Box::new(Echo { received: vec![] }));
+        sim.add_anycast(any, vec![near, far]);
+        let from = GeoPoint::new(51.5, -0.1);
+        assert_eq!(sim.route(from, any), Some(near));
+        sim.set_down(near, true);
+        assert_eq!(sim.route(from, any), Some(far));
+        sim.set_down(far, true);
+        assert_eq!(sim.route(from, any), None);
+        sim.set_down(near, false);
+        assert_eq!(sim.route(from, any), Some(near));
+    }
+
+    #[test]
+    fn unicast_to_down_node_drops() {
+        let mut sim = Sim::new(4);
+        let server = sim.add_node(addr(10, 3, 0, 1), GeoPoint::new(0.0, 0.0), Box::new(Echo { received: vec![] }));
+        let client = sim.add_node(
+            addr(10, 3, 0, 2),
+            GeoPoint::new(1.0, 1.0),
+            Box::new(Probe { target: addr(10, 3, 0, 1), replies: vec![] }),
+        );
+        sim.set_down(server, true);
+        sim.schedule_timer(client, SimDuration::ZERO, 0);
+        sim.run_to_completion();
+        assert_eq!(sim.stats.dropped_unreachable, 1);
+        let probe = downcast_probe(&sim, client);
+        assert!(probe.replies.is_empty());
+    }
+
+    #[test]
+    fn loss_drops_packets() {
+        let mut sim = Sim::new(5);
+        sim.loss = 1.0;
+        let _server = sim.add_node(addr(10, 4, 0, 1), GeoPoint::new(0.0, 0.0), Box::new(Echo { received: vec![] }));
+        let client = sim.add_node(
+            addr(10, 4, 0, 2),
+            GeoPoint::new(1.0, 1.0),
+            Box::new(Probe { target: addr(10, 4, 0, 1), replies: vec![] }),
+        );
+        sim.schedule_timer(client, SimDuration::ZERO, 0);
+        sim.run_to_completion();
+        assert_eq!(sim.stats.dropped_loss, 1);
+        assert_eq!(sim.stats.delivered, 0);
+    }
+
+    #[test]
+    fn per_destination_accounting() {
+        let mut sim = Sim::new(6);
+        let a1 = addr(10, 5, 0, 1);
+        let _s = sim.add_node(a1, GeoPoint::new(0.0, 0.0), Box::new(Echo { received: vec![] }));
+        let c = sim.add_node(addr(10, 5, 0, 2), GeoPoint::new(1.0, 1.0), Box::new(Probe { target: a1, replies: vec![] }));
+        for i in 0..5 {
+            sim.schedule_timer(c, SimDuration::from_millis(i), 0);
+        }
+        sim.run_to_completion();
+        assert_eq!(sim.stats.per_dst[&a1], 5);
+    }
+
+    struct DropAll;
+    impl Middlebox for DropAll {
+        fn inspect(&mut self, _now: SimTime, _d: &Datagram) -> Verdict {
+            Verdict::Drop
+        }
+    }
+
+    #[test]
+    fn middlebox_can_drop() {
+        let mut sim = Sim::new(7);
+        let a1 = addr(10, 6, 0, 1);
+        let _s = sim.add_node(a1, GeoPoint::new(0.0, 0.0), Box::new(Echo { received: vec![] }));
+        let c = sim.add_node(addr(10, 6, 0, 2), GeoPoint::new(1.0, 1.0), Box::new(Probe { target: a1, replies: vec![] }));
+        sim.add_middlebox(Box::new(DropAll));
+        sim.schedule_timer(c, SimDuration::ZERO, 0);
+        sim.run_to_completion();
+        assert_eq!(sim.stats.middlebox_drops, 1);
+        assert_eq!(sim.stats.delivered, 0);
+    }
+
+    struct ForgeFor {
+        target: Ipv4Addr,
+    }
+    impl Middlebox for ForgeFor {
+        fn inspect(&mut self, _now: SimTime, d: &Datagram) -> Verdict {
+            if d.dst == self.target {
+                Verdict::Impersonate(b"forged".to_vec())
+            } else {
+                Verdict::Pass
+            }
+        }
+    }
+
+    #[test]
+    fn middlebox_impersonation_reaches_sender() {
+        let mut sim = Sim::new(8);
+        let root = addr(198, 41, 0, 4);
+        let _s = sim.add_node(root, GeoPoint::new(0.0, 0.0), Box::new(Echo { received: vec![] }));
+        let c = sim.add_node(addr(10, 7, 0, 2), GeoPoint::new(1.0, 1.0), Box::new(Probe { target: root, replies: vec![] }));
+        sim.add_middlebox(Box::new(ForgeFor { target: root }));
+        sim.schedule_timer(c, SimDuration::ZERO, 0);
+        sim.run_to_completion();
+        let probe = downcast_probe(&sim, c);
+        assert_eq!(probe.replies.len(), 1);
+        assert_eq!(probe.replies[0].1, b"forged".to_vec());
+        // The forged reply appears to come from the root address.
+        assert_eq!(sim.stats.middlebox_forgeries, 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = || {
+            let mut sim = Sim::new(42);
+            sim.loss = 0.5;
+            let a1 = addr(10, 8, 0, 1);
+            let _s = sim.add_node(a1, GeoPoint::new(0.0, 0.0), Box::new(Echo { received: vec![] }));
+            let c = sim.add_node(addr(10, 8, 0, 2), GeoPoint::new(30.0, 30.0), Box::new(Probe { target: a1, replies: vec![] }));
+            for i in 0..100 {
+                sim.schedule_timer(c, SimDuration::from_millis(i), 0);
+            }
+            sim.run_to_completion();
+            (sim.stats.delivered, sim.stats.dropped_loss)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Sim::new(9);
+        let a1 = addr(10, 9, 0, 1);
+        let _s = sim.add_node(a1, GeoPoint::new(0.0, 0.0), Box::new(Echo { received: vec![] }));
+        let c = sim.add_node(addr(10, 9, 0, 2), GeoPoint::new(40.0, 90.0), Box::new(Probe { target: a1, replies: vec![] }));
+        sim.schedule_timer(c, SimDuration::from_secs(10), 0);
+        let before = sim.run_until(SimTime(SimDuration::from_secs(5).as_nanos()));
+        assert_eq!(before, 0, "nothing fires before the deadline");
+        sim.run_to_completion();
+        let probe = downcast_probe(&sim, c);
+        assert_eq!(probe.replies.len(), 1);
+    }
+
+    #[test]
+    fn bigger_payload_takes_longer() {
+        let sim = Sim::new(10);
+        let geo = GeoPoint::new(0.0, 0.0);
+        let small = sim.transmission_delay(100);
+        let big = sim.transmission_delay(1_100_000);
+        assert!(big > small);
+        // 1.1MB at 10Mbit/s ≈ 880ms.
+        assert!((500.0..2_000.0).contains(&big.as_millis_f64()), "{}", big.as_millis_f64());
+        let _ = geo;
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate unicast address")]
+    fn duplicate_address_panics() {
+        let mut sim = Sim::new(11);
+        sim.add_node(addr(1, 1, 1, 1), GeoPoint::new(0.0, 0.0), Box::new(Echo { received: vec![] }));
+        sim.add_node(addr(1, 1, 1, 1), GeoPoint::new(0.0, 0.0), Box::new(Echo { received: vec![] }));
+    }
+}

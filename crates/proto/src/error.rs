@@ -1,0 +1,56 @@
+//! Error type for wire-format and presentation-format handling.
+
+use std::fmt;
+
+/// Errors produced while parsing or serializing DNS data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// A label exceeded 63 octets.
+    LabelTooLong(usize),
+    /// A name exceeded 255 octets in wire form.
+    NameTooLong(usize),
+    /// An empty label appeared inside a name (`"a..b"`).
+    EmptyLabel,
+    /// A malformed `\` escape in presentation format.
+    BadEscape,
+    /// The wire buffer ended before the structure was complete.
+    Truncated,
+    /// A compression pointer pointed forward or formed a loop.
+    BadPointer,
+    /// A label length byte used the reserved 0x40/0x80 prefixes.
+    BadLabelType(u8),
+    /// RDLENGTH disagreed with the actual RDATA size.
+    BadRdataLength {
+        /// The type whose RDATA was inconsistent.
+        rtype: u16,
+        /// RDLENGTH from the wire.
+        declared: usize,
+        /// Bytes actually consumed.
+        consumed: usize,
+    },
+    /// The message had trailing garbage or an impossible count.
+    BadMessage(&'static str),
+    /// An unknown opcode/rcode/class outside what this implementation models.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::LabelTooLong(n) => write!(f, "label of {n} octets exceeds 63"),
+            ProtoError::NameTooLong(n) => write!(f, "name of {n} wire octets exceeds 255"),
+            ProtoError::EmptyLabel => write!(f, "empty label in name"),
+            ProtoError::BadEscape => write!(f, "malformed escape in presentation format"),
+            ProtoError::Truncated => write!(f, "truncated wire data"),
+            ProtoError::BadPointer => write!(f, "invalid compression pointer"),
+            ProtoError::BadLabelType(b) => write!(f, "reserved label type byte {b:#04x}"),
+            ProtoError::BadRdataLength { rtype, declared, consumed } => {
+                write!(f, "rdata length mismatch for type {rtype}: declared {declared}, consumed {consumed}")
+            }
+            ProtoError::BadMessage(what) => write!(f, "malformed message: {what}"),
+            ProtoError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}

@@ -1,0 +1,29 @@
+//! # rootless-proto
+//!
+//! The DNS wire protocol, implemented from scratch for the `rootless`
+//! workspace (reproduction of *On Eliminating Root Nameservers from the DNS*,
+//! HotNets 2019).
+//!
+//! * [`name`] — domain names: presentation/wire formats, case-insensitive
+//!   comparison, RFC 4034 canonical ordering.
+//! * [`rr`] — record types, classes, and typed RDATA (A, AAAA, NS, SOA,
+//!   CNAME, MX, TXT, PTR, DS, DNSKEY, RRSIG, NSEC, ZONEMD, unknown).
+//! * [`message`] — full messages with header flags, four sections, EDNS(0),
+//!   and RFC 1035 name compression.
+//! * [`wire`] — the low-level encoder/decoder.
+//!
+//! Everything round-trips: `Message::decode(&msg.encode()) == msg` is a
+//! property-tested invariant (see `tests/` in this crate).
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod message;
+pub mod name;
+pub mod rr;
+pub mod wire;
+
+pub use error::ProtoError;
+pub use message::{Edns, Header, Message, Opcode, Question, Rcode};
+pub use name::Name;
+pub use rr::{RClass, RData, RType, Record};

@@ -1,0 +1,572 @@
+//! DNS messages: header, question, four record sections, EDNS(0).
+
+use std::fmt;
+
+use crate::error::ProtoError;
+use crate::name::Name;
+use crate::rr::{RClass, RType, Record};
+use crate::wire::{Decoder, Encoder};
+
+/// Query/response operation codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Standard query.
+    Query,
+    /// Zone change notification.
+    Notify,
+    /// Dynamic update.
+    Update,
+    /// Anything else.
+    Unknown(u8),
+}
+
+impl Opcode {
+    fn to_u8(self) -> u8 {
+        match self {
+            Opcode::Query => 0,
+            Opcode::Notify => 4,
+            Opcode::Update => 5,
+            Opcode::Unknown(v) => v,
+        }
+    }
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => Opcode::Query,
+            4 => Opcode::Notify,
+            5 => Opcode::Update,
+            other => Opcode::Unknown(other),
+        }
+    }
+}
+
+/// Response codes (4-bit header field; extended codes live in EDNS).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// Malformed query.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Name does not exist (authoritative).
+    NxDomain,
+    /// Not implemented.
+    NotImp,
+    /// Refused by policy.
+    Refused,
+    /// Anything else.
+    Unknown(u8),
+}
+
+impl Rcode {
+    fn to_u8(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::Unknown(v) => v,
+        }
+    }
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            other => Rcode::Unknown(other),
+        }
+    }
+}
+
+impl fmt::Display for Rcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rcode::NoError => write!(f, "NOERROR"),
+            Rcode::FormErr => write!(f, "FORMERR"),
+            Rcode::ServFail => write!(f, "SERVFAIL"),
+            Rcode::NxDomain => write!(f, "NXDOMAIN"),
+            Rcode::NotImp => write!(f, "NOTIMP"),
+            Rcode::Refused => write!(f, "REFUSED"),
+            Rcode::Unknown(v) => write!(f, "RCODE{v}"),
+        }
+    }
+}
+
+/// Parsed message header (counts are derived from the section vectors at
+/// encode time, so they are not stored here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Header {
+    /// Transaction ID.
+    pub id: u16,
+    /// True for responses.
+    pub response: bool,
+    /// Operation.
+    pub opcode: Opcode,
+    /// Authoritative answer.
+    pub authoritative: bool,
+    /// Truncation (answer did not fit; retry over stream transport).
+    pub truncated: bool,
+    /// Recursion desired.
+    pub recursion_desired: bool,
+    /// Recursion available.
+    pub recursion_available: bool,
+    /// Authentic data (DNSSEC-validated by the responding resolver).
+    pub authentic_data: bool,
+    /// Checking disabled.
+    pub checking_disabled: bool,
+    /// Response code.
+    pub rcode: Rcode,
+}
+
+impl Default for Header {
+    fn default() -> Self {
+        Header {
+            id: 0,
+            response: false,
+            opcode: Opcode::Query,
+            authoritative: false,
+            truncated: false,
+            recursion_desired: false,
+            recursion_available: false,
+            authentic_data: false,
+            checking_disabled: false,
+            rcode: Rcode::NoError,
+        }
+    }
+}
+
+impl Header {
+    fn flags_word(&self) -> u16 {
+        let mut w: u16 = 0;
+        if self.response {
+            w |= 1 << 15;
+        }
+        w |= (self.opcode.to_u8() as u16 & 0xf) << 11;
+        if self.authoritative {
+            w |= 1 << 10;
+        }
+        if self.truncated {
+            w |= 1 << 9;
+        }
+        if self.recursion_desired {
+            w |= 1 << 8;
+        }
+        if self.recursion_available {
+            w |= 1 << 7;
+        }
+        if self.authentic_data {
+            w |= 1 << 5;
+        }
+        if self.checking_disabled {
+            w |= 1 << 4;
+        }
+        w |= self.rcode.to_u8() as u16 & 0xf;
+        w
+    }
+
+    fn from_flags_word(id: u16, w: u16) -> Header {
+        Header {
+            id,
+            response: w & (1 << 15) != 0,
+            opcode: Opcode::from_u8(((w >> 11) & 0xf) as u8),
+            authoritative: w & (1 << 10) != 0,
+            truncated: w & (1 << 9) != 0,
+            recursion_desired: w & (1 << 8) != 0,
+            recursion_available: w & (1 << 7) != 0,
+            authentic_data: w & (1 << 5) != 0,
+            checking_disabled: w & (1 << 4) != 0,
+            rcode: Rcode::from_u8((w & 0xf) as u8),
+        }
+    }
+}
+
+/// A question section entry.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Question {
+    /// Queried name.
+    pub qname: Name,
+    /// Queried type.
+    pub qtype: RType,
+    /// Queried class.
+    pub qclass: RClass,
+}
+
+impl Question {
+    /// Convenience constructor for class IN.
+    pub fn new(qname: Name, qtype: RType) -> Self {
+        Question { qname, qtype, qclass: RClass::IN }
+    }
+}
+
+impl fmt::Display for Question {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.qname, self.qclass, self.qtype)
+    }
+}
+
+/// EDNS(0) parameters carried in an OPT pseudo-record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Edns {
+    /// Advertised maximum UDP payload size.
+    pub udp_payload_size: u16,
+    /// Extended RCODE high bits (unused in this workspace, kept for fidelity).
+    pub extended_rcode: u8,
+    /// EDNS version (0).
+    pub version: u8,
+    /// DNSSEC OK: requester wants DNSSEC records.
+    pub dnssec_ok: bool,
+}
+
+impl Default for Edns {
+    fn default() -> Self {
+        Edns { udp_payload_size: 4096, extended_rcode: 0, version: 0, dnssec_ok: false }
+    }
+}
+
+/// A complete DNS message.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Message {
+    /// Header flags and ID.
+    pub header: Header,
+    /// Question section (exactly one in ordinary queries).
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+    /// Authority section (NS referrals, SOA for negative answers).
+    pub authorities: Vec<Record>,
+    /// Additional section (glue), excluding the OPT record.
+    pub additionals: Vec<Record>,
+    /// EDNS(0) parameters, if an OPT record is present.
+    pub edns: Option<Edns>,
+}
+
+impl Message {
+    /// Builds a query for `qname`/`qtype` with recursion desired off (the
+    /// iterative style recursive resolvers use toward authoritative servers).
+    pub fn query(id: u16, qname: Name, qtype: RType) -> Message {
+        Message {
+            header: Header { id, ..Header::default() },
+            questions: vec![Question::new(qname, qtype)],
+            ..Message::default()
+        }
+    }
+
+    /// Builds a response skeleton mirroring `query`'s ID and question.
+    pub fn response_to(query: &Message, rcode: Rcode) -> Message {
+        Message {
+            header: Header {
+                id: query.header.id,
+                response: true,
+                opcode: query.header.opcode,
+                recursion_desired: query.header.recursion_desired,
+                rcode,
+                ..Header::default()
+            },
+            questions: query.questions.clone(),
+            ..Message::default()
+        }
+    }
+
+    /// First question, if any.
+    pub fn question(&self) -> Option<&Question> {
+        self.questions.first()
+    }
+
+    /// Total records across answer/authority/additional sections.
+    pub fn record_count(&self) -> usize {
+        self.answers.len() + self.authorities.len() + self.additionals.len()
+    }
+
+    /// Encodes to wire format with name compression.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.u16(self.header.id);
+        enc.u16(self.header.flags_word());
+        enc.u16(self.questions.len() as u16);
+        enc.u16(self.answers.len() as u16);
+        enc.u16(self.authorities.len() as u16);
+        let arcount = self.additionals.len() + usize::from(self.edns.is_some());
+        enc.u16(arcount as u16);
+        for q in &self.questions {
+            enc.name(&q.qname);
+            enc.u16(q.qtype.to_u16());
+            enc.u16(q.qclass.to_u16());
+        }
+        for r in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
+            r.encode(&mut enc);
+        }
+        if let Some(edns) = &self.edns {
+            // OPT: root owner, type 41, class = payload size, TTL packs
+            // extended rcode / version / DO bit.
+            enc.name(&Name::root());
+            enc.u16(RType::OPT.to_u16());
+            enc.u16(edns.udp_payload_size);
+            let ttl: u32 = ((edns.extended_rcode as u32) << 24)
+                | ((edns.version as u32) << 16)
+                | if edns.dnssec_ok { 1 << 15 } else { 0 };
+            enc.u32(ttl);
+            enc.u16(0); // no options
+        }
+        enc.finish()
+    }
+
+    /// Decodes a wire-format message. Rejects trailing bytes.
+    pub fn decode(buf: &[u8]) -> Result<Message, ProtoError> {
+        let mut dec = Decoder::new(buf);
+        let id = dec.u16()?;
+        let flags = dec.u16()?;
+        let header = Header::from_flags_word(id, flags);
+        let qdcount = dec.u16()? as usize;
+        let ancount = dec.u16()? as usize;
+        let nscount = dec.u16()? as usize;
+        let arcount = dec.u16()? as usize;
+
+        let mut questions = Vec::with_capacity(qdcount);
+        for _ in 0..qdcount {
+            let qname = dec.name()?;
+            let qtype = RType::from_u16(dec.u16()?);
+            let qclass = RClass::from_u16(dec.u16()?);
+            questions.push(Question { qname, qtype, qclass });
+        }
+
+        let read_section = |dec: &mut Decoder<'_>, n: usize| -> Result<Vec<Record>, ProtoError> {
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(Record::decode(dec)?);
+            }
+            Ok(out)
+        };
+        let answers = read_section(&mut dec, ancount)?;
+        let authorities = read_section(&mut dec, nscount)?;
+        let raw_additionals = read_section(&mut dec, arcount)?;
+
+        let mut additionals = Vec::with_capacity(raw_additionals.len());
+        let mut edns = None;
+        for r in raw_additionals {
+            if r.rtype() == RType::OPT {
+                if edns.is_some() {
+                    return Err(ProtoError::BadMessage("multiple OPT records"));
+                }
+                if !r.name.is_root() {
+                    return Err(ProtoError::BadMessage("OPT owner must be root"));
+                }
+                edns = Some(Edns {
+                    udp_payload_size: r.class.to_u16(),
+                    extended_rcode: (r.ttl >> 24) as u8,
+                    version: (r.ttl >> 16) as u8,
+                    dnssec_ok: r.ttl & (1 << 15) != 0,
+                });
+            } else {
+                additionals.push(r);
+            }
+        }
+
+        if !dec.is_exhausted() {
+            return Err(ProtoError::BadMessage("trailing bytes"));
+        }
+        Ok(Message { header, questions, answers, authorities, additionals, edns })
+    }
+
+    /// Encoded size without building the buffer twice.
+    pub fn encoded_len(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            ";; id {} {} {} qd={} an={} ns={} ar={}",
+            self.header.id,
+            if self.header.response { "response" } else { "query" },
+            self.header.rcode,
+            self.questions.len(),
+            self.answers.len(),
+            self.authorities.len(),
+            self.additionals.len(),
+        )?;
+        for q in &self.questions {
+            writeln!(f, ";{q}")?;
+        }
+        for r in &self.answers {
+            writeln!(f, "{r}")?;
+        }
+        for r in &self.authorities {
+            writeln!(f, "{r}")?;
+        }
+        for r in &self.additionals {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rr::{RData, Soa};
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn roundtrip(msg: &Message) -> Message {
+        let buf = msg.encode();
+        let out = Message::decode(&buf).expect("decode");
+        assert_eq!(&out, msg);
+        out
+    }
+
+    #[test]
+    fn empty_query_roundtrip() {
+        let q = Message::query(0x1234, n("www.sigcomm.org"), RType::A);
+        roundtrip(&q);
+    }
+
+    #[test]
+    fn header_flags_roundtrip() {
+        let mut msg = Message::query(7, n("example.com"), RType::AAAA);
+        msg.header.response = true;
+        msg.header.authoritative = true;
+        msg.header.truncated = true;
+        msg.header.recursion_desired = true;
+        msg.header.recursion_available = true;
+        msg.header.authentic_data = true;
+        msg.header.checking_disabled = true;
+        msg.header.rcode = Rcode::NxDomain;
+        roundtrip(&msg);
+    }
+
+    #[test]
+    fn all_rcodes_roundtrip() {
+        for rc in [Rcode::NoError, Rcode::FormErr, Rcode::ServFail, Rcode::NxDomain, Rcode::NotImp, Rcode::Refused, Rcode::Unknown(9)] {
+            let mut msg = Message::query(1, n("x"), RType::A);
+            msg.header.rcode = rc;
+            roundtrip(&msg);
+        }
+    }
+
+    #[test]
+    fn referral_response_roundtrip() {
+        // The shape a root server actually returns: empty answer, NS records
+        // in authority, glue in additional.
+        let q = Message::query(42, n("www.sigcomm.org"), RType::A);
+        let mut resp = Message::response_to(&q, Rcode::NoError);
+        resp.authorities.push(Record::new(n("org"), 172_800, RData::Ns(n("a0.org.afilias-nst.info"))));
+        resp.authorities.push(Record::new(n("org"), 172_800, RData::Ns(n("b0.org.afilias-nst.org"))));
+        resp.additionals.push(Record::new(n("a0.org.afilias-nst.info"), 172_800, RData::A("199.19.56.1".parse().unwrap())));
+        resp.additionals.push(Record::new(n("a0.org.afilias-nst.info"), 172_800, RData::Aaaa("2001:500:e::1".parse().unwrap())));
+        let decoded = roundtrip(&resp);
+        assert_eq!(decoded.header.id, 42);
+        assert!(decoded.answers.is_empty());
+        assert_eq!(decoded.authorities.len(), 2);
+        assert_eq!(decoded.additionals.len(), 2);
+    }
+
+    #[test]
+    fn nxdomain_with_soa_roundtrip() {
+        let q = Message::query(9, n("no-such-tld-xyzzy"), RType::A);
+        let mut resp = Message::response_to(&q, Rcode::NxDomain);
+        resp.header.authoritative = true;
+        resp.authorities.push(Record::new(
+            Name::root(),
+            86_400,
+            RData::Soa(Soa {
+                mname: n("a.root-servers.net"),
+                rname: n("nstld.verisign-grs.com"),
+                serial: 1,
+                refresh: 1800,
+                retry: 900,
+                expire: 604_800,
+                minimum: 86_400,
+            }),
+        ));
+        roundtrip(&resp);
+    }
+
+    #[test]
+    fn edns_roundtrip() {
+        let mut q = Message::query(3, n("com"), RType::NS);
+        q.edns = Some(Edns { udp_payload_size: 1232, extended_rcode: 0, version: 0, dnssec_ok: true });
+        let decoded = roundtrip(&q);
+        assert_eq!(decoded.edns.unwrap().udp_payload_size, 1232);
+        assert!(decoded.edns.unwrap().dnssec_ok);
+    }
+
+    #[test]
+    fn edns_counts_in_arcount() {
+        let mut q = Message::query(3, n("com"), RType::NS);
+        q.edns = Some(Edns::default());
+        let buf = q.encode();
+        // ARCOUNT is bytes 10..12.
+        assert_eq!(u16::from_be_bytes([buf[10], buf[11]]), 1);
+    }
+
+    #[test]
+    fn multiple_opt_rejected() {
+        let mut q = Message::query(3, n("com"), RType::NS);
+        q.edns = Some(Edns::default());
+        let mut buf = q.encode();
+        // Append a second OPT record and bump ARCOUNT.
+        let opt_start = buf.len() - 11;
+        let opt = buf[opt_start..].to_vec();
+        buf.extend_from_slice(&opt);
+        buf[11] = 2;
+        assert!(matches!(Message::decode(&buf), Err(ProtoError::BadMessage(_))));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let q = Message::query(1, n("com"), RType::NS);
+        let mut buf = q.encode();
+        buf.push(0);
+        assert!(matches!(Message::decode(&buf), Err(ProtoError::BadMessage("trailing bytes"))));
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert_eq!(Message::decode(&[0, 1, 2]), Err(ProtoError::Truncated));
+    }
+
+    #[test]
+    fn count_overstates_records_rejected() {
+        let q = Message::query(1, n("com"), RType::NS);
+        let mut buf = q.encode();
+        buf[7] = 1; // claim one answer that is not present (ANCOUNT low byte)
+        assert!(Message::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn compression_shrinks_referral() {
+        // 13 NS records sharing "root-servers.net" must compress well.
+        let mut resp = Message::query(0, Name::root(), RType::NS);
+        resp.header.response = true;
+        for c in b'a'..=b'm' {
+            let host = n(&format!("{}.root-servers.net", c as char));
+            resp.answers.push(Record::new(Name::root(), 518_400, RData::Ns(host)));
+        }
+        let buf = resp.encode();
+        let naive: usize = resp.answers.iter().map(|r| r.name.wire_len() + 10 + 20).sum();
+        assert!(buf.len() < naive, "compressed {} vs naive {}", buf.len(), naive);
+        let decoded = Message::decode(&buf).unwrap();
+        assert_eq!(decoded.answers.len(), 13);
+    }
+
+    #[test]
+    fn response_to_mirrors_query() {
+        let mut q = Message::query(77, n("a.b"), RType::TXT);
+        q.header.recursion_desired = true;
+        let r = Message::response_to(&q, Rcode::Refused);
+        assert_eq!(r.header.id, 77);
+        assert!(r.header.response);
+        assert!(r.header.recursion_desired);
+        assert_eq!(r.header.rcode, Rcode::Refused);
+        assert_eq!(r.questions, q.questions);
+    }
+}

@@ -1,0 +1,462 @@
+//! Domain names: presentation format, wire format, and the orderings DNS
+//! needs (case-insensitive equality, RFC 4034 canonical ordering).
+//!
+//! A [`Name`] is a sequence of labels, most-specific first, *excluding* the
+//! terminal empty root label (so the root name has zero labels). Limits from
+//! RFC 1035 are enforced at construction: ≤63 octets per label, ≤255 octets
+//! in wire form (including the length bytes and the root terminator).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::error::ProtoError;
+
+/// Maximum octets in a single label.
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum octets of a name on the wire (length bytes + labels + root 0x00).
+pub const MAX_NAME_LEN: usize = 255;
+
+/// A fully-qualified DNS domain name.
+///
+/// All names in this workspace are absolute; the presentation parser accepts
+/// both `"example.com"` and `"example.com."` and produces the same value.
+///
+/// ```
+/// use rootless_proto::name::Name;
+/// let n = Name::parse("WWW.SIGCOMM.org").unwrap();
+/// assert_eq!(n.label_count(), 3);
+/// assert_eq!(n.tld().unwrap().to_string(), "org.");
+/// assert_eq!(n, Name::parse("www.sigcomm.ORG.").unwrap());
+/// ```
+#[derive(Clone, Debug, Eq)]
+pub struct Name {
+    /// Labels, most-specific first. Original case is preserved for display;
+    /// comparisons are case-insensitive.
+    labels: Vec<Vec<u8>>,
+}
+
+fn eq_ignore_case(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_ascii_lowercase() == y.to_ascii_lowercase())
+}
+
+fn cmp_ignore_case(a: &[u8], b: &[u8]) -> Ordering {
+    let la = a.iter().map(|c| c.to_ascii_lowercase());
+    let lb = b.iter().map(|c| c.to_ascii_lowercase());
+    la.cmp(lb)
+}
+
+impl Name {
+    /// The root name (zero labels).
+    pub fn root() -> Self {
+        Name { labels: Vec::new() }
+    }
+
+    /// True if this is the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of labels (the root has zero).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Raw label bytes, most-specific first.
+    pub fn labels(&self) -> impl Iterator<Item = &[u8]> {
+        self.labels.iter().map(|l| l.as_slice())
+    }
+
+    /// Builds a name from raw labels (most-specific first), enforcing limits.
+    pub fn from_labels<I, L>(labels: I) -> Result<Self, ProtoError>
+    where
+        I: IntoIterator<Item = L>,
+        L: AsRef<[u8]>,
+    {
+        let mut out = Vec::new();
+        for l in labels {
+            let l = l.as_ref();
+            if l.is_empty() {
+                return Err(ProtoError::EmptyLabel);
+            }
+            if l.len() > MAX_LABEL_LEN {
+                return Err(ProtoError::LabelTooLong(l.len()));
+            }
+            out.push(l.to_vec());
+        }
+        let name = Name { labels: out };
+        if name.wire_len() > MAX_NAME_LEN {
+            return Err(ProtoError::NameTooLong(name.wire_len()));
+        }
+        Ok(name)
+    }
+
+    /// Parses presentation format. Supports `\.` / `\\` escapes and `\DDD`
+    /// decimal escapes. `""` and `"."` both denote the root.
+    pub fn parse(s: &str) -> Result<Self, ProtoError> {
+        if s.is_empty() || s == "." {
+            return Ok(Name::root());
+        }
+        let bytes = s.as_bytes();
+        let mut labels: Vec<Vec<u8>> = Vec::new();
+        let mut cur: Vec<u8> = Vec::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'.' => {
+                    if cur.is_empty() {
+                        return Err(ProtoError::EmptyLabel);
+                    }
+                    labels.push(std::mem::take(&mut cur));
+                    i += 1;
+                }
+                b'\\' => {
+                    if i + 1 >= bytes.len() {
+                        return Err(ProtoError::BadEscape);
+                    }
+                    let c = bytes[i + 1];
+                    if c.is_ascii_digit() {
+                        if i + 3 >= bytes.len() || !bytes[i + 2].is_ascii_digit() || !bytes[i + 3].is_ascii_digit() {
+                            return Err(ProtoError::BadEscape);
+                        }
+                        let v = (c - b'0') as u32 * 100 + (bytes[i + 2] - b'0') as u32 * 10 + (bytes[i + 3] - b'0') as u32;
+                        if v > 255 {
+                            return Err(ProtoError::BadEscape);
+                        }
+                        cur.push(v as u8);
+                        i += 4;
+                    } else {
+                        cur.push(c);
+                        i += 2;
+                    }
+                }
+                c => {
+                    cur.push(c);
+                    i += 1;
+                }
+            }
+        }
+        if !cur.is_empty() {
+            labels.push(cur);
+        }
+        Name::from_labels(labels)
+    }
+
+    /// Wire-format length: one length byte per label + label bytes + root 0.
+    pub fn wire_len(&self) -> usize {
+        self.labels.iter().map(|l| l.len() + 1).sum::<usize>() + 1
+    }
+
+    /// The name with the most-specific label removed; `None` for the root.
+    pub fn parent(&self) -> Option<Name> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(Name { labels: self.labels[1..].to_vec() })
+        }
+    }
+
+    /// The top-level-domain portion: the last label as a one-label name.
+    /// `None` for the root itself.
+    pub fn tld(&self) -> Option<Name> {
+        self.labels.last().map(|l| Name { labels: vec![l.clone()] })
+    }
+
+    /// The most-specific (leftmost) label, if any.
+    pub fn first_label(&self) -> Option<&[u8]> {
+        self.labels.first().map(|l| l.as_slice())
+    }
+
+    /// True if `self` is `ancestor` or a descendant of it (case-insensitive).
+    /// Every name is within the root.
+    pub fn is_within(&self, ancestor: &Name) -> bool {
+        if ancestor.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - ancestor.labels.len();
+        self.labels[offset..]
+            .iter()
+            .zip(&ancestor.labels)
+            .all(|(a, b)| eq_ignore_case(a, b))
+    }
+
+    /// Prepends `label` to produce a child name.
+    pub fn child<L: AsRef<[u8]>>(&self, label: L) -> Result<Name, ProtoError> {
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(label.as_ref().to_vec());
+        labels.extend(self.labels.iter().cloned());
+        Name::from_labels(labels)
+    }
+
+    /// Concatenates `self` (as the more-specific part) onto `suffix`.
+    pub fn concat(&self, suffix: &Name) -> Result<Name, ProtoError> {
+        let labels: Vec<&[u8]> = self.labels().chain(suffix.labels()).collect();
+        Name::from_labels(labels)
+    }
+
+    /// Returns the suffix of this name with `n` labels (the `n` least
+    /// specific). `n` must not exceed the label count.
+    pub fn suffix(&self, n: usize) -> Name {
+        assert!(n <= self.labels.len());
+        Name { labels: self.labels[self.labels.len() - n..].to_vec() }
+    }
+
+    /// A lowercase copy (canonical case per RFC 4034).
+    pub fn to_lowercase(&self) -> Name {
+        Name {
+            labels: self.labels.iter().map(|l| l.to_ascii_lowercase()).collect(),
+        }
+    }
+
+    /// RFC 4034 §6.1 canonical ordering: compare label sequences right to
+    /// left (least-specific first), case-insensitively, with absent labels
+    /// sorting first.
+    pub fn canonical_cmp(&self, other: &Name) -> Ordering {
+        let mut a = self.labels.iter().rev();
+        let mut b = other.labels.iter().rev();
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return Ordering::Equal,
+                (None, Some(_)) => return Ordering::Less,
+                (Some(_), None) => return Ordering::Greater,
+                (Some(x), Some(y)) => match cmp_ignore_case(x, y) {
+                    Ordering::Equal => continue,
+                    ord => return ord,
+                },
+            }
+        }
+    }
+
+    /// Canonical wire form: lowercase, uncompressed. Used by the DNSSEC layer
+    /// when hashing RRsets.
+    pub fn canonical_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        for l in &self.labels {
+            out.push(l.len() as u8);
+            out.extend(l.iter().map(|c| c.to_ascii_lowercase()));
+        }
+        out.push(0);
+        out
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.labels.len() == other.labels.len()
+            && self.labels.iter().zip(&other.labels).all(|(a, b)| eq_ignore_case(a, b))
+    }
+}
+
+impl Hash for Name {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for l in &self.labels {
+            state.write_usize(l.len());
+            for b in l {
+                state.write_u8(b.to_ascii_lowercase());
+            }
+        }
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.canonical_cmp(other)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        for l in &self.labels {
+            for &b in l {
+                match b {
+                    b'.' | b'\\' => write!(f, "\\{}", b as char)?,
+                    0x21..=0x7e => write!(f, "{}", b as char)?,
+                    _ => write!(f, "\\{b:03}")?,
+                }
+            }
+            write!(f, ".")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for Name {
+    type Err = ProtoError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Name::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn root_forms() {
+        assert!(n(".").is_root());
+        assert!(n("").is_root());
+        assert_eq!(n(".").to_string(), ".");
+        assert_eq!(n(".").wire_len(), 1);
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["com.", "example.com.", "www.sigcomm.org.", "a.b.c.d.e.f."] {
+            assert_eq!(n(s).to_string(), s);
+        }
+        // Trailing dot is optional on input.
+        assert_eq!(n("example.com").to_string(), "example.com.");
+    }
+
+    #[test]
+    fn case_insensitive_equality_and_hash() {
+        let a = n("WWW.Example.COM");
+        let b = n("www.example.com");
+        assert_eq!(a, b);
+        let hash = |name: &Name| {
+            let mut h = DefaultHasher::new();
+            name.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    fn display_preserves_case() {
+        assert_eq!(n("WwW.ORG").to_string(), "WwW.ORG.");
+    }
+
+    #[test]
+    fn escapes() {
+        let name = Name::parse("a\\.b.com").unwrap();
+        assert_eq!(name.label_count(), 2);
+        assert_eq!(name.first_label().unwrap(), b"a.b");
+        assert_eq!(name.to_string(), "a\\.b.com.");
+
+        let ddd = Name::parse("\\065bc.com").unwrap();
+        assert_eq!(ddd.first_label().unwrap(), b"Abc");
+
+        assert!(Name::parse("x\\").is_err());
+        assert!(Name::parse("x\\25").is_err());
+        assert!(Name::parse("x\\999").is_err());
+    }
+
+    #[test]
+    fn non_printable_bytes_display_as_escapes() {
+        let name = Name::from_labels([&[0x07u8, b'a'][..]]).unwrap();
+        assert_eq!(name.to_string(), "\\007a.");
+        assert_eq!(Name::parse(&name.to_string()).unwrap(), name);
+    }
+
+    #[test]
+    fn label_length_limits() {
+        let ok = "a".repeat(63);
+        assert!(Name::parse(&ok).is_ok());
+        let too_long = "a".repeat(64);
+        assert!(matches!(Name::parse(&too_long), Err(ProtoError::LabelTooLong(64))));
+    }
+
+    #[test]
+    fn name_length_limit() {
+        // Four 63-byte labels = 4*64 + 1 = 257 wire bytes: too long.
+        let l = "a".repeat(63);
+        let s = format!("{l}.{l}.{l}.{l}");
+        assert!(matches!(Name::parse(&s), Err(ProtoError::NameTooLong(_))));
+        // Three is fine (193 bytes) and a fourth short one still fits.
+        let s = format!("{l}.{l}.{l}");
+        assert!(Name::parse(&s).is_ok());
+    }
+
+    #[test]
+    fn empty_label_rejected() {
+        assert!(matches!(Name::parse("a..b"), Err(ProtoError::EmptyLabel)));
+        assert!(matches!(Name::parse(".com"), Err(ProtoError::EmptyLabel)));
+    }
+
+    #[test]
+    fn parent_and_tld() {
+        let name = n("www.sigcomm.org");
+        assert_eq!(name.parent().unwrap(), n("sigcomm.org"));
+        assert_eq!(name.tld().unwrap(), n("org"));
+        assert_eq!(n("org").parent().unwrap(), Name::root());
+        assert!(Name::root().parent().is_none());
+        assert!(Name::root().tld().is_none());
+    }
+
+    #[test]
+    fn is_within() {
+        assert!(n("www.example.com").is_within(&n("example.com")));
+        assert!(n("www.example.com").is_within(&n("com")));
+        assert!(n("www.example.com").is_within(&Name::root()));
+        assert!(n("example.com").is_within(&n("example.com")));
+        assert!(!n("example.com").is_within(&n("www.example.com")));
+        assert!(!n("notexample.com").is_within(&n("example.com")));
+        assert!(n("WWW.EXAMPLE.COM").is_within(&n("example.com")));
+    }
+
+    #[test]
+    fn child_and_concat() {
+        assert_eq!(n("com").child("example").unwrap(), n("example.com"));
+        assert_eq!(n("www").concat(&n("example.com")).unwrap(), n("www.example.com"));
+        assert_eq!(Name::root().child("org").unwrap(), n("org"));
+    }
+
+    #[test]
+    fn suffix() {
+        let name = n("a.b.c.d");
+        assert_eq!(name.suffix(0), Name::root());
+        assert_eq!(name.suffix(2), n("c.d"));
+        assert_eq!(name.suffix(4), name);
+    }
+
+    #[test]
+    fn canonical_ordering_rfc4034_example() {
+        // The RFC 4034 §6.1 worked example order.
+        let order = [
+            "example.",
+            "a.example.",
+            "yljkjljk.a.example.",
+            "Z.a.example.",
+            "zABC.a.EXAMPLE.",
+            "z.example.",
+            "\\001.z.example.",
+            "*.z.example.",
+            "\\200.z.example.",
+        ];
+        let names: Vec<Name> = order.iter().map(|s| Name::parse(s).unwrap()).collect();
+        for w in names.windows(2) {
+            assert_eq!(w[0].canonical_cmp(&w[1]), Ordering::Less, "{} < {}", w[0], w[1]);
+        }
+        let mut shuffled: Vec<Name> = names.iter().rev().cloned().collect();
+        shuffled.sort();
+        assert_eq!(shuffled, names);
+    }
+
+    #[test]
+    fn canonical_wire_lowercases() {
+        let name = n("WwW.OrG");
+        assert_eq!(name.canonical_wire(), b"\x03www\x03org\x00".to_vec());
+        assert_eq!(Name::root().canonical_wire(), vec![0]);
+    }
+
+    #[test]
+    fn labels_iterate_most_specific_first() {
+        let name = n("www.example.com");
+        let labels: Vec<&[u8]> = name.labels().collect();
+        assert_eq!(labels, vec![b"www".as_slice(), b"example".as_slice(), b"com".as_slice()]);
+    }
+}

@@ -1,0 +1,1079 @@
+//! Resource records: types, classes, typed RDATA, and wire serialization.
+
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use crate::error::ProtoError;
+use crate::name::Name;
+use crate::wire::{Decoder, Encoder};
+
+/// A DNS resource-record (and query) type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RType {
+    /// IPv4 host address.
+    A,
+    /// Authoritative nameserver.
+    NS,
+    /// Canonical name alias.
+    CNAME,
+    /// Start of authority.
+    SOA,
+    /// Pointer (reverse lookup).
+    PTR,
+    /// Mail exchange.
+    MX,
+    /// Text strings.
+    TXT,
+    /// IPv6 host address.
+    AAAA,
+    /// Service locator (RFC 2782).
+    SRV,
+    /// Certification authority authorization (RFC 8659).
+    CAA,
+    /// EDNS(0) pseudo-record.
+    OPT,
+    /// Delegation signer.
+    DS,
+    /// DNSSEC signature.
+    RRSIG,
+    /// Authenticated denial of existence.
+    NSEC,
+    /// DNSSEC public key.
+    DNSKEY,
+    /// Message digest over zone data (RFC 8976).
+    ZONEMD,
+    /// Whole-zone transfer (query type only).
+    AXFR,
+    /// All records (query type only).
+    ANY,
+    /// Any type this implementation does not model.
+    Unknown(u16),
+}
+
+impl RType {
+    /// Wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            RType::A => 1,
+            RType::NS => 2,
+            RType::CNAME => 5,
+            RType::SOA => 6,
+            RType::PTR => 12,
+            RType::MX => 15,
+            RType::TXT => 16,
+            RType::AAAA => 28,
+            RType::SRV => 33,
+            RType::CAA => 257,
+            RType::OPT => 41,
+            RType::DS => 43,
+            RType::RRSIG => 46,
+            RType::NSEC => 47,
+            RType::DNSKEY => 48,
+            RType::ZONEMD => 63,
+            RType::AXFR => 252,
+            RType::ANY => 255,
+            RType::Unknown(v) => v,
+        }
+    }
+
+    /// From wire value.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            1 => RType::A,
+            2 => RType::NS,
+            5 => RType::CNAME,
+            6 => RType::SOA,
+            12 => RType::PTR,
+            15 => RType::MX,
+            16 => RType::TXT,
+            28 => RType::AAAA,
+            33 => RType::SRV,
+            257 => RType::CAA,
+            41 => RType::OPT,
+            43 => RType::DS,
+            46 => RType::RRSIG,
+            47 => RType::NSEC,
+            48 => RType::DNSKEY,
+            63 => RType::ZONEMD,
+            252 => RType::AXFR,
+            255 => RType::ANY,
+            other => RType::Unknown(other),
+        }
+    }
+
+    /// True for query-only meta types that never appear as stored records.
+    pub fn is_meta(self) -> bool {
+        matches!(self, RType::OPT | RType::AXFR | RType::ANY)
+    }
+
+    /// Presentation mnemonic.
+    pub fn mnemonic(self) -> String {
+        match self {
+            RType::A => "A".into(),
+            RType::NS => "NS".into(),
+            RType::CNAME => "CNAME".into(),
+            RType::SOA => "SOA".into(),
+            RType::PTR => "PTR".into(),
+            RType::MX => "MX".into(),
+            RType::TXT => "TXT".into(),
+            RType::AAAA => "AAAA".into(),
+            RType::SRV => "SRV".into(),
+            RType::CAA => "CAA".into(),
+            RType::OPT => "OPT".into(),
+            RType::DS => "DS".into(),
+            RType::RRSIG => "RRSIG".into(),
+            RType::NSEC => "NSEC".into(),
+            RType::DNSKEY => "DNSKEY".into(),
+            RType::ZONEMD => "ZONEMD".into(),
+            RType::AXFR => "AXFR".into(),
+            RType::ANY => "ANY".into(),
+            RType::Unknown(v) => format!("TYPE{v}"),
+        }
+    }
+
+    /// Parses a presentation mnemonic, including RFC 3597 `TYPEnnn`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let up = s.to_ascii_uppercase();
+        Some(match up.as_str() {
+            "A" => RType::A,
+            "NS" => RType::NS,
+            "CNAME" => RType::CNAME,
+            "SOA" => RType::SOA,
+            "PTR" => RType::PTR,
+            "MX" => RType::MX,
+            "TXT" => RType::TXT,
+            "AAAA" => RType::AAAA,
+            "SRV" => RType::SRV,
+            "CAA" => RType::CAA,
+            "OPT" => RType::OPT,
+            "DS" => RType::DS,
+            "RRSIG" => RType::RRSIG,
+            "NSEC" => RType::NSEC,
+            "DNSKEY" => RType::DNSKEY,
+            "ZONEMD" => RType::ZONEMD,
+            "AXFR" => RType::AXFR,
+            "ANY" => RType::ANY,
+            _ => {
+                let n = up.strip_prefix("TYPE")?.parse::<u16>().ok()?;
+                RType::from_u16(n)
+            }
+        })
+    }
+}
+
+impl fmt::Display for RType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+/// A DNS class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RClass {
+    /// Internet.
+    IN,
+    /// Chaos (used operationally for server identity queries).
+    CH,
+    /// Any class (query only).
+    ANY,
+    /// Unmodeled class.
+    Unknown(u16),
+}
+
+impl RClass {
+    /// Wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            RClass::IN => 1,
+            RClass::CH => 3,
+            RClass::ANY => 255,
+            RClass::Unknown(v) => v,
+        }
+    }
+
+    /// From wire value.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            1 => RClass::IN,
+            3 => RClass::CH,
+            255 => RClass::ANY,
+            other => RClass::Unknown(other),
+        }
+    }
+}
+
+impl fmt::Display for RClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RClass::IN => write!(f, "IN"),
+            RClass::CH => write!(f, "CH"),
+            RClass::ANY => write!(f, "ANY"),
+            RClass::Unknown(v) => write!(f, "CLASS{v}"),
+        }
+    }
+}
+
+/// SOA RDATA fields.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Soa {
+    /// Primary master name.
+    pub mname: Name,
+    /// Responsible mailbox (encoded as a name).
+    pub rname: Name,
+    /// Zone serial number.
+    pub serial: u32,
+    /// Secondary refresh interval, seconds.
+    pub refresh: u32,
+    /// Retry interval, seconds.
+    pub retry: u32,
+    /// Expiry bound, seconds.
+    pub expire: u32,
+    /// Negative-caching TTL, seconds.
+    pub minimum: u32,
+}
+
+/// RRSIG RDATA fields (RFC 4034 §3).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Rrsig {
+    /// Type of the RRset this signature covers.
+    pub type_covered: RType,
+    /// Signing algorithm number. This workspace uses `250` for its simulated
+    /// HMAC-SHA256 scheme (private-use range).
+    pub algorithm: u8,
+    /// Label count of the owner name (no wildcard expansion here).
+    pub labels: u8,
+    /// TTL of the covered RRset at signing time.
+    pub original_ttl: u32,
+    /// Expiration, seconds since the simulation epoch.
+    pub expiration: u32,
+    /// Inception, seconds since the simulation epoch.
+    pub inception: u32,
+    /// Key tag of the signing DNSKEY.
+    pub key_tag: u16,
+    /// Name of the zone holding the signing key.
+    pub signer: Name,
+    /// Signature bytes.
+    pub signature: Vec<u8>,
+}
+
+/// DNSKEY RDATA fields (RFC 4034 §2).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Dnskey {
+    /// Flags; bit 7 (value 257 vs 256) distinguishes KSK from ZSK.
+    pub flags: u16,
+    /// Always 3.
+    pub protocol: u8,
+    /// Algorithm number (250 = simulated HMAC-SHA256).
+    pub algorithm: u8,
+    /// Public key bytes.
+    pub public_key: Vec<u8>,
+}
+
+impl Dnskey {
+    /// RFC 4034 appendix B key tag over the canonical RDATA.
+    pub fn key_tag(&self) -> u16 {
+        let mut rdata = Vec::new();
+        rdata.extend_from_slice(&self.flags.to_be_bytes());
+        rdata.push(self.protocol);
+        rdata.push(self.algorithm);
+        rdata.extend_from_slice(&self.public_key);
+        let mut acc: u32 = 0;
+        for (i, &b) in rdata.iter().enumerate() {
+            acc += if i % 2 == 0 { (b as u32) << 8 } else { b as u32 };
+        }
+        acc += (acc >> 16) & 0xffff;
+        (acc & 0xffff) as u16
+    }
+
+    /// True if the Secure Entry Point (KSK) flag is set.
+    pub fn is_ksk(&self) -> bool {
+        self.flags & 0x0001 != 0
+    }
+}
+
+/// DS RDATA fields (RFC 4034 §5).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Ds {
+    /// Key tag of the referenced DNSKEY.
+    pub key_tag: u16,
+    /// Algorithm of the referenced key.
+    pub algorithm: u8,
+    /// Digest algorithm (2 = SHA-256).
+    pub digest_type: u8,
+    /// Digest of owner name + DNSKEY RDATA.
+    pub digest: Vec<u8>,
+}
+
+/// ZONEMD RDATA fields (RFC 8976).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Zonemd {
+    /// Serial of the zone version this digest covers.
+    pub serial: u32,
+    /// Scheme (1 = SIMPLE).
+    pub scheme: u8,
+    /// Hash algorithm (1 = SHA-384 in the RFC; this workspace uses 240 for
+    /// its from-scratch SHA-256).
+    pub hash_algorithm: u8,
+    /// The digest bytes.
+    pub digest: Vec<u8>,
+}
+
+/// SRV RDATA fields (RFC 2782).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Srv {
+    /// Selection priority (lower wins).
+    pub priority: u16,
+    /// Load-balancing weight among equal priorities.
+    pub weight: u16,
+    /// Service port.
+    pub port: u16,
+    /// Target host (uncompressed on the wire per RFC 2782).
+    pub target: Name,
+}
+
+/// CAA RDATA fields (RFC 8659).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Caa {
+    /// Flags; bit 7 = issuer-critical.
+    pub flags: u8,
+    /// Property tag (e.g. "issue", "issuewild", "iodef").
+    pub tag: Vec<u8>,
+    /// Property value.
+    pub value: Vec<u8>,
+}
+
+/// Typed RDATA.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RData {
+    /// IPv4 address.
+    A(Ipv4Addr),
+    /// IPv6 address.
+    Aaaa(Ipv6Addr),
+    /// Nameserver.
+    Ns(Name),
+    /// Alias target.
+    Cname(Name),
+    /// Reverse pointer.
+    Ptr(Name),
+    /// Mail exchange: preference + host.
+    Mx(u16, Name),
+    /// Character strings (each ≤255 bytes).
+    Txt(Vec<Vec<u8>>),
+    /// Start of authority.
+    Soa(Soa),
+    /// Signature.
+    Rrsig(Rrsig),
+    /// Public key.
+    Dnskey(Dnskey),
+    /// Delegation signer digest.
+    Ds(Ds),
+    /// Denial of existence: next owner + type bitmap.
+    Nsec(Name, Vec<RType>),
+    /// Whole-zone digest.
+    Zonemd(Zonemd),
+    /// Service locator.
+    Srv(Srv),
+    /// CA authorization.
+    Caa(Caa),
+    /// Opaque RDATA for unmodeled types.
+    Unknown(u16, Vec<u8>),
+}
+
+impl RData {
+    /// The record type this RDATA belongs to.
+    pub fn rtype(&self) -> RType {
+        match self {
+            RData::A(_) => RType::A,
+            RData::Aaaa(_) => RType::AAAA,
+            RData::Ns(_) => RType::NS,
+            RData::Cname(_) => RType::CNAME,
+            RData::Ptr(_) => RType::PTR,
+            RData::Mx(..) => RType::MX,
+            RData::Txt(_) => RType::TXT,
+            RData::Soa(_) => RType::SOA,
+            RData::Rrsig(_) => RType::RRSIG,
+            RData::Dnskey(_) => RType::DNSKEY,
+            RData::Ds(_) => RType::DS,
+            RData::Nsec(..) => RType::NSEC,
+            RData::Zonemd(_) => RType::ZONEMD,
+            RData::Srv(_) => RType::SRV,
+            RData::Caa(_) => RType::CAA,
+            RData::Unknown(t, _) => RType::from_u16(*t),
+        }
+    }
+
+    /// Encodes RDATA into `enc` (no length prefix; the caller handles
+    /// RDLENGTH). Names in well-known types may be compressed.
+    pub fn encode(&self, enc: &mut Encoder) {
+        match self {
+            RData::A(addr) => enc.bytes(&addr.octets()),
+            RData::Aaaa(addr) => enc.bytes(&addr.octets()),
+            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => enc.name(n),
+            RData::Mx(pref, n) => {
+                enc.u16(*pref);
+                enc.name(n);
+            }
+            RData::Txt(strings) => {
+                for s in strings {
+                    enc.u8(s.len() as u8);
+                    enc.bytes(s);
+                }
+            }
+            RData::Soa(soa) => {
+                enc.name(&soa.mname);
+                enc.name(&soa.rname);
+                enc.u32(soa.serial);
+                enc.u32(soa.refresh);
+                enc.u32(soa.retry);
+                enc.u32(soa.expire);
+                enc.u32(soa.minimum);
+            }
+            RData::Rrsig(sig) => {
+                enc.u16(sig.type_covered.to_u16());
+                enc.u8(sig.algorithm);
+                enc.u8(sig.labels);
+                enc.u32(sig.original_ttl);
+                enc.u32(sig.expiration);
+                enc.u32(sig.inception);
+                enc.u16(sig.key_tag);
+                enc.name_uncompressed(&sig.signer);
+                enc.bytes(&sig.signature);
+            }
+            RData::Dnskey(k) => {
+                enc.u16(k.flags);
+                enc.u8(k.protocol);
+                enc.u8(k.algorithm);
+                enc.bytes(&k.public_key);
+            }
+            RData::Ds(ds) => {
+                enc.u16(ds.key_tag);
+                enc.u8(ds.algorithm);
+                enc.u8(ds.digest_type);
+                enc.bytes(&ds.digest);
+            }
+            RData::Nsec(next, types) => {
+                enc.name_uncompressed(next);
+                encode_type_bitmap(enc, types);
+            }
+            RData::Zonemd(z) => {
+                enc.u32(z.serial);
+                enc.u8(z.scheme);
+                enc.u8(z.hash_algorithm);
+                enc.bytes(&z.digest);
+            }
+            RData::Srv(srv) => {
+                enc.u16(srv.priority);
+                enc.u16(srv.weight);
+                enc.u16(srv.port);
+                enc.name_uncompressed(&srv.target);
+            }
+            RData::Caa(caa) => {
+                enc.u8(caa.flags);
+                enc.u8(caa.tag.len() as u8);
+                enc.bytes(&caa.tag);
+                enc.bytes(&caa.value);
+            }
+            RData::Unknown(_, bytes) => enc.bytes(bytes),
+        }
+    }
+
+    /// Canonical RDATA bytes for DNSSEC hashing (RFC 4034 §6.2): embedded
+    /// names lowercased and uncompressed.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        match self {
+            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => n.canonical_wire(),
+            RData::Mx(pref, n) => {
+                let mut out = pref.to_be_bytes().to_vec();
+                out.extend(n.canonical_wire());
+                out
+            }
+            RData::Srv(srv) => {
+                let mut out = Vec::new();
+                out.extend_from_slice(&srv.priority.to_be_bytes());
+                out.extend_from_slice(&srv.weight.to_be_bytes());
+                out.extend_from_slice(&srv.port.to_be_bytes());
+                out.extend(srv.target.canonical_wire());
+                out
+            }
+            RData::Soa(soa) => {
+                let mut out = soa.mname.canonical_wire();
+                out.extend(soa.rname.canonical_wire());
+                for v in [soa.serial, soa.refresh, soa.retry, soa.expire, soa.minimum] {
+                    out.extend_from_slice(&v.to_be_bytes());
+                }
+                out
+            }
+            other => {
+                // No embedded names (or already-canonical names): reuse the
+                // standard encoding via a throwaway encoder.
+                let mut enc = Encoder::new();
+                other.encode(&mut enc);
+                enc.finish()
+            }
+        }
+    }
+
+    /// Decodes RDATA of type `rtype` from exactly `rdlen` bytes at the
+    /// decoder's cursor.
+    pub fn decode(dec: &mut Decoder<'_>, rtype: RType, rdlen: usize) -> Result<RData, ProtoError> {
+        let start = dec.position();
+        let end = start + rdlen;
+        if dec.remaining() < rdlen {
+            return Err(ProtoError::Truncated);
+        }
+        let rdata = match rtype {
+            RType::A => {
+                let b = dec.take(4)?;
+                RData::A(Ipv4Addr::new(b[0], b[1], b[2], b[3]))
+            }
+            RType::AAAA => {
+                let b = dec.take(16)?;
+                let mut o = [0u8; 16];
+                o.copy_from_slice(b);
+                RData::Aaaa(Ipv6Addr::from(o))
+            }
+            RType::NS => RData::Ns(dec.name()?),
+            RType::CNAME => RData::Cname(dec.name()?),
+            RType::PTR => RData::Ptr(dec.name()?),
+            RType::MX => {
+                let pref = dec.u16()?;
+                RData::Mx(pref, dec.name()?)
+            }
+            RType::TXT => {
+                let mut strings = Vec::new();
+                while dec.position() < end {
+                    let len = dec.u8()? as usize;
+                    if dec.position() + len > end {
+                        return Err(ProtoError::Truncated);
+                    }
+                    strings.push(dec.take(len)?.to_vec());
+                }
+                RData::Txt(strings)
+            }
+            RType::SOA => RData::Soa(Soa {
+                mname: dec.name()?,
+                rname: dec.name()?,
+                serial: dec.u32()?,
+                refresh: dec.u32()?,
+                retry: dec.u32()?,
+                expire: dec.u32()?,
+                minimum: dec.u32()?,
+            }),
+            RType::RRSIG => {
+                let type_covered = RType::from_u16(dec.u16()?);
+                let algorithm = dec.u8()?;
+                let labels = dec.u8()?;
+                let original_ttl = dec.u32()?;
+                let expiration = dec.u32()?;
+                let inception = dec.u32()?;
+                let key_tag = dec.u16()?;
+                let signer = dec.name()?;
+                if dec.position() > end {
+                    return Err(ProtoError::Truncated);
+                }
+                let signature = dec.take(end - dec.position())?.to_vec();
+                RData::Rrsig(Rrsig {
+                    type_covered,
+                    algorithm,
+                    labels,
+                    original_ttl,
+                    expiration,
+                    inception,
+                    key_tag,
+                    signer,
+                    signature,
+                })
+            }
+            RType::DNSKEY => {
+                let flags = dec.u16()?;
+                let protocol = dec.u8()?;
+                let algorithm = dec.u8()?;
+                let public_key = dec.take(end - dec.position())?.to_vec();
+                RData::Dnskey(Dnskey { flags, protocol, algorithm, public_key })
+            }
+            RType::DS => {
+                let key_tag = dec.u16()?;
+                let algorithm = dec.u8()?;
+                let digest_type = dec.u8()?;
+                let digest = dec.take(end - dec.position())?.to_vec();
+                RData::Ds(Ds { key_tag, algorithm, digest_type, digest })
+            }
+            RType::NSEC => {
+                let next = dec.name()?;
+                let types = decode_type_bitmap(dec, end)?;
+                RData::Nsec(next, types)
+            }
+            RType::ZONEMD => {
+                let serial = dec.u32()?;
+                let scheme = dec.u8()?;
+                let hash_algorithm = dec.u8()?;
+                let digest = dec.take(end - dec.position())?.to_vec();
+                RData::Zonemd(Zonemd { serial, scheme, hash_algorithm, digest })
+            }
+            RType::SRV => {
+                let priority = dec.u16()?;
+                let weight = dec.u16()?;
+                let port = dec.u16()?;
+                let target = dec.name()?;
+                RData::Srv(Srv { priority, weight, port, target })
+            }
+            RType::CAA => {
+                let flags = dec.u8()?;
+                let tag_len = dec.u8()? as usize;
+                if dec.position() + tag_len > end {
+                    return Err(ProtoError::Truncated);
+                }
+                let tag = dec.take(tag_len)?.to_vec();
+                let value = dec.take(end - dec.position())?.to_vec();
+                RData::Caa(Caa { flags, tag, value })
+            }
+            other => RData::Unknown(other.to_u16(), dec.take(rdlen)?.to_vec()),
+        };
+        if dec.position() != end {
+            return Err(ProtoError::BadRdataLength {
+                rtype: rtype.to_u16(),
+                declared: rdlen,
+                consumed: dec.position() - start,
+            });
+        }
+        Ok(rdata)
+    }
+}
+
+fn encode_type_bitmap(enc: &mut Encoder, types: &[RType]) {
+    let mut values: Vec<u16> = types.iter().map(|t| t.to_u16()).collect();
+    values.sort_unstable();
+    values.dedup();
+    let mut i = 0;
+    while i < values.len() {
+        let window = (values[i] >> 8) as u8;
+        let mut bitmap = [0u8; 32];
+        let mut max_octet = 0usize;
+        while i < values.len() && (values[i] >> 8) as u8 == window {
+            let low = (values[i] & 0xff) as usize;
+            bitmap[low / 8] |= 0x80 >> (low % 8);
+            max_octet = max_octet.max(low / 8);
+            i += 1;
+        }
+        enc.u8(window);
+        enc.u8((max_octet + 1) as u8);
+        enc.bytes(&bitmap[..=max_octet]);
+    }
+}
+
+fn decode_type_bitmap(dec: &mut Decoder<'_>, end: usize) -> Result<Vec<RType>, ProtoError> {
+    let mut types = Vec::new();
+    while dec.position() < end {
+        let window = dec.u8()?;
+        let len = dec.u8()? as usize;
+        if len == 0 || len > 32 || dec.position() + len > end {
+            return Err(ProtoError::BadMessage("bad NSEC bitmap window"));
+        }
+        let octets = dec.take(len)?;
+        for (oi, &octet) in octets.iter().enumerate() {
+            for bit in 0..8 {
+                if octet & (0x80 >> bit) != 0 {
+                    let v = ((window as u16) << 8) | (oi * 8 + bit) as u16;
+                    types.push(RType::from_u16(v));
+                }
+            }
+        }
+    }
+    Ok(types)
+}
+
+/// A complete resource record.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Record {
+    /// Owner name.
+    pub name: Name,
+    /// Class (always IN in this workspace's zones).
+    pub class: RClass,
+    /// Time to live, seconds.
+    pub ttl: u32,
+    /// Typed RDATA.
+    pub rdata: RData,
+}
+
+impl Record {
+    /// Convenience constructor for class IN.
+    pub fn new(name: Name, ttl: u32, rdata: RData) -> Self {
+        Record { name, class: RClass::IN, ttl, rdata }
+    }
+
+    /// The record type.
+    pub fn rtype(&self) -> RType {
+        self.rdata.rtype()
+    }
+
+    /// Encodes the full record (owner, type, class, TTL, RDLENGTH, RDATA).
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.name(&self.name);
+        enc.u16(self.rtype().to_u16());
+        enc.u16(self.class.to_u16());
+        enc.u32(self.ttl);
+        let marker = enc.begin_len();
+        self.rdata.encode(enc);
+        enc.patch_len(marker);
+    }
+
+    /// Decodes one record at the cursor.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Record, ProtoError> {
+        let name = dec.name()?;
+        let rtype = RType::from_u16(dec.u16()?);
+        let class = RClass::from_u16(dec.u16()?);
+        let ttl = dec.u32()?;
+        let rdlen = dec.u16()? as usize;
+        let rdata = RData::decode(dec, rtype, rdlen)?;
+        Ok(Record { name, class, ttl, rdata })
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}\t{}\t{}\t{}\t", self.name, self.ttl, self.class, self.rtype())?;
+        match &self.rdata {
+            RData::A(a) => write!(f, "{a}"),
+            RData::Aaaa(a) => write!(f, "{a}"),
+            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => write!(f, "{n}"),
+            RData::Mx(p, n) => write!(f, "{p} {n}"),
+            RData::Txt(ss) => {
+                let parts: Vec<String> = ss
+                    .iter()
+                    .map(|s| format!("\"{}\"", String::from_utf8_lossy(s)))
+                    .collect();
+                write!(f, "{}", parts.join(" "))
+            }
+            RData::Soa(s) => write!(
+                f,
+                "{} {} {} {} {} {} {}",
+                s.mname, s.rname, s.serial, s.refresh, s.retry, s.expire, s.minimum
+            ),
+            RData::Rrsig(s) => write!(
+                f,
+                "{} {} {} {} {} {} {} {} {}",
+                s.type_covered,
+                s.algorithm,
+                s.labels,
+                s.original_ttl,
+                s.expiration,
+                s.inception,
+                s.key_tag,
+                s.signer,
+                rootless_util::hex::encode(&s.signature)
+            ),
+            RData::Dnskey(k) => write!(
+                f,
+                "{} {} {} {}",
+                k.flags,
+                k.protocol,
+                k.algorithm,
+                rootless_util::hex::encode(&k.public_key)
+            ),
+            RData::Ds(d) => write!(
+                f,
+                "{} {} {} {}",
+                d.key_tag,
+                d.algorithm,
+                d.digest_type,
+                rootless_util::hex::encode(&d.digest)
+            ),
+            RData::Nsec(next, types) => {
+                write!(f, "{next}")?;
+                for t in types {
+                    write!(f, " {t}")?;
+                }
+                Ok(())
+            }
+            RData::Zonemd(z) => write!(
+                f,
+                "{} {} {} {}",
+                z.serial,
+                z.scheme,
+                z.hash_algorithm,
+                rootless_util::hex::encode(&z.digest)
+            ),
+            RData::Srv(s) => write!(f, "{} {} {} {}", s.priority, s.weight, s.port, s.target),
+            RData::Caa(c) => write!(
+                f,
+                "{} {} \"{}\"",
+                c.flags,
+                String::from_utf8_lossy(&c.tag),
+                String::from_utf8_lossy(&c.value)
+            ),
+            RData::Unknown(_, bytes) => {
+                write!(f, "\\# {} {}", bytes.len(), rootless_util::hex::encode(bytes))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn roundtrip(record: Record) -> Record {
+        let mut enc = Encoder::new();
+        record.encode(&mut enc);
+        let buf = enc.finish();
+        let mut dec = Decoder::new(&buf);
+        let out = Record::decode(&mut dec).expect("decode");
+        assert!(dec.is_exhausted(), "trailing bytes after {record}");
+        assert_eq!(out, record);
+        out
+    }
+
+    #[test]
+    fn rtype_u16_roundtrip() {
+        for v in 0..300u16 {
+            assert_eq!(RType::from_u16(v).to_u16(), v);
+        }
+    }
+
+    #[test]
+    fn rtype_mnemonic_roundtrip() {
+        for t in [
+            RType::A,
+            RType::NS,
+            RType::CNAME,
+            RType::SOA,
+            RType::PTR,
+            RType::MX,
+            RType::TXT,
+            RType::AAAA,
+            RType::DS,
+            RType::RRSIG,
+            RType::NSEC,
+            RType::DNSKEY,
+            RType::ZONEMD,
+            RType::Unknown(4711),
+        ] {
+            assert_eq!(RType::parse(&t.mnemonic()), Some(t), "{t:?}");
+        }
+        assert_eq!(RType::parse("ns"), Some(RType::NS), "case-insensitive");
+        assert_eq!(RType::parse("bogus"), None);
+    }
+
+    #[test]
+    fn a_record_roundtrip() {
+        roundtrip(Record::new(n("a.root-servers.net"), 3_600_000, RData::A("198.41.0.4".parse().unwrap())));
+    }
+
+    #[test]
+    fn aaaa_record_roundtrip() {
+        roundtrip(Record::new(n("a.root-servers.net"), 3_600_000, RData::Aaaa("2001:503:ba3e::2:30".parse().unwrap())));
+    }
+
+    #[test]
+    fn ns_record_roundtrip() {
+        roundtrip(Record::new(n("com"), 172_800, RData::Ns(n("a.gtld-servers.net"))));
+    }
+
+    #[test]
+    fn soa_record_roundtrip() {
+        roundtrip(Record::new(
+            Name::root(),
+            86_400,
+            RData::Soa(Soa {
+                mname: n("a.root-servers.net"),
+                rname: n("nstld.verisign-grs.com"),
+                serial: 2019_060_700,
+                refresh: 1_800,
+                retry: 900,
+                expire: 604_800,
+                minimum: 86_400,
+            }),
+        ));
+    }
+
+    #[test]
+    fn txt_record_roundtrip() {
+        roundtrip(Record::new(
+            n("example.com"),
+            300,
+            RData::Txt(vec![b"v=spf1 -all".to_vec(), b"second string".to_vec()]),
+        ));
+    }
+
+    #[test]
+    fn txt_empty_string_roundtrip() {
+        roundtrip(Record::new(n("e.com"), 1, RData::Txt(vec![vec![]])));
+    }
+
+    #[test]
+    fn mx_record_roundtrip() {
+        roundtrip(Record::new(n("example.com"), 300, RData::Mx(10, n("mail.example.com"))));
+    }
+
+    #[test]
+    fn ds_record_roundtrip() {
+        roundtrip(Record::new(
+            n("com"),
+            86_400,
+            RData::Ds(Ds { key_tag: 30909, algorithm: 250, digest_type: 2, digest: vec![7; 32] }),
+        ));
+    }
+
+    #[test]
+    fn dnskey_roundtrip_and_key_tag_stability() {
+        let key = Dnskey { flags: 257, protocol: 3, algorithm: 250, public_key: vec![1, 2, 3, 4, 5, 6, 7, 8] };
+        let tag = key.key_tag();
+        assert!(key.is_ksk());
+        roundtrip(Record::new(Name::root(), 172_800, RData::Dnskey(key.clone())));
+        assert_eq!(tag, key.key_tag(), "key tag must be deterministic");
+        let zsk = Dnskey { flags: 256, ..key };
+        assert!(!zsk.is_ksk());
+        assert_ne!(zsk.key_tag(), tag);
+    }
+
+    #[test]
+    fn rrsig_roundtrip() {
+        roundtrip(Record::new(
+            n("com"),
+            172_800,
+            RData::Rrsig(Rrsig {
+                type_covered: RType::NS,
+                algorithm: 250,
+                labels: 1,
+                original_ttl: 172_800,
+                expiration: 1_000_000,
+                inception: 0,
+                key_tag: 12345,
+                signer: Name::root(),
+                signature: vec![0xab; 32],
+            }),
+        ));
+    }
+
+    #[test]
+    fn nsec_roundtrip_with_bitmap() {
+        roundtrip(Record::new(
+            n("com"),
+            86_400,
+            RData::Nsec(n("community"), vec![RType::NS, RType::DS, RType::RRSIG, RType::NSEC]),
+        ));
+    }
+
+    #[test]
+    fn nsec_bitmap_multiple_windows() {
+        // Type 1 (window 0) and type 257 (window 1).
+        roundtrip(Record::new(
+            n("x"),
+            60,
+            RData::Nsec(n("y"), vec![RType::A, RType::Unknown(300), RType::Unknown(1234)]),
+        ));
+    }
+
+    #[test]
+    fn nsec_bitmap_sorted_and_deduped() {
+        let mut enc1 = Encoder::new();
+        RData::Nsec(n("y"), vec![RType::NS, RType::A, RType::NS]).encode(&mut enc1);
+        let mut enc2 = Encoder::new();
+        RData::Nsec(n("y"), vec![RType::A, RType::NS]).encode(&mut enc2);
+        assert_eq!(enc1.finish(), enc2.finish());
+    }
+
+    #[test]
+    fn zonemd_roundtrip() {
+        roundtrip(Record::new(
+            Name::root(),
+            86_400,
+            RData::Zonemd(Zonemd { serial: 2019_060_700, scheme: 1, hash_algorithm: 240, digest: vec![9; 32] }),
+        ));
+    }
+
+    #[test]
+    fn srv_record_roundtrip() {
+        roundtrip(Record::new(
+            n("_dns._udp.example.com"),
+            300,
+            RData::Srv(Srv { priority: 10, weight: 60, port: 53, target: n("ns1.example.com") }),
+        ));
+    }
+
+    #[test]
+    fn caa_record_roundtrip() {
+        roundtrip(Record::new(
+            n("example.com"),
+            300,
+            RData::Caa(Caa { flags: 128, tag: b"issue".to_vec(), value: b"ca.example.net".to_vec() }),
+        ));
+    }
+
+    #[test]
+    fn caa_empty_value_roundtrip() {
+        roundtrip(Record::new(
+            n("e.com"),
+            1,
+            RData::Caa(Caa { flags: 0, tag: b"iodef".to_vec(), value: vec![] }),
+        ));
+    }
+
+    #[test]
+    fn srv_canonical_lowercases_target() {
+        let a = RData::Srv(Srv { priority: 1, weight: 2, port: 3, target: n("NS1.Example.COM") });
+        let b = RData::Srv(Srv { priority: 1, weight: 2, port: 3, target: n("ns1.example.com") });
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+    }
+
+    #[test]
+    fn unknown_type_roundtrip() {
+        roundtrip(Record::new(n("x.example"), 60, RData::Unknown(4711, vec![1, 2, 3])));
+    }
+
+    #[test]
+    fn rdlength_mismatch_detected() {
+        // Hand-encode an A record with RDLENGTH 5 but 5 bytes of rdata that
+        // the decoder consumes only 4 of.
+        let mut enc = Encoder::new();
+        enc.name(&n("x"));
+        enc.u16(RType::A.to_u16());
+        enc.u16(RClass::IN.to_u16());
+        enc.u32(60);
+        enc.u16(5);
+        enc.bytes(&[1, 2, 3, 4, 9]);
+        let buf = enc.finish();
+        let mut dec = Decoder::new(&buf);
+        assert!(matches!(Record::decode(&mut dec), Err(ProtoError::BadRdataLength { .. })));
+    }
+
+    #[test]
+    fn truncated_rdata_detected() {
+        let mut enc = Encoder::new();
+        enc.name(&n("x"));
+        enc.u16(RType::A.to_u16());
+        enc.u16(RClass::IN.to_u16());
+        enc.u32(60);
+        enc.u16(4);
+        enc.bytes(&[1, 2]);
+        let buf = enc.finish();
+        let mut dec = Decoder::new(&buf);
+        assert!(Record::decode(&mut dec).is_err());
+    }
+
+    #[test]
+    fn soa_rdata_names_compress_against_message() {
+        let mut enc = Encoder::new();
+        enc.name(&n("a.root-servers.net"));
+        let before = enc.len();
+        RData::Ns(n("a.root-servers.net")).encode(&mut enc);
+        assert_eq!(enc.len() - before, 2, "NS rdata should be a single pointer");
+    }
+
+    #[test]
+    fn canonical_bytes_lowercase_names() {
+        let rd = RData::Ns(n("A.GTLD-servers.NET"));
+        let canon = rd.canonical_bytes();
+        assert_eq!(canon, n("a.gtld-servers.net").canonical_wire());
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = Record::new(n("com"), 172_800, RData::Ns(n("a.gtld-servers.net")));
+        assert_eq!(r.to_string(), "com.\t172800\tIN\tNS\ta.gtld-servers.net.");
+    }
+}

@@ -1,0 +1,417 @@
+//! Low-level wire encoding and decoding with RFC 1035 name compression.
+
+use std::collections::HashMap;
+
+use crate::error::ProtoError;
+use crate::name::Name;
+
+/// Highest buffer offset a 14-bit compression pointer can reference.
+const MAX_POINTER_TARGET: usize = 0x3fff;
+/// Maximum pointer jumps followed while decoding one name.
+const MAX_JUMPS: usize = 64;
+
+/// Wire encoder with a compression dictionary.
+pub struct Encoder {
+    buf: Vec<u8>,
+    /// Canonical (lowercased) wire form of a name suffix → offset where that
+    /// suffix was written.
+    dict: HashMap<Vec<u8>, u16>,
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder { buf: Vec::with_capacity(512), dict: HashMap::new() }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the encoder and returns the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a name with compression against previously written names.
+    pub fn name(&mut self, name: &Name) {
+        self.name_inner(name, true);
+    }
+
+    /// Writes a name without compression (required inside RRSIG/NSEC RDATA),
+    /// but still *registers* its suffixes so later names may point at it.
+    pub fn name_uncompressed(&mut self, name: &Name) {
+        self.name_inner(name, false);
+    }
+
+    fn name_inner(&mut self, name: &Name, allow_pointer: bool) {
+        let labels: Vec<&[u8]> = name.labels().collect();
+        for i in 0..labels.len() {
+            let suffix_key: Vec<u8> = {
+                let mut k = Vec::new();
+                for l in &labels[i..] {
+                    k.push(l.len() as u8);
+                    k.extend(l.iter().map(|c| c.to_ascii_lowercase()));
+                }
+                k.push(0);
+                k
+            };
+            if allow_pointer {
+                if let Some(&off) = self.dict.get(&suffix_key) {
+                    self.u16(0xc000 | off);
+                    return;
+                }
+            }
+            if self.buf.len() <= MAX_POINTER_TARGET {
+                self.dict.entry(suffix_key).or_insert(self.buf.len() as u16);
+            }
+            let l = labels[i];
+            self.buf.push(l.len() as u8);
+            self.buf.extend_from_slice(l);
+        }
+        self.buf.push(0);
+    }
+
+    /// Reserves a two-byte length field (e.g. RDLENGTH); returns a marker to
+    /// pass to [`Encoder::patch_len`] once the variable-size body is written.
+    pub fn begin_len(&mut self) -> usize {
+        let marker = self.buf.len();
+        self.u16(0);
+        marker
+    }
+
+    /// Backpatches the length field at `marker` with the number of bytes
+    /// written since it.
+    pub fn patch_len(&mut self, marker: usize) {
+        let len = self.buf.len() - marker - 2;
+        debug_assert!(len <= u16::MAX as usize, "rdata longer than 64KiB");
+        self.buf[marker..marker + 2].copy_from_slice(&(len as u16).to_be_bytes());
+    }
+
+    /// Overwrites the big-endian u16 at an absolute offset (header counts).
+    pub fn patch_u16_at(&mut self, offset: usize, v: u16) {
+        self.buf[offset..offset + 2].copy_from_slice(&v.to_be_bytes());
+    }
+}
+
+/// Wire decoder over a complete message buffer.
+///
+/// The decoder always holds the *entire* message (compression pointers may
+/// reference any earlier offset) plus a cursor.
+pub struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder at offset zero.
+    pub fn new(data: &'a [u8]) -> Self {
+        Decoder { data, pos: 0 }
+    }
+
+    /// Current cursor position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining after the cursor.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when the cursor has consumed the whole buffer.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.data.len()
+    }
+
+    /// Moves the cursor to an absolute offset (used after length-delimited
+    /// sections).
+    pub fn seek(&mut self, pos: usize) -> Result<(), ProtoError> {
+        if pos > self.data.len() {
+            return Err(ProtoError::Truncated);
+        }
+        self.pos = pos;
+        Ok(())
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, ProtoError> {
+        let b = *self.data.get(self.pos).ok_or(ProtoError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a big-endian u16.
+    pub fn u16(&mut self) -> Result<u16, ProtoError> {
+        let s = self.take(2)?;
+        Ok(u16::from_be_bytes([s[0], s[1]]))
+    }
+
+    /// Reads a big-endian u32.
+    pub fn u32(&mut self) -> Result<u32, ProtoError> {
+        let s = self.take(4)?;
+        Ok(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.remaining() < n {
+            return Err(ProtoError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a possibly-compressed name. Pointers must reference earlier
+    /// offsets; at most [`MAX_JUMPS`] jumps are followed.
+    pub fn name(&mut self) -> Result<Name, ProtoError> {
+        let mut labels: Vec<Vec<u8>> = Vec::new();
+        let mut pos = self.pos;
+        let mut jumped = false;
+        let mut jumps = 0;
+        let mut lowest_target = self.pos;
+        loop {
+            let len = *self.data.get(pos).ok_or(ProtoError::Truncated)?;
+            match len {
+                0 => {
+                    if !jumped {
+                        self.pos = pos + 1;
+                    }
+                    return Name::from_labels(labels);
+                }
+                l if l & 0xc0 == 0xc0 => {
+                    let lo = *self.data.get(pos + 1).ok_or(ProtoError::Truncated)?;
+                    let target = (((l & 0x3f) as usize) << 8) | lo as usize;
+                    // Pointers must go strictly backwards relative to the
+                    // earliest offset visited; this rules out loops.
+                    if target >= lowest_target {
+                        return Err(ProtoError::BadPointer);
+                    }
+                    lowest_target = target;
+                    jumps += 1;
+                    if jumps > MAX_JUMPS {
+                        return Err(ProtoError::BadPointer);
+                    }
+                    if !jumped {
+                        self.pos = pos + 2;
+                        jumped = true;
+                    }
+                    pos = target;
+                }
+                l if l & 0xc0 != 0 => return Err(ProtoError::BadLabelType(l)),
+                l => {
+                    let start = pos + 1;
+                    let end = start + l as usize;
+                    if end > self.data.len() {
+                        return Err(ProtoError::Truncated);
+                    }
+                    labels.push(self.data[start..end].to_vec());
+                    pos = end;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn ints_roundtrip() {
+        let mut e = Encoder::new();
+        e.u8(0xab);
+        e.u16(0x1234);
+        e.u32(0xdeadbeef);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.u8().unwrap(), 0xab);
+        assert_eq!(d.u16().unwrap(), 0x1234);
+        assert_eq!(d.u32().unwrap(), 0xdeadbeef);
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn name_roundtrip_uncompressed() {
+        let mut e = Encoder::new();
+        e.name(&n("www.example.com"));
+        let buf = e.finish();
+        assert_eq!(buf, b"\x03www\x07example\x03com\x00");
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.name().unwrap(), n("www.example.com"));
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn root_name_is_single_zero() {
+        let mut e = Encoder::new();
+        e.name(&Name::root());
+        let buf = e.finish();
+        assert_eq!(buf, vec![0]);
+        let mut d = Decoder::new(&buf);
+        assert!(d.name().unwrap().is_root());
+    }
+
+    #[test]
+    fn compression_reuses_suffix() {
+        let mut e = Encoder::new();
+        e.name(&n("www.example.com"));
+        e.name(&n("mail.example.com"));
+        e.name(&n("example.com"));
+        let buf = e.finish();
+        // Second name: "mail" label + pointer (2 bytes) to offset 4.
+        let first_len = n("www.example.com").wire_len();
+        assert_eq!(&buf[first_len..first_len + 5], b"\x04mail");
+        assert_eq!(buf[first_len + 5] & 0xc0, 0xc0);
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.name().unwrap(), n("www.example.com"));
+        assert_eq!(d.name().unwrap(), n("mail.example.com"));
+        assert_eq!(d.name().unwrap(), n("example.com"));
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn compression_is_case_insensitive() {
+        let mut e = Encoder::new();
+        e.name(&n("www.EXAMPLE.com"));
+        e.name(&n("ftp.example.COM"));
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        let a = d.name().unwrap();
+        let b = d.name().unwrap();
+        assert_eq!(a, n("www.example.com"));
+        assert_eq!(b, n("ftp.example.com"));
+        // Whole-message size shows the suffix was shared.
+        assert!(buf.len() < n("www.example.com").wire_len() + n("ftp.example.com").wire_len());
+    }
+
+    #[test]
+    fn identical_name_compresses_to_single_pointer() {
+        let mut e = Encoder::new();
+        e.name(&n("example.com"));
+        let before = e.len();
+        e.name(&n("example.com"));
+        let buf = e.finish();
+        assert_eq!(buf.len() - before, 2, "second copy should be one pointer");
+    }
+
+    #[test]
+    fn uncompressed_mode_never_emits_pointers() {
+        let mut e = Encoder::new();
+        e.name(&n("example.com"));
+        let before = e.len();
+        e.name_uncompressed(&n("example.com"));
+        let buf = e.finish();
+        assert_eq!(&buf[before..], b"\x07example\x03com\x00");
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.name().unwrap(), n("example.com"));
+        assert_eq!(d.name().unwrap(), n("example.com"));
+    }
+
+    #[test]
+    fn forward_pointer_rejected() {
+        // Pointer at offset 0 pointing to offset 1 (forward): invalid.
+        let buf = [0xc0, 0x01, 0x00];
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.name().unwrap_err(), ProtoError::BadPointer);
+    }
+
+    #[test]
+    fn self_pointer_rejected() {
+        let buf = [0xc0, 0x00];
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.name().unwrap_err(), ProtoError::BadPointer);
+    }
+
+    #[test]
+    fn pointer_loop_rejected() {
+        // name at 0 points to 2, which points back to 0.
+        let buf = [0xc0, 0x02, 0xc0, 0x00];
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.name().unwrap_err(), ProtoError::BadPointer);
+        let mut d2 = Decoder::new(&buf);
+        d2.seek(2).unwrap();
+        assert!(d2.name().is_err());
+    }
+
+    #[test]
+    fn truncated_label_rejected() {
+        let buf = [0x05, b'a', b'b'];
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.name().unwrap_err(), ProtoError::Truncated);
+    }
+
+    #[test]
+    fn missing_terminator_rejected() {
+        let buf = [0x01, b'a'];
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.name().unwrap_err(), ProtoError::Truncated);
+    }
+
+    #[test]
+    fn reserved_label_type_rejected() {
+        let buf = [0x41, 0x00];
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.name().unwrap_err(), ProtoError::BadLabelType(0x41));
+    }
+
+    #[test]
+    fn cursor_lands_after_pointer() {
+        let mut e = Encoder::new();
+        e.name(&n("example.com"));
+        e.name(&n("example.com"));
+        e.u16(0xbeef);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        d.name().unwrap();
+        d.name().unwrap();
+        assert_eq!(d.u16().unwrap(), 0xbeef);
+    }
+
+    #[test]
+    fn len_backpatching() {
+        let mut e = Encoder::new();
+        let m = e.begin_len();
+        e.bytes(b"hello");
+        e.patch_len(m);
+        let buf = e.finish();
+        assert_eq!(buf, b"\x00\x05hello");
+    }
+}

@@ -1,0 +1,180 @@
+//! Property tests: wire encode/decode round-trips for names, records and
+//! whole messages, and decoder robustness on arbitrary bytes.
+
+use proptest::prelude::*;
+use rootless_proto::message::{Edns, Message, Rcode};
+use rootless_proto::name::Name;
+use rootless_proto::rr::{Dnskey, Ds, RData, RType, Record, Rrsig, Soa};
+use rootless_proto::wire::{Decoder, Encoder};
+
+fn label_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 1..=20)
+}
+
+fn name_strategy() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(label_strategy(), 0..=5)
+        .prop_filter_map("name too long", |labels| Name::from_labels(labels).ok())
+}
+
+fn short_name_strategy() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(proptest::collection::vec(b'a'..=b'z', 1..=10), 0..=3)
+        .prop_filter_map("name too long", |labels| Name::from_labels(labels).ok())
+}
+
+fn rdata_strategy() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(o.into())),
+        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(o.into())),
+        name_strategy().prop_map(RData::Ns),
+        name_strategy().prop_map(RData::Cname),
+        name_strategy().prop_map(RData::Ptr),
+        (any::<u16>(), name_strategy()).prop_map(|(p, n)| RData::Mx(p, n)),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..=40), 1..=3)
+            .prop_map(RData::Txt),
+        (
+            short_name_strategy(),
+            short_name_strategy(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
+                RData::Soa(Soa { mname, rname, serial, refresh, retry, expire, minimum })
+            }),
+        (any::<u16>(), any::<u8>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 0..=48))
+            .prop_map(|(key_tag, algorithm, digest_type, digest)| {
+                RData::Ds(Ds { key_tag, algorithm, digest_type, digest })
+            }),
+        (any::<u16>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 0..=48))
+            .prop_map(|(flags, algorithm, public_key)| {
+                RData::Dnskey(Dnskey { flags, protocol: 3, algorithm, public_key })
+            }),
+        (
+            short_name_strategy(),
+            proptest::collection::vec(0u16..1024, 1..=8)
+        )
+            .prop_map(|(next, mut types)| {
+                types.sort_unstable();
+                types.dedup();
+                RData::Nsec(next, types.into_iter().map(RType::from_u16).collect())
+            }),
+        (short_name_strategy(), proptest::collection::vec(any::<u8>(), 0..=48)).prop_map(
+            |(signer, signature)| {
+                RData::Rrsig(Rrsig {
+                    type_covered: RType::NS,
+                    algorithm: 250,
+                    labels: signer.label_count() as u8,
+                    original_ttl: 172_800,
+                    expiration: 99,
+                    inception: 1,
+                    key_tag: 7,
+                    signer,
+                    signature,
+                })
+            }
+        ),
+        (proptest::collection::vec(any::<u8>(), 0..=32)).prop_map(|b| RData::Unknown(4711, b)),
+    ]
+}
+
+fn record_strategy() -> impl Strategy<Value = Record> {
+    (name_strategy(), any::<u32>(), rdata_strategy())
+        .prop_map(|(name, ttl, rdata)| Record::new(name, ttl, rdata))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn name_wire_roundtrip(name in name_strategy()) {
+        let mut enc = Encoder::new();
+        enc.name(&name);
+        let buf = enc.finish();
+        let mut dec = Decoder::new(&buf);
+        let out = dec.name().unwrap();
+        prop_assert_eq!(out, name);
+        prop_assert!(dec.is_exhausted());
+    }
+
+    #[test]
+    fn name_presentation_roundtrip(name in name_strategy()) {
+        let text = name.to_string();
+        let parsed = Name::parse(&text).unwrap();
+        prop_assert_eq!(parsed, name);
+    }
+
+    #[test]
+    fn canonical_cmp_is_total_order(a in name_strategy(), b in name_strategy(), c in name_strategy()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(a.canonical_cmp(&b), b.canonical_cmp(&a).reverse());
+        // Transitivity (on this triple).
+        if a.canonical_cmp(&b) != Ordering::Greater && b.canonical_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.canonical_cmp(&c), Ordering::Greater);
+        }
+        // Consistency with equality.
+        if a.canonical_cmp(&b) == Ordering::Equal {
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    #[test]
+    fn record_roundtrip(record in record_strategy()) {
+        let mut enc = Encoder::new();
+        record.encode(&mut enc);
+        let buf = enc.finish();
+        let mut dec = Decoder::new(&buf);
+        let out = Record::decode(&mut dec).unwrap();
+        prop_assert_eq!(out, record);
+        prop_assert!(dec.is_exhausted());
+    }
+
+    #[test]
+    fn message_roundtrip(
+        id in any::<u16>(),
+        qname in name_strategy(),
+        answers in proptest::collection::vec(record_strategy(), 0..6),
+        authorities in proptest::collection::vec(record_strategy(), 0..4),
+        additionals in proptest::collection::vec(record_strategy(), 0..4),
+        with_edns in any::<bool>(),
+        payload in 512u16..4096,
+        dnssec_ok in any::<bool>(),
+    ) {
+        let mut msg = Message::query(id, qname, RType::A);
+        msg.header.response = true;
+        msg.header.rcode = Rcode::NoError;
+        msg.answers = answers;
+        msg.authorities = authorities;
+        msg.additionals = additionals;
+        if with_edns {
+            msg.edns = Some(Edns { udp_payload_size: payload, extended_rcode: 0, version: 0, dnssec_ok });
+        }
+        let buf = msg.encode();
+        let out = Message::decode(&buf).unwrap();
+        prop_assert_eq!(out, msg);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Must return Ok or Err, never panic or loop.
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutated_valid_message(
+        qname in name_strategy(),
+        record in record_strategy(),
+        flip_at in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut msg = Message::query(1, qname, RType::A);
+        msg.header.response = true;
+        msg.answers.push(record);
+        let mut buf = msg.encode();
+        let idx = flip_at.index(buf.len());
+        buf[idx] ^= 1 << flip_bit;
+        let _ = Message::decode(&buf);
+    }
+}

@@ -1,0 +1,412 @@
+//! The recursive resolver's cache: TTL-bounded positive and negative
+//! entries, a capacity limit with LRU or LFU eviction, and the occupancy /
+//! pollution metrics the §5.1 cache-size analysis reads out.
+
+use std::collections::HashMap;
+
+use rootless_proto::name::Name;
+use rootless_proto::rr::{RType, Record};
+use rootless_util::time::{SimDuration, SimTime};
+
+/// Eviction policy when the cache is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Eviction {
+    /// Least recently used.
+    Lru,
+    /// Least frequently used (ties broken by recency) — the paper's §5.1
+    /// "LFU-like evictions" discussion.
+    Lfu,
+}
+
+/// What a cache lookup produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CacheAnswer {
+    /// A positive RRset.
+    Positive(Vec<Record>),
+    /// A cached name error (NXDOMAIN) with its origin zone's negative TTL.
+    Negative,
+}
+
+#[derive(Clone, Debug)]
+enum Value {
+    Positive(Vec<Record>),
+    Negative,
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    value: Value,
+    expires: SimTime,
+    last_used: u64,
+    hits: u64,
+    preloaded: bool,
+}
+
+/// Cache statistics.
+#[derive(Clone, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing (or only an expired entry).
+    pub misses: u64,
+    /// Entries evicted by the capacity policy.
+    pub evictions: u64,
+    /// Entries dropped because their TTL lapsed (counted lazily).
+    pub expirations: u64,
+    /// Entries inserted via [`Cache::preload`].
+    pub preloaded_inserts: u64,
+}
+
+/// A TTL + capacity bounded cache of RRsets and negative answers.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    entries: HashMap<(Name, u16), Entry>,
+    /// Maximum number of entries (RRsets); 0 = unbounded.
+    pub capacity: usize,
+    /// Eviction policy.
+    pub eviction: Eviction,
+    clock: u64,
+    /// Counters.
+    pub stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache with `capacity` entries (0 = unbounded) and a policy.
+    pub fn new(capacity: usize, eviction: Eviction) -> Cache {
+        Cache {
+            entries: HashMap::new(),
+            capacity,
+            eviction,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of live entries (including not-yet-collected expired ones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up `(name, rtype)` at time `now`.
+    pub fn get(&mut self, now: SimTime, name: &Name, rtype: RType) -> Option<CacheAnswer> {
+        self.clock += 1;
+        let key = (name.clone(), rtype.to_u16());
+        match self.entries.get_mut(&key) {
+            Some(entry) if entry.expires > now => {
+                entry.last_used = self.clock;
+                entry.hits += 1;
+                self.stats.hits += 1;
+                Some(match &entry.value {
+                    Value::Positive(records) => CacheAnswer::Positive(records.clone()),
+                    Value::Negative => CacheAnswer::Negative,
+                })
+            }
+            Some(_) => {
+                self.entries.remove(&key);
+                self.stats.expirations += 1;
+                self.stats.misses += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Like [`Cache::get`] but without touching statistics or recency —
+    /// used for internal probes (delegation walks) that should not distort
+    /// hit-rate measurements.
+    pub fn peek(&self, now: SimTime, name: &Name, rtype: RType) -> Option<CacheAnswer> {
+        let key = (name.clone(), rtype.to_u16());
+        match self.entries.get(&key) {
+            Some(entry) if entry.expires > now => Some(match &entry.value {
+                Value::Positive(records) => CacheAnswer::Positive(records.clone()),
+                Value::Negative => CacheAnswer::Negative,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Inserts a positive RRset; TTL comes from the records (minimum).
+    pub fn insert(&mut self, now: SimTime, records: Vec<Record>) {
+        self.insert_inner(now, records, false);
+    }
+
+    /// Inserts a record set as part of a root-zone preload (§3 strategy 1);
+    /// tracked separately so pollution analyses can tell the two apart.
+    pub fn preload(&mut self, now: SimTime, records: Vec<Record>) {
+        self.stats.preloaded_inserts += 1;
+        self.insert_inner(now, records, true);
+    }
+
+    fn insert_inner(&mut self, now: SimTime, records: Vec<Record>, preloaded: bool) {
+        let Some(first) = records.first() else { return };
+        let ttl = records.iter().map(|r| r.ttl).min().unwrap_or(0);
+        let key = (first.name.clone(), first.rtype().to_u16());
+        self.clock += 1;
+        let entry = Entry {
+            value: Value::Positive(records),
+            expires: now + SimDuration::from_secs(ttl as u64),
+            last_used: self.clock,
+            hits: 0,
+            preloaded,
+        };
+        self.entries.insert(key, entry);
+        self.enforce_capacity();
+    }
+
+    /// Caches a name error for `name` (all types) under the zone's negative
+    /// TTL. Keyed per (name, qtype) for simplicity; real resolvers share the
+    /// NXDOMAIN across types, which the resolver layer approximates by
+    /// probing with the same qtype.
+    pub fn insert_negative(&mut self, now: SimTime, name: &Name, rtype: RType, neg_ttl: u32) {
+        self.clock += 1;
+        let entry = Entry {
+            value: Value::Negative,
+            expires: now + SimDuration::from_secs(neg_ttl as u64),
+            last_used: self.clock,
+            hits: 0,
+            preloaded: false,
+        };
+        self.entries.insert((name.clone(), rtype.to_u16()), entry);
+        self.enforce_capacity();
+    }
+
+    fn enforce_capacity(&mut self) {
+        if self.capacity == 0 {
+            return;
+        }
+        while self.entries.len() > self.capacity {
+            let victim = match self.eviction {
+                Eviction::Lru => self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone()),
+                Eviction::Lfu => self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| (e.hits, e.last_used))
+                    .map(|(k, _)| k.clone()),
+            };
+            if let Some(k) = victim {
+                self.entries.remove(&k);
+                self.stats.evictions += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Drops expired entries eagerly; returns how many were removed.
+    pub fn purge_expired(&mut self, now: SimTime) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.expires > now);
+        let removed = before - self.entries.len();
+        self.stats.expirations += removed as u64;
+        removed
+    }
+
+    /// Removes every preloaded entry (switching incorporation strategies).
+    pub fn drop_preloaded(&mut self) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| !e.preloaded);
+        before - self.entries.len()
+    }
+
+    /// Entries that were inserted by preload.
+    pub fn preloaded_count(&self) -> usize {
+        self.entries.values().filter(|e| e.preloaded).count()
+    }
+
+    /// Entries never hit since insertion — the "used only once" pollution
+    /// population (the lookup that inserted them doesn't count as a hit).
+    pub fn never_hit_count(&self) -> usize {
+        self.entries.values().filter(|e| e.hits == 0).count()
+    }
+
+    /// Overall hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.stats.hits + self.stats.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.stats.hits as f64 / total as f64
+        }
+    }
+
+    /// Distinct owner names holding at least one entry whose name is a TLD
+    /// (single label) with the given type — used by the §5.1 "RRsets for
+    /// about 20% of the TLDs" snapshot measurement.
+    pub fn tld_entries(&self, rtype: RType) -> usize {
+        self.entries
+            .keys()
+            .filter(|(name, t)| *t == rtype.to_u16() && name.label_count() == 1)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rootless_proto::rr::RData;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn rec(name: &str, ttl: u32) -> Record {
+        Record::new(n(name), ttl, RData::A("10.0.0.1".parse().unwrap()))
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn insert_and_hit() {
+        let mut c = Cache::new(0, Eviction::Lru);
+        c.insert(t(0), vec![rec("www.example.com", 60)]);
+        match c.get(t(30), &n("www.example.com"), RType::A) {
+            Some(CacheAnswer::Positive(records)) => assert_eq!(records.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.stats.hits, 1);
+    }
+
+    #[test]
+    fn expires_at_ttl() {
+        let mut c = Cache::new(0, Eviction::Lru);
+        c.insert(t(0), vec![rec("www.example.com", 60)]);
+        assert!(c.get(t(59), &n("www.example.com"), RType::A).is_some());
+        assert!(c.get(t(61), &n("www.example.com"), RType::A).is_none());
+        assert_eq!(c.stats.expirations, 1);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn ttl_is_minimum_of_set() {
+        let mut c = Cache::new(0, Eviction::Lru);
+        c.insert(t(0), vec![rec("x.com", 60), rec("x.com", 30)]);
+        assert!(c.get(t(31), &n("x.com"), RType::A).is_none());
+    }
+
+    #[test]
+    fn negative_entries() {
+        let mut c = Cache::new(0, Eviction::Lru);
+        c.insert_negative(t(0), &n("bogus-tld"), RType::A, 86_400);
+        assert_eq!(c.get(t(100), &n("bogus-tld"), RType::A), Some(CacheAnswer::Negative));
+        assert!(c.get(t(86_401), &n("bogus-tld"), RType::A).is_none());
+    }
+
+    #[test]
+    fn case_insensitive_keys() {
+        let mut c = Cache::new(0, Eviction::Lru);
+        c.insert(t(0), vec![rec("WWW.Example.COM", 60)]);
+        assert!(c.get(t(1), &n("www.example.com"), RType::A).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = Cache::new(2, Eviction::Lru);
+        c.insert(t(0), vec![rec("a.com", 600)]);
+        c.insert(t(1), vec![rec("b.com", 600)]);
+        // Touch a, then insert c: b should go.
+        c.get(t(2), &n("a.com"), RType::A);
+        c.insert(t(3), vec![rec("c.com", 600)]);
+        assert_eq!(c.len(), 2);
+        assert!(c.get(t(4), &n("a.com"), RType::A).is_some());
+        assert!(c.get(t(4), &n("b.com"), RType::A).is_none());
+        assert_eq!(c.stats.evictions, 1);
+    }
+
+    #[test]
+    fn lfu_evicts_least_hit() {
+        let mut c = Cache::new(2, Eviction::Lfu);
+        c.insert(t(0), vec![rec("popular.com", 600)]);
+        c.insert(t(1), vec![rec("cold.com", 600)]);
+        for i in 0..5 {
+            c.get(t(2 + i), &n("popular.com"), RType::A);
+        }
+        c.insert(t(10), vec![rec("new.com", 600)]);
+        assert!(c.get(t(11), &n("popular.com"), RType::A).is_some());
+        assert!(c.get(t(11), &n("cold.com"), RType::A).is_none());
+    }
+
+    #[test]
+    fn preload_tracking() {
+        let mut c = Cache::new(0, Eviction::Lru);
+        c.preload(t(0), vec![rec("com", 172_800)]);
+        c.preload(t(0), vec![rec("org", 172_800)]);
+        c.insert(t(0), vec![rec("www.example.com", 60)]);
+        assert_eq!(c.preloaded_count(), 2);
+        assert_eq!(c.stats.preloaded_inserts, 2);
+        assert_eq!(c.drop_preloaded(), 2);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn never_hit_counting() {
+        let mut c = Cache::new(0, Eviction::Lru);
+        c.insert(t(0), vec![rec("hit.com", 600)]);
+        c.insert(t(0), vec![rec("cold1.com", 600)]);
+        c.insert(t(0), vec![rec("cold2.com", 600)]);
+        c.get(t(1), &n("hit.com"), RType::A);
+        assert_eq!(c.never_hit_count(), 2);
+    }
+
+    #[test]
+    fn tld_entry_counting() {
+        let mut c = Cache::new(0, Eviction::Lru);
+        c.insert(t(0), vec![Record::new(n("com"), 600, RData::Ns(n("a.gtld-servers.net")))]);
+        c.insert(t(0), vec![Record::new(n("org"), 600, RData::Ns(n("a0.org.afilias-nst.info")))]);
+        c.insert(t(0), vec![Record::new(n("example.com"), 600, RData::Ns(n("ns.example.com")))]);
+        assert_eq!(c.tld_entries(RType::NS), 2);
+    }
+
+    #[test]
+    fn purge_expired() {
+        let mut c = Cache::new(0, Eviction::Lru);
+        c.insert(t(0), vec![rec("a.com", 10)]);
+        c.insert(t(0), vec![rec("b.com", 1000)]);
+        assert_eq!(c.purge_expired(t(500)), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut c = Cache::new(0, Eviction::Lru);
+        c.insert(t(0), vec![rec("a.com", 600)]);
+        c.get(t(1), &n("a.com"), RType::A);
+        c.get(t(1), &n("missing.com"), RType::A);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_zero_is_unbounded() {
+        let mut c = Cache::new(0, Eviction::Lru);
+        for i in 0..10_000 {
+            c.insert(t(0), vec![rec(&format!("d{i}.com"), 600)]);
+        }
+        assert_eq!(c.len(), 10_000);
+        assert_eq!(c.stats.evictions, 0);
+    }
+
+    #[test]
+    fn replacement_updates_value() {
+        let mut c = Cache::new(0, Eviction::Lru);
+        c.insert(t(0), vec![rec("a.com", 600)]);
+        let newer = Record::new(n("a.com"), 600, RData::A("10.9.9.9".parse().unwrap()));
+        c.insert(t(1), vec![newer.clone()]);
+        match c.get(t(2), &n("a.com"), RType::A) {
+            Some(CacheAnswer::Positive(records)) => assert_eq!(records[0], newer),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! World builder: a complete resolvable DNS hierarchy over [`StaticNetwork`]
+//! — 13 anycasted root letters serving a synthetic root zone, plus an
+//! authoritative server fleet for every TLD reachable at the glue addresses
+//! the root zone advertises (shared operator hosts answer for every TLD
+//! they serve). Used by resolver tests and by most experiments.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use rootless_netsim::geo::{city_point, GeoPoint};
+use rootless_proto::rr::RData;
+use rootless_server::auth::{tld_server, AuthServer};
+use rootless_util::rng::DetRng;
+use rootless_zone::hints::ROOT_ADDRS;
+use rootless_zone::rootzone::{self, RootZoneConfig};
+use rootless_zone::zone::Zone;
+
+use crate::net::{shared, SharedAuth, StaticNetwork};
+
+/// Parameters for [`build_world`].
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// Number of TLDs in the root zone.
+    pub tld_count: usize,
+    /// Anycast instances per root letter.
+    pub root_instances_per_letter: usize,
+    /// Second-level domains per TLD server.
+    pub sld_per_tld: usize,
+    /// Where the resolver sits.
+    pub resolver_geo: GeoPoint,
+    /// Seed for everything.
+    pub seed: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            tld_count: 12,
+            root_instances_per_letter: 2,
+            sld_per_tld: 3,
+            resolver_geo: GeoPoint::new(51.5, -0.1), // London
+            seed: 7,
+        }
+    }
+}
+
+/// Builds the world. Returns the network and the root zone (share it with
+/// resolvers running in local-root modes).
+pub fn build_world(cfg: &WorldConfig) -> (StaticNetwork, Arc<Zone>) {
+    let zone_cfg = RootZoneConfig { seed: cfg.seed, ..RootZoneConfig::small(cfg.tld_count) };
+    let root_zone = Arc::new(rootzone::build(&zone_cfg));
+    let net = build_network(cfg, Arc::clone(&root_zone));
+    (net, root_zone)
+}
+
+/// Builds just the network for an existing root zone.
+pub fn build_network(cfg: &WorldConfig, root_zone: Arc<Zone>) -> StaticNetwork {
+    let mut rng = DetRng::seed_from_u64(cfg.seed ^ 0x1d0);
+    let mut net = StaticNetwork::new(cfg.resolver_geo, cfg.seed ^ 0x2e1);
+
+    // Root letters: anycast fleets sharing the root zone.
+    for (i, (letter, v4, _)) in ROOT_ADDRS.iter().enumerate() {
+        let addr: Ipv4Addr = v4.parse().unwrap();
+        let instances: Vec<(GeoPoint, SharedAuth)> = (0..cfg.root_instances_per_letter)
+            .map(|k| {
+                (
+                    city_point(i * 7 + k * 3, &mut rng),
+                    shared(AuthServer::new_shared(Arc::clone(&root_zone))),
+                )
+            })
+            .collect();
+        net.add_anycast(addr, instances);
+        let _ = letter;
+    }
+
+    // TLD servers at their advertised glue addresses.
+    let mut by_addr: HashMap<Ipv4Addr, SharedAuth> = HashMap::new();
+    let mut zones_at: HashMap<Ipv4Addr, Vec<String>> = HashMap::new();
+    for (ti, tld) in root_zone.tlds().into_iter().enumerate() {
+        let auth = tld_server(&tld, cfg.sld_per_tld, cfg.seed ^ ti as u64);
+        let tld_zone = auth.zone_shared();
+        let server = shared(auth);
+        let glue_addrs: Vec<Ipv4Addr> = root_zone
+            .delegation_records(&tld)
+            .into_iter()
+            .filter_map(|r| match r.rdata {
+                RData::A(a) => Some(a),
+                _ => None,
+            })
+            .collect();
+        for addr in glue_addrs {
+            match by_addr.get(&addr) {
+                None => {
+                    let geo = city_point(ti + 5, &mut rng);
+                    net.add_server(addr, geo, std::rc::Rc::clone(&server));
+                    by_addr.insert(addr, std::rc::Rc::clone(&server));
+                    zones_at.entry(addr).or_default().push(tld.to_string());
+                }
+                Some(existing) => {
+                    // Shared operator host: answer for this TLD too.
+                    let served = zones_at.entry(addr).or_default();
+                    if !served.contains(&tld.to_string()) {
+                        existing.borrow_mut().add_zone(Arc::clone(&tld_zone));
+                        served.push(tld.to_string());
+                    }
+                }
+            }
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rootless_proto::message::Message;
+    use rootless_proto::name::Name;
+    use rootless_proto::rr::RType;
+    use rootless_util::time::SimTime;
+    use rootless_zone::hints::RootHints;
+
+    use crate::net::Network;
+
+    #[test]
+    fn world_root_answers_referrals() {
+        let (mut net, zone) = build_world(&WorldConfig::default());
+        let tld = zone.tlds()[0].clone();
+        let root_addr = RootHints::standard().v4_addrs()[0];
+        let q = Message::query(1, tld.child("www").unwrap(), RType::A);
+        let (resp, _) = net.query(SimTime::ZERO, root_addr, &q).unwrap();
+        assert!(resp.authorities.iter().any(|r| r.rtype() == RType::NS));
+        assert!(!resp.additionals.is_empty());
+    }
+
+    #[test]
+    fn every_glue_address_is_served() {
+        let (mut net, zone) = build_world(&WorldConfig::default());
+        for tld in zone.tlds() {
+            for r in zone.delegation_records(&tld) {
+                if let RData::A(addr) = r.rdata {
+                    assert!(net.knows(addr), "glue address {addr} for {tld} unserved");
+                    // And it answers authoritatively for the TLD.
+                    let q = Message::query(2, tld.clone(), RType::NS);
+                    let (resp, _) = net.query(SimTime::ZERO, addr, &q).unwrap();
+                    assert_ne!(
+                        resp.header.rcode,
+                        rootless_proto::message::Rcode::Refused,
+                        "{addr} refused {tld}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_hosts_serve_multiple_tlds() {
+        // With dedicated_host_fraction default 0.65 and 12 TLDs, sharing is
+        // possible but not guaranteed; force sharing with a bigger world.
+        let cfg = WorldConfig { tld_count: 40, ..WorldConfig::default() };
+        let (mut net, zone) = build_world(&cfg);
+        // Count addresses that answer for two TLDs.
+        let mut host_tlds: HashMap<Ipv4Addr, Vec<Name>> = HashMap::new();
+        for tld in zone.tlds() {
+            for r in zone.delegation_records(&tld) {
+                if let RData::A(addr) = r.rdata {
+                    let v = host_tlds.entry(addr).or_default();
+                    if !v.contains(&tld) {
+                        v.push(tld.clone());
+                    }
+                }
+            }
+        }
+        let shared_addr = host_tlds.iter().find(|(_, v)| v.len() >= 2);
+        if let Some((addr, tlds)) = shared_addr {
+            for tld in tlds.iter().take(2) {
+                let q = Message::query(3, tld.child("x").unwrap(), RType::A);
+                let (resp, _) = net.query(SimTime::ZERO, *addr, &q).unwrap();
+                assert_ne!(resp.header.rcode, rootless_proto::message::Rcode::Refused);
+            }
+        }
+    }
+}

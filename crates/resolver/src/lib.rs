@@ -1,0 +1,36 @@
+//! # rootless-resolver
+//!
+//! The recursive resolver at the center of the reproduction: one codebase
+//! that runs both the world the paper wants to retire (root hints +
+//! SRTT-driven root server selection) and the world it proposes (a local,
+//! verified copy of the root zone in any of the three §3 incorporation
+//! strategies).
+//!
+//! * [`cache`] — TTL/capacity-bounded cache with LRU/LFU eviction and the
+//!   §5.1 occupancy metrics.
+//! * [`srtt`] — smoothed-RTT root selection (the §4 complexity that local
+//!   modes delete).
+//! * [`resolver`] — iterative resolution with QNAME minimization, CNAME
+//!   chasing, negative caching, retry/timeout handling, and per-resolution
+//!   transaction ledgers for the privacy/security experiments.
+//! * [`net`] — the [`net::Network`] abstraction plus a deterministic
+//!   in-process implementation with anycast, outages, loss and on-path
+//!   interceptors.
+//! * [`harness`] — builds a fully resolvable world (roots + TLD fleets).
+//! * [`node`] — the same resolver as an event-driven netsim node: real
+//!   datagrams, timers, retries and transaction IDs, packet by packet.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod harness;
+pub mod net;
+pub mod node;
+pub mod resolver;
+pub mod srtt;
+
+pub use cache::{Cache, CacheAnswer, Eviction};
+pub use net::{Network, StaticNetwork};
+pub use resolver::{
+    FailReason, Outcome, Resolution, Resolver, ResolverConfig, RootMode, Transaction,
+};

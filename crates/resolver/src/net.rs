@@ -1,0 +1,251 @@
+//! The resolver's view of the network, and a deterministic in-process
+//! implementation used by tests and experiments.
+//!
+//! Resolution is a strict request/response sequence, so experiments do not
+//! need the full event engine: [`StaticNetwork`] routes each query to the
+//! nearest live instance of the destination address (anycast), charges the
+//! geographic RTT, and can host on-path interceptors for the §4 security
+//! experiments. The event-driven `rootless-netsim` engine remains the
+//! substrate for packet-level scenarios.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use rootless_netsim::geo::GeoPoint;
+use rootless_proto::message::Message;
+use rootless_server::auth::AuthServer;
+use rootless_util::rng::DetRng;
+use rootless_util::time::{SimDuration, SimTime};
+
+/// How the resolver reaches servers. `query` returns the response and the
+/// round-trip time, or `None` on timeout/unreachable.
+pub trait Network {
+    /// Sends `query` to `server` at time `now`.
+    fn query(&mut self, now: SimTime, server: Ipv4Addr, query: &Message) -> Option<(Message, SimDuration)>;
+}
+
+/// A shared authoritative server instance.
+pub type SharedAuth = Rc<RefCell<AuthServer>>;
+
+/// Wraps a server for sharing.
+pub fn shared(server: AuthServer) -> SharedAuth {
+    Rc::new(RefCell::new(server))
+}
+
+/// An interceptor sees (time, destination, query) for every send and may
+/// forge the response — the on-path attacker of §4. Returning `None` lets
+/// the packet through.
+pub type Interceptor = Box<dyn FnMut(SimTime, Ipv4Addr, &Message) -> Option<Message>>;
+
+struct Service {
+    instances: Vec<(GeoPoint, SharedAuth)>,
+}
+
+/// Deterministic in-process network: services at addresses, geographic RTTs,
+/// anycast to the nearest live instance, optional loss and interception.
+pub struct StaticNetwork {
+    /// Where the querying resolver sits.
+    pub resolver_geo: GeoPoint,
+    services: HashMap<Ipv4Addr, Service>,
+    /// Addresses currently unreachable (whole-address outage).
+    pub down: HashSet<Ipv4Addr>,
+    /// Per-instance outage: (address, instance index).
+    pub down_instances: HashSet<(Ipv4Addr, usize)>,
+    /// Random loss probability per query.
+    pub loss: f64,
+    interceptors: Vec<Interceptor>,
+    rng: DetRng,
+    /// Queries sent per destination address.
+    pub queries_to: HashMap<Ipv4Addr, u64>,
+    /// Total queries attempted.
+    pub total_queries: u64,
+    /// Queries answered by an interceptor instead of the real service.
+    pub intercepted: u64,
+}
+
+impl StaticNetwork {
+    /// Creates an empty network for a resolver at `resolver_geo`.
+    pub fn new(resolver_geo: GeoPoint, seed: u64) -> StaticNetwork {
+        StaticNetwork {
+            resolver_geo,
+            services: HashMap::new(),
+            down: HashSet::new(),
+            down_instances: HashSet::new(),
+            loss: 0.0,
+            interceptors: Vec::new(),
+            rng: DetRng::seed_from_u64(seed),
+            queries_to: HashMap::new(),
+            total_queries: 0,
+            intercepted: 0,
+        }
+    }
+
+    /// Registers a single-instance service at `addr`.
+    pub fn add_server(&mut self, addr: Ipv4Addr, geo: GeoPoint, server: SharedAuth) {
+        self.add_anycast(addr, vec![(geo, server)]);
+    }
+
+    /// Registers an anycast service: requests to `addr` go to the nearest
+    /// live instance.
+    pub fn add_anycast(&mut self, addr: Ipv4Addr, instances: Vec<(GeoPoint, SharedAuth)>) {
+        assert!(!instances.is_empty());
+        self.services.insert(addr, Service { instances });
+    }
+
+    /// Installs an interceptor (§4 attacker). Interceptors run in order; the
+    /// first to return a forged message wins.
+    pub fn add_interceptor(&mut self, i: Interceptor) {
+        self.interceptors.push(i);
+    }
+
+    /// True if `addr` is served.
+    pub fn knows(&self, addr: Ipv4Addr) -> bool {
+        self.services.contains_key(&addr)
+    }
+
+    /// Index + RTT of the nearest live instance of `addr`, if any.
+    fn route(&self, addr: Ipv4Addr) -> Option<(usize, SimDuration)> {
+        if self.down.contains(&addr) {
+            return None;
+        }
+        let service = self.services.get(&addr)?;
+        service
+            .instances
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.down_instances.contains(&(addr, *i)))
+            .map(|(i, (geo, _))| (i, self.resolver_geo.rtt(geo)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+    }
+
+    /// RTT the resolver would see to `addr` right now (for assertions).
+    pub fn rtt_to(&self, addr: Ipv4Addr) -> Option<SimDuration> {
+        self.route(addr).map(|(_, rtt)| rtt)
+    }
+}
+
+impl Network for StaticNetwork {
+    fn query(&mut self, now: SimTime, server: Ipv4Addr, query: &Message) -> Option<(Message, SimDuration)> {
+        self.total_queries += 1;
+        *self.queries_to.entry(server).or_insert(0) += 1;
+        // On-path interception happens before delivery.
+        for i in &mut self.interceptors {
+            if let Some(forged) = i(now, server, query) {
+                self.intercepted += 1;
+                // The attacker answers from on-path: roughly half the RTT.
+                let rtt = self
+                    .route(server)
+                    .map(|(_, r)| SimDuration::from_millis_f64(r.as_millis_f64() / 2.0))
+                    .unwrap_or(SimDuration::from_millis(20));
+                return Some((forged, rtt));
+            }
+        }
+        if self.loss > 0.0 && self.rng.chance(self.loss) {
+            return None;
+        }
+        let (idx, rtt) = self.route(server)?;
+        let service = self.services.get(&server)?;
+        let response = service.instances[idx].1.borrow_mut().handle(query);
+        Some((response, rtt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rootless_proto::message::Rcode;
+    use rootless_proto::name::Name;
+    use rootless_proto::rr::RType;
+    use rootless_zone::rootzone::{self, RootZoneConfig};
+
+    fn root_auth() -> SharedAuth {
+        shared(AuthServer::new(rootzone::build(&RootZoneConfig::small(10))))
+    }
+
+    #[test]
+    fn query_reaches_nearest_instance() {
+        let mut net = StaticNetwork::new(GeoPoint::new(51.5, -0.1), 1);
+        let addr = Ipv4Addr::new(198, 41, 0, 4);
+        net.add_anycast(
+            addr,
+            vec![
+                (GeoPoint::new(35.7, 139.7), root_auth()), // Tokyo
+                (GeoPoint::new(48.9, 2.4), root_auth()),   // Paris
+            ],
+        );
+        let q = Message::query(1, Name::root(), RType::NS);
+        let (resp, rtt) = net.query(SimTime::ZERO, addr, &q).unwrap();
+        assert_eq!(resp.header.rcode, Rcode::NoError);
+        // Paris RTT from London is far below Tokyo's.
+        assert!(rtt.as_millis_f64() < 40.0, "rtt {}", rtt.as_millis_f64());
+    }
+
+    #[test]
+    fn down_address_times_out() {
+        let mut net = StaticNetwork::new(GeoPoint::new(0.0, 0.0), 2);
+        let addr = Ipv4Addr::new(198, 41, 0, 4);
+        net.add_server(addr, GeoPoint::new(1.0, 1.0), root_auth());
+        net.down.insert(addr);
+        let q = Message::query(1, Name::root(), RType::NS);
+        assert!(net.query(SimTime::ZERO, addr, &q).is_none());
+    }
+
+    #[test]
+    fn instance_outage_fails_over() {
+        let mut net = StaticNetwork::new(GeoPoint::new(51.5, -0.1), 3);
+        let addr = Ipv4Addr::new(198, 41, 0, 4);
+        net.add_anycast(
+            addr,
+            vec![
+                (GeoPoint::new(48.9, 2.4), root_auth()),
+                (GeoPoint::new(35.7, 139.7), root_auth()),
+            ],
+        );
+        let near_rtt = net.rtt_to(addr).unwrap();
+        net.down_instances.insert((addr, 0));
+        let far_rtt = net.rtt_to(addr).unwrap();
+        assert!(far_rtt > near_rtt.saturating_mul(2));
+        let q = Message::query(1, Name::root(), RType::NS);
+        assert!(net.query(SimTime::ZERO, addr, &q).is_some());
+    }
+
+    #[test]
+    fn interceptor_forges_response() {
+        let mut net = StaticNetwork::new(GeoPoint::new(0.0, 0.0), 4);
+        let addr = Ipv4Addr::new(198, 41, 0, 4);
+        net.add_server(addr, GeoPoint::new(10.0, 10.0), root_auth());
+        net.add_interceptor(Box::new(move |_now, dst, query| {
+            if dst == addr {
+                Some(Message::response_to(query, Rcode::Refused))
+            } else {
+                None
+            }
+        }));
+        let q = Message::query(9, Name::root(), RType::NS);
+        let (resp, _) = net.query(SimTime::ZERO, addr, &q).unwrap();
+        assert_eq!(resp.header.rcode, Rcode::Refused);
+        assert_eq!(net.intercepted, 1);
+    }
+
+    #[test]
+    fn loss_drops_queries() {
+        let mut net = StaticNetwork::new(GeoPoint::new(0.0, 0.0), 5);
+        let addr = Ipv4Addr::new(198, 41, 0, 4);
+        net.add_server(addr, GeoPoint::new(1.0, 1.0), root_auth());
+        net.loss = 1.0;
+        let q = Message::query(1, Name::root(), RType::NS);
+        assert!(net.query(SimTime::ZERO, addr, &q).is_none());
+        // Loss still counts the attempt.
+        assert_eq!(net.total_queries, 1);
+        assert_eq!(net.queries_to[&addr], 1);
+    }
+
+    #[test]
+    fn unknown_address_unreachable() {
+        let mut net = StaticNetwork::new(GeoPoint::new(0.0, 0.0), 6);
+        let q = Message::query(1, Name::root(), RType::NS);
+        assert!(net.query(SimTime::ZERO, Ipv4Addr::new(9, 9, 9, 9), &q).is_none());
+    }
+}

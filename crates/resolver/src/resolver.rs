@@ -1,0 +1,915 @@
+//! The iterative recursive resolver, with the classic root-hints mode and
+//! the paper's three local-root incorporation strategies (§3).
+//!
+//! * [`RootMode::Hints`] — bootstrap from the root hints file and query the
+//!   root nameservers over the network, selecting among the 13 letters by
+//!   smoothed RTT (the §4 complexity the proposal deletes).
+//! * [`RootMode::LocalPreload`] — "read all records in the root zone and
+//!   place each in the resolver's local cache".
+//! * [`RootMode::LocalOnDemand`] — "consult the local root zone file each
+//!   time it would currently consult a root nameserver" (consultation cost
+//!   is configurable; the paper measured 37 ms for a naive script over the
+//!   compressed file and ~0 for an indexed store).
+//! * [`RootMode::LoopbackAuth`] — RFC 7706: an internal authoritative
+//!   instance of the root zone reached over loopback.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use rootless_proto::message::{Edns, Message, Rcode};
+use rootless_proto::name::Name;
+use rootless_proto::rr::{RData, RType, Record};
+use rootless_util::rng::DetRng;
+use rootless_util::time::{SimDuration, SimTime};
+use rootless_zone::hints::RootHints;
+use rootless_zone::zone::{Lookup, Zone};
+
+use crate::cache::{Cache, CacheAnswer, Eviction};
+use crate::net::Network;
+use crate::srtt::SrttSelector;
+
+/// Where the resolver gets root-zone information.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RootMode {
+    /// Classic: query the root nameservers.
+    Hints,
+    /// §3 strategy 1: preload the whole root zone into the cache.
+    LocalPreload,
+    /// §3 strategy 2: consult the local zone copy per root consultation.
+    LocalOnDemand,
+    /// §3 strategy 3 / RFC 7706: local authoritative instance on loopback.
+    LoopbackAuth,
+}
+
+impl RootMode {
+    /// Whether this mode requires a local root zone copy.
+    pub fn needs_local_zone(self) -> bool {
+        self != RootMode::Hints
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RootMode::Hints => "hints",
+            RootMode::LocalPreload => "local-preload",
+            RootMode::LocalOnDemand => "local-ondemand",
+            RootMode::LoopbackAuth => "loopback-auth",
+        }
+    }
+}
+
+/// Resolver configuration.
+#[derive(Clone, Debug)]
+pub struct ResolverConfig {
+    /// Root information source.
+    pub mode: RootMode,
+    /// QNAME minimization (RFC 7816).
+    pub qmin: bool,
+    /// Cache capacity in RRsets (0 = unbounded).
+    pub cache_capacity: usize,
+    /// Cache eviction policy.
+    pub eviction: Eviction,
+    /// Latency charged per timed-out query attempt.
+    pub timeout: SimDuration,
+    /// Server attempts per resolution step before failing.
+    pub max_tries: usize,
+    /// Referral/CNAME step bound.
+    pub max_steps: usize,
+    /// Cost of one on-demand local zone consultation (37 ms in the paper's
+    /// naive-script measurement; near zero with an index).
+    pub on_demand_cost: SimDuration,
+    /// RTT to the loopback instance.
+    pub loopback_rtt: SimDuration,
+    /// Maximum age of the local root zone copy before the resolver treats it
+    /// as expired (SOA expire: 7 days).
+    pub local_zone_expiry: SimDuration,
+    /// Request DNSSEC records (DO bit).
+    pub dnssec_ok: bool,
+    /// Seed for server selection jitter.
+    pub seed: u64,
+}
+
+impl Default for ResolverConfig {
+    fn default() -> Self {
+        ResolverConfig {
+            mode: RootMode::Hints,
+            qmin: false,
+            cache_capacity: 0,
+            eviction: Eviction::Lru,
+            timeout: SimDuration::from_millis(800),
+            max_tries: 5,
+            max_steps: 24,
+            on_demand_cost: SimDuration::from_millis(1),
+            loopback_rtt: SimDuration::from_micros(200),
+            local_zone_expiry: SimDuration::from_days(7),
+            dnssec_ok: false,
+            seed: 0x0dd0,
+        }
+    }
+}
+
+impl ResolverConfig {
+    /// Config for a given mode with everything else default.
+    pub fn with_mode(mode: RootMode) -> Self {
+        ResolverConfig { mode, ..ResolverConfig::default() }
+    }
+}
+
+/// Why a resolution failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailReason {
+    /// Every attempted server timed out / was unreachable.
+    Unreachable,
+    /// A referral carried no usable nameserver addresses.
+    NoGlue,
+    /// Step bound exceeded (referral loop).
+    TooManySteps,
+    /// A server returned something unusable.
+    BadResponse,
+    /// The local root zone copy is missing or expired.
+    StaleLocalRoot,
+}
+
+/// Result category of one resolution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Positive answer records.
+    Answer(Vec<Record>),
+    /// Authenticated-by-zone name error.
+    NxDomain,
+    /// Name exists but not with this type.
+    NoData,
+    /// Gave up.
+    Fail(FailReason),
+}
+
+impl Outcome {
+    /// True for `Answer`.
+    pub fn is_answer(&self) -> bool {
+        matches!(self, Outcome::Answer(_))
+    }
+}
+
+/// One query the resolver sent somewhere (network or loopback).
+#[derive(Clone, Debug)]
+pub struct Transaction {
+    /// Destination server.
+    pub server: Ipv4Addr,
+    /// The zone the server was consulted as authoritative for.
+    pub zone: Name,
+    /// The name actually sent (differs from the target under QMin).
+    pub qname_sent: Name,
+    /// The type actually sent.
+    pub qtype_sent: RType,
+    /// Round-trip time (or the timeout charge).
+    pub rtt: SimDuration,
+    /// True when no response arrived.
+    pub timed_out: bool,
+}
+
+/// The outcome and cost of one resolution.
+#[derive(Clone, Debug)]
+pub struct Resolution {
+    /// Result category.
+    pub outcome: Outcome,
+    /// Total wall-clock latency, including timeouts and local consult costs.
+    pub latency: SimDuration,
+    /// Every query sent (network and loopback).
+    pub transactions: Vec<Transaction>,
+    /// Queries that went to root nameservers over the network.
+    pub root_network_queries: u32,
+    /// Consultations of the local root copy (any local mode).
+    pub local_root_consults: u32,
+    /// Whether the final answer came straight from cache.
+    pub cache_hit: bool,
+}
+
+/// Aggregate counters across resolutions.
+#[derive(Clone, Debug, Default)]
+pub struct ResolverStats {
+    /// Total resolutions.
+    pub resolutions: u64,
+    /// Answers.
+    pub answers: u64,
+    /// NXDOMAINs.
+    pub nxdomain: u64,
+    /// NoData results.
+    pub nodata: u64,
+    /// Failures.
+    pub failures: u64,
+    /// Network queries to root servers.
+    pub root_network_queries: u64,
+    /// Local root consultations.
+    pub local_root_consults: u64,
+    /// All transactions sent.
+    pub transactions: u64,
+    /// Resolutions served entirely from cache.
+    pub cache_answers: u64,
+}
+
+struct LocalRoot {
+    zone: Arc<Zone>,
+    loaded_at: SimTime,
+}
+
+/// The recursive resolver.
+pub struct Resolver {
+    /// Configuration (mode, QMin, limits).
+    pub config: ResolverConfig,
+    /// The cache.
+    pub cache: Cache,
+    /// Root server selector (Hints mode).
+    pub root_selector: SrttSelector,
+    root_addrs: Vec<Ipv4Addr>,
+    local_root: Option<LocalRoot>,
+    rng: DetRng,
+    next_id: u16,
+    /// Aggregate counters.
+    pub stats: ResolverStats,
+}
+
+/// The loopback address the LoopbackAuth transactions are attributed to.
+pub const LOOPBACK_ADDR: Ipv4Addr = Ipv4Addr::new(127, 0, 0, 1);
+
+/// Classification of one resolution step's result (a server response or a
+/// local root consultation). Shared by the call-level resolver and the
+/// packet-level [`crate::node::RecursiveNode`].
+#[derive(Clone, Debug)]
+pub enum StepResult {
+    /// Final records for the sent question.
+    Answer(Vec<Record>),
+    /// A CNAME chain redirect (target, full answer section).
+    Cname(Name, Vec<Record>),
+    /// A referral to a child zone.
+    Referral {
+        /// The child zone name.
+        child: Name,
+        /// NS records of the cut.
+        ns: Vec<Record>,
+        /// A/AAAA glue from the additional section.
+        glue: Vec<Record>,
+    },
+    /// Authenticated name error.
+    NxDomain {
+        /// Negative-caching TTL from the SOA.
+        neg_ttl: u32,
+    },
+    /// Name exists, type does not.
+    NoData,
+    /// Unusable result.
+    Fail(FailReason),
+}
+
+/// Classifies an authoritative response to (`send_name`, `send_type`):
+/// answer, CNAME, referral, NXDOMAIN, NODATA or failure (RFC 1034 §4.3.2
+/// response processing).
+pub fn classify_response(response: &Message, send_name: &Name, send_type: RType) -> StepResult {
+    match response.header.rcode {
+        Rcode::NoError => {}
+        Rcode::NxDomain => {
+            let neg_ttl = response
+                .authorities
+                .iter()
+                .find_map(|r| match &r.rdata {
+                    RData::Soa(soa) => Some(soa.minimum.min(r.ttl)),
+                    _ => None,
+                })
+                .unwrap_or(900);
+            return StepResult::NxDomain { neg_ttl };
+        }
+        _ => return StepResult::Fail(FailReason::BadResponse),
+    }
+    if !response.answers.is_empty() {
+        let direct: Vec<Record> = response
+            .answers
+            .iter()
+            .filter(|r| r.name == *send_name && r.rtype() == send_type)
+            .cloned()
+            .collect();
+        if !direct.is_empty() {
+            return StepResult::Answer(response.answers.clone());
+        }
+        if let Some(target) = response.answers.iter().find_map(|r| match &r.rdata {
+            RData::Cname(t) if r.name == *send_name => Some(t.clone()),
+            _ => None,
+        }) {
+            return StepResult::Cname(target, response.answers.clone());
+        }
+        return StepResult::Fail(FailReason::BadResponse);
+    }
+    // Empty answer: referral or negative.
+    let ns_records: Vec<Record> = response
+        .authorities
+        .iter()
+        .filter(|r| r.rtype() == RType::NS)
+        .cloned()
+        .collect();
+    if !ns_records.is_empty() && !response.header.authoritative {
+        let child = ns_records[0].name.clone();
+        return StepResult::Referral {
+            child,
+            ns: ns_records,
+            glue: response.additionals.clone(),
+        };
+    }
+    if response.authorities.iter().any(|r| r.rtype() == RType::SOA) {
+        return StepResult::NoData;
+    }
+    StepResult::Fail(FailReason::BadResponse)
+}
+
+impl Resolver {
+    /// Creates a resolver with the standard 13-root hints.
+    pub fn new(config: ResolverConfig) -> Resolver {
+        let root_addrs = RootHints::standard().v4_addrs();
+        let rng = DetRng::seed_from_u64(config.seed);
+        Resolver {
+            cache: Cache::new(config.cache_capacity, config.eviction),
+            root_selector: SrttSelector::new(&root_addrs),
+            root_addrs,
+            local_root: None,
+            rng,
+            next_id: 1,
+            stats: ResolverStats::default(),
+            config,
+        }
+    }
+
+    /// Installs a (verified) local root zone copy at `now`. In
+    /// `LocalPreload` mode every RRset is also pushed into the cache.
+    pub fn install_root_zone(&mut self, now: SimTime, zone: Arc<Zone>) {
+        if self.config.mode == RootMode::LocalPreload {
+            for set in zone.rrsets() {
+                if set.rtype == RType::SOA {
+                    continue;
+                }
+                self.cache.preload(now, set.records());
+            }
+        }
+        self.local_root = Some(LocalRoot { zone, loaded_at: now });
+    }
+
+    /// Age of the installed local root copy.
+    pub fn root_zone_age(&self, now: SimTime) -> Option<SimDuration> {
+        self.local_root.as_ref().map(|l| now - l.loaded_at)
+    }
+
+    /// Serial of the installed local root copy.
+    pub fn root_zone_serial(&self) -> Option<u32> {
+        self.local_root.as_ref().map(|l| l.zone.serial())
+    }
+
+    /// Resolves `qname`/`qtype` at time `now` over `net`.
+    pub fn resolve(
+        &mut self,
+        now: SimTime,
+        net: &mut dyn Network,
+        qname: &Name,
+        qtype: RType,
+    ) -> Resolution {
+        self.stats.resolutions += 1;
+        let mut res = Resolution {
+            outcome: Outcome::Fail(FailReason::TooManySteps),
+            latency: SimDuration::ZERO,
+            transactions: Vec::new(),
+            root_network_queries: 0,
+            local_root_consults: 0,
+            cache_hit: false,
+        };
+
+        // Final answer straight from cache?
+        match self.cache.get(now, qname, qtype) {
+            Some(CacheAnswer::Positive(records)) => {
+                res.outcome = Outcome::Answer(records);
+                res.cache_hit = true;
+                self.finish(&mut res);
+                return res;
+            }
+            Some(CacheAnswer::Negative) => {
+                res.outcome = Outcome::NxDomain;
+                res.cache_hit = true;
+                self.finish(&mut res);
+                return res;
+            }
+            None => {}
+        }
+
+        let mut cur_qname = qname.clone();
+        let (mut zone, mut servers) = self.find_start(now, &cur_qname);
+        let mut qmin_labels = zone.label_count() + 1;
+
+        for _step in 0..self.config.max_steps {
+            let total_labels = cur_qname.label_count();
+            let send_name = if self.config.qmin && qmin_labels < total_labels {
+                cur_qname.suffix(qmin_labels)
+            } else {
+                cur_qname.clone()
+            };
+            let send_type = if send_name == cur_qname { qtype } else { RType::NS };
+
+            let step = if zone.is_root() && self.config.mode != RootMode::Hints {
+                self.consult_local_root(now, &send_name, send_type, &mut res)
+            } else {
+                self.query_servers(now, net, &zone, &servers, &send_name, send_type, &mut res)
+            };
+
+            match step {
+                StepResult::Answer(records) => {
+                    if send_name == cur_qname {
+                        self.cache_records(now, &records);
+                        res.outcome = Outcome::Answer(records);
+                        self.finish(&mut res);
+                        return res;
+                    }
+                    // A minimized NS probe got an authoritative NS answer:
+                    // `send_name` is a zone cut; descend into it.
+                    self.cache_records(now, &records);
+                    let addrs = self.addresses_for_ns(now, &records, &[]);
+                    if addrs.is_empty() {
+                        res.outcome = Outcome::Fail(FailReason::NoGlue);
+                        self.finish(&mut res);
+                        return res;
+                    }
+                    zone = send_name.clone();
+                    servers = addrs;
+                    qmin_labels = zone.label_count() + 1;
+                }
+                StepResult::Cname(target, records) => {
+                    self.cache_records(now, &records);
+                    cur_qname = target;
+                    let (z, s) = self.find_start(now, &cur_qname);
+                    zone = z;
+                    servers = s;
+                    qmin_labels = zone.label_count() + 1;
+                }
+                StepResult::Referral { child, ns, glue } => {
+                    self.cache_records(now, &ns);
+                    self.cache_records(now, &glue);
+                    if !child.is_within(&zone) || child == zone {
+                        res.outcome = Outcome::Fail(FailReason::BadResponse);
+                        self.finish(&mut res);
+                        return res;
+                    }
+                    let addrs = self.addresses_for_ns(now, &ns, &glue);
+                    if addrs.is_empty() {
+                        res.outcome = Outcome::Fail(FailReason::NoGlue);
+                        self.finish(&mut res);
+                        return res;
+                    }
+                    zone = child;
+                    servers = addrs;
+                    qmin_labels = zone.label_count() + 1;
+                }
+                StepResult::NoData => {
+                    if send_name != cur_qname {
+                        // Minimized probe hit an empty non-terminal or a
+                        // plain host inside this zone: reveal one more label.
+                        qmin_labels += 1;
+                        continue;
+                    }
+                    // RFC 2308: cache the NODATA under the zone's negative
+                    // TTL so repeats don't re-query. (Our cache stores it as
+                    // an empty positive set keyed to the exact qtype.)
+                    self.cache.insert(
+                        now,
+                        vec![],
+                    );
+                    res.outcome = Outcome::NoData;
+                    self.finish(&mut res);
+                    return res;
+                }
+                StepResult::NxDomain { neg_ttl } => {
+                    // NXDOMAIN for an ancestor implies it for the full name
+                    // (RFC 8020), so cache and report against the target.
+                    self.cache.insert_negative(now, &cur_qname, qtype, neg_ttl);
+                    if send_name != cur_qname {
+                        self.cache.insert_negative(now, &send_name, RType::NS, neg_ttl);
+                    }
+                    res.outcome = Outcome::NxDomain;
+                    self.finish(&mut res);
+                    return res;
+                }
+                StepResult::Fail(reason) => {
+                    res.outcome = Outcome::Fail(reason);
+                    self.finish(&mut res);
+                    return res;
+                }
+            }
+        }
+        res.outcome = Outcome::Fail(FailReason::TooManySteps);
+        self.finish(&mut res);
+        res
+    }
+
+    fn finish(&mut self, res: &mut Resolution) {
+        match &res.outcome {
+            Outcome::Answer(_) => self.stats.answers += 1,
+            Outcome::NxDomain => self.stats.nxdomain += 1,
+            Outcome::NoData => self.stats.nodata += 1,
+            Outcome::Fail(_) => self.stats.failures += 1,
+        }
+        if res.cache_hit {
+            self.stats.cache_answers += 1;
+        }
+        self.stats.root_network_queries += res.root_network_queries as u64;
+        self.stats.local_root_consults += res.local_root_consults as u64;
+        self.stats.transactions += res.transactions.len() as u64;
+    }
+
+    /// Deepest cached delegation covering `qname`, with usable addresses;
+    /// falls back to the root.
+    fn find_start(&mut self, now: SimTime, qname: &Name) -> (Name, Vec<Ipv4Addr>) {
+        for depth in (1..=qname.label_count().saturating_sub(1)).rev() {
+            let candidate = qname.suffix(depth);
+            let Some(CacheAnswer::Positive(ns)) = self.cache.peek(now, &candidate, RType::NS) else {
+                continue;
+            };
+            let addrs = self.addresses_for_ns(now, &ns, &[]);
+            if !addrs.is_empty() {
+                return (candidate, addrs);
+            }
+        }
+        (Name::root(), self.root_addrs.clone())
+    }
+
+    /// Extracts usable server addresses for an NS record set: glue first,
+    /// then cached A records for the NS targets.
+    fn addresses_for_ns(&mut self, now: SimTime, ns: &[Record], glue: &[Record]) -> Vec<Ipv4Addr> {
+        let mut out = Vec::new();
+        let targets: Vec<Name> = ns
+            .iter()
+            .filter_map(|r| match &r.rdata {
+                RData::Ns(t) => Some(t.clone()),
+                _ => None,
+            })
+            .collect();
+        for t in &targets {
+            for g in glue {
+                if g.name == *t {
+                    if let RData::A(a) = g.rdata {
+                        out.push(a);
+                    }
+                }
+            }
+        }
+        for t in &targets {
+            if let Some(CacheAnswer::Positive(records)) = self.cache.peek(now, t, RType::A) {
+                for r in records {
+                    if let RData::A(a) = r.rdata {
+                        out.push(a);
+                    }
+                }
+            }
+        }
+        out.dedup();
+        out
+    }
+
+    /// Groups and caches records by (owner, type).
+    fn cache_records(&mut self, now: SimTime, records: &[Record]) {
+        let mut groups: HashMap<(Name, u16), Vec<Record>> = HashMap::new();
+        for r in records {
+            if r.rtype() == RType::RRSIG || r.rtype() == RType::NSEC {
+                continue; // validation material is not address data
+            }
+            groups
+                .entry((r.name.clone(), r.rtype().to_u16()))
+                .or_default()
+                .push(r.clone());
+        }
+        for (_, group) in groups {
+            self.cache.insert(now, group);
+        }
+    }
+
+    fn consult_local_root(
+        &mut self,
+        now: SimTime,
+        send_name: &Name,
+        send_type: RType,
+        res: &mut Resolution,
+    ) -> StepResult {
+        let Some(local) = &self.local_root else {
+            return StepResult::Fail(FailReason::StaleLocalRoot);
+        };
+        if now - local.loaded_at > self.config.local_zone_expiry {
+            return StepResult::Fail(FailReason::StaleLocalRoot);
+        }
+        res.local_root_consults += 1;
+        let cost = match self.config.mode {
+            RootMode::LocalPreload => SimDuration::ZERO,
+            RootMode::LocalOnDemand => self.config.on_demand_cost,
+            RootMode::LoopbackAuth => self.config.loopback_rtt,
+            RootMode::Hints => unreachable!("local consult in hints mode"),
+        };
+        res.latency = res.latency + cost;
+        if self.config.mode == RootMode::LoopbackAuth {
+            res.transactions.push(Transaction {
+                server: LOOPBACK_ADDR,
+                zone: Name::root(),
+                qname_sent: send_name.clone(),
+                qtype_sent: send_type,
+                rtt: cost,
+                timed_out: false,
+            });
+        }
+        let zone = Arc::clone(&local.zone);
+        let neg_ttl = zone.soa().map(|s| s.minimum).unwrap_or(900);
+        match zone.lookup(send_name, send_type) {
+            Lookup::Answer(set) => StepResult::Answer(set.records()),
+            Lookup::Delegation { ns, glue } => StepResult::Referral {
+                child: ns.name.clone(),
+                ns: ns.records(),
+                glue,
+            },
+            Lookup::NoData => StepResult::NoData,
+            Lookup::NxDomain => StepResult::NxDomain { neg_ttl },
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn query_servers(
+        &mut self,
+        now: SimTime,
+        net: &mut dyn Network,
+        zone: &Name,
+        servers: &[Ipv4Addr],
+        send_name: &Name,
+        send_type: RType,
+        res: &mut Resolution,
+    ) -> StepResult {
+        let is_root = zone.is_root();
+        // Build the try order: SRTT-ranked for the root, rotated for others.
+        let order: Vec<Ipv4Addr> = if is_root {
+            let mut ranked = self.root_selector.ranked();
+            // The selector may explore; put its pick first.
+            if let Some(pick) = self.root_selector.pick(&mut self.rng) {
+                ranked.retain(|a| *a != pick);
+                ranked.insert(0, pick);
+            }
+            ranked
+        } else {
+            let mut v = servers.to_vec();
+            if v.len() > 1 {
+                let rot = self.rng.index(v.len());
+                v.rotate_left(rot);
+            }
+            v
+        };
+
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        let mut query = Message::query(id, send_name.clone(), send_type);
+        // Modern resolvers always advertise an EDNS buffer; without it a
+        // 512-byte limit would truncate fat referrals.
+        query.edns = Some(Edns { dnssec_ok: self.config.dnssec_ok, ..Edns::default() });
+
+        for server in order.into_iter().take(self.config.max_tries) {
+            let send_time = now + res.latency;
+            match net.query(send_time, server, &query) {
+                Some((response, rtt)) => {
+                    res.latency = res.latency + rtt;
+                    res.transactions.push(Transaction {
+                        server,
+                        zone: zone.clone(),
+                        qname_sent: send_name.clone(),
+                        qtype_sent: send_type,
+                        rtt,
+                        timed_out: false,
+                    });
+                    if is_root {
+                        res.root_network_queries += 1;
+                        self.root_selector.record_rtt(server, rtt);
+                    }
+                    if response.header.id != id {
+                        continue; // off-path forgery with wrong id: ignore
+                    }
+                    return classify_response(&response, send_name, send_type);
+                }
+                None => {
+                    res.latency = res.latency + self.config.timeout;
+                    res.transactions.push(Transaction {
+                        server,
+                        zone: zone.clone(),
+                        qname_sent: send_name.clone(),
+                        qtype_sent: send_type,
+                        rtt: self.config.timeout,
+                        timed_out: true,
+                    });
+                    if is_root {
+                        res.root_network_queries += 1;
+                        self.root_selector.record_timeout(server);
+                    }
+                }
+            }
+        }
+        StepResult::Fail(FailReason::Unreachable)
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{build_world, WorldConfig};
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn world() -> (crate::net::StaticNetwork, Arc<Zone>) {
+        build_world(&WorldConfig::default())
+    }
+
+    #[test]
+    fn hints_mode_resolves_through_hierarchy() {
+        let (mut net, zone) = world();
+        let mut r = Resolver::new(ResolverConfig::default());
+        let tld = zone.tlds()[0].clone();
+        let target = n(&format!("www.domain0.{tld}"));
+        let res = r.resolve(SimTime::ZERO, &mut net, &target, RType::A);
+        assert!(res.outcome.is_answer(), "{:?}", res.outcome);
+        // First resolution goes root -> TLD: two+ transactions.
+        assert!(res.transactions.len() >= 2, "{:?}", res.transactions);
+        assert_eq!(res.root_network_queries, 1);
+        assert!(res.latency > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn second_lookup_same_tld_skips_root() {
+        let (mut net, zone) = world();
+        let mut r = Resolver::new(ResolverConfig::default());
+        let tld = zone.tlds()[0].clone();
+        let a = n(&format!("www.domain0.{tld}"));
+        let b = n(&format!("www.domain1.{tld}"));
+        r.resolve(SimTime::ZERO, &mut net, &a, RType::A);
+        let res = r.resolve(SimTime::ZERO + SimDuration::from_secs(5), &mut net, &b, RType::A);
+        assert!(res.outcome.is_answer());
+        assert_eq!(res.root_network_queries, 0, "TLD NS must be cached");
+    }
+
+    #[test]
+    fn cached_answer_needs_no_transactions() {
+        let (mut net, zone) = world();
+        let mut r = Resolver::new(ResolverConfig::default());
+        let tld = zone.tlds()[0].clone();
+        let a = n(&format!("www.domain0.{tld}"));
+        r.resolve(SimTime::ZERO, &mut net, &a, RType::A);
+        let res = r.resolve(SimTime::ZERO + SimDuration::from_secs(1), &mut net, &a, RType::A);
+        assert!(res.cache_hit);
+        assert!(res.transactions.is_empty());
+        assert_eq!(res.latency, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn nxdomain_for_bogus_tld_cached() {
+        let (mut net, _zone) = world();
+        let mut r = Resolver::new(ResolverConfig::default());
+        let bogus = n("printer.local-network-bogus");
+        let res = r.resolve(SimTime::ZERO, &mut net, &bogus, RType::A);
+        assert_eq!(res.outcome, Outcome::NxDomain);
+        assert_eq!(res.root_network_queries, 1);
+        let res2 = r.resolve(SimTime::ZERO + SimDuration::from_secs(10), &mut net, &bogus, RType::A);
+        assert_eq!(res2.outcome, Outcome::NxDomain);
+        assert!(res2.cache_hit, "negative answer must be cached");
+    }
+
+    #[test]
+    fn local_preload_never_queries_root() {
+        let (mut net, zone) = world();
+        let mut r = Resolver::new(ResolverConfig::with_mode(RootMode::LocalPreload));
+        r.install_root_zone(SimTime::ZERO, Arc::clone(&zone));
+        let tld = zone.tlds()[1].clone();
+        let res = r.resolve(SimTime::ZERO, &mut net, &n(&format!("www.domain0.{tld}")), RType::A);
+        assert!(res.outcome.is_answer(), "{:?}", res.outcome);
+        assert_eq!(res.root_network_queries, 0);
+        // Preload serves the TLD NS from cache: only the TLD query remains.
+        assert_eq!(res.transactions.len(), 1);
+    }
+
+    #[test]
+    fn local_ondemand_consults_file() {
+        let (mut net, zone) = world();
+        let mut r = Resolver::new(ResolverConfig::with_mode(RootMode::LocalOnDemand));
+        r.install_root_zone(SimTime::ZERO, Arc::clone(&zone));
+        let tld = zone.tlds()[2].clone();
+        let res = r.resolve(SimTime::ZERO, &mut net, &n(&format!("www.domain0.{tld}")), RType::A);
+        assert!(res.outcome.is_answer(), "{:?}", res.outcome);
+        assert_eq!(res.root_network_queries, 0);
+        assert_eq!(res.local_root_consults, 1);
+        assert!(res.latency >= r.config.on_demand_cost);
+    }
+
+    #[test]
+    fn loopback_mode_counts_transaction_but_not_root_query() {
+        let (mut net, zone) = world();
+        let mut r = Resolver::new(ResolverConfig::with_mode(RootMode::LoopbackAuth));
+        r.install_root_zone(SimTime::ZERO, Arc::clone(&zone));
+        let tld = zone.tlds()[3].clone();
+        let res = r.resolve(SimTime::ZERO, &mut net, &n(&format!("www.domain0.{tld}")), RType::A);
+        assert!(res.outcome.is_answer());
+        assert_eq!(res.root_network_queries, 0);
+        assert_eq!(res.local_root_consults, 1);
+        assert!(res.transactions.iter().any(|t| t.server == LOOPBACK_ADDR));
+    }
+
+    #[test]
+    fn local_mode_nxdomain_without_network() {
+        let (mut net, zone) = world();
+        let mut r = Resolver::new(ResolverConfig::with_mode(RootMode::LocalOnDemand));
+        r.install_root_zone(SimTime::ZERO, Arc::clone(&zone));
+        let res = r.resolve(SimTime::ZERO, &mut net, &n("junk.bogus-tld-qqq"), RType::A);
+        assert_eq!(res.outcome, Outcome::NxDomain);
+        assert!(res.transactions.is_empty(), "no packets for local NXDOMAIN");
+    }
+
+    #[test]
+    fn stale_local_zone_fails() {
+        let (mut net, zone) = world();
+        let mut r = Resolver::new(ResolverConfig::with_mode(RootMode::LocalOnDemand));
+        r.install_root_zone(SimTime::ZERO, Arc::clone(&zone));
+        let late = SimTime::ZERO + SimDuration::from_days(8);
+        let res = r.resolve(late, &mut net, &n("junk.bogus-tld-qqq"), RType::A);
+        assert_eq!(res.outcome, Outcome::Fail(FailReason::StaleLocalRoot));
+    }
+
+    #[test]
+    fn missing_local_zone_fails() {
+        let (mut net, _zone) = world();
+        let mut r = Resolver::new(ResolverConfig::with_mode(RootMode::LocalOnDemand));
+        let res = r.resolve(SimTime::ZERO, &mut net, &n("x.com"), RType::A);
+        assert_eq!(res.outcome, Outcome::Fail(FailReason::StaleLocalRoot));
+    }
+
+    #[test]
+    fn qmin_hides_full_name_from_root() {
+        let (mut net, zone) = world();
+        let mut r = Resolver::new(ResolverConfig { qmin: true, ..ResolverConfig::default() });
+        let tld = zone.tlds()[0].clone();
+        let target = n(&format!("www.domain0.{tld}"));
+        let res = r.resolve(SimTime::ZERO, &mut net, &target, RType::A);
+        assert!(res.outcome.is_answer(), "{:?}", res.outcome);
+        let root_tx: Vec<_> = res.transactions.iter().filter(|t| t.zone.is_root()).collect();
+        assert!(!root_tx.is_empty());
+        for t in root_tx {
+            assert_eq!(t.qname_sent.label_count(), 1, "root saw {}", t.qname_sent);
+        }
+    }
+
+    #[test]
+    fn without_qmin_root_sees_full_name() {
+        let (mut net, zone) = world();
+        let mut r = Resolver::new(ResolverConfig::default());
+        let tld = zone.tlds()[0].clone();
+        let target = n(&format!("www.domain0.{tld}"));
+        let res = r.resolve(SimTime::ZERO, &mut net, &target, RType::A);
+        let root_tx = res.transactions.iter().find(|t| t.zone.is_root()).unwrap();
+        assert_eq!(root_tx.qname_sent, target);
+    }
+
+    #[test]
+    fn all_roots_down_fails_in_hints_mode_only() {
+        let (mut net, zone) = world();
+        for a in RootHints::standard().v4_addrs() {
+            net.down.insert(a);
+        }
+        let mut hints = Resolver::new(ResolverConfig::default());
+        let tld = zone.tlds()[4].clone();
+        let target = n(&format!("www.domain0.{tld}"));
+        let res = hints.resolve(SimTime::ZERO, &mut net, &target, RType::A);
+        assert_eq!(res.outcome, Outcome::Fail(FailReason::Unreachable));
+        assert!(res.latency >= hints.config.timeout.saturating_mul(hints.config.max_tries as u64));
+
+        let mut local = Resolver::new(ResolverConfig::with_mode(RootMode::LocalOnDemand));
+        local.install_root_zone(SimTime::ZERO, Arc::clone(&zone));
+        let res = local.resolve(SimTime::ZERO, &mut net, &target, RType::A);
+        assert!(res.outcome.is_answer(), "local mode must survive root outage: {:?}", res.outcome);
+    }
+
+    #[test]
+    fn ttl_expiry_forces_refetch() {
+        let (mut net, zone) = world();
+        let mut r = Resolver::new(ResolverConfig::default());
+        let tld = zone.tlds()[0].clone();
+        let target = n(&format!("www.domain0.{tld}"));
+        r.resolve(SimTime::ZERO, &mut net, &target, RType::A);
+        // Two days later the TLD NS records (TTL 172800) have expired.
+        let later = SimTime::ZERO + SimDuration::from_secs(172_801 + 3_600);
+        let res = r.resolve(later, &mut net, &target, RType::A);
+        assert!(res.root_network_queries >= 1, "expired NS must re-consult the root");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut net, zone) = world();
+        let mut r = Resolver::new(ResolverConfig::default());
+        let tld = zone.tlds()[0].clone();
+        r.resolve(SimTime::ZERO, &mut net, &n(&format!("www.domain0.{tld}")), RType::A);
+        r.resolve(SimTime::ZERO, &mut net, &n("bogus.no-such-tld-abc"), RType::A);
+        assert_eq!(r.stats.resolutions, 2);
+        assert_eq!(r.stats.answers, 1);
+        assert_eq!(r.stats.nxdomain, 1);
+        assert!(r.stats.transactions >= 3);
+    }
+}

@@ -1,0 +1,235 @@
+//! Nameserver selection by smoothed RTT.
+//!
+//! §4 (Complexity Reduction): *"When a recursive resolver needs to contact a
+//! root nameserver it must determine which of the 13 root nameservers to
+//! contact. Resolvers use a process that involves leveraging multiple roots,
+//! measuring the delay in obtaining a response and retaining a history of
+//! these measurements."* This module is that process — a BIND-style
+//! smoothed-RTT tracker with decaying exploration — implemented precisely so
+//! the local-root modes can delete it.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use rootless_util::rng::DetRng;
+use rootless_util::time::SimDuration;
+
+/// Exponential smoothing factor for new samples.
+const ALPHA: f64 = 0.3;
+/// Multiplicative penalty applied to a server that timed out.
+const TIMEOUT_PENALTY: f64 = 2.0;
+/// Starting estimate for unprobed servers (optimistic, to force probing).
+const UNPROBED_MS: f64 = 11.0;
+/// Probability of exploring a non-best server on any pick.
+const EXPLORE_P: f64 = 0.05;
+
+/// Per-server state.
+#[derive(Clone, Debug)]
+struct ServerState {
+    srtt_ms: f64,
+    samples: u64,
+    timeouts: u64,
+}
+
+/// Smoothed-RTT server selector.
+#[derive(Clone, Debug)]
+pub struct SrttSelector {
+    servers: HashMap<Ipv4Addr, ServerState>,
+    /// Selections made.
+    pub picks: u64,
+    /// Picks that were exploratory (not the current best).
+    pub explorations: u64,
+}
+
+impl SrttSelector {
+    /// Creates a selector over an initial server set.
+    pub fn new(servers: &[Ipv4Addr]) -> SrttSelector {
+        let mut map = HashMap::new();
+        for (i, addr) in servers.iter().enumerate() {
+            // Slightly different starting estimates break ties
+            // deterministically.
+            map.insert(
+                *addr,
+                ServerState { srtt_ms: UNPROBED_MS + i as f64 * 0.001, samples: 0, timeouts: 0 },
+            );
+        }
+        SrttSelector { servers: map, picks: 0, explorations: 0 }
+    }
+
+    /// Picks the next server to query: usually the lowest-SRTT one, with a
+    /// small exploration probability to keep estimates fresh.
+    pub fn pick(&mut self, rng: &mut DetRng) -> Option<Ipv4Addr> {
+        if self.servers.is_empty() {
+            return None;
+        }
+        self.picks += 1;
+        let best = self.best()?;
+        if self.servers.len() > 1 && rng.chance(EXPLORE_P) {
+            self.explorations += 1;
+            let mut others: Vec<Ipv4Addr> =
+                self.servers.keys().copied().filter(|a| *a != best).collect();
+            others.sort(); // deterministic order before random pick
+            return Some(others[rng.index(others.len())]);
+        }
+        Some(best)
+    }
+
+    /// The current lowest-SRTT server.
+    pub fn best(&self) -> Option<Ipv4Addr> {
+        self.servers
+            .iter()
+            .min_by(|a, b| {
+                a.1.srtt_ms
+                    .partial_cmp(&b.1.srtt_ms)
+                    .unwrap()
+                    .then_with(|| a.0.cmp(b.0))
+            })
+            .map(|(a, _)| *a)
+    }
+
+    /// Records a successful response time.
+    pub fn record_rtt(&mut self, server: Ipv4Addr, rtt: SimDuration) {
+        if let Some(s) = self.servers.get_mut(&server) {
+            let sample = rtt.as_millis_f64();
+            s.srtt_ms = if s.samples == 0 { sample } else { (1.0 - ALPHA) * s.srtt_ms + ALPHA * sample };
+            s.samples += 1;
+        }
+    }
+
+    /// Records a timeout: the server's estimate is penalized so it falls out
+    /// of favor.
+    pub fn record_timeout(&mut self, server: Ipv4Addr) {
+        if let Some(s) = self.servers.get_mut(&server) {
+            s.srtt_ms = (s.srtt_ms * TIMEOUT_PENALTY).min(10_000.0);
+            s.timeouts += 1;
+        }
+    }
+
+    /// Current estimate for a server, ms.
+    pub fn estimate_ms(&self, server: Ipv4Addr) -> Option<f64> {
+        self.servers.get(&server).map(|s| s.srtt_ms)
+    }
+
+    /// Servers ordered best-first (for retry sequences).
+    pub fn ranked(&self) -> Vec<Ipv4Addr> {
+        let mut v: Vec<(Ipv4Addr, f64)> =
+            self.servers.iter().map(|(a, s)| (*a, s.srtt_ms)).collect();
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        v.into_iter().map(|(a, _)| a).collect()
+    }
+
+    /// Number of tracked servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True when no servers are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<Ipv4Addr> {
+        (0..n).map(|i| Ipv4Addr::new(198, 41, 0, i as u8 + 1)).collect()
+    }
+
+    #[test]
+    fn converges_to_fastest_server() {
+        let servers = addrs(13);
+        let mut sel = SrttSelector::new(&servers);
+        let mut rng = DetRng::seed_from_u64(1);
+        // Server 3 is fast (10ms), everyone else slow (100ms).
+        for _ in 0..200 {
+            let pick = sel.pick(&mut rng).unwrap();
+            let rtt = if pick == servers[3] { 10.0 } else { 100.0 };
+            sel.record_rtt(pick, SimDuration::from_millis_f64(rtt));
+        }
+        assert_eq!(sel.best(), Some(servers[3]));
+        // The selector should have settled on the fast server for the bulk
+        // of picks after warmup.
+        let mut fast_picks = 0;
+        for _ in 0..100 {
+            if sel.pick(&mut rng).unwrap() == servers[3] {
+                fast_picks += 1;
+            }
+        }
+        assert!(fast_picks > 80, "fast server picked {fast_picks}/100");
+    }
+
+    #[test]
+    fn timeout_penalty_demotes_server() {
+        let servers = addrs(2);
+        let mut sel = SrttSelector::new(&servers);
+        sel.record_rtt(servers[0], SimDuration::from_millis(10));
+        sel.record_rtt(servers[1], SimDuration::from_millis(20));
+        assert_eq!(sel.best(), Some(servers[0]));
+        for _ in 0..3 {
+            sel.record_timeout(servers[0]);
+        }
+        assert_eq!(sel.best(), Some(servers[1]));
+    }
+
+    #[test]
+    fn exploration_happens_but_rarely() {
+        let servers = addrs(13);
+        let mut sel = SrttSelector::new(&servers);
+        for s in &servers {
+            sel.record_rtt(*s, SimDuration::from_millis(50));
+        }
+        sel.record_rtt(servers[0], SimDuration::from_millis(5));
+        let mut rng = DetRng::seed_from_u64(3);
+        for _ in 0..2_000 {
+            sel.pick(&mut rng);
+        }
+        let frac = sel.explorations as f64 / sel.picks as f64;
+        assert!((0.02..0.10).contains(&frac), "exploration fraction {frac}");
+    }
+
+    #[test]
+    fn ranked_orders_by_estimate() {
+        let servers = addrs(3);
+        let mut sel = SrttSelector::new(&servers);
+        sel.record_rtt(servers[0], SimDuration::from_millis(30));
+        sel.record_rtt(servers[1], SimDuration::from_millis(10));
+        sel.record_rtt(servers[2], SimDuration::from_millis(20));
+        assert_eq!(sel.ranked(), vec![servers[1], servers[2], servers[0]]);
+    }
+
+    #[test]
+    fn smoothing_dampens_spikes() {
+        let servers = addrs(1);
+        let mut sel = SrttSelector::new(&servers);
+        for _ in 0..20 {
+            sel.record_rtt(servers[0], SimDuration::from_millis(10));
+        }
+        sel.record_rtt(servers[0], SimDuration::from_millis(500));
+        let est = sel.estimate_ms(servers[0]).unwrap();
+        assert!(est < 200.0, "one spike must not dominate: {est}");
+        assert!(est > 10.0);
+    }
+
+    #[test]
+    fn empty_selector() {
+        let mut sel = SrttSelector::new(&[]);
+        let mut rng = DetRng::seed_from_u64(1);
+        assert!(sel.pick(&mut rng).is_none());
+        assert!(sel.is_empty());
+    }
+
+    #[test]
+    fn unprobed_servers_get_tried_first() {
+        // Optimistic initialization: before any samples, estimates are low,
+        // so early picks spread over servers as measurements come in.
+        let servers = addrs(3);
+        let mut sel = SrttSelector::new(&servers);
+        let mut rng = DetRng::seed_from_u64(9);
+        let first = sel.pick(&mut rng).unwrap();
+        sel.record_rtt(first, SimDuration::from_millis(200));
+        let second = sel.pick(&mut rng).unwrap();
+        assert_ne!(first, second, "after a slow sample the next pick explores elsewhere");
+    }
+}

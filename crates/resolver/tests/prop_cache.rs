@@ -1,0 +1,126 @@
+//! Property tests for the resolver cache: capacity is a hard invariant,
+//! TTLs are honored exactly, and eviction never loses the most-recent entry.
+
+use proptest::prelude::*;
+use rootless_proto::name::Name;
+use rootless_proto::rr::{RData, RType, Record};
+use rootless_resolver::cache::{Cache, CacheAnswer, Eviction};
+use rootless_util::time::{SimDuration, SimTime};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { name_idx: u8, ttl: u16 },
+    Negative { name_idx: u8, ttl: u16 },
+    Get { name_idx: u8 },
+    Advance { secs: u16 },
+    Purge,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 1u16..3600).prop_map(|(name_idx, ttl)| Op::Insert { name_idx, ttl }),
+        (any::<u8>(), 1u16..3600).prop_map(|(name_idx, ttl)| Op::Negative { name_idx, ttl }),
+        any::<u8>().prop_map(|name_idx| Op::Get { name_idx }),
+        (1u16..1000).prop_map(|secs| Op::Advance { secs }),
+        Just(Op::Purge),
+    ]
+}
+
+fn name(i: u8) -> Name {
+    Name::parse(&format!("n{i}.example.com")).unwrap()
+}
+
+fn record(i: u8, ttl: u16) -> Record {
+    Record::new(name(i), ttl as u32, RData::A(std::net::Ipv4Addr::new(10, 0, 0, i.max(1))))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn cache_respects_capacity_and_ttl(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        capacity in 0usize..32,
+        lfu in any::<bool>(),
+    ) {
+        let policy = if lfu { Eviction::Lfu } else { Eviction::Lru };
+        let mut cache = Cache::new(capacity, policy);
+        let mut now = SimTime::ZERO;
+        // Shadow model: name -> (expiry, negative?).
+        let mut model: std::collections::HashMap<u8, (SimTime, bool)> =
+            std::collections::HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert { name_idx, ttl } => {
+                    cache.insert(now, vec![record(name_idx, ttl)]);
+                    model.insert(name_idx, (now + SimDuration::from_secs(ttl as u64), false));
+                }
+                Op::Negative { name_idx, ttl } => {
+                    cache.insert_negative(now, &name(name_idx), RType::A, ttl as u32);
+                    model.insert(name_idx, (now + SimDuration::from_secs(ttl as u64), true));
+                }
+                Op::Get { name_idx } => {
+                    let got = cache.get(now, &name(name_idx), RType::A);
+                    match got {
+                        // A hit must never be expired, and its polarity must
+                        // match the most recent insert.
+                        Some(answer) => {
+                            let (expiry, negative) =
+                                model.get(&name_idx).copied().expect("hit without insert");
+                            prop_assert!(expiry > now, "served an expired entry");
+                            match answer {
+                                CacheAnswer::Negative => prop_assert!(negative),
+                                CacheAnswer::Positive(records) => {
+                                    prop_assert!(!negative);
+                                    prop_assert!(!records.is_empty());
+                                }
+                            }
+                        }
+                        // A miss is always legal (eviction may have run).
+                        None => {}
+                    }
+                }
+                Op::Advance { secs } => now += SimDuration::from_secs(secs as u64),
+                Op::Purge => {
+                    cache.purge_expired(now);
+                }
+            }
+            if capacity > 0 {
+                prop_assert!(cache.len() <= capacity, "capacity violated: {} > {capacity}", cache.len());
+            }
+        }
+    }
+
+    #[test]
+    fn most_recent_insert_survives_eviction(
+        fill in 1u8..100,
+        capacity in 1usize..16,
+    ) {
+        let mut cache = Cache::new(capacity, Eviction::Lru);
+        for i in 0..fill {
+            cache.insert(SimTime::ZERO, vec![record(i, 600)]);
+        }
+        // The entry inserted last must still be present.
+        let last = fill - 1;
+        prop_assert!(
+            cache.get(SimTime::ZERO, &name(last), RType::A).is_some(),
+            "latest entry was evicted"
+        );
+    }
+
+    #[test]
+    fn peek_never_mutates(names in proptest::collection::vec(any::<u8>(), 1..50)) {
+        let mut cache = Cache::new(0, Eviction::Lru);
+        for &i in &names {
+            cache.insert(SimTime::ZERO, vec![record(i, 600)]);
+        }
+        let hits_before = cache.stats.hits;
+        let misses_before = cache.stats.misses;
+        for i in 0..=255u8 {
+            let _ = cache.peek(SimTime::ZERO, &name(i), RType::A);
+        }
+        prop_assert_eq!(cache.stats.hits, hits_before);
+        prop_assert_eq!(cache.stats.misses, misses_before);
+    }
+}

@@ -1,0 +1,572 @@
+//! The authoritative nameserver state machine (sans-IO).
+//!
+//! Root and TLD servers in this workspace are [`AuthServer`] values: a zone
+//! plus RFC 1034 §4.3.2 response logic (answers, referrals with glue,
+//! NXDOMAIN/NODATA with SOA, DNSSEC records on the DO bit) and the query
+//! accounting the §2.2 traffic study reads back out.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rootless_proto::message::{Message, Opcode, Rcode};
+use rootless_proto::name::Name;
+use rootless_proto::rr::{RClass, RData, RType, Record};
+use rootless_dnssec::nsec;
+use rootless_dnssec::sign;
+use rootless_zone::zone::{Lookup, Zone};
+
+/// Per-server query counters.
+#[derive(Clone, Debug, Default)]
+pub struct ServerStats {
+    /// Total queries handled.
+    pub queries: u64,
+    /// Positive answers.
+    pub answers: u64,
+    /// Referrals to child zones.
+    pub referrals: u64,
+    /// Authoritative name errors.
+    pub nxdomain: u64,
+    /// Name exists, type does not.
+    pub nodata: u64,
+    /// Refused (wrong class, AXFR over UDP, etc.).
+    pub refused: u64,
+    /// Unsupported opcodes.
+    pub notimp: u64,
+    /// Malformed queries.
+    pub formerr: u64,
+    /// Responses truncated to fit the UDP payload limit.
+    pub truncated: u64,
+    /// Queries per question type.
+    pub by_qtype: HashMap<u16, u64>,
+    /// Queries per TLD label of the qname (lowercase; "" for the apex) —
+    /// the counter behind the §5.3 ".llc" analysis.
+    pub by_tld: HashMap<String, u64>,
+}
+
+/// An authoritative server for one or more zones (real nameserver hosts
+/// serve many zones — the root zone's shared operator hosts rely on this).
+///
+/// Zones are behind [`Arc`]s so hundreds of anycast instances can share one
+/// copy of the ~22K-record root zone.
+#[derive(Clone, Debug)]
+pub struct AuthServer {
+    zones: Vec<Arc<Zone>>,
+    /// Whether to include RRSIG/NSEC records when the query sets the DO bit.
+    pub dnssec_enabled: bool,
+    /// Counters.
+    pub stats: ServerStats,
+}
+
+impl AuthServer {
+    /// Creates a server over one zone.
+    pub fn new(zone: Zone) -> AuthServer {
+        Self::new_shared(Arc::new(zone))
+    }
+
+    /// Creates a server sharing an existing zone copy (anycast fleets).
+    pub fn new_shared(zone: Arc<Zone>) -> AuthServer {
+        AuthServer { zones: vec![zone], dnssec_enabled: true, stats: ServerStats::default() }
+    }
+
+    /// Adds another zone this host answers for.
+    pub fn add_zone(&mut self, zone: Arc<Zone>) {
+        self.zones.push(zone);
+    }
+
+    /// The primary (first) zone.
+    pub fn zone(&self) -> &Zone {
+        &self.zones[0]
+    }
+
+    /// The zone with the deepest origin containing `qname`, if any.
+    pub fn zone_for(&self, qname: &Name) -> Option<&Arc<Zone>> {
+        self.zones
+            .iter()
+            .filter(|z| qname.is_within(z.origin()))
+            .max_by_key(|z| z.origin().label_count())
+    }
+
+    /// Replaces the primary zone (a zone reload / transfer completion).
+    pub fn reload(&mut self, zone: Zone) {
+        self.zones[0] = Arc::new(zone);
+    }
+
+    /// Shares the primary zone copy.
+    pub fn zone_shared(&self) -> Arc<Zone> {
+        Arc::clone(&self.zones[0])
+    }
+
+    /// Handles one query message, producing the response.
+    pub fn handle(&mut self, query: &Message) -> Message {
+        self.stats.queries += 1;
+        if query.header.opcode != Opcode::Query {
+            self.stats.notimp += 1;
+            return Message::response_to(query, Rcode::NotImp);
+        }
+        let Some(q) = query.question().cloned() else {
+            self.stats.formerr += 1;
+            return Message::response_to(query, Rcode::FormErr);
+        };
+        *self.stats.by_qtype.entry(q.qtype.to_u16()).or_insert(0) += 1;
+        let Some(zone) = self.zone_for(&q.qname).cloned() else {
+            // Not authoritative for anything covering this name.
+            self.stats.refused += 1;
+            return Message::response_to(query, Rcode::Refused);
+        };
+        {
+            let tld_depth = zone.origin().label_count() + 1;
+            let tld = if q.qname.label_count() >= tld_depth {
+                q.qname
+                    .suffix(tld_depth)
+                    .first_label()
+                    .map(|l| String::from_utf8_lossy(l).to_ascii_lowercase())
+                    .unwrap_or_default()
+            } else {
+                String::new()
+            };
+            *self.stats.by_tld.entry(tld).or_insert(0) += 1;
+        }
+        if q.qclass != RClass::IN {
+            self.stats.refused += 1;
+            return Message::response_to(query, Rcode::Refused);
+        }
+        if q.qtype == RType::AXFR {
+            // Zone transfer requires the stream service (axfr module).
+            self.stats.refused += 1;
+            return Message::response_to(query, Rcode::Refused);
+        }
+        let want_dnssec = self.dnssec_enabled && query.edns.map(|e| e.dnssec_ok).unwrap_or(false);
+
+        let mut resp = Message::response_to(query, Rcode::NoError);
+        resp.edns = query.edns;
+        if q.qtype == RType::ANY {
+            // ANY: every RRset at the name (when not below a cut).
+            match zone.lookup(&q.qname, RType::SOA) {
+                Lookup::Delegation { ns, glue } => {
+                    self.stats.referrals += 1;
+                    resp.authorities.extend(ns.records());
+                    resp.additionals.extend(glue);
+                }
+                Lookup::NxDomain => {
+                    self.stats.nxdomain += 1;
+                    resp.header.authoritative = true;
+                    resp.header.rcode = Rcode::NxDomain;
+                    attach_soa(&zone, &mut resp);
+                }
+                _ => {
+                    self.stats.answers += 1;
+                    resp.header.authoritative = true;
+                    for set in zone.rrsets_at(&q.qname) {
+                        if set.rtype != RType::RRSIG || want_dnssec {
+                            resp.answers.extend(set.records());
+                        }
+                    }
+                }
+            }
+            return self.truncate_if_needed(query, resp);
+        }
+        match zone.lookup(&q.qname, q.qtype) {
+            Lookup::Answer(set) => {
+                self.stats.answers += 1;
+                resp.header.authoritative = true;
+                resp.answers.extend(set.records());
+                if want_dnssec {
+                    if let Some(sig) = sign::find_signature(&zone, &set.name, set.rtype) {
+                        resp.answers.push(Record::new(set.name.clone(), set.ttl, RData::Rrsig(sig.clone())));
+                    }
+                }
+            }
+            Lookup::Delegation { ns, glue } => {
+                self.stats.referrals += 1;
+                // Referrals are not authoritative answers (AA clear).
+                resp.authorities.extend(ns.records());
+                if want_dnssec {
+                    // DS (or its absence proof) travels with the referral.
+                    if let Some(ds) = zone.get(&ns.name, RType::DS) {
+                        resp.authorities.extend(ds.records());
+                        if let Some(sig) = sign::find_signature(&zone, &ns.name, RType::DS) {
+                            resp.authorities.push(Record::new(ns.name.clone(), ds.ttl, RData::Rrsig(sig.clone())));
+                        }
+                    }
+                }
+                resp.additionals.extend(glue);
+            }
+            Lookup::NoData => {
+                self.stats.nodata += 1;
+                resp.header.authoritative = true;
+                attach_soa(&zone, &mut resp);
+            }
+            Lookup::NxDomain => {
+                self.stats.nxdomain += 1;
+                resp.header.authoritative = true;
+                resp.header.rcode = Rcode::NxDomain;
+                attach_soa(&zone, &mut resp);
+                if want_dnssec {
+                    if let Some(denial) = nsec::denial_for(&zone, &q.qname) {
+                        let owner = denial.name.clone();
+                        let ttl = denial.ttl;
+                        resp.authorities.push(denial);
+                        if let Some(sig) = sign::find_signature(&zone, &owner, RType::NSEC) {
+                            resp.authorities.push(Record::new(owner, ttl, RData::Rrsig(sig.clone())));
+                        }
+                    }
+                }
+            }
+        }
+        self.truncate_if_needed(query, resp)
+    }
+
+    /// Enforces the UDP payload limit (512 bytes without EDNS, the
+    /// advertised size with it). Staged, like real servers: optional
+    /// additional-section data (glue) is dropped first; only if the message
+    /// still does not fit is it emptied and marked TC so the client retries
+    /// over a stream transport (RFC 1035 §4.2.1, RFC 2181 §9).
+    fn truncate_if_needed(&mut self, query: &Message, mut resp: Message) -> Message {
+        let limit = query
+            .edns
+            .map(|e| e.udp_payload_size.max(512) as usize)
+            .unwrap_or(512);
+        if resp.encoded_len() <= limit {
+            return resp;
+        }
+        // Stage 1: shed additionals (glue is an optimization, not a promise).
+        while !resp.additionals.is_empty() && resp.encoded_len() > limit {
+            resp.additionals.pop();
+        }
+        if resp.encoded_len() <= limit {
+            return resp;
+        }
+        self.stats.truncated += 1;
+        let mut tc = Message::response_to(query, resp.header.rcode);
+        tc.header.authoritative = resp.header.authoritative;
+        tc.header.truncated = true;
+        tc.edns = resp.edns;
+        tc
+    }
+
+    /// Fraction of handled queries that were NXDOMAIN — the server-side view
+    /// of the junk problem.
+    pub fn nxdomain_fraction(&self) -> f64 {
+        if self.stats.queries == 0 {
+            0.0
+        } else {
+            self.stats.nxdomain as f64 / self.stats.queries as f64
+        }
+    }
+}
+
+fn attach_soa(zone: &Zone, resp: &mut Message) {
+    if let Some(set) = zone.get(zone.origin(), RType::SOA) {
+        resp.authorities.extend(set.records());
+    }
+}
+
+/// Builds a root [`AuthServer`] from a root zone plus hints glue sanity
+/// checks (convenience used across experiments).
+pub fn root_server(zone: Zone) -> AuthServer {
+    assert!(zone.origin().is_root(), "root server needs the root zone");
+    AuthServer::new(zone)
+}
+
+/// Builds a TLD authoritative server with a minimal synthetic child zone:
+/// the TLD apex SOA/NS plus `A` records for a set of second-level domains.
+/// Enough for end-to-end resolution through the hierarchy.
+pub fn tld_server(tld: &Name, sld_count: usize, seed: u64) -> AuthServer {
+    use rootless_util::rng::DetRng;
+    let mut rng = DetRng::seed_from_u64(seed ^ tld.to_string().len() as u64);
+    let mut zone = Zone::new(tld.clone());
+    let ns_host = tld.child("ns1").unwrap();
+    zone.insert(Record::new(
+        tld.clone(),
+        86_400,
+        RData::Soa(rootless_proto::rr::Soa {
+            mname: ns_host.clone(),
+            rname: tld.child("hostmaster").unwrap(),
+            serial: 1,
+            refresh: 1_800,
+            retry: 900,
+            expire: 604_800,
+            minimum: 3_600,
+        }),
+    ))
+    .unwrap();
+    zone.insert(Record::new(tld.clone(), 172_800, RData::Ns(ns_host.clone()))).unwrap();
+    zone.insert(Record::new(ns_host, 172_800, RData::A(random_v4(&mut rng)))).unwrap();
+    for i in 0..sld_count {
+        let sld = tld.child(format!("domain{i}")).unwrap();
+        let www = sld.child("www").unwrap();
+        zone.insert(Record::new(sld.clone(), 3_600, RData::A(random_v4(&mut rng)))).unwrap();
+        zone.insert(Record::new(www, 3_600, RData::A(random_v4(&mut rng)))).unwrap();
+    }
+    AuthServer::new(zone)
+}
+
+fn random_v4(rng: &mut rootless_util::rng::DetRng) -> std::net::Ipv4Addr {
+    std::net::Ipv4Addr::new(
+        (rng.below(190) + 5) as u8,
+        rng.below(256) as u8,
+        rng.below(256) as u8,
+        (rng.below(253) + 1) as u8,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rootless_dnssec::keys::ZoneKey;
+    use rootless_proto::message::Edns;
+    use rootless_zone::rootzone::{self, RootZoneConfig};
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn server() -> AuthServer {
+        root_server(rootzone::build(&RootZoneConfig::small(40)))
+    }
+
+    fn signed_server() -> (AuthServer, ZoneKey) {
+        let key = ZoneKey::generate(Name::root(), true, 5);
+        let zone = rootzone::build(&RootZoneConfig::small(40));
+        let chained = rootless_dnssec::nsec::build_chain(&zone);
+        let signed = rootless_dnssec::sign::sign_zone(&chained, &key, 0, u32::MAX);
+        (root_server(signed), key)
+    }
+
+    #[test]
+    fn referral_for_existing_tld() {
+        let mut s = server();
+        let tld = s.zone().tlds()[0].clone();
+        let qname = tld.child("www").unwrap().child("example").unwrap();
+        let resp = s.handle(&Message::query(1, qname, RType::A));
+        assert_eq!(resp.header.rcode, Rcode::NoError);
+        assert!(!resp.header.authoritative, "referrals clear AA");
+        assert!(resp.answers.is_empty());
+        assert!(!resp.authorities.is_empty());
+        assert!(resp.authorities.iter().all(|r| r.rtype() == RType::NS));
+        assert!(!resp.additionals.is_empty(), "glue expected");
+        assert_eq!(s.stats.referrals, 1);
+    }
+
+    #[test]
+    fn nxdomain_for_bogus_tld() {
+        let mut s = server();
+        let resp = s.handle(&Message::query(2, n("www.example.bogus-tld-zzz"), RType::A));
+        assert_eq!(resp.header.rcode, Rcode::NxDomain);
+        assert!(resp.header.authoritative);
+        assert!(resp.authorities.iter().any(|r| r.rtype() == RType::SOA));
+        assert_eq!(s.stats.nxdomain, 1);
+        assert!((s.nxdomain_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apex_ns_answer() {
+        let mut s = server();
+        let resp = s.handle(&Message::query(3, Name::root(), RType::NS));
+        assert!(resp.header.authoritative);
+        assert_eq!(resp.answers.len(), 13);
+        assert_eq!(s.stats.answers, 1);
+    }
+
+    #[test]
+    fn nodata_for_apex_txt() {
+        let mut s = server();
+        let resp = s.handle(&Message::query(4, Name::root(), RType::TXT));
+        assert_eq!(resp.header.rcode, Rcode::NoError);
+        assert!(resp.answers.is_empty());
+        assert!(resp.authorities.iter().any(|r| r.rtype() == RType::SOA));
+        assert_eq!(s.stats.nodata, 1);
+    }
+
+    #[test]
+    fn non_in_class_refused() {
+        let mut s = server();
+        let mut q = Message::query(5, n("version.bind"), RType::TXT);
+        q.questions[0].qclass = RClass::CH;
+        let resp = s.handle(&q);
+        assert_eq!(resp.header.rcode, Rcode::Refused);
+        assert_eq!(s.stats.refused, 1);
+    }
+
+    #[test]
+    fn notimp_for_update() {
+        let mut s = server();
+        let mut q = Message::query(6, n("com"), RType::NS);
+        q.header.opcode = Opcode::Update;
+        let resp = s.handle(&q);
+        assert_eq!(resp.header.rcode, Rcode::NotImp);
+    }
+
+    #[test]
+    fn axfr_over_udp_refused() {
+        let mut s = server();
+        let resp = s.handle(&Message::query(7, Name::root(), RType::AXFR));
+        assert_eq!(resp.header.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn dnssec_referral_carries_ds_and_rrsig() {
+        let (mut s, _key) = signed_server();
+        let tld = s.zone().tlds()[0].clone();
+        let mut q = Message::query(8, tld.child("x").unwrap(), RType::A);
+        q.edns = Some(Edns { dnssec_ok: true, ..Edns::default() });
+        let resp = s.handle(&q);
+        let has_ds = resp.authorities.iter().any(|r| r.rtype() == RType::DS);
+        let has_sig = resp.authorities.iter().any(|r| r.rtype() == RType::RRSIG);
+        // ~90% of TLDs are signed in the fixture; this one may not be, but
+        // signatures must appear whenever DS does.
+        if has_ds {
+            assert!(has_sig, "DS without covering RRSIG");
+        }
+    }
+
+    #[test]
+    fn dnssec_nxdomain_carries_nsec() {
+        let (mut s, _key) = signed_server();
+        let mut q = Message::query(9, n("nonexistent-tld-xyz"), RType::A);
+        q.edns = Some(Edns { dnssec_ok: true, ..Edns::default() });
+        let resp = s.handle(&q);
+        assert_eq!(resp.header.rcode, Rcode::NxDomain);
+        assert!(resp.authorities.iter().any(|r| r.rtype() == RType::NSEC), "NSEC expected");
+        assert!(resp.authorities.iter().any(|r| r.rtype() == RType::RRSIG), "RRSIG expected");
+    }
+
+    #[test]
+    fn no_dnssec_records_without_do_bit() {
+        let (mut s, _key) = signed_server();
+        let resp = s.handle(&Message::query(10, n("nonexistent-tld-xyz"), RType::A));
+        assert!(!resp.authorities.iter().any(|r| r.rtype() == RType::NSEC));
+    }
+
+    #[test]
+    fn qtype_accounting() {
+        let mut s = server();
+        s.handle(&Message::query(11, n("com"), RType::A));
+        s.handle(&Message::query(12, n("com"), RType::AAAA));
+        s.handle(&Message::query(13, n("org"), RType::A));
+        assert_eq!(s.stats.by_qtype[&RType::A.to_u16()], 2);
+        assert_eq!(s.stats.by_qtype[&RType::AAAA.to_u16()], 1);
+    }
+
+    #[test]
+    fn tld_accounting_lowercases() {
+        let mut s = server();
+        let tld = s.zone().tlds()[0].clone();
+        let label = tld.to_string().trim_end_matches('.').to_string();
+        s.handle(&Message::query(14, tld.child("WWW").unwrap(), RType::A));
+        s.handle(&Message::query(15, n(&label.to_uppercase()), RType::NS));
+        assert_eq!(s.stats.by_tld[&label], 2);
+    }
+
+    #[test]
+    fn tld_server_answers_for_sld() {
+        let tld = n("shop");
+        let mut s = tld_server(&tld, 5, 1);
+        let resp = s.handle(&Message::query(16, n("www.domain3.shop"), RType::A));
+        assert_eq!(resp.header.rcode, Rcode::NoError);
+        assert_eq!(resp.answers.len(), 1);
+        assert!(resp.header.authoritative);
+        let missing = s.handle(&Message::query(17, n("www.domain9.shop"), RType::A));
+        assert_eq!(missing.header.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn any_query_returns_all_apex_sets() {
+        let mut s = server();
+        let mut q = Message::query(40, Name::root(), RType::ANY);
+        q.edns = Some(Edns { udp_payload_size: 4096, ..Edns::default() });
+        let resp = s.handle(&q);
+        assert!(resp.header.authoritative);
+        let types: std::collections::HashSet<RType> =
+            resp.answers.iter().map(|r| r.rtype()).collect();
+        assert!(types.contains(&RType::SOA));
+        assert!(types.contains(&RType::NS));
+    }
+
+    #[test]
+    fn any_query_below_cut_refers() {
+        let mut s = server();
+        let tld = s.zone().tlds()[0].clone();
+        let mut q = Message::query(41, tld.child("x").unwrap(), RType::ANY);
+        q.edns = Some(Edns { udp_payload_size: 4096, ..Edns::default() });
+        let resp = s.handle(&q);
+        assert!(resp.answers.is_empty());
+        assert!(resp.authorities.iter().any(|r| r.rtype() == RType::NS));
+    }
+
+    fn fat_txt_server() -> AuthServer {
+        // A name holding enough TXT data to blow the 512-byte UDP limit.
+        let mut zone = rootless_zone::zone::Zone::new(n("big"));
+        for i in 0..12 {
+            zone.insert(rootless_proto::rr::Record::new(
+                n("fat.big"),
+                60,
+                rootless_proto::rr::RData::Txt(vec![format!("padding-string-{i:04}-{}", "x".repeat(40)).into_bytes()]),
+            ))
+            .unwrap();
+        }
+        AuthServer::new(zone)
+    }
+
+    #[test]
+    fn oversized_response_truncated_without_edns() {
+        let mut s = fat_txt_server();
+        let resp = s.handle(&Message::query(42, n("fat.big"), RType::TXT));
+        assert!(resp.header.truncated, "expected TC bit");
+        assert!(resp.answers.is_empty());
+        assert!(resp.encoded_len() <= 512);
+        assert_eq!(s.stats.truncated, 1);
+    }
+
+    #[test]
+    fn edns_payload_size_lifts_truncation() {
+        let mut s = fat_txt_server();
+        let mut q = Message::query(43, n("fat.big"), RType::TXT);
+        q.edns = Some(Edns { udp_payload_size: 4096, ..Edns::default() });
+        let resp = s.handle(&q);
+        assert!(!resp.header.truncated);
+        assert_eq!(resp.answers.len(), 12);
+        assert_eq!(s.stats.truncated, 0);
+    }
+
+    #[test]
+    fn root_referral_fits_in_512() {
+        // The classic constraint: root referrals are engineered to fit
+        // unsigned UDP responses.
+        let mut s = server();
+        let tld = s.zone().tlds()[0].clone();
+        let resp = s.handle(&Message::query(44, tld.child("www").unwrap(), RType::A));
+        assert!(!resp.header.truncated, "plain referral must fit 512B");
+        assert!(resp.encoded_len() <= 512, "{} bytes", resp.encoded_len());
+    }
+
+    #[test]
+    fn multi_zone_host_routes_by_deepest_origin() {
+        // A shared operator host: authoritative for the root AND two TLDs.
+        let mut s = server();
+        let shop = tld_server(&n("shop"), 2, 1);
+        let blog = tld_server(&n("blog"), 2, 2);
+        s.add_zone(shop.zone_shared());
+        s.add_zone(blog.zone_shared());
+        // A name under "shop" answers from the shop zone, not via a root
+        // referral/NXDOMAIN.
+        let resp = s.handle(&Message::query(30, n("www.domain0.shop"), RType::A));
+        assert_eq!(resp.header.rcode, Rcode::NoError);
+        assert!(resp.header.authoritative);
+        assert_eq!(resp.answers.len(), 1);
+        let resp = s.handle(&Message::query(31, n("www.domain1.blog"), RType::A));
+        assert_eq!(resp.answers.len(), 1);
+        // Everything else still gets root service.
+        let resp = s.handle(&Message::query(32, n("x.not-a-tld-zzz"), RType::A));
+        assert_eq!(resp.header.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn reload_swaps_zone() {
+        let mut s = server();
+        let old_serial = s.zone().serial();
+        let newer = rootzone::build(&RootZoneConfig { serial: old_serial + 5, ..RootZoneConfig::small(40) });
+        s.reload(newer);
+        assert_eq!(s.zone().serial(), old_serial + 5);
+    }
+}

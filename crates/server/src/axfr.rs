@@ -1,0 +1,346 @@
+//! Zone transfer (AXFR, RFC 5936) — one of the §3 distribution options:
+//! *"a public recursive server may provide the root zone via DNS' own zone
+//! transfer mechanism"* (the root zone is available this way from ICANN).
+//!
+//! The transfer is modeled at message granularity: a SOA-bracketed stream of
+//! response messages, plus a single-blob form for the simulator's
+//! size-dependent link delays.
+
+use rootless_proto::message::{Message, Rcode};
+use rootless_proto::name::Name;
+use rootless_proto::rr::{RType, Record};
+use rootless_zone::zone::Zone;
+
+/// Records per AXFR response message (real servers pack to message size; a
+/// fixed count keeps accounting simple).
+pub const RECORDS_PER_MESSAGE: usize = 100;
+
+/// Errors assembling a received transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AxfrError {
+    /// Stream did not start with a SOA record.
+    MissingLeadingSoa,
+    /// Stream did not end with the same SOA.
+    MissingTrailingSoa,
+    /// A record failed to insert into the assembled zone.
+    BadRecord(String),
+    /// Empty transfer.
+    Empty,
+}
+
+impl std::fmt::Display for AxfrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AxfrError::MissingLeadingSoa => write!(f, "AXFR stream must start with SOA"),
+            AxfrError::MissingTrailingSoa => write!(f, "AXFR stream must end with the starting SOA"),
+            AxfrError::BadRecord(e) => write!(f, "bad record in AXFR stream: {e}"),
+            AxfrError::Empty => write!(f, "empty AXFR stream"),
+        }
+    }
+}
+
+impl std::error::Error for AxfrError {}
+
+/// Serves a full transfer of `zone` as a sequence of response messages with
+/// transaction id `id`: SOA, all other records, SOA again.
+pub fn serve(zone: &Zone, id: u16) -> Vec<Message> {
+    let soa = zone
+        .get(zone.origin(), RType::SOA)
+        .map(|s| s.records())
+        .unwrap_or_default();
+    let mut stream: Vec<Record> = Vec::with_capacity(zone.record_count() + 2);
+    stream.extend(soa.iter().cloned());
+    for record in zone.records() {
+        if record.rtype() != RType::SOA {
+            stream.push(record);
+        }
+    }
+    stream.extend(soa.iter().cloned());
+
+    let mut messages = Vec::new();
+    for chunk in stream.chunks(RECORDS_PER_MESSAGE) {
+        let mut q = Message::query(id, zone.origin().clone(), RType::AXFR);
+        let mut m = Message::response_to(&q, Rcode::NoError);
+        m.header.authoritative = true;
+        q.questions.clear();
+        m.answers = chunk.to_vec();
+        messages.push(m);
+    }
+    messages
+}
+
+/// Assembles a zone from a received AXFR stream, enforcing the SOA bracket.
+pub fn assemble(messages: &[Message]) -> Result<Zone, AxfrError> {
+    let records: Vec<&Record> = messages.iter().flat_map(|m| m.answers.iter()).collect();
+    if records.is_empty() {
+        return Err(AxfrError::Empty);
+    }
+    let first = records[0];
+    if first.rtype() != RType::SOA {
+        return Err(AxfrError::MissingLeadingSoa);
+    }
+    let last = records[records.len() - 1];
+    if last.rtype() != RType::SOA || last.name != first.name || last.rdata != first.rdata {
+        return Err(AxfrError::MissingTrailingSoa);
+    }
+    let origin: Name = first.name.clone();
+    let mut zone = Zone::new(origin);
+    for record in &records[..records.len() - 1] {
+        zone.insert((*record).clone()).map_err(|e| AxfrError::BadRecord(e.to_string()))?;
+    }
+    Ok(zone)
+}
+
+/// Total wire bytes of a transfer — what the distribution experiment counts.
+pub fn transfer_bytes(zone: &Zone) -> usize {
+    serve(zone, 0).iter().map(|m| m.encode().len()).sum()
+}
+
+// ---------------------------------------------------------------------------
+// IXFR (RFC 1995): incremental transfer
+
+/// Serves an incremental transfer from `old` to `new` as response messages
+/// with the RFC 1995 structure:
+///
+/// ```text
+/// new-SOA, old-SOA, <deleted records...>, new-SOA, <added records...>, new-SOA
+/// ```
+///
+/// Callers should fall back to [`serve`] (full AXFR) when the requester's
+/// serial is unknown — mirrored by [`apply_ixfr`] refusing serial mismatches.
+pub fn serve_ixfr(old: &Zone, new: &Zone, id: u16) -> Vec<Message> {
+    let old_soa = soa_record(old);
+    let new_soa = soa_record(new);
+
+    let old_set: std::collections::HashSet<Record> =
+        old.records().filter(|r| r.rtype() != RType::SOA).collect();
+    let new_set: std::collections::HashSet<Record> =
+        new.records().filter(|r| r.rtype() != RType::SOA).collect();
+    let mut deleted: Vec<Record> = old_set.difference(&new_set).cloned().collect();
+    let mut added: Vec<Record> = new_set.difference(&old_set).cloned().collect();
+    deleted.sort_by(|a, b| a.name.cmp(&b.name).then(a.rtype().to_u16().cmp(&b.rtype().to_u16())));
+    added.sort_by(|a, b| a.name.cmp(&b.name).then(a.rtype().to_u16().cmp(&b.rtype().to_u16())));
+
+    let mut stream: Vec<Record> = Vec::with_capacity(deleted.len() + added.len() + 4);
+    stream.push(new_soa.clone());
+    stream.push(old_soa);
+    stream.extend(deleted);
+    stream.push(new_soa.clone());
+    stream.extend(added);
+    stream.push(new_soa);
+
+    let q = Message::query(id, new.origin().clone(), RType::AXFR);
+    stream
+        .chunks(RECORDS_PER_MESSAGE)
+        .map(|chunk| {
+            let mut m = Message::response_to(&q, Rcode::NoError);
+            m.header.authoritative = true;
+            m.answers = chunk.to_vec();
+            m
+        })
+        .collect()
+}
+
+fn soa_record(zone: &Zone) -> Record {
+    zone.get(zone.origin(), RType::SOA)
+        .and_then(|s| s.records().into_iter().next())
+        .expect("zone has SOA")
+}
+
+/// Applies a received IXFR stream to `old`, producing the new zone.
+pub fn apply_ixfr(old: &Zone, messages: &[Message]) -> Result<Zone, AxfrError> {
+    let records: Vec<&Record> = messages.iter().flat_map(|m| m.answers.iter()).collect();
+    if records.len() < 4 {
+        return Err(AxfrError::Empty);
+    }
+    let new_soa = records[0];
+    if new_soa.rtype() != RType::SOA {
+        return Err(AxfrError::MissingLeadingSoa);
+    }
+    let old_soa = records[1];
+    if old_soa.rtype() != RType::SOA {
+        return Err(AxfrError::MissingLeadingSoa);
+    }
+    // The stream must apply to exactly the version we hold.
+    let held = soa_record(old);
+    if *old_soa != held {
+        return Err(AxfrError::BadRecord(format!(
+            "IXFR applies to {old_soa}, we hold {held}"
+        )));
+    }
+    let last = records[records.len() - 1];
+    if last != new_soa {
+        return Err(AxfrError::MissingTrailingSoa);
+    }
+
+    // Between old-SOA and the next new-SOA: deletions; after that: additions.
+    let mut zone = old.clone();
+    zone.remove_rrset(&held.name.clone(), RType::SOA);
+    let mut in_deletions = true;
+    for r in &records[2..records.len() - 1] {
+        if **r == *new_soa && in_deletions {
+            in_deletions = false;
+            continue;
+        }
+        if in_deletions {
+            if !zone.remove_rdata(&r.name, r.rtype(), &r.rdata) {
+                return Err(AxfrError::BadRecord(format!("deletion of absent record {r}")));
+            }
+        } else {
+            zone.insert((**r).clone()).map_err(|e| AxfrError::BadRecord(e.to_string()))?;
+        }
+    }
+    if in_deletions {
+        return Err(AxfrError::MissingTrailingSoa);
+    }
+    zone.insert(new_soa.clone()).map_err(|e| AxfrError::BadRecord(e.to_string()))?;
+    Ok(zone)
+}
+
+/// Wire bytes of an incremental transfer (cost accounting for §5.2).
+pub fn ixfr_bytes(old: &Zone, new: &Zone) -> usize {
+    serve_ixfr(old, new, 0).iter().map(|m| m.encode().len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rootless_zone::rootzone::{self, RootZoneConfig};
+
+    #[test]
+    fn roundtrip_small_zone() {
+        let zone = rootzone::build(&RootZoneConfig::small(50));
+        let messages = serve(&zone, 42);
+        let back = assemble(&messages).unwrap();
+        assert_eq!(back, zone);
+    }
+
+    #[test]
+    fn stream_is_soa_bracketed() {
+        let zone = rootzone::build(&RootZoneConfig::small(10));
+        let messages = serve(&zone, 1);
+        let first = &messages[0].answers[0];
+        let last = messages.last().unwrap().answers.last().unwrap();
+        assert_eq!(first.rtype(), RType::SOA);
+        assert_eq!(last.rtype(), RType::SOA);
+        assert_eq!(first, last);
+    }
+
+    #[test]
+    fn message_count_scales_with_zone() {
+        let zone = rootzone::build(&RootZoneConfig::small(50));
+        let messages = serve(&zone, 1);
+        let expected = (zone.record_count() + 1).div_ceil(RECORDS_PER_MESSAGE);
+        assert_eq!(messages.len(), expected);
+    }
+
+    #[test]
+    fn missing_trailing_soa_rejected() {
+        let zone = rootzone::build(&RootZoneConfig::small(10));
+        let mut messages = serve(&zone, 1);
+        messages.last_mut().unwrap().answers.pop();
+        assert!(matches!(assemble(&messages), Err(AxfrError::MissingTrailingSoa)));
+    }
+
+    #[test]
+    fn missing_leading_soa_rejected() {
+        let zone = rootzone::build(&RootZoneConfig::small(10));
+        let mut messages = serve(&zone, 1);
+        messages[0].answers.remove(0);
+        assert!(matches!(
+            assemble(&messages),
+            Err(AxfrError::MissingLeadingSoa) | Err(AxfrError::MissingTrailingSoa)
+        ));
+    }
+
+    #[test]
+    fn empty_stream_rejected() {
+        assert_eq!(assemble(&[]), Err(AxfrError::Empty));
+    }
+
+    #[test]
+    fn transfer_bytes_plausible() {
+        // A ~1.5K-record zone should move tens of KB once compressed by name
+        // compression within messages.
+        let zone = rootzone::build(&RootZoneConfig::small(100));
+        let bytes = transfer_bytes(&zone);
+        let records = zone.record_count();
+        assert!(bytes > records * 10, "{bytes} bytes for {records} records");
+        assert!(bytes < records * 120, "{bytes} bytes for {records} records");
+    }
+
+    #[test]
+    fn ixfr_roundtrip_on_churned_zones() {
+        use rootless_util::time::Date;
+        use rootless_zone::churn::{ChurnConfig, Timeline};
+        let t = Timeline::generate(
+            RootZoneConfig::small(200),
+            ChurnConfig::default(),
+            Date::new(2019, 4, 1),
+            4,
+        );
+        let old = t.snapshot(0);
+        let new = t.snapshot(2);
+        let messages = serve_ixfr(&old, &new, 9);
+        let rebuilt = apply_ixfr(&old, &messages).unwrap();
+        assert_eq!(rebuilt, new);
+    }
+
+    #[test]
+    fn ixfr_much_smaller_than_axfr() {
+        use rootless_util::time::Date;
+        use rootless_zone::churn::{ChurnConfig, Timeline};
+        let t = Timeline::generate(
+            RootZoneConfig::small(300),
+            ChurnConfig::default(),
+            Date::new(2019, 4, 1),
+            3,
+        );
+        let old = t.snapshot(0);
+        let new = t.snapshot(1);
+        let incremental = ixfr_bytes(&old, &new);
+        let full = transfer_bytes(&new);
+        assert!(incremental * 10 < full, "ixfr {incremental} vs axfr {full}");
+    }
+
+    #[test]
+    fn ixfr_rejects_wrong_base_serial() {
+        let a = rootzone::build(&RootZoneConfig { serial: 1, ..RootZoneConfig::small(20) });
+        let b = rootzone::build(&RootZoneConfig { serial: 2, ..RootZoneConfig::small(21) });
+        let c = rootzone::build(&RootZoneConfig { serial: 3, ..RootZoneConfig::small(22) });
+        let messages = serve_ixfr(&b, &c, 1);
+        assert!(matches!(apply_ixfr(&a, &messages), Err(AxfrError::BadRecord(_))));
+    }
+
+    #[test]
+    fn ixfr_identity_transfer() {
+        let zone = rootzone::build(&RootZoneConfig::small(15));
+        let mut newer = zone.clone();
+        // Bump only the serial.
+        let mut soa = zone.soa().unwrap().clone();
+        soa.serial += 1;
+        newer.remove_rrset(&rootless_proto::name::Name::root(), RType::SOA);
+        newer
+            .insert(Record::new(
+                rootless_proto::name::Name::root(),
+                86_400,
+                rootless_proto::rr::RData::Soa(soa),
+            ))
+            .unwrap();
+        let messages = serve_ixfr(&zone, &newer, 1);
+        // Tiny: just the SOA bracket.
+        assert_eq!(messages.len(), 1);
+        assert_eq!(messages[0].answers.len(), 4);
+        let rebuilt = apply_ixfr(&zone, &messages).unwrap();
+        assert_eq!(rebuilt, newer);
+    }
+
+    #[test]
+    fn wire_roundtrip_of_transfer_messages() {
+        let zone = rootzone::build(&RootZoneConfig::small(20));
+        for m in serve(&zone, 9) {
+            let decoded = Message::decode(&m.encode()).unwrap();
+            assert_eq!(decoded, m);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # rootless-server
+//!
+//! Authoritative-server substrate: what the paper proposes to *decommission*
+//! (the root fleet) and what replaces it (local instances).
+//!
+//! * [`auth`] — the sans-IO authoritative state machine with RFC 1034
+//!   referral logic, DNSSEC-on-DO responses and per-qtype/per-TLD query
+//!   accounting (the measurement points for the §2.2 traffic study).
+//! * [`node`] — netsim adapters, including [`node::deploy_root_fleet`],
+//!   which stands up all 13 letters at their real anycast addresses with
+//!   per-letter instance counts from the Fig. 2 model.
+//! * [`axfr`] — zone transfer (one of the §3 distribution options).
+//! * [`loopback`] — the RFC 7706 local root instance with freshness rules.
+
+#![warn(missing_docs)]
+
+pub mod auth;
+pub mod axfr;
+pub mod loopback;
+pub mod node;
+
+pub use auth::{AuthServer, ServerStats};
+pub use loopback::LoopbackRoot;
+pub use node::{deploy_root_fleet, RootDeployment, ServerNode};

@@ -1,0 +1,129 @@
+//! RFC 7706: "Decreasing Access Time to Root Servers by Running One on
+//! Loopback" — the paper's closest related work (§6) and its third
+//! incorporation strategy (§3): *"an operator may simply make the root zone
+//! file available to its resolvers via an authoritative server accessible
+//! only by the internal recursive resolvers."*
+//!
+//! A [`LoopbackRoot`] is an [`AuthServer`] plus the freshness discipline the
+//! RFC requires: it tracks when its zone copy was loaded and refuses to
+//! answer (SERVFAIL) once the copy is older than the expiry bound, so a
+//! broken refresh pipeline degrades loudly instead of serving stale data
+//! forever.
+
+use rootless_proto::message::{Message, Rcode};
+use rootless_util::time::{SimDuration, SimTime};
+use rootless_zone::zone::Zone;
+
+use crate::auth::AuthServer;
+
+/// Default maximum age before a loopback root stops answering: the SOA
+/// expire value the root zone uses (7 days).
+pub const DEFAULT_EXPIRY: SimDuration = SimDuration::from_secs(604_800);
+
+/// A local root-zone instance with freshness tracking.
+pub struct LoopbackRoot {
+    server: AuthServer,
+    loaded_at: SimTime,
+    /// Maximum zone age before SERVFAIL.
+    pub expiry: SimDuration,
+    /// Count of queries refused due to staleness.
+    pub stale_refusals: u64,
+}
+
+impl LoopbackRoot {
+    /// Creates an instance from a verified zone copy loaded at `now`.
+    pub fn new(zone: Zone, now: SimTime) -> LoopbackRoot {
+        LoopbackRoot {
+            server: AuthServer::new(zone),
+            loaded_at: now,
+            expiry: DEFAULT_EXPIRY,
+            stale_refusals: 0,
+        }
+    }
+
+    /// Installs a fresh zone copy at `now`.
+    pub fn refresh(&mut self, zone: Zone, now: SimTime) {
+        self.server.reload(zone);
+        self.loaded_at = now;
+    }
+
+    /// Age of the current copy.
+    pub fn age(&self, now: SimTime) -> SimDuration {
+        now - self.loaded_at
+    }
+
+    /// Whether the copy is still within its expiry bound.
+    pub fn is_fresh(&self, now: SimTime) -> bool {
+        self.age(now) <= self.expiry
+    }
+
+    /// Serial of the loaded copy.
+    pub fn serial(&self) -> u32 {
+        self.server.zone().serial()
+    }
+
+    /// The wrapped server (stats access).
+    pub fn server(&self) -> &AuthServer {
+        &self.server
+    }
+
+    /// Handles a query at `now`, refusing if the copy has expired.
+    pub fn handle(&mut self, query: &Message, now: SimTime) -> Message {
+        if !self.is_fresh(now) {
+            self.stale_refusals += 1;
+            return Message::response_to(query, Rcode::ServFail);
+        }
+        self.server.handle(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rootless_proto::name::Name;
+    use rootless_proto::rr::RType;
+    use rootless_zone::rootzone::{self, RootZoneConfig};
+
+    fn zone() -> Zone {
+        rootzone::build(&RootZoneConfig::small(20))
+    }
+
+    #[test]
+    fn answers_while_fresh() {
+        let mut lb = LoopbackRoot::new(zone(), SimTime::ZERO);
+        let q = Message::query(1, Name::parse("bogus-tld").unwrap(), RType::A);
+        let resp = lb.handle(&q, SimTime::ZERO + SimDuration::from_days(6));
+        assert_eq!(resp.header.rcode, Rcode::NxDomain);
+        assert!(lb.is_fresh(SimTime::ZERO + SimDuration::from_days(6)));
+    }
+
+    #[test]
+    fn servfail_when_stale() {
+        let mut lb = LoopbackRoot::new(zone(), SimTime::ZERO);
+        let q = Message::query(2, Name::parse("com").unwrap(), RType::NS);
+        let resp = lb.handle(&q, SimTime::ZERO + SimDuration::from_days(8));
+        assert_eq!(resp.header.rcode, Rcode::ServFail);
+        assert_eq!(lb.stale_refusals, 1);
+    }
+
+    #[test]
+    fn refresh_resets_age() {
+        let mut lb = LoopbackRoot::new(zone(), SimTime::ZERO);
+        let later = SimTime::ZERO + SimDuration::from_days(8);
+        assert!(!lb.is_fresh(later));
+        let newer = rootzone::build(&RootZoneConfig { serial: 99, ..RootZoneConfig::small(20) });
+        lb.refresh(newer, later);
+        assert!(lb.is_fresh(later));
+        assert_eq!(lb.serial(), 99);
+        assert_eq!(lb.age(later), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn custom_expiry_respected() {
+        let mut lb = LoopbackRoot::new(zone(), SimTime::ZERO);
+        lb.expiry = SimDuration::from_hours(48);
+        let q = Message::query(3, Name::parse("com").unwrap(), RType::NS);
+        assert_eq!(lb.handle(&q, SimTime::ZERO + SimDuration::from_hours(47)).header.rcode, Rcode::NoError);
+        assert_eq!(lb.handle(&q, SimTime::ZERO + SimDuration::from_hours(49)).header.rcode, Rcode::ServFail);
+    }
+}

@@ -1,0 +1,269 @@
+//! netsim adapters: authoritative servers as simulator nodes, plus the
+//! deployment helper that stands up a full 13-letter anycast root fleet.
+
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rootless_netsim::geo::{city_point, GeoPoint};
+use rootless_netsim::sim::{Ctx, Datagram, Node, NodeId, Sim};
+use rootless_proto::message::Message;
+use rootless_util::rng::DetRng;
+use rootless_zone::hints::{RootHints, ROOT_ADDRS};
+use rootless_zone::zone::Zone;
+
+use crate::auth::AuthServer;
+
+/// Shared statistics handle for a fleet of server nodes (anycast instances
+/// of one letter share one counter set in experiments that only need totals).
+pub type SharedStats = Arc<Mutex<crate::auth::ServerStats>>;
+
+/// A simulator node wrapping an [`AuthServer`]. Each datagram is decoded as
+/// a DNS query and answered synchronously.
+pub struct ServerNode {
+    server: AuthServer,
+    /// Count of undecodable datagrams received.
+    pub decode_errors: u64,
+    /// Optional fleet-level stats sink, merged into on every query.
+    fleet_queries: Option<Arc<Mutex<u64>>>,
+}
+
+impl ServerNode {
+    /// Wraps a server.
+    pub fn new(server: AuthServer) -> ServerNode {
+        ServerNode { server, decode_errors: 0, fleet_queries: None }
+    }
+
+    /// Attaches a shared query counter (per-letter fleet totals).
+    pub fn with_fleet_counter(mut self, counter: Arc<Mutex<u64>>) -> ServerNode {
+        self.fleet_queries = Some(counter);
+        self
+    }
+
+    /// The wrapped server (for stats inspection after a run).
+    pub fn server(&self) -> &AuthServer {
+        &self.server
+    }
+}
+
+impl Node for ServerNode {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+        match Message::decode(&dgram.payload) {
+            Ok(query) if !query.header.response => {
+                let resp = self.server.handle(&query);
+                if let Some(counter) = &self.fleet_queries {
+                    *counter.lock() += 1;
+                }
+                ctx.send(dgram.src, resp.encode());
+            }
+            Ok(_) => { /* stray response; servers ignore */ }
+            Err(_) => {
+                self.decode_errors += 1;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+}
+
+/// Handle to a deployed root fleet.
+pub struct RootDeployment {
+    /// Anycast IPv4 address per root letter (a–m).
+    pub addrs: Vec<(char, Ipv4Addr)>,
+    /// Node ids per letter, one per instance.
+    pub instances: Vec<(char, Vec<NodeId>)>,
+    /// Per-letter query counters, shared across that letter's instances.
+    pub query_counters: Vec<(char, Arc<Mutex<u64>>)>,
+}
+
+impl RootDeployment {
+    /// Total instances deployed.
+    pub fn instance_count(&self) -> usize {
+        self.instances.iter().map(|(_, v)| v.len()).sum()
+    }
+
+    /// Total queries across all letters.
+    pub fn total_queries(&self) -> u64 {
+        self.query_counters.iter().map(|(_, c)| *c.lock()).sum()
+    }
+
+    /// All 13 anycast addresses (what an attacker pattern-matches on).
+    pub fn root_addrs(&self) -> Vec<Ipv4Addr> {
+        self.addrs.iter().map(|(_, a)| *a).collect()
+    }
+}
+
+/// Deploys the 13 named roots into `sim` with `per_letter` instance counts
+/// (e.g. from `rootless_zone::history::deployment_on`). All instances of a
+/// letter serve the same shared zone and answer on the letter's well-known
+/// anycast address. Instances are spread over city anchors.
+pub fn deploy_root_fleet(
+    sim: &mut Sim,
+    zone: Arc<Zone>,
+    per_letter: &[(char, usize)],
+    seed: u64,
+) -> RootDeployment {
+    let mut rng = DetRng::seed_from_u64(seed ^ 0xf1ee7);
+    let mut addrs = Vec::new();
+    let mut instances = Vec::new();
+    let mut query_counters = Vec::new();
+    for (letter, count) in per_letter {
+        let (_, v4, _) = ROOT_ADDRS
+            .iter()
+            .find(|(l, _, _)| l.chars().next() == Some(*letter))
+            .unwrap_or_else(|| panic!("unknown root letter {letter}"));
+        let anycast: Ipv4Addr = v4.parse().unwrap();
+        let counter = Arc::new(Mutex::new(0u64));
+        let mut ids = Vec::with_capacity(*count);
+        for i in 0..*count {
+            // Unique unicast address per instance in 203.x.y.z (doc range).
+            let uni = Ipv4Addr::new(
+                203,
+                (*letter as u8) - b'a',
+                (i / 250) as u8,
+                (i % 250 + 1) as u8,
+            );
+            let geo = city_point(i * 13 + (*letter as usize), &mut rng);
+            let node = ServerNode::new(AuthServer::new_shared(Arc::clone(&zone)))
+                .with_fleet_counter(Arc::clone(&counter));
+            let id = sim.add_node(uni, geo, Box::new(node));
+            ids.push(id);
+        }
+        sim.add_anycast(anycast, ids.clone());
+        addrs.push((*letter, anycast));
+        instances.push((*letter, ids));
+        query_counters.push((*letter, counter));
+    }
+    RootDeployment { addrs, instances, query_counters }
+}
+
+/// The hints addresses as parsed Ipv4 values, for clients of the deployment.
+pub fn root_anycast_addrs() -> Vec<Ipv4Addr> {
+    RootHints::standard().v4_addrs()
+}
+
+/// Places `count` resolver locations over the city anchors (with jitter),
+/// for experiments that need a client population.
+pub fn resolver_locations(count: usize, seed: u64) -> Vec<GeoPoint> {
+    let mut rng = DetRng::seed_from_u64(seed ^ 0x9e01);
+    (0..count).map(|i| city_point(i, &mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rootless_netsim::sim::Sim;
+    use rootless_proto::name::Name;
+    use rootless_proto::rr::RType;
+    use rootless_util::time::SimDuration;
+    use rootless_zone::rootzone::{self, RootZoneConfig};
+
+    /// A probe that sends one query to an address and records responses.
+    struct QueryProbe {
+        target: Ipv4Addr,
+        query: Message,
+        responses: Vec<Message>,
+    }
+
+    impl Node for QueryProbe {
+        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, dgram: Datagram) {
+            if let Ok(m) = Message::decode(&dgram.payload) {
+                self.responses.push(m);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            ctx.send(self.target, self.query.encode());
+        }
+    }
+
+    #[test]
+    fn fleet_answers_over_anycast() {
+        let zone = Arc::new(rootzone::build(&RootZoneConfig::small(30)));
+        let mut sim = Sim::new(1);
+        let fleet = deploy_root_fleet(&mut sim, Arc::clone(&zone), &[('a', 3), ('j', 5)], 7);
+        assert_eq!(fleet.instance_count(), 8);
+
+        let tld = zone.tlds()[0].clone();
+        let query = Message::query(77, tld.child("www").unwrap(), RType::A);
+        let a_addr = fleet.addrs[0].1;
+        let probe = sim.add_node(
+            Ipv4Addr::new(10, 0, 0, 99),
+            GeoPoint::new(51.5, -0.1),
+            Box::new(QueryProbe { target: a_addr, query, responses: vec![] }),
+        );
+        sim.schedule_timer(probe, SimDuration::ZERO, 0);
+        sim.run_to_completion();
+
+        let probe_ref = (sim.node(probe) as &dyn std::any::Any)
+            .downcast_ref::<QueryProbe>()
+            .unwrap();
+        assert_eq!(probe_ref.responses.len(), 1);
+        let resp = &probe_ref.responses[0];
+        assert_eq!(resp.header.id, 77);
+        assert!(!resp.authorities.is_empty(), "expected referral");
+        assert_eq!(fleet.total_queries(), 1);
+    }
+
+    #[test]
+    fn fleet_survives_instance_failure() {
+        let zone = Arc::new(rootzone::build(&RootZoneConfig::small(10)));
+        let mut sim = Sim::new(2);
+        let fleet = deploy_root_fleet(&mut sim, Arc::clone(&zone), &[('a', 3)], 7);
+        let a_addr = fleet.addrs[0].1;
+        // Kill the instance nearest to London; routing must fail over.
+        let from = GeoPoint::new(51.5, -0.1);
+        let nearest = sim.route(from, a_addr).unwrap();
+        sim.set_down(nearest, true);
+        let second = sim.route(from, a_addr).unwrap();
+        assert_ne!(nearest, second);
+
+        let query = Message::query(5, Name::parse("anything").unwrap(), RType::A);
+        let probe = sim.add_node(
+            Ipv4Addr::new(10, 0, 0, 99),
+            from,
+            Box::new(QueryProbe { target: a_addr, query, responses: vec![] }),
+        );
+        sim.schedule_timer(probe, SimDuration::ZERO, 0);
+        sim.run_to_completion();
+        let probe_ref = (sim.node(probe) as &dyn std::any::Any)
+            .downcast_ref::<QueryProbe>()
+            .unwrap();
+        assert_eq!(probe_ref.responses.len(), 1, "failover must still answer");
+    }
+
+    #[test]
+    fn server_node_ignores_garbage() {
+        let zone = rootzone::build(&RootZoneConfig::small(5));
+        let mut sim = Sim::new(3);
+        let id = sim.add_node(
+            Ipv4Addr::new(10, 1, 1, 1),
+            GeoPoint::new(0.0, 0.0),
+            Box::new(ServerNode::new(AuthServer::new(zone))),
+        );
+        sim.inject(
+            GeoPoint::new(1.0, 1.0),
+            Datagram { src: Ipv4Addr::new(10, 1, 1, 2), dst: Ipv4Addr::new(10, 1, 1, 1), payload: b"junk".to_vec() },
+        );
+        sim.run_to_completion();
+        let node = (sim.node(id) as &dyn std::any::Any).downcast_ref::<ServerNode>().unwrap();
+        assert_eq!(node.decode_errors, 1);
+    }
+
+    #[test]
+    fn deployment_matches_history_counts() {
+        let zone = Arc::new(rootzone::build(&RootZoneConfig::small(5)));
+        let mut sim = Sim::new(4);
+        let per_letter = rootless_zone::history::deployment_on(rootless_util::time::Date::new(2019, 5, 15));
+        let fleet = deploy_root_fleet(&mut sim, zone, &per_letter, 1);
+        assert_eq!(fleet.instance_count(), 985);
+        assert_eq!(fleet.addrs.len(), 13);
+    }
+
+    #[test]
+    fn resolver_locations_deterministic() {
+        assert_eq!(
+            resolver_locations(10, 5).iter().map(|g| (g.lat, g.lon)).collect::<Vec<_>>(),
+            resolver_locations(10, 5).iter().map(|g| (g.lat, g.lon)).collect::<Vec<_>>()
+        );
+    }
+}

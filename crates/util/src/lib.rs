@@ -1,0 +1,33 @@
+//! # rootless-util
+//!
+//! Foundation crate for the `rootless` workspace — the reproduction of
+//! *On Eliminating Root Nameservers from the DNS* (Allman, HotNets 2019).
+//!
+//! Everything here is dependency-free and deterministic, because the
+//! simulator and every experiment must replay bit-identically from a seed:
+//!
+//! * [`sha256`] — SHA-256 / HMAC-SHA256 (FIPS 180-4, RFC 2104) from scratch;
+//!   the hash under the simulated DNSSEC layer and the rsync strong hash.
+//! * [`rolling`] — the rsync rolling (Adler-style) weak checksum.
+//! * [`lzss`] — LZSS compression; stands in for gzip on the root zone file.
+//! * [`varint`] — LEB128 varints for the container and delta formats.
+//! * [`rng`] — self-contained xoshiro256** PRNG plus the samplers the
+//!   workload generators use (Zipf, exponential, weighted choice).
+//! * [`stats`] — Welford accumulators, percentiles, histograms, formatting.
+//! * [`time`] — simulated clock types and civil-calendar arithmetic for the
+//!   longitudinal experiments.
+//! * [`hex`] — digest formatting.
+
+#![warn(missing_docs)]
+
+pub mod hex;
+pub mod lzss;
+pub mod rng;
+pub mod rolling;
+pub mod sha256;
+pub mod stats;
+pub mod time;
+pub mod varint;
+
+pub use rng::DetRng;
+pub use time::{Date, SimDuration, SimTime};

@@ -1,0 +1,135 @@
+//! The rsync rolling checksum (Adler-32 variant from Tridgell's thesis).
+//!
+//! §5.2 of the paper proposes distributing root-zone *changes* with rsync
+//! instead of shipping the whole file. `rootless-delta` implements the actual
+//! algorithm; this module provides the weak rolling hash that lets the
+//! sender slide a window over its new file one byte at a time in O(1).
+//!
+//! Definition (window `x[k .. k+len]`, modulus `M = 2^16`):
+//!
+//! ```text
+//! a = Σ x[k+j]              mod M
+//! b = Σ (len - j) · x[k+j]  mod M
+//! digest = b << 16 | a
+//! ```
+//!
+//! Sliding the window by one byte (dropping `out = x[k]`, adding
+//! `inp = x[k+len]`) updates in O(1):
+//!
+//! ```text
+//! a' = a - out + inp
+//! b' = b - len·out + a'
+//! ```
+
+const MOD: u32 = 1 << 16;
+
+/// Incremental rolling checksum over a fixed-length window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Roller {
+    a: u32,
+    b: u32,
+    len: u32,
+}
+
+impl Roller {
+    /// Computes the checksum of an initial window.
+    pub fn new(window: &[u8]) -> Self {
+        let mut a: u32 = 0;
+        let mut b: u32 = 0;
+        let len = window.len() as u32;
+        for (i, &x) in window.iter().enumerate() {
+            a = (a + x as u32) % MOD;
+            b = (b + (len - i as u32) * x as u32) % MOD;
+        }
+        Roller { a, b, len }
+    }
+
+    /// Current 32-bit digest: `b << 16 | a`.
+    pub fn digest(&self) -> u32 {
+        (self.b << 16) | self.a
+    }
+
+    /// Window length this state was built for.
+    pub fn window_len(&self) -> u32 {
+        self.len
+    }
+
+    /// Slides the window one byte: removes `out` (the oldest byte) and
+    /// appends `inp`.
+    pub fn roll(&mut self, out: u8, inp: u8) {
+        let out = out as u32;
+        let inp = inp as u32;
+        self.a = (self.a + MOD - out + inp) % MOD;
+        // len * out ≤ 2^16 · 255 < 2^24, so no u32 overflow below.
+        self.b = (self.b + self.a + MOD - (self.len * out) % MOD) % MOD;
+    }
+}
+
+/// One-shot weak checksum of a block.
+pub fn weak_checksum(block: &[u8]) -> u32 {
+    Roller::new(block).digest()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolling_matches_recompute() {
+        let data: Vec<u8> = (0..200u8).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+        let w = 16;
+        let mut roller = Roller::new(&data[..w]);
+        assert_eq!(roller.digest(), weak_checksum(&data[..w]));
+        for start in 1..(data.len() - w) {
+            roller.roll(data[start - 1], data[start + w - 1]);
+            assert_eq!(
+                roller.digest(),
+                weak_checksum(&data[start..start + w]),
+                "window at {start}"
+            );
+        }
+    }
+
+    #[test]
+    fn rolling_matches_recompute_random_bytes() {
+        let mut rng = crate::rng::DetRng::seed_from_u64(99);
+        let data: Vec<u8> = (0..5000).map(|_| rng.next_u64() as u8).collect();
+        for w in [4usize, 64, 700] {
+            let mut roller = Roller::new(&data[..w]);
+            for start in 1..(data.len() - w) {
+                roller.roll(data[start - 1], data[start + w - 1]);
+                assert_eq!(roller.digest(), weak_checksum(&data[start..start + w]));
+            }
+        }
+    }
+
+    #[test]
+    fn different_blocks_usually_differ() {
+        let a = weak_checksum(b"the root zone file v1");
+        let b = weak_checksum(b"the root zone file v2");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_window() {
+        assert_eq!(weak_checksum(&[]), 0);
+    }
+
+    #[test]
+    fn single_byte_window() {
+        let mut roller = Roller::new(&[7]);
+        roller.roll(7, 9);
+        assert_eq!(roller.digest(), weak_checksum(&[9]));
+    }
+
+    #[test]
+    fn max_value_window_no_overflow() {
+        let data = vec![0xffu8; 70_000];
+        let w = 65_535;
+        let mut roller = Roller::new(&data[..w]);
+        for start in 1..(data.len() - w) {
+            roller.roll(data[start - 1], data[start + w - 1]);
+        }
+        assert_eq!(roller.digest(), weak_checksum(&data[data.len() - w..]));
+    }
+}

@@ -1,0 +1,372 @@
+//! Simulated time and civil-calendar helpers.
+//!
+//! The discrete-event simulator needs a monotonic clock ([`SimTime`],
+//! nanosecond ticks since the simulation epoch), and the longitudinal
+//! experiments (Fig. 1, Fig. 2, the April-2019 TTL-stability study) need real
+//! calendar arithmetic — "the 15th of each month since March 2015" — which
+//! [`Date`] provides via Howard Hinnant's `days_from_civil` algorithm.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Nanoseconds in common units.
+pub const NANOS_PER_MICRO: u64 = 1_000;
+/// Nanoseconds per millisecond.
+pub const NANOS_PER_MILLI: u64 = 1_000_000;
+/// Nanoseconds per second.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+/// Seconds per day.
+pub const SECS_PER_DAY: u64 = 86_400;
+
+/// A span of simulated time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From nanoseconds.
+    pub const fn from_nanos(n: u64) -> Self {
+        SimDuration(n)
+    }
+    /// From microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * NANOS_PER_MICRO)
+    }
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * NANOS_PER_MILLI)
+    }
+    /// From seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * NANOS_PER_SEC)
+    }
+    /// From whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60 * NANOS_PER_SEC)
+    }
+    /// From whole hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3_600 * NANOS_PER_SEC)
+    }
+    /// From whole days.
+    pub const fn from_days(d: u64) -> Self {
+        SimDuration(d * SECS_PER_DAY * NANOS_PER_SEC)
+    }
+    /// From fractional milliseconds (clamps negatives to zero).
+    pub fn from_millis_f64(ms: f64) -> Self {
+        SimDuration((ms.max(0.0) * NANOS_PER_MILLI as f64) as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// As fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_MILLI as f64
+    }
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+    /// As whole seconds (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / NANOS_PER_SEC
+    }
+
+    /// Saturating multiply by an integer factor.
+    pub fn saturating_mul(self, k: u64) -> Self {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= NANOS_PER_SEC {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= NANOS_PER_MILLI {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= NANOS_PER_MICRO {
+            write!(f, "{:.3}us", self.0 as f64 / NANOS_PER_MICRO as f64)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// An instant on the simulated clock (nanoseconds since the sim epoch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Raw nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// Seconds since the epoch (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / NANOS_PER_SEC
+    }
+    /// Fractional seconds since the epoch.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+    /// Elapsed span since `earlier` (saturating at zero).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+    /// Checked addition.
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A civil (proleptic Gregorian) calendar date.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    /// Year, e.g. 2019.
+    pub year: i32,
+    /// Month 1–12.
+    pub month: u8,
+    /// Day of month 1–31.
+    pub day: u8,
+}
+
+impl Date {
+    /// Constructs a date; panics on out-of-range month/day (days are checked
+    /// against the actual month length).
+    pub fn new(year: i32, month: u8, day: u8) -> Self {
+        assert!((1..=12).contains(&month), "month {month}");
+        assert!(day >= 1 && day <= days_in_month(year, month), "day {day} in {year}-{month:02}");
+        Date { year, month, day }
+    }
+
+    /// Days since the civil epoch 1970-01-01 (may be negative).
+    pub fn to_epoch_days(self) -> i64 {
+        // Howard Hinnant's days_from_civil.
+        let y = self.year as i64 - if self.month <= 2 { 1 } else { 0 };
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let m = self.month as i64;
+        let d = self.day as i64;
+        let doy = (153 * (m + if m > 2 { -3 } else { 9 }) + 2) / 5 + d - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe - 719_468
+    }
+
+    /// Inverse of [`Date::to_epoch_days`].
+    pub fn from_epoch_days(days: i64) -> Self {
+        let z = days + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097;
+        let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = doy - (153 * mp + 2) / 5 + 1;
+        let m = if mp < 10 { mp + 3 } else { mp - 9 };
+        Date { year: (y + if m <= 2 { 1 } else { 0 }) as i32, month: m as u8, day: d as u8 }
+    }
+
+    /// This date plus `n` days (n may be negative).
+    pub fn plus_days(self, n: i64) -> Self {
+        Date::from_epoch_days(self.to_epoch_days() + n)
+    }
+
+    /// Number of days from `self` to `other` (positive if `other` is later).
+    pub fn days_until(self, other: Date) -> i64 {
+        other.to_epoch_days() - self.to_epoch_days()
+    }
+
+    /// First day of the following month.
+    pub fn next_month(self) -> Self {
+        if self.month == 12 {
+            Date::new(self.year + 1, 1, 1)
+        } else {
+            Date::new(self.year, self.month + 1, 1)
+        }
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// True for Gregorian leap years.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Length of `month` in `year`.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("month {month}"),
+    }
+}
+
+/// Iterator over the same day-of-month in consecutive months — e.g. the
+/// "15th of each month" sampling both longitudinal figures use. Months whose
+/// length is shorter than `day` are clamped to their last day.
+pub fn monthly_series(start: Date, end_inclusive: Date, day: u8) -> Vec<Date> {
+    let mut out = Vec::new();
+    let mut cursor = Date::new(start.year, start.month, 1);
+    loop {
+        let d = day.min(days_in_month(cursor.year, cursor.month));
+        let sample = Date::new(cursor.year, cursor.month, d);
+        if sample > end_inclusive {
+            break;
+        }
+        if sample >= start {
+            out.push(sample);
+        }
+        cursor = cursor.next_month();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(SimDuration::from_secs(2).as_nanos(), 2 * NANOS_PER_SEC);
+        assert_eq!(SimDuration::from_days(2).as_secs(), 172_800);
+        assert_eq!(SimDuration::from_hours(42).as_secs(), 151_200);
+        assert_eq!(SimDuration::from_millis(37).as_millis_f64(), 37.0);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_secs(5);
+        assert_eq!(t.as_secs(), 5);
+        assert_eq!((t - SimTime::ZERO).as_secs(), 5);
+        assert_eq!(SimTime::ZERO - t, SimDuration::ZERO, "saturating");
+    }
+
+    #[test]
+    fn duration_display() {
+        assert_eq!(SimDuration::from_millis(37).to_string(), "37.000ms");
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
+        assert_eq!(SimDuration::from_nanos(5).to_string(), "5ns");
+    }
+
+    #[test]
+    fn epoch_day_known_values() {
+        assert_eq!(Date::new(1970, 1, 1).to_epoch_days(), 0);
+        assert_eq!(Date::new(1970, 1, 2).to_epoch_days(), 1);
+        assert_eq!(Date::new(1969, 12, 31).to_epoch_days(), -1);
+        // 2018-04-11, the DITL capture day, is 17632 days after the epoch.
+        assert_eq!(Date::new(2018, 4, 11).to_epoch_days(), 17_632);
+    }
+
+    #[test]
+    fn roundtrip_all_days_of_decade() {
+        // Every day the paper's archive spans: 2009-04-28 .. 2019-12-31.
+        let start = Date::new(2009, 4, 28).to_epoch_days();
+        let end = Date::new(2019, 12, 31).to_epoch_days();
+        for d in start..=end {
+            let date = Date::from_epoch_days(d);
+            assert_eq!(date.to_epoch_days(), d, "{date}");
+        }
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(2016));
+        assert!(!is_leap_year(2019));
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert_eq!(days_in_month(2016, 2), 29);
+        assert_eq!(days_in_month(2019, 2), 28);
+    }
+
+    #[test]
+    fn plus_days_crosses_boundaries() {
+        assert_eq!(Date::new(2018, 2, 23).plus_days(47), Date::new(2018, 4, 11));
+        assert_eq!(Date::new(2019, 1, 1).plus_days(-1), Date::new(2018, 12, 31));
+    }
+
+    #[test]
+    fn days_until() {
+        // The paper: ".llc" added 2018-02-23, DITL on 2018-04-11 = 47 days.
+        assert_eq!(Date::new(2018, 2, 23).days_until(Date::new(2018, 4, 11)), 47);
+    }
+
+    #[test]
+    fn monthly_series_fig2_span() {
+        // Fig. 2: 15th of each month, March 2015 through July 2019.
+        let series = monthly_series(Date::new(2015, 3, 1), Date::new(2019, 7, 31), 15);
+        assert_eq!(series.first().copied(), Some(Date::new(2015, 3, 15)));
+        assert_eq!(series.last().copied(), Some(Date::new(2019, 7, 15)));
+        assert_eq!(series.len(), 53);
+    }
+
+    #[test]
+    fn monthly_series_clamps_short_months() {
+        let series = monthly_series(Date::new(2019, 1, 1), Date::new(2019, 3, 31), 31);
+        assert_eq!(series, vec![Date::new(2019, 1, 31), Date::new(2019, 2, 28), Date::new(2019, 3, 31)]);
+    }
+
+    #[test]
+    fn date_ordering() {
+        assert!(Date::new(2019, 4, 1) < Date::new(2019, 4, 2));
+        assert!(Date::new(2018, 12, 31) < Date::new(2019, 1, 1));
+    }
+}

@@ -1,0 +1,81 @@
+//! LEB128-style variable-length integers, used by the LZSS container and the
+//! rsync delta wire format.
+
+/// Appends `value` to `out` as an unsigned LEB128 varint.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a varint from the front of `input`. Returns the value and the number
+/// of bytes consumed, or `None` on truncation / overflow (more than 10 bytes).
+pub fn read_u64(input: &[u8]) -> Option<(u64, usize)> {
+    let mut value: u64 = 0;
+    for (i, &byte) in input.iter().enumerate().take(10) {
+        let payload = (byte & 0x7f) as u64;
+        // The 10th byte may only contribute the single remaining bit.
+        if i == 9 && payload > 1 {
+            return None;
+        }
+        value |= payload << (7 * i);
+        if byte & 0x80 == 0 {
+            return Some((value, i + 1));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_edges() {
+        for v in [0u64, 1, 127, 128, 129, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let (got, used) = read_u64(&buf).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn single_byte_values() {
+        for v in 0..128u64 {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert_eq!(buf, vec![v as u8]);
+        }
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        assert!(read_u64(&[0x80]).is_none());
+        assert!(read_u64(&[]).is_none());
+    }
+
+    #[test]
+    fn overlong_input_rejected() {
+        // 11 continuation bytes can never terminate within the allowed 10.
+        let buf = [0xffu8; 11];
+        assert!(read_u64(&buf).is_none());
+    }
+
+    #[test]
+    fn reads_only_prefix() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 300);
+        buf.extend_from_slice(b"tail");
+        let (v, used) = read_u64(&buf).unwrap();
+        assert_eq!(v, 300);
+        assert_eq!(&buf[used..], b"tail");
+    }
+}

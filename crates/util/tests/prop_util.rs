@@ -1,0 +1,123 @@
+//! Property tests for the util crate: compression, checksums, varints,
+//! stats and calendar arithmetic.
+
+use proptest::prelude::*;
+use rootless_util::rolling::{weak_checksum, Roller};
+use rootless_util::time::Date;
+use rootless_util::{hex, lzss, varint};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lzss_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        let compressed = lzss::compress(&data);
+        prop_assert_eq!(lzss::decompress(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn lzss_roundtrips_repetitive_text(
+        unit in proptest::collection::vec(any::<u8>(), 1..64),
+        repeats in 1usize..200,
+    ) {
+        let mut data = Vec::new();
+        for _ in 0..repeats {
+            data.extend_from_slice(&unit);
+        }
+        let compressed = lzss::compress(&data);
+        let data_len = data.len();
+        prop_assert_eq!(lzss::decompress(&compressed).unwrap(), data);
+        // Repetitive data must compress once it spans several units.
+        if repeats > 20 && unit.len() >= 8 {
+            prop_assert!(compressed.len() < data_len);
+        }
+    }
+
+    #[test]
+    fn lzss_decompress_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let _ = lzss::decompress(&bytes);
+    }
+
+    #[test]
+    fn rolling_checksum_matches_recompute(
+        data in proptest::collection::vec(any::<u8>(), 2..2048),
+        window in 1usize..128,
+    ) {
+        let window = window.min(data.len() - 1);
+        let mut roller = Roller::new(&data[..window]);
+        for start in 1..(data.len() - window) {
+            roller.roll(data[start - 1], data[start + window - 1]);
+            prop_assert_eq!(roller.digest(), weak_checksum(&data[start..start + window]));
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, v);
+        let (got, used) = varint::read_u64(&buf).unwrap();
+        prop_assert_eq!(got, v);
+        prop_assert_eq!(used, buf.len());
+        prop_assert!(buf.len() <= 10);
+    }
+
+    #[test]
+    fn varint_read_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let _ = varint::read_u64(&bytes);
+    }
+
+    #[test]
+    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(hex::decode(&hex::encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn date_epoch_roundtrip(days in -20_000i64..40_000) {
+        let date = Date::from_epoch_days(days);
+        prop_assert_eq!(date.to_epoch_days(), days);
+        prop_assert!((1..=12).contains(&date.month));
+        prop_assert!((1..=31).contains(&date.day));
+    }
+
+    #[test]
+    fn date_plus_days_is_additive(start in 0i64..30_000, a in -500i64..500, b in -500i64..500) {
+        let d = Date::from_epoch_days(start);
+        prop_assert_eq!(d.plus_days(a).plus_days(b), d.plus_days(a + b));
+    }
+
+    #[test]
+    fn running_stats_match_naive(samples in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut r = rootless_util::stats::Running::new();
+        for &x in &samples {
+            r.push(x);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        prop_assert!((r.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert_eq!(r.count(), samples.len() as u64);
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(r.min(), min);
+    }
+
+    #[test]
+    fn percentiles_bounded_by_extremes(samples in proptest::collection::vec(-1e6f64..1e6, 1..200), q in 0.0f64..1.0) {
+        let p = rootless_util::stats::percentile(&samples, q);
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p >= min - 1e-9 && p <= max + 1e-9);
+    }
+}
+
+#[test]
+fn sha256_incremental_equals_oneshot_property() {
+    // Deterministic sweep over chunkings (proptest overkill for this).
+    use rootless_util::sha256::{sha256, Sha256};
+    let data: Vec<u8> = (0..4096u32).map(|i| (i * 31 % 251) as u8).collect();
+    let expect = sha256(&data);
+    for chunk in [1usize, 3, 63, 64, 65, 1000] {
+        let mut h = Sha256::new();
+        for c in data.chunks(chunk) {
+            h.update(c);
+        }
+        assert_eq!(h.finish(), expect, "chunk size {chunk}");
+    }
+}

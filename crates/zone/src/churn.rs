@@ -1,0 +1,460 @@
+//! Day-over-day root zone churn.
+//!
+//! §5.2 of the paper measures how *stable* the root zone is: across April
+//! 2019 all but five TLDs kept at least one nameserver IP constant the whole
+//! month (the five are NeuStar-run TLDs that slowly rotate their nameserver
+//! addresses), a 14-day-stale file never loses a TLD, and a full year of
+//! staleness loses only ~50 TLDs (3.3%). §5.3 adds the perspective of newly
+//! delegated TLDs.
+//!
+//! This module generates a deterministic timeline of daily zone versions
+//! with exactly those dynamics:
+//!
+//! * **adds/deletes** — Poisson-thinned events at roughly one per month each,
+//! * **rotators** — a configurable handful of TLDs whose nameserver IPs
+//!   rotate on a staggered schedule (one host every `rotator_stagger` days,
+//!   each host changing every `rotator_period` days), so a ≤14-day-old file
+//!   always overlaps with a live nameserver but a month-old one does not
+//!   (the paper's five NeuStar TLDs),
+//! * **migrations** — occasional TLDs that renumber their nameservers one
+//!   host every `migration_step_days`, slow enough that any single month
+//!   keeps an overlap but a year does not.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use rootless_proto::name::Name;
+use rootless_proto::rr::{Ds, RData, Record, Soa};
+use rootless_util::rng::DetRng;
+use rootless_util::time::Date;
+
+use crate::rootzone::{self, Delegation, RootZoneConfig, TldPool, DELEGATION_TTL, DS_TTL};
+use crate::zone::Zone;
+
+/// Churn-rate configuration.
+#[derive(Clone, Debug)]
+pub struct ChurnConfig {
+    /// Probability a new TLD is delegated on a given day (~1/month).
+    pub add_rate_per_day: f64,
+    /// Probability an existing TLD is removed on a given day (~1/month).
+    pub delete_rate_per_day: f64,
+    /// Probability a nameserver-renumbering migration starts on a given day
+    /// (~38/year, so migrations+deletes ≈ the paper's 50 lost TLDs/year).
+    pub migration_rate_per_day: f64,
+    /// Days between successive host renumberings within one migration.
+    pub migration_step_days: u64,
+    /// Number of rotator TLDs (the paper found five).
+    pub rotator_count: usize,
+    /// Days between one rotator host's address changes.
+    pub rotator_period: u64,
+    /// Stagger between successive hosts' change days.
+    pub rotator_stagger: u64,
+    /// Seed for event generation.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            add_rate_per_day: 1.0 / 30.0,
+            delete_rate_per_day: 1.0 / 30.0,
+            migration_rate_per_day: 38.0 / 365.0,
+            migration_step_days: 12,
+            rotator_count: 5,
+            rotator_period: 28,
+            rotator_stagger: 7,
+            seed: 0xC4A2_2019,
+        }
+    }
+}
+
+/// Events on one day of the timeline.
+#[derive(Clone, Debug, Default)]
+pub struct DayEvents {
+    /// Pool indices delegated this day.
+    pub added: Vec<usize>,
+    /// Pool indices removed this day.
+    pub deleted: Vec<usize>,
+    /// Pool indices whose nameserver migration starts this day.
+    pub migrations_started: Vec<usize>,
+}
+
+/// A deterministic multi-day history of the root zone.
+pub struct Timeline {
+    /// Base zone configuration (day-0 zone).
+    pub base: RootZoneConfig,
+    /// Churn configuration.
+    pub churn: ChurnConfig,
+    /// Calendar date of day 0.
+    pub start: Date,
+    pool: TldPool,
+    days: Vec<DayEvents>,
+    /// Pool indices of rotator TLDs.
+    rotators: Vec<usize>,
+    /// Migration start days per pool index.
+    migrations: HashMap<usize, Vec<u64>>,
+}
+
+impl Timeline {
+    /// Generates a timeline of `horizon_days` days starting at `start`.
+    pub fn generate(base: RootZoneConfig, churn: ChurnConfig, start: Date, horizon_days: u64) -> Timeline {
+        // Pool sized for worst-case additions.
+        let pool = TldPool::new(base.tld_count + horizon_days as usize + 8, base.seed);
+        let mut rng = DetRng::seed_from_u64(churn.seed);
+
+        // Initial active set: indices 0..tld_count.
+        let mut active: Vec<usize> = (0..base.tld_count).collect();
+        let mut next_new = base.tld_count;
+
+        // Rotators: dedicated-host TLDs from the initial set, skipping the
+        // legacy block at the front.
+        let mut rotators = Vec::new();
+        let mut idx = 30;
+        while rotators.len() < churn.rotator_count && idx < base.tld_count {
+            let d = rootzone::delegation_for(pool.label(idx), &base);
+            if d.dedicated {
+                rotators.push(idx);
+            }
+            idx += 1;
+        }
+
+        let mut days = Vec::with_capacity(horizon_days as usize);
+        let mut migrations: HashMap<usize, Vec<u64>> = HashMap::new();
+        for day in 0..horizon_days {
+            let mut ev = DayEvents::default();
+            if rng.chance(churn.add_rate_per_day) {
+                ev.added.push(next_new);
+                active.push(next_new);
+                next_new += 1;
+            }
+            if rng.chance(churn.delete_rate_per_day) && active.len() > 1 {
+                // Never delete legacy gTLDs (first 22) or rotators.
+                for _ in 0..16 {
+                    let pos = rng.index(active.len());
+                    let cand = active[pos];
+                    if cand >= 22 && !rotators.contains(&cand) {
+                        ev.deleted.push(cand);
+                        active.swap_remove(pos);
+                        break;
+                    }
+                }
+            }
+            if rng.chance(churn.migration_rate_per_day) {
+                // Migrate a random active dedicated-host TLD (not a rotator).
+                for _ in 0..32 {
+                    let cand = active[rng.index(active.len())];
+                    if rotators.contains(&cand) {
+                        continue;
+                    }
+                    let d = rootzone::delegation_for(pool.label(cand), &base);
+                    if d.dedicated {
+                        ev.migrations_started.push(cand);
+                        migrations.entry(cand).or_default().push(day);
+                        break;
+                    }
+                }
+            }
+            days.push(ev);
+        }
+
+        Timeline { base, churn, start, pool, days, rotators, migrations }
+    }
+
+    /// Horizon in days.
+    pub fn horizon(&self) -> u64 {
+        self.days.len() as u64
+    }
+
+    /// Calendar date of `day`.
+    pub fn date(&self, day: u64) -> Date {
+        self.start.plus_days(day as i64)
+    }
+
+    /// Events of one day.
+    pub fn events(&self, day: u64) -> &DayEvents {
+        &self.days[day as usize]
+    }
+
+    /// The rotator TLD names.
+    pub fn rotator_names(&self) -> Vec<Name> {
+        self.rotators.iter().map(|&i| Name::parse(self.pool.label(i)).unwrap()).collect()
+    }
+
+    /// Pool indices active on `day` (0-based; day must be < horizon).
+    pub fn active_indices(&self, day: u64) -> Vec<usize> {
+        let mut active: Vec<usize> = (0..self.base.tld_count).collect();
+        let mut deleted: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for d in 0..=day.min(self.horizon().saturating_sub(1)) {
+            for &a in &self.days[d as usize].added {
+                active.push(a);
+            }
+            for &r in &self.days[d as usize].deleted {
+                deleted.insert(r);
+            }
+        }
+        active.retain(|i| !deleted.contains(i));
+        active
+    }
+
+    /// TLD names active on `day`.
+    pub fn active_tlds(&self, day: u64) -> Vec<Name> {
+        self.active_indices(day)
+            .into_iter()
+            .map(|i| Name::parse(self.pool.label(i)).unwrap())
+            .collect()
+    }
+
+    /// The IP generation of host slot `slot` of TLD `index` on `day`:
+    /// 0 until its first change point, then incrementing.
+    fn host_generation(&self, index: usize, slot: usize, day: u64) -> u64 {
+        let mut gen = 0u64;
+        if let Some(pos) = self.rotators.iter().position(|&r| r == index) {
+            // Staggered rotation: host `slot` of rotator `pos` changes at
+            // days ≡ (pos*3 + slot*stagger) mod period.
+            let offset = (pos as u64 * 3 + slot as u64 * self.churn.rotator_stagger) % self.churn.rotator_period;
+            if day >= offset {
+                gen += (day - offset) / self.churn.rotator_period + 1;
+            }
+        }
+        if let Some(starts) = self.migrations.get(&index) {
+            for &s in starts {
+                let change_day = s + slot as u64 * self.churn.migration_step_days;
+                if day >= change_day {
+                    gen += 1;
+                }
+            }
+        }
+        gen
+    }
+
+    /// The nameserver (host, IPv4) pairs of TLD pool-index `index` on `day`.
+    /// Cheap: does not build a zone.
+    pub fn nameserver_ips(&self, index: usize, day: u64) -> Vec<(Name, Ipv4Addr)> {
+        let d = rootzone::delegation_for(self.pool.label(index), &self.base);
+        d.hosts
+            .iter()
+            .enumerate()
+            .map(|(slot, host)| {
+                let gen = self.host_generation(index, slot, day);
+                (host.clone(), self.host_ip(host, gen))
+            })
+            .collect()
+    }
+
+    fn host_ip(&self, host: &Name, gen: u64) -> Ipv4Addr {
+        // Generation 0 matches the base builder's addressing.
+        rootzone::host_v4(host, self.base.seed ^ (gen.wrapping_mul(0x9e37_79b9)))
+    }
+
+    /// The delegation shape of pool index `index`.
+    pub fn delegation(&self, index: usize) -> Delegation {
+        rootzone::delegation_for(self.pool.label(index), &self.base)
+    }
+
+    /// Builds the full zone as of `day`. Serial = base serial + day.
+    pub fn snapshot(&self, day: u64) -> Zone {
+        let mut zone = Zone::new(Name::root());
+        zone.insert(Record::new(
+            Name::root(),
+            rootzone::SOA_TTL,
+            RData::Soa(Soa {
+                mname: Name::parse("a.root-servers.net").unwrap(),
+                rname: Name::parse("nstld.verisign-grs.com").unwrap(),
+                serial: self.base.serial + day as u32,
+                refresh: 1_800,
+                retry: 900,
+                expire: 604_800,
+                minimum: 86_400,
+            }),
+        ))
+        .unwrap();
+        for (name, v4, v6) in crate::hints::RootHints::standard().servers {
+            zone.insert(Record::new(Name::root(), rootzone::APEX_NS_TTL, RData::Ns(name.clone()))).unwrap();
+            zone.insert(Record::new(name.clone(), DELEGATION_TTL, RData::A(v4))).unwrap();
+            zone.insert(Record::new(name, DELEGATION_TTL, RData::Aaaa(v6))).unwrap();
+        }
+        for index in self.active_indices(day) {
+            let d = self.delegation(index);
+            for (slot, host) in d.hosts.iter().enumerate() {
+                zone.insert(Record::new(d.name.clone(), DELEGATION_TTL, RData::Ns(host.clone()))).unwrap();
+                let gen = self.host_generation(index, slot, day);
+                zone.insert(Record::new(host.clone(), DELEGATION_TTL, RData::A(self.host_ip(host, gen)))).unwrap();
+            }
+            for k in 0..d.ds_count {
+                let mut rng = DetRng::seed_from_u64(self.base.seed ^ simple_hash(self.pool.label(index)) ^ (0xd5 + k as u64));
+                let digest: Vec<u8> = (0..32).map(|_| rng.next_u64() as u8).collect();
+                zone.insert(Record::new(
+                    d.name.clone(),
+                    DS_TTL,
+                    RData::Ds(Ds { key_tag: rng.below(65_536) as u16, algorithm: 250, digest_type: 2, digest }),
+                ))
+                .unwrap();
+            }
+        }
+        zone
+    }
+
+    /// True if a resolver holding the zone from `file_day` can still reach
+    /// TLD pool-index `index` on `now_day`: the TLD is active on both days
+    /// and at least one nameserver IP is unchanged (§5.2's criterion).
+    pub fn reachable_with_stale_file(&self, index: usize, file_day: u64, now_day: u64) -> bool {
+        let active_then: std::collections::HashSet<usize> = self.active_indices(file_day).into_iter().collect();
+        let active_now: std::collections::HashSet<usize> = self.active_indices(now_day).into_iter().collect();
+        if !active_then.contains(&index) || !active_now.contains(&index) {
+            return false;
+        }
+        let then = self.nameserver_ips(index, file_day);
+        let now = self.nameserver_ips(index, now_day);
+        then.iter().any(|(h, ip)| now.iter().any(|(h2, ip2)| h == h2 && ip == ip2))
+    }
+}
+
+fn simple_hash(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_timeline(days: u64) -> Timeline {
+        Timeline::generate(
+            RootZoneConfig::small(120),
+            ChurnConfig::default(),
+            Date::new(2019, 4, 1),
+            days,
+        )
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = tiny_timeline(60);
+        let b = tiny_timeline(60);
+        assert_eq!(a.snapshot(30), b.snapshot(30));
+    }
+
+    #[test]
+    fn serial_advances_daily() {
+        let t = tiny_timeline(10);
+        assert_eq!(t.snapshot(0).serial() + 5, t.snapshot(5).serial());
+    }
+
+    #[test]
+    fn day_zero_has_configured_tld_count() {
+        let t = tiny_timeline(5);
+        assert_eq!(t.active_indices(0).len(), 120 + t.events(0).added.len() - t.events(0).deleted.len());
+    }
+
+    #[test]
+    fn adds_and_deletes_change_active_set() {
+        let t = tiny_timeline(365);
+        let mut adds = 0;
+        let mut dels = 0;
+        for d in 0..365 {
+            adds += t.events(d).added.len();
+            dels += t.events(d).deleted.len();
+        }
+        // ~12/year each; loose bounds.
+        assert!((3..30).contains(&adds), "adds {adds}");
+        assert!((3..30).contains(&dels), "deletes {dels}");
+        assert_eq!(t.active_indices(364).len(), 120 + adds - dels);
+    }
+
+    #[test]
+    fn rotator_hosts_rotate_but_overlap_within_14_days() {
+        let t = tiny_timeline(120);
+        for &rot in &t.rotators {
+            // Same day: trivially reachable.
+            assert!(t.reachable_with_stale_file(rot, 60, 60));
+            // 14-day-old file still overlaps (§5.2).
+            assert!(t.reachable_with_stale_file(rot, 60, 74), "rotator {rot} lost at 14 days");
+            // A file ~2 periods old does not.
+            assert!(!t.reachable_with_stale_file(rot, 0, 119), "rotator {rot} still reachable at 119 days");
+        }
+    }
+
+    #[test]
+    fn non_rotator_stable_over_a_month() {
+        let t = tiny_timeline(40);
+        let rot: std::collections::HashSet<usize> = t.rotators.iter().copied().collect();
+        let migrated: std::collections::HashSet<usize> = t.migrations.keys().copied().collect();
+        let mut checked = 0;
+        for index in t.active_indices(0) {
+            if rot.contains(&index) || migrated.contains(&index) {
+                continue;
+            }
+            if !t.active_indices(39).contains(&index) {
+                continue; // deleted during window
+            }
+            assert!(t.reachable_with_stale_file(index, 0, 39), "stable TLD {index} lost");
+            checked += 1;
+        }
+        assert!(checked > 100);
+    }
+
+    #[test]
+    fn migration_eventually_breaks_reachability() {
+        // Force a migration-heavy timeline.
+        let churn = ChurnConfig { migration_rate_per_day: 0.5, ..ChurnConfig::default() };
+        let t = Timeline::generate(RootZoneConfig::small(100), churn, Date::new(2018, 4, 1), 400);
+        // Find a TLD that migrated early.
+        let migrated_early: Vec<usize> = t
+            .migrations
+            .iter()
+            .filter(|(_, starts)| starts.iter().any(|&s| s < 50))
+            .map(|(&i, _)| i)
+            .collect();
+        assert!(!migrated_early.is_empty());
+        let mut broken = 0;
+        for &index in &migrated_early {
+            if t.active_indices(399).contains(&index) && !t.reachable_with_stale_file(index, 0, 399) {
+                broken += 1;
+            }
+        }
+        assert!(broken > 0, "year-old file should lose migrated TLDs");
+    }
+
+    #[test]
+    fn snapshot_contains_active_tlds_only() {
+        let t = tiny_timeline(200);
+        let zone = t.snapshot(199);
+        let zone_tlds: std::collections::HashSet<Name> = zone.tlds().into_iter().collect();
+        let active: std::collections::HashSet<Name> = t.active_tlds(199).into_iter().collect();
+        assert_eq!(zone_tlds, active);
+    }
+
+    #[test]
+    fn consecutive_snapshots_differ_little() {
+        let t = tiny_timeline(30);
+        let a = t.snapshot(0);
+        let b = t.snapshot(1);
+        let diff = crate::diff::ZoneDiff::compute(&a, &b);
+        // SOA always changes; churn should touch at most a few RRsets.
+        assert!(diff.touched() < 30, "daily diff touched {}", diff.touched());
+    }
+
+    #[test]
+    fn date_mapping() {
+        let t = tiny_timeline(40);
+        assert_eq!(t.date(0), Date::new(2019, 4, 1));
+        assert_eq!(t.date(30), Date::new(2019, 5, 1));
+    }
+
+    #[test]
+    fn nameserver_ips_match_snapshot_glue() {
+        let t = tiny_timeline(20);
+        let day = 10;
+        let zone = t.snapshot(day);
+        for index in t.active_indices(day).into_iter().take(20) {
+            for (host, ip) in t.nameserver_ips(index, day) {
+                let glue = zone.get(&host, rootless_proto::rr::RType::A).expect("glue");
+                assert!(glue.rdatas().contains(&RData::A(ip)), "{host} ip mismatch");
+            }
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Zone diffs: the "recent additions / diffs" feed sketched in §5.3 and the
+//! payload an IXFR-style incremental transfer carries.
+//!
+//! A [`ZoneDiff`] is computed between two zone versions at RRset granularity
+//! and can be (a) applied to a zone to advance it, and (b) serialized to a
+//! compact binary form for distribution (used by `rootless-delta` when
+//! comparing distribution mechanisms).
+
+use rootless_proto::name::Name;
+use rootless_proto::rr::{RType, Record};
+use rootless_proto::wire::{Decoder, Encoder};
+use rootless_proto::ProtoError;
+
+use crate::rrset::{RrKey, RrSet};
+use crate::zone::Zone;
+
+/// An RRset-granularity difference between two zone versions.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ZoneDiff {
+    /// Serial of the zone this diff applies to.
+    pub serial_from: u32,
+    /// Serial after application.
+    pub serial_to: u32,
+    /// RRsets present only in the new zone.
+    pub added: Vec<RrSet>,
+    /// Keys of RRsets present only in the old zone.
+    pub removed: Vec<(Name, RType)>,
+    /// RRsets present in both but with different content (new version).
+    pub changed: Vec<RrSet>,
+}
+
+impl ZoneDiff {
+    /// Computes the diff from `old` to `new`.
+    pub fn compute(old: &Zone, new: &Zone) -> ZoneDiff {
+        use std::collections::BTreeMap;
+        let old_sets: BTreeMap<RrKey, &RrSet> = old.rrsets().map(|s| (s.key(), s)).collect();
+        let new_sets: BTreeMap<RrKey, &RrSet> = new.rrsets().map(|s| (s.key(), s)).collect();
+
+        let mut diff = ZoneDiff {
+            serial_from: old.serial(),
+            serial_to: new.serial(),
+            ..ZoneDiff::default()
+        };
+        for (key, set) in &new_sets {
+            match old_sets.get(key) {
+                None => diff.added.push((*set).canonicalized()),
+                Some(old_set) => {
+                    if old_set.canonicalized() != (*set).canonicalized() {
+                        diff.changed.push((*set).canonicalized());
+                    }
+                }
+            }
+        }
+        for key in old_sets.keys() {
+            if !new_sets.contains_key(key) {
+                diff.removed.push((key.name.clone(), key.rtype()));
+            }
+        }
+        diff
+    }
+
+    /// True if the two versions were identical (serials aside).
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty() && self.changed.is_empty()
+    }
+
+    /// Total RRsets touched.
+    pub fn touched(&self) -> usize {
+        self.added.len() + self.removed.len() + self.changed.len()
+    }
+
+    /// Applies the diff to `zone`. Fails if the zone's serial does not match
+    /// `serial_from` (the caller must fetch a full copy instead).
+    pub fn apply(&self, zone: &mut Zone) -> Result<(), DiffError> {
+        if zone.serial() != self.serial_from {
+            return Err(DiffError::SerialMismatch { expected: self.serial_from, found: zone.serial() });
+        }
+        for (name, rtype) in &self.removed {
+            zone.remove_rrset(name, *rtype);
+        }
+        for set in self.added.iter().chain(&self.changed) {
+            zone.insert_rrset(set.clone()).map_err(|e| DiffError::Apply(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Binary encoding for distribution.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.u32(self.serial_from);
+        enc.u32(self.serial_to);
+        enc.u16(self.removed.len() as u16);
+        enc.u16(self.added.len() as u16);
+        enc.u16(self.changed.len() as u16);
+        for (name, rtype) in &self.removed {
+            enc.name_uncompressed(name);
+            enc.u16(rtype.to_u16());
+        }
+        for set in self.added.iter().chain(&self.changed) {
+            let records = set.records();
+            enc.u16(records.len() as u16);
+            for r in records {
+                r.encode(&mut enc);
+            }
+        }
+        enc.finish()
+    }
+
+    /// Decodes a binary diff.
+    pub fn decode(buf: &[u8]) -> Result<ZoneDiff, ProtoError> {
+        let mut dec = Decoder::new(buf);
+        let serial_from = dec.u32()?;
+        let serial_to = dec.u32()?;
+        let removed_n = dec.u16()? as usize;
+        let added_n = dec.u16()? as usize;
+        let changed_n = dec.u16()? as usize;
+        let mut removed = Vec::with_capacity(removed_n);
+        for _ in 0..removed_n {
+            let name = dec.name()?;
+            let rtype = RType::from_u16(dec.u16()?);
+            removed.push((name, rtype));
+        }
+        let read_sets = |dec: &mut Decoder<'_>, n: usize| -> Result<Vec<RrSet>, ProtoError> {
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                let count = dec.u16()? as usize;
+                if count == 0 {
+                    return Err(ProtoError::BadMessage("empty RRset in diff"));
+                }
+                let mut records: Vec<Record> = Vec::with_capacity(count);
+                for _ in 0..count {
+                    records.push(Record::decode(dec)?);
+                }
+                let mut set = RrSet::from_record(records[0].clone());
+                for r in &records[1..] {
+                    set.push(r.ttl, r.rdata.clone());
+                }
+                out.push(set);
+            }
+            Ok(out)
+        };
+        let added = read_sets(&mut dec, added_n)?;
+        let changed = read_sets(&mut dec, changed_n)?;
+        if !dec.is_exhausted() {
+            return Err(ProtoError::BadMessage("trailing bytes in diff"));
+        }
+        Ok(ZoneDiff { serial_from, serial_to, added, removed, changed })
+    }
+
+    /// The newly-delegated TLD names in this diff — the §5.3 "recent
+    /// additions" feed content.
+    pub fn new_tlds(&self) -> Vec<Name> {
+        self.added
+            .iter()
+            .filter(|s| s.rtype == RType::NS && !s.name.is_root() && s.name.label_count() == 1)
+            .map(|s| s.name.clone())
+            .collect()
+    }
+}
+
+/// Errors applying a diff.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffError {
+    /// The target zone is not at the version the diff starts from.
+    SerialMismatch {
+        /// Serial the diff applies to.
+        expected: u32,
+        /// Serial the zone actually has.
+        found: u32,
+    },
+    /// An RRset failed to insert.
+    Apply(String),
+}
+
+impl std::fmt::Display for DiffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiffError::SerialMismatch { expected, found } => {
+                write!(f, "diff applies to serial {expected} but zone is at {found}")
+            }
+            DiffError::Apply(e) => write!(f, "diff apply failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DiffError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rootzone::{self, RootZoneConfig};
+    use rootless_proto::rr::{RData, Soa};
+
+    fn zone_with_serial(tlds: usize, serial: u32) -> Zone {
+        let cfg = RootZoneConfig { serial, ..RootZoneConfig::small(tlds) };
+        rootzone::build(&cfg)
+    }
+
+    #[test]
+    fn identical_zones_produce_empty_diff() {
+        let z = zone_with_serial(30, 1);
+        let diff = ZoneDiff::compute(&z, &z);
+        assert!(diff.is_empty());
+        assert_eq!(diff.touched(), 0);
+    }
+
+    #[test]
+    fn added_tld_appears_in_diff_and_new_tlds() {
+        let old = zone_with_serial(30, 1);
+        let new = zone_with_serial(31, 2);
+        let diff = ZoneDiff::compute(&old, &new);
+        assert!(!diff.is_empty());
+        let new_tlds = diff.new_tlds();
+        assert_eq!(new_tlds.len(), 1);
+        // SOA changed (serial bump).
+        assert!(diff.changed.iter().any(|s| s.rtype == RType::SOA));
+    }
+
+    #[test]
+    fn apply_advances_zone() {
+        let old = zone_with_serial(30, 1);
+        let new = zone_with_serial(35, 2);
+        let diff = ZoneDiff::compute(&old, &new);
+        let mut z = old.clone();
+        diff.apply(&mut z).unwrap();
+        assert_eq!(z, new);
+    }
+
+    #[test]
+    fn apply_handles_removals() {
+        let old = zone_with_serial(35, 1);
+        let new = zone_with_serial(30, 2);
+        let diff = ZoneDiff::compute(&old, &new);
+        assert!(!diff.removed.is_empty());
+        let mut z = old.clone();
+        diff.apply(&mut z).unwrap();
+        assert_eq!(z, new);
+    }
+
+    #[test]
+    fn apply_rejects_wrong_serial() {
+        let a = zone_with_serial(30, 1);
+        let b = zone_with_serial(31, 2);
+        let c = zone_with_serial(32, 3);
+        let diff = ZoneDiff::compute(&b, &c);
+        let mut z = a.clone();
+        assert_eq!(
+            diff.apply(&mut z),
+            Err(DiffError::SerialMismatch { expected: 2, found: 1 })
+        );
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let old = zone_with_serial(30, 1);
+        let new = zone_with_serial(34, 2);
+        let diff = ZoneDiff::compute(&old, &new);
+        let buf = diff.encode();
+        let back = ZoneDiff::decode(&buf).unwrap();
+        assert_eq!(back, diff);
+        // And the decoded diff still applies correctly.
+        let mut z = old.clone();
+        back.apply(&mut z).unwrap();
+        assert_eq!(z, new);
+    }
+
+    #[test]
+    fn diff_much_smaller_than_zone_for_small_change() {
+        let old = zone_with_serial(500, 1);
+        let new = zone_with_serial(502, 2);
+        let diff = ZoneDiff::compute(&old, &new);
+        let diff_size = diff.encode().len();
+        let zone_size = crate::master::serialize(&new).len();
+        assert!(
+            diff_size * 10 < zone_size,
+            "diff {diff_size} should be far smaller than zone {zone_size}"
+        );
+    }
+
+    #[test]
+    fn changed_rrset_content_detected() {
+        let mut old = Zone::new(Name::root());
+        let mut new = Zone::new(Name::root());
+        let soa = |serial| {
+            RData::Soa(Soa {
+                mname: Name::parse("m").unwrap(),
+                rname: Name::parse("r").unwrap(),
+                serial,
+                refresh: 1,
+                retry: 1,
+                expire: 1,
+                minimum: 1,
+            })
+        };
+        old.insert(Record::new(Name::root(), 60, soa(1))).unwrap();
+        new.insert(Record::new(Name::root(), 60, soa(2))).unwrap();
+        old.insert(Record::new(Name::parse("com").unwrap(), 60, RData::Ns(Name::parse("a.x").unwrap()))).unwrap();
+        new.insert(Record::new(Name::parse("com").unwrap(), 60, RData::Ns(Name::parse("b.x").unwrap()))).unwrap();
+        let diff = ZoneDiff::compute(&old, &new);
+        assert_eq!(diff.changed.len(), 2); // SOA + com NS
+        assert!(diff.added.is_empty());
+        assert!(diff.removed.is_empty());
+        let mut z = old.clone();
+        diff.apply(&mut z).unwrap();
+        assert_eq!(z, new);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let old = zone_with_serial(20, 1);
+        let new = zone_with_serial(22, 2);
+        let buf = ZoneDiff::compute(&old, &new).encode();
+        assert!(ZoneDiff::decode(&buf[..buf.len() - 3]).is_err());
+    }
+}

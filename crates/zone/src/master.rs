@@ -1,0 +1,625 @@
+//! RFC 1035 master-file (presentation format) parsing and serialization.
+//!
+//! The root zone file is distributed as master-file text; the paper's size
+//! and extraction experiments (§5.1, §5.2) operate on that text form. This
+//! parser supports the subset the root zone uses plus the conveniences test
+//! fixtures want:
+//!
+//! * `$ORIGIN` and `$TTL` directives,
+//! * `@` for the origin, relative and absolute names,
+//! * omitted owner (repeats the previous owner), omitted TTL/class,
+//! * `;` comments and parenthesized multi-line records (SOA style),
+//! * quoted character strings for TXT.
+
+use rootless_proto::name::Name;
+use rootless_proto::rr::{Caa, Dnskey, Ds, RClass, RData, RType, Record, Rrsig, Soa, Srv, Zonemd};
+
+use crate::zone::{Zone, ZoneError};
+
+/// Parses master-file text into a [`Zone`] rooted at `default_origin`
+/// (overridable by `$ORIGIN`).
+pub fn parse(text: &str, default_origin: Name) -> Result<Zone, ZoneError> {
+    let mut origin = default_origin.clone();
+    let mut default_ttl: Option<u32> = None;
+    let mut last_owner: Option<Name> = None;
+    let mut zone = Zone::new(default_origin);
+
+    for (line_no, logical) in logical_lines(text) {
+        let err = |message: String| ZoneError::Parse { line: line_no, message };
+        let tokens = tokenize(&logical).map_err(|m| err(m))?;
+        if tokens.is_empty() {
+            continue;
+        }
+        // Directives.
+        if tokens[0].text.eq_ignore_ascii_case("$ORIGIN") {
+            let arg = tokens.get(1).ok_or_else(|| err("$ORIGIN needs an argument".into()))?;
+            origin = parse_name(&arg.text, &origin).map_err(|m| err(m))?;
+            continue;
+        }
+        if tokens[0].text.eq_ignore_ascii_case("$TTL") {
+            let arg = tokens.get(1).ok_or_else(|| err("$TTL needs an argument".into()))?;
+            default_ttl =
+                Some(parse_ttl(&arg.text).ok_or_else(|| err(format!("bad TTL {}", arg.text)))?);
+            continue;
+        }
+        if tokens[0].text.starts_with('$') {
+            return Err(err(format!("unsupported directive {}", tokens[0].text)));
+        }
+
+        let mut idx = 0;
+        // Owner: present iff the line did not start with whitespace.
+        let owner = if tokens[0].at_line_start {
+            let name = parse_name(&tokens[0].text, &origin).map_err(|m| err(m))?;
+            idx = 1;
+            last_owner = Some(name.clone());
+            name
+        } else {
+            last_owner.clone().ok_or_else(|| err("record with no previous owner".into()))?
+        };
+
+        // Optional TTL and class, in either order.
+        let mut ttl: Option<u32> = None;
+        let mut class = RClass::IN;
+        for _ in 0..2 {
+            let Some(tok) = tokens.get(idx) else { break };
+            // TTLs may carry time units ("1h30m", "2d"); a bare type
+            // mnemonic never parses as one.
+            if ttl.is_none() && RType::parse(&tok.text).is_none() {
+                if let Some(v) = parse_ttl(&tok.text) {
+                    ttl = Some(v);
+                    idx += 1;
+                    continue;
+                }
+            }
+            let up = tok.text.to_ascii_uppercase();
+            if up == "IN" || up == "CH" {
+                class = if up == "IN" { RClass::IN } else { RClass::CH };
+                idx += 1;
+                continue;
+            }
+            break;
+        }
+
+        let type_tok = tokens.get(idx).ok_or_else(|| err("missing record type".into()))?;
+        let rtype = RType::parse(&type_tok.text).ok_or_else(|| err(format!("unknown type {}", type_tok.text)))?;
+        idx += 1;
+
+        let rest: Vec<&Token> = tokens[idx..].iter().collect();
+        let rdata = parse_rdata(rtype, &rest, &origin).map_err(|m| err(m))?;
+        let ttl = ttl.or(default_ttl).ok_or_else(|| err("no TTL and no $TTL default".into()))?;
+
+        zone.insert(Record { name: owner, class, ttl, rdata })
+            .map_err(|e| err(e.to_string()))?;
+    }
+    Ok(zone)
+}
+
+/// Serializes a zone to master-file text in canonical order. The output
+/// starts with `$ORIGIN` and records use fully-qualified names, so
+/// `parse(serialize(z)) == z`.
+pub fn serialize(zone: &Zone) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("$ORIGIN {}\n", zone.origin()));
+    // SOA first by convention.
+    let mut records: Vec<Record> = zone.records().collect();
+    records.sort_by_key(|r| {
+        (
+            if r.rtype() == RType::SOA { 0u8 } else { 1 },
+            r.name.clone(),
+            r.rtype().to_u16(),
+        )
+    });
+    for r in records {
+        out.push_str(&r.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// lexing
+
+struct Token {
+    text: String,
+    at_line_start: bool,
+    quoted: bool,
+}
+
+/// Joins parenthesized continuations and strips comments, yielding
+/// `(line_number_of_first_physical_line, logical_line)` pairs.
+fn logical_lines(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut buf = String::new();
+    let mut depth = 0usize;
+    let mut start_line = 0usize;
+    for (i, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw);
+        if depth == 0 {
+            start_line = i + 1;
+        }
+        depth += line.matches('(').count();
+        let closes = line.matches(')').count();
+        depth = depth.saturating_sub(closes);
+        let cleaned = line.replace(['(', ')'], " ");
+        if !buf.is_empty() {
+            buf.push(' ');
+            // Continuation lines must not look owner-bearing; they join with
+            // a space so the first token is never at_line_start.
+        }
+        buf.push_str(&cleaned);
+        if depth == 0 {
+            if !buf.trim().is_empty() {
+                out.push((start_line, std::mem::take(&mut buf)));
+            } else {
+                buf.clear();
+            }
+        }
+    }
+    if !buf.trim().is_empty() {
+        out.push((start_line, buf));
+    }
+    out
+}
+
+fn strip_comment(line: &str) -> String {
+    let mut out = String::new();
+    let mut in_quote = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                in_quote = !in_quote;
+                out.push(c);
+            }
+            '\\' => {
+                out.push(c);
+                if let Some(&next) = chars.peek() {
+                    out.push(next);
+                    chars.next();
+                }
+            }
+            ';' if !in_quote => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn tokenize(line: &str) -> Result<Vec<Token>, String> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    let line_starts_with_ws = bytes.first().map(|c| c.is_whitespace()).unwrap_or(true);
+    while i < bytes.len() {
+        if bytes[i].is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let at_line_start = tokens.is_empty() && !line_starts_with_ws;
+        if bytes[i] == '"' {
+            i += 1;
+            let mut text = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err("unterminated quoted string".into());
+                }
+                match bytes[i] {
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\\' if i + 1 < bytes.len() => {
+                        text.push(bytes[i + 1]);
+                        i += 2;
+                    }
+                    c => {
+                        text.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            tokens.push(Token { text, at_line_start, quoted: true });
+        } else {
+            let mut text = String::new();
+            while i < bytes.len() && !bytes[i].is_whitespace() {
+                if bytes[i] == '\\' && i + 1 < bytes.len() {
+                    text.push(bytes[i]);
+                    text.push(bytes[i + 1]);
+                    i += 2;
+                } else {
+                    text.push(bytes[i]);
+                    i += 1;
+                }
+            }
+            tokens.push(Token { text, at_line_start, quoted: false });
+        }
+    }
+    Ok(tokens)
+}
+
+// ---------------------------------------------------------------------------
+// field parsing
+
+/// Parses a TTL with optional RFC-style time units: `86400`, `1h30m`, `2d`,
+/// `1w`. Returns `None` on anything else.
+pub fn parse_ttl(s: &str) -> Option<u32> {
+    if s.is_empty() {
+        return None;
+    }
+    if let Ok(v) = s.parse::<u32>() {
+        return Some(v);
+    }
+    let mut total: u64 = 0;
+    let mut acc: u64 = 0;
+    let mut saw_digit = false;
+    for c in s.chars() {
+        match c {
+            '0'..='9' => {
+                acc = acc * 10 + (c as u64 - '0' as u64);
+                saw_digit = true;
+            }
+            'w' | 'W' | 'd' | 'D' | 'h' | 'H' | 'm' | 'M' | 's' | 'S' => {
+                if !saw_digit {
+                    return None;
+                }
+                let mult = match c.to_ascii_lowercase() {
+                    'w' => 604_800,
+                    'd' => 86_400,
+                    'h' => 3_600,
+                    'm' => 60,
+                    _ => 1,
+                };
+                total += acc * mult;
+                acc = 0;
+                saw_digit = false;
+            }
+            _ => return None,
+        }
+    }
+    if saw_digit {
+        // Trailing bare digits after a unit ("1h30") are ambiguous: reject.
+        return None;
+    }
+    u32::try_from(total).ok()
+}
+
+fn parse_name(s: &str, origin: &Name) -> Result<Name, String> {
+    if s == "@" {
+        return Ok(origin.clone());
+    }
+    if let Some(stripped) = s.strip_suffix('.') {
+        if stripped.is_empty() {
+            return Ok(Name::root());
+        }
+        return Name::parse(s).map_err(|e| e.to_string());
+    }
+    // Relative: append origin.
+    let rel = Name::parse(s).map_err(|e| e.to_string())?;
+    rel.concat(origin).map_err(|e| e.to_string())
+}
+
+fn need<'a>(rest: &'a [&Token], i: usize, what: &str) -> Result<&'a Token, String> {
+    rest.get(i).copied().ok_or_else(|| format!("missing {what}"))
+}
+
+fn parse_u32(rest: &[&Token], i: usize, what: &str) -> Result<u32, String> {
+    need(rest, i, what)?.text.parse().map_err(|_| format!("bad {what}"))
+}
+
+fn parse_u16(rest: &[&Token], i: usize, what: &str) -> Result<u16, String> {
+    need(rest, i, what)?.text.parse().map_err(|_| format!("bad {what}"))
+}
+
+fn parse_u8(rest: &[&Token], i: usize, what: &str) -> Result<u8, String> {
+    need(rest, i, what)?.text.parse().map_err(|_| format!("bad {what}"))
+}
+
+fn parse_hex(rest: &[&Token], i: usize, what: &str) -> Result<Vec<u8>, String> {
+    rootless_util::hex::decode(&need(rest, i, what)?.text).ok_or_else(|| format!("bad hex in {what}"))
+}
+
+fn parse_rdata(rtype: RType, rest: &[&Token], origin: &Name) -> Result<RData, String> {
+    match rtype {
+        RType::A => {
+            let addr = need(rest, 0, "IPv4 address")?.text.parse().map_err(|_| "bad IPv4 address".to_string())?;
+            Ok(RData::A(addr))
+        }
+        RType::AAAA => {
+            let addr = need(rest, 0, "IPv6 address")?.text.parse().map_err(|_| "bad IPv6 address".to_string())?;
+            Ok(RData::Aaaa(addr))
+        }
+        RType::NS => Ok(RData::Ns(parse_name(&need(rest, 0, "NS target")?.text, origin)?)),
+        RType::CNAME => Ok(RData::Cname(parse_name(&need(rest, 0, "CNAME target")?.text, origin)?)),
+        RType::PTR => Ok(RData::Ptr(parse_name(&need(rest, 0, "PTR target")?.text, origin)?)),
+        RType::MX => {
+            let pref = parse_u16(rest, 0, "MX preference")?;
+            Ok(RData::Mx(pref, parse_name(&need(rest, 1, "MX exchange")?.text, origin)?))
+        }
+        RType::TXT => {
+            if rest.is_empty() {
+                return Err("TXT needs at least one string".into());
+            }
+            Ok(RData::Txt(rest.iter().map(|t| t.text.clone().into_bytes()).collect()))
+        }
+        RType::SOA => Ok(RData::Soa(Soa {
+            mname: parse_name(&need(rest, 0, "SOA mname")?.text, origin)?,
+            rname: parse_name(&need(rest, 1, "SOA rname")?.text, origin)?,
+            serial: parse_u32(rest, 2, "SOA serial")?,
+            refresh: parse_u32(rest, 3, "SOA refresh")?,
+            retry: parse_u32(rest, 4, "SOA retry")?,
+            expire: parse_u32(rest, 5, "SOA expire")?,
+            minimum: parse_u32(rest, 6, "SOA minimum")?,
+        })),
+        RType::DS => Ok(RData::Ds(Ds {
+            key_tag: parse_u16(rest, 0, "DS key tag")?,
+            algorithm: parse_u8(rest, 1, "DS algorithm")?,
+            digest_type: parse_u8(rest, 2, "DS digest type")?,
+            digest: parse_hex(rest, 3, "DS digest")?,
+        })),
+        RType::DNSKEY => Ok(RData::Dnskey(Dnskey {
+            flags: parse_u16(rest, 0, "DNSKEY flags")?,
+            protocol: parse_u8(rest, 1, "DNSKEY protocol")?,
+            algorithm: parse_u8(rest, 2, "DNSKEY algorithm")?,
+            public_key: parse_hex(rest, 3, "DNSKEY key")?,
+        })),
+        RType::RRSIG => Ok(RData::Rrsig(Rrsig {
+            type_covered: RType::parse(&need(rest, 0, "RRSIG type covered")?.text)
+                .ok_or("bad RRSIG type covered")?,
+            algorithm: parse_u8(rest, 1, "RRSIG algorithm")?,
+            labels: parse_u8(rest, 2, "RRSIG labels")?,
+            original_ttl: parse_u32(rest, 3, "RRSIG original TTL")?,
+            expiration: parse_u32(rest, 4, "RRSIG expiration")?,
+            inception: parse_u32(rest, 5, "RRSIG inception")?,
+            key_tag: parse_u16(rest, 6, "RRSIG key tag")?,
+            signer: parse_name(&need(rest, 7, "RRSIG signer")?.text, origin)?,
+            signature: parse_hex(rest, 8, "RRSIG signature")?,
+        })),
+        RType::NSEC => {
+            let next = parse_name(&need(rest, 0, "NSEC next name")?.text, origin)?;
+            let mut types = Vec::new();
+            for t in &rest[1..] {
+                types.push(RType::parse(&t.text).ok_or_else(|| format!("bad NSEC type {}", t.text))?);
+            }
+            Ok(RData::Nsec(next, types))
+        }
+        RType::SRV => Ok(RData::Srv(Srv {
+            priority: parse_u16(rest, 0, "SRV priority")?,
+            weight: parse_u16(rest, 1, "SRV weight")?,
+            port: parse_u16(rest, 2, "SRV port")?,
+            target: parse_name(&need(rest, 3, "SRV target")?.text, origin)?,
+        })),
+        RType::CAA => {
+            let flags = parse_u8(rest, 0, "CAA flags")?;
+            let tag = need(rest, 1, "CAA tag")?.text.clone().into_bytes();
+            let value = need(rest, 2, "CAA value")?.text.clone().into_bytes();
+            Ok(RData::Caa(Caa { flags, tag, value }))
+        }
+        RType::ZONEMD => Ok(RData::Zonemd(Zonemd {
+            serial: parse_u32(rest, 0, "ZONEMD serial")?,
+            scheme: parse_u8(rest, 1, "ZONEMD scheme")?,
+            hash_algorithm: parse_u8(rest, 2, "ZONEMD hash algorithm")?,
+            digest: parse_hex(rest, 3, "ZONEMD digest")?,
+        })),
+        other => {
+            // RFC 3597 generic syntax: \# <len> <hex>.
+            if rest.len() >= 2 && rest[0].text == "\\#" && !rest[0].quoted {
+                let len: usize = rest[1].text.parse().map_err(|_| "bad \\# length")?;
+                let bytes = if len == 0 { Vec::new() } else { parse_hex(rest, 2, "generic rdata")? };
+                if bytes.len() != len {
+                    return Err("generic rdata length mismatch".into());
+                }
+                Ok(RData::Unknown(other.to_u16(), bytes))
+            } else {
+                Err(format!("unsupported rdata syntax for {other}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rootless_proto::rr::RType;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    const ROOT_SNIPPET: &str = "\
+$ORIGIN .
+$TTL 86400
+.\t86400\tIN\tSOA\ta.root-servers.net. nstld.verisign-grs.com. 2019060700 1800 900 604800 86400
+.\t518400\tIN\tNS\ta.root-servers.net.
+.\t518400\tIN\tNS\tb.root-servers.net.
+com.\t172800\tIN\tNS\ta.gtld-servers.net.
+com.\t172800\tIN\tNS\tb.gtld-servers.net.
+a.gtld-servers.net.\t172800\tIN\tA\t192.5.6.30
+a.gtld-servers.net.\t172800\tIN\tAAAA\t2001:503:a83e::2:30
+com.\t86400\tIN\tDS\t30909 250 2 0101010101010101010101010101010101010101010101010101010101010101
+";
+
+    #[test]
+    fn parse_root_snippet() {
+        let zone = parse(ROOT_SNIPPET, Name::root()).unwrap();
+        assert_eq!(zone.record_count(), 8);
+        assert_eq!(zone.serial(), 2019060700);
+        assert_eq!(zone.get(&n("com"), RType::NS).unwrap().len(), 2);
+        assert_eq!(zone.tlds(), vec![n("com")]);
+    }
+
+    #[test]
+    fn serialize_parse_roundtrip() {
+        let zone = parse(ROOT_SNIPPET, Name::root()).unwrap();
+        let text = serialize(&zone);
+        let back = parse(&text, Name::root()).unwrap();
+        assert_eq!(back, zone);
+    }
+
+    #[test]
+    fn soa_with_parentheses() {
+        let text = "\
+@ 86400 IN SOA a.root-servers.net. nstld.verisign-grs.com. (
+    2019060700 ; serial
+    1800       ; refresh
+    900        ; retry
+    604800     ; expire
+    86400 )    ; minimum
+";
+        let zone = parse(text, Name::root()).unwrap();
+        assert_eq!(zone.serial(), 2019060700);
+    }
+
+    #[test]
+    fn origin_directive_and_relative_names() {
+        let text = "\
+$ORIGIN example.com.
+$TTL 300
+@ IN NS ns1
+ns1 IN A 10.0.0.1
+www IN CNAME @
+";
+        let zone = parse(text, Name::root()).unwrap();
+        assert!(zone.get(&n("ns1.example.com"), RType::A).is_some());
+        match &zone.get(&n("www.example.com"), RType::CNAME).unwrap().rdatas()[0] {
+            RData::Cname(target) => assert_eq!(target, &n("example.com")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn owner_inheritance() {
+        let text = "\
+$TTL 60
+com. IN NS a.gtld-servers.net.
+     IN NS b.gtld-servers.net.
+";
+        let zone = parse(text, Name::root()).unwrap();
+        assert_eq!(zone.get(&n("com"), RType::NS).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn default_ttl_applies() {
+        let text = "$TTL 12345\ncom. IN NS a.gtld-servers.net.\n";
+        let zone = parse(text, Name::root()).unwrap();
+        assert_eq!(zone.get(&n("com"), RType::NS).unwrap().ttl, 12345);
+    }
+
+    #[test]
+    fn missing_ttl_without_default_errors() {
+        let text = "com. IN NS a.gtld-servers.net.\n";
+        let err = parse(text, Name::root()).unwrap_err();
+        assert!(matches!(err, ZoneError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let text = "$TTL 60 ; default\ncom. IN NS a.gtld-servers.net. ; the com NS\n; full comment line\n";
+        let zone = parse(text, Name::root()).unwrap();
+        assert_eq!(zone.record_count(), 1);
+    }
+
+    #[test]
+    fn txt_with_quotes_and_semicolons() {
+        let text = "$TTL 60\nx. IN TXT \"hello; world\" \"second\"\n";
+        let zone = parse(text, Name::root()).unwrap();
+        match &zone.get(&n("x"), RType::TXT).unwrap().rdatas()[0] {
+            RData::Txt(strings) => {
+                assert_eq!(strings[0], b"hello; world".to_vec());
+                assert_eq!(strings[1], b"second".to_vec());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_and_ttl_in_either_order() {
+        let a = parse("com. 60 IN NS x.net.\n", Name::root()).unwrap();
+        let b = parse("com. IN 60 NS x.net.\n", Name::root()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generic_rfc3597_rdata() {
+        let text = "$TTL 60\nx. IN TYPE4711 \\# 3 010203\n";
+        let zone = parse(text, Name::root()).unwrap();
+        match &zone.get(&n("x"), RType::Unknown(4711)).unwrap().rdatas()[0] {
+            RData::Unknown(4711, bytes) => assert_eq!(bytes, &vec![1, 2, 3]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let text = "$TTL 60\ncom. IN NS a.example.\ncom. IN BOGUSTYPE x\n";
+        match parse(text, Name::root()) {
+            Err(ZoneError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(parse("$TTL 60\nx. IN TXT \"oops\n", Name::root()).is_err());
+    }
+
+    #[test]
+    fn ttl_units() {
+        assert_eq!(parse_ttl("86400"), Some(86_400));
+        assert_eq!(parse_ttl("1h"), Some(3_600));
+        assert_eq!(parse_ttl("1h30m"), Some(5_400));
+        assert_eq!(parse_ttl("2d"), Some(172_800));
+        assert_eq!(parse_ttl("1w"), Some(604_800));
+        assert_eq!(parse_ttl("1H30M"), Some(5_400));
+        assert_eq!(parse_ttl(""), None);
+        assert_eq!(parse_ttl("abc"), None);
+        assert_eq!(parse_ttl("1h30"), None, "trailing unitless digits rejected");
+    }
+
+    #[test]
+    fn ttl_units_in_records_and_directive() {
+        let text = "$TTL 1h\ncom. IN NS a.x.\norg. 2d IN NS b.x.\n";
+        let zone = parse(text, Name::root()).unwrap();
+        assert_eq!(zone.get(&n("com"), RType::NS).unwrap().ttl, 3_600);
+        assert_eq!(zone.get(&n("org"), RType::NS).unwrap().ttl, 172_800);
+    }
+
+    #[test]
+    fn srv_and_caa_parse_and_roundtrip() {
+        let text = "\
+$TTL 300
+_dns._udp.example.com. IN SRV 10 60 53 ns1.example.com.
+example.com. IN CAA 128 issue \"ca.example.net\"
+";
+        let zone = parse(text, Name::root()).unwrap();
+        match &zone.get(&n("_dns._udp.example.com"), RType::SRV).unwrap().rdatas()[0] {
+            RData::Srv(srv) => {
+                assert_eq!(srv.port, 53);
+                assert_eq!(srv.target, n("ns1.example.com"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match &zone.get(&n("example.com"), RType::CAA).unwrap().rdatas()[0] {
+            RData::Caa(caa) => {
+                assert_eq!(caa.flags, 128);
+                assert_eq!(caa.tag, b"issue".to_vec());
+                assert_eq!(caa.value, b"ca.example.net".to_vec());
+            }
+            other => panic!("{other:?}"),
+        }
+        let back = parse(&serialize(&zone), Name::root()).unwrap();
+        assert_eq!(back, zone);
+    }
+
+    #[test]
+    fn dnskey_and_rrsig_roundtrip() {
+        let text = "\
+$TTL 172800
+. IN DNSKEY 257 3 250 00112233
+. IN RRSIG DNSKEY 250 0 172800 1000000 0 12345 . aabbccdd
+";
+        let zone = parse(text, Name::root()).unwrap();
+        let out = serialize(&zone);
+        let back = parse(&out, Name::root()).unwrap();
+        assert_eq!(back, zone);
+    }
+}

@@ -1,0 +1,523 @@
+//! Synthetic root zone generation.
+//!
+//! The paper's experiments run against the real root zone file (1 532 TLDs,
+//! ~22K records, ~14K RRsets, ~1.1 MB compressed in mid-2019). That file is
+//! not redistributable inside this repository, so this module generates a
+//! structurally faithful synthetic root zone (substitution documented in
+//! DESIGN.md §2):
+//!
+//! * a deterministic TLD label pool ordered the way the namespace actually
+//!   grew — legacy gTLDs, then country codes, then the post-2013 new-gTLD
+//!   wave (including `xn--` IDN labels) — so a zone with more TLDs is a
+//!   superset of one with fewer, which the history/churn models rely on;
+//! * per-TLD delegation shape drawn from the label (not the build), so the
+//!   same TLD has the same nameservers in every snapshot: either dedicated
+//!   `X.nic.<tld>` hosts with in-bailiwick glue, or hosts shared with other
+//!   TLDs from a pool of operators (the real zone's Afilias/Verisign/NeuStar
+//!   pattern);
+//! * A glue for every nameserver host, AAAA glue for most, and DS records
+//!   for ~90% of TLDs (the real zone's DNSSEC adoption level).
+
+use rootless_proto::name::Name;
+use rootless_proto::rr::{Ds, RData, Record, Soa};
+use rootless_util::rng::DetRng;
+
+use crate::hints::RootHints;
+use crate::zone::Zone;
+
+/// Delegation (NS/glue) TTL in the root zone: two days (§2.1).
+pub const DELEGATION_TTL: u32 = 172_800;
+/// DS TTL in the root zone: one day.
+pub const DS_TTL: u32 = 86_400;
+/// Apex NS TTL: six days.
+pub const APEX_NS_TTL: u32 = 518_400;
+/// Negative-caching / SOA TTL: one day.
+pub const SOA_TTL: u32 = 86_400;
+
+/// Configuration for the synthetic root zone.
+#[derive(Clone, Debug)]
+pub struct RootZoneConfig {
+    /// Number of delegated TLDs (mid-2019: 1 532).
+    pub tld_count: usize,
+    /// SOA serial, conventionally YYYYMMDDnn.
+    pub serial: u32,
+    /// Master seed. Zones with the same seed agree on every shared TLD.
+    pub seed: u64,
+    /// Fraction of TLDs carrying DS records (~0.9 in 2019).
+    pub signed_fraction: f64,
+    /// Fraction of nameserver hosts with AAAA glue.
+    pub ipv6_glue_fraction: f64,
+    /// Fraction of TLDs using dedicated `X.nic.<tld>` hosts (the rest share
+    /// operator infrastructure).
+    pub dedicated_host_fraction: f64,
+    /// Number of shared operators in the pool.
+    pub operator_count: usize,
+}
+
+impl Default for RootZoneConfig {
+    fn default() -> Self {
+        RootZoneConfig {
+            tld_count: 1_532,
+            serial: 2019_04_0100,
+            seed: 0x0DD5_EED0,
+            signed_fraction: 0.90,
+            ipv6_glue_fraction: 0.85,
+            dedicated_host_fraction: 0.65,
+            operator_count: 60,
+        }
+    }
+}
+
+impl RootZoneConfig {
+    /// A small config for fast unit tests.
+    pub fn small(tld_count: usize) -> Self {
+        RootZoneConfig { tld_count, ..RootZoneConfig::default() }
+    }
+}
+
+/// Legacy gTLDs present before the new-gTLD expansion.
+const LEGACY_GTLDS: [&str; 22] = [
+    "com", "net", "org", "edu", "gov", "mil", "int", "arpa", "info", "biz", "name", "pro", "aero",
+    "coop", "museum", "jobs", "mobi", "travel", "cat", "tel", "asia", "post",
+];
+
+/// Deterministic pool of TLD labels, ordered by introduction era.
+///
+/// Index order is the *growth* order: `pool.label(i)` for `i < n` is
+/// identical regardless of how many labels a caller eventually uses.
+#[derive(Clone, Debug)]
+pub struct TldPool {
+    labels: Vec<String>,
+}
+
+impl TldPool {
+    /// Builds a pool of at least `capacity` labels from `seed`.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        let mut labels: Vec<String> = Vec::with_capacity(capacity + 32);
+        let mut seen = std::collections::HashSet::new();
+        for l in LEGACY_GTLDS {
+            labels.push(l.to_string());
+            seen.insert(l.to_string());
+        }
+        // Country codes: a stable pseudo-random 250 of the 676 two-letter
+        // codes (the real ccTLD count).
+        let mut rng = DetRng::seed_from_u64(seed ^ 0xcc7d);
+        let mut cc: Vec<String> = Vec::new();
+        for a in b'a'..=b'z' {
+            for b in b'a'..=b'z' {
+                cc.push(format!("{}{}", a as char, b as char));
+            }
+        }
+        rng.shuffle(&mut cc);
+        for code in cc.into_iter().take(250) {
+            if seen.insert(code.clone()) {
+                labels.push(code);
+            }
+        }
+        // New gTLDs: syllable words plus ~5% IDN (xn--) labels.
+        let mut word_rng = DetRng::seed_from_u64(seed ^ 0x967d);
+        while labels.len() < capacity {
+            let label = if word_rng.chance(0.05) {
+                idn_label(&mut word_rng)
+            } else {
+                syllable_word(&mut word_rng)
+            };
+            if seen.insert(label.clone()) {
+                labels.push(label);
+            }
+        }
+        TldPool { labels }
+    }
+
+    /// The `i`-th label in growth order.
+    pub fn label(&self, i: usize) -> &str {
+        &self.labels[i]
+    }
+
+    /// Number of labels available.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The first `n` labels.
+    pub fn prefix(&self, n: usize) -> &[String] {
+        &self.labels[..n]
+    }
+}
+
+fn syllable_word(rng: &mut DetRng) -> String {
+    const ONSETS: [&str; 16] = ["b", "c", "d", "f", "g", "h", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z"];
+    const VOWELS: [&str; 5] = ["a", "e", "i", "o", "u"];
+    const CODAS: [&str; 8] = ["", "", "n", "r", "s", "l", "x", "m"];
+    let syllables = 2 + rng.below(2) as usize;
+    let mut w = String::new();
+    for _ in 0..syllables {
+        w.push_str(ONSETS[rng.index(ONSETS.len())]);
+        w.push_str(VOWELS[rng.index(VOWELS.len())]);
+        w.push_str(CODAS[rng.index(CODAS.len())]);
+    }
+    w
+}
+
+fn idn_label(rng: &mut DetRng) -> String {
+    let mut w = String::from("xn--");
+    let len = 6 + rng.below(6) as usize;
+    for _ in 0..len {
+        let c = if rng.chance(0.2) {
+            (b'0' + rng.below(10) as u8) as char
+        } else {
+            (b'a' + rng.below(26) as u8) as char
+        };
+        w.push(c);
+    }
+    w
+}
+
+// Cheap stable hash of a label for per-TLD derivation.
+fn label_hash(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The shape of one TLD's delegation, derived deterministically from the
+/// zone seed and the label alone.
+#[derive(Clone, Debug)]
+pub struct Delegation {
+    /// The TLD name.
+    pub name: Name,
+    /// Nameserver host names.
+    pub hosts: Vec<Name>,
+    /// Whether the hosts are dedicated (in-bailiwick under the TLD).
+    pub dedicated: bool,
+    /// Number of DS records (0 = unsigned).
+    pub ds_count: usize,
+}
+
+/// Derives the delegation shape for `label` under `cfg`.
+pub fn delegation_for(label: &str, cfg: &RootZoneConfig) -> Delegation {
+    let mut rng = DetRng::seed_from_u64(cfg.seed ^ label_hash(label));
+    let name = Name::parse(label).expect("valid TLD label");
+    let ns_count = 4 + rng.below(4) as usize; // 4..=7
+    let dedicated = rng.chance(cfg.dedicated_host_fraction);
+    let hosts = if dedicated {
+        (0..ns_count)
+            .map(|i| Name::parse(&format!("{}.nic.{label}", (b'a' + i as u8) as char)).unwrap())
+            .collect()
+    } else {
+        let op = rng.below(cfg.operator_count as u64);
+        // Pick ns_count distinct hosts from the operator's 8.
+        let mut slots: Vec<usize> = (0..8).collect();
+        rng.shuffle(&mut slots);
+        slots
+            .into_iter()
+            .take(ns_count)
+            .map(|s| operator_host(op, s))
+            .collect()
+    };
+    let ds_count = if rng.chance(cfg.signed_fraction) { 1 + rng.below(2) as usize } else { 0 };
+    Delegation { name, hosts, dedicated, ds_count }
+}
+
+/// Host `slot` of shared operator `op`.
+pub fn operator_host(op: u64, slot: usize) -> Name {
+    Name::parse(&format!("ns{slot}.dns-operator{op}.net")).unwrap()
+}
+
+/// Deterministic IPv4 address for a nameserver host name.
+pub fn host_v4(host: &Name, seed: u64) -> std::net::Ipv4Addr {
+    let mut rng = DetRng::seed_from_u64(seed ^ label_hash(&host.to_string()) ^ 0x4444);
+    // Public-looking, avoids 0/255 endings.
+    std::net::Ipv4Addr::new(
+        (rng.below(190) + 5) as u8,
+        rng.below(256) as u8,
+        rng.below(256) as u8,
+        (rng.below(253) + 1) as u8,
+    )
+}
+
+/// Deterministic IPv6 address for a nameserver host name.
+pub fn host_v6(host: &Name, seed: u64) -> std::net::Ipv6Addr {
+    let mut rng = DetRng::seed_from_u64(seed ^ label_hash(&host.to_string()) ^ 0x6666);
+    std::net::Ipv6Addr::new(
+        0x2001,
+        rng.below(0xffff) as u16,
+        rng.below(0xffff) as u16,
+        0,
+        0,
+        0,
+        0,
+        (rng.below(0xfffe) + 1) as u16,
+    )
+}
+
+/// Whether a host gets AAAA glue.
+fn has_v6(host: &Name, cfg: &RootZoneConfig) -> bool {
+    let mut rng = DetRng::seed_from_u64(cfg.seed ^ label_hash(&host.to_string()) ^ 0xaaaa);
+    rng.chance(cfg.ipv6_glue_fraction)
+}
+
+/// Builds the synthetic root zone.
+pub fn build(cfg: &RootZoneConfig) -> Zone {
+    let pool = TldPool::new(cfg.tld_count, cfg.seed);
+    build_with_pool(cfg, &pool)
+}
+
+/// Builds the zone using a pre-built (possibly larger) label pool; used by
+/// the churn/history models to evolve one pool across snapshots.
+pub fn build_with_pool(cfg: &RootZoneConfig, pool: &TldPool) -> Zone {
+    assert!(pool.len() >= cfg.tld_count, "pool smaller than tld_count");
+    let mut zone = Zone::new(Name::root());
+
+    // Apex: SOA + 13 root NS + their glue (the real file carries these).
+    zone.insert(Record::new(
+        Name::root(),
+        SOA_TTL,
+        RData::Soa(Soa {
+            mname: Name::parse("a.root-servers.net").unwrap(),
+            rname: Name::parse("nstld.verisign-grs.com").unwrap(),
+            serial: cfg.serial,
+            refresh: 1_800,
+            retry: 900,
+            expire: 604_800,
+            minimum: 86_400,
+        }),
+    ))
+    .unwrap();
+    for (name, v4, v6) in RootHints::standard().servers {
+        zone.insert(Record::new(Name::root(), APEX_NS_TTL, RData::Ns(name.clone()))).unwrap();
+        zone.insert(Record::new(name.clone(), DELEGATION_TTL, RData::A(v4))).unwrap();
+        zone.insert(Record::new(name, DELEGATION_TTL, RData::Aaaa(v6))).unwrap();
+    }
+
+    for label in pool.prefix(cfg.tld_count) {
+        insert_delegation(&mut zone, label, cfg);
+    }
+    zone
+}
+
+/// Inserts one TLD's delegation (NS + glue + DS) into `zone`.
+pub fn insert_delegation(zone: &mut Zone, label: &str, cfg: &RootZoneConfig) {
+    let d = delegation_for(label, cfg);
+    for host in &d.hosts {
+        zone.insert(Record::new(d.name.clone(), DELEGATION_TTL, RData::Ns(host.clone()))).unwrap();
+        // Glue: the real root zone carries an address for every NS host;
+        // inserting is idempotent for shared hosts (RRsets dedupe).
+        zone.insert(Record::new(host.clone(), DELEGATION_TTL, RData::A(host_v4(host, cfg.seed)))).unwrap();
+        if has_v6(host, cfg) {
+            zone.insert(Record::new(host.clone(), DELEGATION_TTL, RData::Aaaa(host_v6(host, cfg.seed)))).unwrap();
+        }
+    }
+    for k in 0..d.ds_count {
+        let mut rng = DetRng::seed_from_u64(cfg.seed ^ label_hash(label) ^ (0xd5 + k as u64));
+        let digest: Vec<u8> = (0..32).map(|_| rng.next_u64() as u8).collect();
+        zone.insert(Record::new(
+            d.name.clone(),
+            DS_TTL,
+            RData::Ds(Ds {
+                key_tag: rng.below(65_536) as u16,
+                algorithm: 250,
+                digest_type: 2,
+                digest,
+            }),
+        ))
+        .unwrap();
+    }
+}
+
+/// Removes one TLD's delegation and any glue no longer referenced.
+pub fn remove_delegation(zone: &mut Zone, label: &str, cfg: &RootZoneConfig) {
+    let d = delegation_for(label, cfg);
+    zone.remove_rrset(&d.name, rootless_proto::rr::RType::NS);
+    zone.remove_rrset(&d.name, rootless_proto::rr::RType::DS);
+    // Drop glue for hosts no other delegation references.
+    let still_referenced: std::collections::HashSet<Name> = zone
+        .rrsets()
+        .filter(|s| s.rtype == rootless_proto::rr::RType::NS)
+        .flat_map(|s| {
+            s.rdatas().iter().filter_map(|rd| match rd {
+                RData::Ns(h) => Some(h.clone()),
+                _ => None,
+            })
+        })
+        .collect();
+    for host in &d.hosts {
+        if !still_referenced.contains(host) {
+            zone.remove_rrset(host, rootless_proto::rr::RType::A);
+            zone.remove_rrset(host, rootless_proto::rr::RType::AAAA);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rootless_proto::rr::RType;
+
+    #[test]
+    fn pool_is_prefix_stable() {
+        let a = TldPool::new(100, 7);
+        let b = TldPool::new(500, 7);
+        assert_eq!(a.prefix(100), b.prefix(100));
+    }
+
+    #[test]
+    fn pool_labels_unique_and_valid() {
+        let pool = TldPool::new(1_600, 42);
+        let mut set = std::collections::HashSet::new();
+        for i in 0..pool.len() {
+            let label = pool.label(i);
+            assert!(set.insert(label.to_string()), "duplicate label {label}");
+            assert!(Name::parse(label).is_ok());
+            assert!(!label.is_empty() && label.len() <= 63);
+        }
+    }
+
+    #[test]
+    fn pool_starts_with_legacy_gtlds() {
+        let pool = TldPool::new(100, 1);
+        assert_eq!(pool.label(0), "com");
+        assert_eq!(pool.label(2), "org");
+    }
+
+    #[test]
+    fn delegation_is_deterministic_per_label() {
+        let cfg = RootZoneConfig::default();
+        let a = delegation_for("com", &cfg);
+        let b = delegation_for("com", &cfg);
+        assert_eq!(a.hosts, b.hosts);
+        assert_eq!(a.ds_count, b.ds_count);
+    }
+
+    #[test]
+    fn small_zone_structure() {
+        let cfg = RootZoneConfig::small(50);
+        let zone = build(&cfg);
+        assert_eq!(zone.tlds().len(), 50);
+        assert_eq!(zone.serial(), cfg.serial);
+        // Apex: 13 root NS.
+        assert_eq!(zone.get(&Name::root(), RType::NS).unwrap().len(), 13);
+        // Every NS host has A glue.
+        for tld in zone.tlds() {
+            let ns = zone.get(&tld, RType::NS).unwrap();
+            assert!((4..=7).contains(&ns.len()), "{tld} has {} NS", ns.len());
+            for rd in ns.rdatas() {
+                if let RData::Ns(host) = rd {
+                    assert!(zone.get(host, RType::A).is_some(), "no glue for {host}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_zone_matches_paper_scale() {
+        // §5.1: 1 532 TLDs, ~22K records, ~14K RRsets in April 2019.
+        let cfg = RootZoneConfig::default();
+        let zone = build(&cfg);
+        assert_eq!(zone.tlds().len(), 1_532);
+        let records = zone.record_count();
+        let rrsets = zone.rrset_count();
+        assert!(
+            (17_000..27_000).contains(&records),
+            "record count {records} outside the paper's ~22K band"
+        );
+        assert!(
+            (10_000..18_000).contains(&rrsets),
+            "rrset count {rrsets} outside the paper's ~14K band"
+        );
+    }
+
+    #[test]
+    fn builds_are_reproducible() {
+        let cfg = RootZoneConfig::small(100);
+        assert_eq!(build(&cfg), build(&cfg));
+    }
+
+    #[test]
+    fn different_seed_changes_content() {
+        let a = build(&RootZoneConfig::small(100));
+        let b = build(&RootZoneConfig { seed: 99, ..RootZoneConfig::small(100) });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn growing_zone_is_superset() {
+        let cfg_small = RootZoneConfig::small(80);
+        let cfg_big = RootZoneConfig::small(120);
+        let small = build(&cfg_small);
+        let big = build(&cfg_big);
+        for tld in small.tlds() {
+            assert_eq!(
+                small.get(&tld, RType::NS),
+                big.get(&tld, RType::NS),
+                "delegation for {tld} changed when the zone grew"
+            );
+        }
+    }
+
+    #[test]
+    fn remove_delegation_cleans_glue() {
+        let cfg = RootZoneConfig::small(30);
+        let mut zone = build(&cfg);
+        let victim = zone.tlds()[5].clone();
+        let label = victim.to_string().trim_end_matches('.').to_string();
+        let d = delegation_for(&label, &cfg);
+        remove_delegation(&mut zone, &label, &cfg);
+        assert!(zone.get(&victim, RType::NS).is_none());
+        if d.dedicated {
+            for host in &d.hosts {
+                assert!(zone.get(host, RType::A).is_none(), "stale glue for {host}");
+            }
+        }
+        assert_eq!(zone.tlds().len(), 29);
+    }
+
+    #[test]
+    fn shared_operator_glue_survives_single_removal() {
+        let cfg = RootZoneConfig { dedicated_host_fraction: 0.0, ..RootZoneConfig::small(40) };
+        let mut zone = build(&cfg);
+        // Find two TLDs sharing at least one host.
+        let tlds = zone.tlds();
+        let mut shared_pair = None;
+        'outer: for i in 0..tlds.len() {
+            for j in (i + 1)..tlds.len() {
+                let hi = zone.delegation_records(&tlds[i]);
+                let hj = zone.delegation_records(&tlds[j]);
+                let hosts_i: std::collections::HashSet<_> = hi
+                    .iter()
+                    .filter_map(|r| match &r.rdata {
+                        RData::Ns(h) => Some(h.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                for r in &hj {
+                    if let RData::Ns(h) = &r.rdata {
+                        if hosts_i.contains(h) {
+                            shared_pair = Some((tlds[i].clone(), h.clone()));
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        let (tld, host) = shared_pair.expect("operator pool should force sharing");
+        let label = tld.to_string().trim_end_matches('.').to_string();
+        remove_delegation(&mut zone, &label, &cfg);
+        assert!(zone.get(&host, RType::A).is_some(), "shared glue must survive");
+    }
+
+    #[test]
+    fn host_addressing_is_stable() {
+        let h = Name::parse("a.nic.shop").unwrap();
+        assert_eq!(host_v4(&h, 7), host_v4(&h, 7));
+        assert_ne!(host_v4(&h, 7), host_v4(&h, 8));
+    }
+}

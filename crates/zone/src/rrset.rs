@@ -1,0 +1,196 @@
+//! RRsets: all records sharing an owner name and type (RFC 2181 §5).
+
+use rootless_proto::name::Name;
+use rootless_proto::rr::{RData, RType, Record};
+
+/// Key identifying an RRset within a zone: owner name + type.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RrKey {
+    /// Owner name.
+    pub name: Name,
+    /// Record type (as its wire value so the key is `Ord`).
+    rtype: u16,
+}
+
+impl RrKey {
+    /// Builds a key.
+    pub fn new(name: Name, rtype: RType) -> Self {
+        RrKey { name, rtype: rtype.to_u16() }
+    }
+
+    /// The record type.
+    pub fn rtype(&self) -> RType {
+        RType::from_u16(self.rtype)
+    }
+}
+
+/// A set of records sharing owner name, class and type. All members share a
+/// TTL (RFC 2181 §5.2: differing TTLs in an RRset are deprecated; this
+/// implementation normalizes to the minimum on insert).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RrSet {
+    /// Owner name.
+    pub name: Name,
+    /// Record type of every member.
+    pub rtype: RType,
+    /// Shared TTL.
+    pub ttl: u32,
+    rdatas: Vec<RData>,
+}
+
+impl RrSet {
+    /// Creates an empty RRset.
+    pub fn new(name: Name, rtype: RType, ttl: u32) -> Self {
+        RrSet { name, rtype, ttl, rdatas: Vec::new() }
+    }
+
+    /// Creates an RRset from one record.
+    pub fn from_record(record: Record) -> Self {
+        RrSet {
+            name: record.name,
+            rtype: record.rdata.rtype(),
+            ttl: record.ttl,
+            rdatas: vec![record.rdata],
+        }
+    }
+
+    /// Adds an RDATA; duplicate RDATAs are ignored (RRsets are sets). A lower
+    /// TTL lowers the shared TTL. Members are kept in canonical RDATA order
+    /// (RFC 4034 §6.3) as an invariant, so two RRsets with the same content
+    /// always compare equal regardless of insertion order.
+    pub fn push(&mut self, ttl: u32, rdata: RData) {
+        debug_assert_eq!(rdata.rtype(), self.rtype, "mixed types in RRset");
+        if self.rdatas.is_empty() {
+            self.ttl = ttl;
+        } else {
+            self.ttl = self.ttl.min(ttl);
+        }
+        let canon = rdata.canonical_bytes();
+        match self
+            .rdatas
+            .binary_search_by(|probe| probe.canonical_bytes().cmp(&canon))
+        {
+            Ok(_) => {} // duplicate
+            Err(pos) => self.rdatas.insert(pos, rdata),
+        }
+    }
+
+    /// Removes an RDATA; returns whether it was present.
+    pub fn remove(&mut self, rdata: &RData) -> bool {
+        let before = self.rdatas.len();
+        self.rdatas.retain(|r| r != rdata);
+        before != self.rdatas.len()
+    }
+
+    /// Member RDATAs.
+    pub fn rdatas(&self) -> &[RData] {
+        &self.rdatas
+    }
+
+    /// Number of records in the set.
+    pub fn len(&self) -> usize {
+        self.rdatas.len()
+    }
+
+    /// True if the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.rdatas.is_empty()
+    }
+
+    /// Expands to owned [`Record`] values.
+    pub fn records(&self) -> Vec<Record> {
+        self.rdatas
+            .iter()
+            .map(|rd| Record::new(self.name.clone(), self.ttl, rd.clone()))
+            .collect()
+    }
+
+    /// Key for this RRset.
+    pub fn key(&self) -> RrKey {
+        RrKey::new(self.name.clone(), self.rtype)
+    }
+
+    /// Canonical form with RDATAs sorted by their canonical bytes — the
+    /// representation DNSSEC signs and diffs compare.
+    pub fn canonicalized(&self) -> RrSet {
+        let mut rdatas = self.rdatas.clone();
+        rdatas.sort_by(|a, b| a.canonical_bytes().cmp(&b.canonical_bytes()));
+        RrSet { name: self.name.clone(), rtype: self.rtype, ttl: self.ttl, rdatas }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn push_dedupes() {
+        let mut set = RrSet::new(n("com"), RType::NS, 172_800);
+        set.push(172_800, RData::Ns(n("a.gtld-servers.net")));
+        set.push(172_800, RData::Ns(n("a.gtld-servers.net")));
+        set.push(172_800, RData::Ns(n("b.gtld-servers.net")));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn ttl_normalizes_to_minimum() {
+        let mut set = RrSet::new(n("com"), RType::NS, 0);
+        set.push(172_800, RData::Ns(n("a.gtld-servers.net")));
+        assert_eq!(set.ttl, 172_800);
+        set.push(86_400, RData::Ns(n("b.gtld-servers.net")));
+        assert_eq!(set.ttl, 86_400);
+        set.push(900_000, RData::Ns(n("c.gtld-servers.net")));
+        assert_eq!(set.ttl, 86_400);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut set = RrSet::new(n("com"), RType::NS, 60);
+        let a = RData::Ns(n("a.gtld-servers.net"));
+        set.push(60, a.clone());
+        assert!(set.remove(&a));
+        assert!(!set.remove(&a));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn records_expand_with_shared_ttl() {
+        let mut set = RrSet::new(n("com"), RType::NS, 60);
+        set.push(60, RData::Ns(n("a.gtld-servers.net")));
+        set.push(30, RData::Ns(n("b.gtld-servers.net")));
+        let records = set.records();
+        assert_eq!(records.len(), 2);
+        assert!(records.iter().all(|r| r.ttl == 30));
+    }
+
+    #[test]
+    fn canonicalized_sorts_rdatas() {
+        let mut set = RrSet::new(n("x"), RType::A, 60);
+        set.push(60, RData::A("10.0.0.2".parse().unwrap()));
+        set.push(60, RData::A("10.0.0.1".parse().unwrap()));
+        let canon = set.canonicalized();
+        assert_eq!(canon.rdatas()[0], RData::A("10.0.0.1".parse().unwrap()));
+        // Canonicalization is idempotent.
+        assert_eq!(canon.canonicalized(), canon);
+    }
+
+    #[test]
+    fn key_ordering_follows_canonical_name_order() {
+        let a = RrKey::new(n("a.example"), RType::NS);
+        let b = RrKey::new(n("z.example"), RType::A);
+        let c = RrKey::new(n("example"), RType::NS);
+        assert!(c < a, "parent sorts before child");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn key_orders_types_within_name() {
+        let ns = RrKey::new(n("example"), RType::NS);
+        let a = RrKey::new(n("example"), RType::A);
+        assert!(a < ns, "A (1) sorts before NS (2)");
+    }
+}

@@ -1,0 +1,438 @@
+//! The zone data model: an origin plus RRsets in canonical order, with the
+//! lookup operations an authoritative server needs (exact match, delegation
+//! cut, glue collection).
+
+use std::collections::BTreeMap;
+
+use rootless_proto::name::Name;
+use rootless_proto::rr::{RData, RType, Record, Soa};
+
+use crate::rrset::{RrKey, RrSet};
+
+/// Result of looking a name/type up in a zone from the zone's point of view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Lookup {
+    /// The RRset exists at this name.
+    Answer(RrSet),
+    /// The name sits at or below a zone cut: here are the NS records of the
+    /// cut plus any in-zone glue addresses.
+    Delegation {
+        /// NS RRset at the cut.
+        ns: RrSet,
+        /// A/AAAA records for in-zone nameserver names.
+        glue: Vec<Record>,
+    },
+    /// Name exists but has no RRset of the requested type.
+    NoData,
+    /// Name does not exist in the zone.
+    NxDomain,
+}
+
+/// An authoritative zone: origin name, serial via SOA, and RRsets stored in
+/// canonical order (the order DNSSEC digests and NSEC chains require).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Zone {
+    origin: Name,
+    records: BTreeMap<RrKey, RrSet>,
+}
+
+impl Zone {
+    /// Creates an empty zone rooted at `origin`.
+    pub fn new(origin: Name) -> Self {
+        Zone { origin, records: BTreeMap::new() }
+    }
+
+    /// The zone origin.
+    pub fn origin(&self) -> &Name {
+        &self.origin
+    }
+
+    /// Inserts one record. Returns an error if the owner is outside the zone.
+    pub fn insert(&mut self, record: Record) -> Result<(), ZoneError> {
+        if !record.name.is_within(&self.origin) {
+            return Err(ZoneError::OutOfZone(record.name.clone()));
+        }
+        let key = RrKey::new(record.name.clone(), record.rtype());
+        self.records
+            .entry(key)
+            .or_insert_with(|| RrSet::new(record.name.clone(), record.rtype(), record.ttl))
+            .push(record.ttl, record.rdata);
+        Ok(())
+    }
+
+    /// Inserts a whole RRset, replacing any existing set with the same key.
+    pub fn insert_rrset(&mut self, set: RrSet) -> Result<(), ZoneError> {
+        if !set.name.is_within(&self.origin) {
+            return Err(ZoneError::OutOfZone(set.name.clone()));
+        }
+        self.records.insert(set.key(), set);
+        Ok(())
+    }
+
+    /// Removes an entire RRset; returns it if present.
+    pub fn remove_rrset(&mut self, name: &Name, rtype: RType) -> Option<RrSet> {
+        self.records.remove(&RrKey::new(name.clone(), rtype))
+    }
+
+    /// Removes a single RDATA from an RRset; drops the set when it empties.
+    pub fn remove_rdata(&mut self, name: &Name, rtype: RType, rdata: &RData) -> bool {
+        let key = RrKey::new(name.clone(), rtype);
+        if let Some(set) = self.records.get_mut(&key) {
+            let removed = set.remove(rdata);
+            if set.is_empty() {
+                self.records.remove(&key);
+            }
+            removed
+        } else {
+            false
+        }
+    }
+
+    /// Exact RRset fetch.
+    pub fn get(&self, name: &Name, rtype: RType) -> Option<&RrSet> {
+        self.records.get(&RrKey::new(name.clone(), rtype))
+    }
+
+    /// The zone's SOA, if present.
+    pub fn soa(&self) -> Option<&Soa> {
+        self.get(&self.origin, RType::SOA).and_then(|set| {
+            set.rdatas().first().and_then(|rd| match rd {
+                RData::Soa(soa) => Some(soa),
+                _ => None,
+            })
+        })
+    }
+
+    /// The zone serial from the SOA (0 if absent).
+    pub fn serial(&self) -> u32 {
+        self.soa().map(|s| s.serial).unwrap_or(0)
+    }
+
+    /// True if any RRset exists at `name`.
+    pub fn name_exists(&self, name: &Name) -> bool {
+        // RRset keys for `name` form a contiguous range because RrKey orders
+        // by (name, type).
+        self.records
+            .range(RrKey::new(name.clone(), RType::Unknown(0))..=RrKey::new(name.clone(), RType::Unknown(u16::MAX)))
+            .next()
+            .is_some()
+    }
+
+    /// All RRsets at `name`.
+    pub fn rrsets_at(&self, name: &Name) -> Vec<&RrSet> {
+        self.records
+            .range(RrKey::new(name.clone(), RType::Unknown(0))..=RrKey::new(name.clone(), RType::Unknown(u16::MAX)))
+            .map(|(_, set)| set)
+            .collect()
+    }
+
+    /// Authoritative lookup implementing the referral logic of RFC 1034
+    /// §4.3.2 restricted to what the root/TLD servers in this workspace need.
+    pub fn lookup(&self, qname: &Name, qtype: RType) -> Lookup {
+        if !qname.is_within(&self.origin) {
+            return Lookup::NxDomain;
+        }
+        // Walk down from the origin looking for a zone cut strictly above
+        // qname (an NS RRset at a name that is not the origin).
+        let origin_depth = self.origin.label_count();
+        let qdepth = qname.label_count();
+        for depth in (origin_depth + 1)..=qdepth {
+            let ancestor = qname.suffix(depth);
+            if let Some(ns) = self.records.get(&RrKey::new(ancestor.clone(), RType::NS)) {
+                // Found a cut at `ancestor`: refer, unless the query is for
+                // the cut's DS record, which the parent answers.
+                if ancestor == *qname && qtype == RType::DS {
+                    break;
+                }
+                let glue = self.collect_glue(ns);
+                return Lookup::Delegation { ns: ns.clone(), glue };
+            }
+        }
+        match self.records.get(&RrKey::new(qname.clone(), qtype)) {
+            Some(set) => Lookup::Answer(set.clone()),
+            None => {
+                if self.name_exists(qname) {
+                    Lookup::NoData
+                } else {
+                    Lookup::NxDomain
+                }
+            }
+        }
+    }
+
+    /// Collects A/AAAA glue for the nameserver targets of an NS RRset.
+    fn collect_glue(&self, ns: &RrSet) -> Vec<Record> {
+        let mut glue = Vec::new();
+        for rd in ns.rdatas() {
+            if let RData::Ns(target) = rd {
+                for t in [RType::A, RType::AAAA] {
+                    if let Some(set) = self.records.get(&RrKey::new(target.clone(), t)) {
+                        glue.extend(set.records());
+                    }
+                }
+            }
+        }
+        glue
+    }
+
+    /// Iterates RRsets in canonical order.
+    pub fn rrsets(&self) -> impl Iterator<Item = &RrSet> {
+        self.records.values()
+    }
+
+    /// Iterates all records in canonical order.
+    pub fn records(&self) -> impl Iterator<Item = Record> + '_ {
+        self.records.values().flat_map(|set| set.records())
+    }
+
+    /// Number of RRsets.
+    pub fn rrset_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of individual records — the quantity Fig. 1 plots.
+    pub fn record_count(&self) -> usize {
+        self.records.values().map(|s| s.len()).sum()
+    }
+
+    /// The delegated child zone names: owners of NS RRsets other than the
+    /// origin. For the root zone these are exactly the TLDs.
+    pub fn delegations(&self) -> Vec<Name> {
+        self.records
+            .values()
+            .filter(|set| set.rtype == RType::NS && set.name != self.origin)
+            .map(|set| set.name.clone())
+            .collect()
+    }
+
+    /// Convenience for the root zone: delegated TLDs.
+    pub fn tlds(&self) -> Vec<Name> {
+        self.delegations()
+    }
+
+    /// All records belonging to one delegation: the NS set plus glue for
+    /// in-zone nameserver targets plus the DS set. This is what the paper's
+    /// "extract all records related to a given TLD" test pulls out.
+    pub fn delegation_records(&self, child: &Name) -> Vec<Record> {
+        let mut out = Vec::new();
+        if let Some(ns) = self.get(child, RType::NS) {
+            out.extend(ns.records());
+            out.extend(self.collect_glue(ns));
+        }
+        if let Some(ds) = self.get(child, RType::DS) {
+            out.extend(ds.records());
+        }
+        out
+    }
+}
+
+/// Errors for zone mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZoneError {
+    /// Record owner is not within the zone origin.
+    OutOfZone(Name),
+    /// Master-file syntax error with line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ZoneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZoneError::OutOfZone(name) => write!(f, "record owner {name} is outside the zone"),
+            ZoneError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ZoneError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn root_zone_fixture() -> Zone {
+        let mut z = Zone::new(Name::root());
+        z.insert(Record::new(
+            Name::root(),
+            86_400,
+            RData::Soa(Soa {
+                mname: n("a.root-servers.net"),
+                rname: n("nstld.verisign-grs.com"),
+                serial: 2019_060_700,
+                refresh: 1800,
+                retry: 900,
+                expire: 604_800,
+                minimum: 86_400,
+            }),
+        ))
+        .unwrap();
+        for host in ["a.root-servers.net", "b.root-servers.net"] {
+            z.insert(Record::new(Name::root(), 518_400, RData::Ns(n(host)))).unwrap();
+        }
+        z.insert(Record::new(n("com"), 172_800, RData::Ns(n("a.gtld-servers.net")))).unwrap();
+        z.insert(Record::new(n("com"), 172_800, RData::Ns(n("b.gtld-servers.net")))).unwrap();
+        z.insert(Record::new(n("a.gtld-servers.net"), 172_800, RData::A("192.5.6.30".parse().unwrap()))).unwrap();
+        z.insert(Record::new(n("a.gtld-servers.net"), 172_800, RData::Aaaa("2001:503:a83e::2:30".parse().unwrap()))).unwrap();
+        z.insert(Record::new(n("org"), 172_800, RData::Ns(n("a0.org.afilias-nst.info")))).unwrap();
+        z.insert(Record::new(
+            n("com"),
+            86_400,
+            RData::Ds(rootless_proto::rr::Ds { key_tag: 1, algorithm: 250, digest_type: 2, digest: vec![1; 32] }),
+        ))
+        .unwrap();
+        z
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let z = root_zone_fixture();
+        assert_eq!(z.get(&n("com"), RType::NS).unwrap().len(), 2);
+        assert!(z.get(&n("com"), RType::TXT).is_none());
+    }
+
+    #[test]
+    fn out_of_zone_rejected() {
+        let mut z = Zone::new(n("org"));
+        let r = Record::new(n("example.com"), 60, RData::Ns(n("ns.example.com")));
+        assert!(matches!(z.insert(r), Err(ZoneError::OutOfZone(_))));
+    }
+
+    #[test]
+    fn soa_and_serial() {
+        let z = root_zone_fixture();
+        assert_eq!(z.serial(), 2019_060_700);
+        assert_eq!(z.soa().unwrap().mname, n("a.root-servers.net"));
+    }
+
+    #[test]
+    fn lookup_referral_for_name_under_tld() {
+        let z = root_zone_fixture();
+        match z.lookup(&n("www.sigcomm.org"), RType::A) {
+            Lookup::Delegation { ns, glue } => {
+                assert_eq!(ns.name, n("org"));
+                assert!(glue.is_empty(), "org NS has no in-zone glue in fixture");
+            }
+            other => panic!("expected delegation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lookup_referral_includes_glue() {
+        let z = root_zone_fixture();
+        match z.lookup(&n("www.example.com"), RType::A) {
+            Lookup::Delegation { ns, glue } => {
+                assert_eq!(ns.name, n("com"));
+                // a.gtld-servers.net has A + AAAA glue in the fixture.
+                assert_eq!(glue.len(), 2);
+            }
+            other => panic!("expected delegation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lookup_at_cut_is_referral() {
+        let z = root_zone_fixture();
+        assert!(matches!(z.lookup(&n("com"), RType::NS), Lookup::Delegation { .. }));
+        assert!(matches!(z.lookup(&n("com"), RType::A), Lookup::Delegation { .. }));
+    }
+
+    #[test]
+    fn ds_at_cut_answered_by_parent() {
+        let z = root_zone_fixture();
+        match z.lookup(&n("com"), RType::DS) {
+            Lookup::Answer(set) => assert_eq!(set.rtype, RType::DS),
+            other => panic!("expected DS answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nxdomain_for_bogus_tld() {
+        let z = root_zone_fixture();
+        assert_eq!(z.lookup(&n("local"), RType::A), Lookup::NxDomain);
+        assert_eq!(z.lookup(&n("foo.internal-network"), RType::A), Lookup::NxDomain);
+    }
+
+    #[test]
+    fn nodata_for_existing_name_wrong_type() {
+        let z = root_zone_fixture();
+        assert_eq!(z.lookup(&Name::root(), RType::TXT), Lookup::NoData);
+    }
+
+    #[test]
+    fn apex_ns_answered_not_referred() {
+        let z = root_zone_fixture();
+        match z.lookup(&Name::root(), RType::NS) {
+            Lookup::Answer(set) => assert_eq!(set.len(), 2),
+            other => panic!("expected answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delegations_lists_tlds_only() {
+        let z = root_zone_fixture();
+        let mut tlds = z.tlds();
+        tlds.sort();
+        assert_eq!(tlds, vec![n("com"), n("org")]);
+    }
+
+    #[test]
+    fn delegation_records_bundle() {
+        let z = root_zone_fixture();
+        let recs = z.delegation_records(&n("com"));
+        // 2 NS + 2 glue + 1 DS.
+        assert_eq!(recs.len(), 5);
+        let recs_org = z.delegation_records(&n("org"));
+        assert_eq!(recs_org.len(), 1);
+    }
+
+    #[test]
+    fn counts() {
+        let z = root_zone_fixture();
+        assert_eq!(z.record_count(), 9);
+        assert!(z.rrset_count() < z.record_count());
+    }
+
+    #[test]
+    fn remove_rdata_drops_empty_set() {
+        let mut z = root_zone_fixture();
+        let rd = RData::Ns(n("a0.org.afilias-nst.info"));
+        assert!(z.remove_rdata(&n("org"), RType::NS, &rd));
+        assert!(z.get(&n("org"), RType::NS).is_none());
+        assert_eq!(z.lookup(&n("x.org"), RType::A), Lookup::NxDomain);
+    }
+
+    #[test]
+    fn records_iterate_in_canonical_order() {
+        let z = root_zone_fixture();
+        let names: Vec<Name> = z.rrsets().map(|s| s.name.clone()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        // Root apex sorts first.
+        assert!(names[0].is_root());
+    }
+
+    #[test]
+    fn non_root_origin_zone() {
+        let mut z = Zone::new(n("com"));
+        z.insert(Record::new(n("example.com"), 172_800, RData::Ns(n("ns1.example.com")))).unwrap();
+        z.insert(Record::new(n("ns1.example.com"), 172_800, RData::A("10.0.0.1".parse().unwrap()))).unwrap();
+        match z.lookup(&n("www.example.com"), RType::A) {
+            Lookup::Delegation { ns, glue } => {
+                assert_eq!(ns.name, n("example.com"));
+                assert_eq!(glue.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(z.lookup(&n("nonexistent.com"), RType::A), Lookup::NxDomain);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the zone crate: master-file round trips, diff
+//! apply/compute inverses, and lookup invariants over generated zones.
+
+use proptest::prelude::*;
+use rootless_proto::name::Name;
+use rootless_proto::rr::RType;
+use rootless_zone::diff::ZoneDiff;
+use rootless_zone::rootzone::{self, RootZoneConfig};
+use rootless_zone::zone::Lookup;
+use rootless_zone::{master, RrKey};
+
+fn cfg(tlds: usize, seed: u64, serial: u32) -> RootZoneConfig {
+    RootZoneConfig { seed, serial, ..RootZoneConfig::small(tlds.max(1)) }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn master_file_roundtrip(tlds in 1usize..60, seed in 0u64..1000) {
+        let zone = rootzone::build(&cfg(tlds, seed, 1));
+        let text = master::serialize(&zone);
+        let back = master::parse(&text, Name::root()).unwrap();
+        prop_assert_eq!(back, zone);
+    }
+
+    #[test]
+    fn diff_apply_is_inverse_of_compute(
+        a_tlds in 1usize..50,
+        b_tlds in 1usize..50,
+        seed in 0u64..100,
+    ) {
+        let old = rootzone::build(&cfg(a_tlds, seed, 1));
+        let new = rootzone::build(&cfg(b_tlds, seed, 2));
+        let diff = ZoneDiff::compute(&old, &new);
+        let mut z = old.clone();
+        diff.apply(&mut z).unwrap();
+        prop_assert_eq!(z, new);
+    }
+
+    #[test]
+    fn diff_wire_roundtrip(a in 1usize..40, b in 1usize..40, seed in 0u64..100) {
+        let old = rootzone::build(&cfg(a, seed, 1));
+        let new = rootzone::build(&cfg(b, seed, 2));
+        let diff = ZoneDiff::compute(&old, &new);
+        prop_assert_eq!(ZoneDiff::decode(&diff.encode()).unwrap(), diff);
+    }
+
+    #[test]
+    fn lookup_never_panics_and_classifies(
+        tlds in 1usize..40,
+        seed in 0u64..100,
+        label in "[a-z]{1,12}",
+        depth in 0usize..3,
+    ) {
+        let zone = rootzone::build(&cfg(tlds, seed, 1));
+        let mut qname = Name::parse(&label).unwrap();
+        for i in 0..depth {
+            qname = qname.child(format!("l{i}")).unwrap();
+        }
+        match zone.lookup(&qname, RType::A) {
+            Lookup::Delegation { ns, .. } => {
+                // The cut must be an ancestor of the query.
+                prop_assert!(qname.is_within(&ns.name));
+                prop_assert_eq!(ns.rtype, RType::NS);
+            }
+            Lookup::NxDomain => {
+                // No delegation may cover the name.
+                let tld = qname.tld().unwrap();
+                prop_assert!(zone.get(&tld, RType::NS).is_none());
+            }
+            Lookup::Answer(_) | Lookup::NoData => {}
+        }
+    }
+
+    #[test]
+    fn canonical_iteration_is_sorted(tlds in 1usize..40, seed in 0u64..100) {
+        let zone = rootzone::build(&cfg(tlds, seed, 1));
+        let keys: Vec<RrKey> = zone.rrsets().map(|s| s.key()).collect();
+        for w in keys.windows(2) {
+            prop_assert!(w[0] < w[1], "{:?} !< {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn delegation_records_are_self_consistent(tlds in 2usize..40, seed in 0u64..100) {
+        let zone = rootzone::build(&cfg(tlds, seed, 1));
+        for tld in zone.tlds() {
+            let records = zone.delegation_records(&tld);
+            // Every NS target with glue must be one of the returned A/AAAAs'
+            // owners; every record is either owned by the TLD or glue.
+            for r in &records {
+                let ok = r.name == tld || records.iter().any(|ns| {
+                    matches!(&ns.rdata, rootless_proto::rr::RData::Ns(t) if *t == r.name)
+                });
+                prop_assert!(ok, "stray record {r}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn timeline_snapshots_consistent(
+        days in 2u64..30,
+        day_a in 0u64..29,
+        seed in 0u64..50,
+    ) {
+        use rootless_util::time::Date;
+        use rootless_zone::churn::{ChurnConfig, Timeline};
+        let day_a = day_a.min(days - 1);
+        let t = Timeline::generate(
+            RootZoneConfig { seed, ..RootZoneConfig::small(40) },
+            ChurnConfig { seed: seed ^ 1, ..ChurnConfig::default() },
+            Date::new(2019, 1, 1),
+            days,
+        );
+        let snap = t.snapshot(day_a);
+        // Zone TLDs == active set.
+        let zone_tlds: std::collections::BTreeSet<String> =
+            snap.tlds().iter().map(|n| n.to_string()).collect();
+        let active: std::collections::BTreeSet<String> =
+            t.active_tlds(day_a).iter().map(|n| n.to_string()).collect();
+        prop_assert_eq!(zone_tlds, active);
+        // Serial = base + day.
+        prop_assert_eq!(snap.serial(), t.base.serial + day_a as u32);
+        // Same-day reachability is total.
+        for idx in t.active_indices(day_a).into_iter().take(10) {
+            prop_assert!(t.reachable_with_stale_file(idx, day_a, day_a));
+        }
+    }
+}

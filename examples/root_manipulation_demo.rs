@@ -1,0 +1,100 @@
+//! Root manipulation demo — the §4 security argument, live.
+//!
+//! An on-path attacker watches for packets to the 13 root addresses and
+//! answers them with forged referrals steering victims to its own
+//! nameserver. The classic resolver is fully hijacked; the rootless
+//! resolver never gives the attacker a packet to forge.
+//!
+//! Run with: `cargo run --example root_manipulation_demo`
+
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use rootless::netsim::geo::GeoPoint;
+use rootless::prelude::*;
+use rootless::resolver::harness::build_network;
+use rootless::resolver::net::shared;
+use rootless::server::auth::AuthServer;
+
+const ATTACKER_NS: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 53);
+const SINKHOLE: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 66);
+
+fn attacked_network(
+    world_cfg: &WorldConfig,
+    root_zone: &Arc<Zone>,
+) -> rootless::resolver::net::StaticNetwork {
+    let mut net = build_network(world_cfg, Arc::clone(root_zone));
+
+    // The attacker's nameserver claims every TLD and answers everything
+    // with the sinkhole address.
+    let mut evil = AuthServer::new(Zone::new(Name::root()));
+    for tld in root_zone.tlds() {
+        let mut z = Zone::new(tld.clone());
+        let ns = Name::parse("ns.attacker.example").unwrap();
+        z.insert(Record::new(tld.clone(), 300, RData::Ns(ns))).unwrap();
+        for sld in 0..world_cfg.sld_per_tld {
+            let name = Name::parse(&format!("www.domain{sld}.{tld}")).unwrap();
+            z.insert(Record::new(name, 300, RData::A(SINKHOLE))).unwrap();
+        }
+        evil.add_zone(Arc::new(z));
+    }
+    net.add_server(ATTACKER_NS, GeoPoint::new(50.0, 10.0), shared(evil));
+
+    // On-path interception: "it is relatively easy ... to identify queries
+    // to root nameservers since they will all be destined for one of 13 IP
+    // addresses" (§4).
+    let roots: Vec<Ipv4Addr> = RootHints::standard().v4_addrs();
+    net.add_interceptor(Box::new(move |_now, dst, query: &Message| {
+        if !roots.contains(&dst) {
+            return None;
+        }
+        let q = query.question()?;
+        let tld = q.qname.tld()?;
+        let ns = Name::parse("ns.attacker.example").unwrap();
+        let mut forged = Message::response_to(query, Rcode::NoError);
+        forged.authorities.push(Record::new(tld, 300, RData::Ns(ns.clone())));
+        forged.additionals.push(Record::new(ns, 300, RData::A(ATTACKER_NS)));
+        Some(forged)
+    }));
+    net
+}
+
+fn main() {
+    let world_cfg = WorldConfig { tld_count: 10, ..WorldConfig::default() };
+    let (_, root_zone) = build_world(&world_cfg);
+
+    for mode in [RootMode::Hints, RootMode::LocalOnDemand] {
+        let mut net = attacked_network(&world_cfg, &root_zone);
+        let mut resolver = Resolver::new(ResolverConfig::with_mode(mode));
+        if mode.needs_local_zone() {
+            resolver.install_root_zone(SimTime::ZERO, Arc::clone(&root_zone));
+        }
+        println!("=== resolver mode: {} ===", mode.label());
+        let mut hijacked = 0;
+        let tlds = root_zone.tlds();
+        for tld in &tlds {
+            let qname = Name::parse(&format!("www.domain0.{tld}")).unwrap();
+            let res = resolver.resolve(SimTime::ZERO, &mut net, &qname, RType::A);
+            let verdict = match &res.outcome {
+                Outcome::Answer(records)
+                    if records.iter().any(|r| r.rdata == RData::A(SINKHOLE)) =>
+                {
+                    hijacked += 1;
+                    "HIJACKED -> sinkhole"
+                }
+                Outcome::Answer(_) => "clean answer",
+                other => {
+                    println!("  {qname}: {other:?}");
+                    continue;
+                }
+            };
+            println!("  {qname}: {verdict}");
+        }
+        println!(
+            "  {hijacked}/{} lookups hijacked; {} packets were interceptable root queries\n",
+            tlds.len(),
+            net.intercepted
+        );
+    }
+    println!("the signed-zone path (see zone_update_daemon) closes the remaining channel.");
+}

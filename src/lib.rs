@@ -1,0 +1,80 @@
+//! # rootless
+//!
+//! A from-scratch Rust reproduction of **"On Eliminating Root Nameservers
+//! from the DNS"** (Mark Allman, HotNets 2019): the full DNS ecosystem the
+//! paper reasons about — wire protocol, zones, simulated DNSSEC, an anycast
+//! network simulator, authoritative servers, a recursive resolver — plus the
+//! paper's proposal itself: resolvers that bootstrap from a local, verified
+//! copy of the root zone instead of querying the root nameservers.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rootless::prelude::*;
+//!
+//! // A world: 13 anycasted root letters + authoritative TLD servers.
+//! let (mut net, root_zone) = build_world(&WorldConfig::default());
+//! let tld = root_zone.tlds()[0].clone();
+//! let target = Name::parse(&format!("www.domain0.{tld}")).unwrap();
+//!
+//! // Classic resolver: bootstraps from root hints, queries the roots.
+//! let mut classic = Resolver::new(ResolverConfig::default());
+//! let res = classic.resolve(SimTime::ZERO, &mut net, &target, RType::A);
+//! assert!(res.outcome.is_answer());
+//! assert_eq!(res.root_network_queries, 1);
+//!
+//! // The paper's resolver: local root zone, no root nameservers involved.
+//! let mut local = Resolver::new(ResolverConfig::with_mode(RootMode::LocalOnDemand));
+//! local.install_root_zone(SimTime::ZERO, Arc::clone(&root_zone));
+//! let res = local.resolve(SimTime::ZERO, &mut net, &target, RType::A);
+//! assert!(res.outcome.is_answer());
+//! assert_eq!(res.root_network_queries, 0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`util`] | SHA-256/HMAC, LZSS, rolling hashes, deterministic RNG, sim time |
+//! | [`proto`] | DNS wire protocol (names, records, messages, EDNS) |
+//! | [`zone`] | zones, master files, root hints/zone synthesis, churn, history |
+//! | [`dnssec`] | simulated DNSSEC: RRSIG/DNSKEY/DS, NSEC, ZONEMD |
+//! | [`netsim`] | deterministic discrete-event network with anycast + attackers |
+//! | [`server`] | authoritative servers, AXFR, the RFC 7706 loopback root |
+//! | [`resolver`] | the recursive resolver with all four root modes |
+//! | [`delta`] | distribution channels: mirrors, rsync, IXFR, p2p swarm |
+//! | [`core`] | the proposal: RootZoneManager (obtain → verify → refresh) |
+//! | [`ditl`] | the §2.2 traffic study workload + classifier |
+//! | [`experiments`] | one module per figure/table/claim in the paper |
+
+pub use rootless_core as core;
+pub use rootless_delta as delta;
+pub use rootless_ditl as ditl;
+pub use rootless_dnssec as dnssec;
+pub use rootless_experiments as experiments;
+pub use rootless_netsim as netsim;
+pub use rootless_proto as proto;
+pub use rootless_resolver as resolver;
+pub use rootless_server as server;
+pub use rootless_util as util;
+pub use rootless_zone as zone;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use rootless_core::manager::{RefreshPolicy, RootZoneManager, Verification};
+    pub use rootless_core::sources::MirrorZoneSource;
+    pub use rootless_dnssec::keys::ZoneKey;
+    pub use rootless_proto::message::{Message, Rcode};
+    pub use rootless_proto::name::Name;
+    pub use rootless_proto::rr::{RData, RType, Record};
+    pub use rootless_resolver::harness::{build_world, WorldConfig};
+    pub use rootless_resolver::resolver::{
+        Outcome, Resolution, Resolver, ResolverConfig, RootMode,
+    };
+    pub use rootless_util::time::{Date, SimDuration, SimTime};
+    pub use rootless_zone::churn::{ChurnConfig, Timeline};
+    pub use rootless_zone::hints::RootHints;
+    pub use rootless_zone::rootzone::RootZoneConfig;
+    pub use rootless_zone::zone::Zone;
+}

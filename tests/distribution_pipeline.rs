@@ -1,0 +1,105 @@
+//! Integration: the publication pipeline byte-for-byte — sign, serialize,
+//! compress, ship (full file and rsync delta), verify, install, serve.
+
+use rootless::delta::rsync::{apply_delta, compute_delta, Signature, DEFAULT_BLOCK};
+use rootless::dnssec::zonemd;
+use rootless::prelude::*;
+use rootless::server::loopback::LoopbackRoot;
+use rootless::util::lzss;
+use rootless::zone::master;
+
+fn publish(zone: &Zone, key: &ZoneKey) -> (Zone, Vec<u8>) {
+    let signed = zonemd::attach(zone, Some(key), 0, u32::MAX);
+    let text = master::serialize(&signed);
+    let compressed = lzss::compress(text.as_bytes());
+    (signed, compressed)
+}
+
+#[test]
+fn full_file_pipeline_roundtrips_and_verifies() {
+    let key = ZoneKey::generate(Name::root(), true, 31);
+    let zone = rootless::zone::rootzone::build(&RootZoneConfig::small(120));
+    let (signed, compressed) = publish(&zone, &key);
+
+    // Receiver: decompress, parse, verify, serve.
+    let raw = lzss::decompress(&compressed).unwrap();
+    let text = String::from_utf8(raw).unwrap();
+    let received = master::parse(&text, Name::root()).unwrap();
+    assert_eq!(received, signed, "publication must be lossless");
+    zonemd::verify(&received, Some((&key, 100))).unwrap();
+
+    // Serve it from an RFC 7706 loopback instance.
+    let mut lb = LoopbackRoot::new(received, SimTime::ZERO);
+    let tld = zone.tlds()[3].clone();
+    let q = Message::query(7, tld.child("anything").unwrap(), RType::A);
+    let resp = lb.handle(&q, SimTime::ZERO);
+    assert_eq!(resp.header.rcode, Rcode::NoError);
+    assert!(resp.authorities.iter().any(|r| r.rtype() == RType::NS), "referral expected");
+}
+
+#[test]
+fn corrupted_download_is_detected_not_installed() {
+    let key = ZoneKey::generate(Name::root(), true, 32);
+    let zone = rootless::zone::rootzone::build(&RootZoneConfig::small(60));
+    let (_, compressed) = publish(&zone, &key);
+
+    // Flip one byte mid-file: either the container fails to decompress, the
+    // text fails to parse, or the digest fails — never a silent install.
+    for at in [100usize, compressed.len() / 2, compressed.len() - 10] {
+        let mut corrupted = compressed.clone();
+        corrupted[at] ^= 0x40;
+        let outcome = lzss::decompress(&corrupted)
+            .map_err(|e| format!("decompress: {e}"))
+            .and_then(|raw| {
+                master::parse(&String::from_utf8_lossy(&raw), Name::root())
+                    .map_err(|e| format!("parse: {e}"))
+            })
+            .and_then(|z| {
+                zonemd::verify(&z, Some((&key, 100))).map_err(|e| format!("verify: {e}"))
+            });
+        assert!(outcome.is_err(), "corruption at byte {at} went unnoticed");
+    }
+}
+
+#[test]
+fn rsync_channel_ships_only_changes_and_verifies() {
+    let key = ZoneKey::generate(Name::root(), true, 33);
+    let timeline = Timeline::generate(
+        RootZoneConfig::small(250),
+        ChurnConfig::default(),
+        Date::new(2019, 4, 1),
+        3,
+    );
+    let (signed0, _) = publish(&timeline.snapshot(0), &key);
+    let (signed1, _) = publish(&timeline.snapshot(1), &key);
+    let old_text = master::serialize(&signed0);
+    let new_text = master::serialize(&signed1);
+
+    // Receiver computes a signature of its old file; sender answers with a
+    // delta; receiver rebuilds and verifies the digest end-to-end.
+    let sig = Signature::compute(old_text.as_bytes(), DEFAULT_BLOCK);
+    let delta = compute_delta(&sig, new_text.as_bytes());
+    let rebuilt = apply_delta(old_text.as_bytes(), DEFAULT_BLOCK, &delta).unwrap();
+    let received = master::parse(&String::from_utf8(rebuilt).unwrap(), Name::root()).unwrap();
+    assert_eq!(received, signed1);
+    zonemd::verify(&received, Some((&key, 100))).unwrap();
+
+    // And it was actually incremental.
+    assert!(
+        delta.wire_size() + sig.wire_size() < new_text.len() / 2,
+        "rsync moved {} + {} of a {}-byte file",
+        delta.wire_size(),
+        sig.wire_size(),
+        new_text.len()
+    );
+}
+
+#[test]
+fn axfr_channel_matches_master_file_channel() {
+    let zone = rootless::zone::rootzone::build(&RootZoneConfig::small(80));
+    let messages = rootless::server::axfr::serve(&zone, 5);
+    let via_axfr = rootless::server::axfr::assemble(&messages).unwrap();
+    let via_text = master::parse(&master::serialize(&zone), Name::root()).unwrap();
+    assert_eq!(via_axfr, via_text);
+    assert_eq!(via_axfr, zone);
+}

@@ -1,0 +1,158 @@
+//! End-to-end integration: the whole pipeline the paper proposes, spanning
+//! every crate — publisher signs and serves zone versions, the manager
+//! fetches/verifies/refreshes, resolvers in each mode answer a multi-day
+//! workload, and the root fleet sees exactly the traffic the mode implies.
+
+use std::sync::Arc;
+
+use rootless::core::manager::{RefreshPolicy, RootZoneManager, Verification};
+use rootless::core::sources::MirrorZoneSource;
+use rootless::prelude::*;
+use rootless::resolver::harness::build_network;
+
+fn world_cfg() -> WorldConfig {
+    WorldConfig { tld_count: 25, ..WorldConfig::default() }
+}
+
+#[test]
+fn rootless_resolver_full_lifecycle() {
+    let cfg = world_cfg();
+    let (_, root_zone) = build_world(&cfg);
+    let mut net = build_network(&cfg, Arc::clone(&root_zone));
+
+    // Publisher + manager.
+    let key = ZoneKey::generate(Name::root(), true, 99);
+    // Churn disabled: the world's TLD servers are static, so the published
+    // zone must keep pointing at them (serials still advance daily).
+    let no_churn = ChurnConfig {
+        add_rate_per_day: 0.0,
+        delete_rate_per_day: 0.0,
+        migration_rate_per_day: 0.0,
+        rotator_count: 0,
+        ..ChurnConfig::default()
+    };
+    let timeline = Arc::new(Timeline::generate(
+        RootZoneConfig { seed: cfg.seed, ..RootZoneConfig::small(cfg.tld_count) },
+        no_churn,
+        Date::new(2019, 4, 1),
+        10,
+    ));
+    let source = MirrorZoneSource::new(Arc::clone(&timeline), key.clone());
+    let mut manager = RootZoneManager::new(
+        Box::new(source),
+        Verification::Zonemd { key: Some(key) },
+        RefreshPolicy::default(),
+    );
+
+    let mut resolver = Resolver::new(ResolverConfig::with_mode(RootMode::LocalOnDemand));
+
+    // Day 0: bootstrap.
+    let zone = manager.tick(SimTime::ZERO).expect("initial install");
+    resolver.install_root_zone(SimTime::ZERO, zone);
+
+    // Resolve over five days, ticking the manager on schedule.
+    let tlds = root_zone.tlds();
+    let mut answers = 0;
+    for hour in 0..120u64 {
+        let now = SimTime::ZERO + SimDuration::from_hours(hour);
+        if now >= manager.next_attempt() {
+            if let Some(zone) = manager.tick(now) {
+                resolver.install_root_zone(now, zone);
+            }
+        }
+        let tld = &tlds[(hour as usize) % tlds.len()];
+        let qname = Name::parse(&format!("www.domain0.{tld}")).unwrap();
+        let res = resolver.resolve(now, &mut net, &qname, RType::A);
+        // NOTE: the manager's timeline shares the builder seed with the
+        // world, so every delegation it serves is resolvable in `net`.
+        assert!(res.outcome.is_answer(), "hour {hour}: {:?}", res.outcome);
+        answers += 1;
+        assert_eq!(res.root_network_queries, 0, "no root traffic in local mode");
+    }
+    assert_eq!(answers, 120);
+    assert!(manager.stats.installs >= 3, "42h cadence over 5 days: {} installs", manager.stats.installs);
+    assert_eq!(manager.stats.verify_failures, 0);
+    // The fleet of 13 roots received nothing at all.
+    for addr in RootHints::standard().v4_addrs() {
+        assert_eq!(net.queries_to.get(&addr), None, "{addr} was queried");
+    }
+}
+
+#[test]
+fn classic_and_rootless_agree_on_answers() {
+    let cfg = world_cfg();
+    let (mut net, root_zone) = build_world(&cfg);
+    let mut classic = Resolver::new(ResolverConfig::default());
+    let mut local = Resolver::new(ResolverConfig::with_mode(RootMode::LocalPreload));
+    local.install_root_zone(SimTime::ZERO, Arc::clone(&root_zone));
+
+    for tld in root_zone.tlds().iter().take(10) {
+        let qname = Name::parse(&format!("www.domain1.{tld}")).unwrap();
+        let a = classic.resolve(SimTime::ZERO, &mut net, &qname, RType::A);
+        let b = local.resolve(SimTime::ZERO, &mut net, &qname, RType::A);
+        match (&a.outcome, &b.outcome) {
+            (Outcome::Answer(x), Outcome::Answer(y)) => assert_eq!(x, y, "{qname}"),
+            other => panic!("outcomes disagree for {qname}: {other:?}"),
+        }
+    }
+    assert!(classic.stats.root_network_queries > 0);
+    assert_eq!(local.stats.root_network_queries, 0);
+}
+
+#[test]
+fn junk_never_leaves_a_rootless_resolver() {
+    let cfg = world_cfg();
+    let (mut net, root_zone) = build_world(&cfg);
+    let mut local = Resolver::new(ResolverConfig::with_mode(RootMode::LocalOnDemand));
+    local.install_root_zone(SimTime::ZERO, Arc::clone(&root_zone));
+
+    // The §2.2 junk classes: bogus TLDs and repeated queries.
+    for label in ["local", "belkin", "corp", "some-random-junk"] {
+        let qname = Name::parse(&format!("device7.{label}")).unwrap();
+        let res = local.resolve(SimTime::ZERO, &mut net, &qname, RType::A);
+        assert_eq!(res.outcome, Outcome::NxDomain, "{label}");
+        assert!(res.transactions.is_empty(), "{label} leaked a packet");
+    }
+    assert_eq!(net.total_queries, 0);
+}
+
+#[test]
+fn expired_local_zone_fails_closed_and_recovers() {
+    let cfg = world_cfg();
+    let (mut net, root_zone) = build_world(&cfg);
+    let mut local = Resolver::new(ResolverConfig::with_mode(RootMode::LocalOnDemand));
+    local.install_root_zone(SimTime::ZERO, Arc::clone(&root_zone));
+    let tld = root_zone.tlds()[0].clone();
+    let qname = Name::parse(&format!("www.domain0.{tld}")).unwrap();
+
+    // Past the 7-day expiry, with a cold cache: resolution must fail rather
+    // than serve from a stale root copy.
+    let late = SimTime::ZERO + SimDuration::from_days(8);
+    let res = local.resolve(late, &mut net, &qname, RType::A);
+    assert!(matches!(res.outcome, Outcome::Fail(_)));
+
+    // A fresh install recovers.
+    local.install_root_zone(late, Arc::clone(&root_zone));
+    let res = local.resolve(late, &mut net, &qname, RType::A);
+    assert!(res.outcome.is_answer());
+}
+
+#[test]
+fn loopback_mode_matches_rfc7706_shape() {
+    // RFC 7706 mode: transactions exist (to 127.0.0.1) but no root traffic.
+    let cfg = world_cfg();
+    let (mut net, root_zone) = build_world(&cfg);
+    let mut lb = Resolver::new(ResolverConfig::with_mode(RootMode::LoopbackAuth));
+    lb.install_root_zone(SimTime::ZERO, Arc::clone(&root_zone));
+    let tld = root_zone.tlds()[2].clone();
+    let qname = Name::parse(&format!("www.domain2.{tld}")).unwrap();
+    let res = lb.resolve(SimTime::ZERO, &mut net, &qname, RType::A);
+    assert!(res.outcome.is_answer());
+    let loopback_tx: Vec<_> = res
+        .transactions
+        .iter()
+        .filter(|t| t.server == rootless::resolver::resolver::LOOPBACK_ADDR)
+        .collect();
+    assert_eq!(loopback_tx.len(), 1);
+    assert!(loopback_tx[0].rtt < SimDuration::from_millis(1), "loopback must be ~free");
+}
