@@ -44,6 +44,34 @@ fn bench(c: &mut Criterion) {
         let name = records[100].name.clone();
         b.iter(|| cache.get(SimTime::ZERO, black_box(&name), RType::A))
     });
+    // Steady-state churn: the cache sits at capacity while a mixed stream
+    // of lookups (some hitting, some missing) and fresh inserts flows
+    // through it — the §5.1 long-running-resolver regime, and the workload
+    // where a scan-per-eviction policy degrades quadratically.
+    for policy in [Eviction::Lru, Eviction::Lfu] {
+        g.bench_with_input(
+            BenchmarkId::new("churn_at_capacity_4k", format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                let mut cache = Cache::new(4_000, policy);
+                for r in records.iter().take(4_000) {
+                    cache.insert(SimTime::ZERO, vec![r.clone()]);
+                }
+                let mut i = 0usize;
+                b.iter(|| {
+                    // 3 lookups (stride keeps some hitting, some missing)
+                    // per fresh insert, mirroring a warm resolver's mix.
+                    for k in 0..3usize {
+                        let probe = &records[(i.wrapping_mul(7) + k * 1_333) % records.len()];
+                        black_box(cache.get(SimTime::ZERO, &probe.name, RType::A));
+                    }
+                    cache.insert(SimTime::ZERO, vec![records[i % records.len()].clone()]);
+                    i = i.wrapping_add(1);
+                    cache.len()
+                })
+            },
+        );
+    }
     g.bench_function("preload_root_zone", |b| {
         let zone = rootzone::build(&RootZoneConfig::small(300));
         b.iter(|| {

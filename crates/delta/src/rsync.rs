@@ -184,7 +184,7 @@ pub fn compute_delta(sig: &Signature, new: &[u8]) -> Delta {
     for (i, b) in sig.blocks.iter().enumerate() {
         // Only full blocks are matchable mid-file; a short final block is
         // matchable only at its exact size, which the literal path covers.
-        let is_final_short = i == sig.blocks.len() - 1 && sig.file_len % block != 0;
+        let is_final_short = i == sig.blocks.len() - 1 && !sig.file_len.is_multiple_of(block);
         if !is_final_short {
             table.entry(b.weak).or_default().push(i as u32);
         }

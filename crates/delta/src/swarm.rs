@@ -93,7 +93,7 @@ pub fn simulate(cfg: &SwarmConfig, file_len: usize) -> SwarmReport {
     let mut rounds = 0usize;
 
     let piece_bytes = |idx: usize| -> usize {
-        if idx + 1 == pieces && file_len % cfg.piece_size != 0 {
+        if idx + 1 == pieces && !file_len.is_multiple_of(cfg.piece_size) {
             file_len % cfg.piece_size
         } else {
             cfg.piece_size.min(file_len)
@@ -109,8 +109,8 @@ pub fn simulate(cfg: &SwarmConfig, file_len: usize) -> SwarmReport {
         rounds += 1;
         // Piece rarity across downloaders (origin excluded).
         let mut rarity = vec![0usize; pieces];
-        for p in 0..n {
-            for (i, &h) in have[p].iter().enumerate() {
+        for node_have in have.iter().take(n) {
+            for (i, &h) in node_have.iter().enumerate() {
                 if h {
                     rarity[i] += 1;
                 }

@@ -39,7 +39,7 @@ pub fn build_chain(zone: &Zone) -> Zone {
 /// Finds the NSEC record proving `qname` does not exist: the chain entry
 /// whose owner precedes `qname` and whose next-name follows it (with
 /// wraparound at the apex).
-pub fn denial_for<'a>(zone: &'a Zone, qname: &Name) -> Option<Record> {
+pub fn denial_for(zone: &Zone, qname: &Name) -> Option<Record> {
     let mut candidates: Vec<&rootless_zone::rrset::RrSet> =
         zone.rrsets().filter(|s| s.rtype == RType::NSEC).collect();
     if candidates.is_empty() {

@@ -25,10 +25,8 @@ pub const SCHEME_SIMPLE: u8 = 1;
 pub fn digest(zone: &Zone) -> [u8; 32] {
     let mut h = Sha256::new();
     for set in zone.rrsets() {
-        if set.name == *zone.origin() {
-            if set.rtype == RType::ZONEMD {
-                continue;
-            }
+        if set.name == *zone.origin() && set.rtype == RType::ZONEMD {
+            continue;
         }
         let canon = set.canonicalized();
         for rdata in canon.rdatas() {

@@ -57,14 +57,14 @@ pub fn run(scale_divisor: u64, instances: usize) -> RootLoadReport {
     // Shard queries across instances by resolver (anycast catchment-style).
     let queries = Arc::new(trace.queries);
     let start = std::time::Instant::now();
-    let results: Vec<(u64, u64, u64)> = crossbeam::thread::scope(|scope| {
+    let results: Vec<(u64, u64, u64)> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for shard in 0..instances {
             let queries = Arc::clone(&queries);
             let zone = Arc::clone(&zone);
             let tlds = Arc::clone(&tlds);
             let bogus = Arc::clone(&bogus);
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut server = AuthServer::new_shared(zone);
                 server.dnssec_enabled = false;
                 let mut served = 0u64;
@@ -84,8 +84,7 @@ pub fn run(scale_divisor: u64, instances: usize) -> RootLoadReport {
             }));
         }
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("scoped threads");
+    });
     let elapsed = start.elapsed().as_secs_f64();
 
     let served: u64 = results.iter().map(|r| r.0).sum();

@@ -5,10 +5,23 @@
 //! terminal empty root label (so the root name has zero labels). Limits from
 //! RFC 1035 are enforced at construction: ≤63 octets per label, ≤255 octets
 //! in wire form (including the length bytes and the root terminator).
+//!
+//! # Representation
+//!
+//! Labels are stored flat in one shared, contiguous, length-prefixed byte
+//! buffer (`len l₀… len l₁… …`, no trailing root byte) instead of a
+//! `Vec<Vec<u8>>`: constructing a name costs exactly one allocation, and a
+//! clone costs none (the buffer is behind an `Arc`). Suffix-producing
+//! operations — [`Name::parent`], [`Name::tld`], [`Name::suffix`] — return
+//! names that *share* the buffer and just start at a later label boundary,
+//! so walking up the hierarchy on the resolver's hot path never touches the
+//! heap. A case-folded 64-bit hash is precomputed at construction; hashing
+//! a name is a single `write_u64` and equality gets an O(1) fast path.
 
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
 use crate::error::ProtoError;
 
@@ -29,15 +42,21 @@ pub const MAX_NAME_LEN: usize = 255;
 /// assert_eq!(n.tld().unwrap().to_string(), "org.");
 /// assert_eq!(n, Name::parse("www.sigcomm.ORG.").unwrap());
 /// ```
-#[derive(Clone, Debug, Eq)]
+#[derive(Clone)]
 pub struct Name {
-    /// Labels, most-specific first. Original case is preserved for display;
-    /// comparisons are case-insensitive.
-    labels: Vec<Vec<u8>>,
+    /// Length-prefixed labels of the most-derived name this buffer was
+    /// built for, original case preserved, no trailing root byte. This
+    /// name's own labels are `buf[start..]`; suffixes share the allocation.
+    buf: Arc<[u8]>,
+    /// Byte offset of this name's first label within `buf` (always a label
+    /// boundary; equals `buf.len()` for the root).
+    start: u16,
+    /// Case-folded FNV-1a hash of `buf[start..]`, precomputed.
+    hash: u64,
 }
 
 fn eq_ignore_case(a: &[u8], b: &[u8]) -> bool {
-    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_ascii_lowercase() == y.to_ascii_lowercase())
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.eq_ignore_ascii_case(y))
 }
 
 fn cmp_ignore_case(a: &[u8], b: &[u8]) -> Ordering {
@@ -46,25 +65,102 @@ fn cmp_ignore_case(a: &[u8], b: &[u8]) -> Ordering {
     la.cmp(lb)
 }
 
+/// FNV-1a over `bytes` with ASCII case folded. Length-prefix bytes are ≤ 63
+/// and therefore unaffected by the fold, so hashing the raw encoding this
+/// way is equivalent to hashing (len, lowercased label) pairs.
+fn folded_hash(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b.to_ascii_lowercase() as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn empty_buf() -> Arc<[u8]> {
+    static EMPTY: OnceLock<Arc<[u8]>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::from(Vec::new())))
+}
+
+/// Iterator over a name's labels (most-specific first).
+pub struct LabelIter<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Iterator for LabelIter<'a> {
+    type Item = &'a [u8];
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let (&len, tail) = self.rest.split_first()?;
+        let (label, rest) = tail.split_at(len as usize);
+        self.rest = rest;
+        Some(label)
+    }
+}
+
 impl Name {
+    /// This name's length-prefixed encoding (no trailing root byte).
+    #[inline]
+    fn slice(&self) -> &[u8] {
+        &self.buf[self.start as usize..]
+    }
+
+    /// Wraps a validated flat encoding (start = 0).
+    fn from_buf(buf: Vec<u8>) -> Result<Self, ProtoError> {
+        if buf.len() + 1 > MAX_NAME_LEN {
+            return Err(ProtoError::NameTooLong(buf.len() + 1));
+        }
+        let hash = folded_hash(&buf);
+        Ok(Name { buf: Arc::from(buf), start: 0, hash })
+    }
+
+    /// A name sharing this buffer, starting at label boundary `offset`.
+    fn suffix_at(&self, offset: usize) -> Name {
+        debug_assert!(offset <= self.buf.len());
+        Name {
+            buf: Arc::clone(&self.buf),
+            start: offset as u16,
+            hash: folded_hash(&self.buf[offset..]),
+        }
+    }
+
+    /// Appends `label` (with its length prefix) to `out`, validating limits.
+    fn push_label(out: &mut Vec<u8>, label: &[u8]) -> Result<(), ProtoError> {
+        if label.is_empty() {
+            return Err(ProtoError::EmptyLabel);
+        }
+        if label.len() > MAX_LABEL_LEN {
+            return Err(ProtoError::LabelTooLong(label.len()));
+        }
+        out.push(label.len() as u8);
+        out.extend_from_slice(label);
+        Ok(())
+    }
+
     /// The root name (zero labels).
     pub fn root() -> Self {
-        Name { labels: Vec::new() }
+        Name { buf: empty_buf(), start: 0, hash: folded_hash(&[]) }
     }
 
     /// True if this is the root name.
     pub fn is_root(&self) -> bool {
-        self.labels.is_empty()
+        self.slice().is_empty()
     }
 
     /// Number of labels (the root has zero).
     pub fn label_count(&self) -> usize {
-        self.labels.len()
+        self.labels().count()
     }
 
     /// Raw label bytes, most-specific first.
-    pub fn labels(&self) -> impl Iterator<Item = &[u8]> {
-        self.labels.iter().map(|l| l.as_slice())
+    pub fn labels(&self) -> LabelIter<'_> {
+        LabelIter { rest: self.slice() }
+    }
+
+    /// The precomputed case-folded hash of this name. Names that compare
+    /// equal under [`Name::eq`] always share this value.
+    #[inline]
+    pub fn folded_hash(&self) -> u64 {
+        self.hash
     }
 
     /// Builds a name from raw labels (most-specific first), enforcing limits.
@@ -73,22 +169,11 @@ impl Name {
         I: IntoIterator<Item = L>,
         L: AsRef<[u8]>,
     {
-        let mut out = Vec::new();
+        let mut buf = Vec::new();
         for l in labels {
-            let l = l.as_ref();
-            if l.is_empty() {
-                return Err(ProtoError::EmptyLabel);
-            }
-            if l.len() > MAX_LABEL_LEN {
-                return Err(ProtoError::LabelTooLong(l.len()));
-            }
-            out.push(l.to_vec());
+            Self::push_label(&mut buf, l.as_ref())?;
         }
-        let name = Name { labels: out };
-        if name.wire_len() > MAX_NAME_LEN {
-            return Err(ProtoError::NameTooLong(name.wire_len()));
-        }
-        Ok(name)
+        Name::from_buf(buf)
     }
 
     /// Parses presentation format. Supports `\.` / `\\` escapes and `\DDD`
@@ -98,16 +183,25 @@ impl Name {
             return Ok(Name::root());
         }
         let bytes = s.as_bytes();
-        let mut labels: Vec<Vec<u8>> = Vec::new();
-        let mut cur: Vec<u8> = Vec::new();
+        // One flat buffer from the start: each label gets a length byte
+        // patched in after its content is known.
+        let mut buf: Vec<u8> = Vec::with_capacity(bytes.len() + 1);
+        let mut label_at = 0; // index of the current label's length byte
+        buf.push(0);
         let mut i = 0;
         while i < bytes.len() {
             match bytes[i] {
                 b'.' => {
-                    if cur.is_empty() {
+                    let len = buf.len() - label_at - 1;
+                    if len == 0 {
                         return Err(ProtoError::EmptyLabel);
                     }
-                    labels.push(std::mem::take(&mut cur));
+                    if len > MAX_LABEL_LEN {
+                        return Err(ProtoError::LabelTooLong(len));
+                    }
+                    buf[label_at] = len as u8;
+                    label_at = buf.len();
+                    buf.push(0);
                     i += 1;
                 }
                 b'\\' => {
@@ -123,118 +217,168 @@ impl Name {
                         if v > 255 {
                             return Err(ProtoError::BadEscape);
                         }
-                        cur.push(v as u8);
+                        buf.push(v as u8);
                         i += 4;
                     } else {
-                        cur.push(c);
+                        buf.push(c);
                         i += 2;
                     }
                 }
                 c => {
-                    cur.push(c);
+                    buf.push(c);
                     i += 1;
                 }
             }
         }
-        if !cur.is_empty() {
-            labels.push(cur);
+        let len = buf.len() - label_at - 1;
+        if len == 0 {
+            // Trailing dot: drop the dangling length byte.
+            buf.pop();
+        } else {
+            if len > MAX_LABEL_LEN {
+                return Err(ProtoError::LabelTooLong(len));
+            }
+            buf[label_at] = len as u8;
         }
-        Name::from_labels(labels)
+        Name::from_buf(buf)
     }
 
     /// Wire-format length: one length byte per label + label bytes + root 0.
     pub fn wire_len(&self) -> usize {
-        self.labels.iter().map(|l| l.len() + 1).sum::<usize>() + 1
+        self.slice().len() + 1
     }
 
     /// The name with the most-specific label removed; `None` for the root.
+    /// Shares this name's buffer — no allocation.
     pub fn parent(&self) -> Option<Name> {
-        if self.labels.is_empty() {
+        let s = self.slice();
+        if s.is_empty() {
             None
         } else {
-            Some(Name { labels: self.labels[1..].to_vec() })
+            Some(self.suffix_at(self.start as usize + 1 + s[0] as usize))
         }
     }
 
     /// The top-level-domain portion: the last label as a one-label name.
-    /// `None` for the root itself.
+    /// `None` for the root itself. Shares this name's buffer.
     pub fn tld(&self) -> Option<Name> {
-        self.labels.last().map(|l| Name { labels: vec![l.clone()] })
+        let s = self.slice();
+        if s.is_empty() {
+            return None;
+        }
+        let mut i = 0;
+        loop {
+            let next = i + 1 + s[i] as usize;
+            if next == s.len() {
+                return Some(self.suffix_at(self.start as usize + i));
+            }
+            i = next;
+        }
     }
 
     /// The most-specific (leftmost) label, if any.
     pub fn first_label(&self) -> Option<&[u8]> {
-        self.labels.first().map(|l| l.as_slice())
+        self.labels().next()
     }
 
     /// True if `self` is `ancestor` or a descendant of it (case-insensitive).
     /// Every name is within the root.
     pub fn is_within(&self, ancestor: &Name) -> bool {
-        if ancestor.labels.len() > self.labels.len() {
+        let s = self.slice();
+        let a = ancestor.slice();
+        if a.len() > s.len() {
             return false;
         }
-        let offset = self.labels.len() - ancestor.labels.len();
-        self.labels[offset..]
-            .iter()
-            .zip(&ancestor.labels)
-            .all(|(a, b)| eq_ignore_case(a, b))
+        // Advance over whole labels until the remaining tail is exactly as
+        // long as the ancestor; a length mismatch at a boundary means the
+        // ancestor cannot be aligned.
+        let mut i = 0;
+        while s.len() - i > a.len() {
+            i += 1 + s[i] as usize;
+        }
+        s.len() - i == a.len() && eq_ignore_case(&s[i..], a)
     }
 
     /// Prepends `label` to produce a child name.
     pub fn child<L: AsRef<[u8]>>(&self, label: L) -> Result<Name, ProtoError> {
-        let mut labels = Vec::with_capacity(self.labels.len() + 1);
-        labels.push(label.as_ref().to_vec());
-        labels.extend(self.labels.iter().cloned());
-        Name::from_labels(labels)
+        let label = label.as_ref();
+        let mut buf = Vec::with_capacity(1 + label.len() + self.slice().len());
+        Self::push_label(&mut buf, label)?;
+        buf.extend_from_slice(self.slice());
+        Name::from_buf(buf)
     }
 
     /// Concatenates `self` (as the more-specific part) onto `suffix`.
     pub fn concat(&self, suffix: &Name) -> Result<Name, ProtoError> {
-        let labels: Vec<&[u8]> = self.labels().chain(suffix.labels()).collect();
-        Name::from_labels(labels)
+        let mut buf = Vec::with_capacity(self.slice().len() + suffix.slice().len());
+        buf.extend_from_slice(self.slice());
+        buf.extend_from_slice(suffix.slice());
+        Name::from_buf(buf)
     }
 
     /// Returns the suffix of this name with `n` labels (the `n` least
-    /// specific). `n` must not exceed the label count.
+    /// specific). `n` must not exceed the label count. Shares this name's
+    /// buffer — no allocation.
     pub fn suffix(&self, n: usize) -> Name {
-        assert!(n <= self.labels.len());
-        Name { labels: self.labels[self.labels.len() - n..].to_vec() }
+        let s = self.slice();
+        let total = self.label_count();
+        assert!(n <= total);
+        let mut i = 0;
+        for _ in 0..total - n {
+            i += 1 + s[i] as usize;
+        }
+        self.suffix_at(self.start as usize + i)
     }
 
     /// A lowercase copy (canonical case per RFC 4034).
     pub fn to_lowercase(&self) -> Name {
-        Name {
-            labels: self.labels.iter().map(|l| l.to_ascii_lowercase()).collect(),
+        let buf: Vec<u8> = self.slice().iter().map(|b| b.to_ascii_lowercase()).collect();
+        // Length bytes are < 'A' and unaffected by the fold; limits were
+        // checked when `self` was built.
+        Name { buf: Arc::from(buf), start: 0, hash: self.hash }
+    }
+
+    /// Byte offsets of each label within `slice()`. A name is ≤ 254 bytes,
+    /// so offsets fit in `u8` and at most 127 labels exist.
+    fn label_offsets(&self, out: &mut [u8; 128]) -> usize {
+        let s = self.slice();
+        let mut n = 0;
+        let mut i = 0;
+        while i < s.len() {
+            out[n] = i as u8;
+            n += 1;
+            i += 1 + s[i] as usize;
         }
+        n
     }
 
     /// RFC 4034 §6.1 canonical ordering: compare label sequences right to
     /// left (least-specific first), case-insensitively, with absent labels
     /// sorting first.
     pub fn canonical_cmp(&self, other: &Name) -> Ordering {
-        let mut a = self.labels.iter().rev();
-        let mut b = other.labels.iter().rev();
-        loop {
-            match (a.next(), b.next()) {
-                (None, None) => return Ordering::Equal,
-                (None, Some(_)) => return Ordering::Less,
-                (Some(_), None) => return Ordering::Greater,
-                (Some(x), Some(y)) => match cmp_ignore_case(x, y) {
-                    Ordering::Equal => continue,
-                    ord => return ord,
-                },
+        let sa = self.slice();
+        let sb = other.slice();
+        let (mut offs_a, mut offs_b) = ([0u8; 128], [0u8; 128]);
+        let na = self.label_offsets(&mut offs_a);
+        let nb = other.label_offsets(&mut offs_b);
+        for k in 1..=na.min(nb) {
+            let ia = offs_a[na - k] as usize;
+            let ib = offs_b[nb - k] as usize;
+            let la = &sa[ia + 1..ia + 1 + sa[ia] as usize];
+            let lb = &sb[ib + 1..ib + 1 + sb[ib] as usize];
+            match cmp_ignore_case(la, lb) {
+                Ordering::Equal => continue,
+                ord => return ord,
             }
         }
+        na.cmp(&nb)
     }
 
     /// Canonical wire form: lowercase, uncompressed. Used by the DNSSEC layer
     /// when hashing RRsets.
     pub fn canonical_wire(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.wire_len());
-        for l in &self.labels {
-            out.push(l.len() as u8);
-            out.extend(l.iter().map(|c| c.to_ascii_lowercase()));
-        }
+        out.extend(self.slice().iter().map(|b| b.to_ascii_lowercase()));
         out.push(0);
         out
     }
@@ -242,19 +386,17 @@ impl Name {
 
 impl PartialEq for Name {
     fn eq(&self, other: &Self) -> bool {
-        self.labels.len() == other.labels.len()
-            && self.labels.iter().zip(&other.labels).all(|(a, b)| eq_ignore_case(a, b))
+        // Equal names always share the precomputed folded hash, so a
+        // mismatch short-circuits; the byte compare settles collisions.
+        self.hash == other.hash && eq_ignore_case(self.slice(), other.slice())
     }
 }
 
+impl Eq for Name {}
+
 impl Hash for Name {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        for l in &self.labels {
-            state.write_usize(l.len());
-            for b in l {
-                state.write_u8(b.to_ascii_lowercase());
-            }
-        }
+        state.write_u64(self.hash);
     }
 }
 
@@ -272,10 +414,10 @@ impl Ord for Name {
 
 impl fmt::Display for Name {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.labels.is_empty() {
+        if self.is_root() {
             return write!(f, ".");
         }
-        for l in &self.labels {
+        for l in self.labels() {
             for &b in l {
                 match b {
                     b'.' | b'\\' => write!(f, "\\{}", b as char)?,
@@ -286,6 +428,12 @@ impl fmt::Display for Name {
             write!(f, ".")?;
         }
         Ok(())
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({self})")
     }
 }
 
@@ -421,6 +569,31 @@ mod tests {
         assert_eq!(name.suffix(0), Name::root());
         assert_eq!(name.suffix(2), n("c.d"));
         assert_eq!(name.suffix(4), name);
+    }
+
+    #[test]
+    fn suffix_ops_share_the_buffer() {
+        let name = n("www.example.com");
+        let parent = name.parent().unwrap();
+        let tld = name.tld().unwrap();
+        let suf = name.suffix(2);
+        assert!(Arc::ptr_eq(&name.buf, &parent.buf));
+        assert!(Arc::ptr_eq(&name.buf, &tld.buf));
+        assert!(Arc::ptr_eq(&name.buf, &suf.buf));
+        // And derived names behave as independent values.
+        assert_eq!(parent, n("example.com"));
+        assert_eq!(parent.parent().unwrap(), n("com"));
+        assert_eq!(tld, n("com"));
+        assert_eq!(suf, n("example.com"));
+        assert_eq!(suf.to_string(), "example.com.");
+    }
+
+    #[test]
+    fn derived_names_hash_like_fresh_ones() {
+        let derived = n("www.example.com").parent().unwrap();
+        let fresh = n("Example.COM");
+        assert_eq!(derived, fresh);
+        assert_eq!(derived.folded_hash(), fresh.folded_hash());
     }
 
     #[test]

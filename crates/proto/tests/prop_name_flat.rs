@@ -1,0 +1,176 @@
+//! Observational equivalence for the flat `Name` representation.
+//!
+//! `Name` stores one contiguous length-prefixed buffer with derived names
+//! sharing the allocation; these properties pin its observable behaviour to
+//! a deliberately naive reference model (`Vec<Vec<u8>>` of labels) so the
+//! layout can never drift from the semantics: parse→display round-trips,
+//! equality/hash are case-fold invariant, `canonical_cmp` matches the
+//! RFC 4034 §6.1 right-to-left label comparison, suffix operations agree
+//! with list slicing, and RFC 1035 size limits still reject.
+
+use std::cmp::Ordering;
+use std::hash::{BuildHasher, Hash, Hasher, RandomState};
+
+use proptest::prelude::*;
+use rootless_proto::name::Name;
+
+/// The reference model: a plain list of labels, most-specific first.
+#[derive(Clone, Debug)]
+struct RefName(Vec<Vec<u8>>);
+
+impl RefName {
+    fn to_name(&self) -> Name {
+        Name::from_labels(self.0.iter().cloned()).unwrap()
+    }
+
+    /// RFC 4034 §6.1 canonical ordering: compare label sequences
+    /// right-to-left, bytewise after ASCII lowercasing, shorter label runs
+    /// ordering first.
+    fn canonical_cmp(&self, other: &RefName) -> Ordering {
+        let a: Vec<Vec<u8>> =
+            self.0.iter().rev().map(|l| l.to_ascii_lowercase()).collect();
+        let b: Vec<Vec<u8>> =
+            other.0.iter().rev().map(|l| l.to_ascii_lowercase()).collect();
+        a.cmp(&b)
+    }
+}
+
+fn label_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 1..=24)
+}
+
+fn ref_name_strategy() -> impl Strategy<Value = RefName> {
+    proptest::collection::vec(label_strategy(), 0..=6)
+        .prop_filter_map("name too long", |labels| {
+            Name::from_labels(labels.iter().cloned()).ok().map(|_| RefName(labels))
+        })
+}
+
+/// Flips the case of ASCII letters in `name` wherever `mask` has a 1 bit
+/// (cycling over 64 positions) — a random-but-reproducible case mangling.
+fn mangle_case(name: &RefName, mask: u64) -> RefName {
+    let mut pos = 0usize;
+    RefName(
+        name.0
+            .iter()
+            .map(|label| {
+                label
+                    .iter()
+                    .map(|&b| {
+                        let flip = mask >> (pos % 64) & 1 == 1;
+                        pos += 1;
+                        if flip && b.is_ascii_alphabetic() {
+                            b ^ 0x20
+                        } else {
+                            b
+                        }
+                    })
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+fn sip_hash(name: &Name) -> u64 {
+    // One fixed-per-process RandomState: equal names must collide exactly.
+    use std::sync::OnceLock;
+    static STATE: OnceLock<RandomState> = OnceLock::new();
+    let mut h = STATE.get_or_init(RandomState::new).build_hasher();
+    name.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn display_parse_roundtrip_matches_model(r in ref_name_strategy()) {
+        let name = r.to_name();
+        let reparsed = Name::parse(&name.to_string()).unwrap();
+        prop_assert_eq!(&reparsed, &name);
+        // Labels observed through the iterator equal the model's labels.
+        let seen: Vec<&[u8]> = name.labels().collect();
+        let want: Vec<&[u8]> = r.0.iter().map(|l| l.as_slice()).collect();
+        prop_assert_eq!(seen, want);
+        prop_assert_eq!(name.label_count(), r.0.len());
+    }
+
+    #[test]
+    fn eq_and_hash_are_case_fold_invariant(r in ref_name_strategy(), mask in any::<u64>()) {
+        let a = r.to_name();
+        let b = mangle_case(&r, mask).to_name();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.folded_hash(), b.folded_hash());
+        prop_assert_eq!(sip_hash(&a), sip_hash(&b));
+        prop_assert_eq!(a.canonical_cmp(&b), Ordering::Equal);
+    }
+
+    #[test]
+    fn distinct_names_compare_unequal(a in ref_name_strategy(), b in ref_name_strategy()) {
+        let la: Vec<Vec<u8>> = a.0.iter().map(|l| l.to_ascii_lowercase()).collect();
+        let lb: Vec<Vec<u8>> = b.0.iter().map(|l| l.to_ascii_lowercase()).collect();
+        prop_assert_eq!(a.to_name() == b.to_name(), la == lb);
+    }
+
+    #[test]
+    fn canonical_cmp_matches_reference(a in ref_name_strategy(), b in ref_name_strategy(), mask in any::<u64>()) {
+        // Case mangling one side must not affect the ordering.
+        let mangled = mangle_case(&a, mask).to_name();
+        prop_assert_eq!(mangled.canonical_cmp(&b.to_name()), a.canonical_cmp(&b));
+    }
+
+    #[test]
+    fn suffix_ops_match_list_slicing(r in ref_name_strategy(), pick in any::<prop::sample::Index>()) {
+        let name = r.to_name();
+        let n = pick.index(r.0.len() + 1);
+        let suffix = name.suffix(n);
+        prop_assert_eq!(suffix, RefName(r.0[r.0.len() - n..].to_vec()).to_name());
+        match name.parent() {
+            Some(parent) => prop_assert_eq!(parent, RefName(r.0[1..].to_vec()).to_name()),
+            None => prop_assert!(r.0.is_empty()),
+        }
+        match name.tld() {
+            Some(tld) => {
+                prop_assert_eq!(tld, RefName(r.0[r.0.len() - 1..].to_vec()).to_name());
+            }
+            None => prop_assert!(r.0.is_empty()),
+        }
+        // Derived names behave exactly like freshly built ones.
+        let fresh = RefName(r.0[r.0.len() - n..].to_vec()).to_name();
+        let derived = name.suffix(n);
+        prop_assert_eq!(derived.folded_hash(), fresh.folded_hash());
+        prop_assert_eq!(sip_hash(&derived), sip_hash(&fresh));
+        prop_assert_eq!(derived.canonical_wire(), fresh.canonical_wire());
+        prop_assert_eq!(derived.to_string(), fresh.to_string());
+    }
+
+    #[test]
+    fn child_then_parent_is_identity(r in ref_name_strategy(), label in label_strategy()) {
+        let name = r.to_name();
+        match name.child(&label) {
+            Ok(child) => {
+                prop_assert_eq!(child.parent().unwrap(), name);
+                prop_assert_eq!(child.first_label().unwrap(), label.as_slice());
+            }
+            Err(_) => {
+                // Only a size overflow may refuse a 1..=24-byte label.
+                prop_assert!(name.wire_len() + label.len() + 1 > 255);
+            }
+        }
+    }
+
+    #[test]
+    fn rfc1035_limits_reject(overlong in 64usize..=96, labels in 2usize..=3) {
+        // A label over 63 bytes is invalid however the name is built.
+        let big = vec![b'a'; overlong];
+        prop_assert!(Name::from_labels([big.clone()]).is_err());
+        prop_assert!(Name::root().child(&big).is_err());
+        prop_assert!(Name::parse(&"a".repeat(overlong)).is_err());
+        // 2–3 maximal labels still fit in 255 octets of wire length…
+        let maxed = vec![vec![b'x'; 63]; labels];
+        let base = Name::from_labels(maxed.clone()).unwrap();
+        prop_assert_eq!(base.wire_len(), labels * 64 + 1);
+        let parsed = Name::parse(&vec!["x".repeat(63); 5].join(".")) ;
+        prop_assert!(parsed.is_err(), "5×63-byte labels exceed 255 octets");
+    }
+}

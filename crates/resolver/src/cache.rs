@@ -1,8 +1,24 @@
 //! The recursive resolver's cache: TTL-bounded positive and negative
 //! entries, a capacity limit with LRU or LFU eviction, and the occupancy /
 //! pollution metrics the §5.1 cache-size analysis reads out.
+//!
+//! # Data layout
+//!
+//! Entries live in a slab (`Vec<Option<Slot>>` plus a free list) and are
+//! found through an index keyed by the [`Name`]'s precomputed case-folded
+//! hash plus the record type, so `get`/`peek` never clone the queried name
+//! and never allocate. Recency is an intrusive doubly-linked list threaded
+//! through the slab by index (head = most recent), making an LRU eviction a
+//! tail unlink: O(1). LFU keeps a lazily-maintained min-heap of
+//! `(hits, last_used, slot)` snapshots — stale snapshots are discarded on
+//! pop, giving O(log n) amortized evictions instead of the former
+//! full-map scan. RRset values are shared `Arc<[Record]>`s, so a hit hands
+//! back a reference count bump, not a deep copy of the records.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
 use rootless_proto::name::Name;
 use rootless_proto::rr::{RType, Record};
@@ -21,28 +37,87 @@ pub enum Eviction {
 /// What a cache lookup produced.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CacheAnswer {
-    /// A positive RRset.
-    Positive(Vec<Record>),
+    /// A positive RRset, shared with the cache (cloning this enum bumps a
+    /// reference count; it does not copy records).
+    Positive(Arc<[Record]>),
     /// A cached name error (NXDOMAIN) with its origin zone's negative TTL.
     Negative,
 }
 
 #[derive(Clone, Debug)]
 enum Value {
-    Positive(Vec<Record>),
+    Positive(Arc<[Record]>),
     Negative,
 }
 
+/// Sentinel slab index for "no slot".
+const NIL: u32 = u32::MAX;
+
 #[derive(Clone, Debug)]
-struct Entry {
+struct Slot {
+    name: Name,
+    rtype: u16,
     value: Value,
     expires: SimTime,
     last_used: u64,
     hits: u64,
     preloaded: bool,
+    /// Intrusive LRU list: neighbor towards the head (more recent).
+    prev: u32,
+    /// Intrusive LRU list: neighbor towards the tail (less recent).
+    next: u32,
+}
+
+/// The index key is already a high-quality hash (the name's case-folded
+/// FNV-1a plus the rtype), so the map's hasher just passes it through
+/// instead of re-hashing with SipHash.
+#[derive(Clone, Default)]
+struct PassThroughHasher {
+    state: u64,
+}
+
+impl Hasher for PassThroughHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = self.state.rotate_left(8) ^ b as u64;
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.state ^= v;
+    }
+    fn write_u16(&mut self, v: u16) {
+        // Spread the rtype across the high bits so it perturbs the bucket.
+        self.state ^= (v as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+/// Slot indices sharing one `(folded_hash, rtype)` index key. Distinct
+/// names colliding on the 64-bit fold are astronomically rare, so the
+/// single-entry form avoids a heap allocation per cached RRset.
+#[derive(Clone, Debug)]
+enum Bucket {
+    One(u32),
+    Many(Vec<u32>),
 }
 
 /// Cache statistics.
+///
+/// # Counting semantics
+///
+/// * Every [`Cache::get`] increments **exactly one** of `hits` or `misses`,
+///   so `hits + misses` is the total lookup count and the denominator of
+///   [`Cache::hit_rate`]. [`Cache::peek`] touches no counter.
+/// * `expirations` counts *entries dropped because their TTL lapsed*, no
+///   matter how the lapse was discovered: a `get` that finds only an
+///   expired entry drops it and increments **both** `expirations` (one
+///   entry dropped) and `misses` (one unsuccessful lookup), while
+///   [`Cache::purge_expired`] increments only `expirations` (entries were
+///   dropped, but no lookup happened).
+/// * `evictions` counts only capacity-policy victims; an expired entry
+///   dropped by `get`/`purge_expired` is an expiration, not an eviction.
 #[derive(Clone, Debug, Default)]
 pub struct CacheStats {
     /// Lookups that found a live entry.
@@ -60,7 +135,17 @@ pub struct CacheStats {
 /// A TTL + capacity bounded cache of RRsets and negative answers.
 #[derive(Clone, Debug)]
 pub struct Cache {
-    entries: HashMap<(Name, u16), Entry>,
+    slots: Vec<Option<Slot>>,
+    free: Vec<u32>,
+    index: HashMap<(u64, u16), Bucket, BuildHasherDefault<PassThroughHasher>>,
+    /// Most recently used slot (NIL when empty).
+    lru_head: u32,
+    /// Least recently used slot (NIL when empty).
+    lru_tail: u32,
+    /// Lazy LFU min-heap of `(hits, last_used, slot)` snapshots; entries
+    /// whose snapshot no longer matches the slot are discarded on pop.
+    lfu_heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    len: usize,
     /// Maximum number of entries (RRsets); 0 = unbounded.
     pub capacity: usize,
     /// Eviction policy.
@@ -74,7 +159,13 @@ impl Cache {
     /// Creates a cache with `capacity` entries (0 = unbounded) and a policy.
     pub fn new(capacity: usize, eviction: Eviction) -> Cache {
         Cache {
-            entries: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::default(),
+            lru_head: NIL,
+            lru_tail: NIL,
+            lfu_heap: BinaryHeap::new(),
+            len: 0,
             capacity,
             eviction,
             clock: 0,
@@ -84,53 +175,159 @@ impl Cache {
 
     /// Number of live entries (including not-yet-collected expired ones).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
+    }
+
+    fn key_of(name: &Name, rtype: u16) -> (u64, u16) {
+        (name.folded_hash(), rtype)
+    }
+
+    /// Finds the slot for `(name, rtype)` without cloning the name.
+    fn find(&self, name: &Name, rtype: u16) -> Option<u32> {
+        match self.index.get(&Self::key_of(name, rtype))? {
+            Bucket::One(i) => {
+                let slot = self.slots[*i as usize].as_ref().expect("indexed slot live");
+                (slot.name == *name).then_some(*i)
+            }
+            Bucket::Many(v) => v
+                .iter()
+                .copied()
+                .find(|&i| self.slots[i as usize].as_ref().expect("indexed slot live").name == *name),
+        }
+    }
+
+    /// Unlinks `idx` from the recency list.
+    fn lru_unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let s = self.slots[idx as usize].as_ref().expect("slot live");
+            (s.prev, s.next)
+        };
+        match prev {
+            NIL => self.lru_head = next,
+            p => self.slots[p as usize].as_mut().expect("slot live").next = next,
+        }
+        match next {
+            NIL => self.lru_tail = prev,
+            n => self.slots[n as usize].as_mut().expect("slot live").prev = prev,
+        }
+    }
+
+    /// Links `idx` at the head (most recent end) of the recency list.
+    fn lru_push_front(&mut self, idx: u32) {
+        let old_head = self.lru_head;
+        {
+            let s = self.slots[idx as usize].as_mut().expect("slot live");
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        match old_head {
+            NIL => self.lru_tail = idx,
+            h => self.slots[h as usize].as_mut().expect("slot live").prev = idx,
+        }
+        self.lru_head = idx;
+    }
+
+    /// Moves `idx` to the head of the recency list.
+    fn lru_touch(&mut self, idx: u32) {
+        if self.lru_head != idx {
+            self.lru_unlink(idx);
+            self.lru_push_front(idx);
+        }
+    }
+
+    /// Records the slot's current `(hits, last_used)` in the LFU heap.
+    fn lfu_note(&mut self, idx: u32) {
+        if self.eviction != Eviction::Lfu {
+            return;
+        }
+        let s = self.slots[idx as usize].as_ref().expect("slot live");
+        self.lfu_heap.push(Reverse((s.hits, s.last_used, idx)));
+        // Lazy deletion lets stale snapshots pile up; compact when they
+        // outnumber live entries 2:1.
+        if self.lfu_heap.len() > 2 * self.len + 64 {
+            self.lfu_rebuild();
+        }
+    }
+
+    /// Rebuilds the LFU heap from live slots.
+    fn lfu_rebuild(&mut self) {
+        self.lfu_heap.clear();
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(s) = slot {
+                self.lfu_heap.push(Reverse((s.hits, s.last_used, i as u32)));
+            }
+        }
+    }
+
+    /// Removes `idx` entirely: recency list, index, slab.
+    fn remove_slot(&mut self, idx: u32) {
+        self.lru_unlink(idx);
+        let slot = self.slots[idx as usize].take().expect("slot live");
+        let key = Self::key_of(&slot.name, slot.rtype);
+        match self.index.get_mut(&key) {
+            Some(Bucket::One(_)) => {
+                self.index.remove(&key);
+            }
+            Some(Bucket::Many(v)) => {
+                v.retain(|&i| i != idx);
+                if let [only] = v[..] {
+                    self.index.insert(key, Bucket::One(only));
+                }
+            }
+            None => unreachable!("live slot missing from index"),
+        }
+        self.free.push(idx);
+        self.len -= 1;
     }
 
     /// Looks up `(name, rtype)` at time `now`.
     pub fn get(&mut self, now: SimTime, name: &Name, rtype: RType) -> Option<CacheAnswer> {
         self.clock += 1;
-        let key = (name.clone(), rtype.to_u16());
-        match self.entries.get_mut(&key) {
-            Some(entry) if entry.expires > now => {
-                entry.last_used = self.clock;
-                entry.hits += 1;
-                self.stats.hits += 1;
-                Some(match &entry.value {
-                    Value::Positive(records) => CacheAnswer::Positive(records.clone()),
-                    Value::Negative => CacheAnswer::Negative,
-                })
-            }
-            Some(_) => {
-                self.entries.remove(&key);
-                self.stats.expirations += 1;
-                self.stats.misses += 1;
-                None
-            }
-            None => {
-                self.stats.misses += 1;
-                None
-            }
+        let Some(idx) = self.find(name, rtype.to_u16()) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        let expired = self.slots[idx as usize].as_ref().expect("slot live").expires <= now;
+        if expired {
+            self.remove_slot(idx);
+            self.stats.expirations += 1;
+            self.stats.misses += 1;
+            return None;
         }
+        let clock = self.clock;
+        let answer = {
+            let slot = self.slots[idx as usize].as_mut().expect("slot live");
+            slot.last_used = clock;
+            slot.hits += 1;
+            match &slot.value {
+                Value::Positive(records) => CacheAnswer::Positive(Arc::clone(records)),
+                Value::Negative => CacheAnswer::Negative,
+            }
+        };
+        self.stats.hits += 1;
+        self.lru_touch(idx);
+        self.lfu_note(idx);
+        Some(answer)
     }
 
     /// Like [`Cache::get`] but without touching statistics or recency —
     /// used for internal probes (delegation walks) that should not distort
     /// hit-rate measurements.
     pub fn peek(&self, now: SimTime, name: &Name, rtype: RType) -> Option<CacheAnswer> {
-        let key = (name.clone(), rtype.to_u16());
-        match self.entries.get(&key) {
-            Some(entry) if entry.expires > now => Some(match &entry.value {
-                Value::Positive(records) => CacheAnswer::Positive(records.clone()),
-                Value::Negative => CacheAnswer::Negative,
-            }),
-            _ => None,
+        let idx = self.find(name, rtype.to_u16())?;
+        let slot = self.slots[idx as usize].as_ref().expect("slot live");
+        if slot.expires <= now {
+            return None;
         }
+        Some(match &slot.value {
+            Value::Positive(records) => CacheAnswer::Positive(Arc::clone(records)),
+            Value::Negative => CacheAnswer::Negative,
+        })
     }
 
     /// Inserts a positive RRset; TTL comes from the records (minimum).
@@ -148,17 +345,10 @@ impl Cache {
     fn insert_inner(&mut self, now: SimTime, records: Vec<Record>, preloaded: bool) {
         let Some(first) = records.first() else { return };
         let ttl = records.iter().map(|r| r.ttl).min().unwrap_or(0);
-        let key = (first.name.clone(), first.rtype().to_u16());
-        self.clock += 1;
-        let entry = Entry {
-            value: Value::Positive(records),
-            expires: now + SimDuration::from_secs(ttl as u64),
-            last_used: self.clock,
-            hits: 0,
-            preloaded,
-        };
-        self.entries.insert(key, entry);
-        self.enforce_capacity();
+        let name = first.name.clone();
+        let rtype = first.rtype().to_u16();
+        let expires = now + SimDuration::from_secs(ttl as u64);
+        self.store(name, rtype, Value::Positive(records.into()), expires, preloaded);
     }
 
     /// Caches a name error for `name` (all types) under the zone's negative
@@ -166,15 +356,59 @@ impl Cache {
     /// NXDOMAIN across types, which the resolver layer approximates by
     /// probing with the same qtype.
     pub fn insert_negative(&mut self, now: SimTime, name: &Name, rtype: RType, neg_ttl: u32) {
+        let expires = now + SimDuration::from_secs(neg_ttl as u64);
+        self.store(name.clone(), rtype.to_u16(), Value::Negative, expires, false);
+    }
+
+    fn store(&mut self, name: Name, rtype: u16, value: Value, expires: SimTime, preloaded: bool) {
         self.clock += 1;
-        let entry = Entry {
-            value: Value::Negative,
-            expires: now + SimDuration::from_secs(neg_ttl as u64),
-            last_used: self.clock,
-            hits: 0,
-            preloaded: false,
+        let clock = self.clock;
+        if let Some(idx) = self.find(&name, rtype) {
+            // Replacement: the entry is new content, so hit counts restart.
+            let slot = self.slots[idx as usize].as_mut().expect("slot live");
+            slot.value = value;
+            slot.expires = expires;
+            slot.last_used = clock;
+            slot.hits = 0;
+            slot.preloaded = preloaded;
+            self.lru_touch(idx);
+            self.lfu_note(idx);
+            return;
+        }
+        let idx = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.slots.push(None);
+                (self.slots.len() - 1) as u32
+            }
         };
-        self.entries.insert((name.clone(), rtype.to_u16()), entry);
+        let key = Self::key_of(&name, rtype);
+        self.slots[idx as usize] = Some(Slot {
+            name,
+            rtype,
+            value,
+            expires,
+            last_used: clock,
+            hits: 0,
+            preloaded,
+            prev: NIL,
+            next: NIL,
+        });
+        match self.index.entry(key) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(Bucket::One(idx));
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => match e.get_mut() {
+                Bucket::One(prev) => {
+                    let prev = *prev;
+                    e.insert(Bucket::Many(vec![prev, idx]));
+                }
+                Bucket::Many(v) => v.push(idx),
+            },
+        }
+        self.len += 1;
+        self.lru_push_front(idx);
+        self.lfu_note(idx);
         self.enforce_capacity();
     }
 
@@ -182,53 +416,73 @@ impl Cache {
         if self.capacity == 0 {
             return;
         }
-        while self.entries.len() > self.capacity {
+        while self.len > self.capacity {
             let victim = match self.eviction {
-                Eviction::Lru => self
-                    .entries
-                    .iter()
-                    .min_by_key(|(_, e)| e.last_used)
-                    .map(|(k, _)| k.clone()),
-                Eviction::Lfu => self
-                    .entries
-                    .iter()
-                    .min_by_key(|(_, e)| (e.hits, e.last_used))
-                    .map(|(k, _)| k.clone()),
+                Eviction::Lru => self.lru_tail,
+                Eviction::Lfu => self.lfu_pop_victim(),
             };
-            if let Some(k) = victim {
-                self.entries.remove(&k);
-                self.stats.evictions += 1;
-            } else {
-                break;
-            }
+            debug_assert_ne!(victim, NIL);
+            self.remove_slot(victim);
+            self.stats.evictions += 1;
         }
+    }
+
+    /// Pops heap snapshots until one matches a live slot's current state.
+    /// An empty heap (policy or capacity changed after inserts) triggers a
+    /// rebuild; the recency tail is the last-ditch fallback.
+    fn lfu_pop_victim(&mut self) -> u32 {
+        for _attempt in 0..2 {
+            while let Some(Reverse((hits, last_used, idx))) = self.lfu_heap.pop() {
+                if let Some(slot) = &self.slots[idx as usize] {
+                    if slot.hits == hits && slot.last_used == last_used {
+                        return idx;
+                    }
+                }
+            }
+            self.lfu_rebuild();
+        }
+        self.lru_tail
+    }
+
+    /// Drops entries matching `pred` eagerly; returns how many were removed.
+    fn drop_matching(&mut self, pred: impl Fn(&Slot) -> bool) -> usize {
+        let doomed: Vec<u32> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().filter(|s| pred(s)).map(|_| i as u32))
+            .collect();
+        for idx in &doomed {
+            self.remove_slot(*idx);
+        }
+        doomed.len()
     }
 
     /// Drops expired entries eagerly; returns how many were removed.
     pub fn purge_expired(&mut self, now: SimTime) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|_, e| e.expires > now);
-        let removed = before - self.entries.len();
+        let removed = self.drop_matching(|s| s.expires <= now);
         self.stats.expirations += removed as u64;
         removed
     }
 
     /// Removes every preloaded entry (switching incorporation strategies).
     pub fn drop_preloaded(&mut self) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|_, e| !e.preloaded);
-        before - self.entries.len()
+        self.drop_matching(|s| s.preloaded)
+    }
+
+    fn live_slots(&self) -> impl Iterator<Item = &Slot> {
+        self.slots.iter().filter_map(|s| s.as_ref())
     }
 
     /// Entries that were inserted by preload.
     pub fn preloaded_count(&self) -> usize {
-        self.entries.values().filter(|e| e.preloaded).count()
+        self.live_slots().filter(|s| s.preloaded).count()
     }
 
     /// Entries never hit since insertion — the "used only once" pollution
     /// population (the lookup that inserted them doesn't count as a hit).
     pub fn never_hit_count(&self) -> usize {
-        self.entries.values().filter(|e| e.hits == 0).count()
+        self.live_slots().filter(|s| s.hits == 0).count()
     }
 
     /// Overall hit rate.
@@ -245,9 +499,8 @@ impl Cache {
     /// (single label) with the given type — used by the §5.1 "RRsets for
     /// about 20% of the TLDs" snapshot measurement.
     pub fn tld_entries(&self, rtype: RType) -> usize {
-        self.entries
-            .keys()
-            .filter(|(name, t)| *t == rtype.to_u16() && name.label_count() == 1)
+        self.live_slots()
+            .filter(|s| s.rtype == rtype.to_u16() && s.name.label_count() == 1)
             .count()
     }
 }
@@ -408,5 +661,83 @@ mod tests {
             Some(CacheAnswer::Positive(records)) => assert_eq!(records[0], newer),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn expired_get_counts_one_miss_and_one_expiration() {
+        // Pins the documented CacheStats semantics: a lookup that finds
+        // only an expired entry is one miss AND one expiration, while an
+        // eager purge is expirations only (no lookup happened).
+        let mut c = Cache::new(0, Eviction::Lru);
+        c.insert(t(0), vec![rec("a.com", 10)]);
+        assert!(c.get(t(20), &n("a.com"), RType::A).is_none());
+        assert_eq!(c.stats.misses, 1);
+        assert_eq!(c.stats.expirations, 1);
+        assert_eq!(c.stats.hits, 0);
+
+        c.insert(t(20), vec![rec("b.com", 10)]);
+        c.insert(t(20), vec![rec("c.com", 10)]);
+        assert_eq!(c.purge_expired(t(40)), 2);
+        assert_eq!(c.stats.expirations, 3, "purge adds expirations only");
+        assert_eq!(c.stats.misses, 1, "purge never counts misses");
+        assert_eq!(c.stats.hits + c.stats.misses, 1, "hits+misses == lookups");
+    }
+
+    #[test]
+    fn get_returns_shared_records_not_copies() {
+        let mut c = Cache::new(0, Eviction::Lru);
+        c.insert(t(0), vec![rec("a.com", 600)]);
+        let a = c.get(t(1), &n("a.com"), RType::A);
+        let b = c.get(t(1), &n("a.com"), RType::A);
+        match (a, b) {
+            (Some(CacheAnswer::Positive(x)), Some(CacheAnswer::Positive(y))) => {
+                assert!(Arc::ptr_eq(&x, &y), "hits must share one allocation");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn lru_list_stays_consistent_under_churn() {
+        let mut c = Cache::new(64, Eviction::Lru);
+        for round in 0u64..10 {
+            for i in 0..200u64 {
+                c.insert(t(round * 200 + i), vec![rec(&format!("d{i}.com"), 600)]);
+                c.get(t(round * 200 + i), &n(&format!("d{}.com", (i * 7) % 200)), RType::A);
+            }
+        }
+        assert_eq!(c.len(), 64);
+        // Walk the intrusive list both ways and cross-check against len.
+        let mut fwd = 0;
+        let mut idx = c.lru_head;
+        let mut last = NIL;
+        while idx != NIL {
+            fwd += 1;
+            last = idx;
+            idx = c.slots[idx as usize].as_ref().unwrap().next;
+        }
+        assert_eq!(fwd, c.len());
+        assert_eq!(last, c.lru_tail);
+    }
+
+    #[test]
+    fn lfu_eviction_correct_under_policy_and_capacity_changes() {
+        // The lazy heap must survive `capacity`/`eviction` being reassigned
+        // after entries exist (both fields are public).
+        let mut c = Cache::new(0, Eviction::Lru);
+        for i in 0..50u64 {
+            c.insert(t(i), vec![rec(&format!("d{i}.com"), 600)]);
+        }
+        for _ in 0..3 {
+            c.get(t(60), &n("d7.com"), RType::A);
+        }
+        c.eviction = Eviction::Lfu;
+        c.capacity = 10;
+        c.insert(t(70), vec![rec("straw.com", 600)]);
+        assert_eq!(c.len(), 10);
+        assert!(
+            c.peek(t(71), &n("d7.com"), RType::A).is_some(),
+            "most-hit entry must survive LFU shrink"
+        );
     }
 }

@@ -144,7 +144,9 @@ impl RecursiveNode {
             match self.cache.get(now, &qname, qtype) {
                 Some(CacheAnswer::Positive(records)) => {
                     self.stats.cache_answers += 1;
-                    self.finish(ctx, txid, Rcode::NoError, records);
+                    // The wire message owns its answer section, so the copy
+                    // happens here at serialization, not inside the cache.
+                    self.finish(ctx, txid, Rcode::NoError, records.to_vec());
                     return;
                 }
                 Some(CacheAnswer::Negative) => {

@@ -134,8 +134,9 @@ pub enum FailReason {
 /// Result category of one resolution.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Outcome {
-    /// Positive answer records.
-    Answer(Vec<Record>),
+    /// Positive answer records, shared with the cache when the answer came
+    /// from it (cloning the outcome never deep-copies the records).
+    Answer(Arc<[Record]>),
     /// Authenticated-by-zone name error.
     NxDomain,
     /// Name exists but not with this type.
@@ -418,7 +419,7 @@ impl Resolver {
                 StepResult::Answer(records) => {
                     if send_name == cur_qname {
                         self.cache_records(now, &records);
-                        res.outcome = Outcome::Answer(records);
+                        res.outcome = Outcome::Answer(records.into());
                         self.finish(&mut res);
                         return res;
                     }
@@ -555,7 +556,7 @@ impl Resolver {
         }
         for t in &targets {
             if let Some(CacheAnswer::Positive(records)) = self.cache.peek(now, t, RType::A) {
-                for r in records {
+                for r in records.iter() {
                     if let RData::A(a) = r.rdata {
                         out.push(a);
                     }

@@ -4,7 +4,7 @@
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use rootless_netsim::geo::{city_point, GeoPoint};
 use rootless_netsim::sim::{Ctx, Datagram, Node, NodeId, Sim};
 use rootless_proto::message::Message;
@@ -52,7 +52,7 @@ impl Node for ServerNode {
             Ok(query) if !query.header.response => {
                 let resp = self.server.handle(&query);
                 if let Some(counter) = &self.fleet_queries {
-                    *counter.lock() += 1;
+                    *counter.lock().unwrap() += 1;
                 }
                 ctx.send(dgram.src, resp.encode());
             }
@@ -84,7 +84,7 @@ impl RootDeployment {
 
     /// Total queries across all letters.
     pub fn total_queries(&self) -> u64 {
-        self.query_counters.iter().map(|(_, c)| *c.lock()).sum()
+        self.query_counters.iter().map(|(_, c)| *c.lock().unwrap()).sum()
     }
 
     /// All 13 anycast addresses (what an attacker pattern-matches on).
@@ -110,7 +110,7 @@ pub fn deploy_root_fleet(
     for (letter, count) in per_letter {
         let (_, v4, _) = ROOT_ADDRS
             .iter()
-            .find(|(l, _, _)| l.chars().next() == Some(*letter))
+            .find(|(l, _, _)| l.starts_with(*letter))
             .unwrap_or_else(|| panic!("unknown root letter {letter}"));
         let anycast: Ipv4Addr = v4.parse().unwrap();
         let counter = Arc::new(Mutex::new(0u64));

@@ -215,7 +215,7 @@ pub fn group_digits(n: u64) -> String {
     let mut out = String::with_capacity(s.len() + s.len() / 3);
     let first = s.len() % 3;
     for (i, c) in s.chars().enumerate() {
-        if i != 0 && (i + 3 - first) % 3 == 0 {
+        if i != 0 && (i + 3 - first).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

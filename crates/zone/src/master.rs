@@ -26,14 +26,14 @@ pub fn parse(text: &str, default_origin: Name) -> Result<Zone, ZoneError> {
 
     for (line_no, logical) in logical_lines(text) {
         let err = |message: String| ZoneError::Parse { line: line_no, message };
-        let tokens = tokenize(&logical).map_err(|m| err(m))?;
+        let tokens = tokenize(&logical).map_err(&err)?;
         if tokens.is_empty() {
             continue;
         }
         // Directives.
         if tokens[0].text.eq_ignore_ascii_case("$ORIGIN") {
             let arg = tokens.get(1).ok_or_else(|| err("$ORIGIN needs an argument".into()))?;
-            origin = parse_name(&arg.text, &origin).map_err(|m| err(m))?;
+            origin = parse_name(&arg.text, &origin).map_err(&err)?;
             continue;
         }
         if tokens[0].text.eq_ignore_ascii_case("$TTL") {
@@ -49,7 +49,7 @@ pub fn parse(text: &str, default_origin: Name) -> Result<Zone, ZoneError> {
         let mut idx = 0;
         // Owner: present iff the line did not start with whitespace.
         let owner = if tokens[0].at_line_start {
-            let name = parse_name(&tokens[0].text, &origin).map_err(|m| err(m))?;
+            let name = parse_name(&tokens[0].text, &origin).map_err(&err)?;
             idx = 1;
             last_owner = Some(name.clone());
             name
@@ -85,7 +85,7 @@ pub fn parse(text: &str, default_origin: Name) -> Result<Zone, ZoneError> {
         idx += 1;
 
         let rest: Vec<&Token> = tokens[idx..].iter().collect();
-        let rdata = parse_rdata(rtype, &rest, &origin).map_err(|m| err(m))?;
+        let rdata = parse_rdata(rtype, &rest, &origin).map_err(&err)?;
         let ttl = ttl.or(default_ttl).ok_or_else(|| err("no TTL and no $TTL default".into()))?;
 
         zone.insert(Record { name: owner, class, ttl, rdata })

@@ -58,7 +58,7 @@ impl Default for RootZoneConfig {
     fn default() -> Self {
         RootZoneConfig {
             tld_count: 1_532,
-            serial: 2019_04_0100,
+            serial: 2019040100,
             seed: 0x0DD5_EED0,
             signed_fraction: 0.90,
             ipv6_glue_fraction: 0.85,

@@ -114,7 +114,7 @@ impl RrSet {
     /// representation DNSSEC signs and diffs compare.
     pub fn canonicalized(&self) -> RrSet {
         let mut rdatas = self.rdatas.clone();
-        rdatas.sort_by(|a, b| a.canonical_bytes().cmp(&b.canonical_bytes()));
+        rdatas.sort_by_key(|a| a.canonical_bytes());
         RrSet { name: self.name.clone(), rtype: self.rtype, ttl: self.ttl, rdatas }
     }
 }

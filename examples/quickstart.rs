@@ -12,7 +12,7 @@ fn show(tag: &str, res: &Resolution) {
     println!("--- {tag} ---");
     match &res.outcome {
         Outcome::Answer(records) => {
-            for r in records {
+            for r in records.iter() {
                 println!("  answer: {r}");
             }
         }

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Tier-1 gate: run this before sending a PR.
+#
+# Build + tests + lint, offline-friendly: all dependencies resolve to
+# vendored path crates (see vendor/), so no network or registry access is
+# needed. `cargo test -q` covers the root crate (the ROADMAP tier-1
+# definition); the workspace test sweep runs too so crate-local suites
+# can't rot silently.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo test -q --workspace --offline
+cargo clippy --workspace --offline -- -D warnings
+echo "tier1: OK"

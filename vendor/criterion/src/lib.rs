@@ -1,0 +1,225 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! re-implements the subset of the criterion API the workspace's benches
+//! use: `Criterion`, `benchmark_group` (with `sample_size`,
+//! `bench_function`, `bench_with_input`, `finish`), `BenchmarkId`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each sample times a batch of iterations sized so the
+//! batch takes ≳2 ms, after a short warm-up. The mean, minimum, and maximum
+//! per-iteration time over the samples are printed in a criterion-like
+//! `time: [min mean max]` line, which downstream tooling greps.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: a function name plus an
+/// optional parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Just a parameter under the group name.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Things accepted where criterion takes a benchmark id.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the closure under test; [`Bencher::iter`] runs the workload.
+pub struct Bencher<'a> {
+    result: &'a mut Option<Sample>,
+    sample_count: usize,
+}
+
+/// Per-iteration timing summary, in nanoseconds.
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Times repeated calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: grow the batch until it runs ≳2 ms.
+        let mut batch: u64 = 1;
+        let batch_floor = Duration::from_millis(2);
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let took = start.elapsed();
+            if took >= batch_floor || batch >= 1 << 24 {
+                break;
+            }
+            // Aim directly for the floor instead of doubling blindly.
+            let scale = (batch_floor.as_nanos() as f64 / took.as_nanos().max(1) as f64).ceil();
+            batch = (batch as f64 * scale.clamp(2.0, 100.0)) as u64;
+        }
+
+        let mut per_iter = Vec::with_capacity(self.sample_count);
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            per_iter.push(ns);
+            total_iters += batch;
+        }
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        *self.result = Some(Sample { mean_ns: mean, min_ns: min, max_ns: max, iters: total_iters });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.4} ns")
+    }
+}
+
+fn run_one(full_id: &str, sample_count: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut result = None;
+    let mut b = Bencher { result: &mut result, sample_count };
+    f(&mut b);
+    match result {
+        Some(s) => println!(
+            "{full_id:<50} time: [{} {} {}]  ({} iters)",
+            fmt_ns(s.min_ns),
+            fmt_ns(s.mean_ns),
+            fmt_ns(s.max_ns),
+            s.iters,
+        ),
+        None => println!("{full_id:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&full, self.sample_count, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&full, self.sample_count, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_count: 10, _criterion: self }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, 10, &mut f);
+        self
+    }
+}
+
+/// Declares a function running the given benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,592 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! re-implements the (small) subset of the proptest API the workspace's
+//! property tests use: the [`Strategy`] trait with `prop_map` /
+//! `prop_filter_map`, `any::<T>()`, ranges as strategies, tuples of
+//! strategies, `collection::vec`, `Just`, `prop_oneof!`, and the
+//! `proptest!` / `prop_assert*!` macros.
+//!
+//! Differences from real proptest, on purpose:
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   still in scope; rerun under a debugger or add a `println!`.
+//! * **Deterministic.** The RNG seed is derived from the test name, so a
+//!   failure reproduces exactly on every run.
+
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is honored.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// SplitMix64: small, fast, and good enough for test-input generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds deterministically from the test name.
+        pub fn deterministic(name: &str) -> TestRng {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            // Multiply-shift; bias is irrelevant for test generation.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of random values (no shrinking).
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produces one random value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values `f` maps to `Some`, retrying otherwise.
+        fn prop_filter_map<U, F: Fn(Self::Value) -> Option<U>>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FilterMap { inner: self, f, whence }
+        }
+
+        /// Keeps only values satisfying `f`, retrying otherwise.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, f, whence }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        inner: S,
+        f: F,
+        whence: &'static str,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            for _ in 0..10_000 {
+                if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                    return v;
+                }
+            }
+            panic!("prop_filter_map rejected 10000 candidates: {}", self.whence);
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+        whence: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 10000 candidates: {}", self.whence);
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Uniform choice among alternatives (the `prop_oneof!` backend).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds from the alternative strategies.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Numeric types that can be drawn uniformly from a range.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Uniform in `[lo, hi)`; `hi` is exclusive.
+        fn sample(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+        /// The successor value (for inclusive ranges); saturating.
+        fn next_up(self) -> Self;
+    }
+
+    macro_rules! impl_sample_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    assert!(lo < hi, "empty range");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+                fn next_up(self) -> Self {
+                    self.saturating_add(1)
+                }
+            }
+        )*};
+    }
+    impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleUniform for f64 {
+        fn sample(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+            assert!(lo < hi, "empty range");
+            lo + rng.unit_f64() * (hi - lo)
+        }
+        fn next_up(self) -> Self {
+            self
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::sample(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::sample(rng, *self.start(), self.end().next_up())
+        }
+    }
+
+    /// String-literal strategies: a miniature regex generator supporting
+    /// sequences of literal characters and `[a-z]`-style classes, each with
+    /// an optional `{m,n}` repetition — enough for patterns like
+    /// `"[a-z]{1,12}"`. Unsupported syntax panics at generation time.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            let bytes = self.as_bytes();
+            let mut i = 0;
+            while i < bytes.len() {
+                // One atom: a class or a literal char.
+                let choices: Vec<char> = if bytes[i] == b'[' {
+                    let close = self[i..].find(']').map(|p| i + p).unwrap_or_else(|| {
+                        panic!("unclosed [ in pattern {self:?}")
+                    });
+                    let mut chars = Vec::new();
+                    let inner = &bytes[i + 1..close];
+                    let mut j = 0;
+                    while j < inner.len() {
+                        if j + 2 < inner.len() && inner[j + 1] == b'-' {
+                            for c in inner[j]..=inner[j + 2] {
+                                chars.push(c as char);
+                            }
+                            j += 3;
+                        } else {
+                            chars.push(inner[j] as char);
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    chars
+                } else {
+                    let c = self[i..].chars().next().unwrap();
+                    assert!(
+                        !"()|*+?.\\^$".contains(c),
+                        "unsupported regex syntax {c:?} in pattern {self:?}"
+                    );
+                    i += c.len_utf8();
+                    vec![c]
+                };
+                // Optional {m,n} repetition.
+                let (lo, hi) = if i < bytes.len() && bytes[i] == b'{' {
+                    let close = self[i..].find('}').map(|p| i + p).unwrap_or_else(|| {
+                        panic!("unclosed {{ in pattern {self:?}")
+                    });
+                    let body = &self[i + 1..close];
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse::<usize>().expect("bad repetition"),
+                            n.trim().parse::<usize>().expect("bad repetition"),
+                        ),
+                        None => {
+                            let n = body.trim().parse::<usize>().expect("bad repetition");
+                            (n, n)
+                        }
+                    }
+                } else {
+                    (1, 1)
+                };
+                let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+                for _ in 0..count {
+                    out.push(choices[rng.below(choices.len() as u64) as usize]);
+                }
+            }
+            out
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($($s:ident/$i:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_strategy_tuple!(A/0, B/1);
+    impl_strategy_tuple!(A/0, B/1, C/2);
+    impl_strategy_tuple!(A/0, B/1, C/2, D/3);
+    impl_strategy_tuple!(A/0, B/1, C/2, D/3, E/4);
+    impl_strategy_tuple!(A/0, B/1, C/2, D/3, E/4, F/5);
+    impl_strategy_tuple!(A/0, B/1, C/2, D/3, E/4, F/5, G/6);
+    impl_strategy_tuple!(A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a default "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        /// Produces one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy producing arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.unit_f64() * 2e9 - 1e9
+        }
+    }
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            let mut out = [0u8; N];
+            for b in &mut out {
+                *b = rng.next_u64() as u8;
+            }
+            out
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            crate::sample::Index::new(rng.next_u64())
+        }
+    }
+}
+
+pub mod sample {
+    /// A position into a collection of as-yet-unknown size.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index {
+        raw: u64,
+    }
+
+    impl Index {
+        pub(crate) fn new(raw: u64) -> Index {
+            Index { raw }
+        }
+
+        /// Resolves to a concrete index into a collection of length `len`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.raw % len as u64) as usize
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Accepted size arguments for [`vec`]: `n`, `a..b`, `a..=b`.
+    pub trait IntoSizeRange {
+        /// Lower bound (inclusive) and upper bound (exclusive).
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.max_exclusive - self.min).max(1) as u64;
+            let len = self.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: a vector of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max_exclusive) = size.bounds();
+        assert!(min < max_exclusive, "empty size range");
+        VecStrategy { element, min, max_exclusive }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    /// Module alias so `prop::sample::Index` etc. resolve (as in proptest).
+    pub use crate as prop;
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)`
+/// becomes a normal `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( #[test] fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let __strats = ( $( $strat, )* );
+                for _ in 0..__cfg.cases {
+                    let ( $( $arg, )* ) = {
+                        let ( $( ref $arg, )* ) = __strats;
+                        ( $( $crate::strategy::Strategy::generate($arg, &mut __rng), )* )
+                    };
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports the proptest-style message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![ $( $crate::strategy::Strategy::boxed($s) ),+ ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u16..10, y in 5usize..=7, f in 0.25f64..0.5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((5..=7).contains(&y));
+            prop_assert!((0.25..0.5).contains(&f));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec(any::<u8>(), 1..5),
+            pick in prop_oneof![Just(1u8), (10u8..20)],
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(pick == 1 || (10..20).contains(&pick));
+        }
+    }
+}
