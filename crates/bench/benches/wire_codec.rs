@@ -1,0 +1,165 @@
+//! Microbench: the zero-copy wire codec (encode churn, borrowed decode,
+//! view scans, and a full netsim node round-trip). Before/after numbers for
+//! the codec rework live in `BENCH_wire.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use rootless_netsim::geo::GeoPoint;
+use rootless_netsim::sim::{Datagram, Sim};
+use rootless_proto::message::{Message, Rcode};
+use rootless_proto::name::Name;
+use rootless_proto::rr::{RData, RType, Record};
+use rootless_proto::view::{MessageView, Section};
+use rootless_proto::wire::Encoder;
+use rootless_server::node::ServerNode;
+use rootless_server::auth::AuthServer;
+use rootless_zone::rootzone::{self, RootZoneConfig};
+
+fn referral_message() -> Message {
+    let q = Message::query(42, Name::parse("www.example.com").unwrap(), RType::A);
+    let mut resp = Message::response_to(&q, Rcode::NoError);
+    for i in 0..6 {
+        let host = Name::parse(&format!("{}.gtld-servers.net", (b'a' + i) as char)).unwrap();
+        resp.authorities
+            .push(Record::new(Name::parse("com").unwrap(), 172_800, RData::Ns(host.clone())));
+        resp.additionals.push(Record::new(
+            host,
+            172_800,
+            RData::A(Ipv4Addr::new(192, 5, 6, 30 + i)),
+        ));
+    }
+    resp
+}
+
+/// A 100-record AXFR page: the compression-dict stress case.
+fn axfr_page() -> Message {
+    let zone = rootzone::build(&RootZoneConfig::small(40));
+    rootless_server::axfr::serve(&zone, 7).remove(0)
+}
+
+/// Referral fast-path scan: QR bit, rcode, qname match, then the NS names in
+/// the authority section and glue A addresses — what the resolver node does
+/// with every upstream response.
+fn scan_decoded(wire: &[u8], qname: &Name) -> (usize, u32) {
+    let msg = Message::decode(wire).unwrap();
+    let mut ns = 0usize;
+    let mut glue = 0u32;
+    if msg.header.response
+        && msg.header.rcode == Rcode::NoError
+        && msg.question().is_some_and(|q| q.qname == *qname)
+    {
+        for r in &msg.authorities {
+            if r.rtype() == RType::NS {
+                ns += 1;
+            }
+        }
+        for r in &msg.additionals {
+            if let RData::A(a) = r.rdata {
+                glue = glue.wrapping_add(u32::from(a));
+            }
+        }
+    }
+    (ns, glue)
+}
+
+/// The same referral scan on the borrowed tier: header and question checked
+/// in place, records walked lazily, nothing materialized.
+fn scan_view(wire: &[u8], qname: &Name) -> (usize, u32) {
+    let Ok(view) = MessageView::parse(wire) else { return (0, 0) };
+    let mut ns = 0usize;
+    let mut glue = 0u32;
+    if view.header().response
+        && view.header().rcode == Rcode::NoError
+        && view.question().is_some_and(|q| q.qname_is(qname))
+    {
+        for item in view.records() {
+            let Ok((section, rv)) = item else { return (0, 0) };
+            match section {
+                Section::Authority if rv.rtype == RType::NS => ns += 1,
+                Section::Additional if rv.rtype == RType::A => {
+                    let rd = rv.rdata();
+                    if rd.len() == 4 {
+                        let a = u32::from_be_bytes([rd[0], rd[1], rd[2], rd[3]]);
+                        glue = glue.wrapping_add(a);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    (ns, glue)
+}
+
+fn bench(c: &mut Criterion) {
+    let referral = referral_message();
+    let referral_wire = referral.encode();
+    let page = axfr_page();
+    let qname = Name::parse("www.example.com").unwrap();
+
+    let mut g = c.benchmark_group("wire_codec");
+    // Encode churn: one message serialized per iteration, the per-datagram
+    // cost the netsim nodes pay.
+    g.bench_function("encode_referral", |b| b.iter(|| black_box(&referral).encode()));
+    g.bench_function("encode_axfr_page", |b| b.iter(|| black_box(&page).encode()));
+    // Pooled variants: one reused encoder, the per-node steady state.
+    let mut enc = Encoder::new();
+    g.bench_function("encode_referral_pooled", |b| {
+        b.iter(|| {
+            black_box(&referral).encode_into(&mut enc);
+            black_box(enc.len())
+        })
+    });
+    let mut enc = Encoder::new();
+    g.bench_function("encode_axfr_page_pooled", |b| {
+        b.iter(|| {
+            black_box(&page).encode_into(&mut enc);
+            black_box(enc.len())
+        })
+    });
+    g.bench_function("decode_referral", |b| {
+        b.iter(|| Message::decode(black_box(&referral_wire)).unwrap())
+    });
+    g.bench_function("scan_referral", |b| {
+        b.iter(|| scan_decoded(black_box(&referral_wire), &qname))
+    });
+    g.bench_function("view_scan_referral", |b| {
+        b.iter(|| scan_view(black_box(&referral_wire), &qname))
+    });
+    g.finish();
+
+    // Full node round-trip: a query datagram injected into a ServerNode,
+    // response produced — decode + lookup + encode, through the engine.
+    let zone = Arc::new(rootzone::build(&RootZoneConfig::small(30)));
+    let mut sim = Sim::new(9);
+    let server_addr = Ipv4Addr::new(10, 0, 0, 1);
+    sim.add_node(
+        server_addr,
+        GeoPoint::new(0.0, 0.0),
+        Box::new(ServerNode::new(AuthServer::new_shared(zone.clone()))),
+    );
+    let tld = zone.tlds()[0].clone();
+    let query_wire = Message::query(3, tld.child("www").unwrap(), RType::A).encode();
+    let from = GeoPoint::new(1.0, 1.0);
+    let mut g = c.benchmark_group("wire_codec_node");
+    g.sample_size(10);
+    g.bench_function("server_node_roundtrip", |b| {
+        b.iter(|| {
+            sim.inject(
+                from,
+                Datagram {
+                    src: Ipv4Addr::new(10, 0, 0, 2),
+                    dst: server_addr,
+                    payload: query_wire.as_slice().into(),
+                },
+            );
+            sim.run_to_completion()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -17,4 +17,4 @@ pub mod geo;
 pub mod sim;
 
 pub use geo::GeoPoint;
-pub use sim::{Ctx, Datagram, Middlebox, Node, NodeId, Sim, SimStats, Verdict};
+pub use sim::{Ctx, Datagram, Middlebox, Node, NodeId, Payload, Sim, SimStats, Verdict};

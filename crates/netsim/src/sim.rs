@@ -8,6 +8,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::net::Ipv4Addr;
+use std::ops::Deref;
+use std::sync::Arc;
 
 use rootless_util::rng::DetRng;
 use rootless_util::time::{SimDuration, SimTime};
@@ -18,6 +20,103 @@ use crate::geo::GeoPoint;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub usize);
 
+/// Immutable, reference-counted packet payload bytes.
+///
+/// One buffer is shared by the event queue, every middlebox that inspects the
+/// packet, and the receiving node: cloning a payload is a refcount bump, so a
+/// datagram's bytes are copied exactly once — when the sender publishes them.
+#[derive(Clone, Debug, Eq)]
+pub struct Payload(Arc<[u8]>);
+
+impl Payload {
+    /// Copies `bytes` into a fresh shared buffer (the one copy a send pays).
+    pub fn copy_from_slice(bytes: &[u8]) -> Payload {
+        Payload(Arc::from(bytes))
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Payload {
+        Payload(Arc::from(v))
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Payload {
+        Payload::copy_from_slice(v)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Payload {
+    fn from(v: &[u8; N]) -> Payload {
+        Payload::copy_from_slice(v)
+    }
+}
+
+impl From<Arc<[u8]>> for Payload {
+    fn from(v: Arc<[u8]>) -> Payload {
+        Payload(v)
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Payload) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.0[..] == *other
+    }
+}
+
+impl PartialEq<&[u8]> for Payload {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.0[..] == **other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Payload {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.0[..] == other[..]
+    }
+}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.0[..] == other[..]
+    }
+}
+
 /// A network-layer packet.
 #[derive(Clone, Debug)]
 pub struct Datagram {
@@ -25,8 +124,9 @@ pub struct Datagram {
     pub src: Ipv4Addr,
     /// Destination address (possibly an anycast address).
     pub dst: Ipv4Addr,
-    /// Payload bytes (DNS wire messages in this workspace).
-    pub payload: Vec<u8>,
+    /// Payload bytes (DNS wire messages in this workspace), shared — see
+    /// [`Payload`].
+    pub payload: Payload,
 }
 
 /// What a middlebox decides to do with a packet in flight.
@@ -37,11 +137,11 @@ pub enum Verdict {
     Drop,
     /// Replace the payload (on-path rewriting / response forgery). The packet
     /// continues to its destination with the new bytes.
-    Rewrite(Vec<u8>),
+    Rewrite(Payload),
     /// Answer the sender directly with this payload, impersonating `dst`
     /// (the §4 "root manipulation" move: answer root queries as they are
     /// observed). The original packet is dropped.
-    Impersonate(Vec<u8>),
+    Impersonate(Payload),
 }
 
 /// An on-path observer/attacker. Sees packets whose path it covers.
@@ -92,9 +192,11 @@ impl<'a> Ctx<'a> {
         self.rng
     }
 
-    /// Queues a datagram for sending.
-    pub fn send(&mut self, dst: Ipv4Addr, payload: Vec<u8>) {
-        self.sends.push(Datagram { src: self.addr, dst, payload });
+    /// Queues a datagram for sending. Accepts anything convertible to a
+    /// shared [`Payload`]: a `Vec<u8>`, a borrowed `&[u8]` (e.g. a pooled
+    /// encoder's output), or an existing payload (refcount bump only).
+    pub fn send(&mut self, dst: Ipv4Addr, payload: impl Into<Payload>) {
+        self.sends.push(Datagram { src: self.addr, dst, payload: payload.into() });
     }
 
     /// Schedules [`Node::on_timer`] after `delay`.
@@ -269,7 +371,7 @@ impl Sim {
         self.stats.bytes_sent += dgram.payload.len() as u64;
 
         // Middleboxes inspect in order.
-        let mut impersonated: Option<Vec<u8>> = None;
+        let mut impersonated: Option<Payload> = None;
         for mb in &mut self.middleboxes {
             match mb.inspect(self.now, &dgram) {
                 Verdict::Pass => {}
@@ -401,7 +503,7 @@ mod tests {
 
     /// Echoes every datagram back to its source.
     struct Echo {
-        received: Vec<Vec<u8>>,
+        received: Vec<Payload>,
     }
 
     impl Node for Echo {
@@ -416,7 +518,7 @@ mod tests {
     /// their arrival time.
     struct Probe {
         target: Ipv4Addr,
-        replies: Vec<(SimTime, Vec<u8>)>,
+        replies: Vec<(SimTime, Payload)>,
     }
 
     impl Node for Probe {
@@ -567,7 +669,7 @@ mod tests {
     impl Middlebox for ForgeFor {
         fn inspect(&mut self, _now: SimTime, d: &Datagram) -> Verdict {
             if d.dst == self.target {
-                Verdict::Impersonate(b"forged".to_vec())
+                Verdict::Impersonate(b"forged".into())
             } else {
                 Verdict::Pass
             }
@@ -588,6 +690,38 @@ mod tests {
         assert_eq!(probe.replies[0].1, b"forged".to_vec());
         // The forged reply appears to come from the root address.
         assert_eq!(sim.stats.middlebox_forgeries, 1);
+    }
+
+    struct RewriteAll;
+    impl Middlebox for RewriteAll {
+        fn inspect(&mut self, _now: SimTime, _d: &Datagram) -> Verdict {
+            Verdict::Rewrite(b"rewritten".into())
+        }
+    }
+
+    #[test]
+    fn middlebox_rewrite_reaches_destination() {
+        let mut sim = Sim::new(12);
+        let a1 = addr(10, 10, 0, 1);
+        let s = sim.add_node(a1, GeoPoint::new(0.0, 0.0), Box::new(Echo { received: vec![] }));
+        let c = sim.add_node(addr(10, 10, 0, 2), GeoPoint::new(1.0, 1.0), Box::new(Probe { target: a1, replies: vec![] }));
+        sim.add_middlebox(Box::new(RewriteAll));
+        sim.schedule_timer(c, SimDuration::ZERO, 0);
+        sim.run_to_completion();
+        let echo = (sim.node(s) as &dyn std::any::Any).downcast_ref::<Echo>().unwrap();
+        assert_eq!(echo.received.len(), 1);
+        assert_eq!(echo.received[0], b"rewritten");
+        assert_eq!(sim.stats.middlebox_forgeries, 2, "request and echoed reply both rewritten");
+    }
+
+    #[test]
+    fn payload_clone_shares_one_buffer() {
+        let p: Payload = b"shared bytes".into();
+        let q = p.clone();
+        assert_eq!(p, q);
+        assert!(std::ptr::eq(p.as_slice(), q.as_slice()), "clone must not copy");
+        assert_eq!(p.len(), 12);
+        assert!(!p.is_empty());
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //!   CNAME, MX, TXT, PTR, DS, DNSKEY, RRSIG, NSEC, ZONEMD, unknown).
 //! * [`message`] — full messages with header flags, four sections, EDNS(0),
 //!   and RFC 1035 name compression.
-//! * [`wire`] — the low-level encoder/decoder.
+//! * [`view`] — borrowed, lazy decoding for hot paths that never need owned
+//!   records.
+//! * [`wire`] — the low-level encoder/decoder, with a poolable
+//!   allocation-free encode path.
 //!
 //! Everything round-trips: `Message::decode(&msg.encode()) == msg` is a
 //! property-tested invariant (see `tests/` in this crate).
@@ -21,9 +24,11 @@ pub mod error;
 pub mod message;
 pub mod name;
 pub mod rr;
+pub mod view;
 pub mod wire;
 
 pub use error::ProtoError;
 pub use message::{Edns, Header, Message, Opcode, Question, Rcode};
 pub use name::Name;
 pub use rr::{RClass, RData, RType, Record};
+pub use view::{MessageView, QuestionView, RecordIter, RecordView, Section};

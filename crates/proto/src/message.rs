@@ -5,7 +5,8 @@ use std::fmt;
 use crate::error::ProtoError;
 use crate::name::Name;
 use crate::rr::{RClass, RType, Record};
-use crate::wire::{Decoder, Encoder};
+use crate::view::MessageView;
+use crate::wire::Encoder;
 
 /// Query/response operation codes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -169,7 +170,7 @@ impl Header {
         w
     }
 
-    fn from_flags_word(id: u16, w: u16) -> Header {
+    pub(crate) fn from_flags_word(id: u16, w: u16) -> Header {
         Header {
             id,
             response: w & (1 << 15) != 0,
@@ -285,6 +286,15 @@ impl Message {
     /// Encodes to wire format with name compression.
     pub fn encode(&self) -> Vec<u8> {
         let mut enc = Encoder::new();
+        self.encode_into(&mut enc);
+        enc.finish()
+    }
+
+    /// Encodes into a caller-owned (typically pooled) encoder. The encoder
+    /// is [`Encoder::clear`]ed first; at steady state, reusing one encoder
+    /// per node makes this path allocation-free.
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        enc.clear();
         enc.u16(self.header.id);
         enc.u16(self.header.flags_word());
         enc.u16(self.questions.len() as u16);
@@ -298,7 +308,7 @@ impl Message {
             enc.u16(q.qclass.to_u16());
         }
         for r in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
-            r.encode(&mut enc);
+            r.encode(enc);
         }
         if let Some(edns) = &self.edns {
             // OPT: root owner, type 41, class = payload size, TTL packs
@@ -312,67 +322,18 @@ impl Message {
             enc.u32(ttl);
             enc.u16(0); // no options
         }
-        enc.finish()
     }
 
     /// Decodes a wire-format message. Rejects trailing bytes.
+    ///
+    /// Thin wrapper over [`MessageView::parse`] + [`MessageView::to_owned`];
+    /// fast paths that do not need owned records should use the view
+    /// directly.
     pub fn decode(buf: &[u8]) -> Result<Message, ProtoError> {
-        let mut dec = Decoder::new(buf);
-        let id = dec.u16()?;
-        let flags = dec.u16()?;
-        let header = Header::from_flags_word(id, flags);
-        let qdcount = dec.u16()? as usize;
-        let ancount = dec.u16()? as usize;
-        let nscount = dec.u16()? as usize;
-        let arcount = dec.u16()? as usize;
-
-        let mut questions = Vec::with_capacity(qdcount);
-        for _ in 0..qdcount {
-            let qname = dec.name()?;
-            let qtype = RType::from_u16(dec.u16()?);
-            let qclass = RClass::from_u16(dec.u16()?);
-            questions.push(Question { qname, qtype, qclass });
-        }
-
-        let read_section = |dec: &mut Decoder<'_>, n: usize| -> Result<Vec<Record>, ProtoError> {
-            let mut out = Vec::with_capacity(n);
-            for _ in 0..n {
-                out.push(Record::decode(dec)?);
-            }
-            Ok(out)
-        };
-        let answers = read_section(&mut dec, ancount)?;
-        let authorities = read_section(&mut dec, nscount)?;
-        let raw_additionals = read_section(&mut dec, arcount)?;
-
-        let mut additionals = Vec::with_capacity(raw_additionals.len());
-        let mut edns = None;
-        for r in raw_additionals {
-            if r.rtype() == RType::OPT {
-                if edns.is_some() {
-                    return Err(ProtoError::BadMessage("multiple OPT records"));
-                }
-                if !r.name.is_root() {
-                    return Err(ProtoError::BadMessage("OPT owner must be root"));
-                }
-                edns = Some(Edns {
-                    udp_payload_size: r.class.to_u16(),
-                    extended_rcode: (r.ttl >> 24) as u8,
-                    version: (r.ttl >> 16) as u8,
-                    dnssec_ok: r.ttl & (1 << 15) != 0,
-                });
-            } else {
-                additionals.push(r);
-            }
-        }
-
-        if !dec.is_exhausted() {
-            return Err(ProtoError::BadMessage("trailing bytes"));
-        }
-        Ok(Message { header, questions, answers, authorities, additionals, edns })
+        MessageView::parse(buf)?.to_owned()
     }
 
-    /// Encoded size without building the buffer twice.
+    /// Encoded size without keeping the buffer.
     pub fn encoded_len(&self) -> usize {
         self.encode().len()
     }

@@ -55,7 +55,7 @@ pub struct Name {
     hash: u64,
 }
 
-fn eq_ignore_case(a: &[u8], b: &[u8]) -> bool {
+pub(crate) fn eq_ignore_case(a: &[u8], b: &[u8]) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.eq_ignore_ascii_case(y))
 }
 
@@ -68,7 +68,7 @@ fn cmp_ignore_case(a: &[u8], b: &[u8]) -> Ordering {
 /// FNV-1a over `bytes` with ASCII case folded. Length-prefix bytes are ≤ 63
 /// and therefore unaffected by the fold, so hashing the raw encoding this
 /// way is equivalent to hashing (len, lowercased label) pairs.
-fn folded_hash(bytes: &[u8]) -> u64 {
+pub(crate) fn folded_hash(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b.to_ascii_lowercase() as u64;
@@ -100,7 +100,7 @@ impl<'a> Iterator for LabelIter<'a> {
 impl Name {
     /// This name's length-prefixed encoding (no trailing root byte).
     #[inline]
-    fn slice(&self) -> &[u8] {
+    pub(crate) fn slice(&self) -> &[u8] {
         &self.buf[self.start as usize..]
     }
 

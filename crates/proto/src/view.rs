@@ -1,0 +1,427 @@
+//! Borrowed, lazy decoding: [`MessageView`] parses the header and question
+//! eagerly but walks the record sections lazily over the input slice, so
+//! fast paths (QR-bit check, txid match, qname compare, referral scan) never
+//! materialize owned [`Record`]s. [`MessageView::to_owned`] bridges to the
+//! eager [`Message`] with identical semantics to the original decoder.
+//!
+//! # Invariants
+//!
+//! * `parse` validates the fixed header and the *structure* of the question
+//!   section (label syntax, bounds). Record sections and compression-pointer
+//!   targets are validated only when walked or materialized — a view with a
+//!   lying ANCOUNT parses fine and surfaces the error from its iterator.
+//! * Skipping a name never chases pointers (a pointer terminates the
+//!   in-stream encoding), so iterating records is O(bytes in the buffer).
+//! * Name comparisons (`qname_is`, `RecordView::name_is`) follow pointers
+//!   with the decoder's jump and strictly-backward limits and never allocate.
+
+use crate::error::ProtoError;
+use crate::message::{Edns, Header, Message, Question};
+use crate::name::Name;
+use crate::rr::{RClass, RData, RType, Record};
+use crate::wire::Decoder;
+
+/// Offset of the question section: a DNS header is always 12 bytes.
+const HEADER_LEN: usize = 12;
+
+/// Which message section a record was found in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Section {
+    /// Answer section.
+    Answer,
+    /// Authority section.
+    Authority,
+    /// Additional section (includes the OPT pseudo-record).
+    Additional,
+}
+
+/// A zero-copy view over an encoded message.
+#[derive(Clone, Debug)]
+pub struct MessageView<'a> {
+    buf: &'a [u8],
+    header: Header,
+    qdcount: u16,
+    ancount: u16,
+    nscount: u16,
+    arcount: u16,
+    question: Option<QuestionView<'a>>,
+    records_start: usize,
+}
+
+impl<'a> MessageView<'a> {
+    /// Parses the header and question section. Record sections are left for
+    /// lazy iteration; see the module invariants.
+    pub fn parse(buf: &'a [u8]) -> Result<MessageView<'a>, ProtoError> {
+        let mut dec = Decoder::new(buf);
+        let id = dec.u16()?;
+        let flags = dec.u16()?;
+        let header = Header::from_flags_word(id, flags);
+        let qdcount = dec.u16()?;
+        let ancount = dec.u16()?;
+        let nscount = dec.u16()?;
+        let arcount = dec.u16()?;
+        let mut question = None;
+        for i in 0..qdcount {
+            let name_off = dec.position();
+            dec.skip_name()?;
+            let qtype = RType::from_u16(dec.u16()?);
+            let qclass = RClass::from_u16(dec.u16()?);
+            if i == 0 {
+                question = Some(QuestionView { buf, name_off, qtype, qclass });
+            }
+        }
+        Ok(MessageView {
+            buf,
+            header,
+            qdcount,
+            ancount,
+            nscount,
+            arcount,
+            question,
+            records_start: dec.position(),
+        })
+    }
+
+    /// The parsed header.
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// The raw bytes this view borrows.
+    pub fn wire(&self) -> &'a [u8] {
+        self.buf
+    }
+
+    /// The first question, if any.
+    pub fn question(&self) -> Option<&QuestionView<'a>> {
+        self.question.as_ref()
+    }
+
+    /// Declared record counts `(answers, authorities, additionals)`.
+    pub fn record_counts(&self) -> (u16, u16, u16) {
+        (self.ancount, self.nscount, self.arcount)
+    }
+
+    /// Lazily walks all records in section order. Each item is a borrowed
+    /// [`RecordView`]; the first malformed record yields an `Err` and fuses
+    /// the iterator.
+    pub fn records(&self) -> RecordIter<'a> {
+        let mut dec = Decoder::new(self.buf);
+        // records_start came from parse() and is in bounds.
+        dec.seek(self.records_start).expect("records_start in bounds");
+        RecordIter {
+            dec,
+            an: self.ancount,
+            ns: self.nscount,
+            ar: self.arcount,
+            failed: false,
+        }
+    }
+
+    /// Materializes the full [`Message`], with semantics identical to the
+    /// original eager decoder: compression pointers validated, EDNS OPT
+    /// extracted from the additional section (exactly one, root owner),
+    /// trailing bytes rejected.
+    pub fn to_owned(&self) -> Result<Message, ProtoError> {
+        let mut dec = Decoder::new(self.buf);
+        dec.seek(HEADER_LEN)?;
+        let mut questions = Vec::with_capacity(self.qdcount as usize);
+        for _ in 0..self.qdcount {
+            let qname = dec.name()?;
+            let qtype = RType::from_u16(dec.u16()?);
+            let qclass = RClass::from_u16(dec.u16()?);
+            questions.push(Question { qname, qtype, qclass });
+        }
+
+        let read_section = |dec: &mut Decoder<'_>, n: usize| -> Result<Vec<Record>, ProtoError> {
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(Record::decode(dec)?);
+            }
+            Ok(out)
+        };
+        let answers = read_section(&mut dec, self.ancount as usize)?;
+        let authorities = read_section(&mut dec, self.nscount as usize)?;
+        let raw_additionals = read_section(&mut dec, self.arcount as usize)?;
+
+        let mut additionals = Vec::with_capacity(raw_additionals.len());
+        let mut edns = None;
+        for r in raw_additionals {
+            if r.rtype() == RType::OPT {
+                if edns.is_some() {
+                    return Err(ProtoError::BadMessage("multiple OPT records"));
+                }
+                if !r.name.is_root() {
+                    return Err(ProtoError::BadMessage("OPT owner must be root"));
+                }
+                edns = Some(Edns {
+                    udp_payload_size: r.class.to_u16(),
+                    extended_rcode: (r.ttl >> 24) as u8,
+                    version: (r.ttl >> 16) as u8,
+                    dnssec_ok: r.ttl & (1 << 15) != 0,
+                });
+            } else {
+                additionals.push(r);
+            }
+        }
+
+        if !dec.is_exhausted() {
+            return Err(ProtoError::BadMessage("trailing bytes"));
+        }
+        Ok(Message {
+            header: self.header,
+            questions,
+            answers,
+            authorities,
+            additionals,
+            edns,
+        })
+    }
+}
+
+/// A borrowed question.
+#[derive(Clone, Debug)]
+pub struct QuestionView<'a> {
+    buf: &'a [u8],
+    name_off: usize,
+    /// Queried type.
+    pub qtype: RType,
+    /// Queried class.
+    pub qclass: RClass,
+}
+
+impl QuestionView<'_> {
+    /// Materializes the queried name (validates compression pointers).
+    pub fn qname(&self) -> Result<Name, ProtoError> {
+        let mut dec = Decoder::new(self.buf);
+        dec.seek(self.name_off)?;
+        dec.name()
+    }
+
+    /// Case-insensitive qname comparison without allocating. Malformed
+    /// pointer chains compare unequal.
+    pub fn qname_is(&self, name: &Name) -> bool {
+        let mut dec = Decoder::new(self.buf);
+        dec.seek(self.name_off).is_ok() && dec.name_is(name)
+    }
+}
+
+/// A borrowed resource record: typed fixed fields, rdata as a byte range.
+#[derive(Clone, Debug)]
+pub struct RecordView<'a> {
+    buf: &'a [u8],
+    name_off: usize,
+    /// Record type.
+    pub rtype: RType,
+    /// Record class (for OPT: the advertised UDP payload size).
+    pub class: RClass,
+    /// Time to live (for OPT: packed extended-rcode/version/DO).
+    pub ttl: u32,
+    rdata_off: usize,
+    rdata_len: usize,
+}
+
+impl<'a> RecordView<'a> {
+    /// Materializes the owner name (validates compression pointers).
+    pub fn name(&self) -> Result<Name, ProtoError> {
+        let mut dec = Decoder::new(self.buf);
+        dec.seek(self.name_off)?;
+        dec.name()
+    }
+
+    /// Case-insensitive owner-name comparison without allocating.
+    pub fn name_is(&self, name: &Name) -> bool {
+        let mut dec = Decoder::new(self.buf);
+        dec.seek(self.name_off).is_ok() && dec.name_is(name)
+    }
+
+    /// The raw rdata bytes, exactly RDLENGTH long. Note that rdata containing
+    /// compressed names (NS, CNAME, SOA, …) is only meaningful relative to
+    /// the whole message; use [`RecordView::to_owned`] for those.
+    pub fn rdata(&self) -> &'a [u8] {
+        &self.buf[self.rdata_off..self.rdata_off + self.rdata_len]
+    }
+
+    /// Materializes an owned [`Record`] (same rdata parsing as the eager
+    /// decoder, including the RDLENGTH-consumption check).
+    pub fn to_owned(&self) -> Result<Record, ProtoError> {
+        let name = self.name()?;
+        let mut dec = Decoder::new(self.buf);
+        dec.seek(self.rdata_off)?;
+        let rdata = RData::decode(&mut dec, self.rtype, self.rdata_len)?;
+        Ok(Record { name, class: self.class, ttl: self.ttl, rdata })
+    }
+}
+
+/// Lazy record iterator; see [`MessageView::records`].
+pub struct RecordIter<'a> {
+    dec: Decoder<'a>,
+    an: u16,
+    ns: u16,
+    ar: u16,
+    failed: bool,
+}
+
+impl<'a> RecordIter<'a> {
+    fn next_record(&mut self) -> Result<RecordView<'a>, ProtoError> {
+        let name_off = self.dec.position();
+        self.dec.skip_name()?;
+        let rtype = RType::from_u16(self.dec.u16()?);
+        let class = RClass::from_u16(self.dec.u16()?);
+        let ttl = self.dec.u32()?;
+        let rdata_len = self.dec.u16()? as usize;
+        let rdata_off = self.dec.position();
+        self.dec.seek(rdata_off + rdata_len)?;
+        Ok(RecordView {
+            buf: self.dec.data(),
+            name_off,
+            rtype,
+            class,
+            ttl,
+            rdata_off,
+            rdata_len,
+        })
+    }
+}
+
+impl<'a> Iterator for RecordIter<'a> {
+    type Item = Result<(Section, RecordView<'a>), ProtoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        let section = if self.an > 0 {
+            self.an -= 1;
+            Section::Answer
+        } else if self.ns > 0 {
+            self.ns -= 1;
+            Section::Authority
+        } else if self.ar > 0 {
+            self.ar -= 1;
+            Section::Additional
+        } else {
+            return None;
+        };
+        match self.next_record() {
+            Ok(rv) => Some(Ok((section, rv))),
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Rcode;
+    use std::net::Ipv4Addr;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn referral() -> Message {
+        let q = Message::query(42, n("www.example.com"), RType::A);
+        let mut resp = Message::response_to(&q, Rcode::NoError);
+        for i in 0..4u8 {
+            let host = n(&format!("ns{i}.example-servers.net"));
+            resp.authorities.push(Record::new(n("com"), 172_800, RData::Ns(host.clone())));
+            resp.additionals.push(Record::new(
+                host,
+                172_800,
+                RData::A(Ipv4Addr::new(192, 0, 2, i)),
+            ));
+        }
+        resp.edns = Some(Edns::default());
+        resp
+    }
+
+    #[test]
+    fn view_header_and_question_match_eager_decode() {
+        let msg = referral();
+        let wire = msg.encode();
+        let view = MessageView::parse(&wire).unwrap();
+        assert_eq!(*view.header(), msg.header);
+        assert_eq!(view.record_counts(), (0, 4, 5)); // OPT counts in ARCOUNT
+        let q = view.question().unwrap();
+        assert_eq!(q.qtype, RType::A);
+        assert_eq!(q.qname().unwrap(), n("www.example.com"));
+        assert!(q.qname_is(&n("WWW.EXAMPLE.COM")));
+        assert!(!q.qname_is(&n("www.example.org")));
+    }
+
+    #[test]
+    fn view_to_owned_equals_eager_decode() {
+        let msg = referral();
+        let wire = msg.encode();
+        let view = MessageView::parse(&wire).unwrap();
+        assert_eq!(view.to_owned().unwrap(), Message::decode(&wire).unwrap());
+    }
+
+    #[test]
+    fn lazy_records_walk_all_sections() {
+        let msg = referral();
+        let wire = msg.encode();
+        let view = MessageView::parse(&wire).unwrap();
+        let mut ns = 0;
+        let mut glue = 0;
+        let mut opt = 0;
+        for item in view.records() {
+            let (section, rv) = item.unwrap();
+            match (section, rv.rtype) {
+                (Section::Authority, RType::NS) => {
+                    assert!(rv.name_is(&n("com")));
+                    ns += 1;
+                }
+                (Section::Additional, RType::A) => {
+                    assert_eq!(rv.rdata().len(), 4);
+                    glue += 1;
+                }
+                (Section::Additional, RType::OPT) => opt += 1,
+                other => panic!("unexpected {other:?}", other = other.0),
+            }
+        }
+        assert_eq!((ns, glue, opt), (4, 4, 1));
+    }
+
+    #[test]
+    fn record_view_to_owned_matches_eager_records() {
+        let msg = referral();
+        let wire = msg.encode();
+        let view = MessageView::parse(&wire).unwrap();
+        let owned: Vec<Record> = view
+            .records()
+            .map(|r| r.unwrap().1.to_owned().unwrap())
+            .filter(|r| r.rtype() != RType::OPT)
+            .collect();
+        let eager = Message::decode(&wire).unwrap();
+        let expected: Vec<Record> =
+            eager.authorities.iter().chain(&eager.additionals).cloned().collect();
+        assert_eq!(owned, expected);
+    }
+
+    #[test]
+    fn lying_ancount_surfaces_from_iterator_not_parse() {
+        let q = Message::query(1, n("com"), RType::NS);
+        let mut wire = q.encode();
+        wire[7] = 3; // ANCOUNT low byte: claim three answers that are absent
+        let view = MessageView::parse(&wire).unwrap();
+        let mut it = view.records();
+        assert!(it.next().unwrap().is_err());
+        assert!(it.next().is_none(), "iterator must fuse after an error");
+        assert!(view.to_owned().is_err());
+    }
+
+    #[test]
+    fn truncated_question_fails_parse() {
+        let q = Message::query(1, n("www.example.com"), RType::A);
+        let wire = q.encode();
+        assert_eq!(
+            MessageView::parse(&wire[..wire.len() - 3]).unwrap_err(),
+            ProtoError::Truncated
+        );
+    }
+}

@@ -1,21 +1,165 @@
 //! Low-level wire encoding and decoding with RFC 1035 name compression.
-
-use std::collections::HashMap;
+//!
+//! The encoder is *poolable*: [`Encoder::clear`] resets it in O(1) without
+//! freeing the output buffer or the compression dictionary, so a long-lived
+//! per-node encoder reaches a steady state where encoding a message performs
+//! zero heap allocations. The compression dictionary itself is an
+//! open-addressed table of `(folded_hash, offset)` slots that compare
+//! candidate suffixes against the bytes *already written* to the output
+//! buffer — no owned keys, no per-suffix allocation.
 
 use crate::error::ProtoError;
-use crate::name::Name;
+use crate::name::{eq_ignore_case, folded_hash, Name};
 
 /// Highest buffer offset a 14-bit compression pointer can reference.
 const MAX_POINTER_TARGET: usize = 0x3fff;
 /// Maximum pointer jumps followed while decoding one name.
 const MAX_JUMPS: usize = 64;
 
+/// One compression-dictionary slot: a name suffix that starts at `offset` in
+/// the output buffer, identified by the case-folded hash of its flat
+/// (length-prefixed, pointer-free) form. A slot is live iff its generation
+/// matches the dictionary's current generation, which makes clearing the
+/// table a counter bump instead of a memset.
+#[derive(Clone, Copy)]
+struct Slot {
+    hash: u64,
+    gen: u32,
+    offset: u16,
+}
+
+const EMPTY_SLOT: Slot = Slot { hash: 0, gen: 0, offset: 0 };
+
+/// Open-addressed (linear probing) suffix → offset table. Keys are never
+/// stored: equality is settled by walking the wire-format name at
+/// `slot.offset` in the output buffer (following pointers) and comparing it
+/// label-by-label against the candidate suffix.
+struct Dict {
+    slots: Vec<Slot>,
+    /// Live entries in the current generation.
+    len: usize,
+    /// Current generation; slots with `gen != self.gen` are empty.
+    gen: u32,
+}
+
+impl Dict {
+    const INITIAL_SLOTS: usize = 128;
+
+    fn new() -> Dict {
+        Dict { slots: Vec::new(), len: 0, gen: 1 }
+    }
+
+    /// Forgets all entries in O(1). Capacity is retained.
+    fn clear(&mut self) {
+        self.len = 0;
+        self.gen += 1;
+        if self.gen == 0 {
+            // Generation counter wrapped: really wipe the slots once every
+            // 2^32 clears so stale entries cannot resurrect.
+            self.slots.fill(EMPTY_SLOT);
+            self.gen = 1;
+        }
+    }
+
+    /// Looks up the suffix `flat` (length-prefixed labels, no terminator).
+    /// Returns the buffer offset where an equal suffix was already written,
+    /// or `None` after remembering the probe so [`Dict::insert_probed`] can
+    /// fill the hole without re-probing.
+    fn find(&mut self, hash: u64, flat: &[u8], buf: &[u8]) -> Result<u16, usize> {
+        if self.slots.is_empty() {
+            self.slots.resize(Self::INITIAL_SLOTS, EMPTY_SLOT);
+        } else if (self.len + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = hash as usize & mask;
+        loop {
+            let slot = self.slots[i];
+            if slot.gen != self.gen {
+                return Err(i);
+            }
+            if slot.hash == hash && suffix_matches_at(buf, slot.offset as usize, flat) {
+                return Ok(slot.offset);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Fills the empty slot returned by a failed [`Dict::find`] probe.
+    fn insert_probed(&mut self, slot: usize, hash: u64, offset: u16) {
+        self.slots[slot] = Slot { hash, gen: self.gen, offset };
+        self.len += 1;
+    }
+
+    /// Doubles the table. Live entries are re-placed by their stored hash;
+    /// the output buffer is untouched.
+    fn grow(&mut self) {
+        let new_len = (self.slots.len() * 2).max(Self::INITIAL_SLOTS);
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; new_len]);
+        let mask = self.slots.len() - 1;
+        for slot in old {
+            if slot.gen != self.gen {
+                continue;
+            }
+            let mut i = slot.hash as usize & mask;
+            while self.slots[i].gen == self.gen {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = slot;
+        }
+    }
+}
+
+/// Walks the wire-format name starting at `pos` in `buf` (following
+/// compression pointers with the same jump/backward limits as the decoder)
+/// and compares it case-insensitively against the flat length-prefixed
+/// suffix `want` (no terminal root byte). Everything the encoder registers
+/// is well-formed, so the defensive bounds checks never fire in practice —
+/// they keep the walk panic-free for arbitrary buffers.
+pub(crate) fn suffix_matches_at(buf: &[u8], mut pos: usize, mut want: &[u8]) -> bool {
+    let mut jumps = 0;
+    let mut lowest = pos;
+    loop {
+        let Some(&len) = buf.get(pos) else { return false };
+        match len {
+            0 => return want.is_empty(),
+            l if l & 0xc0 == 0xc0 => {
+                let Some(&lo) = buf.get(pos + 1) else { return false };
+                let target = (((l & 0x3f) as usize) << 8) | lo as usize;
+                if target >= lowest {
+                    return false;
+                }
+                lowest = target;
+                jumps += 1;
+                if jumps > MAX_JUMPS {
+                    return false;
+                }
+                pos = target;
+            }
+            l if l & 0xc0 != 0 => return false,
+            l => {
+                let l = l as usize;
+                let end = pos + 1 + l;
+                if end > buf.len() || want.len() < 1 + l || want[0] as usize != l {
+                    return false;
+                }
+                if !eq_ignore_case(&buf[pos + 1..end], &want[1..1 + l]) {
+                    return false;
+                }
+                want = &want[1 + l..];
+                pos = end;
+            }
+        }
+    }
+}
+
 /// Wire encoder with a compression dictionary.
 pub struct Encoder {
     buf: Vec<u8>,
-    /// Canonical (lowercased) wire form of a name suffix → offset where that
-    /// suffix was written.
-    dict: HashMap<Vec<u8>, u16>,
+    dict: Dict,
+    /// When false, names are written in full and the dictionary is bypassed
+    /// entirely (the naive encoder used as a differential-testing oracle).
+    compress: bool,
 }
 
 impl Default for Encoder {
@@ -27,7 +171,21 @@ impl Default for Encoder {
 impl Encoder {
     /// Creates an empty encoder.
     pub fn new() -> Self {
-        Encoder { buf: Vec::with_capacity(512), dict: HashMap::new() }
+        Encoder { buf: Vec::with_capacity(512), dict: Dict::new(), compress: true }
+    }
+
+    /// Creates an encoder that never compresses names (every name is written
+    /// in full). Decoders must accept both forms; property tests use this as
+    /// the oracle against the compressing encoder.
+    pub fn without_compression() -> Self {
+        Encoder { buf: Vec::with_capacity(512), dict: Dict::new(), compress: false }
+    }
+
+    /// Resets the encoder for reuse without releasing capacity. After the
+    /// first few messages a pooled encoder stops allocating entirely.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.dict.clear();
     }
 
     /// Bytes written so far.
@@ -38,6 +196,12 @@ impl Encoder {
     /// True if nothing has been written.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
+    }
+
+    /// The bytes written so far, borrowed. Pooled callers hand this straight
+    /// to the transport instead of consuming the encoder.
+    pub fn wire(&self) -> &[u8] {
+        &self.buf
     }
 
     /// Consumes the encoder and returns the buffer.
@@ -77,29 +241,35 @@ impl Encoder {
     }
 
     fn name_inner(&mut self, name: &Name, allow_pointer: bool) {
-        let labels: Vec<&[u8]> = name.labels().collect();
-        for i in 0..labels.len() {
-            let suffix_key: Vec<u8> = {
-                let mut k = Vec::new();
-                for l in &labels[i..] {
-                    k.push(l.len() as u8);
-                    k.extend(l.iter().map(|c| c.to_ascii_lowercase()));
-                }
-                k.push(0);
-                k
-            };
-            if allow_pointer {
-                if let Some(&off) = self.dict.get(&suffix_key) {
+        if !self.compress {
+            self.buf.extend_from_slice(name.slice());
+            self.buf.push(0);
+            return;
+        }
+        // Walk the flat label encoding suffix by suffix, most-specific
+        // first. First registration wins (matching the dictionary-per-suffix
+        // semantics of the original HashMap encoder), and a hit emits a
+        // pointer and stops.
+        let flat = name.slice();
+        let mut i = 0usize;
+        while i < flat.len() {
+            let suffix = &flat[i..];
+            let hash = if i == 0 { name.folded_hash() } else { folded_hash(suffix) };
+            match self.dict.find(hash, suffix, &self.buf) {
+                Ok(off) if allow_pointer => {
                     self.u16(0xc000 | off);
                     return;
                 }
+                Ok(_) => {}
+                Err(slot) => {
+                    if self.buf.len() <= MAX_POINTER_TARGET {
+                        self.dict.insert_probed(slot, hash, self.buf.len() as u16);
+                    }
+                }
             }
-            if self.buf.len() <= MAX_POINTER_TARGET {
-                self.dict.entry(suffix_key).or_insert(self.buf.len() as u16);
-            }
-            let l = labels[i];
-            self.buf.push(l.len() as u8);
-            self.buf.extend_from_slice(l);
+            let l = flat[i] as usize;
+            self.buf.extend_from_slice(&flat[i..i + 1 + l]);
+            i += 1 + l;
         }
         self.buf.push(0);
     }
@@ -144,6 +314,12 @@ impl<'a> Decoder<'a> {
     /// Current cursor position.
     pub fn position(&self) -> usize {
         self.pos
+    }
+
+    /// The full underlying buffer (compression pointers may reference any
+    /// earlier offset, so views keep the whole message around).
+    pub fn data(&self) -> &'a [u8] {
+        self.data
     }
 
     /// Bytes remaining after the cursor.
@@ -243,6 +419,36 @@ impl<'a> Decoder<'a> {
                 }
             }
         }
+    }
+
+    /// Advances the cursor past a possibly-compressed name without
+    /// materializing it. A compression pointer *terminates* the in-stream
+    /// encoding, so skipping never chases pointers — this is what makes the
+    /// lazy [`crate::view::MessageView`] record walk O(bytes in stream).
+    /// Structural label errors are still reported; pointer *targets* are only
+    /// validated when the name is actually resolved.
+    pub fn skip_name(&mut self) -> Result<(), ProtoError> {
+        loop {
+            let len = self.u8()?;
+            match len {
+                0 => return Ok(()),
+                l if l & 0xc0 == 0xc0 => {
+                    self.u8()?;
+                    return Ok(());
+                }
+                l if l & 0xc0 != 0 => return Err(ProtoError::BadLabelType(l)),
+                l => {
+                    self.take(l as usize)?;
+                }
+            }
+        }
+    }
+
+    /// Compares the name at the cursor against `name` case-insensitively
+    /// without allocating, following pointers with the decoder's limits.
+    /// The cursor does not move.
+    pub fn name_is(&self, name: &Name) -> bool {
+        suffix_matches_at(self.data, self.pos, name.slice())
     }
 }
 
@@ -403,6 +609,91 @@ mod tests {
         d.name().unwrap();
         d.name().unwrap();
         assert_eq!(d.u16().unwrap(), 0xbeef);
+    }
+
+    #[test]
+    fn cleared_encoder_reproduces_identical_bytes() {
+        let names = ["www.example.com", "mail.EXAMPLE.com", "example.com", "org", "a.b.org"];
+        let mut fresh = Encoder::new();
+        for s in names {
+            fresh.name(&n(s));
+        }
+        let expected = fresh.finish();
+        let mut pooled = Encoder::new();
+        for _ in 0..3 {
+            pooled.clear();
+            for s in names {
+                pooled.name(&n(s));
+            }
+            assert_eq!(pooled.wire(), &expected[..]);
+        }
+    }
+
+    #[test]
+    fn without_compression_writes_full_names() {
+        let mut e = Encoder::without_compression();
+        e.name(&n("example.com"));
+        e.name(&n("example.com"));
+        let buf = e.finish();
+        assert_eq!(&buf[..], b"\x07example\x03com\x00\x07example\x03com\x00");
+    }
+
+    #[test]
+    fn dict_survives_growth() {
+        // More distinct suffixes than the initial 128 slots can hold at the
+        // 7/8 load factor; later repeats must still compress to pointers.
+        let mut e = Encoder::new();
+        for i in 0..200 {
+            e.name(&n(&format!("h{i}.zone{i}.example")));
+        }
+        let before = e.len();
+        e.name(&n("h42.zone42.example"));
+        assert_eq!(e.len() - before, 2, "repeat must be a single pointer");
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        for i in 0..200 {
+            assert_eq!(d.name().unwrap(), n(&format!("h{i}.zone{i}.example")));
+        }
+        assert_eq!(d.name().unwrap(), n("h42.zone42.example"));
+    }
+
+    #[test]
+    fn skip_name_lands_after_inline_and_pointer_forms() {
+        let mut e = Encoder::new();
+        e.name(&n("example.com"));
+        e.name(&n("www.example.com")); // "www" + pointer
+        e.u16(0xbeef);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        d.skip_name().unwrap();
+        d.skip_name().unwrap();
+        assert_eq!(d.u16().unwrap(), 0xbeef);
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn skip_name_reports_structural_errors() {
+        let mut d = Decoder::new(&[0x41, 0x00]);
+        assert_eq!(d.skip_name().unwrap_err(), ProtoError::BadLabelType(0x41));
+        let mut d = Decoder::new(&[0x05, b'a']);
+        assert_eq!(d.skip_name().unwrap_err(), ProtoError::Truncated);
+        let mut d = Decoder::new(&[0xc0]);
+        assert_eq!(d.skip_name().unwrap_err(), ProtoError::Truncated);
+    }
+
+    #[test]
+    fn name_is_compares_without_allocating() {
+        let mut e = Encoder::new();
+        e.name(&n("example.com"));
+        e.name(&n("WWW.Example.COM"));
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        d.skip_name().unwrap();
+        assert!(d.name_is(&n("www.example.com")));
+        assert!(!d.name_is(&n("ftp.example.com")));
+        assert!(!d.name_is(&n("www.example.org")));
+        // Cursor unmoved: the real read still works.
+        assert_eq!(d.name().unwrap(), n("www.example.com"));
     }
 
     #[test]

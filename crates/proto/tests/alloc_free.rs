@@ -1,0 +1,95 @@
+//! Steady-state allocation audit: after warm-up, the pooled encode path and
+//! the borrowed view-scan path must not touch the heap at all.
+//!
+//! A counting global allocator wraps the system allocator; the single test
+//! below (one `#[test]` fn, so no parallel-test noise) measures allocation
+//! counts across hot-loop iterations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rootless_proto::message::{Edns, Message, Rcode};
+use rootless_proto::name::Name;
+use rootless_proto::rr::{RData, RType, Record};
+use rootless_proto::view::{MessageView, Section};
+use rootless_proto::wire::Encoder;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn referral() -> Message {
+    let q = Message::query(42, Name::parse("www.example.com").unwrap(), RType::A);
+    let mut resp = Message::response_to(&q, Rcode::NoError);
+    resp.edns = Some(Edns::default());
+    for i in 0..6 {
+        let host = Name::parse(&format!("{}.gtld-servers.net", (b'a' + i) as char)).unwrap();
+        resp.authorities
+            .push(Record::new(Name::parse("com").unwrap(), 172_800, RData::Ns(host.clone())));
+        resp.additionals
+            .push(Record::new(host, 172_800, RData::A(Ipv4Addr::new(192, 5, 6, 30 + i))));
+    }
+    resp
+}
+
+#[test]
+fn steady_state_encode_and_scan_allocate_nothing() {
+    let msg = referral();
+    let qname = Name::parse("www.example.com").unwrap();
+    let mut enc = Encoder::new();
+
+    // Warm up: let the output buffer and the compression dict reach their
+    // steady-state capacity.
+    for _ in 0..4 {
+        msg.encode_into(&mut enc);
+    }
+    let wire = enc.wire().to_vec();
+
+    // Pooled encode: zero heap traffic per message.
+    let before = allocs();
+    for _ in 0..100 {
+        msg.encode_into(&mut enc);
+        assert!(!enc.wire().is_empty());
+    }
+    assert_eq!(allocs() - before, 0, "pooled encode must not allocate");
+
+    // Borrowed parse + full record scan (the resolver's referral fast path):
+    // zero heap traffic as well — nothing is materialized.
+    let before = allocs();
+    let mut ns = 0usize;
+    for _ in 0..100 {
+        let view = MessageView::parse(&wire).unwrap();
+        assert!(view.header().response);
+        assert!(view.question().unwrap().qname_is(&qname));
+        for item in view.records() {
+            let (section, rv) = item.unwrap();
+            if section == Section::Authority && rv.rtype == RType::NS {
+                ns += 1;
+            }
+        }
+    }
+    assert_eq!(allocs() - before, 0, "view scan must not allocate");
+    assert_eq!(ns, 600);
+}

@@ -1,0 +1,203 @@
+//! Decode robustness matrix: EDNS OPT edge cases, compression-pointer
+//! limits, and truncation at every byte boundary. Malformed input must
+//! come back as a `ProtoError` — never a panic, never a hang.
+
+use std::net::Ipv4Addr;
+
+use rootless_proto::message::{Edns, Message};
+use rootless_proto::name::Name;
+use rootless_proto::rr::{RData, RType, Record};
+use rootless_proto::wire::Decoder;
+use rootless_proto::{MessageView, ProtoError};
+
+fn n(s: &str) -> Name {
+    Name::parse(s).unwrap()
+}
+
+/// Appends a hand-rolled A record (`www. A 1.2.3.4`) to a wire buffer.
+fn push_a_record(buf: &mut Vec<u8>) {
+    buf.extend_from_slice(b"\x03www\x00"); // owner: www.
+    buf.extend_from_slice(&1u16.to_be_bytes()); // type A
+    buf.extend_from_slice(&1u16.to_be_bytes()); // class IN
+    buf.extend_from_slice(&60u32.to_be_bytes()); // ttl
+    buf.extend_from_slice(&4u16.to_be_bytes()); // rdlen
+    buf.extend_from_slice(&[1, 2, 3, 4]);
+}
+
+/// A record that follows the OPT pseudo-record must survive decoding: the
+/// OPT's rdata is consumed by its exact RDLENGTH, so the decoder lands on
+/// the next record boundary.
+#[test]
+fn record_after_opt_is_preserved() {
+    let mut q = Message::query(7, n("example"), RType::A);
+    q.edns = Some(Edns::default());
+    let mut buf = q.encode();
+    // The encoder writes OPT last; append a real A record after it and
+    // bump ARCOUNT (bytes 10..12).
+    push_a_record(&mut buf);
+    buf[11] += 1;
+    let msg = Message::decode(&buf).unwrap();
+    assert!(msg.edns.is_some(), "OPT must still be recognized");
+    assert_eq!(msg.additionals.len(), 1);
+    assert_eq!(msg.additionals[0].name, n("www"));
+    assert_eq!(msg.additionals[0].rdata, RData::A(Ipv4Addr::new(1, 2, 3, 4)));
+}
+
+/// OPT with a non-empty rdata (EDNS options present): exactly RDLENGTH
+/// bytes belong to the OPT, and the record after it still parses.
+#[test]
+fn opt_with_options_rdata_consumed_exactly() {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&1u16.to_be_bytes()); // id
+    buf.extend_from_slice(&0x8000u16.to_be_bytes()); // QR=1
+    buf.extend_from_slice(&0u16.to_be_bytes()); // qdcount
+    buf.extend_from_slice(&0u16.to_be_bytes()); // ancount
+    buf.extend_from_slice(&0u16.to_be_bytes()); // nscount
+    buf.extend_from_slice(&2u16.to_be_bytes()); // arcount: OPT + A
+    // OPT: root owner, type 41, class = payload size, ttl 0, 8-byte rdata
+    // holding one option (code 10 "cookie", length 4, 4 bytes of data).
+    buf.push(0);
+    buf.extend_from_slice(&41u16.to_be_bytes());
+    buf.extend_from_slice(&1232u16.to_be_bytes());
+    buf.extend_from_slice(&0u32.to_be_bytes());
+    buf.extend_from_slice(&8u16.to_be_bytes());
+    buf.extend_from_slice(&10u16.to_be_bytes());
+    buf.extend_from_slice(&4u16.to_be_bytes());
+    buf.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+    push_a_record(&mut buf);
+
+    let msg = Message::decode(&buf).unwrap();
+    assert_eq!(msg.edns.unwrap().udp_payload_size, 1232);
+    assert_eq!(msg.additionals.len(), 1);
+    assert_eq!(msg.additionals[0].rtype(), RType::A);
+}
+
+/// Builds a buffer whose name at the returned offset is a chain of `chain`
+/// pointers, each strictly backward, ending at a root terminator.
+fn pointer_chain(chain: usize) -> (Vec<u8>, usize) {
+    let mut buf = vec![0u8]; // offset 0: root name
+    let mut prev = 0usize;
+    for _ in 0..chain {
+        let here = buf.len();
+        buf.extend_from_slice(&(0xc000u16 | prev as u16).to_be_bytes());
+        prev = here;
+    }
+    (buf, prev)
+}
+
+#[test]
+fn pointer_chain_within_jump_limit_decodes() {
+    let (buf, start) = pointer_chain(64);
+    let mut dec = Decoder::new(&buf);
+    dec.seek(start).unwrap();
+    assert_eq!(dec.name().unwrap(), Name::root());
+}
+
+#[test]
+fn pointer_chain_over_jump_limit_rejected() {
+    let (buf, start) = pointer_chain(65);
+    let mut dec = Decoder::new(&buf);
+    dec.seek(start).unwrap();
+    assert_eq!(dec.name().unwrap_err(), ProtoError::BadPointer);
+}
+
+/// A question name that points at itself must fail at materialization —
+/// the lazy parse skips it structurally, but the full decode rejects it.
+#[test]
+fn self_referential_question_rejected_at_decode() {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&9u16.to_be_bytes()); // id
+    buf.extend_from_slice(&0u16.to_be_bytes()); // flags
+    buf.extend_from_slice(&1u16.to_be_bytes()); // qdcount
+    buf.extend_from_slice(&[0, 0, 0, 0, 0, 0]); // an/ns/ar counts
+    buf.extend_from_slice(&0xc00cu16.to_be_bytes()); // qname: pointer to itself
+    buf.extend_from_slice(&1u16.to_be_bytes()); // qtype
+    buf.extend_from_slice(&1u16.to_be_bytes()); // qclass
+    // Structurally a pointer is a complete name, so the borrowed parse
+    // accepts the layout...
+    let view = MessageView::parse(&buf).unwrap();
+    // ...but chasing the pointer fails, both from the view and end to end.
+    assert_eq!(view.question().unwrap().qname().unwrap_err(), ProtoError::BadPointer);
+    assert_eq!(Message::decode(&buf).unwrap_err(), ProtoError::BadPointer);
+}
+
+/// A forward pointer (target beyond the name being decoded) is rejected.
+#[test]
+fn forward_pointer_rejected_at_decode() {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&9u16.to_be_bytes());
+    buf.extend_from_slice(&0u16.to_be_bytes());
+    buf.extend_from_slice(&1u16.to_be_bytes());
+    buf.extend_from_slice(&[0, 0, 0, 0, 0, 0]);
+    buf.extend_from_slice(&0xc020u16.to_be_bytes()); // qname: points forward
+    buf.extend_from_slice(&1u16.to_be_bytes());
+    buf.extend_from_slice(&1u16.to_be_bytes());
+    assert_eq!(Message::decode(&buf).unwrap_err(), ProtoError::BadPointer);
+}
+
+/// Every strict prefix of a valid message must fail to decode cleanly:
+/// section counts promise records the prefix cannot deliver.
+#[test]
+fn every_truncation_point_errors_never_panics() {
+    let mut resp = Message::query(3, n("www.example.com"), RType::A);
+    resp.header.response = true;
+    resp.answers.push(Record::new(
+        n("www.example.com"),
+        300,
+        RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+    ));
+    resp.authorities.push(Record::new(n("example.com"), 172_800, RData::Ns(n("ns1.example.com"))));
+    resp.additionals.push(Record::new(
+        n("ns1.example.com"),
+        172_800,
+        RData::A(Ipv4Addr::new(192, 0, 2, 53)),
+    ));
+    resp.edns = Some(Edns::default());
+    let wire = resp.encode();
+    assert_eq!(Message::decode(&wire).unwrap(), resp);
+    for len in 0..wire.len() {
+        let prefix = &wire[..len];
+        assert!(Message::decode(prefix).is_err(), "prefix of {len} bytes must not decode");
+        // The borrowed tier may accept a structurally-complete prefix;
+        // walking its records must then surface the error, not panic.
+        if let Ok(view) = MessageView::parse(prefix) {
+            assert!(
+                view.records().any(|r| r.is_err()) || view.to_owned().is_err(),
+                "prefix of {len} bytes must fail somewhere"
+            );
+        }
+    }
+}
+
+/// An RDLENGTH that overruns the datagram is truncation, not a panic.
+#[test]
+fn overlong_rdlen_rejected() {
+    let mut resp = Message::query(3, n("a.example"), RType::A);
+    resp.header.response = true;
+    resp.answers.push(Record::new(n("a.example"), 60, RData::A(Ipv4Addr::new(10, 0, 0, 1))));
+    let mut wire = resp.encode();
+    // The A rdata (4 bytes) sits at the very end; its RDLENGTH is the
+    // 2 bytes before it. Claim far more than remains.
+    let rdlen_at = wire.len() - 6;
+    wire[rdlen_at] = 0x7f;
+    assert_eq!(Message::decode(&wire), Err(ProtoError::Truncated));
+}
+
+/// A message larger than the 16 KiB pointer-target window still round-trips:
+/// suffixes first seen past offset 0x3fff are written inline (they can never
+/// be pointed at), while pointers to early offsets keep working throughout.
+#[test]
+fn giant_message_roundtrips_past_pointer_window() {
+    let mut resp = Message::query(1, n("example.com"), RType::TXT);
+    resp.header.response = true;
+    for i in 0..400 {
+        resp.answers.push(Record::new(
+            n(&format!("host{i}.zone{}.example.com", i % 7)),
+            300,
+            RData::Txt(vec![vec![b'x'; 40]]),
+        ));
+    }
+    let wire = resp.encode();
+    assert!(wire.len() > 0x4000, "need to cross the pointer window, got {}", wire.len());
+    assert_eq!(Message::decode(&wire).unwrap(), resp);
+}

@@ -5,6 +5,7 @@ use proptest::prelude::*;
 use rootless_proto::message::{Edns, Message, Rcode};
 use rootless_proto::name::Name;
 use rootless_proto::rr::{Dnskey, Ds, RData, RType, Record, Rrsig, Soa};
+use rootless_proto::view::MessageView;
 use rootless_proto::wire::{Decoder, Encoder};
 
 fn label_strategy() -> impl Strategy<Value = Vec<u8>> {
@@ -84,6 +85,41 @@ fn record_strategy() -> impl Strategy<Value = Record> {
         .prop_map(|(name, ttl, rdata)| Record::new(name, ttl, rdata))
 }
 
+type MessageParts =
+    (u16, Name, Vec<Record>, Vec<Record>, Vec<Record>, bool, u16, bool);
+
+fn message_strategy() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        name_strategy(),
+        proptest::collection::vec(record_strategy(), 0..6),
+        proptest::collection::vec(record_strategy(), 0..4),
+        proptest::collection::vec(record_strategy(), 0..4),
+        any::<bool>(),
+        512u16..4096,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(id, qname, answers, authorities, additionals, with_edns, payload, dnssec_ok): MessageParts| {
+                let mut msg = Message::query(id, qname, RType::A);
+                msg.header.response = true;
+                msg.header.rcode = Rcode::NoError;
+                msg.answers = answers;
+                msg.authorities = authorities;
+                msg.additionals = additionals;
+                if with_edns {
+                    msg.edns = Some(Edns {
+                        udp_payload_size: payload,
+                        extended_rcode: 0,
+                        version: 0,
+                        dnssec_ok,
+                    });
+                }
+                msg
+            },
+        )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -157,9 +193,57 @@ proptest! {
     }
 
     #[test]
+    fn pooled_encoder_view_roundtrip(msg in message_strategy(), other in message_strategy()) {
+        // Encode `other` first so the pooled encoder carries a dirty buffer
+        // and a populated compression dict into the encode under test.
+        let mut enc = Encoder::new();
+        other.encode_into(&mut enc);
+        msg.encode_into(&mut enc);
+        prop_assert_eq!(enc.wire(), msg.encode().as_slice(), "pooled reuse must be byte-identical");
+        let out = MessageView::parse(enc.wire()).unwrap().to_owned().unwrap();
+        prop_assert_eq!(out, msg);
+    }
+
+    #[test]
+    fn compressed_and_uncompressed_decode_identically(msg in message_strategy()) {
+        let compressed = msg.encode();
+        let mut plain = Encoder::without_compression();
+        msg.encode_into(&mut plain);
+        prop_assert!(plain.wire().len() >= compressed.len());
+        let a = Message::decode(&compressed).unwrap();
+        let b = Message::decode(plain.wire()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lazy_record_walk_matches_eager_sections(msg in message_strategy()) {
+        let wire = msg.encode();
+        let view = MessageView::parse(&wire).unwrap();
+        let mut walked = 0usize;
+        for item in view.records() {
+            let (_, rv) = item.unwrap();
+            rv.to_owned().unwrap();
+            walked += 1;
+        }
+        prop_assert_eq!(
+            walked,
+            msg.answers.len() + msg.authorities.len() + msg.additionals.len()
+                + usize::from(msg.edns.is_some())
+        );
+    }
+
+    #[test]
     fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
         // Must return Ok or Err, never panic or loop.
         let _ = Message::decode(&bytes);
+        // The borrowed tier must be just as robust, including a full lazy
+        // record walk over whatever structure parse() accepted.
+        if let Ok(view) = MessageView::parse(&bytes) {
+            for item in view.records() {
+                let _ = item.map(|(_, rv)| rv.to_owned());
+            }
+            let _ = view.to_owned();
+        }
     }
 
     #[test]

@@ -20,6 +20,8 @@ use rootless_netsim::sim::{Ctx, Datagram, Node};
 use rootless_proto::message::{Message, Rcode};
 use rootless_proto::name::Name;
 use rootless_proto::rr::{RData, RType, Record};
+use rootless_proto::view::{MessageView, Section};
+use rootless_proto::wire::Encoder;
 use rootless_util::time::{SimDuration, SimTime};
 use rootless_zone::hints::RootHints;
 use rootless_zone::zone::{Lookup, Zone};
@@ -85,6 +87,8 @@ pub struct RecursiveNode {
     next_txid: u16,
     /// Counters.
     pub stats: NodeStats,
+    /// Pooled wire encoder shared by all sends from this node.
+    enc: Encoder,
 }
 
 impl RecursiveNode {
@@ -99,6 +103,7 @@ impl RecursiveNode {
             jobs: HashMap::new(),
             next_txid: 1,
             stats: NodeStats::default(),
+            enc: Encoder::new(),
         }
     }
 
@@ -124,7 +129,8 @@ impl RecursiveNode {
         let mut resp = Message::response_to(&q, rcode);
         resp.header.recursion_available = true;
         resp.answers = answers;
-        ctx.send(job.client, resp.encode());
+        resp.encode_into(&mut self.enc);
+        ctx.send(job.client, self.enc.wire());
     }
 
     /// Starts/continues a job: consult cache/local root, or send the next
@@ -213,7 +219,8 @@ impl RecursiveNode {
             if self.root_addrs.contains(&server) {
                 self.stats.root_queries += 1;
             }
-            ctx.send(server, query.encode());
+            query.encode_into(&mut self.enc);
+            ctx.send(server, self.enc.wire());
             ctx.set_timer(self.timeout, ((attempt as u64) << 16) | txid as u64);
             return;
         }
@@ -247,10 +254,17 @@ fn glue_addrs(glue: &[Record]) -> Vec<Ipv4Addr> {
 
 impl Node for RecursiveNode {
     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
-        let Ok(msg) = Message::decode(&dgram.payload) else { return };
-        if !msg.header.response {
-            // A client query: open a job.
-            let Some(q) = msg.question().cloned() else { return };
+        // Borrowed parse: the header and question are enough to accept a
+        // query or to reject a stray response, so no record is materialized
+        // until the datagram has earned it.
+        let Ok(view) = MessageView::parse(&dgram.payload) else { return };
+        if !view.header().response {
+            // A client query: open a job. Only the question section matters
+            // to a recursive server, so record sections are never decoded.
+            let Some(qv) = view.question() else { return };
+            let Ok(qname) = qv.qname() else { return };
+            let qtype = qv.qtype;
+            let client_txid = view.header().id;
             self.stats.client_queries += 1;
             let txid = self.alloc_txid();
             let start = match &self.root_source {
@@ -263,9 +277,9 @@ impl Node for RecursiveNode {
                 txid,
                 Job {
                     client: dgram.src,
-                    client_txid: msg.header.id,
-                    qname: q.qname,
-                    qtype: q.qtype,
+                    client_txid,
+                    qname,
+                    qtype,
                     zone: start.0,
                     servers: start.1,
                     next_server: 0,
@@ -276,8 +290,14 @@ impl Node for RecursiveNode {
             self.advance(ctx, txid);
             return;
         }
-        // An upstream response: match by transaction id.
-        let txid = msg.header.id;
+        // An upstream response: match by transaction id before paying for a
+        // full decode — responses with no in-flight job are dropped from the
+        // 12-byte header alone.
+        let txid = view.header().id;
+        if !self.jobs.contains_key(&txid) {
+            return;
+        }
+        let Ok(msg) = view.to_owned() else { return };
         let Some(job) = self.jobs.get_mut(&txid) else { return };
         // Consuming a response invalidates the attempt's timeout timer.
         job.attempt += 1;
@@ -368,17 +388,27 @@ impl StubClient {
 
 impl Node for StubClient {
     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
-        if let Ok(msg) = Message::decode(&dgram.payload) {
-            if msg.header.response {
-                let idx = msg.header.id;
-                let latency = self
-                    .sent_at
-                    .get(&idx)
-                    .map(|t| ctx.now() - *t)
-                    .unwrap_or(SimDuration::ZERO);
-                self.results.push((idx, latency, msg.header.rcode, msg.answers));
+        let Ok(view) = MessageView::parse(&dgram.payload) else { return };
+        if !view.header().response {
+            return;
+        }
+        // Walk every record lazily but materialize only the answer section;
+        // any malformed record drops the whole datagram, like a full decode.
+        let mut answers = Vec::new();
+        for item in view.records() {
+            let Ok((section, rv)) = item else { return };
+            if section == Section::Answer {
+                let Ok(r) = rv.to_owned() else { return };
+                answers.push(r);
             }
         }
+        let idx = view.header().id;
+        let latency = self
+            .sent_at
+            .get(&idx)
+            .map(|t| ctx.now() - *t)
+            .unwrap_or(SimDuration::ZERO);
+        self.results.push((idx, latency, view.header().rcode, answers));
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {

@@ -9,6 +9,7 @@
 use rootless_proto::message::{Message, Rcode};
 use rootless_proto::name::Name;
 use rootless_proto::rr::{RType, Record};
+use rootless_proto::wire::Encoder;
 use rootless_zone::zone::Zone;
 
 /// Records per AXFR response message (real servers pack to message size; a
@@ -92,8 +93,16 @@ pub fn assemble(messages: &[Message]) -> Result<Zone, AxfrError> {
 }
 
 /// Total wire bytes of a transfer — what the distribution experiment counts.
+/// One pooled encoder is reused across the whole message stream.
 pub fn transfer_bytes(zone: &Zone) -> usize {
-    serve(zone, 0).iter().map(|m| m.encode().len()).sum()
+    let mut enc = Encoder::new();
+    serve(zone, 0)
+        .iter()
+        .map(|m| {
+            m.encode_into(&mut enc);
+            enc.len()
+        })
+        .sum()
 }
 
 // ---------------------------------------------------------------------------
@@ -199,7 +208,14 @@ pub fn apply_ixfr(old: &Zone, messages: &[Message]) -> Result<Zone, AxfrError> {
 
 /// Wire bytes of an incremental transfer (cost accounting for §5.2).
 pub fn ixfr_bytes(old: &Zone, new: &Zone) -> usize {
-    serve_ixfr(old, new, 0).iter().map(|m| m.encode().len()).sum()
+    let mut enc = Encoder::new();
+    serve_ixfr(old, new, 0)
+        .iter()
+        .map(|m| {
+            m.encode_into(&mut enc);
+            enc.len()
+        })
+        .sum()
 }
 
 #[cfg(test)]

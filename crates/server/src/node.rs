@@ -7,7 +7,8 @@ use std::sync::Arc;
 use std::sync::Mutex;
 use rootless_netsim::geo::{city_point, GeoPoint};
 use rootless_netsim::sim::{Ctx, Datagram, Node, NodeId, Sim};
-use rootless_proto::message::Message;
+use rootless_proto::view::MessageView;
+use rootless_proto::wire::Encoder;
 use rootless_util::rng::DetRng;
 use rootless_zone::hints::{RootHints, ROOT_ADDRS};
 use rootless_zone::zone::Zone;
@@ -26,12 +27,14 @@ pub struct ServerNode {
     pub decode_errors: u64,
     /// Optional fleet-level stats sink, merged into on every query.
     fleet_queries: Option<Arc<Mutex<u64>>>,
+    /// Pooled response encoder: steady-state encoding allocates nothing.
+    enc: Encoder,
 }
 
 impl ServerNode {
     /// Wraps a server.
     pub fn new(server: AuthServer) -> ServerNode {
-        ServerNode { server, decode_errors: 0, fleet_queries: None }
+        ServerNode { server, decode_errors: 0, fleet_queries: None, enc: Encoder::new() }
     }
 
     /// Attaches a shared query counter (per-letter fleet totals).
@@ -48,15 +51,25 @@ impl ServerNode {
 
 impl Node for ServerNode {
     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
-        match Message::decode(&dgram.payload) {
-            Ok(query) if !query.header.response => {
+        // Borrowed parse first: stray responses are rejected on the QR bit
+        // alone, without materializing any records.
+        let view = match MessageView::parse(&dgram.payload) {
+            Ok(view) if !view.header().response => view,
+            Ok(_) => return, // stray response; servers ignore
+            Err(_) => {
+                self.decode_errors += 1;
+                return;
+            }
+        };
+        match view.to_owned() {
+            Ok(query) => {
                 let resp = self.server.handle(&query);
                 if let Some(counter) = &self.fleet_queries {
                     *counter.lock().unwrap() += 1;
                 }
-                ctx.send(dgram.src, resp.encode());
+                resp.encode_into(&mut self.enc);
+                ctx.send(dgram.src, self.enc.wire());
             }
-            Ok(_) => { /* stray response; servers ignore */ }
             Err(_) => {
                 self.decode_errors += 1;
             }
@@ -153,6 +166,7 @@ pub fn resolver_locations(count: usize, seed: u64) -> Vec<GeoPoint> {
 mod tests {
     use super::*;
     use rootless_netsim::sim::Sim;
+    use rootless_proto::message::Message;
     use rootless_proto::name::Name;
     use rootless_proto::rr::RType;
     use rootless_util::time::SimDuration;
@@ -242,7 +256,7 @@ mod tests {
         );
         sim.inject(
             GeoPoint::new(1.0, 1.0),
-            Datagram { src: Ipv4Addr::new(10, 1, 1, 2), dst: Ipv4Addr::new(10, 1, 1, 1), payload: b"junk".to_vec() },
+            Datagram { src: Ipv4Addr::new(10, 1, 1, 2), dst: Ipv4Addr::new(10, 1, 1, 1), payload: b"junk".into() },
         );
         sim.run_to_completion();
         let node = (sim.node(id) as &dyn std::any::Any).downcast_ref::<ServerNode>().unwrap();

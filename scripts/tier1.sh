@@ -12,5 +12,10 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
 cargo test -q --workspace --offline
+# Benches must keep compiling (they gate the perf numbers in BENCH_*.json).
+cargo bench --no-run --offline
+# Codec property suites, called out by name so a filter typo can't skip
+# them: wire round-trips + view laziness, and the flat-Name model tests.
+cargo test -q -p rootless-proto --test prop_roundtrip --test prop_name_flat --offline
 cargo clippy --workspace --offline -- -D warnings
 echo "tier1: OK"
