@@ -21,6 +21,7 @@
 //! | PERF | [`performance`] | §4 performance |
 //! | ANYCAST | [`anycast`] | §1/§4 fleet-size vs root RTT |
 //! | ROBUST | [`robustness`] | §4 robustness |
+//! | SCEN | [`scenarios`] | §4 robustness, packet-level fault scenarios |
 //! | SEC | [`security`] | §4 security (root manipulation) |
 //! | PRIV | [`privacy`] | §4 privacy |
 
@@ -38,6 +39,7 @@ pub mod privacy;
 pub mod report;
 pub mod robustness;
 pub mod root_load;
+pub mod scenarios;
 pub mod security;
 pub mod sizes;
 pub mod traffic;

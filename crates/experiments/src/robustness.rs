@@ -9,6 +9,10 @@
 //! cold-lookup success for a hints resolver vs a local-root resolver.
 //! Part 2 sweeps distribution-source outage durations against the refresh
 //! policy and reports whether resolution was ever impacted.
+//! Part 3 re-states the same claims packet by packet: every fault scenario
+//! in [`crate::scenarios`] runs under all four root modes from one fixed
+//! seed, and the matrix shows who answered, who SERVFAILed, and who
+//! survived only by serving stale data.
 
 use std::sync::Arc;
 
@@ -25,6 +29,7 @@ use rootless_zone::hints::RootHints;
 use rootless_zone::rootzone::RootZoneConfig;
 
 use crate::report::{render_rows, Row};
+use crate::scenarios::{run_scenario, ScenarioKind, ScenarioMode};
 
 /// Result of one outage level.
 pub struct OutageRow {
@@ -48,13 +53,39 @@ pub struct RefreshRow {
     pub impact_hours: u64,
 }
 
+/// One cell of the packet-level scenario matrix.
+pub struct ScenarioRow {
+    /// Scenario name.
+    pub kind: &'static str,
+    /// Root mode name.
+    pub mode: &'static str,
+    /// Queries in the client plan.
+    pub queries: usize,
+    /// Queries answered `NoError` with records.
+    pub answered: usize,
+    /// Queries that got `ServFail`.
+    pub servfail: usize,
+    /// Answers served from expired cache entries (RFC 8767).
+    pub stale: u64,
+    /// Upstream timeouts the resolver suffered.
+    pub timeouts: u64,
+    /// Largest retry timeout the resolver armed (ms) — backoff evidence.
+    pub max_armed_ms: f64,
+}
+
 /// Experiment output.
 pub struct RobustReport {
     /// Outage sweep.
     pub outages: Vec<OutageRow>,
     /// Refresh sweep.
     pub refresh: Vec<RefreshRow>,
+    /// Packet-level scenario matrix (Part 3).
+    pub scenarios: Vec<ScenarioRow>,
 }
+
+/// Fixed seed for the Part 3 scenario matrix; `tests/fault_matrix.rs` pins
+/// the same value so the experiment and the gate exercise identical runs.
+pub const SCENARIO_SEED: u64 = 0xb0075;
 
 /// Runs both parts.
 pub fn run(lookups_per_level: usize, tlds: usize) -> RobustReport {
@@ -146,7 +177,25 @@ pub fn run(lookups_per_level: usize, tlds: usize) -> RobustReport {
         refresh.push(RefreshRow { outage_hours, expired: impact_hours > 0, impact_hours });
     }
 
-    RobustReport { outages, refresh }
+    // Part 3: packet-level fault scenarios, every kind × every mode.
+    let mut scenarios = Vec::new();
+    for kind in ScenarioKind::ALL {
+        for mode in ScenarioMode::ALL {
+            let r = run_scenario(kind, mode, SCENARIO_SEED);
+            scenarios.push(ScenarioRow {
+                kind: kind.name(),
+                mode: mode.name(),
+                queries: r.planned,
+                answered: r.answered(),
+                servfail: r.servfails(),
+                stale: r.node.stale_answers,
+                timeouts: r.node.timeouts,
+                max_armed_ms: r.node.max_armed_timeout.as_millis_f64(),
+            });
+        }
+    }
+
+    RobustReport { outages, refresh, scenarios }
 }
 
 /// Renders both sweeps.
@@ -170,6 +219,40 @@ pub fn render(r: &RobustReport) -> String {
             row.outage_hours, row.expired, row.impact_hours
         ));
     }
+    out.push_str(
+        "  scenario                   mode         ok/total   servfail   stale   timeouts   max armed ms\n",
+    );
+    for row in &r.scenarios {
+        out.push_str(&format!(
+            "  {:<25}  {:<10}  {:>4}/{:<4}   {:>8}   {:>5}   {:>8}   {:>12.0}\n",
+            row.kind,
+            row.mode,
+            row.answered,
+            row.queries,
+            row.servfail,
+            row.stale,
+            row.timeouts,
+            row.max_armed_ms
+        ));
+    }
+
+    let cell = |kind: &str, mode: &str| {
+        r.scenarios
+            .iter()
+            .find(|s| s.kind == kind && s.mode == mode)
+            .expect("matrix cell present")
+    };
+    let total_hints = cell("total-root-outage", "hints");
+    let local_modes = ["local-zone", "preload", "loopback"];
+    let total_locals_ok = local_modes
+        .iter()
+        .all(|m| cell("total-root-outage", m).answered == cell("total-root-outage", m).queries);
+    let partial_ok = ScenarioMode::ALL
+        .iter()
+        .all(|m| cell("partial-anycast-collapse", m.name()).answered == 3);
+    let lossy_ok =
+        ScenarioMode::ALL.iter().all(|m| cell("lossy-path", m.name()).answered == 3);
+    let stale_hints = cell("serve-stale-outage", "hints");
 
     let all13 = r.outages.last().unwrap();
     let partial = &r.outages[1];
@@ -215,6 +298,42 @@ pub fn render(r: &RobustReport) -> String {
             "copy expires; lookups impacted",
             format!("impact {} h", long.impact_hours),
             long.expired,
+        ),
+        Row::new(
+            "scheduled 13-letter outage, hints (pkt)",
+            "every lookup SERVFAILs",
+            format!("{}/{} servfail", total_hints.servfail, total_hints.queries),
+            total_hints.answered == 0 && total_hints.servfail == total_hints.queries,
+        ),
+        Row::new(
+            "scheduled 13-letter outage, local modes (pkt)",
+            "immune",
+            "all answered".to_string(),
+            total_locals_ok,
+        ),
+        Row::new(
+            "partial anycast collapse (pkt)",
+            "anycast + retries absorb it",
+            "all modes answer".to_string(),
+            partial_ok,
+        ),
+        Row::new(
+            "lossy uplink (pkt)",
+            "backoff retries recover",
+            "all modes answer".to_string(),
+            lossy_ok,
+        ),
+        Row::new(
+            "roots+TLDs dark past TTL, hints (pkt)",
+            "serve-stale bridges the outage",
+            format!("{} stale answers", stale_hints.stale),
+            stale_hints.answered == stale_hints.queries && stale_hints.stale >= 1,
+        ),
+        Row::new(
+            "backoff under total outage (pkt)",
+            "retry timer grows exponentially",
+            format!("max armed {:.0} ms", total_hints.max_armed_ms),
+            total_hints.max_armed_ms >= 3_200.0,
         ),
     ];
     out.push_str(&render_rows("ROBUST checks", &rows));

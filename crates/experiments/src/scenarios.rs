@@ -1,0 +1,395 @@
+//! Packet-level robustness scenarios for the §4 claims.
+//!
+//! Each scenario builds one deterministic world — the a–m root fleet (two
+//! anycast instances per letter), TLD servers at their glue addresses, a
+//! recursive resolver in London and a stub client next door — applies a
+//! [`FaultSchedule`] drawn from the paper's failure narratives, and runs it
+//! to completion. A scenario is a pure function of `(kind, mode, seed)`:
+//! re-running with the same triple reproduces the exact same packet trace,
+//! [`SimStats`] and [`NodeStats`], which is what lets `tests/fault_matrix.rs`
+//! assert mode-by-mode outcomes from fixed seeds.
+//!
+//! The four modes are the paper's §3 strategies plus the baseline:
+//! hints (query the root anycast fleet), local zone on demand, preloaded
+//! cache, and an RFC 7706 loopback authoritative instance.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use rootless_netsim::fault::LinkFilter;
+use rootless_netsim::geo::{city_point, GeoPoint};
+use rootless_netsim::sim::{NodeId, Sim, SimStats};
+use rootless_proto::message::Rcode;
+use rootless_proto::name::Name;
+use rootless_proto::rr::{RData, RType};
+use rootless_resolver::node::{NodeRootSource, NodeStats, RecursiveNode, StubClient};
+use rootless_server::auth::{tld_server, AuthServer};
+use rootless_server::node::{deploy_root_fleet, ServerNode};
+use rootless_util::rng::DetRng;
+use rootless_util::time::{SimDuration, SimTime};
+use rootless_zone::hints::RootHints;
+use rootless_zone::rootzone::{self, RootZoneConfig};
+use rootless_zone::zone::Zone;
+
+/// Root-information strategy under test: the §3 strategies plus the
+/// status-quo baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScenarioMode {
+    /// Baseline: iterate from the root anycast addresses (hints file).
+    Hints,
+    /// §3 strategy 2: consult a local root zone copy per consultation.
+    LocalOnDemand,
+    /// §3 strategy 1: the root zone preloaded into the cache.
+    LocalPreload,
+    /// §3 strategy 3 / RFC 7706: authoritative root on a local address.
+    LoopbackAuth,
+}
+
+impl ScenarioMode {
+    /// Every mode, in presentation order.
+    pub const ALL: [ScenarioMode; 4] = [
+        ScenarioMode::Hints,
+        ScenarioMode::LocalOnDemand,
+        ScenarioMode::LocalPreload,
+        ScenarioMode::LoopbackAuth,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioMode::Hints => "hints",
+            ScenarioMode::LocalOnDemand => "local-zone",
+            ScenarioMode::LocalPreload => "preload",
+            ScenarioMode::LoopbackAuth => "loopback",
+        }
+    }
+}
+
+/// Failure narrative applied to the world.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// All 26 root instances (13 letters × 2) scheduled down for the whole
+    /// run — the paper's "root disappears" thought experiment.
+    TotalRootOutage,
+    /// Six letters fully dead, one letter flapping, every other letter
+    /// reduced to a single instance — anycast under heavy stress.
+    PartialAnycastCollapse,
+    /// A lossy uplink: 40% extra loss on everything the resolver sends,
+    /// plus a latency spike on its return path.
+    LossyTldPath,
+    /// Roots *and* TLD servers go dark one hour in; a query that was
+    /// answered while healthy repeats after its TTL expired.
+    ServeStaleUnderOutage,
+}
+
+impl ScenarioKind {
+    /// Every scenario, in presentation order.
+    pub const ALL: [ScenarioKind; 4] = [
+        ScenarioKind::TotalRootOutage,
+        ScenarioKind::PartialAnycastCollapse,
+        ScenarioKind::LossyTldPath,
+        ScenarioKind::ServeStaleUnderOutage,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::TotalRootOutage => "total-root-outage",
+            ScenarioKind::PartialAnycastCollapse => "partial-anycast-collapse",
+            ScenarioKind::LossyTldPath => "lossy-path",
+            ScenarioKind::ServeStaleUnderOutage => "serve-stale-outage",
+        }
+    }
+}
+
+/// Outcome of one client query inside a scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryOutcome {
+    /// Position in the client's query plan.
+    pub index: u16,
+    /// Client-observed latency.
+    pub latency: SimDuration,
+    /// Response code the client received.
+    pub rcode: Rcode,
+    /// Answer records in the response.
+    pub answers: usize,
+}
+
+/// Everything a scenario run produced. `PartialEq` so replay tests can
+/// assert two same-seed runs are indistinguishable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioReport {
+    /// Queries the client planned (responses may have been lost).
+    pub planned: usize,
+    /// Per-query client outcomes, in arrival order.
+    pub results: Vec<QueryOutcome>,
+    /// Resolver-node counters.
+    pub node: NodeStats,
+    /// Simulator counters (including fault attribution).
+    pub sim: SimStats,
+}
+
+impl ScenarioReport {
+    /// Queries answered `NoError` with at least one record.
+    pub fn answered(&self) -> usize {
+        self.results.iter().filter(|r| r.rcode == Rcode::NoError && r.answers > 0).count()
+    }
+
+    /// Queries that came back `ServFail`.
+    pub fn servfails(&self) -> usize {
+        self.results.iter().filter(|r| r.rcode == Rcode::ServFail).count()
+    }
+}
+
+/// Resolver address in every scenario world.
+pub const RESOLVER_ADDR: Ipv4Addr = Ipv4Addr::new(10, 53, 0, 53);
+/// Loopback-root address used by [`ScenarioMode::LoopbackAuth`].
+pub const LOOPBACK_ROOT: Ipv4Addr = Ipv4Addr::new(10, 53, 0, 1);
+
+const FOREVER: SimDuration = SimDuration::from_days(3_650);
+
+struct World {
+    sim: Sim,
+    resolver_id: NodeId,
+    client_id: NodeId,
+    root_instances: Vec<NodeId>,
+    tld_nodes: Vec<NodeId>,
+    tld_addrs: Vec<Ipv4Addr>,
+}
+
+/// Builds the scenario world. Node insertion order is fully deterministic
+/// (TLD glue addresses are sorted) so NodeIds — and therefore fault
+/// schedules addressed by NodeId — are stable across runs.
+fn build_world(
+    mode: ScenarioMode,
+    seed: u64,
+    zone: &Arc<Zone>,
+    plan: Vec<(SimDuration, Name, RType)>,
+    stale_window: SimDuration,
+) -> World {
+    let mut sim = Sim::new(seed);
+    let per_letter: Vec<(char, usize)> = "abcdefghijklm".chars().map(|c| (c, 2)).collect();
+    let fleet = deploy_root_fleet(&mut sim, Arc::clone(zone), &per_letter, 1);
+    let root_instances: Vec<NodeId> =
+        fleet.instances.iter().flat_map(|(_, ids)| ids.iter().copied()).collect();
+
+    // One AuthServer per TLD, shared across that TLD's glue addresses; an
+    // address listed by several TLDs serves all of their zones.
+    let mut rng = DetRng::seed_from_u64(seed ^ 0x51d);
+    let mut auths: HashMap<Ipv4Addr, usize> = HashMap::new();
+    let mut servers: Vec<AuthServer> = Vec::new();
+    for (ti, tld) in zone.tlds().into_iter().enumerate() {
+        let auth = tld_server(&tld, 3, ti as u64);
+        let tld_zone = auth.zone_shared();
+        let mut server_idx: Option<usize> = None;
+        for r in zone.delegation_records(&tld) {
+            if let RData::A(addr) = r.rdata {
+                if let Some(&existing) = auths.get(&addr) {
+                    servers[existing].add_zone(Arc::clone(&tld_zone));
+                    continue;
+                }
+                let idx = *server_idx.get_or_insert_with(|| {
+                    servers.push(auth.clone());
+                    servers.len() - 1
+                });
+                auths.insert(addr, idx);
+            }
+        }
+    }
+    let mut placed: Vec<(Ipv4Addr, usize)> = auths.into_iter().collect();
+    placed.sort_by_key(|(addr, _)| u32::from(*addr));
+    let mut tld_nodes = Vec::new();
+    let mut tld_addrs = Vec::new();
+    for (addr, idx) in placed {
+        let node = ServerNode::new(servers[idx].clone());
+        tld_nodes.push(sim.add_node(addr, city_point(idx + 3, &mut rng), Box::new(node)));
+        tld_addrs.push(addr);
+    }
+
+    let source = match mode {
+        ScenarioMode::Hints => NodeRootSource::Hints,
+        ScenarioMode::LocalOnDemand => NodeRootSource::LocalZone(Arc::clone(zone)),
+        ScenarioMode::LocalPreload => NodeRootSource::Preload(Arc::clone(zone)),
+        ScenarioMode::LoopbackAuth => NodeRootSource::Loopback(LOOPBACK_ROOT),
+    };
+    let mut resolver = RecursiveNode::new(source);
+    resolver.cache.stale_window = stale_window;
+    let resolver_id =
+        sim.add_node(RESOLVER_ADDR, GeoPoint::new(51.5, -0.1), Box::new(resolver));
+    if mode == ScenarioMode::LoopbackAuth {
+        let local_root = ServerNode::new(AuthServer::new_shared(Arc::clone(zone)));
+        sim.add_node(LOOPBACK_ROOT, GeoPoint::new(51.5, -0.1), Box::new(local_root));
+    }
+
+    let delays: Vec<SimDuration> = plan.iter().map(|(d, _, _)| *d).collect();
+    let client = StubClient::new(RESOLVER_ADDR, plan);
+    let client_id =
+        sim.add_node(Ipv4Addr::new(10, 53, 0, 2), GeoPoint::new(51.6, -0.2), Box::new(client));
+    for (i, d) in delays.iter().enumerate() {
+        sim.schedule_timer(client_id, *d, i as u64);
+    }
+    World { sim, resolver_id, client_id, root_instances, tld_nodes, tld_addrs }
+}
+
+/// Runs one scenario to completion. Same `(kind, mode, seed)` → identical
+/// [`ScenarioReport`], bit for bit.
+pub fn run_scenario(kind: ScenarioKind, mode: ScenarioMode, seed: u64) -> ScenarioReport {
+    let zone = Arc::new(rootzone::build(&RootZoneConfig::small(15)));
+    let tlds = zone.tlds();
+    let target = |i: usize| {
+        tlds[i % tlds.len()].child("domain0").unwrap().child("www").unwrap()
+    };
+    let at = |s: u64| SimTime::ZERO + SimDuration::from_secs(s);
+
+    let (plan, stale_window): (Vec<(SimDuration, Name, RType)>, SimDuration) = match kind {
+        ScenarioKind::TotalRootOutage => (
+            vec![
+                (SimDuration::ZERO, target(0), RType::A),
+                (SimDuration::from_secs(150), target(1), RType::A),
+            ],
+            SimDuration::ZERO,
+        ),
+        ScenarioKind::PartialAnycastCollapse => (
+            (0..3)
+                .map(|i| (SimDuration::from_secs(i as u64 * 30), target(i), RType::A))
+                .collect(),
+            SimDuration::ZERO,
+        ),
+        ScenarioKind::LossyTldPath => (
+            (0..3)
+                .map(|i| (SimDuration::from_secs(i as u64 * 60), target(i), RType::A))
+                .collect(),
+            SimDuration::ZERO,
+        ),
+        ScenarioKind::ServeStaleUnderOutage => (
+            vec![
+                (SimDuration::ZERO, target(0), RType::A),
+                // The www A record's TTL is one hour; two hours in it is
+                // expired but well inside the stale window.
+                (SimDuration::from_hours(2), target(0), RType::A),
+            ],
+            SimDuration::from_days(7),
+        ),
+    };
+
+    let planned = plan.len();
+    let mut world = build_world(mode, seed, &zone, plan, stale_window);
+    match kind {
+        ScenarioKind::TotalRootOutage => {
+            for id in &world.root_instances {
+                world.sim.faults.node_outage(*id, SimTime::ZERO, SimTime::ZERO + FOREVER);
+            }
+        }
+        ScenarioKind::PartialAnycastCollapse => {
+            // Letters a–f fully dead; letter g flaps; h–m lose one of two
+            // instances. Instances are laid out letter-major, two per letter.
+            for (letter, pair) in world.root_instances.chunks(2).enumerate() {
+                match letter {
+                    0..=5 => {
+                        for id in pair {
+                            world.sim.faults.node_outage(
+                                *id,
+                                SimTime::ZERO,
+                                SimTime::ZERO + FOREVER,
+                            );
+                        }
+                    }
+                    6 => {
+                        world.sim.faults.flap(
+                            pair[0],
+                            at(5),
+                            SimDuration::from_secs(10),
+                            SimDuration::from_secs(10),
+                            3,
+                        );
+                    }
+                    _ => {
+                        world.sim.faults.node_outage(
+                            pair[0],
+                            SimTime::ZERO,
+                            SimTime::ZERO + FOREVER,
+                        );
+                    }
+                }
+            }
+        }
+        ScenarioKind::LossyTldPath => {
+            // Loss on the resolver's outbound links to every remote
+            // upstream (roots and TLD servers) — not the local client leg
+            // and not the RFC 7706 loopback, which never crosses the WAN.
+            let upstreams: Vec<Ipv4Addr> = RootHints::standard()
+                .v4_addrs()
+                .into_iter()
+                .chain(world.tld_addrs.iter().copied())
+                .collect();
+            for addr in upstreams {
+                world.sim.faults.loss_burst(
+                    LinkFilter::between(RESOLVER_ADDR, addr),
+                    SimTime::ZERO,
+                    SimTime::ZERO + FOREVER,
+                    0.4,
+                );
+                // The return path jitters instead of dropping.
+                world.sim.faults.latency_spike(
+                    LinkFilter::between(addr, RESOLVER_ADDR),
+                    SimTime::ZERO,
+                    SimTime::ZERO + FOREVER,
+                    SimDuration::from_millis(50),
+                    SimDuration::from_millis(20),
+                );
+            }
+        }
+        ScenarioKind::ServeStaleUnderOutage => {
+            let dark = SimTime::ZERO + SimDuration::from_hours(1);
+            for id in world.root_instances.iter().chain(&world.tld_nodes) {
+                world.sim.faults.node_outage(*id, dark, SimTime::ZERO + FOREVER);
+            }
+        }
+    }
+
+    world.sim.run_to_completion();
+
+    let client = (world.sim.node(world.client_id) as &dyn std::any::Any)
+        .downcast_ref::<StubClient>()
+        .expect("client node");
+    let results = client
+        .results
+        .iter()
+        .map(|(i, lat, rcode, answers)| QueryOutcome {
+            index: *i,
+            latency: *lat,
+            rcode: *rcode,
+            answers: answers.len(),
+        })
+        .collect();
+    let node = (world.sim.node(world.resolver_id) as &dyn std::any::Any)
+        .downcast_ref::<RecursiveNode>()
+        .expect("resolver node")
+        .stats
+        .clone();
+    ScenarioReport { planned, results, node, sim: world.sim.stats.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_worlds_are_seed_deterministic() {
+        let a = run_scenario(ScenarioKind::PartialAnycastCollapse, ScenarioMode::Hints, 7);
+        let b = run_scenario(ScenarioKind::PartialAnycastCollapse, ScenarioMode::Hints, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.results.len(), 3);
+    }
+
+    #[test]
+    fn total_outage_separates_hints_from_local_modes() {
+        let hints = run_scenario(ScenarioKind::TotalRootOutage, ScenarioMode::Hints, 11);
+        assert_eq!(hints.answered(), 0);
+        assert_eq!(hints.servfails(), 2);
+        let preload = run_scenario(ScenarioKind::TotalRootOutage, ScenarioMode::LocalPreload, 11);
+        assert_eq!(preload.answered(), 2);
+        assert_eq!(preload.node.root_queries, 0);
+    }
+}

@@ -1,0 +1,412 @@
+//! Deterministic fault injection: a seed-replayable schedule of failure
+//! windows the engine consults at dispatch time.
+//!
+//! The §4 robustness argument is about *timelines* — a root letter that is
+//! down for twenty minutes, an anycast site that flaps, a lossy path during
+//! a TLD fetch — not a static up/down bit. A [`FaultSchedule`] expresses
+//! those timelines as data: node outage/recovery windows (including
+//! flapping), per-link loss bursts, latency spikes with jitter, and
+//! partitions between node groups. The engine queries the schedule with the
+//! current simulated time on every dispatch, so a run remains a pure
+//! function of `(seed, nodes, schedule)` and replays bit-identically.
+//!
+//! Fault-attributed drops are *subsets* of the engine's main counters (a
+//! burst drop is still a `dropped_loss`), so the packet-conservation
+//! invariant `delivered + dropped_loss + dropped_unreachable +
+//! middlebox_drops == sent` holds for any schedule.
+
+use std::net::Ipv4Addr;
+
+use rootless_util::rng::DetRng;
+use rootless_util::time::{SimDuration, SimTime};
+
+use crate::sim::NodeId;
+
+/// A Bernoulli packet-loss gate — the one primitive both the event engine
+/// ([`crate::sim::Sim`]) and the call-level `StaticNetwork` in the resolver
+/// crate route their random-loss decisions through, so the semantics (clamp
+/// to `[0,1]`, one RNG draw per packet, draw only when active) cannot drift
+/// between the two layers.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LossGate {
+    /// Drop probability in `[0, 1]`.
+    pub prob: f64,
+}
+
+impl LossGate {
+    /// A gate dropping with probability `prob` (clamped to `[0, 1]`).
+    pub fn new(prob: f64) -> LossGate {
+        LossGate { prob: prob.clamp(0.0, 1.0) }
+    }
+
+    /// True when the gate can drop anything at all. An inactive gate never
+    /// consumes randomness, so adding `loss = 0.0` to a run cannot perturb
+    /// its RNG stream.
+    pub fn is_active(&self) -> bool {
+        self.prob > 0.0
+    }
+
+    /// Decides one packet's fate (draws from `rng` only when active).
+    pub fn drops(&self, rng: &mut DetRng) -> bool {
+        self.is_active() && rng.chance(self.prob)
+    }
+}
+
+/// A half-open window of simulated time `[from, to)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Window {
+    /// First instant inside the window.
+    pub from: SimTime,
+    /// First instant after the window.
+    pub to: SimTime,
+}
+
+impl Window {
+    /// A window `[from, to)`. Panics if `to < from`.
+    pub fn new(from: SimTime, to: SimTime) -> Window {
+        assert!(from <= to, "window ends before it starts");
+        Window { from, to }
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.from <= t && t < self.to
+    }
+}
+
+/// Which packets a link-level fault applies to. `None` means "any".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkFilter {
+    /// Match only packets from this source address.
+    pub src: Option<Ipv4Addr>,
+    /// Match only packets to this destination address.
+    pub dst: Option<Ipv4Addr>,
+}
+
+impl LinkFilter {
+    /// Matches every packet.
+    pub fn any() -> LinkFilter {
+        LinkFilter::default()
+    }
+
+    /// Matches packets originating at `src`.
+    pub fn from_src(src: Ipv4Addr) -> LinkFilter {
+        LinkFilter { src: Some(src), dst: None }
+    }
+
+    /// Matches packets destined to `dst`.
+    pub fn to_dst(dst: Ipv4Addr) -> LinkFilter {
+        LinkFilter { src: None, dst: Some(dst) }
+    }
+
+    /// Matches the directed link `src -> dst`.
+    pub fn between(src: Ipv4Addr, dst: Ipv4Addr) -> LinkFilter {
+        LinkFilter { src: Some(src), dst: Some(dst) }
+    }
+
+    /// Whether a packet `src -> dst` is covered by this filter.
+    pub fn matches(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        self.src.is_none_or(|s| s == src) && self.dst.is_none_or(|d| d == dst)
+    }
+}
+
+/// Extra random loss on matching links during a window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LossBurst {
+    /// When the burst is active.
+    pub window: Window,
+    /// Which packets it affects.
+    pub filter: LinkFilter,
+    /// Extra drop probability while active.
+    pub prob: f64,
+}
+
+/// Extra one-way delay on matching links during a window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencySpike {
+    /// When the spike is active.
+    pub window: Window,
+    /// Which packets it affects.
+    pub filter: LinkFilter,
+    /// Deterministic extra delay added to every matching packet.
+    pub extra: SimDuration,
+    /// Additional uniformly-drawn jitter in `[0, jitter)` per packet.
+    pub jitter: SimDuration,
+}
+
+/// A bidirectional partition: packets between group `a` and group `b` are
+/// dropped while the window is active.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Partition {
+    /// When the partition is active.
+    pub window: Window,
+    /// One side of the cut.
+    pub a: Vec<NodeId>,
+    /// The other side of the cut.
+    pub b: Vec<NodeId>,
+}
+
+/// Per-fault-class counters, folded into `SimStats`. Each counter is a
+/// subset of one of the engine's main drop/delivery counters, so they
+/// refine — never break — the packet-conservation invariant.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultStats {
+    /// `dropped_unreachable` packets whose destination was only down
+    /// because of a scheduled outage window.
+    pub outage_drops: u64,
+    /// `dropped_loss` packets taken by a loss burst (not the base loss).
+    pub burst_drops: u64,
+    /// `dropped_unreachable` packets cut by an active partition.
+    pub partition_drops: u64,
+    /// Packets delayed by a latency spike.
+    pub spiked: u64,
+    /// Total extra delay injected by spikes.
+    pub spike_delay_total: SimDuration,
+}
+
+/// A time-ordered set of failure windows. Build one with the `node_outage`
+/// / `flap` / `loss_burst` / `latency_spike` / `partition` methods, install
+/// it on a `Sim`, and every run with the same seed and schedule replays
+/// identically.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultSchedule {
+    outages: Vec<(NodeId, Window)>,
+    bursts: Vec<LossBurst>,
+    spikes: Vec<LatencySpike>,
+    partitions: Vec<Partition>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no faults).
+    pub fn new() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// True when the schedule contains no fault windows at all.
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty()
+            && self.bursts.is_empty()
+            && self.spikes.is_empty()
+            && self.partitions.is_empty()
+    }
+
+    /// Takes `node` down for `[from, to)` (it recovers at `to`).
+    pub fn node_outage(&mut self, node: NodeId, from: SimTime, to: SimTime) -> &mut Self {
+        self.outages.push((node, Window::new(from, to)));
+        self
+    }
+
+    /// Flaps `node`: starting at `first_down`, alternate `down_for` down and
+    /// `up_for` up, for `cycles` down-phases — the anycast-instance
+    /// instability the root letters' site diversity papers over.
+    pub fn flap(
+        &mut self,
+        node: NodeId,
+        first_down: SimTime,
+        down_for: SimDuration,
+        up_for: SimDuration,
+        cycles: usize,
+    ) -> &mut Self {
+        let mut start = first_down;
+        for _ in 0..cycles {
+            self.node_outage(node, start, start + down_for);
+            start = start + down_for + up_for;
+        }
+        self
+    }
+
+    /// Adds extra random loss `prob` on links matching `filter` during
+    /// `[from, to)`.
+    pub fn loss_burst(
+        &mut self,
+        filter: LinkFilter,
+        from: SimTime,
+        to: SimTime,
+        prob: f64,
+    ) -> &mut Self {
+        self.bursts.push(LossBurst { window: Window::new(from, to), filter, prob });
+        self
+    }
+
+    /// Adds `extra` (+ uniform jitter in `[0, jitter)`) of one-way delay on
+    /// links matching `filter` during `[from, to)`.
+    pub fn latency_spike(
+        &mut self,
+        filter: LinkFilter,
+        from: SimTime,
+        to: SimTime,
+        extra: SimDuration,
+        jitter: SimDuration,
+    ) -> &mut Self {
+        self.spikes.push(LatencySpike { window: Window::new(from, to), filter, extra, jitter });
+        self
+    }
+
+    /// Disconnects groups `a` and `b` from each other during `[from, to)`.
+    pub fn partition(
+        &mut self,
+        a: Vec<NodeId>,
+        b: Vec<NodeId>,
+        from: SimTime,
+        to: SimTime,
+    ) -> &mut Self {
+        self.partitions.push(Partition { window: Window::new(from, to), a, b });
+        self
+    }
+
+    /// Whether `node` is inside a scheduled outage window at `t`.
+    pub fn node_down_at(&self, node: NodeId, t: SimTime) -> bool {
+        self.outages.iter().any(|(n, w)| *n == node && w.contains(t))
+    }
+
+    /// Combined burst-loss probability for a `src -> dst` packet at `now`:
+    /// `1 - prod(1 - p_i)` over the active matching bursts (one RNG draw per
+    /// packet downstream, however many bursts overlap).
+    pub fn burst_prob(&self, now: SimTime, src: Ipv4Addr, dst: Ipv4Addr) -> f64 {
+        let mut pass = 1.0f64;
+        for b in &self.bursts {
+            if b.window.contains(now) && b.filter.matches(src, dst) {
+                pass *= 1.0 - b.prob.clamp(0.0, 1.0);
+            }
+        }
+        1.0 - pass
+    }
+
+    /// Whether a packet from `src` (None for injected traffic, which no
+    /// partition covers) to `dst` crosses an active partition at `now`.
+    pub fn partitioned(&self, now: SimTime, src: Option<NodeId>, dst: NodeId) -> bool {
+        let Some(src) = src else { return false };
+        self.partitions.iter().any(|p| {
+            p.window.contains(now)
+                && ((p.a.contains(&src) && p.b.contains(&dst))
+                    || (p.b.contains(&src) && p.a.contains(&dst)))
+        })
+    }
+
+    /// Total spike delay for a `src -> dst` packet at `now`; draws jitter
+    /// from `rng` only for active matching spikes, preserving the RNG
+    /// stream of runs without spikes.
+    pub fn spike_delay(
+        &self,
+        now: SimTime,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        rng: &mut DetRng,
+    ) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for s in &self.spikes {
+            if s.window.contains(now) && s.filter.matches(src, dst) {
+                total = total + s.extra;
+                if s.jitter > SimDuration::ZERO {
+                    total = total + SimDuration::from_nanos(rng.below(s.jitter.as_nanos().max(1)));
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn window_half_open() {
+        let w = Window::new(t(10), t(20));
+        assert!(!w.contains(t(9)));
+        assert!(w.contains(t(10)));
+        assert!(w.contains(t(19)));
+        assert!(!w.contains(t(20)));
+    }
+
+    #[test]
+    fn outage_windows_and_flap() {
+        let mut s = FaultSchedule::new();
+        s.node_outage(NodeId(1), t(100), t(200));
+        s.flap(NodeId(2), t(0), SimDuration::from_millis(10), SimDuration::from_millis(10), 2);
+        assert!(s.node_down_at(NodeId(1), t(150)));
+        assert!(!s.node_down_at(NodeId(1), t(200)), "recovers at window end");
+        assert!(!s.node_down_at(NodeId(3), t(150)));
+        // Flap: down [0,10), up [10,20), down [20,30), up after.
+        assert!(s.node_down_at(NodeId(2), t(5)));
+        assert!(!s.node_down_at(NodeId(2), t(15)));
+        assert!(s.node_down_at(NodeId(2), t(25)));
+        assert!(!s.node_down_at(NodeId(2), t(35)));
+    }
+
+    #[test]
+    fn burst_prob_combines_overlapping_bursts() {
+        let a: Ipv4Addr = "10.0.0.1".parse().unwrap();
+        let b: Ipv4Addr = "10.0.0.2".parse().unwrap();
+        let mut s = FaultSchedule::new();
+        s.loss_burst(LinkFilter::any(), t(0), t(100), 0.5);
+        s.loss_burst(LinkFilter::to_dst(b), t(0), t(100), 0.5);
+        let p = s.burst_prob(t(50), a, b);
+        assert!((p - 0.75).abs() < 1e-12, "{p}");
+        assert_eq!(s.burst_prob(t(150), a, b), 0.0, "outside the window");
+        assert!((s.burst_prob(t(50), b, a) - 0.5).abs() < 1e-12, "only the wildcard burst");
+    }
+
+    #[test]
+    fn link_filter_matching() {
+        let a: Ipv4Addr = "10.0.0.1".parse().unwrap();
+        let b: Ipv4Addr = "10.0.0.2".parse().unwrap();
+        assert!(LinkFilter::any().matches(a, b));
+        assert!(LinkFilter::from_src(a).matches(a, b));
+        assert!(!LinkFilter::from_src(b).matches(a, b));
+        assert!(LinkFilter::between(a, b).matches(a, b));
+        assert!(!LinkFilter::between(b, a).matches(a, b), "filters are directed");
+    }
+
+    #[test]
+    fn partition_is_bidirectional_and_windowed() {
+        let mut s = FaultSchedule::new();
+        s.partition(vec![NodeId(0)], vec![NodeId(1), NodeId(2)], t(10), t(20));
+        assert!(s.partitioned(t(15), Some(NodeId(0)), NodeId(1)));
+        assert!(s.partitioned(t(15), Some(NodeId(2)), NodeId(0)));
+        assert!(!s.partitioned(t(15), Some(NodeId(1)), NodeId(2)), "same side stays connected");
+        assert!(!s.partitioned(t(25), Some(NodeId(0)), NodeId(1)), "window ended");
+        assert!(!s.partitioned(t(15), None, NodeId(1)), "injected traffic unaffected");
+    }
+
+    #[test]
+    fn spike_delay_deterministic_part_plus_jitter() {
+        let a: Ipv4Addr = "10.0.0.1".parse().unwrap();
+        let b: Ipv4Addr = "10.0.0.2".parse().unwrap();
+        let mut s = FaultSchedule::new();
+        s.latency_spike(
+            LinkFilter::any(),
+            t(0),
+            t(100),
+            SimDuration::from_millis(30),
+            SimDuration::from_millis(10),
+        );
+        let mut rng = DetRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let d = s.spike_delay(t(10), a, b, &mut rng);
+            assert!(d >= SimDuration::from_millis(30) && d < SimDuration::from_millis(40), "{d}");
+        }
+        let mut rng2 = DetRng::seed_from_u64(9);
+        assert_eq!(s.spike_delay(t(200), a, b, &mut rng2), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn loss_gate_extremes_and_rng_preservation() {
+        let mut rng = DetRng::seed_from_u64(4);
+        assert!(!LossGate::new(0.0).drops(&mut rng));
+        assert!(LossGate::new(1.0).drops(&mut rng));
+        assert!(LossGate::new(-3.0).prob == 0.0 && LossGate::new(7.0).prob == 1.0);
+        // An inactive gate must not consume randomness.
+        let mut a = DetRng::seed_from_u64(5);
+        let mut b = DetRng::seed_from_u64(5);
+        let gate = LossGate::new(0.0);
+        for _ in 0..10 {
+            let _ = gate.drops(&mut a);
+        }
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

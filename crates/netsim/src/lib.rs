@@ -13,8 +13,10 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod geo;
 pub mod sim;
 
+pub use fault::{FaultSchedule, FaultStats, LinkFilter, LossGate, Window};
 pub use geo::GeoPoint;
 pub use sim::{Ctx, Datagram, Middlebox, Node, NodeId, Payload, Sim, SimStats, Verdict};

@@ -14,6 +14,7 @@ use std::sync::Arc;
 use rootless_util::rng::DetRng;
 use rootless_util::time::{SimDuration, SimTime};
 
+use crate::fault::{FaultSchedule, FaultStats, LossGate};
 use crate::geo::GeoPoint;
 
 /// Node handle.
@@ -212,7 +213,10 @@ enum EventKind {
 
 /// Traffic counters, including the per-destination accounting the root
 /// traffic study needs.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` so replay tests can assert two same-seed runs produced
+/// bit-identical accounting.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimStats {
     /// Datagrams handed to the engine.
     pub sent: u64,
@@ -231,6 +235,9 @@ pub struct SimStats {
     pub bytes_sent: u64,
     /// Per-destination-address delivered counts.
     pub per_dst: HashMap<Ipv4Addr, u64>,
+    /// Fault-injection sub-attribution (each counter refines one of the
+    /// drop/delivery counters above; see [`FaultStats`]).
+    pub faults: FaultStats,
 }
 
 /// The simulation engine.
@@ -250,6 +257,10 @@ pub struct Sim {
     pub loss: f64,
     /// Link bandwidth in bytes/ms for size-dependent delay (zone transfers).
     pub bandwidth_bytes_per_ms: f64,
+    /// Scheduled fault timeline, consulted at dispatch/delivery time. Empty
+    /// by default; an empty schedule draws no randomness, so installing one
+    /// never perturbs unrelated runs.
+    pub faults: FaultSchedule,
     rng: DetRng,
     /// Counters.
     pub stats: SimStats,
@@ -272,6 +283,7 @@ impl Sim {
             middleboxes: Vec::new(),
             loss: 0.0,
             bandwidth_bytes_per_ms: 1_250.0, // ~10 Mbit/s
+            faults: FaultSchedule::new(),
             rng: DetRng::seed_from_u64(seed),
             stats: SimStats::default(),
         }
@@ -313,9 +325,15 @@ impl Sim {
         self.down[node.0] = down;
     }
 
-    /// Whether a node is currently down.
+    /// Whether a node is currently down (manually, not via the schedule).
     pub fn is_down(&self, node: NodeId) -> bool {
         self.down[node.0]
+    }
+
+    /// Whether a node is live right now: not manually down and not inside a
+    /// scheduled outage window.
+    pub fn is_live(&self, node: NodeId) -> bool {
+        !self.down[node.0] && !self.faults.node_down_at(node, self.now)
     }
 
     /// The geographic position of a node.
@@ -329,20 +347,37 @@ impl Sim {
     }
 
     /// Resolves a destination address to the receiving node, honoring anycast
-    /// and liveness: the nearest live instance to `from`.
+    /// and liveness (manual `set_down` *and* scheduled outage windows at the
+    /// current time): the nearest live instance to `from`.
     pub fn route(&self, from: GeoPoint, dst: Ipv4Addr) -> Option<NodeId> {
+        self.route_where(from, dst, |id| self.is_live(id))
+    }
+
+    /// Like [`Sim::route`] but ignoring the fault schedule — used to decide
+    /// whether an unreachable drop should be attributed to a scheduled
+    /// outage.
+    fn route_ignoring_faults(&self, from: GeoPoint, dst: Ipv4Addr) -> Option<NodeId> {
+        self.route_where(from, dst, |id| !self.down[id.0])
+    }
+
+    fn route_where<F: Fn(NodeId) -> bool>(
+        &self,
+        from: GeoPoint,
+        dst: Ipv4Addr,
+        live: F,
+    ) -> Option<NodeId> {
         if let Some(instances) = self.anycast.get(&dst) {
             instances
                 .iter()
                 .copied()
-                .filter(|id| !self.down[id.0])
+                .filter(|id| live(*id))
                 .min_by(|a, b| {
                     from.distance_km(&self.geos[a.0])
                         .partial_cmp(&from.distance_km(&self.geos[b.0]))
                         .unwrap()
                 })
         } else {
-            self.unicast.get(&dst).copied().filter(|id| !self.down[id.0])
+            self.unicast.get(&dst).copied().filter(|id| live(*id))
         }
     }
 
@@ -396,7 +431,7 @@ impl Sim {
             // half the sender→destination delay).
             let reply = Datagram { src: dgram.dst, dst: dgram.src, payload };
             let target = match self.unicast.get(&dgram.src) {
-                Some(&id) if !self.down[id.0] => id,
+                Some(&id) if self.is_live(id) => id,
                 _ => {
                     self.stats.dropped_unreachable += 1;
                     return;
@@ -409,15 +444,40 @@ impl Sim {
             return;
         }
 
-        if self.loss > 0.0 && self.rng.chance(self.loss) {
+        // Scheduled loss bursts: overlapping bursts combine into one
+        // probability and cost one RNG draw per packet. Checked before the
+        // base loss so a burst drop is attributable even under base loss.
+        let burst = LossGate::new(self.faults.burst_prob(self.now, dgram.src, dgram.dst));
+        if burst.drops(&mut self.rng) {
+            self.stats.dropped_loss += 1;
+            self.stats.faults.burst_drops += 1;
+            return;
+        }
+        if LossGate::new(self.loss).drops(&mut self.rng) {
             self.stats.dropped_loss += 1;
             return;
         }
         let Some(target) = self.route(from_geo, dgram.dst) else {
             self.stats.dropped_unreachable += 1;
+            if self.route_ignoring_faults(from_geo, dgram.dst).is_some() {
+                // Only unreachable because of a scheduled outage window.
+                self.stats.faults.outage_drops += 1;
+            }
             return;
         };
-        let delay = from_geo.one_way_delay(&self.geos[target.0]) + self.transmission_delay(dgram.payload.len());
+        if self.faults.partitioned(self.now, self.unicast.get(&dgram.src).copied(), target) {
+            self.stats.dropped_unreachable += 1;
+            self.stats.faults.partition_drops += 1;
+            return;
+        }
+        let mut delay =
+            from_geo.one_way_delay(&self.geos[target.0]) + self.transmission_delay(dgram.payload.len());
+        let spike = self.faults.spike_delay(self.now, dgram.src, dgram.dst, &mut self.rng);
+        if spike > SimDuration::ZERO {
+            self.stats.faults.spiked += 1;
+            self.stats.faults.spike_delay_total = self.stats.faults.spike_delay_total + spike;
+            delay = delay + spike;
+        }
         let at = self.now + delay;
         self.push_event(at, EventKind::Deliver(target, dgram));
     }
@@ -440,8 +500,13 @@ impl Sim {
             processed += 1;
             match kind {
                 EventKind::Deliver(node_id, dgram) => {
-                    if self.down[node_id.0] {
+                    // The node may have entered an outage window while the
+                    // packet was in flight.
+                    if !self.is_live(node_id) {
                         self.stats.dropped_unreachable += 1;
+                        if !self.down[node_id.0] {
+                            self.stats.faults.outage_drops += 1;
+                        }
                         continue;
                     }
                     self.stats.delivered += 1;
@@ -449,7 +514,7 @@ impl Sim {
                     self.with_node(node_id, |node, ctx| node.on_datagram(ctx, dgram));
                 }
                 EventKind::Timer(node_id, token) => {
-                    if self.down[node_id.0] {
+                    if !self.is_live(node_id) {
                         continue;
                     }
                     self.with_node(node_id, |node, ctx| node.on_timer(ctx, token));

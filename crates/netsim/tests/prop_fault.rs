@@ -1,0 +1,237 @@
+//! Property tests for the fault-injection framework.
+//!
+//! The load-bearing invariant: whatever schedule of outages, flaps, loss
+//! bursts, latency spikes and partitions is installed, every packet handed
+//! to the engine is accounted for exactly once —
+//! `delivered + dropped_loss + dropped_unreachable + middlebox_drops ==
+//! sent` once the queue drains. Fault counters are refinements (subsets) of
+//! those buckets, and a same-seed re-run replays bit-identically.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+use rootless_netsim::fault::{FaultSchedule, LinkFilter};
+use rootless_netsim::geo::GeoPoint;
+use rootless_netsim::sim::{Ctx, Datagram, Middlebox, Node, Sim, SimStats, Verdict};
+use rootless_util::time::{SimDuration, SimTime};
+
+const SERVERS: usize = 5;
+const ANYCAST: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 4);
+
+fn server_addr(i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, 10 + i as u8)
+}
+
+fn t(ms: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(ms)
+}
+
+/// Echoes every datagram back to its source.
+struct Echo;
+impl Node for Echo {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+        ctx.send(dgram.src, dgram.payload);
+    }
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+}
+
+/// Fires one packet per timer at the destination encoded in the token.
+struct Blaster {
+    targets: Vec<Ipv4Addr>,
+}
+impl Node for Blaster {
+    fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _dgram: Datagram) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let dst = self.targets[token as usize % self.targets.len()];
+        ctx.send(dst, b"probe".to_vec());
+    }
+}
+
+/// Drops every `n`-th inspected packet (exercises the middlebox bucket).
+struct DropEveryNth {
+    n: u64,
+    seen: u64,
+}
+impl Middlebox for DropEveryNth {
+    fn inspect(&mut self, _now: SimTime, _d: &Datagram) -> Verdict {
+        self.seen += 1;
+        if self.seen % self.n == 0 {
+            Verdict::Drop
+        } else {
+            Verdict::Pass
+        }
+    }
+}
+
+/// A randomly generated fault timeline plus engine knobs.
+#[derive(Clone, Debug)]
+struct Plan {
+    seed: u64,
+    base_loss: f64,
+    packets: u64,
+    outages: Vec<(usize, u64, u64)>,          // (server, start_ms, dur_ms)
+    flaps: Vec<(usize, u64, u64, u64, usize)>, // (server, first_down, down, up, cycles)
+    bursts: Vec<(usize, u64, u64, f64)>,      // (dst server, start, dur, prob)
+    spikes: Vec<(u64, u64, u64, u64)>,        // (start, dur, extra_ms, jitter_ms)
+    partitions: Vec<(u64, u64)>,              // (start, dur) client | servers 0..2
+}
+
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    (
+        any::<u64>(),
+        0.0f64..0.4,
+        20u64..80,
+        proptest::collection::vec((0usize..SERVERS, 0u64..4000, 1u64..3000), 0..=3),
+        proptest::collection::vec(
+            (0usize..SERVERS, 0u64..2000, 1u64..500, 1u64..500, 1usize..4),
+            0..=2,
+        ),
+        proptest::collection::vec((0usize..SERVERS, 0u64..4000, 1u64..2000, 0.0f64..1.0), 0..=2),
+        proptest::collection::vec((0u64..4000, 1u64..2000, 0u64..200, 0u64..50), 0..=2),
+        proptest::collection::vec((0u64..4000, 1u64..2000), 0..=1),
+    )
+        .prop_map(|(seed, base_loss, packets, outages, flaps, bursts, spikes, partitions)| Plan {
+            seed,
+            base_loss,
+            packets,
+            outages,
+            flaps,
+            bursts,
+            spikes,
+            partitions,
+        })
+}
+
+/// Builds the world, installs the plan's schedule, runs to completion.
+fn run_plan(plan: &Plan) -> SimStats {
+    let mut sim = Sim::new(plan.seed);
+    sim.loss = plan.base_loss;
+
+    let mut servers = Vec::new();
+    for i in 0..SERVERS {
+        let geo = GeoPoint::new(10.0 * i as f64 - 20.0, 15.0 * i as f64 - 30.0);
+        servers.push(sim.add_node(server_addr(i), geo, Box::new(Echo)));
+    }
+    // First three servers also back an anycast address.
+    sim.add_anycast(ANYCAST, servers[..3].to_vec());
+    let client = sim.add_node(
+        Ipv4Addr::new(10, 9, 9, 9),
+        GeoPoint::new(51.5, -0.1),
+        Box::new(Blaster {
+            targets: (0..SERVERS).map(server_addr).chain([ANYCAST]).collect(),
+        }),
+    );
+    sim.add_middlebox(Box::new(DropEveryNth { n: 7, seen: 0 }));
+
+    let mut faults = FaultSchedule::new();
+    for &(s, start, dur) in &plan.outages {
+        faults.node_outage(servers[s], t(start), t(start + dur));
+    }
+    for &(s, first, down, up, cycles) in &plan.flaps {
+        faults.flap(
+            servers[s],
+            t(first),
+            SimDuration::from_millis(down),
+            SimDuration::from_millis(up),
+            cycles,
+        );
+    }
+    for &(s, start, dur, prob) in &plan.bursts {
+        faults.loss_burst(LinkFilter::to_dst(server_addr(s)), t(start), t(start + dur), prob);
+    }
+    for &(start, dur, extra, jitter) in &plan.spikes {
+        faults.latency_spike(
+            LinkFilter::any(),
+            t(start),
+            t(start + dur),
+            SimDuration::from_millis(extra),
+            SimDuration::from_millis(jitter),
+        );
+    }
+    for &(start, dur) in &plan.partitions {
+        faults.partition(vec![client], servers[..3].to_vec(), t(start), t(start + dur));
+    }
+    sim.faults = faults;
+
+    for i in 0..plan.packets {
+        sim.schedule_timer(client, SimDuration::from_millis(i * 60), i);
+    }
+    sim.run_to_completion();
+    sim.stats.clone()
+}
+
+fn assert_conserved(stats: &SimStats) {
+    assert_eq!(
+        stats.delivered + stats.dropped_loss + stats.dropped_unreachable + stats.middlebox_drops,
+        stats.sent,
+        "packet conservation violated: {stats:?}"
+    );
+    // Fault counters refine, never exceed, the main buckets.
+    assert!(stats.faults.burst_drops <= stats.dropped_loss, "{stats:?}");
+    assert!(
+        stats.faults.outage_drops + stats.faults.partition_drops <= stats.dropped_unreachable,
+        "{stats:?}"
+    );
+    assert!(stats.faults.spiked <= stats.delivered + stats.dropped_unreachable, "{stats:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // For any random schedule, every packet lands in exactly one bucket.
+    #[test]
+    fn packet_conservation_under_any_schedule(plan in plan_strategy()) {
+        let stats = run_plan(&plan);
+        prop_assert!(stats.sent > 0);
+        assert_conserved(&stats);
+    }
+
+    // Same seed + same schedule → bit-identical stats (replay guarantee).
+    #[test]
+    fn same_seed_replays_identically(plan in plan_strategy()) {
+        let a = run_plan(&plan);
+        let b = run_plan(&plan);
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn outage_window_attributes_drops_to_faults() {
+    let plan = Plan {
+        seed: 1,
+        base_loss: 0.0,
+        packets: 40,
+        outages: vec![(4, 0, 10_000)], // server 4 down for the whole run
+        flaps: vec![],
+        bursts: vec![],
+        spikes: vec![],
+        partitions: vec![],
+    };
+    let stats = run_plan(&plan);
+    assert_conserved(&stats);
+    // Every 6th token targets server 4; some are eaten by the middlebox, the
+    // rest must be outage-attributed unreachable drops.
+    assert!(stats.faults.outage_drops > 0, "{stats:?}");
+    assert_eq!(stats.faults.outage_drops, stats.dropped_unreachable, "{stats:?}");
+}
+
+#[test]
+fn empty_schedule_matches_manual_world() {
+    // A plan with no fault windows must behave exactly like the pre-fault
+    // engine: same stats as a run that never touched `sim.faults`.
+    let plan = Plan {
+        seed: 99,
+        base_loss: 0.25,
+        packets: 60,
+        outages: vec![],
+        flaps: vec![],
+        bursts: vec![],
+        spikes: vec![],
+        partitions: vec![],
+    };
+    let a = run_plan(&plan);
+    assert_conserved(&a);
+    assert_eq!(a.faults, Default::default(), "no fault counters without a schedule");
+    let b = run_plan(&plan);
+    assert_eq!(a, b);
+}

@@ -130,6 +130,9 @@ pub struct CacheStats {
     pub expirations: u64,
     /// Entries inserted via [`Cache::preload`].
     pub preloaded_inserts: u64,
+    /// Expired entries served anyway via [`Cache::get_stale`] (RFC 8767
+    /// serve-stale; not counted as `hits`).
+    pub stale_hits: u64,
 }
 
 /// A TTL + capacity bounded cache of RRsets and negative answers.
@@ -150,6 +153,11 @@ pub struct Cache {
     pub capacity: usize,
     /// Eviction policy.
     pub eviction: Eviction,
+    /// How long past expiry an entry is retained for serve-stale
+    /// ([`Cache::get_stale`], RFC 8767). `ZERO` (the default) disables
+    /// retention: expired entries are dropped on discovery, exactly the
+    /// pre-serve-stale behavior.
+    pub stale_window: SimDuration,
     clock: u64,
     /// Counters.
     pub stats: CacheStats,
@@ -168,6 +176,7 @@ impl Cache {
             len: 0,
             capacity,
             eviction,
+            stale_window: SimDuration::ZERO,
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -292,10 +301,15 @@ impl Cache {
             self.stats.misses += 1;
             return None;
         };
-        let expired = self.slots[idx as usize].as_ref().expect("slot live").expires <= now;
-        if expired {
-            self.remove_slot(idx);
-            self.stats.expirations += 1;
+        let expires = self.slots[idx as usize].as_ref().expect("slot live").expires;
+        if expires <= now {
+            // Expired: a miss either way. Drop the entry only once it is
+            // also past the serve-stale window; inside the window it stays
+            // resident for [`Cache::get_stale`] to rescue.
+            if expires + self.stale_window <= now {
+                self.remove_slot(idx);
+                self.stats.expirations += 1;
+            }
             self.stats.misses += 1;
             return None;
         }
@@ -328,6 +342,24 @@ impl Cache {
             Value::Positive(records) => CacheAnswer::Positive(Arc::clone(records)),
             Value::Negative => CacheAnswer::Negative,
         })
+    }
+
+    /// Serve-stale lookup (RFC 8767): returns the positive RRset for
+    /// `(name, rtype)` even if its TTL has lapsed, as long as expiry is
+    /// within [`Cache::stale_window`]. Negative entries are never served
+    /// stale — resurrecting an old NXDOMAIN can blackhole a name that has
+    /// since come into existence. Called on the degraded path (all
+    /// upstreams failed), so it counts `stale_hits`, not `hits`/`misses`.
+    pub fn get_stale(&mut self, now: SimTime, name: &Name, rtype: RType) -> Option<Arc<[Record]>> {
+        let idx = self.find(name, rtype.to_u16())?;
+        let slot = self.slots[idx as usize].as_ref().expect("slot live");
+        if slot.expires + self.stale_window <= now {
+            return None;
+        }
+        let Value::Positive(records) = &slot.value else { return None };
+        let records = Arc::clone(records);
+        self.stats.stale_hits += 1;
+        Some(records)
     }
 
     /// Inserts a positive RRset; TTL comes from the records (minimum).
@@ -681,6 +713,49 @@ mod tests {
         assert_eq!(c.stats.expirations, 3, "purge adds expirations only");
         assert_eq!(c.stats.misses, 1, "purge never counts misses");
         assert_eq!(c.stats.hits + c.stats.misses, 1, "hits+misses == lookups");
+    }
+
+    #[test]
+    fn serve_stale_window_retains_and_serves_expired_entries() {
+        let mut c = Cache::new(0, Eviction::Lru);
+        c.stale_window = SimDuration::from_secs(3_600);
+        c.insert(t(0), vec![rec("www.example.com", 60)]);
+        // Expired: get() misses but keeps the entry (inside the window).
+        assert!(c.get(t(100), &n("www.example.com"), RType::A).is_none());
+        assert_eq!(c.stats.misses, 1);
+        assert_eq!(c.stats.expirations, 0, "entry retained for serve-stale");
+        assert_eq!(c.len(), 1);
+        // The degraded path rescues it.
+        let stale = c.get_stale(t(100), &n("www.example.com"), RType::A).unwrap();
+        assert_eq!(stale.len(), 1);
+        assert_eq!(c.stats.stale_hits, 1);
+        assert_eq!(c.stats.hits, 0, "stale service is not a hit");
+        // Past the window it is gone for both paths.
+        assert!(c.get_stale(t(60 + 3_601), &n("www.example.com"), RType::A).is_none());
+        assert!(c.get(t(60 + 3_601), &n("www.example.com"), RType::A).is_none());
+        assert_eq!(c.stats.expirations, 1);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn serve_stale_never_resurrects_negative_entries() {
+        let mut c = Cache::new(0, Eviction::Lru);
+        c.stale_window = SimDuration::from_secs(3_600);
+        c.insert_negative(t(0), &n("gone.example"), RType::A, 60);
+        assert!(c.get_stale(t(100), &n("gone.example"), RType::A).is_none());
+        assert_eq!(c.stats.stale_hits, 0);
+    }
+
+    #[test]
+    fn zero_stale_window_preserves_legacy_expiry_semantics() {
+        // Default config must behave exactly like the pre-serve-stale cache:
+        // an expired get drops the entry and nothing is ever served stale.
+        let mut c = Cache::new(0, Eviction::Lru);
+        c.insert(t(0), vec![rec("a.com", 10)]);
+        assert!(c.get(t(20), &n("a.com"), RType::A).is_none());
+        assert_eq!(c.stats.expirations, 1);
+        assert_eq!(c.len(), 0);
+        assert!(c.get_stale(t(20), &n("a.com"), RType::A).is_none());
     }
 
     #[test]

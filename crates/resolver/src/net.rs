@@ -13,6 +13,7 @@ use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 
+use rootless_netsim::fault::LossGate;
 use rootless_netsim::geo::GeoPoint;
 use rootless_proto::message::Message;
 use rootless_server::auth::AuthServer;
@@ -142,7 +143,9 @@ impl Network for StaticNetwork {
                 return Some((forged, rtt));
             }
         }
-        if self.loss > 0.0 && self.rng.chance(self.loss) {
+        // One shared gate with the event engine, so loss semantics cannot
+        // drift between the call-level and packet-level networks.
+        if LossGate::new(self.loss).drops(&mut self.rng) {
             return None;
         }
         let (idx, rtt) = self.route(server)?;

@@ -8,9 +8,16 @@
 //! iterates across real root/TLD server nodes with timers, retries and
 //! transaction-ID matching — the full §2.2 query path, packet by packet.
 //!
-//! Scope: the packet-level node implements the Hints and LocalOnDemand root
-//! modes (the two endpoints of the paper's comparison). QMin/CNAME chasing
-//! live only in the call-level resolver.
+//! Scope: the packet-level node implements all four root sources — Hints,
+//! LocalZone (on-demand consultation), Preload (root zone pushed into the
+//! cache) and Loopback (RFC 7706 authoritative instance on a local
+//! address) — so the §4 robustness scenarios can compare them packet by
+//! packet. QMin/CNAME chasing live only in the call-level resolver.
+//!
+//! Degradation behavior: retry timers back off exponentially with jitter
+//! from an SRTT-informed per-server estimate, and when every upstream for a
+//! query has failed, expired cache entries inside the cache's stale window
+//! are served instead of SERVFAIL (RFC 8767).
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -28,13 +35,21 @@ use rootless_zone::zone::{Lookup, Zone};
 
 use crate::cache::{Cache, CacheAnswer, Eviction};
 use crate::resolver::{classify_response, StepResult};
+use crate::srtt::{backoff_timeout, SrttSelector};
 
 /// Where the node gets root information.
 pub enum NodeRootSource {
     /// Query the root anycast addresses.
     Hints,
-    /// Consult a local zone copy (the paper's proposal).
+    /// Consult a local zone copy per root consultation (§3 strategy 2).
     LocalZone(Arc<Zone>),
+    /// Push the whole root zone into the cache at startup (§3 strategy 1);
+    /// resolution then starts from the cached TLD delegations. Falls back
+    /// to the network roots once the preloaded records expire.
+    Preload(Arc<Zone>),
+    /// Query an authoritative root instance at this (local) address
+    /// (§3 strategy 3 / RFC 7706).
+    Loopback(Ipv4Addr),
 }
 
 /// One in-flight client request.
@@ -50,10 +65,17 @@ struct Job {
     /// Monotonic per-job attempt counter; timers carry the attempt they
     /// guard so a stale timer (whose attempt already completed) is ignored.
     attempt: u32,
+    /// Timeouts suffered by this job so far (drives the backoff exponent).
+    timeouts: u32,
+    /// Server the in-flight query went to (for SRTT attribution).
+    server: Ipv4Addr,
+    /// When the in-flight query was sent.
+    sent_at: SimTime,
 }
 
-/// Counters for the node.
-#[derive(Clone, Debug, Default)]
+/// Counters for the node. `PartialEq` so scenario replays can assert two
+/// same-seed runs produced identical behavior.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct NodeStats {
     /// Client queries accepted.
     pub client_queries: u64,
@@ -71,6 +93,12 @@ pub struct NodeStats {
     pub timeouts: u64,
     /// Cache answers.
     pub cache_answers: u64,
+    /// Answers served from expired cache entries (RFC 8767 serve-stale)
+    /// after every upstream failed.
+    pub stale_answers: u64,
+    /// Largest retry timeout armed so far — direct evidence of backoff
+    /// growth (a fixed re-arm pins this at the base timeout).
+    pub max_armed_timeout: SimDuration,
 }
 
 /// The event-driven recursive resolver.
@@ -79,10 +107,19 @@ pub struct RecursiveNode {
     root_addrs: Vec<Ipv4Addr>,
     /// The cache (shared logic with the call-level resolver).
     pub cache: Cache,
-    /// Upstream query timeout.
+    /// Base upstream query timeout — the wait for an unprobed server and
+    /// the cap of the SRTT-informed estimate.
     pub timeout: SimDuration,
+    /// Floor of the SRTT-informed per-server timeout.
+    pub min_timeout: SimDuration,
+    /// Ceiling of the exponential backoff growth.
+    pub max_timeout: SimDuration,
+    /// Jitter fraction stretching backed-off timeouts (0 disables).
+    pub backoff_jitter: f64,
     /// Maximum referral steps per job.
     pub max_steps: usize,
+    /// Per-server smoothed-RTT tracker feeding the retry timeouts.
+    srtt: SrttSelector,
     jobs: HashMap<u16, Job>,
     next_txid: u16,
     /// Counters.
@@ -92,14 +129,29 @@ pub struct RecursiveNode {
 }
 
 impl RecursiveNode {
-    /// Creates a node with the given root source.
+    /// Creates a node with the given root source. In `Preload` mode the
+    /// root zone's RRsets are pushed into the cache immediately (at
+    /// `SimTime::ZERO`, the construction time of every scenario world).
     pub fn new(root_source: NodeRootSource) -> RecursiveNode {
+        let mut cache = Cache::new(0, Eviction::Lru);
+        if let NodeRootSource::Preload(zone) = &root_source {
+            for set in zone.rrsets() {
+                if set.rtype == RType::SOA {
+                    continue;
+                }
+                cache.preload(SimTime::ZERO, set.records());
+            }
+        }
         RecursiveNode {
             root_source,
             root_addrs: RootHints::standard().v4_addrs(),
-            cache: Cache::new(0, Eviction::Lru),
+            cache,
             timeout: SimDuration::from_millis(800),
+            min_timeout: SimDuration::from_millis(50),
+            max_timeout: SimDuration::from_millis(6_400),
+            backoff_jitter: 0.25,
             max_steps: 24,
+            srtt: SrttSelector::new(&[]),
             jobs: HashMap::new(),
             next_txid: 1,
             stats: NodeStats::default(),
@@ -131,6 +183,48 @@ impl RecursiveNode {
         resp.answers = answers;
         resp.encode_into(&mut self.enc);
         ctx.send(job.client, self.enc.wire());
+    }
+
+    /// Fails a job, trying serve-stale first: if the cache still holds the
+    /// answer inside its stale window, an expired answer beats SERVFAIL.
+    fn fail_job(&mut self, ctx: &mut Ctx<'_>, txid: u16) {
+        let Some(job) = self.jobs.get(&txid) else { return };
+        let (qname, qtype) = (job.qname.clone(), job.qtype);
+        if let Some(records) = self.cache.get_stale(ctx.now(), &qname, qtype) {
+            self.stats.stale_answers += 1;
+            self.finish(ctx, txid, Rcode::NoError, records.to_vec());
+        } else {
+            self.finish(ctx, txid, Rcode::ServFail, vec![]);
+        }
+    }
+
+    /// Deepest cached delegation covering `qname` with cached addresses —
+    /// how Preload mode starts below the root, and how every mode reuses
+    /// previously learned TLD delegations.
+    fn find_start(&self, now: SimTime, qname: &Name) -> Option<(Name, Vec<Ipv4Addr>)> {
+        for depth in (1..=qname.label_count().saturating_sub(1)).rev() {
+            let candidate = qname.suffix(depth);
+            let Some(CacheAnswer::Positive(ns)) = self.cache.peek(now, &candidate, RType::NS)
+            else {
+                continue;
+            };
+            let mut addrs = Vec::new();
+            for r in ns.iter() {
+                let RData::Ns(target) = &r.rdata else { continue };
+                if let Some(CacheAnswer::Positive(glue)) = self.cache.peek(now, target, RType::A) {
+                    for g in glue.iter() {
+                        if let RData::A(a) = g.rdata {
+                            addrs.push(a);
+                        }
+                    }
+                }
+            }
+            addrs.dedup();
+            if !addrs.is_empty() {
+                return Some((candidate, addrs));
+            }
+        }
+        None
     }
 
     /// Starts/continues a job: consult cache/local root, or send the next
@@ -206,13 +300,18 @@ impl RecursiveNode {
             // Network step.
             let job = self.jobs.get_mut(&txid).expect("job present");
             if job.next_server >= job.servers.len() {
-                self.finish(ctx, txid, Rcode::ServFail, vec![]);
+                // Every upstream for this delegation failed: degrade
+                // gracefully (serve-stale) rather than SERVFAIL outright.
+                self.fail_job(ctx, txid);
                 return;
             }
             let server = job.servers[job.next_server];
             job.next_server += 1;
             job.attempt += 1;
+            job.server = server;
+            job.sent_at = now;
             let attempt = job.attempt;
+            let retries = job.timeouts;
             let mut query = Message::query(txid, qname, qtype);
             query.edns = Some(rootless_proto::message::Edns::default());
             self.stats.upstream_queries += 1;
@@ -221,7 +320,15 @@ impl RecursiveNode {
             }
             query.encode_into(&mut self.enc);
             ctx.send(server, self.enc.wire());
-            ctx.set_timer(self.timeout, ((attempt as u64) << 16) | txid as u64);
+            // The retry timer waits an SRTT-informed estimate for probed
+            // servers (capped at the base timeout), grown exponentially with
+            // jitter by the number of timeouts this job already suffered.
+            self.srtt.track(server);
+            let base = self.srtt.timeout_hint(server, self.min_timeout, self.timeout);
+            let wait =
+                backoff_timeout(base, retries, self.max_timeout, self.backoff_jitter, ctx.rng());
+            self.stats.max_armed_timeout = self.stats.max_armed_timeout.max(wait);
+            ctx.set_timer(wait, ((attempt as u64) << 16) | txid as u64);
             return;
         }
     }
@@ -267,12 +374,18 @@ impl Node for RecursiveNode {
             let client_txid = view.header().id;
             self.stats.client_queries += 1;
             let txid = self.alloc_txid();
-            let start = match &self.root_source {
-                NodeRootSource::Hints => {
-                    (Name::root(), self.root_addrs.clone())
+            // Every mode starts from the deepest cached delegation when one
+            // exists (that is the whole point of Preload); otherwise each
+            // falls back to its own notion of "the root".
+            let start = self.find_start(ctx.now(), &qname).unwrap_or_else(|| {
+                match &self.root_source {
+                    NodeRootSource::Hints | NodeRootSource::Preload(_) => {
+                        (Name::root(), self.root_addrs.clone())
+                    }
+                    NodeRootSource::LocalZone(_) => (Name::root(), vec![]),
+                    NodeRootSource::Loopback(addr) => (Name::root(), vec![*addr]),
                 }
-                NodeRootSource::LocalZone(_) => (Name::root(), vec![]),
-            };
+            });
             self.jobs.insert(
                 txid,
                 Job {
@@ -285,6 +398,9 @@ impl Node for RecursiveNode {
                     next_server: 0,
                     steps: 0,
                     attempt: 0,
+                    timeouts: 0,
+                    server: Ipv4Addr::UNSPECIFIED,
+                    sent_at: SimTime::ZERO,
                 },
             );
             self.advance(ctx, txid);
@@ -298,10 +414,13 @@ impl Node for RecursiveNode {
             return;
         }
         let Ok(msg) = view.to_owned() else { return };
+        let now = ctx.now();
         let Some(job) = self.jobs.get_mut(&txid) else { return };
         // Consuming a response invalidates the attempt's timeout timer.
         job.attempt += 1;
-        let now = ctx.now();
+        if dgram.src == job.server {
+            self.srtt.record_rtt(job.server, now - job.sent_at);
+        }
         let (qname, qtype) = (job.qname.clone(), job.qtype);
         match classify_response(&msg, &qname, qtype) {
             StepResult::Answer(records) => {
@@ -357,9 +476,12 @@ impl Node for RecursiveNode {
         let attempt = (token >> 16) as u32;
         // Retry only if the job is still on the attempt this timer guards —
         // a response advances `attempt`, invalidating older timers.
-        if let Some(job) = self.jobs.get(&txid) {
+        if let Some(job) = self.jobs.get_mut(&txid) {
             if job.attempt == attempt {
+                job.timeouts += 1;
+                let server = job.server;
                 self.stats.timeouts += 1;
+                self.srtt.record_timeout(server);
                 self.advance(ctx, txid);
             }
         }
@@ -438,6 +560,24 @@ mod tests {
         root_source_local: bool,
         queries: Vec<(Name, RType)>,
     ) -> (Sim, rootless_netsim::sim::NodeId, rootless_netsim::sim::NodeId, Arc<Zone>) {
+        build_world_with(
+            |zone| {
+                if root_source_local {
+                    NodeRootSource::LocalZone(Arc::clone(zone))
+                } else {
+                    NodeRootSource::Hints
+                }
+            },
+            queries,
+        )
+    }
+
+    /// Like [`build_sim_world`] but with an arbitrary root source chosen
+    /// from the built root zone.
+    fn build_world_with(
+        source: impl FnOnce(&Arc<Zone>) -> NodeRootSource,
+        queries: Vec<(Name, RType)>,
+    ) -> (Sim, rootless_netsim::sim::NodeId, rootless_netsim::sim::NodeId, Arc<Zone>) {
         let zone = Arc::new(rootzone::build(&RootZoneConfig::small(15)));
         let mut sim = Sim::new(0xfeed);
         let per_letter: Vec<(char, usize)> =
@@ -479,11 +619,7 @@ mod tests {
         }
 
         // Recursive node.
-        let source = if root_source_local {
-            NodeRootSource::LocalZone(Arc::clone(&zone))
-        } else {
-            NodeRootSource::Hints
-        };
+        let source = source(&zone);
         let resolver_addr = Ipv4Addr::new(10, 53, 0, 53);
         let resolver_id = sim.add_node(
             resolver_addr,
@@ -612,5 +748,112 @@ mod tests {
         let stats = resolver_stats(&sim, resolver_id);
         assert!(stats.timeouts >= 1, "a timeout should have fired");
         assert!(stats.root_queries >= 2, "retry goes to another letter");
+    }
+
+    /// Downs every instance of every root anycast address.
+    fn down_all_roots(sim: &mut Sim) {
+        let from = GeoPoint::new(51.5, -0.1);
+        for addr in RootHints::standard().v4_addrs() {
+            while let Some(instance) = sim.route(from, addr) {
+                sim.set_down(instance, true);
+            }
+        }
+    }
+
+    #[test]
+    fn packet_level_preload_mode_answers_without_root_packets() {
+        let zone = rootzone::build(&RootZoneConfig::small(15));
+        let tld = zone.tlds()[0].clone();
+        let target = tld.child("domain0").unwrap().child("www").unwrap();
+        let (mut sim, resolver_id, client_id, _) = build_world_with(
+            |z| NodeRootSource::Preload(Arc::clone(z)),
+            vec![(target, RType::A)],
+        );
+        // Preload keeps answering through a total root outage: resolution
+        // starts from the cached TLD delegations, never touching a root.
+        down_all_roots(&mut sim);
+        sim.run_to_completion();
+        let client = client_results(&sim, client_id);
+        assert_eq!(client.results.len(), 1);
+        assert_eq!(client.results[0].2, Rcode::NoError);
+        let stats = resolver_stats(&sim, resolver_id);
+        assert_eq!(stats.root_queries, 0, "preloaded delegations skip the root");
+        assert_eq!(stats.upstream_queries, 1, "only the TLD server is contacted");
+    }
+
+    #[test]
+    fn packet_level_loopback_mode_queries_local_instance() {
+        let zone = rootzone::build(&RootZoneConfig::small(15));
+        let tld = zone.tlds()[0].clone();
+        let target = tld.child("domain0").unwrap().child("www").unwrap();
+        let loopback = Ipv4Addr::new(10, 53, 0, 1);
+        let (mut sim, resolver_id, client_id, zone) = build_world_with(
+            |_| NodeRootSource::Loopback(loopback),
+            vec![(target, RType::A)],
+        );
+        // The RFC 7706 instance sits next to the resolver.
+        let local_root = ServerNode::new(AuthServer::new_shared(Arc::clone(&zone)));
+        sim.add_node(loopback, GeoPoint::new(51.5, -0.1), Box::new(local_root));
+        // The public root fleet being down must not matter.
+        down_all_roots(&mut sim);
+        sim.run_to_completion();
+        let client = client_results(&sim, client_id);
+        assert_eq!(client.results.len(), 1);
+        assert_eq!(client.results[0].2, Rcode::NoError);
+        let stats = resolver_stats(&sim, resolver_id);
+        assert_eq!(stats.root_queries, 0, "no packets to the anycast roots");
+        assert_eq!(stats.upstream_queries, 2, "loopback root + TLD server");
+    }
+
+    #[test]
+    fn forged_stale_timer_tokens_are_ignored() {
+        let zone = rootzone::build(&RootZoneConfig::small(15));
+        let tld = zone.tlds()[0].clone();
+        let target = tld.child("domain0").unwrap().child("www").unwrap();
+        let (mut sim, resolver_id, client_id, _) =
+            build_sim_world(false, vec![(target, RType::A)]);
+        // Inject timers carrying attempt counters the job will never reach:
+        // each must be discarded by the token guard without triggering a
+        // retry (the first in-flight job gets txid 1).
+        for (i, ms) in [1u64, 5, 20, 50, 120, 400].into_iter().enumerate() {
+            let token = ((9_000 + i as u64) << 16) | 1;
+            sim.schedule_timer(resolver_id, SimDuration::from_millis(ms), token);
+        }
+        sim.run_to_completion();
+        let client = client_results(&sim, client_id);
+        assert_eq!(client.results.len(), 1);
+        assert_eq!(client.results[0].2, Rcode::NoError);
+        let stats = resolver_stats(&sim, resolver_id);
+        assert_eq!(stats.timeouts, 0, "forged timers must not count as timeouts");
+        assert_eq!(stats.root_queries, 1, "forged timers must not trigger retries");
+        assert_eq!(stats.answered, 1);
+    }
+
+    #[test]
+    fn total_root_outage_exhausts_attempts_with_backoff_then_servfails() {
+        let zone = rootzone::build(&RootZoneConfig::small(15));
+        let tld = zone.tlds()[0].clone();
+        let target = tld.child("domain0").unwrap().child("www").unwrap();
+        let (mut sim, resolver_id, client_id, _) =
+            build_sim_world(false, vec![(target, RType::A)]);
+        down_all_roots(&mut sim);
+        sim.run_to_completion();
+        let client = client_results(&sim, client_id);
+        assert_eq!(client.results.len(), 1);
+        assert_eq!(client.results[0].2, Rcode::ServFail);
+        let stats = resolver_stats(&sim, resolver_id);
+        // All 13 root letters are tried exactly once before giving up.
+        assert_eq!(stats.timeouts, 13);
+        assert_eq!(stats.root_queries, 13);
+        assert_eq!(stats.servfail, 1);
+        assert_eq!(stats.stale_answers, 0, "cold cache has nothing stale to serve");
+        // The retry timer must have grown well past the 800ms base — this
+        // assertion fails if the exponential backoff is reverted to a fixed
+        // re-arm.
+        assert!(
+            stats.max_armed_timeout >= SimDuration::from_millis(3_200),
+            "backoff never grew: max armed {:?}",
+            stats.max_armed_timeout
+        );
     }
 }

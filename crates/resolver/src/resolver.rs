@@ -27,7 +27,7 @@ use rootless_zone::zone::{Lookup, Zone};
 
 use crate::cache::{Cache, CacheAnswer, Eviction};
 use crate::net::Network;
-use crate::srtt::SrttSelector;
+use crate::srtt::{backoff_timeout, SrttSelector};
 
 /// Where the resolver gets root-zone information.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,8 +70,20 @@ pub struct ResolverConfig {
     pub cache_capacity: usize,
     /// Cache eviction policy.
     pub eviction: Eviction,
-    /// Latency charged per timed-out query attempt.
+    /// Base retry timeout: the charge for the first timed-out attempt and
+    /// the cap of the SRTT-informed per-server estimate.
     pub timeout: SimDuration,
+    /// Ceiling of the exponential backoff growth across consecutive
+    /// timeouts within one step.
+    pub max_timeout: SimDuration,
+    /// Jitter fraction applied to backed-off timeouts (uniform in
+    /// `[1, 1+jitter)`); 0 disables jitter.
+    pub backoff_jitter: f64,
+    /// Serve-stale (RFC 8767): when every upstream fails, answer from
+    /// expired cache entries still inside [`ResolverConfig::stale_window`].
+    pub serve_stale: bool,
+    /// How long past TTL expiry an entry may still be served stale.
+    pub stale_window: SimDuration,
     /// Server attempts per resolution step before failing.
     pub max_tries: usize,
     /// Referral/CNAME step bound.
@@ -98,6 +110,10 @@ impl Default for ResolverConfig {
             cache_capacity: 0,
             eviction: Eviction::Lru,
             timeout: SimDuration::from_millis(800),
+            max_timeout: SimDuration::from_millis(6_400),
+            backoff_jitter: 0.25,
+            serve_stale: false,
+            stale_window: SimDuration::from_days(1),
             max_tries: 5,
             max_steps: 24,
             on_demand_cost: SimDuration::from_millis(1),
@@ -184,6 +200,9 @@ pub struct Resolution {
     pub local_root_consults: u32,
     /// Whether the final answer came straight from cache.
     pub cache_hit: bool,
+    /// Whether the answer was served from expired cache data (RFC 8767
+    /// serve-stale, the degraded path when all upstreams failed).
+    pub stale: bool,
 }
 
 /// Aggregate counters across resolutions.
@@ -207,6 +226,8 @@ pub struct ResolverStats {
     pub transactions: u64,
     /// Resolutions served entirely from cache.
     pub cache_answers: u64,
+    /// Answers served from expired cache data (serve-stale).
+    pub stale_answers: u64,
 }
 
 struct LocalRoot {
@@ -232,6 +253,10 @@ pub struct Resolver {
 
 /// The loopback address the LoopbackAuth transactions are attributed to.
 pub const LOOPBACK_ADDR: Ipv4Addr = Ipv4Addr::new(127, 0, 0, 1);
+
+/// Floor of the SRTT-informed retry timeout: even a very fast server gets
+/// at least this long before a retry fires.
+pub const MIN_TIMEOUT: SimDuration = SimDuration::from_millis(50);
 
 /// Classification of one resolution step's result (a server response or a
 /// local root consultation). Shared by the call-level resolver and the
@@ -325,8 +350,12 @@ impl Resolver {
     pub fn new(config: ResolverConfig) -> Resolver {
         let root_addrs = RootHints::standard().v4_addrs();
         let rng = DetRng::seed_from_u64(config.seed);
+        let mut cache = Cache::new(config.cache_capacity, config.eviction);
+        if config.serve_stale {
+            cache.stale_window = config.stale_window;
+        }
         Resolver {
-            cache: Cache::new(config.cache_capacity, config.eviction),
+            cache,
             root_selector: SrttSelector::new(&root_addrs),
             root_addrs,
             local_root: None,
@@ -377,6 +406,7 @@ impl Resolver {
             root_network_queries: 0,
             local_root_consults: 0,
             cache_hit: false,
+            stale: false,
         };
 
         // Final answer straight from cache?
@@ -492,6 +522,18 @@ impl Resolver {
                     return res;
                 }
                 StepResult::Fail(reason) => {
+                    // Serve-stale (RFC 8767): when every upstream is
+                    // unreachable, an expired answer beats no answer — the
+                    // paper's "local copy keeps working" story applied to
+                    // ordinary cache contents.
+                    if reason == FailReason::Unreachable && self.config.serve_stale {
+                        if let Some(records) = self.cache.get_stale(now, qname, qtype) {
+                            res.outcome = Outcome::Answer(records);
+                            res.stale = true;
+                            self.finish(&mut res);
+                            return res;
+                        }
+                    }
                     res.outcome = Outcome::Fail(reason);
                     self.finish(&mut res);
                     return res;
@@ -512,6 +554,9 @@ impl Resolver {
         }
         if res.cache_hit {
             self.stats.cache_answers += 1;
+        }
+        if res.stale {
+            self.stats.stale_answers += 1;
         }
         self.stats.root_network_queries += res.root_network_queries as u64;
         self.stats.local_root_consults += res.local_root_consults as u64;
@@ -666,6 +711,7 @@ impl Resolver {
         // 512-byte limit would truncate fat referrals.
         query.edns = Some(Edns { dnssec_ok: self.config.dnssec_ok, ..Edns::default() });
 
+        let mut consecutive_timeouts = 0u32;
         for server in order.into_iter().take(self.config.max_tries) {
             let send_time = now + res.latency;
             match net.query(send_time, server, &query) {
@@ -689,13 +735,32 @@ impl Resolver {
                     return classify_response(&response, send_name, send_type);
                 }
                 None => {
-                    res.latency = res.latency + self.config.timeout;
+                    // How long the resolver waited before giving up on this
+                    // attempt: an SRTT-informed per-server estimate (a probed
+                    // root server does not get the full worst-case wait),
+                    // grown exponentially with jitter across consecutive
+                    // timeouts so a dead server set is not hammered in
+                    // lockstep.
+                    let base = if is_root {
+                        self.root_selector.timeout_hint(server, MIN_TIMEOUT, self.config.timeout)
+                    } else {
+                        self.config.timeout
+                    };
+                    let waited = backoff_timeout(
+                        base,
+                        consecutive_timeouts,
+                        self.config.max_timeout,
+                        self.config.backoff_jitter,
+                        &mut self.rng,
+                    );
+                    consecutive_timeouts += 1;
+                    res.latency = res.latency + waited;
                     res.transactions.push(Transaction {
                         server,
                         zone: zone.clone(),
                         qname_sent: send_name.clone(),
                         qtype_sent: send_type,
-                        rtt: self.config.timeout,
+                        rtt: waited,
                         timed_out: true,
                     });
                     if is_root {
@@ -886,6 +951,81 @@ mod tests {
         local.install_root_zone(SimTime::ZERO, Arc::clone(&zone));
         let res = local.resolve(SimTime::ZERO, &mut net, &target, RType::A);
         assert!(res.outcome.is_answer(), "local mode must survive root outage: {:?}", res.outcome);
+    }
+
+    #[test]
+    fn backoff_grows_timeout_charges_across_retries() {
+        let (mut net, zone) = world();
+        for a in RootHints::standard().v4_addrs() {
+            net.down.insert(a);
+        }
+        let mut r = Resolver::new(ResolverConfig::default());
+        let tld = zone.tlds()[5].clone();
+        let res = r.resolve(SimTime::ZERO, &mut net, &n(&format!("www.domain0.{tld}")), RType::A);
+        assert_eq!(res.outcome, Outcome::Fail(FailReason::Unreachable));
+        // Five timed-out tries at 800ms base double to the 6400ms cap:
+        // 800+1600+3200+6400+6400 = 18.4s before jitter. A fixed re-arm
+        // would charge only 800×5 = 4s, so this bound pins the backoff.
+        assert!(
+            res.latency >= SimDuration::from_millis(18_400),
+            "latency {} lacks exponential growth",
+            res.latency
+        );
+        let waits: Vec<SimDuration> =
+            res.transactions.iter().filter(|t| t.timed_out).map(|t| t.rtt).collect();
+        assert_eq!(waits.len(), 5);
+        // Each wait sits in the jittered band over the doubling curve.
+        for (i, w) in waits.iter().enumerate() {
+            let lo = (800.0 * 2f64.powi(i as i32)).min(6_400.0);
+            let ms = w.as_millis_f64();
+            assert!((lo..lo * 1.25).contains(&ms), "retry {i}: {ms} outside [{lo}, {})", lo * 1.25);
+        }
+    }
+
+    #[test]
+    fn serve_stale_answers_when_all_upstreams_fail() {
+        let (mut net, zone) = world();
+        let tld = zone.tlds()[0].clone();
+        let target = n(&format!("www.domain0.{tld}"));
+        let mut r = Resolver::new(ResolverConfig {
+            serve_stale: true,
+            ..ResolverConfig::default()
+        });
+        // Populate the cache while the world is healthy.
+        let first = r.resolve(SimTime::ZERO, &mut net, &target, RType::A);
+        assert!(first.outcome.is_answer());
+        // Total outage: every root and every TLD server goes dark.
+        down_everything(&mut net, &zone);
+        // Past the leaf TTL (3600s) but inside the 1-day stale window.
+        let later = SimTime::ZERO + SimDuration::from_secs(4_000);
+        let res = r.resolve(later, &mut net, &target, RType::A);
+        assert!(res.outcome.is_answer(), "stale data must beat SERVFAIL: {:?}", res.outcome);
+        assert!(res.stale, "the answer must be flagged stale");
+        assert_eq!(r.stats.stale_answers, 1);
+
+        // Control: the same situation without serve-stale hard-fails.
+        let (mut net2, zone2) = world();
+        let mut r2 = Resolver::new(ResolverConfig::default());
+        let tld2 = zone2.tlds()[0].clone();
+        let target2 = n(&format!("www.domain0.{tld2}"));
+        r2.resolve(SimTime::ZERO, &mut net2, &target2, RType::A);
+        down_everything(&mut net2, &zone2);
+        let res2 = r2.resolve(later, &mut net2, &target2, RType::A);
+        assert_eq!(res2.outcome, Outcome::Fail(FailReason::Unreachable));
+    }
+
+    /// Marks every root address and every TLD glue address unreachable.
+    fn down_everything(net: &mut crate::net::StaticNetwork, zone: &Zone) {
+        for a in RootHints::standard().v4_addrs() {
+            net.down.insert(a);
+        }
+        for tld in zone.tlds() {
+            for r in zone.delegation_records(&tld) {
+                if let RData::A(a) = r.rdata {
+                    net.down.insert(a);
+                }
+            }
+        }
     }
 
     #[test]

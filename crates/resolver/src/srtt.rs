@@ -22,6 +22,30 @@ const TIMEOUT_PENALTY: f64 = 2.0;
 const UNPROBED_MS: f64 = 11.0;
 /// Probability of exploring a non-best server on any pick.
 const EXPLORE_P: f64 = 0.05;
+/// Retransmission-timeout multiplier over the smoothed estimate. RFC 6298
+/// uses `SRTT + 4·RTTVAR`; without a variance term, 3× SRTT is the standard
+/// coarse stand-in.
+const RTO_MULT: f64 = 3.0;
+
+/// Exponential backoff with jitter for retry timers: `base · 2^retries`,
+/// capped at `cap`, then stretched by a uniform factor in `[1, 1+jitter)`.
+/// The jitter draw is skipped when `jitter == 0`, so a jitterless
+/// configuration consumes no randomness. Shared by the call-level resolver
+/// and the packet-level node so the growth curve cannot drift between them.
+pub fn backoff_timeout(
+    base: SimDuration,
+    retries: u32,
+    cap: SimDuration,
+    jitter: f64,
+    rng: &mut DetRng,
+) -> SimDuration {
+    let grown = base.saturating_mul(1u64 << retries.min(16)).min(cap);
+    if jitter > 0.0 {
+        SimDuration::from_millis_f64(grown.as_millis_f64() * (1.0 + jitter * rng.next_f64()))
+    } else {
+        grown
+    }
+}
 
 /// Per-server state.
 #[derive(Clone, Debug)]
@@ -102,6 +126,36 @@ impl SrttSelector {
         if let Some(s) = self.servers.get_mut(&server) {
             s.srtt_ms = (s.srtt_ms * TIMEOUT_PENALTY).min(10_000.0);
             s.timeouts += 1;
+        }
+    }
+
+    /// Starts tracking `addr` if it isn't already known; existing estimates
+    /// are preserved. Lets callers grow the server set lazily (the
+    /// packet-level node discovers TLD servers mid-resolution).
+    pub fn track(&mut self, addr: Ipv4Addr) {
+        let n = self.servers.len();
+        self.servers.entry(addr).or_insert(ServerState {
+            srtt_ms: UNPROBED_MS + n as f64 * 0.001,
+            samples: 0,
+            timeouts: 0,
+        });
+    }
+
+    /// SRTT-informed retransmission timeout for `server`: [`RTO_MULT`]× the
+    /// smoothed estimate, clamped to `[floor, cap]`. A server with no
+    /// samples yet gets the full `cap` — there is no evidence to justify
+    /// cutting the wait short.
+    pub fn timeout_hint(
+        &self,
+        server: Ipv4Addr,
+        floor: SimDuration,
+        cap: SimDuration,
+    ) -> SimDuration {
+        match self.servers.get(&server) {
+            Some(s) if s.samples > 0 => {
+                SimDuration::from_millis_f64(s.srtt_ms * RTO_MULT).clamp(floor, cap)
+            }
+            _ => cap,
         }
     }
 
@@ -218,6 +272,79 @@ mod tests {
         let mut rng = DetRng::seed_from_u64(1);
         assert!(sel.pick(&mut rng).is_none());
         assert!(sel.is_empty());
+    }
+
+    #[test]
+    fn backoff_growth_curve_doubles_then_caps() {
+        let base = SimDuration::from_millis(100);
+        let cap = SimDuration::from_secs(4);
+        let mut rng = DetRng::seed_from_u64(7);
+        // Jitterless: the exact curve 100, 200, 400, ... capped at 4000ms.
+        let curve: Vec<f64> = (0..8)
+            .map(|r| backoff_timeout(base, r, cap, 0.0, &mut rng).as_millis_f64())
+            .collect();
+        for (r, ms) in curve.iter().enumerate() {
+            let expect = (100.0 * 2f64.powi(r as i32)).min(4_000.0);
+            assert!((ms - expect).abs() < 1e-6, "retry {r}: {ms} != {expect}");
+        }
+        // Monotone non-decreasing, and huge retry counts don't overflow.
+        assert!(curve.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(backoff_timeout(base, u32::MAX, cap, 0.0, &mut rng), cap);
+    }
+
+    #[test]
+    fn backoff_jitter_bounded_and_seed_deterministic() {
+        let base = SimDuration::from_millis(200);
+        let cap = SimDuration::from_secs(8);
+        let mut rng = DetRng::seed_from_u64(11);
+        for r in 0..6 {
+            let t = backoff_timeout(base, r, cap, 0.25, &mut rng).as_millis_f64();
+            let lo = (200.0 * 2f64.powi(r as i32)).min(8_000.0);
+            assert!((lo..lo * 1.25).contains(&t), "retry {r}: {t} outside [{lo}, {})", lo * 1.25);
+        }
+        // Same seed → same jittered curve.
+        let run = |seed| {
+            let mut rng = DetRng::seed_from_u64(seed);
+            (0..6).map(|r| backoff_timeout(base, r, cap, 0.25, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        // No jitter → no randomness consumed.
+        let mut a = DetRng::seed_from_u64(5);
+        let mut b = DetRng::seed_from_u64(5);
+        let _ = backoff_timeout(base, 1, cap, 0.0, &mut a);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn timeout_hint_tracks_srtt_and_clamps() {
+        let servers = addrs(2);
+        let mut sel = SrttSelector::new(&servers);
+        let floor = SimDuration::from_millis(50);
+        let cap = SimDuration::from_millis(800);
+        // Unprobed: the full cap.
+        assert_eq!(sel.timeout_hint(servers[0], floor, cap), cap);
+        // 40ms SRTT → 120ms hint (3×).
+        sel.record_rtt(servers[0], SimDuration::from_millis(40));
+        let hint = sel.timeout_hint(servers[0], floor, cap);
+        assert!((hint.as_millis_f64() - 120.0).abs() < 1.0, "{hint}");
+        // Tiny SRTT clamps to the floor, huge SRTT to the cap.
+        sel.record_rtt(servers[1], SimDuration::from_millis(1));
+        assert_eq!(sel.timeout_hint(servers[1], floor, cap), floor);
+        for _ in 0..30 {
+            sel.record_rtt(servers[1], SimDuration::from_millis(2_000));
+        }
+        assert_eq!(sel.timeout_hint(servers[1], floor, cap), cap);
+    }
+
+    #[test]
+    fn track_adds_lazily_and_preserves_estimates() {
+        let mut sel = SrttSelector::new(&[]);
+        let a = Ipv4Addr::new(192, 0, 2, 1);
+        sel.track(a);
+        assert_eq!(sel.len(), 1);
+        sel.record_rtt(a, SimDuration::from_millis(25));
+        sel.track(a); // re-track must not reset the estimate
+        assert!((sel.estimate_ms(a).unwrap() - 25.0).abs() < 1e-9);
     }
 
     #[test]

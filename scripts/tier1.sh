@@ -17,5 +17,10 @@ cargo bench --no-run --offline
 # Codec property suites, called out by name so a filter typo can't skip
 # them: wire round-trips + view laziness, and the flat-Name model tests.
 cargo test -q -p rootless-proto --test prop_roundtrip --test prop_name_flat --offline
+# Robustness gates, also by name: the §4 fault-scenario matrix (fixed-seed
+# mode-by-mode outcomes, backoff + serve-stale regression tripwires) and
+# the packet-conservation property over random fault schedules.
+cargo test -q --test fault_matrix --offline
+cargo test -q -p rootless-netsim --test prop_fault --offline
 cargo clippy --workspace --offline -- -D warnings
 echo "tier1: OK"
