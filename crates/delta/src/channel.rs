@@ -127,6 +127,23 @@ impl Channel {
             },
         }
     }
+
+    /// [`Channel::update_cost`] with metrics: accumulates the cost into
+    /// `dist.<name>.updates` / `dist.<name>.down` / `dist.<name>.up`
+    /// counters, so a churn sweep's totals come straight off a snapshot.
+    pub fn observed_update_cost(
+        &self,
+        old: Option<&ZoneFile>,
+        new: &ZoneFile,
+        registry: &rootless_obs::metrics::Registry,
+    ) -> UpdateCost {
+        let cost = self.update_cost(old, new);
+        let name = self.name();
+        registry.counter(&format!("dist.{name}.updates")).inc();
+        registry.counter(&format!("dist.{name}.down")).add(cost.down as u64);
+        registry.counter(&format!("dist.{name}.up")).add(cost.up as u64);
+        cost
+    }
 }
 
 /// All four channels, for sweeps.
@@ -211,6 +228,25 @@ mod tests {
             f0.compressed.len(),
             f0.text.len()
         );
+    }
+
+    #[test]
+    fn observed_cost_matches_plain_cost() {
+        let registry = rootless_obs::metrics::Registry::new();
+        let (f0, f1) = two_versions();
+        for ch in all_channels() {
+            let plain = ch.update_cost(Some(&f0), &f1);
+            let observed = ch.observed_update_cost(Some(&f0), &f1, &registry);
+            assert_eq!(plain, observed, "{}", ch.name());
+        }
+        let snap = registry.snapshot();
+        for ch in all_channels() {
+            let cost = ch.update_cost(Some(&f0), &f1);
+            let name = ch.name();
+            assert_eq!(snap.counter(&format!("dist.{name}.updates")), 1);
+            assert_eq!(snap.counter(&format!("dist.{name}.down")), cost.down as u64);
+            assert_eq!(snap.counter(&format!("dist.{name}.up")), cost.up as u64);
+        }
     }
 
     #[test]

@@ -61,6 +61,24 @@ impl SwarmReport {
     }
 }
 
+/// [`simulate`] with metrics: records the report into `registry` as the
+/// `swarm.rounds` / `swarm.completed` / `swarm.pieces` gauges and the
+/// `swarm.origin_bytes` / `swarm.peer_bytes` counters (counters accumulate
+/// across runs; gauges hold the latest run).
+pub fn observed_simulate(
+    cfg: &SwarmConfig,
+    file_len: usize,
+    registry: &rootless_obs::metrics::Registry,
+) -> SwarmReport {
+    let report = simulate(cfg, file_len);
+    registry.gauge("swarm.rounds").set(report.rounds as i64);
+    registry.gauge("swarm.completed").set(report.completed as i64);
+    registry.gauge("swarm.pieces").set(report.pieces as i64);
+    registry.counter("swarm.origin_bytes").add(report.origin_bytes as u64);
+    registry.counter("swarm.peer_bytes").add(report.peer_bytes as u64);
+    report
+}
+
 /// Simulates distributing a file of `file_len` bytes through the swarm.
 pub fn simulate(cfg: &SwarmConfig, file_len: usize) -> SwarmReport {
     let pieces = file_len.div_ceil(cfg.piece_size).max(1);

@@ -1,0 +1,122 @@
+//! Distribution-channel equivalence: every way of shipping the root zone
+//! — full AXFR, rsync delta against yesterday's file, and swarm pieces —
+//! must hand the resolver the *same bytes*, from the same seed.
+//!
+//! The §3 argument treats the channels as interchangeable ("via FTP/HTTP,
+//! rsync, BitTorrent…"); that only holds if a receiver cannot tell which
+//! channel its copy came through. Each test reconstructs the zone through
+//! one channel and compares byte-for-byte against the AXFR reference.
+
+use rootless_delta::rsync::{apply_delta, compute_delta, sync, Signature, DEFAULT_BLOCK};
+use rootless_delta::swarm::{observed_simulate, SwarmConfig};
+use rootless_obs::metrics::Registry;
+use rootless_proto::name::Name;
+use rootless_server::axfr;
+use rootless_util::time::Date;
+use rootless_zone::churn::{ChurnConfig, Timeline};
+use rootless_zone::master;
+use rootless_zone::rootzone::RootZoneConfig;
+use rootless_zone::zone::Zone;
+
+const SEED: u64 = 0xd157;
+
+/// Two consecutive daily snapshots of a churned root zone.
+fn two_days() -> (Zone, Zone) {
+    let t = Timeline::generate(
+        RootZoneConfig { seed: SEED, ..RootZoneConfig::small(150) },
+        ChurnConfig { seed: SEED ^ 1, ..ChurnConfig::default() },
+        Date::new(2019, 6, 1),
+        2,
+    );
+    (t.snapshot(0), t.snapshot(1))
+}
+
+/// The reference copy: what a secondary gets over a full zone transfer.
+fn axfr_reference(zone: &Zone) -> (Zone, String) {
+    let via_axfr = axfr::assemble(&axfr::serve(zone, 9)).expect("AXFR reassembly");
+    let text = master::serialize(&via_axfr);
+    (via_axfr, text)
+}
+
+#[test]
+fn rsync_delta_reconstructs_the_axfr_bytes() {
+    let (old, new) = two_days();
+    let (reference, reference_text) = axfr_reference(&new);
+    let old_text = master::serialize(&old);
+
+    // Receiver holds yesterday's file, computes a signature, gets a delta,
+    // rebuilds — the rebuilt bytes must equal the AXFR-derived master file.
+    let sig = Signature::compute(old_text.as_bytes(), DEFAULT_BLOCK);
+    let delta = compute_delta(&sig, reference_text.as_bytes());
+    let rebuilt = apply_delta(old_text.as_bytes(), DEFAULT_BLOCK, &delta).unwrap();
+    assert_eq!(rebuilt, reference_text.as_bytes(), "rsync bytes diverge from AXFR");
+    let parsed = master::parse(&String::from_utf8(rebuilt).unwrap(), Name::root()).unwrap();
+    assert_eq!(parsed, reference, "rsync-delivered zone diverges from AXFR zone");
+    assert_eq!(parsed, new, "channels must deliver the published zone");
+
+    // The convenience one-shot agrees with the step-by-step path.
+    let (synced, delta_bytes, _) =
+        sync(old_text.as_bytes(), reference_text.as_bytes(), DEFAULT_BLOCK);
+    assert_eq!(synced, reference_text.as_bytes());
+    assert!(delta_bytes < reference_text.len(), "delta must be incremental");
+}
+
+#[test]
+fn swarm_pieces_reassemble_into_the_axfr_bytes() {
+    let (_, new) = two_days();
+    let (reference, reference_text) = axfr_reference(&new);
+    let file = reference_text.as_bytes();
+
+    // Origin slices the file; the swarm moves pieces by index; a completed
+    // peer concatenates them back in order.
+    let cfg = SwarmConfig { piece_size: 4_096, peers: 25, seed: SEED, ..SwarmConfig::default() };
+    let pieces: Vec<&[u8]> = file.chunks(cfg.piece_size).collect();
+
+    let registry = Registry::new();
+    let report = observed_simulate(&cfg, file.len(), &registry);
+    assert_eq!(report.completed, cfg.peers, "every peer must finish the download");
+    assert_eq!(report.pieces, pieces.len(), "sim and slicer disagree on piece count");
+    // Conservation from the registry snapshot: the swarm moved exactly
+    // `peers` full copies of the file, however the load was shared.
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter("swarm.origin_bytes") + snap.counter("swarm.peer_bytes"),
+        (cfg.peers * file.len()) as u64,
+        "swarm byte totals must cover every peer exactly once"
+    );
+
+    let reassembled: Vec<u8> = pieces.concat();
+    assert_eq!(reassembled, file, "piece reassembly diverges from AXFR bytes");
+    let parsed = master::parse(&String::from_utf8(reassembled).unwrap(), Name::root()).unwrap();
+    assert_eq!(parsed, reference, "swarm-delivered zone diverges from AXFR zone");
+}
+
+#[test]
+fn same_seed_yields_identical_bytes_on_every_channel() {
+    // Replay: the whole pipeline — churn, serialization, delta, swarm — is
+    // a pure function of the seed, so two runs ship identical bytes.
+    let (old_a, new_a) = two_days();
+    let (old_b, new_b) = two_days();
+    assert_eq!(old_a, old_b);
+    assert_eq!(new_a, new_b);
+
+    let (a, a_text) = axfr_reference(&new_a);
+    let (b, b_text) = axfr_reference(&new_b);
+    assert_eq!(a, b);
+    assert_eq!(a_text, b_text);
+
+    let old_text = master::serialize(&old_a);
+    let (r1, d1, s1) = sync(old_text.as_bytes(), a_text.as_bytes(), DEFAULT_BLOCK);
+    let (r2, d2, s2) = sync(old_text.as_bytes(), b_text.as_bytes(), DEFAULT_BLOCK);
+    assert_eq!(r1, r2);
+    assert_eq!((d1, s1), (d2, s2), "rsync wire costs must replay identically");
+
+    let cfg = SwarmConfig { piece_size: 8_192, peers: 12, seed: SEED, ..SwarmConfig::default() };
+    let w1 = observed_simulate(&cfg, a_text.len(), &Registry::new());
+    let w2 = observed_simulate(&cfg, b_text.len(), &Registry::new());
+    assert_eq!(
+        (w1.rounds, w1.origin_bytes, w1.peer_bytes),
+        (w2.rounds, w2.origin_bytes, w2.peer_bytes),
+        "swarm schedule must replay identically"
+    );
+}

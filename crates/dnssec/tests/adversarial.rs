@@ -1,0 +1,206 @@
+//! Negative-path coverage for the chain of trust: each test forges,
+//! truncates, or misapplies DNSSEC material and asserts validation fails
+//! at exactly the layer the tampering hit. The §3 argument — a resolver
+//! can fetch the root zone from *anywhere* because the chain, not the
+//! channel, carries the trust — only holds if these paths actually reject.
+
+use std::net::Ipv4Addr;
+
+use rootless_dnssec::chain::{sign_hierarchy, validate_chain, ChainError, SignedHierarchy};
+use rootless_dnssec::nsec;
+use rootless_dnssec::sign::DnssecError;
+use rootless_proto::name::Name;
+use rootless_proto::rr::{RData, RType, Record, Soa};
+use rootless_zone::rootzone::{self, RootZoneConfig};
+use rootless_zone::zone::Zone;
+
+fn tld_stub(tld: &Name, seed: u64) -> Zone {
+    let mut z = Zone::new(tld.clone());
+    let ns = tld.child("ns1").unwrap();
+    z.insert(Record::new(
+        tld.clone(),
+        86_400,
+        RData::Soa(Soa {
+            mname: ns.clone(),
+            rname: tld.child("hostmaster").unwrap(),
+            serial: 1,
+            refresh: 1,
+            retry: 1,
+            expire: 1,
+            minimum: 3_600,
+        }),
+    ))
+    .unwrap();
+    z.insert(Record::new(tld.clone(), 172_800, RData::Ns(ns.clone()))).unwrap();
+    z.insert(Record::new(ns, 172_800, RData::A(Ipv4Addr::new(10, 0, 0, seed as u8 + 1))))
+        .unwrap();
+    z
+}
+
+fn hierarchy() -> SignedHierarchy {
+    let root = rootzone::build(&RootZoneConfig::small(12));
+    let tld_zones: Vec<Zone> = root
+        .tlds()
+        .into_iter()
+        .take(2)
+        .enumerate()
+        .map(|(i, tld)| tld_stub(&tld, i as u64))
+        .collect();
+    sign_hierarchy(&root, tld_zones, 0xadf0, 0, 1_000_000)
+}
+
+/// Flips one byte in the signature of the first RRSIG covering `rtype`
+/// records at any owner in `zone`.
+fn tamper_one_rrsig(zone: &Zone, covered: RType) -> Zone {
+    let mut out = Zone::new(zone.origin().clone());
+    let mut tampered = false;
+    for set in zone.rrsets() {
+        let mut copy = set.clone();
+        if !tampered && set.rtype == RType::RRSIG {
+            let rewritten: Vec<(u32, RData)> = copy
+                .rdatas()
+                .iter()
+                .map(|rd| {
+                    let mut rd = (*rd).clone();
+                    if !tampered {
+                        if let RData::Rrsig(sig) = &mut rd {
+                            if sig.type_covered == covered {
+                                sig.signature[0] ^= 0xff;
+                                tampered = true;
+                            }
+                        }
+                    }
+                    (copy.ttl, rd)
+                })
+                .collect();
+            let mut fresh = rootless_zone::rrset::RrSet::new(copy.name.clone(), copy.rtype, copy.ttl);
+            for (ttl, rd) in rewritten {
+                fresh.push(ttl, rd);
+            }
+            copy = fresh;
+        }
+        out.insert_rrset(copy).unwrap();
+    }
+    assert!(tampered, "no RRSIG covering {covered:?} found to tamper");
+    out
+}
+
+#[test]
+fn tampered_rrsig_bytes_fail_with_bad_signature() {
+    let h = hierarchy();
+    let (_, zone) = h.tld_zones.iter().next().unwrap();
+    let forged = tamper_one_rrsig(zone, RType::NS);
+    match validate_chain(&h.root_zone, &h.root_key, &forged, 100) {
+        Err(ChainError::TldZone(DnssecError::BadSignature(_))) => {}
+        other => panic!("expected TldZone(BadSignature), got {other:?}"),
+    }
+}
+
+#[test]
+fn tampered_root_rrsig_fails_at_the_root() {
+    let h = hierarchy();
+    let (_, zone) = h.tld_zones.iter().next().unwrap();
+    let forged_root = tamper_one_rrsig(&h.root_zone, RType::NS);
+    match validate_chain(&forged_root, &h.root_key, zone, 100) {
+        Err(ChainError::Root(DnssecError::BadSignature(_))) => {}
+        other => panic!("expected Root(BadSignature), got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_chain_missing_dnskey_is_rejected() {
+    let h = hierarchy();
+    let (tld, zone) = h.tld_zones.iter().next().unwrap();
+    let mut truncated = zone.clone();
+    truncated.remove_rrset(tld, RType::DNSKEY);
+    match validate_chain(&h.root_zone, &h.root_key, &truncated, 100) {
+        // Removing the DNSKEY either orphans its RRSIG (caught by zone
+        // validation) or, if validation tolerates that, leaves no key for
+        // the DS to match.
+        Err(ChainError::NoDnskey(_)) | Err(ChainError::TldZone(_)) => {}
+        other => panic!("expected NoDnskey/TldZone, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_chain_stripped_rrsig_is_rejected() {
+    let h = hierarchy();
+    let (tld, zone) = h.tld_zones.iter().next().unwrap();
+    // Strip every RRSIG covering the NS set: an on-path stripper hoping
+    // the resolver downgrades to unsigned acceptance.
+    let mut stripped = Zone::new(zone.origin().clone());
+    for set in zone.rrsets() {
+        if set.rtype == RType::RRSIG && set.name == *tld {
+            let mut fresh =
+                rootless_zone::rrset::RrSet::new(set.name.clone(), set.rtype, set.ttl);
+            let mut kept = 0;
+            for rd in set.rdatas() {
+                if let RData::Rrsig(sig) = rd {
+                    if sig.type_covered == RType::NS {
+                        continue;
+                    }
+                }
+                fresh.push(set.ttl, rd.clone());
+                kept += 1;
+            }
+            if kept > 0 {
+                stripped.insert_rrset(fresh).unwrap();
+            }
+            continue;
+        }
+        stripped.insert_rrset(set.clone()).unwrap();
+    }
+    match validate_chain(&h.root_zone, &h.root_key, &stripped, 100) {
+        Err(ChainError::TldZone(DnssecError::MissingSignature(_))) => {}
+        other => panic!("expected TldZone(MissingSignature), got {other:?}"),
+    }
+}
+
+#[test]
+fn nsec_span_not_covering_qname_is_rejected() {
+    // An attacker replays a real NSEC record from elsewhere in the zone to
+    // deny a name it does not actually span. `covers` must say no.
+    let apex = Name::root();
+    let alpha = Name::parse("alpha").unwrap();
+    let mike = Name::parse("mike").unwrap();
+    let zulu = Name::parse("zulu").unwrap();
+    // Span (alpha, mike): denies only names strictly between them.
+    let nsec = Record::new(
+        alpha.clone(),
+        3_600,
+        RData::Nsec(mike.clone(), vec![RType::NS, RType::NSEC, RType::RRSIG]),
+    );
+    let inside = Name::parse("bravo").unwrap();
+    assert!(nsec::covers(&nsec, &inside), "sanity: span must cover bravo");
+    // Outside the span, before the owner, at the boundaries: all rejected.
+    assert!(!nsec::covers(&nsec, &zulu), "replayed NSEC must not deny zulu");
+    assert!(!nsec::covers(&nsec, &apex));
+    assert!(!nsec::covers(&nsec, &alpha), "owner itself exists");
+    assert!(!nsec::covers(&nsec, &mike), "next name itself exists");
+
+    // The wraparound record (last owner -> apex) covers names after the
+    // owner but nothing inside the ordinary part of the zone.
+    let wrap = Record::new(
+        zulu.clone(),
+        3_600,
+        RData::Nsec(apex.clone(), vec![RType::NS]),
+    );
+    assert!(nsec::covers(&wrap, &Name::parse("zz-beyond").unwrap()));
+    assert!(!nsec::covers(&wrap, &inside), "wraparound must not deny bravo");
+}
+
+#[test]
+fn denial_for_never_produces_a_non_covering_nsec() {
+    // Property-style sweep: for a batch of absent names, the denial the
+    // zone produces must cover the very name it denies.
+    let zone = nsec::build_chain(&rootzone::build(&RootZoneConfig::small(30)));
+    for i in 0..40 {
+        let qname = Name::parse(&format!("hole-{i:02}-no-such-tld")).unwrap();
+        if zone.name_exists(&qname) {
+            continue;
+        }
+        let denial = nsec::denial_for(&zone, &qname)
+            .unwrap_or_else(|| panic!("no denial for {qname}"));
+        assert!(nsec::covers(&denial, &qname), "{qname}: denial does not cover");
+    }
+}

@@ -13,6 +13,8 @@
 
 use std::sync::Arc;
 
+use rootless_obs::export;
+use rootless_obs::metrics::{Registry, Snapshot};
 use rootless_proto::name::Name;
 use rootless_proto::rr::RType;
 use rootless_resolver::harness::{build_network, build_world, WorldConfig};
@@ -39,6 +41,8 @@ pub struct ModeResult {
     pub cache_answer_fraction: f64,
     /// Failure count.
     pub failures: u64,
+    /// The mode's full metrics snapshot (`resolver.*`, `cache.*`, `srtt.*`).
+    pub snapshot: Snapshot,
 }
 
 /// Experiment output.
@@ -77,6 +81,8 @@ pub fn run(lookups: usize, tlds: usize) -> PerfReport {
         if mode.needs_local_zone() {
             resolver.install_root_zone(SimTime::ZERO, Arc::clone(&root_zone));
         }
+        let registry = Registry::new();
+        resolver.attach_obs(&registry, None);
 
         let mut latencies = Vec::with_capacity(lookups);
         let mut cold = Vec::new();
@@ -96,15 +102,19 @@ pub fn run(lookups: usize, tlds: usize) -> PerfReport {
             }
             let _ = i;
         }
+        // Read the tallies back off the registry, not the stats struct: the
+        // snapshot is the published interface for experiment numbers.
+        let snapshot = registry.snapshot();
         results.push(ModeResult {
             mode: mode.label(),
             latency: Percentiles::new(latencies),
             cold_latency: Percentiles::new(cold),
-            root_queries: resolver.stats.root_network_queries,
-            local_consults: resolver.stats.local_root_consults,
-            cache_answer_fraction: resolver.stats.cache_answers as f64
-                / resolver.stats.resolutions as f64,
-            failures: resolver.stats.failures,
+            root_queries: snapshot.counter("resolver.root_network_queries"),
+            local_consults: snapshot.counter("resolver.local_root_consults"),
+            cache_answer_fraction: snapshot.counter("resolver.cache_answers") as f64
+                / snapshot.counter("resolver.resolutions") as f64,
+            failures: snapshot.counter("resolver.failures"),
+            snapshot,
         });
     }
     PerfReport { modes: results, lookups }
@@ -183,6 +193,12 @@ pub fn render(r: &PerfReport) -> String {
         ),
     ];
     out.push_str(&render_rows("PERF checks", &rows));
+    out.push_str("== PERF obs: registry latency histograms ==\n");
+    for m in &r.modes {
+        if let Some(h) = m.snapshot.histogram("resolver.latency_ms") {
+            out.push_str(&format!("  {:<14} {}\n", m.mode, export::summarize(h)));
+        }
+    }
     out
 }
 

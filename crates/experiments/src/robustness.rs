@@ -17,6 +17,8 @@
 use std::sync::Arc;
 
 use rootless_core::manager::{RefreshPolicy, RootZoneManager, Verification};
+use rootless_obs::export;
+use rootless_obs::metrics::Snapshot;
 use rootless_core::sources::{FlakySource, MirrorZoneSource};
 use rootless_dnssec::keys::ZoneKey;
 use rootless_proto::name::Name;
@@ -81,6 +83,9 @@ pub struct RobustReport {
     pub refresh: Vec<RefreshRow>,
     /// Packet-level scenario matrix (Part 3).
     pub scenarios: Vec<ScenarioRow>,
+    /// Metrics snapshot of the total-root-outage/hints cell, rendered into
+    /// the report so the numbers above are traceable to registry counters.
+    pub obs: Snapshot,
 }
 
 /// Fixed seed for the Part 3 scenario matrix; `tests/fault_matrix.rs` pins
@@ -177,8 +182,11 @@ pub fn run(lookups_per_level: usize, tlds: usize) -> RobustReport {
         refresh.push(RefreshRow { outage_hours, expired: impact_hours > 0, impact_hours });
     }
 
-    // Part 3: packet-level fault scenarios, every kind × every mode.
+    // Part 3: packet-level fault scenarios, every kind × every mode. The
+    // stale/timeout tallies come off each run's metrics snapshot rather
+    // than the node struct — the registry is now the source of truth.
     let mut scenarios = Vec::new();
+    let mut obs: Option<Snapshot> = None;
     for kind in ScenarioKind::ALL {
         for mode in ScenarioMode::ALL {
             let r = run_scenario(kind, mode, SCENARIO_SEED);
@@ -188,14 +196,17 @@ pub fn run(lookups_per_level: usize, tlds: usize) -> RobustReport {
                 queries: r.planned,
                 answered: r.answered(),
                 servfail: r.servfails(),
-                stale: r.node.stale_answers,
-                timeouts: r.node.timeouts,
+                stale: r.snapshot.counter("node.stale_answers"),
+                timeouts: r.snapshot.counter("node.timeouts"),
                 max_armed_ms: r.node.max_armed_timeout.as_millis_f64(),
             });
+            if kind == ScenarioKind::TotalRootOutage && mode == ScenarioMode::Hints {
+                obs = Some(r.snapshot.clone());
+            }
         }
     }
 
-    RobustReport { outages, refresh, scenarios }
+    RobustReport { outages, refresh, scenarios, obs: obs.expect("matrix includes hints cell") }
 }
 
 /// Renders both sweeps.
@@ -337,6 +348,16 @@ pub fn render(r: &RobustReport) -> String {
         ),
     ];
     out.push_str(&render_rows("ROBUST checks", &rows));
+    out.push_str(&export::render_prefixed(
+        "ROBUST obs (total-root-outage, hints): resolver node",
+        &r.obs,
+        "node.",
+    ));
+    out.push_str(&export::render_prefixed(
+        "ROBUST obs (total-root-outage, hints): simulator",
+        &r.obs,
+        "sim.",
+    ));
     out
 }
 

@@ -11,6 +11,7 @@
 use std::sync::Arc;
 
 use rootless_ditl::population::{bogus_labels, WorkloadConfig};
+use rootless_obs::metrics::Registry;
 use rootless_ditl::trace::{generate, QueryName};
 use rootless_proto::message::Message;
 use rootless_proto::name::Name;
@@ -55,41 +56,44 @@ pub fn run(scale_divisor: u64, instances: usize) -> RootLoadReport {
     );
 
     // Shard queries across instances by resolver (anycast catchment-style).
+    // Every shard mirrors its counters into one shared registry; the
+    // `auth.*` cells are atomics, so the totals accumulate across threads
+    // and the report reads one snapshot instead of merging tuples.
+    let registry = Registry::new();
     let queries = Arc::new(trace.queries);
     let start = std::time::Instant::now();
-    let results: Vec<(u64, u64, u64)> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
+    std::thread::scope(|scope| {
         for shard in 0..instances {
             let queries = Arc::clone(&queries);
             let zone = Arc::clone(&zone);
             let tlds = Arc::clone(&tlds);
             let bogus = Arc::clone(&bogus);
-            handles.push(scope.spawn(move || {
+            let registry = Arc::clone(&registry);
+            scope.spawn(move || {
                 let mut server = AuthServer::new_shared(zone);
                 server.dnssec_enabled = false;
-                let mut served = 0u64;
-                for q in queries
+                server.attach_obs(&registry);
+                for (i, q) in queries
                     .iter()
                     .filter(|q| q.resolver as usize % instances == shard)
+                    .enumerate()
                 {
                     let qname = match q.name {
                         QueryName::ValidTld(i) => tlds[i as usize].clone(),
                         QueryName::BogusTld(i) => bogus[i as usize % bogus.len()].clone(),
                     };
-                    let msg = Message::query(served as u16, qname, RType::A);
+                    let msg = Message::query(i as u16, qname, RType::A);
                     let _resp = server.handle(&msg);
-                    served += 1;
                 }
-                (served, server.stats.nxdomain, server.stats.referrals)
-            }));
+            });
         }
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let elapsed = start.elapsed().as_secs_f64();
 
-    let served: u64 = results.iter().map(|r| r.0).sum();
-    let nxdomain: u64 = results.iter().map(|r| r.1).sum();
-    let referrals: u64 = results.iter().map(|r| r.2).sum();
+    let snap = registry.snapshot();
+    let served = snap.counter("auth.queries");
+    let nxdomain = snap.counter("auth.nxdomain");
+    let referrals = snap.counter("auth.referrals");
     RootLoadReport {
         served,
         nxdomain_fraction: nxdomain as f64 / served as f64,

@@ -20,6 +20,8 @@ use std::sync::Arc;
 use rootless_netsim::fault::LinkFilter;
 use rootless_netsim::geo::{city_point, GeoPoint};
 use rootless_netsim::sim::{NodeId, Sim, SimStats};
+use rootless_obs::metrics::{Registry, Snapshot};
+use rootless_obs::trace::Tracer;
 use rootless_proto::message::Rcode;
 use rootless_proto::name::Name;
 use rootless_proto::rr::{RData, RType};
@@ -128,6 +130,12 @@ pub struct ScenarioReport {
     pub node: NodeStats,
     /// Simulator counters (including fault attribution).
     pub sim: SimStats,
+    /// Metrics-registry snapshot taken after the run: every `sim.*`,
+    /// `cache.*`, `node.*`, `auth.*` counter the world produced.
+    pub snapshot: Snapshot,
+    /// The run's serialized trace-event stream — a pure function of
+    /// `(kind, mode, seed)`, so replays must be byte-identical.
+    pub trace: Vec<u8>,
 }
 
 impl ScenarioReport {
@@ -167,8 +175,11 @@ fn build_world(
     zone: &Arc<Zone>,
     plan: Vec<(SimDuration, Name, RType)>,
     stale_window: SimDuration,
+    registry: &Arc<Registry>,
+    tracer: &Arc<Tracer>,
 ) -> World {
     let mut sim = Sim::new(seed);
+    sim.attach_obs(registry, Some(Arc::clone(tracer)));
     let per_letter: Vec<(char, usize)> = "abcdefghijklm".chars().map(|c| (c, 2)).collect();
     let fleet = deploy_root_fleet(&mut sim, Arc::clone(zone), &per_letter, 1);
     let root_instances: Vec<NodeId> =
@@ -202,7 +213,7 @@ fn build_world(
     let mut tld_nodes = Vec::new();
     let mut tld_addrs = Vec::new();
     for (addr, idx) in placed {
-        let node = ServerNode::new(servers[idx].clone());
+        let node = ServerNode::new(servers[idx].clone()).with_obs(registry);
         tld_nodes.push(sim.add_node(addr, city_point(idx + 3, &mut rng), Box::new(node)));
         tld_addrs.push(addr);
     }
@@ -215,10 +226,12 @@ fn build_world(
     };
     let mut resolver = RecursiveNode::new(source);
     resolver.cache.stale_window = stale_window;
+    resolver.attach_obs(registry, Some(Arc::clone(tracer)));
     let resolver_id =
         sim.add_node(RESOLVER_ADDR, GeoPoint::new(51.5, -0.1), Box::new(resolver));
     if mode == ScenarioMode::LoopbackAuth {
-        let local_root = ServerNode::new(AuthServer::new_shared(Arc::clone(zone)));
+        let local_root =
+            ServerNode::new(AuthServer::new_shared(Arc::clone(zone))).with_obs(registry);
         sim.add_node(LOOPBACK_ROOT, GeoPoint::new(51.5, -0.1), Box::new(local_root));
     }
 
@@ -274,7 +287,9 @@ pub fn run_scenario(kind: ScenarioKind, mode: ScenarioMode, seed: u64) -> Scenar
     };
 
     let planned = plan.len();
-    let mut world = build_world(mode, seed, &zone, plan, stale_window);
+    let registry = Registry::new();
+    let tracer = Tracer::new(65_536);
+    let mut world = build_world(mode, seed, &zone, plan, stale_window, &registry, &tracer);
     match kind {
         ScenarioKind::TotalRootOutage => {
             for id in &world.root_instances {
@@ -348,6 +363,7 @@ pub fn run_scenario(kind: ScenarioKind, mode: ScenarioMode, seed: u64) -> Scenar
         }
     }
 
+    world.sim.faults.publish(&registry);
     world.sim.run_to_completion();
 
     let client = (world.sim.node(world.client_id) as &dyn std::any::Any)
@@ -368,7 +384,14 @@ pub fn run_scenario(kind: ScenarioKind, mode: ScenarioMode, seed: u64) -> Scenar
         .expect("resolver node")
         .stats
         .clone();
-    ScenarioReport { planned, results, node, sim: world.sim.stats.clone() }
+    ScenarioReport {
+        planned,
+        results,
+        node,
+        sim: world.sim.stats.clone(),
+        snapshot: registry.snapshot(),
+        trace: tracer.serialize(),
+    }
 }
 
 #[cfg(test)]

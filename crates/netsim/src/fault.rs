@@ -190,6 +190,17 @@ impl FaultSchedule {
             && self.partitions.is_empty()
     }
 
+    /// Publishes the schedule's shape as gauges (`fault.schedule.*`), so a
+    /// metrics snapshot records what fault load a run was configured with
+    /// alongside what the faults actually did. Deterministic: purely the
+    /// window counts, no randomness.
+    pub fn publish(&self, registry: &rootless_obs::metrics::Registry) {
+        registry.gauge("fault.schedule.outages").set(self.outages.len() as i64);
+        registry.gauge("fault.schedule.bursts").set(self.bursts.len() as i64);
+        registry.gauge("fault.schedule.spikes").set(self.spikes.len() as i64);
+        registry.gauge("fault.schedule.partitions").set(self.partitions.len() as i64);
+    }
+
     /// Takes `node` down for `[from, to)` (it recovers at `to`).
     pub fn node_outage(&mut self, node: NodeId, from: SimTime, to: SimTime) -> &mut Self {
         self.outages.push((node, Window::new(from, to)));

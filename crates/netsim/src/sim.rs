@@ -11,6 +11,8 @@ use std::net::Ipv4Addr;
 use std::ops::Deref;
 use std::sync::Arc;
 
+use rootless_obs::metrics::{Counter, Registry};
+use rootless_obs::trace::{FaultKind, TraceKind, Tracer};
 use rootless_util::rng::DetRng;
 use rootless_util::time::{SimDuration, SimTime};
 
@@ -240,6 +242,63 @@ pub struct SimStats {
     pub faults: FaultStats,
 }
 
+/// Packet-layer metric handles mirroring [`SimStats`] into a shared
+/// registry under the `sim.` namespace, plus an optional tracer that
+/// records fault-drop events. Handles are registered once at attach time;
+/// per-destination send counters (`sim.sent.to.<addr>`) register lazily
+/// the first time an address is seen — the engine is not under the
+/// resolver's zero-allocation constraint.
+struct SimObs {
+    registry: Arc<Registry>,
+    tracer: Option<Arc<Tracer>>,
+    sent: Counter,
+    bytes_sent: Counter,
+    delivered: Counter,
+    dropped_loss: Counter,
+    dropped_unreachable: Counter,
+    middlebox_drops: Counter,
+    middlebox_forgeries: Counter,
+    burst_drops: Counter,
+    outage_drops: Counter,
+    partition_drops: Counter,
+    spiked: Counter,
+    per_dst_sent: HashMap<Ipv4Addr, Counter>,
+}
+
+impl SimObs {
+    fn new(registry: &Arc<Registry>, tracer: Option<Arc<Tracer>>) -> SimObs {
+        SimObs {
+            sent: registry.counter("sim.sent"),
+            bytes_sent: registry.counter("sim.bytes_sent"),
+            delivered: registry.counter("sim.delivered"),
+            dropped_loss: registry.counter("sim.dropped_loss"),
+            dropped_unreachable: registry.counter("sim.dropped_unreachable"),
+            middlebox_drops: registry.counter("sim.middlebox_drops"),
+            middlebox_forgeries: registry.counter("sim.middlebox_forgeries"),
+            burst_drops: registry.counter("sim.faults.burst_drops"),
+            outage_drops: registry.counter("sim.faults.outage_drops"),
+            partition_drops: registry.counter("sim.faults.partition_drops"),
+            spiked: registry.counter("sim.faults.spiked"),
+            per_dst_sent: HashMap::new(),
+            registry: Arc::clone(registry),
+            tracer,
+        }
+    }
+
+    fn sent_to(&mut self, dst: Ipv4Addr) {
+        self.per_dst_sent
+            .entry(dst)
+            .or_insert_with(|| self.registry.counter(&format!("sim.sent.to.{dst}")))
+            .inc();
+    }
+
+    fn fault_drop(&self, now: SimTime, kind: FaultKind) {
+        if let Some(t) = &self.tracer {
+            t.record(now, TraceKind::FaultDrop { kind });
+        }
+    }
+}
+
 /// The simulation engine.
 pub struct Sim {
     now: SimTime,
@@ -264,6 +323,7 @@ pub struct Sim {
     rng: DetRng,
     /// Counters.
     pub stats: SimStats,
+    obs: Option<SimObs>,
 }
 
 impl Sim {
@@ -286,7 +346,17 @@ impl Sim {
             faults: FaultSchedule::new(),
             rng: DetRng::seed_from_u64(seed),
             stats: SimStats::default(),
+            obs: None,
         }
+    }
+
+    /// Mirrors the engine's packet counters into `registry` (names under
+    /// `sim.`, per-destination sends under `sim.sent.to.<addr>`) and, when
+    /// a tracer is given, records a [`TraceKind::FaultDrop`] event for
+    /// every dropped datagram. Attach before running; counters registered
+    /// here start at zero.
+    pub fn attach_obs(&mut self, registry: &Arc<Registry>, tracer: Option<Arc<Tracer>>) {
+        self.obs = Some(SimObs::new(registry, tracer));
     }
 
     /// Current simulated time.
@@ -404,6 +474,11 @@ impl Sim {
     fn dispatch_send(&mut self, from_geo: GeoPoint, mut dgram: Datagram) {
         self.stats.sent += 1;
         self.stats.bytes_sent += dgram.payload.len() as u64;
+        if let Some(o) = &mut self.obs {
+            o.sent.inc();
+            o.bytes_sent.add(dgram.payload.len() as u64);
+            o.sent_to(dgram.dst);
+        }
 
         // Middleboxes inspect in order.
         let mut impersonated: Option<Payload> = None;
@@ -412,14 +487,24 @@ impl Sim {
                 Verdict::Pass => {}
                 Verdict::Drop => {
                     self.stats.middlebox_drops += 1;
+                    if let Some(o) = &self.obs {
+                        o.middlebox_drops.inc();
+                        o.fault_drop(self.now, FaultKind::Middlebox);
+                    }
                     return;
                 }
                 Verdict::Rewrite(payload) => {
                     self.stats.middlebox_forgeries += 1;
+                    if let Some(o) = &self.obs {
+                        o.middlebox_forgeries.inc();
+                    }
                     dgram.payload = payload;
                 }
                 Verdict::Impersonate(payload) => {
                     self.stats.middlebox_forgeries += 1;
+                    if let Some(o) = &self.obs {
+                        o.middlebox_forgeries.inc();
+                    }
                     impersonated = Some(payload);
                     break;
                 }
@@ -434,6 +519,9 @@ impl Sim {
                 Some(&id) if self.is_live(id) => id,
                 _ => {
                     self.stats.dropped_unreachable += 1;
+                    if let Some(o) = &self.obs {
+                        o.dropped_unreachable.inc();
+                    }
                     return;
                 }
             };
@@ -451,29 +539,54 @@ impl Sim {
         if burst.drops(&mut self.rng) {
             self.stats.dropped_loss += 1;
             self.stats.faults.burst_drops += 1;
+            if let Some(o) = &self.obs {
+                o.dropped_loss.inc();
+                o.burst_drops.inc();
+                o.fault_drop(self.now, FaultKind::Burst);
+            }
             return;
         }
         if LossGate::new(self.loss).drops(&mut self.rng) {
             self.stats.dropped_loss += 1;
+            if let Some(o) = &self.obs {
+                o.dropped_loss.inc();
+                o.fault_drop(self.now, FaultKind::BaseLoss);
+            }
             return;
         }
         let Some(target) = self.route(from_geo, dgram.dst) else {
             self.stats.dropped_unreachable += 1;
-            if self.route_ignoring_faults(from_geo, dgram.dst).is_some() {
+            let outage = self.route_ignoring_faults(from_geo, dgram.dst).is_some();
+            if outage {
                 // Only unreachable because of a scheduled outage window.
                 self.stats.faults.outage_drops += 1;
+            }
+            if let Some(o) = &self.obs {
+                o.dropped_unreachable.inc();
+                if outage {
+                    o.outage_drops.inc();
+                    o.fault_drop(self.now, FaultKind::Outage);
+                }
             }
             return;
         };
         if self.faults.partitioned(self.now, self.unicast.get(&dgram.src).copied(), target) {
             self.stats.dropped_unreachable += 1;
             self.stats.faults.partition_drops += 1;
+            if let Some(o) = &self.obs {
+                o.dropped_unreachable.inc();
+                o.partition_drops.inc();
+                o.fault_drop(self.now, FaultKind::Partition);
+            }
             return;
         }
         let mut delay =
             from_geo.one_way_delay(&self.geos[target.0]) + self.transmission_delay(dgram.payload.len());
         let spike = self.faults.spike_delay(self.now, dgram.src, dgram.dst, &mut self.rng);
         if spike > SimDuration::ZERO {
+            if let Some(o) = &self.obs {
+                o.spiked.inc();
+            }
             self.stats.faults.spiked += 1;
             self.stats.faults.spike_delay_total = self.stats.faults.spike_delay_total + spike;
             delay = delay + spike;
@@ -504,12 +617,23 @@ impl Sim {
                     // packet was in flight.
                     if !self.is_live(node_id) {
                         self.stats.dropped_unreachable += 1;
-                        if !self.down[node_id.0] {
+                        let outage = !self.down[node_id.0];
+                        if outage {
                             self.stats.faults.outage_drops += 1;
+                        }
+                        if let Some(o) = &self.obs {
+                            o.dropped_unreachable.inc();
+                            if outage {
+                                o.outage_drops.inc();
+                                o.fault_drop(self.now, FaultKind::Outage);
+                            }
                         }
                         continue;
                     }
                     self.stats.delivered += 1;
+                    if let Some(o) = &self.obs {
+                        o.delivered.inc();
+                    }
                     *self.stats.per_dst.entry(dgram.dst).or_insert(0) += 1;
                     self.with_node(node_id, |node, ctx| node.on_datagram(ctx, dgram));
                 }
@@ -693,6 +817,57 @@ mod tests {
         sim.run_to_completion();
         assert_eq!(sim.stats.dropped_loss, 1);
         assert_eq!(sim.stats.delivered, 0);
+    }
+
+    #[test]
+    fn obs_mirror_matches_stats_and_per_dst_sends_sum() {
+        use rootless_obs::trace::FaultKind;
+
+        let mut sim = Sim::new(7);
+        sim.loss = 0.3;
+        let registry = Registry::new();
+        let tracer = Tracer::new(256);
+        sim.attach_obs(&registry, Some(tracer.clone()));
+        let a1 = addr(10, 6, 0, 1);
+        let _s = sim.add_node(a1, GeoPoint::new(0.0, 0.0), Box::new(Echo { received: vec![] }));
+        let c = sim.add_node(
+            addr(10, 6, 0, 2),
+            GeoPoint::new(1.0, 1.0),
+            Box::new(Probe { target: a1, replies: vec![] }),
+        );
+        for i in 0..20 {
+            sim.schedule_timer(c, SimDuration::from_millis(i), 0);
+        }
+        sim.run_to_completion();
+        // One packet to an address nobody serves (unreachable bucket).
+        sim.inject(
+            GeoPoint::new(1.0, 1.0),
+            Datagram { src: addr(10, 6, 0, 2), dst: addr(10, 6, 0, 9), payload: b"x".into() },
+        );
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sim.sent"), sim.stats.sent);
+        assert_eq!(snap.counter("sim.delivered"), sim.stats.delivered);
+        assert_eq!(snap.counter("sim.dropped_loss"), sim.stats.dropped_loss);
+        assert_eq!(snap.counter("sim.dropped_unreachable"), sim.stats.dropped_unreachable);
+        assert_eq!(snap.counter("sim.bytes_sent"), sim.stats.bytes_sent);
+        // Σ per-destination sends is exactly the total send counter.
+        assert_eq!(snap.sum_prefix("sim.sent.to."), snap.counter("sim.sent"));
+        // Packet conservation holds from the snapshot alone.
+        assert_eq!(
+            snap.counter("sim.delivered")
+                + snap.counter("sim.dropped_loss")
+                + snap.counter("sim.dropped_unreachable")
+                + snap.counter("sim.middlebox_drops"),
+            snap.counter("sim.sent")
+        );
+        // Base-loss drops were traced with sim-time stamps.
+        let loss_events = tracer
+            .events()
+            .iter()
+            .filter(|e| e.kind == TraceKind::FaultDrop { kind: FaultKind::BaseLoss })
+            .count() as u64;
+        assert_eq!(loss_events, sim.stats.dropped_loss);
     }
 
     #[test]

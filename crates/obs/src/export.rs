@@ -1,0 +1,105 @@
+//! Renders metric snapshots into the fixed-width text format the
+//! experiments reports use, so registry numbers appear in reports
+//! verbatim rather than being re-derived.
+
+use crate::metrics::{HistogramSnapshot, Snapshot};
+use std::fmt::Write as _;
+
+/// Renders every metric in `snap` as an aligned `== title ==` block:
+/// counters and gauges one per line, histograms as count/mean/p50/p99
+/// summaries. Iteration order is the snapshot's sorted name order, so the
+/// rendering is deterministic.
+pub fn render(title: &str, snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let w_name = snap
+        .counters
+        .keys()
+        .chain(snap.gauges.keys())
+        .chain(snap.histograms.keys())
+        .map(|k| k.len())
+        .max()
+        .unwrap_or(6)
+        .max(6);
+    for (name, v) in &snap.counters {
+        let _ = writeln!(out, "  {name:<w_name$}  {v:>12}");
+    }
+    for (name, v) in &snap.gauges {
+        let _ = writeln!(out, "  {name:<w_name$}  {v:>12}");
+    }
+    for (name, h) in &snap.histograms {
+        let _ = writeln!(out, "  {name:<w_name$}  {}", summarize(h));
+    }
+    out
+}
+
+/// Renders only the metrics whose names start with `prefix` (dotted
+/// namespaces: `"sim."`, `"node."`), same layout as [`render`].
+pub fn render_prefixed(title: &str, snap: &Snapshot, prefix: &str) -> String {
+    let filtered = Snapshot {
+        counters: snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect(),
+        gauges: snap
+            .gauges
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect(),
+        histograms: snap
+            .histograms
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect(),
+    };
+    render(title, &filtered)
+}
+
+/// One-line histogram summary: `n=…, mean=…, p50≤…, p99≤…` (quantiles are
+/// log₂-bucket upper bounds).
+pub fn summarize(h: &HistogramSnapshot) -> String {
+    format!(
+        "n={} mean={:.1} p50<={} p99<={}",
+        h.count,
+        h.mean(),
+        h.quantile(0.50),
+        h.quantile(0.99)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn render_is_deterministic_and_sorted() {
+        let r = Registry::new();
+        r.counter("b.second").add(2);
+        r.counter("a.first").add(1);
+        r.histogram("lat").observe(100);
+        let s = r.snapshot();
+        let a = render("T", &s);
+        let b = render("T", &s);
+        assert_eq!(a, b);
+        let first = a.find("a.first").unwrap();
+        let second = a.find("b.second").unwrap();
+        assert!(first < second, "names must render sorted");
+        assert!(a.contains("n=1"));
+    }
+
+    #[test]
+    fn prefix_filter_drops_other_namespaces() {
+        let r = Registry::new();
+        r.counter("sim.sent").add(9);
+        r.counter("node.timeouts").add(1);
+        let s = r.snapshot();
+        let text = render_prefixed("SIM", &s, "sim.");
+        assert!(text.contains("sim.sent"));
+        assert!(!text.contains("node.timeouts"));
+    }
+}

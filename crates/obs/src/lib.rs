@@ -1,0 +1,32 @@
+//! Deterministic observability for the rootless simulation stack.
+//!
+//! The paper's quantitative claims (root load shed, per-mode latency,
+//! robustness under root outage) are only as credible as our ability to
+//! measure what the simulated resolver actually did. This crate provides
+//! the measurement substrate:
+//!
+//! - [`metrics`] — a [`metrics::Registry`] of named counters, gauges and
+//!   log₂-bucketed histograms. Handles are `Arc`-backed atomics: after the
+//!   one-time named registration, every increment is a single relaxed
+//!   atomic op with no locking and no allocation, so instrumented hot
+//!   paths stay allocation-free (the resolver's counting-allocator test
+//!   proves this). [`metrics::Snapshot`] freezes a registry into sorted
+//!   maps that support equality, diffing, and prefix sums — the invariant
+//!   tests assert packet conservation from snapshots alone.
+//! - [`trace`] — a preallocated ring buffer of `Copy` [`trace::TraceEvent`]s
+//!   stamped with [`rootless_util::time::SimTime`]. Because every event is
+//!   stamped with simulated (not wall-clock) time and recording draws no
+//!   randomness, a run's serialized trace is a pure function of
+//!   `(seed, schedule)` — byte-identical across replays.
+//! - [`export`] — renders snapshots into the fixed-width report format
+//!   used by `crates/experiments`, so the paper-facing numbers and the
+//!   packet-level counters are the same numbers.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use trace::{FaultKind, RootSource, TraceEvent, TraceKind, Tracer};

@@ -1,0 +1,394 @@
+//! Named counters, gauges, and log₂-bucketed histograms.
+//!
+//! Registration (the only step that allocates or locks) happens once per
+//! name; the returned handles are `Arc`-backed atomics that can be cloned
+//! into components and bumped from the hot path for the cost of one
+//! relaxed atomic op. Registration is idempotent: asking the registry for
+//! an existing name returns a handle to the same underlying cell, so a
+//! fleet of cloned servers can share one aggregate counter.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: bucket 0 holds the value `0`, bucket `i`
+/// (1 ≤ i ≤ 64) holds values whose highest set bit is `i - 1`, i.e. the
+/// half-open range `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter. Cloning shares the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value. Cloning shares the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistInner {
+    fn default() -> Self {
+        HistInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log₂-bucketed histogram. `observe` is three relaxed atomic adds —
+/// no locking, no allocation — so it is safe on the query hot path.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistInner>);
+
+/// Bucket index for a value: 0 for 0, else `64 - leading_zeros(v)`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.0.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A registry of named metrics. Names are flat dotted strings
+/// (`"sim.sent"`, `"node.timeouts"`, `"sim.sent.to.198.41.0.4"`); the
+/// dotted convention is what [`Snapshot::sum_prefix`] aggregates over.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// A fresh, empty registry behind an `Arc` so handles and components
+    /// can share it.
+    pub fn new() -> Arc<Registry> {
+        Arc::new(Registry::default())
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().unwrap();
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().unwrap();
+        inner.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.inner.lock().unwrap();
+        inner.histograms.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Freeze the current values of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().unwrap();
+        Snapshot {
+            counters: inner.counters.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), HistogramSnapshot::freeze(v)))
+                .collect(),
+        }
+    }
+}
+
+/// Frozen histogram state: sample count, sample sum, and the non-empty
+/// buckets as `(bucket index, count)` pairs sorted by index.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all sample values.
+    pub sum: u64,
+    /// Non-empty `(bucket index, count)` pairs, ascending by index.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramSnapshot {
+    fn freeze(h: &Histogram) -> HistogramSnapshot {
+        let buckets = h
+            .0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i as u8, n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: h.0.count.load(Ordering::Relaxed),
+            sum: h.0.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Mean sample value, or 0.0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Inclusive upper bound of the bucket index `i` covers.
+    pub fn bucket_upper_bound(i: u8) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (0.0 ≤ q ≤ 1.0), or 0 with no samples. Log-bucket resolution:
+    /// good for order-of-magnitude latency reporting, not microseconds.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper_bound(i);
+            }
+        }
+        Self::bucket_upper_bound(self.buckets.last().map(|&(i, _)| i).unwrap_or(0))
+    }
+}
+
+/// A frozen view of a registry: sorted name → value maps. `Snapshot`
+/// equality is the backbone of the replay-determinism gates, and
+/// [`Snapshot::diff`] isolates what a phase of a run contributed.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Counter value, or 0 if the name was never registered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, or 0 if the name was never registered.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram snapshot by name, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Sum of every counter whose name starts with `prefix`. The
+    /// conservation tests use this for "Σ per-server sends".
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// What changed since `earlier`: counters subtract (saturating, so a
+    /// mismatched pair degrades to 0 rather than wrapping), gauges
+    /// subtract signed, histograms subtract bucket-wise. Names present
+    /// only in `self` keep their value; names only in `earlier` drop out.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v.saturating_sub(earlier.counter(k))))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, &v)| (k.clone(), v - earlier.gauge(k)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let prev = earlier.histograms.get(k);
+                let mut before = [0u64; HISTOGRAM_BUCKETS];
+                if let Some(p) = prev {
+                    for &(i, n) in &p.buckets {
+                        before[i as usize] = n;
+                    }
+                }
+                let buckets: Vec<(u8, u64)> = h
+                    .buckets
+                    .iter()
+                    .filter_map(|&(i, n)| {
+                        let d = n.saturating_sub(before[i as usize]);
+                        (d > 0).then_some((i, d))
+                    })
+                    .collect();
+                let snap = HistogramSnapshot {
+                    count: h.count.saturating_sub(prev.map_or(0, |p| p.count)),
+                    sum: h.sum.saturating_sub(prev.map_or(0, |p| p.sum)),
+                    buckets,
+                };
+                (k.clone(), snap)
+            })
+            .collect();
+        Snapshot { counters, gauges, histograms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.snapshot().counter("x"), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_a_phase() {
+        let r = Registry::new();
+        let c = r.counter("sent");
+        let h = r.histogram("lat");
+        c.add(5);
+        h.observe(7);
+        let before = r.snapshot();
+        c.add(3);
+        h.observe(7);
+        h.observe(100);
+        let after = r.snapshot();
+        let d = after.diff(&before);
+        assert_eq!(d.counter("sent"), 3);
+        let dh = d.histogram("lat").unwrap();
+        assert_eq!(dh.count, 2);
+        assert_eq!(dh.sum, 107);
+        assert_eq!(dh.buckets, vec![(3, 1), (7, 1)]);
+    }
+
+    #[test]
+    fn prefix_sum_matches_manual_total() {
+        let r = Registry::new();
+        r.counter("sim.sent.to.10.0.0.1").add(4);
+        r.counter("sim.sent.to.10.0.0.2").add(6);
+        r.counter("sim.sent").add(10);
+        let s = r.snapshot();
+        assert_eq!(s.sum_prefix("sim.sent.to."), 10);
+        assert_eq!(s.counter("sim.sent"), s.sum_prefix("sim.sent.to."));
+    }
+
+    #[test]
+    fn quantile_returns_bucket_upper_bounds() {
+        let r = Registry::new();
+        let h = r.histogram("q");
+        for v in [1u64, 2, 3, 900] {
+            h.observe(v);
+        }
+        let s = r.snapshot();
+        let hs = s.histogram("q").unwrap();
+        assert_eq!(hs.quantile(0.5), 3); // bucket 2 covers [2,4)
+        assert_eq!(hs.quantile(1.0), 1023); // bucket 10 covers [512,1024)
+    }
+}

@@ -1,0 +1,287 @@
+//! Sim-time-stamped trace events in a preallocated ring buffer.
+//!
+//! Events are `Copy` and fixed-size, recording is a mutex lock plus a
+//! slot write (no allocation after construction), and serialization is a
+//! hand-rolled byte layout with no platform- or hash-order-dependence —
+//! so two runs from the same `(seed, FaultSchedule)` produce
+//! byte-identical serialized traces. Variable-length data (query names)
+//! is carried as the name's precomputed case-folded hash, which keeps
+//! events `Copy` and the query path allocation-free.
+
+use rootless_util::time::SimTime;
+use std::net::Ipv4Addr;
+use std::sync::{Arc, Mutex};
+
+/// Which fault mechanism dropped a datagram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The simulator's base Bernoulli loss.
+    BaseLoss,
+    /// A scheduled per-link loss burst.
+    Burst,
+    /// A scheduled node outage (dead destination).
+    Outage,
+    /// A scheduled partition between the endpoints.
+    Partition,
+    /// A middlebox policy drop.
+    Middlebox,
+}
+
+/// Which root strategy a consultation went through — mirrors the four
+/// resolver modes from the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RootSource {
+    /// Classic root hints: a network query to the anycast root letters.
+    Hints,
+    /// On-demand lookup in a locally mirrored root zone.
+    LocalZone,
+    /// Preloaded cache (no consultation should ever fire; its absence in
+    /// a trace is itself the measurement).
+    Preload,
+    /// RFC 7706 loopback authoritative.
+    Loopback,
+}
+
+/// One observable step of a run. All payloads are fixed-size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A client query entered the resolver.
+    QueryStart {
+        /// Case-folded hash of the qname.
+        qhash: u64,
+    },
+    /// Answered from a fresh cache entry.
+    CacheHit {
+        /// Case-folded hash of the qname.
+        qhash: u64,
+    },
+    /// Cache had nothing usable; recursion begins.
+    CacheMiss {
+        /// Case-folded hash of the qname.
+        qhash: u64,
+    },
+    /// Answered from an expired entry inside the serve-stale window.
+    CacheStale {
+        /// Case-folded hash of the qname.
+        qhash: u64,
+    },
+    /// A query left for an upstream server.
+    UpstreamSend {
+        /// Destination server address.
+        server: Ipv4Addr,
+        /// Retry attempt number (0 = first try).
+        attempt: u32,
+    },
+    /// An upstream attempt timed out.
+    UpstreamTimeout {
+        /// The server that never answered.
+        server: Ipv4Addr,
+        /// The attempt that expired.
+        attempt: u32,
+    },
+    /// The network dropped a datagram.
+    FaultDrop {
+        /// Which mechanism dropped it.
+        kind: FaultKind,
+    },
+    /// The resolver consulted root data.
+    RootConsult {
+        /// Which root strategy served it.
+        source: RootSource,
+    },
+    /// A resolution finished with this RCODE.
+    Answer {
+        /// Wire RCODE value.
+        rcode: u8,
+    },
+}
+
+/// A trace entry: what happened, stamped with simulated time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time of the event.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+fn put_event(out: &mut Vec<u8>, e: &TraceEvent) {
+    let (tag, payload): (u8, [u8; 8]) = match e.kind {
+        TraceKind::QueryStart { qhash } => (1, qhash.to_be_bytes()),
+        TraceKind::CacheHit { qhash } => (2, qhash.to_be_bytes()),
+        TraceKind::CacheMiss { qhash } => (3, qhash.to_be_bytes()),
+        TraceKind::CacheStale { qhash } => (4, qhash.to_be_bytes()),
+        TraceKind::UpstreamSend { server, attempt } => {
+            let mut p = [0u8; 8];
+            p[..4].copy_from_slice(&server.octets());
+            p[4..].copy_from_slice(&attempt.to_be_bytes());
+            (5, p)
+        }
+        TraceKind::UpstreamTimeout { server, attempt } => {
+            let mut p = [0u8; 8];
+            p[..4].copy_from_slice(&server.octets());
+            p[4..].copy_from_slice(&attempt.to_be_bytes());
+            (6, p)
+        }
+        TraceKind::FaultDrop { kind } => {
+            let mut p = [0u8; 8];
+            p[0] = match kind {
+                FaultKind::BaseLoss => 0,
+                FaultKind::Burst => 1,
+                FaultKind::Outage => 2,
+                FaultKind::Partition => 3,
+                FaultKind::Middlebox => 4,
+            };
+            (7, p)
+        }
+        TraceKind::RootConsult { source } => {
+            let mut p = [0u8; 8];
+            p[0] = match source {
+                RootSource::Hints => 0,
+                RootSource::LocalZone => 1,
+                RootSource::Preload => 2,
+                RootSource::Loopback => 3,
+            };
+            (8, p)
+        }
+        TraceKind::Answer { rcode } => {
+            let mut p = [0u8; 8];
+            p[0] = rcode;
+            (9, p)
+        }
+    };
+    out.push(tag);
+    out.extend_from_slice(&e.at.0.to_be_bytes());
+    out.extend_from_slice(&payload);
+}
+
+struct Ring {
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    /// Events overwritten because the ring was full.
+    dropped: u64,
+}
+
+/// A bounded, preallocated event ring. When full, the oldest events are
+/// overwritten (and counted), so a tracer never grows after construction
+/// and recording never allocates.
+pub struct Tracer {
+    capacity: usize,
+    state: Mutex<Ring>,
+}
+
+impl Tracer {
+    /// A tracer holding at most `capacity` events, fully preallocated.
+    pub fn new(capacity: usize) -> Arc<Tracer> {
+        assert!(capacity > 0, "tracer capacity must be positive");
+        Arc::new(Tracer {
+            capacity,
+            state: Mutex::new(Ring {
+                buf: Vec::with_capacity(capacity),
+                head: 0,
+                dropped: 0,
+            }),
+        })
+    }
+
+    /// Record one event. Lock + slot write; no allocation.
+    #[inline]
+    pub fn record(&self, at: SimTime, kind: TraceKind) {
+        let mut s = self.state.lock().unwrap();
+        if s.buf.len() < self.capacity {
+            s.buf.push(TraceEvent { at, kind });
+        } else {
+            let head = s.head;
+            s.buf[head] = TraceEvent { at, kind };
+            s.head = (head + 1) % self.capacity;
+            s.dropped += 1;
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().buf.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().unwrap().dropped
+    }
+
+    /// The retained events in chronological (recording) order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let s = self.state.lock().unwrap();
+        let mut out = Vec::with_capacity(s.buf.len());
+        out.extend_from_slice(&s.buf[s.head..]);
+        out.extend_from_slice(&s.buf[..s.head]);
+        out
+    }
+
+    /// Byte-stable serialization: a fixed header (event count + overwrite
+    /// count) followed by 17 bytes per event (tag, big-endian sim time,
+    /// 8-byte payload). Two identical runs serialize identically.
+    pub fn serialize(&self) -> Vec<u8> {
+        let events = self.events();
+        let dropped = self.dropped();
+        let mut out = Vec::with_capacity(16 + events.len() * 17);
+        out.extend_from_slice(&(events.len() as u64).to_be_bytes());
+        out.extend_from_slice(&dropped.to_be_bytes());
+        for e in &events {
+            put_event(&mut out, e);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_overwrites_oldest_and_keeps_order() {
+        let t = Tracer::new(3);
+        for i in 0..5u64 {
+            t.record(SimTime(i), TraceKind::Answer { rcode: i as u8 });
+        }
+        let ev = t.events();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0].at, SimTime(2));
+        assert_eq!(ev[2].at, SimTime(4));
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn serialization_is_fixed_width_and_replayable() {
+        let mk = || {
+            let t = Tracer::new(8);
+            t.record(SimTime(1), TraceKind::QueryStart { qhash: 0xdead });
+            t.record(
+                SimTime(2),
+                TraceKind::UpstreamSend { server: Ipv4Addr::new(198, 41, 0, 4), attempt: 0 },
+            );
+            t.record(SimTime(9), TraceKind::FaultDrop { kind: FaultKind::Burst });
+            t.serialize()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16 + 3 * 17);
+        // Event count header.
+        assert_eq!(&a[..8], &3u64.to_be_bytes());
+    }
+
+    #[test]
+    fn distinct_events_serialize_distinctly() {
+        let t1 = Tracer::new(4);
+        t1.record(SimTime(1), TraceKind::CacheHit { qhash: 7 });
+        let t2 = Tracer::new(4);
+        t2.record(SimTime(1), TraceKind::CacheMiss { qhash: 7 });
+        assert_ne!(t1.serialize(), t2.serialize());
+    }
+}

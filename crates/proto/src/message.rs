@@ -60,7 +60,9 @@ pub enum Rcode {
 }
 
 impl Rcode {
-    fn to_u8(self) -> u8 {
+    /// The 4-bit wire value (observability and tracing stamp answers with
+    /// this).
+    pub fn to_u8(self) -> u8 {
         match self {
             Rcode::NoError => 0,
             Rcode::FormErr => 1,

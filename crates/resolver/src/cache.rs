@@ -20,6 +20,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
+use rootless_obs::metrics::{Counter, Registry};
 use rootless_proto::name::Name;
 use rootless_proto::rr::{RType, Record};
 use rootless_util::time::{SimDuration, SimTime};
@@ -135,6 +136,34 @@ pub struct CacheStats {
     pub stale_hits: u64,
 }
 
+/// Pre-registered metric handles mirroring [`CacheStats`] into a shared
+/// registry (names under `cache.`). Handles are `Arc`-backed atomics, so
+/// mirroring a counter on the lookup path is one relaxed atomic add — no
+/// locking, no allocation.
+#[derive(Clone, Debug)]
+pub struct CacheObs {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    expirations: Counter,
+    preloaded_inserts: Counter,
+    stale_hits: Counter,
+}
+
+impl CacheObs {
+    /// Registers the `cache.*` counters in `registry`.
+    pub fn new(registry: &Registry) -> CacheObs {
+        CacheObs {
+            hits: registry.counter("cache.hits"),
+            misses: registry.counter("cache.misses"),
+            evictions: registry.counter("cache.evictions"),
+            expirations: registry.counter("cache.expirations"),
+            preloaded_inserts: registry.counter("cache.preloaded_inserts"),
+            stale_hits: registry.counter("cache.stale_hits"),
+        }
+    }
+}
+
 /// A TTL + capacity bounded cache of RRsets and negative answers.
 #[derive(Clone, Debug)]
 pub struct Cache {
@@ -161,6 +190,7 @@ pub struct Cache {
     clock: u64,
     /// Counters.
     pub stats: CacheStats,
+    obs: Option<CacheObs>,
 }
 
 impl Cache {
@@ -179,7 +209,15 @@ impl Cache {
             stale_window: SimDuration::ZERO,
             clock: 0,
             stats: CacheStats::default(),
+            obs: None,
         }
+    }
+
+    /// Mirrors every future [`CacheStats`] change into the pre-registered
+    /// `cache.*` counters in `obs`. Attach before use; counters start at
+    /// zero regardless of the cache's current `stats`.
+    pub fn attach_obs(&mut self, obs: CacheObs) {
+        self.obs = Some(obs);
     }
 
     /// Number of live entries (including not-yet-collected expired ones).
@@ -299,6 +337,9 @@ impl Cache {
         self.clock += 1;
         let Some(idx) = self.find(name, rtype.to_u16()) else {
             self.stats.misses += 1;
+            if let Some(o) = &self.obs {
+                o.misses.inc();
+            }
             return None;
         };
         let expires = self.slots[idx as usize].as_ref().expect("slot live").expires;
@@ -309,8 +350,14 @@ impl Cache {
             if expires + self.stale_window <= now {
                 self.remove_slot(idx);
                 self.stats.expirations += 1;
+                if let Some(o) = &self.obs {
+                    o.expirations.inc();
+                }
             }
             self.stats.misses += 1;
+            if let Some(o) = &self.obs {
+                o.misses.inc();
+            }
             return None;
         }
         let clock = self.clock;
@@ -324,6 +371,9 @@ impl Cache {
             }
         };
         self.stats.hits += 1;
+        if let Some(o) = &self.obs {
+            o.hits.inc();
+        }
         self.lru_touch(idx);
         self.lfu_note(idx);
         Some(answer)
@@ -359,6 +409,9 @@ impl Cache {
         let Value::Positive(records) = &slot.value else { return None };
         let records = Arc::clone(records);
         self.stats.stale_hits += 1;
+        if let Some(o) = &self.obs {
+            o.stale_hits.inc();
+        }
         Some(records)
     }
 
@@ -371,6 +424,9 @@ impl Cache {
     /// tracked separately so pollution analyses can tell the two apart.
     pub fn preload(&mut self, now: SimTime, records: Vec<Record>) {
         self.stats.preloaded_inserts += 1;
+        if let Some(o) = &self.obs {
+            o.preloaded_inserts.inc();
+        }
         self.insert_inner(now, records, true);
     }
 
@@ -456,6 +512,9 @@ impl Cache {
             debug_assert_ne!(victim, NIL);
             self.remove_slot(victim);
             self.stats.evictions += 1;
+            if let Some(o) = &self.obs {
+                o.evictions.inc();
+            }
         }
     }
 
@@ -494,6 +553,9 @@ impl Cache {
     pub fn purge_expired(&mut self, now: SimTime) -> usize {
         let removed = self.drop_matching(|s| s.expires <= now);
         self.stats.expirations += removed as u64;
+        if let Some(o) = &self.obs {
+            o.expirations.add(removed as u64);
+        }
         removed
     }
 

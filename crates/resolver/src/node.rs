@@ -24,6 +24,8 @@ use std::net::Ipv4Addr;
 use std::sync::Arc;
 
 use rootless_netsim::sim::{Ctx, Datagram, Node};
+use rootless_obs::metrics::{Counter, Histogram, Registry};
+use rootless_obs::trace::{RootSource, TraceKind, Tracer};
 use rootless_proto::message::{Message, Rcode};
 use rootless_proto::name::Name;
 use rootless_proto::rr::{RData, RType, Record};
@@ -33,9 +35,9 @@ use rootless_util::time::{SimDuration, SimTime};
 use rootless_zone::hints::RootHints;
 use rootless_zone::zone::{Lookup, Zone};
 
-use crate::cache::{Cache, CacheAnswer, Eviction};
+use crate::cache::{Cache, CacheAnswer, CacheObs, Eviction};
 use crate::resolver::{classify_response, StepResult};
-use crate::srtt::{backoff_timeout, SrttSelector};
+use crate::srtt::{backoff_timeout, SrttObs, SrttSelector};
 
 /// Where the node gets root information.
 pub enum NodeRootSource {
@@ -101,6 +103,50 @@ pub struct NodeStats {
     pub max_armed_timeout: SimDuration,
 }
 
+/// Pre-registered metric handles mirroring [`NodeStats`] into a shared
+/// registry (names under `node.`), plus an optional tracer for the query
+/// lifecycle events (start, cache hit/stale, upstream send/timeout, root
+/// consultation, answer). All handles are atomics and the tracer ring is
+/// preallocated, so instrumentation adds no allocation to the query path.
+struct NodeObs {
+    tracer: Option<Arc<Tracer>>,
+    client_queries: Counter,
+    answered: Counter,
+    nxdomain: Counter,
+    servfail: Counter,
+    upstream_queries: Counter,
+    root_queries: Counter,
+    timeouts: Counter,
+    cache_answers: Counter,
+    stale_answers: Counter,
+    armed_timeout_ms: Histogram,
+}
+
+impl NodeObs {
+    fn new(registry: &Registry, tracer: Option<Arc<Tracer>>) -> NodeObs {
+        NodeObs {
+            tracer,
+            client_queries: registry.counter("node.client_queries"),
+            answered: registry.counter("node.answered"),
+            nxdomain: registry.counter("node.nxdomain"),
+            servfail: registry.counter("node.servfail"),
+            upstream_queries: registry.counter("node.upstream_queries"),
+            root_queries: registry.counter("node.root_queries"),
+            timeouts: registry.counter("node.timeouts"),
+            cache_answers: registry.counter("node.cache_answers"),
+            stale_answers: registry.counter("node.stale_answers"),
+            armed_timeout_ms: registry.histogram("node.armed_timeout_ms"),
+        }
+    }
+
+    #[inline]
+    fn trace(&self, at: SimTime, kind: TraceKind) {
+        if let Some(t) = &self.tracer {
+            t.record(at, kind);
+        }
+    }
+}
+
 /// The event-driven recursive resolver.
 pub struct RecursiveNode {
     root_source: NodeRootSource,
@@ -126,6 +172,7 @@ pub struct RecursiveNode {
     pub stats: NodeStats,
     /// Pooled wire encoder shared by all sends from this node.
     enc: Encoder,
+    obs: Option<NodeObs>,
 }
 
 impl RecursiveNode {
@@ -156,7 +203,19 @@ impl RecursiveNode {
             next_txid: 1,
             stats: NodeStats::default(),
             enc: Encoder::new(),
+            obs: None,
         }
+    }
+
+    /// Mirrors this node's counters (`node.*`), its cache (`cache.*`) and
+    /// its SRTT tracker (`srtt.*`) into `registry`, and — when a tracer is
+    /// given — records the query lifecycle as sim-time-stamped trace
+    /// events. Attach before the first query; handles register once here
+    /// and the query path itself never allocates for observability.
+    pub fn attach_obs(&mut self, registry: &Registry, tracer: Option<Arc<Tracer>>) {
+        self.cache.attach_obs(CacheObs::new(registry));
+        self.srtt.attach_obs(SrttObs::new(registry));
+        self.obs = Some(NodeObs::new(registry, tracer));
     }
 
     fn alloc_txid(&mut self) -> u16 {
@@ -176,6 +235,14 @@ impl RecursiveNode {
             Rcode::NxDomain => self.stats.nxdomain += 1,
             _ => self.stats.servfail += 1,
         }
+        if let Some(o) = &self.obs {
+            match rcode {
+                Rcode::NoError => o.answered.inc(),
+                Rcode::NxDomain => o.nxdomain.inc(),
+                _ => o.servfail.inc(),
+            }
+            o.trace(ctx.now(), TraceKind::Answer { rcode: rcode.to_u8() });
+        }
         let mut q = Message::query(job.client_txid, job.qname.clone(), job.qtype);
         q.header.recursion_desired = true;
         let mut resp = Message::response_to(&q, rcode);
@@ -192,6 +259,10 @@ impl RecursiveNode {
         let (qname, qtype) = (job.qname.clone(), job.qtype);
         if let Some(records) = self.cache.get_stale(ctx.now(), &qname, qtype) {
             self.stats.stale_answers += 1;
+            if let Some(o) = &self.obs {
+                o.stale_answers.inc();
+                o.trace(ctx.now(), TraceKind::CacheStale { qhash: qname.folded_hash() });
+            }
             self.finish(ctx, txid, Rcode::NoError, records.to_vec());
         } else {
             self.finish(ctx, txid, Rcode::ServFail, vec![]);
@@ -244,6 +315,10 @@ impl RecursiveNode {
             match self.cache.get(now, &qname, qtype) {
                 Some(CacheAnswer::Positive(records)) => {
                     self.stats.cache_answers += 1;
+                    if let Some(o) = &self.obs {
+                        o.cache_answers.inc();
+                        o.trace(now, TraceKind::CacheHit { qhash: qname.folded_hash() });
+                    }
                     // The wire message owns its answer section, so the copy
                     // happens here at serialization, not inside the cache.
                     self.finish(ctx, txid, Rcode::NoError, records.to_vec());
@@ -251,16 +326,31 @@ impl RecursiveNode {
                 }
                 Some(CacheAnswer::Negative) => {
                     self.stats.cache_answers += 1;
+                    if let Some(o) = &self.obs {
+                        o.cache_answers.inc();
+                        o.trace(now, TraceKind::CacheHit { qhash: qname.folded_hash() });
+                    }
                     self.finish(ctx, txid, Rcode::NxDomain, vec![]);
                     return;
                 }
-                None => {}
+                None => {
+                    // Trace one miss per job, not one per referral step.
+                    if let Some(o) = &self.obs {
+                        let job = self.jobs.get(&txid).expect("job present");
+                        if job.steps == 1 {
+                            o.trace(now, TraceKind::CacheMiss { qhash: qname.folded_hash() });
+                        }
+                    }
+                }
             }
 
             let job = self.jobs.get_mut(&txid).expect("job present");
             if job.zone.is_root() {
                 if let NodeRootSource::LocalZone(zone) = &self.root_source {
                     // The paper's path: no packet, just a local lookup.
+                    if let Some(o) = &self.obs {
+                        o.trace(now, TraceKind::RootConsult { source: RootSource::LocalZone });
+                    }
                     let zone = Arc::clone(zone);
                     let neg_ttl = zone.soa().map(|s| s.minimum).unwrap_or(900);
                     match zone.lookup(&qname, qtype) {
@@ -315,8 +405,27 @@ impl RecursiveNode {
             let mut query = Message::query(txid, qname, qtype);
             query.edns = Some(rootless_proto::message::Edns::default());
             self.stats.upstream_queries += 1;
-            if self.root_addrs.contains(&server) {
+            let to_anycast_root = self.root_addrs.contains(&server);
+            if to_anycast_root {
                 self.stats.root_queries += 1;
+            }
+            if let Some(o) = &self.obs {
+                o.upstream_queries.inc();
+                o.trace(now, TraceKind::UpstreamSend { server, attempt: retries });
+                if to_anycast_root {
+                    o.root_queries.inc();
+                    // Hints consults the letters by design; Preload only
+                    // falls back to them once its preloaded records expire.
+                    let source = match &self.root_source {
+                        NodeRootSource::Preload(_) => RootSource::Preload,
+                        _ => RootSource::Hints,
+                    };
+                    o.trace(now, TraceKind::RootConsult { source });
+                } else if matches!(&self.root_source,
+                                   NodeRootSource::Loopback(a) if *a == server)
+                {
+                    o.trace(now, TraceKind::RootConsult { source: RootSource::Loopback });
+                }
             }
             query.encode_into(&mut self.enc);
             ctx.send(server, self.enc.wire());
@@ -328,6 +437,9 @@ impl RecursiveNode {
             let wait =
                 backoff_timeout(base, retries, self.max_timeout, self.backoff_jitter, ctx.rng());
             self.stats.max_armed_timeout = self.stats.max_armed_timeout.max(wait);
+            if let Some(o) = &self.obs {
+                o.armed_timeout_ms.observe(wait.as_millis_f64() as u64);
+            }
             ctx.set_timer(wait, ((attempt as u64) << 16) | txid as u64);
             return;
         }
@@ -373,6 +485,10 @@ impl Node for RecursiveNode {
             let qtype = qv.qtype;
             let client_txid = view.header().id;
             self.stats.client_queries += 1;
+            if let Some(o) = &self.obs {
+                o.client_queries.inc();
+                o.trace(ctx.now(), TraceKind::QueryStart { qhash: qname.folded_hash() });
+            }
             let txid = self.alloc_txid();
             // Every mode starts from the deepest cached delegation when one
             // exists (that is the whole point of Preload); otherwise each
@@ -478,9 +594,17 @@ impl Node for RecursiveNode {
         // a response advances `attempt`, invalidating older timers.
         if let Some(job) = self.jobs.get_mut(&txid) {
             if job.attempt == attempt {
+                let expired_attempt = job.timeouts;
                 job.timeouts += 1;
                 let server = job.server;
                 self.stats.timeouts += 1;
+                if let Some(o) = &self.obs {
+                    o.timeouts.inc();
+                    o.trace(
+                        ctx.now(),
+                        TraceKind::UpstreamTimeout { server, attempt: expired_attempt },
+                    );
+                }
                 self.srtt.record_timeout(server);
                 self.advance(ctx, txid);
             }

@@ -17,6 +17,8 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
+use rootless_obs::metrics::{Counter, Histogram, Registry};
+use rootless_obs::trace::{RootSource, TraceKind, Tracer};
 use rootless_proto::message::{Edns, Message, Rcode};
 use rootless_proto::name::Name;
 use rootless_proto::rr::{RData, RType, Record};
@@ -25,9 +27,9 @@ use rootless_util::time::{SimDuration, SimTime};
 use rootless_zone::hints::RootHints;
 use rootless_zone::zone::{Lookup, Zone};
 
-use crate::cache::{Cache, CacheAnswer, Eviction};
+use crate::cache::{Cache, CacheAnswer, CacheObs, Eviction};
 use crate::net::Network;
-use crate::srtt::{backoff_timeout, SrttSelector};
+use crate::srtt::{backoff_timeout, SrttObs, SrttSelector};
 
 /// Where the resolver gets root-zone information.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -235,6 +237,53 @@ struct LocalRoot {
     loaded_at: SimTime,
 }
 
+/// Pre-registered metric handles mirroring [`ResolverStats`] into a shared
+/// registry (names under `resolver.`), plus an optional tracer for the
+/// query lifecycle. Every handle is an `Arc`-backed atomic and the tracer
+/// ring is preallocated, so the instrumented resolution path performs no
+/// heap allocation for observability — the counting-allocator test holds
+/// this to account on the cache-hit path.
+struct ResolverObs {
+    tracer: Option<Arc<Tracer>>,
+    resolutions: Counter,
+    answers: Counter,
+    nxdomain: Counter,
+    nodata: Counter,
+    failures: Counter,
+    root_network_queries: Counter,
+    local_root_consults: Counter,
+    transactions: Counter,
+    cache_answers: Counter,
+    stale_answers: Counter,
+    latency_ms: Histogram,
+}
+
+impl ResolverObs {
+    fn new(registry: &Registry, tracer: Option<Arc<Tracer>>) -> ResolverObs {
+        ResolverObs {
+            tracer,
+            resolutions: registry.counter("resolver.resolutions"),
+            answers: registry.counter("resolver.answers"),
+            nxdomain: registry.counter("resolver.nxdomain"),
+            nodata: registry.counter("resolver.nodata"),
+            failures: registry.counter("resolver.failures"),
+            root_network_queries: registry.counter("resolver.root_network_queries"),
+            local_root_consults: registry.counter("resolver.local_root_consults"),
+            transactions: registry.counter("resolver.transactions"),
+            cache_answers: registry.counter("resolver.cache_answers"),
+            stale_answers: registry.counter("resolver.stale_answers"),
+            latency_ms: registry.histogram("resolver.latency_ms"),
+        }
+    }
+
+    #[inline]
+    fn trace(&self, at: SimTime, kind: TraceKind) {
+        if let Some(t) = &self.tracer {
+            t.record(at, kind);
+        }
+    }
+}
+
 /// The recursive resolver.
 pub struct Resolver {
     /// Configuration (mode, QMin, limits).
@@ -249,6 +298,7 @@ pub struct Resolver {
     next_id: u16,
     /// Aggregate counters.
     pub stats: ResolverStats,
+    obs: Option<ResolverObs>,
 }
 
 /// The loopback address the LoopbackAuth transactions are attributed to.
@@ -362,8 +412,20 @@ impl Resolver {
             rng,
             next_id: 1,
             stats: ResolverStats::default(),
+            obs: None,
             config,
         }
+    }
+
+    /// Mirrors this resolver's counters (`resolver.*`), its cache
+    /// (`cache.*`) and its root selector (`srtt.*`) into `registry`, and —
+    /// when a tracer is given — records the query lifecycle as
+    /// sim-time-stamped trace events. One-time registration happens here;
+    /// the resolution path itself stays allocation-free.
+    pub fn attach_obs(&mut self, registry: &Registry, tracer: Option<Arc<Tracer>>) {
+        self.cache.attach_obs(CacheObs::new(registry));
+        self.root_selector.attach_obs(SrttObs::new(registry));
+        self.obs = Some(ResolverObs::new(registry, tracer));
     }
 
     /// Installs a (verified) local root zone copy at `now`. In
@@ -399,6 +461,10 @@ impl Resolver {
         qtype: RType,
     ) -> Resolution {
         self.stats.resolutions += 1;
+        if let Some(o) = &self.obs {
+            o.resolutions.inc();
+            o.trace(now, TraceKind::QueryStart { qhash: qname.folded_hash() });
+        }
         let mut res = Resolution {
             outcome: Outcome::Fail(FailReason::TooManySteps),
             latency: SimDuration::ZERO,
@@ -412,18 +478,28 @@ impl Resolver {
         // Final answer straight from cache?
         match self.cache.get(now, qname, qtype) {
             Some(CacheAnswer::Positive(records)) => {
+                if let Some(o) = &self.obs {
+                    o.trace(now, TraceKind::CacheHit { qhash: qname.folded_hash() });
+                }
                 res.outcome = Outcome::Answer(records);
                 res.cache_hit = true;
-                self.finish(&mut res);
+                self.finish(now, &mut res);
                 return res;
             }
             Some(CacheAnswer::Negative) => {
+                if let Some(o) = &self.obs {
+                    o.trace(now, TraceKind::CacheHit { qhash: qname.folded_hash() });
+                }
                 res.outcome = Outcome::NxDomain;
                 res.cache_hit = true;
-                self.finish(&mut res);
+                self.finish(now, &mut res);
                 return res;
             }
-            None => {}
+            None => {
+                if let Some(o) = &self.obs {
+                    o.trace(now, TraceKind::CacheMiss { qhash: qname.folded_hash() });
+                }
+            }
         }
 
         let mut cur_qname = qname.clone();
@@ -450,7 +526,7 @@ impl Resolver {
                     if send_name == cur_qname {
                         self.cache_records(now, &records);
                         res.outcome = Outcome::Answer(records.into());
-                        self.finish(&mut res);
+                        self.finish(now, &mut res);
                         return res;
                     }
                     // A minimized NS probe got an authoritative NS answer:
@@ -459,7 +535,7 @@ impl Resolver {
                     let addrs = self.addresses_for_ns(now, &records, &[]);
                     if addrs.is_empty() {
                         res.outcome = Outcome::Fail(FailReason::NoGlue);
-                        self.finish(&mut res);
+                        self.finish(now, &mut res);
                         return res;
                     }
                     zone = send_name.clone();
@@ -479,13 +555,13 @@ impl Resolver {
                     self.cache_records(now, &glue);
                     if !child.is_within(&zone) || child == zone {
                         res.outcome = Outcome::Fail(FailReason::BadResponse);
-                        self.finish(&mut res);
+                        self.finish(now, &mut res);
                         return res;
                     }
                     let addrs = self.addresses_for_ns(now, &ns, &glue);
                     if addrs.is_empty() {
                         res.outcome = Outcome::Fail(FailReason::NoGlue);
-                        self.finish(&mut res);
+                        self.finish(now, &mut res);
                         return res;
                     }
                     zone = child;
@@ -507,7 +583,7 @@ impl Resolver {
                         vec![],
                     );
                     res.outcome = Outcome::NoData;
-                    self.finish(&mut res);
+                    self.finish(now, &mut res);
                     return res;
                 }
                 StepResult::NxDomain { neg_ttl } => {
@@ -518,7 +594,7 @@ impl Resolver {
                         self.cache.insert_negative(now, &send_name, RType::NS, neg_ttl);
                     }
                     res.outcome = Outcome::NxDomain;
-                    self.finish(&mut res);
+                    self.finish(now, &mut res);
                     return res;
                 }
                 StepResult::Fail(reason) => {
@@ -528,24 +604,30 @@ impl Resolver {
                     // ordinary cache contents.
                     if reason == FailReason::Unreachable && self.config.serve_stale {
                         if let Some(records) = self.cache.get_stale(now, qname, qtype) {
+                            if let Some(o) = &self.obs {
+                                o.trace(
+                                    now + res.latency,
+                                    TraceKind::CacheStale { qhash: qname.folded_hash() },
+                                );
+                            }
                             res.outcome = Outcome::Answer(records);
                             res.stale = true;
-                            self.finish(&mut res);
+                            self.finish(now, &mut res);
                             return res;
                         }
                     }
                     res.outcome = Outcome::Fail(reason);
-                    self.finish(&mut res);
+                    self.finish(now, &mut res);
                     return res;
                 }
             }
         }
         res.outcome = Outcome::Fail(FailReason::TooManySteps);
-        self.finish(&mut res);
+        self.finish(now, &mut res);
         res
     }
 
-    fn finish(&mut self, res: &mut Resolution) {
+    fn finish(&mut self, now: SimTime, res: &mut Resolution) {
         match &res.outcome {
             Outcome::Answer(_) => self.stats.answers += 1,
             Outcome::NxDomain => self.stats.nxdomain += 1,
@@ -561,6 +643,37 @@ impl Resolver {
         self.stats.root_network_queries += res.root_network_queries as u64;
         self.stats.local_root_consults += res.local_root_consults as u64;
         self.stats.transactions += res.transactions.len() as u64;
+        if let Some(o) = &self.obs {
+            let rcode = match &res.outcome {
+                Outcome::Answer(_) => {
+                    o.answers.inc();
+                    Rcode::NoError.to_u8()
+                }
+                Outcome::NxDomain => {
+                    o.nxdomain.inc();
+                    Rcode::NxDomain.to_u8()
+                }
+                Outcome::NoData => {
+                    o.nodata.inc();
+                    Rcode::NoError.to_u8()
+                }
+                Outcome::Fail(_) => {
+                    o.failures.inc();
+                    Rcode::ServFail.to_u8()
+                }
+            };
+            if res.cache_hit {
+                o.cache_answers.inc();
+            }
+            if res.stale {
+                o.stale_answers.inc();
+            }
+            o.root_network_queries.add(res.root_network_queries as u64);
+            o.local_root_consults.add(res.local_root_consults as u64);
+            o.transactions.add(res.transactions.len() as u64);
+            o.latency_ms.observe(res.latency.as_millis_f64() as u64);
+            o.trace(now + res.latency, TraceKind::Answer { rcode });
+        }
     }
 
     /// Deepest cached delegation covering `qname`, with usable addresses;
@@ -643,6 +756,15 @@ impl Resolver {
             return StepResult::Fail(FailReason::StaleLocalRoot);
         }
         res.local_root_consults += 1;
+        if let Some(o) = &self.obs {
+            let source = match self.config.mode {
+                RootMode::LocalPreload => RootSource::Preload,
+                RootMode::LocalOnDemand => RootSource::LocalZone,
+                RootMode::LoopbackAuth => RootSource::Loopback,
+                RootMode::Hints => RootSource::Hints,
+            };
+            o.trace(now + res.latency, TraceKind::RootConsult { source });
+        }
         let cost = match self.config.mode {
             RootMode::LocalPreload => SimDuration::ZERO,
             RootMode::LocalOnDemand => self.config.on_demand_cost,
@@ -714,6 +836,15 @@ impl Resolver {
         let mut consecutive_timeouts = 0u32;
         for server in order.into_iter().take(self.config.max_tries) {
             let send_time = now + res.latency;
+            if let Some(o) = &self.obs {
+                o.trace(
+                    send_time,
+                    TraceKind::UpstreamSend { server, attempt: consecutive_timeouts },
+                );
+                if is_root {
+                    o.trace(send_time, TraceKind::RootConsult { source: RootSource::Hints });
+                }
+            }
             match net.query(send_time, server, &query) {
                 Some((response, rtt)) => {
                     res.latency = res.latency + rtt;
@@ -753,6 +884,12 @@ impl Resolver {
                         self.config.backoff_jitter,
                         &mut self.rng,
                     );
+                    if let Some(o) = &self.obs {
+                        o.trace(
+                            send_time + waited,
+                            TraceKind::UpstreamTimeout { server, attempt: consecutive_timeouts },
+                        );
+                    }
                     consecutive_timeouts += 1;
                     res.latency = res.latency + waited;
                     res.transactions.push(Transaction {

@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
+use rootless_obs::metrics::{Counter, Histogram, Registry};
 use rootless_util::rng::DetRng;
 use rootless_util::time::SimDuration;
 
@@ -55,6 +56,23 @@ struct ServerState {
     timeouts: u64,
 }
 
+/// Pre-registered metric handles for the selector: a log₂-bucketed
+/// histogram of observed RTT samples in milliseconds (`srtt.rtt_ms`) and
+/// a timeout counter (`srtt.timeouts`). Recording is atomic-only — safe
+/// on the query path.
+#[derive(Clone, Debug)]
+pub struct SrttObs {
+    rtt_ms: Histogram,
+    timeouts: Counter,
+}
+
+impl SrttObs {
+    /// Registers the `srtt.*` metrics in `registry`.
+    pub fn new(registry: &Registry) -> SrttObs {
+        SrttObs { rtt_ms: registry.histogram("srtt.rtt_ms"), timeouts: registry.counter("srtt.timeouts") }
+    }
+}
+
 /// Smoothed-RTT server selector.
 #[derive(Clone, Debug)]
 pub struct SrttSelector {
@@ -63,6 +81,7 @@ pub struct SrttSelector {
     pub picks: u64,
     /// Picks that were exploratory (not the current best).
     pub explorations: u64,
+    obs: Option<SrttObs>,
 }
 
 impl SrttSelector {
@@ -77,7 +96,13 @@ impl SrttSelector {
                 ServerState { srtt_ms: UNPROBED_MS + i as f64 * 0.001, samples: 0, timeouts: 0 },
             );
         }
-        SrttSelector { servers: map, picks: 0, explorations: 0 }
+        SrttSelector { servers: map, picks: 0, explorations: 0, obs: None }
+    }
+
+    /// Streams every future RTT sample and timeout into the `srtt.*`
+    /// metrics in `obs`.
+    pub fn attach_obs(&mut self, obs: SrttObs) {
+        self.obs = Some(obs);
     }
 
     /// Picks the next server to query: usually the lowest-SRTT one, with a
@@ -117,6 +142,9 @@ impl SrttSelector {
             let sample = rtt.as_millis_f64();
             s.srtt_ms = if s.samples == 0 { sample } else { (1.0 - ALPHA) * s.srtt_ms + ALPHA * sample };
             s.samples += 1;
+            if let Some(o) = &self.obs {
+                o.rtt_ms.observe(sample as u64);
+            }
         }
     }
 
@@ -126,6 +154,9 @@ impl SrttSelector {
         if let Some(s) = self.servers.get_mut(&server) {
             s.srtt_ms = (s.srtt_ms * TIMEOUT_PENALTY).min(10_000.0);
             s.timeouts += 1;
+            if let Some(o) = &self.obs {
+                o.timeouts.inc();
+            }
         }
     }
 

@@ -1,0 +1,93 @@
+//! Allocation audit for the *instrumented* resolver hot path.
+//!
+//! PR 2 proved the proto codec's pooled encode / borrowed decode stay off
+//! the heap; this extends the same counting-allocator technique one layer
+//! up: with a metrics registry AND a tracer attached, a cache-hit
+//! resolution must still perform zero heap allocations. Handle
+//! registration is the only allocating step, and it happens at attach
+//! time — the query path touches nothing but preregistered atomics and the
+//! preallocated trace ring.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rootless_obs::metrics::Registry;
+use rootless_obs::trace::Tracer;
+use rootless_proto::name::Name;
+use rootless_proto::rr::RType;
+use rootless_resolver::harness::{build_world, WorldConfig};
+use rootless_resolver::resolver::{Resolver, ResolverConfig};
+use rootless_util::time::{SimDuration, SimTime};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn instrumented_cache_hit_resolution_allocates_nothing() {
+    let cfg = WorldConfig::default();
+    let (mut net, root_zone) = build_world(&cfg);
+    let mut resolver = Resolver::new(ResolverConfig::default());
+
+    // Attach full observability: registry counters, latency histogram and
+    // a trace ring big enough that it never wraps during the loop.
+    let registry = Registry::new();
+    let tracer = Tracer::new(4_096);
+    resolver.attach_obs(&registry, Some(tracer.clone()));
+
+    let tld = root_zone.tlds()[0].clone();
+    let qname = tld.child("domain0").unwrap().child("www").unwrap();
+    let mut now = SimTime::ZERO;
+
+    // Warm up: the first resolution walks the network and fills the cache
+    // (allocating freely); a second call settles any lazy init.
+    for _ in 0..2 {
+        let res = resolver.resolve(now, &mut net, &qname, RType::A);
+        assert!(res.outcome.is_answer(), "warm-up lookup must succeed");
+        now += SimDuration::from_millis(250);
+    }
+
+    // Steady state: repeated cache hits with metrics + tracing active.
+    let before = allocs();
+    for _ in 0..100 {
+        let res = resolver.resolve(now, &mut net, &qname, RType::A);
+        assert!(res.cache_hit, "expected a cache hit");
+        assert!(res.outcome.is_answer());
+        now += SimDuration::from_millis(1);
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "instrumented cache-hit resolution must not allocate"
+    );
+
+    // The instrumentation did fire: counters moved and events were traced.
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("resolver.resolutions"), 102);
+    // The second warm-up lookup already hit the cache: 1 + 100.
+    assert_eq!(snap.counter("resolver.cache_answers"), 101);
+    assert!(snap.counter("cache.hits") >= 101);
+    assert!(tracer.len() >= 300, "QueryStart+CacheHit+Answer per lookup");
+    assert_eq!(tracer.dropped(), 0);
+}

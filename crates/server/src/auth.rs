@@ -8,6 +8,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use rootless_obs::metrics::{Counter, Registry};
 use rootless_proto::message::{Message, Opcode, Rcode};
 use rootless_proto::name::Name;
 use rootless_proto::rr::{RClass, RData, RType, Record};
@@ -43,6 +44,43 @@ pub struct ServerStats {
     pub by_tld: HashMap<String, u64>,
 }
 
+/// Registry-backed mirrors of the [`ServerStats`] counters, shared across
+/// clones of one server (anycast fleet instances each clone the handle, so
+/// `auth.*` metrics aggregate over the whole fleet).
+#[derive(Clone, Debug)]
+pub struct AuthObs {
+    /// Mirrors [`ServerStats::queries`].
+    pub queries: Counter,
+    /// Mirrors [`ServerStats::answers`].
+    pub answers: Counter,
+    /// Mirrors [`ServerStats::referrals`].
+    pub referrals: Counter,
+    /// Mirrors [`ServerStats::nxdomain`].
+    pub nxdomain: Counter,
+    /// Mirrors [`ServerStats::nodata`].
+    pub nodata: Counter,
+    /// Mirrors [`ServerStats::refused`].
+    pub refused: Counter,
+    /// Mirrors [`ServerStats::truncated`].
+    pub truncated: Counter,
+}
+
+impl AuthObs {
+    /// Registers the `auth.*` counters (idempotent, so every fleet instance
+    /// can call this and share the same underlying cells).
+    pub fn new(registry: &Registry) -> AuthObs {
+        AuthObs {
+            queries: registry.counter("auth.queries"),
+            answers: registry.counter("auth.answers"),
+            referrals: registry.counter("auth.referrals"),
+            nxdomain: registry.counter("auth.nxdomain"),
+            nodata: registry.counter("auth.nodata"),
+            refused: registry.counter("auth.refused"),
+            truncated: registry.counter("auth.truncated"),
+        }
+    }
+}
+
 /// An authoritative server for one or more zones (real nameserver hosts
 /// serve many zones — the root zone's shared operator hosts rely on this).
 ///
@@ -55,6 +93,7 @@ pub struct AuthServer {
     pub dnssec_enabled: bool,
     /// Counters.
     pub stats: ServerStats,
+    obs: Option<AuthObs>,
 }
 
 impl AuthServer {
@@ -65,7 +104,13 @@ impl AuthServer {
 
     /// Creates a server sharing an existing zone copy (anycast fleets).
     pub fn new_shared(zone: Arc<Zone>) -> AuthServer {
-        AuthServer { zones: vec![zone], dnssec_enabled: true, stats: ServerStats::default() }
+        AuthServer { zones: vec![zone], dnssec_enabled: true, stats: ServerStats::default(), obs: None }
+    }
+
+    /// Mirrors this server's counters into `registry` under `auth.*`.
+    /// Clones made after this call share the same metric cells.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs = Some(AuthObs::new(registry));
     }
 
     /// Adds another zone this host answers for.
@@ -99,6 +144,9 @@ impl AuthServer {
     /// Handles one query message, producing the response.
     pub fn handle(&mut self, query: &Message) -> Message {
         self.stats.queries += 1;
+        if let Some(o) = &self.obs {
+            o.queries.inc();
+        }
         if query.header.opcode != Opcode::Query {
             self.stats.notimp += 1;
             return Message::response_to(query, Rcode::NotImp);
@@ -111,6 +159,9 @@ impl AuthServer {
         let Some(zone) = self.zone_for(&q.qname).cloned() else {
             // Not authoritative for anything covering this name.
             self.stats.refused += 1;
+            if let Some(o) = &self.obs {
+                o.refused.inc();
+            }
             return Message::response_to(query, Rcode::Refused);
         };
         {
@@ -128,11 +179,17 @@ impl AuthServer {
         }
         if q.qclass != RClass::IN {
             self.stats.refused += 1;
+            if let Some(o) = &self.obs {
+                o.refused.inc();
+            }
             return Message::response_to(query, Rcode::Refused);
         }
         if q.qtype == RType::AXFR {
             // Zone transfer requires the stream service (axfr module).
             self.stats.refused += 1;
+            if let Some(o) = &self.obs {
+                o.refused.inc();
+            }
             return Message::response_to(query, Rcode::Refused);
         }
         let want_dnssec = self.dnssec_enabled && query.edns.map(|e| e.dnssec_ok).unwrap_or(false);
@@ -144,17 +201,26 @@ impl AuthServer {
             match zone.lookup(&q.qname, RType::SOA) {
                 Lookup::Delegation { ns, glue } => {
                     self.stats.referrals += 1;
+                    if let Some(o) = &self.obs {
+                        o.referrals.inc();
+                    }
                     resp.authorities.extend(ns.records());
                     resp.additionals.extend(glue);
                 }
                 Lookup::NxDomain => {
                     self.stats.nxdomain += 1;
+                    if let Some(o) = &self.obs {
+                        o.nxdomain.inc();
+                    }
                     resp.header.authoritative = true;
                     resp.header.rcode = Rcode::NxDomain;
                     attach_soa(&zone, &mut resp);
                 }
                 _ => {
                     self.stats.answers += 1;
+                    if let Some(o) = &self.obs {
+                        o.answers.inc();
+                    }
                     resp.header.authoritative = true;
                     for set in zone.rrsets_at(&q.qname) {
                         if set.rtype != RType::RRSIG || want_dnssec {
@@ -168,6 +234,9 @@ impl AuthServer {
         match zone.lookup(&q.qname, q.qtype) {
             Lookup::Answer(set) => {
                 self.stats.answers += 1;
+                if let Some(o) = &self.obs {
+                    o.answers.inc();
+                }
                 resp.header.authoritative = true;
                 resp.answers.extend(set.records());
                 if want_dnssec {
@@ -178,6 +247,9 @@ impl AuthServer {
             }
             Lookup::Delegation { ns, glue } => {
                 self.stats.referrals += 1;
+                if let Some(o) = &self.obs {
+                    o.referrals.inc();
+                }
                 // Referrals are not authoritative answers (AA clear).
                 resp.authorities.extend(ns.records());
                 if want_dnssec {
@@ -193,11 +265,17 @@ impl AuthServer {
             }
             Lookup::NoData => {
                 self.stats.nodata += 1;
+                if let Some(o) = &self.obs {
+                    o.nodata.inc();
+                }
                 resp.header.authoritative = true;
                 attach_soa(&zone, &mut resp);
             }
             Lookup::NxDomain => {
                 self.stats.nxdomain += 1;
+                if let Some(o) = &self.obs {
+                    o.nxdomain.inc();
+                }
                 resp.header.authoritative = true;
                 resp.header.rcode = Rcode::NxDomain;
                 attach_soa(&zone, &mut resp);
@@ -237,6 +315,9 @@ impl AuthServer {
             return resp;
         }
         self.stats.truncated += 1;
+        if let Some(o) = &self.obs {
+            o.truncated.inc();
+        }
         let mut tc = Message::response_to(query, resp.header.rcode);
         tc.header.authoritative = resp.header.authoritative;
         tc.header.truncated = true;

@@ -105,6 +105,47 @@ pub fn transfer_bytes(zone: &Zone) -> usize {
         .sum()
 }
 
+/// [`transfer_bytes`] with metrics: bumps `axfr.transfers`, `axfr.bytes`,
+/// and `axfr.messages` counters and observes per-message wire sizes into the
+/// `axfr.message_bytes` histogram. Returns the total wire bytes moved.
+pub fn observed_transfer_bytes(zone: &Zone, registry: &rootless_obs::metrics::Registry) -> usize {
+    let transfers = registry.counter("axfr.transfers");
+    let bytes = registry.counter("axfr.bytes");
+    let messages = registry.counter("axfr.messages");
+    let message_bytes = registry.histogram("axfr.message_bytes");
+    let mut enc = Encoder::new();
+    let mut total = 0usize;
+    for m in serve(zone, 0) {
+        m.encode_into(&mut enc);
+        total += enc.len();
+        messages.inc();
+        message_bytes.observe(enc.len() as u64);
+    }
+    transfers.inc();
+    bytes.add(total as u64);
+    total
+}
+
+/// [`ixfr_bytes`] with metrics: bumps `ixfr.transfers` / `ixfr.bytes` /
+/// `ixfr.messages` and observes per-message sizes into `ixfr.message_bytes`.
+pub fn observed_ixfr_bytes(old: &Zone, new: &Zone, registry: &rootless_obs::metrics::Registry) -> usize {
+    let transfers = registry.counter("ixfr.transfers");
+    let bytes = registry.counter("ixfr.bytes");
+    let messages = registry.counter("ixfr.messages");
+    let message_bytes = registry.histogram("ixfr.message_bytes");
+    let mut enc = Encoder::new();
+    let mut total = 0usize;
+    for m in serve_ixfr(old, new, 0) {
+        m.encode_into(&mut enc);
+        total += enc.len();
+        messages.inc();
+        message_bytes.observe(enc.len() as u64);
+    }
+    transfers.inc();
+    bytes.add(total as u64);
+    total
+}
+
 // ---------------------------------------------------------------------------
 // IXFR (RFC 1995): incremental transfer
 

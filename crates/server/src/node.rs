@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use std::sync::Mutex;
 use rootless_netsim::geo::{city_point, GeoPoint};
+use rootless_obs::metrics::{Counter, Registry};
 use rootless_netsim::sim::{Ctx, Datagram, Node, NodeId, Sim};
 use rootless_proto::view::MessageView;
 use rootless_proto::wire::Encoder;
@@ -29,12 +30,38 @@ pub struct ServerNode {
     fleet_queries: Option<Arc<Mutex<u64>>>,
     /// Pooled response encoder: steady-state encoding allocates nothing.
     enc: Encoder,
+    obs: Option<ServerNodeObs>,
+}
+
+/// Registry mirrors for the node-level adapter counters (`server.*`).
+/// Shared across every node attached to the same registry, so they
+/// aggregate over the whole deployment.
+struct ServerNodeObs {
+    queries: Counter,
+    decode_errors: Counter,
 }
 
 impl ServerNode {
     /// Wraps a server.
     pub fn new(server: AuthServer) -> ServerNode {
-        ServerNode { server, decode_errors: 0, fleet_queries: None, enc: Encoder::new() }
+        ServerNode { server, decode_errors: 0, fleet_queries: None, enc: Encoder::new(), obs: None }
+    }
+
+    /// Mirrors this node's counters (and the wrapped server's `auth.*`
+    /// counters) into `registry` under `server.*`.
+    pub fn attach_obs(&mut self, registry: &Registry) -> &mut Self {
+        self.server.attach_obs(registry);
+        self.obs = Some(ServerNodeObs {
+            queries: registry.counter("server.queries"),
+            decode_errors: registry.counter("server.decode_errors"),
+        });
+        self
+    }
+
+    /// Builder form of [`ServerNode::attach_obs`].
+    pub fn with_obs(mut self, registry: &Registry) -> ServerNode {
+        self.attach_obs(registry);
+        self
     }
 
     /// Attaches a shared query counter (per-letter fleet totals).
@@ -58,6 +85,9 @@ impl Node for ServerNode {
             Ok(_) => return, // stray response; servers ignore
             Err(_) => {
                 self.decode_errors += 1;
+                if let Some(o) = &self.obs {
+                    o.decode_errors.inc();
+                }
                 return;
             }
         };
@@ -67,11 +97,17 @@ impl Node for ServerNode {
                 if let Some(counter) = &self.fleet_queries {
                     *counter.lock().unwrap() += 1;
                 }
+                if let Some(o) = &self.obs {
+                    o.queries.inc();
+                }
                 resp.encode_into(&mut self.enc);
                 ctx.send(dgram.src, self.enc.wire());
             }
             Err(_) => {
                 self.decode_errors += 1;
+                if let Some(o) = &self.obs {
+                    o.decode_errors.inc();
+                }
             }
         }
     }
@@ -261,6 +297,40 @@ mod tests {
         sim.run_to_completion();
         let node = (sim.node(id) as &dyn std::any::Any).downcast_ref::<ServerNode>().unwrap();
         assert_eq!(node.decode_errors, 1);
+    }
+
+    #[test]
+    fn obs_mirrors_server_counters() {
+        let registry = Registry::new();
+        let zone = rootzone::build(&RootZoneConfig::small(20));
+        let mut sim = Sim::new(9);
+        let tld = zone.tlds()[0].clone();
+        let query = Message::query(3, tld.child("www").unwrap(), RType::A);
+        let target = Ipv4Addr::new(10, 1, 1, 1);
+        let id = sim.add_node(
+            target,
+            GeoPoint::new(0.0, 0.0),
+            Box::new(ServerNode::new(AuthServer::new(zone)).with_obs(&registry)),
+        );
+        let probe = sim.add_node(
+            Ipv4Addr::new(10, 0, 0, 99),
+            GeoPoint::new(1.0, 1.0),
+            Box::new(QueryProbe { target, query, responses: vec![] }),
+        );
+        sim.schedule_timer(probe, SimDuration::ZERO, 0);
+        sim.inject(
+            GeoPoint::new(1.0, 1.0),
+            Datagram { src: Ipv4Addr::new(10, 1, 1, 2), dst: target, payload: b"junk".into() },
+        );
+        sim.run_to_completion();
+        let node = (sim.node(id) as &dyn std::any::Any).downcast_ref::<ServerNode>().unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("server.queries"), node.server().stats.queries);
+        assert_eq!(snap.counter("server.decode_errors"), node.decode_errors);
+        assert_eq!(snap.counter("auth.queries"), node.server().stats.queries);
+        assert_eq!(snap.counter("auth.referrals"), node.server().stats.referrals);
+        assert_eq!(snap.counter("server.decode_errors"), 1);
+        assert_eq!(snap.counter("auth.queries"), 1);
     }
 
     #[test]

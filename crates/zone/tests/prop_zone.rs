@@ -25,6 +25,31 @@ proptest! {
     }
 
     #[test]
+    fn master_text_is_a_fixed_point(
+        tlds in 1usize..50,
+        seed in 0u64..500,
+        serial in 1u32..4000,
+        signed in 0u32..=10,
+        v6 in 0u32..=10,
+    ) {
+        // Full loop stability: parse(serialize(zone)) then serialize again
+        // must reproduce the exact text, and parsing that text must
+        // reproduce the exact zone — across the signed/glue config space.
+        let c = RootZoneConfig {
+            signed_fraction: signed as f64 / 10.0,
+            ipv6_glue_fraction: v6 as f64 / 10.0,
+            ..cfg(tlds, seed, serial)
+        };
+        let zone = rootzone::build(&c);
+        let text = master::serialize(&zone);
+        let parsed = master::parse(&text, Name::root()).unwrap();
+        let text2 = master::serialize(&parsed);
+        prop_assert_eq!(&text2, &text, "serialize∘parse must be identity on text");
+        let parsed2 = master::parse(&text2, Name::root()).unwrap();
+        prop_assert_eq!(parsed2, parsed, "parse∘serialize must be identity on zones");
+    }
+
+    #[test]
     fn diff_apply_is_inverse_of_compute(
         a_tlds in 1usize..50,
         b_tlds in 1usize..50,

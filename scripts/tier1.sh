@@ -22,5 +22,15 @@ cargo test -q -p rootless-proto --test prop_roundtrip --test prop_name_flat --of
 # the packet-conservation property over random fault schedules.
 cargo test -q --test fault_matrix --offline
 cargo test -q -p rootless-netsim --test prop_fault --offline
+# Observability gates, by name: the metrics-conservation sweep (snapshot
+# invariants over scenarios × modes × seeds), the trace-replay byte
+# determinism check (inside fault_matrix above), the zero-allocation audit
+# of the instrumented resolver hot path, the DNSSEC negative-path suite,
+# and the distribution-channel byte-equivalence tests.
+cargo test -q --test metrics_conservation --offline
+cargo test -q -p rootless-resolver --test alloc_free --offline
+cargo test -q -p rootless-dnssec --test adversarial --offline
+cargo test -q -p rootless-delta --test distribution_equivalence --offline
+cargo test -q -p rootless-zone --test prop_zone --offline
 cargo clippy --workspace --offline -- -D warnings
 echo "tier1: OK"

@@ -95,6 +95,25 @@ fn serve_stale_gate_bridges_dark_infrastructure() {
 }
 
 #[test]
+fn trace_replay_is_byte_identical_in_every_mode() {
+    // The serialized trace-event stream — every cache hit, upstream send,
+    // timeout, fault drop and root consultation, stamped with sim time —
+    // must be a pure function of `(seed, FaultSchedule)`. Two runs of the
+    // same triple produce the same bytes, for all four root modes.
+    for mode in ScenarioMode::ALL {
+        let a = run_scenario(ScenarioKind::PartialAnycastCollapse, mode, SCENARIO_SEED);
+        let b = run_scenario(ScenarioKind::PartialAnycastCollapse, mode, SCENARIO_SEED);
+        assert!(!a.trace.is_empty(), "{}: trace must not be empty", mode.name());
+        assert_eq!(a.trace, b.trace, "{}: trace replay diverged", mode.name());
+        assert_eq!(a.snapshot, b.snapshot, "{}: snapshot replay diverged", mode.name());
+    }
+    // A different seed re-rolls the dice and must show up in the bytes.
+    let a = run_scenario(ScenarioKind::LossyTldPath, ScenarioMode::Hints, SCENARIO_SEED);
+    let c = run_scenario(ScenarioKind::LossyTldPath, ScenarioMode::Hints, SCENARIO_SEED ^ 1);
+    assert_ne!(a.trace, c.trace, "different seeds must yield different traces");
+}
+
+#[test]
 fn same_seed_scenarios_replay_identically() {
     for kind in ScenarioKind::ALL {
         let a = run_scenario(kind, ScenarioMode::Hints, SCENARIO_SEED);

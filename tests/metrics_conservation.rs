@@ -1,0 +1,114 @@
+//! Metrics conservation sweep: for a spread of seeds, every packet the
+//! simulator accepted must be accounted for — from registry snapshots
+//! alone, with no access to the in-process stats structs.
+//!
+//! Three layers of invariants, checked for every fault scenario × root
+//! mode × seed combination:
+//!
+//! 1. **Send attribution** — `sim.sent` equals the sum of the lazily
+//!    registered per-destination `sim.sent.to.<addr>` counters.
+//! 2. **Packet conservation** — `delivered + dropped_loss +
+//!    dropped_unreachable + middlebox_drops == sent`, and the fault
+//!    sub-buckets (`sim.faults.*`) never exceed their parent buckets.
+//! 3. **Cross-layer agreement** — the resolver node's counters line up
+//!    with the per-destination sends: upstream queries are exactly the
+//!    sends to non-client, non-resolver addresses, and client responses
+//!    are exactly the sends to the client address.
+
+use rootless_experiments::robustness::SCENARIO_SEED;
+use rootless_experiments::scenarios::{
+    run_scenario, ScenarioKind, ScenarioMode, RESOLVER_ADDR,
+};
+use rootless_obs::metrics::Snapshot;
+
+/// The stub client's fixed address in every scenario world.
+const CLIENT_ADDR: &str = "10.53.0.2";
+
+fn check_conservation(kind: ScenarioKind, mode: ScenarioMode, seed: u64) {
+    let r = run_scenario(kind, mode, seed);
+    let snap: &Snapshot = &r.snapshot;
+    let label = format!("{}/{} seed={seed:#x}", kind.name(), mode.name());
+
+    // 1. Every send is attributed to exactly one destination counter.
+    let sent = snap.counter("sim.sent");
+    assert_eq!(snap.sum_prefix("sim.sent.to."), sent, "per-dst sends ({label})");
+    assert!(sent > 0, "scenario produced no traffic ({label})");
+
+    // 2. Packet conservation: every accepted datagram was delivered or
+    // landed in exactly one drop bucket.
+    let delivered = snap.counter("sim.delivered");
+    let loss = snap.counter("sim.dropped_loss");
+    let unreachable = snap.counter("sim.dropped_unreachable");
+    let middlebox = snap.counter("sim.middlebox_drops");
+    assert_eq!(
+        delivered + loss + unreachable + middlebox,
+        sent,
+        "packet conservation ({label})"
+    );
+    // Fault-attributed drops are subsets of the main buckets.
+    assert!(
+        snap.counter("sim.faults.burst_drops") <= loss,
+        "burst drops exceed loss bucket ({label})"
+    );
+    assert!(
+        snap.counter("sim.faults.outage_drops")
+            + snap.counter("sim.faults.partition_drops")
+            <= unreachable,
+        "fault outage/partition drops exceed unreachable bucket ({label})"
+    );
+
+    // 3. Cross-layer: the client only ever talks to the resolver, and the
+    // servers only ever reply to their querier, so sends to "anything that
+    // is not the resolver or the client" are exactly the resolver node's
+    // upstream queries...
+    let to_resolver = snap.counter(&format!("sim.sent.to.{RESOLVER_ADDR}"));
+    let to_client = snap.counter(&format!("sim.sent.to.{CLIENT_ADDR}"));
+    assert_eq!(
+        sent - to_resolver - to_client,
+        snap.counter("node.upstream_queries"),
+        "upstream sends vs node counter ({label})"
+    );
+    // ...and sends to the client address are exactly the responses the
+    // resolver node finished.
+    assert_eq!(
+        to_client,
+        snap.counter("node.answered")
+            + snap.counter("node.nxdomain")
+            + snap.counter("node.servfail"),
+        "client responses vs node finishes ({label})"
+    );
+    // Every planned client query that was delivered arrived at the node.
+    assert_eq!(
+        snap.counter("node.client_queries"),
+        r.planned as u64,
+        "client queries delivered ({label})"
+    );
+}
+
+fn sweep(kind: ScenarioKind) {
+    for seed in [SCENARIO_SEED, 3, 0x5eed5] {
+        for mode in ScenarioMode::ALL {
+            check_conservation(kind, mode, seed);
+        }
+    }
+}
+
+#[test]
+fn conservation_total_root_outage() {
+    sweep(ScenarioKind::TotalRootOutage);
+}
+
+#[test]
+fn conservation_partial_anycast_collapse() {
+    sweep(ScenarioKind::PartialAnycastCollapse);
+}
+
+#[test]
+fn conservation_lossy_tld_path() {
+    sweep(ScenarioKind::LossyTldPath);
+}
+
+#[test]
+fn conservation_serve_stale_under_outage() {
+    sweep(ScenarioKind::ServeStaleUnderOutage);
+}
