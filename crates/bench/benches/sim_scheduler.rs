@@ -1,0 +1,179 @@
+//! SCHED bench — the simulator event scheduler, seed vs tentpole: a
+//! `BinaryHeap<(time, seq, slot)>` with a grow-only side table (the queue
+//! the simulator shipped with) against the hierarchical timing wheel that
+//! replaced it, under steady-state churn at increasing pending counts and
+//! under the cancel-heavy retry-timer workload where the heap's lazy
+//! tombstones pile up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rootless_netsim::TimingWheel;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+use std::hint::black_box;
+
+/// The seed scheduler, idiom-for-idiom: min-heap of `(time, seq, slot)`
+/// over a grow-only `Vec<Option<T>>` side table; cancellation clears the
+/// slot and leaves a tombstone in the heap for pop to skip.
+struct HeapSched<T> {
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    events: Vec<Option<T>>,
+    seq: u64,
+}
+
+impl<T> HeapSched<T> {
+    fn new() -> Self {
+        HeapSched { heap: BinaryHeap::new(), events: Vec::new(), seq: 0 }
+    }
+
+    fn schedule(&mut self, at: u64, value: T) -> usize {
+        let idx = self.events.len();
+        self.events.push(Some(value));
+        self.heap.push(Reverse((at, self.seq, idx)));
+        self.seq += 1;
+        idx
+    }
+
+    fn cancel(&mut self, idx: usize) -> bool {
+        self.events[idx].take().is_some()
+    }
+
+    fn pop(&mut self) -> Option<(u64, T)> {
+        while let Some(Reverse((at, _, idx))) = self.heap.pop() {
+            if let Some(v) = self.events[idx].take() {
+                return Some((at, v));
+            }
+        }
+        None
+    }
+}
+
+/// splitmix64 — cheap deterministic delays so both schedulers see the
+/// exact same workload.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn delay(&mut self) -> u64 {
+        1 + (self.next() & 0xf_ffff) // 1ns ..= ~1ms
+    }
+}
+
+const OPS: usize = 1_000;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_scheduler");
+    g.sample_size(10);
+
+    // Steady-state churn (the classic "hold" model): N events pending, each
+    // op pops the earliest and schedules a replacement at `popped + delay`.
+    // One bench iteration = 1000 ops, so per-op cost is time/1000.
+    for pending in [10_000usize, 100_000, 1_000_000] {
+        g.bench_with_input(
+            BenchmarkId::new("heap_churn_1k_ops", pending),
+            &pending,
+            |b, &pending| {
+                let mut rng = Rng(0x5eed);
+                let mut sched = HeapSched::new();
+                for _ in 0..pending {
+                    sched.schedule(rng.delay(), 0u64);
+                }
+                b.iter(|| {
+                    for _ in 0..OPS {
+                        let (at, v) = sched.pop().unwrap();
+                        sched.schedule(at + rng.delay(), v + 1);
+                    }
+                    sched.seq
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("wheel_churn_1k_ops", pending),
+            &pending,
+            |b, &pending| {
+                let mut rng = Rng(0x5eed);
+                let mut wheel: TimingWheel<u64> = TimingWheel::new();
+                for _ in 0..pending {
+                    wheel.schedule(rng.delay(), 0u64);
+                }
+                b.iter(|| {
+                    for _ in 0..OPS {
+                        let (at, v) = wheel.pop_at_or_before(u64::MAX).unwrap();
+                        wheel.schedule(at + rng.delay(), v + 1);
+                    }
+                    wheel.len()
+                })
+            },
+        );
+    }
+
+    // Cancel-heavy: the resolver's retry-timer pattern under flapping
+    // links — many armed timers are torn down before they fire. Each op
+    // schedules two, cancels the oldest outstanding handle, then pops
+    // enough due events to hold pending constant (one if the cancel
+    // landed, two if its target had already fired). Both schedulers see
+    // the identical deadline/pop sequence, so the hit/miss pattern — and
+    // hence the op stream — is the same; the heap wades through its own
+    // tombstones while the wheel unlinks in O(1) and recycles the slot.
+    let cancel_pending = 10_000usize;
+    g.bench_function("heap_cancel_heavy_1k_ops", |b| {
+        let mut rng = Rng(0x5eed);
+        let mut sched = HeapSched::new();
+        let mut armed: VecDeque<usize> = VecDeque::new();
+        for _ in 0..cancel_pending {
+            armed.push_back(sched.schedule(rng.delay(), 0u64));
+        }
+        let mut now = 0u64;
+        b.iter(|| {
+            for _ in 0..OPS {
+                armed.push_back(sched.schedule(now + rng.delay(), 1u64));
+                armed.push_back(sched.schedule(now + rng.delay(), 2u64));
+                let stale = armed.pop_front().unwrap();
+                let pops = if sched.cancel(stale) { 1 } else { 2 };
+                for _ in 0..pops {
+                    if let Some((at, v)) = sched.pop() {
+                        now = at;
+                        black_box(v);
+                    }
+                }
+            }
+            now
+        })
+    });
+    g.bench_function("wheel_cancel_heavy_1k_ops", |b| {
+        let mut rng = Rng(0x5eed);
+        let mut wheel: TimingWheel<u64> = TimingWheel::new();
+        let mut armed = VecDeque::new();
+        for _ in 0..cancel_pending {
+            armed.push_back(wheel.schedule(rng.delay(), 0u64));
+        }
+        let mut now = 0u64;
+        b.iter(|| {
+            for _ in 0..OPS {
+                armed.push_back(wheel.schedule(now + rng.delay(), 1u64));
+                armed.push_back(wheel.schedule(now + rng.delay(), 2u64));
+                let stale = armed.pop_front().unwrap();
+                let pops = if wheel.cancel(stale).is_some() { 1 } else { 2 };
+                for _ in 0..pops {
+                    if let Some((at, v)) = wheel.pop_at_or_before(u64::MAX) {
+                        now = at;
+                        black_box(v);
+                    }
+                }
+            }
+            now
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -42,5 +42,6 @@ pub mod root_load;
 pub mod scenarios;
 pub mod security;
 pub mod sizes;
+pub mod sweep;
 pub mod traffic;
 pub mod ttl_stability;

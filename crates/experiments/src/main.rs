@@ -1,17 +1,60 @@
 //! The `experiments` binary: regenerates every figure, table and claim.
 //!
 //! Usage:
-//!   experiments [all|fig1|fig2|traffic|sizes|cache|extract|dist|ttl|llc|perf|robust|sec|priv] [--fast]
+//!   experiments [all|fig1|fig2|traffic|sizes|cache|extract|dist|ttl|llc|perf|robust|sec|priv] [--fast] [--jobs N]
 //!
 //! `--fast` shrinks the workloads for a quick smoke pass; the default runs
 //! paper-comparable scales (a few minutes total).
+//!
+//! `--jobs N` fans the sweep-style experiments (robust, perf, rootload)
+//! across N worker threads; `--jobs 0` means auto (available parallelism).
+//! Reports on stdout are byte-identical at any jobs value — only stderr
+//! carries wall-clock numbers. Default is 1, except `--fast` defaults to 2
+//! so the smoke pass exercises the parallel executor.
 
 use rootless_experiments as exp;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let which: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|a| *a != "--fast").collect();
+    let mut jobs_arg: Option<usize> = None;
+    let mut which: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--fast" {
+            continue;
+        }
+        if a == "--jobs" {
+            let n = it.next().and_then(|v| v.parse().ok());
+            match n {
+                Some(n) => jobs_arg = Some(n),
+                None => {
+                    eprintln!("--jobs needs a number (0 = auto)");
+                    std::process::exit(2);
+                }
+            }
+            continue;
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            match v.parse() {
+                Ok(n) => jobs_arg = Some(n),
+                Err(_) => {
+                    eprintln!("--jobs needs a number (0 = auto)");
+                    std::process::exit(2);
+                }
+            }
+            continue;
+        }
+        which.push(a.as_str());
+    }
+    // --fast without an explicit --jobs still exercises the parallel
+    // executor (byte-equal to serial, gated in tier1.sh).
+    let jobs = match jobs_arg {
+        Some(0) => exp::sweep::auto_jobs(),
+        Some(n) => n,
+        None if fast => 2,
+        None => 1,
+    };
     let which = if which.is_empty() { vec!["all"] } else { which };
     let all = which.contains(&"all");
     let wants = |name: &str| all || which.contains(&name);
@@ -33,7 +76,9 @@ fn main() {
     }
     if wants("rootload") {
         let (scale, instances) = if fast { (20_000, 2) } else { (2_000, 4) };
-        println!("{}", exp::root_load::render(&exp::root_load::run(scale, instances)));
+        let r = exp::root_load::run(scale, instances, jobs);
+        println!("{}", exp::root_load::render(&r));
+        eprint!("{}", exp::root_load::render_throughput(&r));
         ran += 1;
     }
     if wants("sizes") {
@@ -75,7 +120,7 @@ fn main() {
     }
     if wants("perf") {
         let (lookups, tlds) = if fast { (400, 30) } else { (3_000, 60) };
-        println!("{}", exp::performance::render(&exp::performance::run(lookups, tlds)));
+        println!("{}", exp::performance::render(&exp::performance::run(lookups, tlds, jobs)));
         ran += 1;
     }
     if wants("anycast") {
@@ -85,7 +130,7 @@ fn main() {
     }
     if wants("robust") {
         let (lookups, tlds) = if fast { (30, 20) } else { (100, 40) };
-        println!("{}", exp::robustness::render(&exp::robustness::run(lookups, tlds)));
+        println!("{}", exp::robustness::render(&exp::robustness::run(lookups, tlds, jobs)));
         ran += 1;
     }
     if wants("sec") {
@@ -100,7 +145,7 @@ fn main() {
     }
     if ran == 0 {
         eprintln!(
-            "unknown experiment; choose from: all fig1 fig2 traffic rootload sizes cache extract dist ttl llc perf anycast robust sec priv (plus --fast)"
+            "unknown experiment; choose from: all fig1 fig2 traffic rootload sizes cache extract dist ttl llc perf anycast robust sec priv (plus --fast, --jobs N)"
         );
         std::process::exit(2);
     }

@@ -24,6 +24,7 @@ use rootless_util::stats::Percentiles;
 use rootless_util::time::{SimDuration, SimTime};
 
 use crate::report::{render_rows, Row};
+use crate::sweep;
 
 /// Per-mode results.
 pub struct ModeResult {
@@ -53,8 +54,11 @@ pub struct PerfReport {
     pub lookups: usize,
 }
 
-/// Runs `lookups` queries through each mode over the same world/workload.
-pub fn run(lookups: usize, tlds: usize) -> PerfReport {
+/// Runs `lookups` queries through each mode over the same world/workload,
+/// one sweep task per mode across `jobs` workers. Each task owns its
+/// network, RNG, and registry (all fixed-seeded), so the report is
+/// byte-identical at any `jobs` value.
+pub fn run(lookups: usize, tlds: usize, jobs: usize) -> PerfReport {
     let world_cfg = WorldConfig { tld_count: tlds, ..WorldConfig::default() };
     let (_, root_zone) = build_world(&world_cfg);
 
@@ -67,8 +71,7 @@ pub fn run(lookups: usize, tlds: usize) -> PerfReport {
     let tld_names = root_zone.tlds();
     let zipf = Zipf::new(tld_names.len(), 1.0);
 
-    let mut results = Vec::new();
-    for mode in modes {
+    let results = sweep::run_tasks(&modes, jobs, |_, &mode| {
         // Fresh network per mode so server-side caches/stats don't leak.
         let mut net = build_network(&world_cfg, Arc::clone(&root_zone));
         let mut rng = DetRng::seed_from_u64(0x9e7f);
@@ -105,7 +108,7 @@ pub fn run(lookups: usize, tlds: usize) -> PerfReport {
         // Read the tallies back off the registry, not the stats struct: the
         // snapshot is the published interface for experiment numbers.
         let snapshot = registry.snapshot();
-        results.push(ModeResult {
+        ModeResult {
             mode: mode.label(),
             latency: Percentiles::new(latencies),
             cold_latency: Percentiles::new(cold),
@@ -115,8 +118,8 @@ pub fn run(lookups: usize, tlds: usize) -> PerfReport {
                 / snapshot.counter("resolver.resolutions") as f64,
             failures: snapshot.counter("resolver.failures"),
             snapshot,
-        });
-    }
+        }
+    });
     PerfReport { modes: results, lookups }
 }
 
@@ -214,8 +217,15 @@ mod tests {
     use super::*;
 
     #[test]
+    fn report_is_byte_identical_across_jobs() {
+        let serial = render(&run(60, 12, 1));
+        let parallel = render(&run(60, 12, 4));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
     fn modes_compare_as_the_paper_argues() {
-        let r = run(400, 30);
+        let r = run(400, 30, 2);
         let text = render(&r);
         assert!(!text.contains("DIVERGES"), "{text}");
         // Hints mode pays for the root on cold lookups.

@@ -32,6 +32,7 @@ use rootless_zone::rootzone::RootZoneConfig;
 
 use crate::report::{render_rows, Row};
 use crate::scenarios::{run_scenario, ScenarioKind, ScenarioMode};
+use crate::sweep;
 
 /// Result of one outage level.
 pub struct OutageRow {
@@ -92,15 +93,22 @@ pub struct RobustReport {
 /// the same value so the experiment and the gate exercise identical runs.
 pub const SCENARIO_SEED: u64 = 0xb0075;
 
-/// Runs both parts.
-pub fn run(lookups_per_level: usize, tlds: usize) -> RobustReport {
+/// Runs all three parts, fanning each sweep's task matrix across `jobs`
+/// worker threads. Every task builds its own network, resolver, and
+/// registry from fixed seeds, so the report is byte-identical at any
+/// `jobs` value (gated in `scripts/tier1.sh`).
+pub fn run(lookups_per_level: usize, tlds: usize, jobs: usize) -> RobustReport {
     let world_cfg = WorldConfig { tld_count: tlds, ..WorldConfig::default() };
     let (_, root_zone) = build_world(&world_cfg);
     let root_addrs = RootHints::standard().v4_addrs();
     let tld_names = root_zone.tlds();
 
-    let mut outages = Vec::new();
-    for letters_down in [0usize, 4, 8, 12, 13] {
+    // Part 1: one task per outage level. Each level was already
+    // self-contained (fresh network, cold caches); the hints and local
+    // passes stay sequential *within* the task so the level's numbers are
+    // byte-identical to the serial sweep.
+    let outage_levels = [0usize, 4, 8, 12, 13];
+    let outages = sweep::run_tasks(&outage_levels, jobs, |_, &letters_down| {
         // Hints resolver with a cold cache per level.
         let mut net = build_network(&world_cfg, Arc::clone(&root_zone));
         for addr in root_addrs.iter().take(letters_down) {
@@ -139,15 +147,15 @@ pub fn run(lookups_per_level: usize, tlds: usize) -> RobustReport {
                 ok_local += 1;
             }
         }
-        outages.push(OutageRow {
+        OutageRow {
             letters_down,
             hints_success,
             hints_latency_ms,
             local_success: ok_local as f64 / lookups_per_level as f64,
-        });
-    }
+        }
+    });
 
-    // Part 2: refresh-loop resilience.
+    // Part 2: refresh-loop resilience, one task per outage duration.
     let key = ZoneKey::generate(Name::root(), true, 0x0b07);
     let timeline = Arc::new(Timeline::generate(
         RootZoneConfig::small(tlds.min(120)),
@@ -155,8 +163,8 @@ pub fn run(lookups_per_level: usize, tlds: usize) -> RobustReport {
         Date::new(2019, 4, 1),
         12,
     ));
-    let mut refresh = Vec::new();
-    for outage_hours in [0u64, 3, 5, 12, 48] {
+    let outage_durations = [0u64, 3, 5, 12, 48];
+    let refresh = sweep::run_tasks(&outage_durations, jobs, |_, &outage_hours| {
         let from = SimTime::ZERO + SimDuration::from_hours(42);
         let to = from + SimDuration::from_hours(outage_hours);
         let source = FlakySource::new(
@@ -179,30 +187,38 @@ pub fn run(lookups_per_level: usize, tlds: usize) -> RobustReport {
                 impact_hours += 1;
             }
         }
-        refresh.push(RefreshRow { outage_hours, expired: impact_hours > 0, impact_hours });
-    }
+        RefreshRow { outage_hours, expired: impact_hours > 0, impact_hours }
+    });
 
-    // Part 3: packet-level fault scenarios, every kind × every mode. The
-    // stale/timeout tallies come off each run's metrics snapshot rather
-    // than the node struct — the registry is now the source of truth.
-    let mut scenarios = Vec::new();
-    let mut obs: Option<Snapshot> = None;
+    // Part 3: packet-level fault scenarios, one task per kind × mode cell.
+    // `run_scenario` is a pure function of (kind, mode, seed), so the cells
+    // parallelise trivially; the executor hands results back in matrix
+    // order. The stale/timeout tallies come off each run's metrics snapshot
+    // rather than the node struct — the registry is now the source of truth.
+    let mut cells: Vec<(ScenarioKind, ScenarioMode)> = Vec::new();
     for kind in ScenarioKind::ALL {
         for mode in ScenarioMode::ALL {
-            let r = run_scenario(kind, mode, SCENARIO_SEED);
-            scenarios.push(ScenarioRow {
-                kind: kind.name(),
-                mode: mode.name(),
-                queries: r.planned,
-                answered: r.answered(),
-                servfail: r.servfails(),
-                stale: r.snapshot.counter("node.stale_answers"),
-                timeouts: r.snapshot.counter("node.timeouts"),
-                max_armed_ms: r.node.max_armed_timeout.as_millis_f64(),
-            });
-            if kind == ScenarioKind::TotalRootOutage && mode == ScenarioMode::Hints {
-                obs = Some(r.snapshot.clone());
-            }
+            cells.push((kind, mode));
+        }
+    }
+    let runs = sweep::run_tasks(&cells, jobs, |_, &(kind, mode)| {
+        run_scenario(kind, mode, SCENARIO_SEED)
+    });
+    let mut scenarios = Vec::new();
+    let mut obs: Option<Snapshot> = None;
+    for (&(kind, mode), r) in cells.iter().zip(runs.iter()) {
+        scenarios.push(ScenarioRow {
+            kind: kind.name(),
+            mode: mode.name(),
+            queries: r.planned,
+            answered: r.answered(),
+            servfail: r.servfails(),
+            stale: r.snapshot.counter("node.stale_answers"),
+            timeouts: r.snapshot.counter("node.timeouts"),
+            max_armed_ms: r.node.max_armed_timeout.as_millis_f64(),
+        });
+        if kind == ScenarioKind::TotalRootOutage && mode == ScenarioMode::Hints {
+            obs = Some(r.snapshot.clone());
         }
     }
 
@@ -367,8 +383,15 @@ mod tests {
 
     #[test]
     fn robustness_shape() {
-        let r = run(30, 20);
+        let r = run(30, 20, 2);
         let text = render(&r);
         assert!(!text.contains("DIVERGES"), "{text}");
+    }
+
+    #[test]
+    fn report_is_byte_identical_across_jobs() {
+        let serial = render(&run(6, 12, 1));
+        let parallel = render(&run(6, 12, 3));
+        assert_eq!(serial, parallel);
     }
 }

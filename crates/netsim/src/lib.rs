@@ -16,7 +16,9 @@
 pub mod fault;
 pub mod geo;
 pub mod sim;
+pub mod wheel;
 
 pub use fault::{FaultSchedule, FaultStats, LinkFilter, LossGate, Window};
 pub use geo::GeoPoint;
 pub use sim::{Ctx, Datagram, Middlebox, Node, NodeId, Payload, Sim, SimStats, Verdict};
+pub use wheel::{EventHandle, TimingWheel};

@@ -5,8 +5,7 @@
 //! I/O effects are buffered in a [`Ctx`] and applied by the engine, so a run
 //! is a pure function of the seed and the node set.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::ops::Deref;
 use std::sync::Arc;
@@ -18,6 +17,7 @@ use rootless_util::time::{SimDuration, SimTime};
 
 use crate::fault::{FaultSchedule, FaultStats, LossGate};
 use crate::geo::GeoPoint;
+use crate::wheel::{EventHandle, TimingWheel};
 
 /// Node handle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -302,9 +302,10 @@ impl SimObs {
 /// The simulation engine.
 pub struct Sim {
     now: SimTime,
-    seq: u64,
-    queue: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
-    events: Vec<Option<EventKind>>,
+    /// The event queue: a hierarchical timing wheel over nanosecond ticks.
+    /// Replaces the seed's `BinaryHeap` + grow-only side table; slots are
+    /// slab-recycled and the pop order is identical (see [`TimingWheel`]).
+    wheel: TimingWheel<EventKind>,
     nodes: Vec<Option<Box<dyn Node>>>,
     geos: Vec<GeoPoint>,
     addrs: Vec<Ipv4Addr>,
@@ -331,9 +332,7 @@ impl Sim {
     pub fn new(seed: u64) -> Sim {
         Sim {
             now: SimTime::ZERO,
-            seq: 0,
-            queue: BinaryHeap::new(),
-            events: Vec::new(),
+            wheel: TimingWheel::new(),
             nodes: Vec::new(),
             geos: Vec::new(),
             addrs: Vec::new(),
@@ -458,17 +457,45 @@ impl Sim {
         self.push_event(at, EventKind::Timer(node, token));
     }
 
+    /// Like [`Sim::schedule_timer`] but returns a handle the caller can pass
+    /// to [`Sim::cancel_event`] before the timer fires.
+    pub fn schedule_timer_cancellable(
+        &mut self,
+        node: NodeId,
+        delay: SimDuration,
+        token: u64,
+    ) -> EventHandle {
+        let at = self.now + delay;
+        self.push_event(at, EventKind::Timer(node, token))
+    }
+
+    /// Cancels a pending event. Returns `false` if it already fired or was
+    /// already cancelled (the handle's generation tag makes this a safe
+    /// no-op even after the slot has been recycled).
+    pub fn cancel_event(&mut self, handle: EventHandle) -> bool {
+        self.wheel.cancel(handle).is_some()
+    }
+
+    /// Number of events currently pending in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.wheel.len()
+    }
+
+    /// Event slots ever allocated (pending + recycled). Bounded by the
+    /// high-water mark of concurrently pending events — the seed's
+    /// grow-only side table counted every event ever scheduled instead.
+    pub fn event_slot_capacity(&self) -> usize {
+        self.wheel.slot_capacity()
+    }
+
     /// Injects a datagram from an arbitrary source position (used to seed
     /// traffic from outside any node, e.g. trace replay).
     pub fn inject(&mut self, from_geo: GeoPoint, dgram: Datagram) {
         self.dispatch_send(from_geo, dgram);
     }
 
-    fn push_event(&mut self, at: SimTime, kind: EventKind) {
-        let idx = self.events.len();
-        self.events.push(Some(kind));
-        self.seq += 1;
-        self.queue.push(Reverse((at, self.seq, idx)));
+    fn push_event(&mut self, at: SimTime, kind: EventKind) -> EventHandle {
+        self.wheel.schedule(at.as_nanos(), kind)
     }
 
     fn dispatch_send(&mut self, from_geo: GeoPoint, mut dgram: Datagram) {
@@ -603,13 +630,8 @@ impl Sim {
     /// number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut processed = 0;
-        while let Some(&Reverse((at, _, idx))) = self.queue.peek() {
-            if at > deadline {
-                break;
-            }
-            self.queue.pop();
-            let Some(kind) = self.events[idx].take() else { continue };
-            self.now = at;
+        while let Some((at, kind)) = self.wheel.pop_at_or_before(deadline.as_nanos()) {
+            self.now = SimTime(at);
             processed += 1;
             match kind {
                 EventKind::Deliver(node_id, dgram) => {

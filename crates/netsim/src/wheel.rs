@@ -1,0 +1,398 @@
+//! Hierarchical timing wheel: the simulator's event queue.
+//!
+//! Replaces the seed's `BinaryHeap<Reverse<(SimTime, u64, usize)>>` plus
+//! grow-only `Vec<Option<EventKind>>` side table with a hashed hierarchical
+//! timing wheel (the ns-3 / Kafka-timer construction): eleven levels of 64
+//! power-of-two buckets, each level covering six more bits of the nanosecond
+//! tick space, with per-level occupancy bitmaps so finding the next event is
+//! a handful of `trailing_zeros` instead of a log-n sift. Event slots live in
+//! a slab with an intrusive free list and per-slot generation tags, so fired
+//! and cancelled slots are recycled instead of leaking (the seed's side
+//! table only ever grew) and a stale [`EventHandle`] can never cancel a
+//! recycled slot.
+//!
+//! ## Ordering contract
+//!
+//! The wheel reproduces the heap's `(time, sequence)` total order **exactly**:
+//!
+//! - different deadlines pop in deadline order (wheel windows are disjoint
+//!   and scanned ascending);
+//! - equal deadlines pop in schedule order (slot lists are FIFO, and a
+//!   cascade rehomes a list head-to-tail, so two events that end up in the
+//!   same slot preserve their relative insertion order).
+//!
+//! The cascade argument for the FIFO tiebreak: an event's slot is a pure
+//! function of its deadline and the wheel cursor, and the cursor only
+//! advances. Two events with the same deadline therefore sit in the same
+//! slot whenever their levels have converged, and the earlier-scheduled one
+//! was appended first at every level on the way down. The replay gates in
+//! `tests/fault_matrix.rs` lean on this: they were recorded against the
+//! heap and must stay byte-identical on the wheel.
+
+/// log₂ of the slots per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Levels needed so `LEVELS * SLOT_BITS >= 64` covers any `u64` tick.
+const LEVELS: usize = 11;
+/// Null slab index (free-list and list terminator).
+const NIL: u32 = u32::MAX;
+
+/// Handle to a scheduled event, valid until the event fires or is
+/// cancelled. The generation tag makes a handle to a recycled slot inert:
+/// cancelling twice, or after the event fired, is a safe no-op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EventHandle {
+    idx: u32,
+    gen: u32,
+}
+
+struct Slot<T> {
+    at: u64,
+    gen: u32,
+    prev: u32,
+    next: u32,
+    /// `Some` while scheduled; `None` marks a free-list member.
+    value: Option<T>,
+}
+
+/// A hierarchical timing wheel over `u64` ticks. See the module docs for
+/// the construction and the ordering contract.
+pub struct TimingWheel<T> {
+    /// Current wheel time. Invariant: every pending deadline is `>= cursor`,
+    /// so at every level a pending event's slot index is `>=` the cursor's
+    /// index at that level (strictly `>` above level 0 once cascaded).
+    cursor: u64,
+    len: usize,
+    /// Per-level bitmap of non-empty slots.
+    occupied: [u64; LEVELS],
+    heads: [[u32; SLOTS]; LEVELS],
+    tails: [[u32; SLOTS]; LEVELS],
+    slab: Vec<Slot<T>>,
+    free: u32,
+}
+
+impl<T> Default for TimingWheel<T> {
+    fn default() -> Self {
+        TimingWheel::new()
+    }
+}
+
+impl<T> TimingWheel<T> {
+    /// An empty wheel with its cursor at tick zero.
+    pub fn new() -> TimingWheel<T> {
+        TimingWheel {
+            cursor: 0,
+            len: 0,
+            occupied: [0; LEVELS],
+            heads: [[NIL; SLOTS]; LEVELS],
+            tails: [[NIL; SLOTS]; LEVELS],
+            slab: Vec::new(),
+            free: NIL,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slots ever allocated — pending plus free-listed. Stays bounded
+    /// by the high-water mark of concurrently pending events, which is what
+    /// the slot-reclaim regression test asserts.
+    pub fn slot_capacity(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// The current wheel time (last fired deadline or later window base).
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Level whose 6-bit digit distinguishes `at` from `cursor`.
+    #[inline]
+    fn level_for(cursor: u64, at: u64) -> usize {
+        let diff = cursor ^ at;
+        if diff < SLOTS as u64 {
+            0
+        } else {
+            (63 - diff.leading_zeros() as usize) / SLOT_BITS as usize
+        }
+    }
+
+    #[inline]
+    fn slot_for(level: usize, at: u64) -> usize {
+        ((at >> (SLOT_BITS as usize * level)) & (SLOTS as u64 - 1)) as usize
+    }
+
+    fn alloc(&mut self, at: u64, value: T) -> u32 {
+        if self.free != NIL {
+            let idx = self.free;
+            let s = &mut self.slab[idx as usize];
+            self.free = s.next;
+            s.at = at;
+            s.prev = NIL;
+            s.next = NIL;
+            s.value = Some(value);
+            idx
+        } else {
+            let idx = self.slab.len() as u32;
+            assert!(idx != NIL, "timing wheel slab full");
+            self.slab.push(Slot { at, gen: 0, prev: NIL, next: NIL, value: Some(value) });
+            idx
+        }
+    }
+
+    /// Appends slab entry `idx` to the tail of its deadline's slot list.
+    fn link(&mut self, idx: u32) {
+        let at = self.slab[idx as usize].at;
+        let level = Self::level_for(self.cursor, at);
+        let slot = Self::slot_for(level, at);
+        let tail = self.tails[level][slot];
+        self.slab[idx as usize].prev = tail;
+        self.slab[idx as usize].next = NIL;
+        if tail == NIL {
+            self.heads[level][slot] = idx;
+            self.occupied[level] |= 1 << slot;
+        } else {
+            self.slab[tail as usize].next = idx;
+        }
+        self.tails[level][slot] = idx;
+    }
+
+    /// Unlinks slab entry `idx` from the `(level, slot)` list it lives in.
+    fn unlink(&mut self, idx: u32, level: usize, slot: usize) {
+        let (prev, next) = {
+            let s = &self.slab[idx as usize];
+            (s.prev, s.next)
+        };
+        if prev == NIL {
+            self.heads[level][slot] = next;
+        } else {
+            self.slab[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tails[level][slot] = prev;
+        } else {
+            self.slab[next as usize].prev = prev;
+        }
+        if self.heads[level][slot] == NIL {
+            self.occupied[level] &= !(1 << slot);
+        }
+    }
+
+    /// Returns `idx`'s slot to the free list, bumping its generation so
+    /// outstanding handles go stale.
+    fn release(&mut self, idx: u32) {
+        let s = &mut self.slab[idx as usize];
+        s.gen = s.gen.wrapping_add(1);
+        s.value = None;
+        s.next = self.free;
+        s.prev = NIL;
+        self.free = idx;
+    }
+
+    /// Schedules `value` at tick `at` (clamped to the cursor: the simulator
+    /// never schedules into the past) and returns a cancellation handle.
+    pub fn schedule(&mut self, at: u64, value: T) -> EventHandle {
+        let at = at.max(self.cursor);
+        let idx = self.alloc(at, value);
+        self.link(idx);
+        self.len += 1;
+        EventHandle { idx, gen: self.slab[idx as usize].gen }
+    }
+
+    /// Cancels the event behind `handle`, returning its value. `None` if
+    /// the event already fired, was already cancelled, or the handle is
+    /// from another wheel generation.
+    pub fn cancel(&mut self, handle: EventHandle) -> Option<T> {
+        let s = self.slab.get(handle.idx as usize)?;
+        if s.gen != handle.gen || s.value.is_none() {
+            return None;
+        }
+        let at = s.at;
+        let level = Self::level_for(self.cursor, at);
+        let slot = Self::slot_for(level, at);
+        self.unlink(handle.idx, level, slot);
+        let value = self.slab[handle.idx as usize].value.take();
+        self.release(handle.idx);
+        self.len -= 1;
+        value
+    }
+
+    /// Rehomes every event in `(level, slot)` to its level under the
+    /// current cursor. All of them share the cursor's digits above `level`,
+    /// so each lands strictly below `level` — the cascade terminates.
+    fn cascade(&mut self, level: usize, slot: usize) {
+        let mut idx = self.heads[level][slot];
+        self.heads[level][slot] = NIL;
+        self.tails[level][slot] = NIL;
+        self.occupied[level] &= !(1 << slot);
+        while idx != NIL {
+            let next = self.slab[idx as usize].next;
+            self.link(idx);
+            idx = next;
+        }
+    }
+
+    /// Advances the cursor to the earliest pending deadline and returns it,
+    /// cascading higher-level slots as their windows open. `None` if empty.
+    fn advance_to_next(&mut self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        'outer: loop {
+            // A level-l slot whose window now contains the cursor holds
+            // events due within the lower wheels' range: cascade it down.
+            for level in 1..LEVELS {
+                let cur = Self::slot_for(level, self.cursor);
+                if self.occupied[level] & (1 << cur) != 0 {
+                    self.cascade(level, cur);
+                    continue 'outer;
+                }
+            }
+            // Level 0 slots are exact ticks; the first occupied one at or
+            // after the cursor's index is the earliest pending deadline.
+            let cur0 = Self::slot_for(0, self.cursor);
+            let mask0 = self.occupied[0] & (!0u64 << cur0);
+            if mask0 != 0 {
+                let s = mask0.trailing_zeros() as u64;
+                let at = (self.cursor & !(SLOTS as u64 - 1)) + s;
+                self.cursor = at;
+                return Some(at);
+            }
+            // Nothing due in the current window: jump to the start of the
+            // nearest occupied window. The lowest level with an occupied
+            // slot past the cursor is soonest — level l slots beyond the
+            // cursor sit inside the current level-(l+1) window, which ends
+            // before any level-(l+1) slot beyond the cursor begins.
+            for level in 1..LEVELS {
+                let cur = Self::slot_for(level, self.cursor);
+                let mask = self.occupied[level] & (!0u64 << cur);
+                if mask != 0 {
+                    let s = mask.trailing_zeros() as u64;
+                    let shift = SLOT_BITS as usize * level;
+                    let upper = shift + SLOT_BITS as usize;
+                    let base = if upper >= 64 { 0 } else { (self.cursor >> upper) << upper };
+                    self.cursor = base + (s << shift);
+                    continue 'outer;
+                }
+            }
+            unreachable!("len > 0 but no occupied slot");
+        }
+    }
+
+    /// The earliest pending deadline, advancing the cursor (and cascading)
+    /// to find it. Does not remove the event.
+    pub fn peek_next(&mut self) -> Option<u64> {
+        self.advance_to_next()
+    }
+
+    /// Pops the earliest event if its deadline is `<= deadline`.
+    pub fn pop_at_or_before(&mut self, deadline: u64) -> Option<(u64, T)> {
+        let at = self.advance_to_next()?;
+        if at > deadline {
+            return None;
+        }
+        let slot = Self::slot_for(0, at);
+        let idx = self.heads[0][slot];
+        debug_assert!(idx != NIL);
+        self.unlink(idx, 0, slot);
+        let value = self.slab[idx as usize].value.take();
+        self.release(idx);
+        self.len -= 1;
+        Some((at, value.expect("scheduled slot holds a value")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_deadline_order() {
+        let mut w = TimingWheel::new();
+        for &(at, v) in &[(500u64, 'c'), (3, 'a'), (1 << 40, 'd'), (70, 'b')] {
+            w.schedule(at, v);
+        }
+        let mut got = Vec::new();
+        while let Some((at, v)) = w.pop_at_or_before(u64::MAX) {
+            got.push((at, v));
+        }
+        assert_eq!(got, vec![(3, 'a'), (70, 'b'), (500, 'c'), (1 << 40, 'd')]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_tick_pops_fifo() {
+        let mut w = TimingWheel::new();
+        for i in 0..10 {
+            w.schedule(1_000, i);
+        }
+        let mut got = Vec::new();
+        while let Some((_, v)) = w.pop_at_or_before(u64::MAX) {
+            got.push(v);
+        }
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deadline_gates_pop() {
+        let mut w = TimingWheel::new();
+        w.schedule(100, ());
+        assert_eq!(w.pop_at_or_before(99), None);
+        assert_eq!(w.pop_at_or_before(100), Some((100, ())));
+    }
+
+    #[test]
+    fn cancel_removes_and_handle_goes_stale() {
+        let mut w = TimingWheel::new();
+        let h = w.schedule(42, "x");
+        assert_eq!(w.cancel(h), Some("x"));
+        assert_eq!(w.cancel(h), None, "second cancel is inert");
+        assert!(w.is_empty());
+        // The slot is recycled; the old handle must not cancel the new event.
+        let h2 = w.schedule(43, "y");
+        assert_eq!(w.cancel(h), None);
+        assert_eq!(w.cancel(h2), Some("y"));
+    }
+
+    #[test]
+    fn slots_recycle() {
+        let mut w = TimingWheel::new();
+        for round in 0..1_000u64 {
+            w.schedule(round, round);
+            let (at, v) = w.pop_at_or_before(u64::MAX).unwrap();
+            assert_eq!((at, v), (round, round));
+        }
+        assert_eq!(w.slot_capacity(), 1, "one pending event needs one slot");
+    }
+
+    #[test]
+    fn schedule_at_cursor_fires_immediately() {
+        let mut w = TimingWheel::new();
+        w.schedule(10, 0);
+        assert_eq!(w.pop_at_or_before(u64::MAX), Some((10, 0)));
+        // Cursor is now 10; an event "now" fires next, before later ones.
+        w.schedule(11, 2);
+        w.schedule(10, 1);
+        assert_eq!(w.pop_at_or_before(u64::MAX), Some((10, 1)));
+        assert_eq!(w.pop_at_or_before(u64::MAX), Some((11, 2)));
+    }
+
+    #[test]
+    fn far_future_extremes() {
+        let mut w = TimingWheel::new();
+        w.schedule(u64::MAX, 'z');
+        w.schedule(u64::MAX - 1, 'y');
+        w.schedule(0, 'a');
+        assert_eq!(w.pop_at_or_before(u64::MAX), Some((0, 'a')));
+        assert_eq!(w.pop_at_or_before(u64::MAX), Some((u64::MAX - 1, 'y')));
+        assert_eq!(w.pop_at_or_before(u64::MAX), Some((u64::MAX, 'z')));
+    }
+}

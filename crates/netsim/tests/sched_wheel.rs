@@ -1,0 +1,338 @@
+//! Ordering and recycling gates for the timing-wheel event scheduler.
+//!
+//! The wheel replaced the seed's `BinaryHeap<Reverse<(SimTime, u64, usize)>>`
+//! and must reproduce its `(time, sequence)` pop order exactly — every
+//! fixed-seed replay gate in the workspace depends on that. This suite pins
+//! the contract directly:
+//!
+//! - same-tick events pop FIFO (the heap's sequence tiebreak);
+//! - deadlines crossing wheel-level boundaries (64^k tick windows) cascade
+//!   without reordering, including u64 extremes;
+//! - cancel is exact-once, and a cancelled token can be rescheduled without
+//!   resurrecting the old handle;
+//! - a proptest drives the wheel and a reference `BinaryHeap` through the
+//!   same random schedule/pop/cancel interleavings and demands identical
+//!   pop sequences;
+//! - the slab recycles fired slots: a long flap schedule processes tens of
+//!   thousands of events with a bounded slot count (the seed's side table
+//!   grew by one entry per event ever scheduled).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+use rootless_netsim::geo::GeoPoint;
+use rootless_netsim::sim::{Ctx, Datagram, Node, Sim};
+use rootless_netsim::wheel::{EventHandle, TimingWheel};
+use rootless_util::time::{SimDuration, SimTime};
+
+/// Records the order its timers fire in.
+struct TokenLog {
+    fired: Vec<(SimTime, u64)>,
+}
+impl Node for TokenLog {
+    fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _dgram: Datagram) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        self.fired.push((ctx.now(), token));
+    }
+}
+
+fn log_node(sim: &mut Sim, addr: u8) -> rootless_netsim::sim::NodeId {
+    sim.add_node(
+        Ipv4Addr::new(10, 99, 0, addr),
+        GeoPoint::new(0.0, 0.0),
+        Box::new(TokenLog { fired: vec![] }),
+    )
+}
+
+fn fired(sim: &Sim, id: rootless_netsim::sim::NodeId) -> Vec<(SimTime, u64)> {
+    (sim.node(id) as &dyn std::any::Any).downcast_ref::<TokenLog>().unwrap().fired.clone()
+}
+
+#[test]
+fn same_tick_timers_fire_in_schedule_order() {
+    let mut sim = Sim::new(1);
+    let id = log_node(&mut sim, 1);
+    // All at the same instant, scheduled out of token order: FIFO means
+    // schedule order, not token order.
+    for token in [5u64, 1, 9, 3, 7] {
+        sim.schedule_timer(id, SimDuration::from_millis(10), token);
+    }
+    sim.run_to_completion();
+    let at = SimTime::ZERO + SimDuration::from_millis(10);
+    assert_eq!(
+        fired(&sim, id),
+        vec![(at, 5), (at, 1), (at, 9), (at, 3), (at, 7)]
+    );
+}
+
+#[test]
+fn far_future_events_cross_wheel_levels_in_order() {
+    // Deadlines straddling every level boundary: 64^k nanosecond windows up
+    // to days. Each must fire in deadline order with scheduling interleaved
+    // against the level layout (largest first).
+    let mut sim = Sim::new(2);
+    let id = log_node(&mut sim, 2);
+    let delays: Vec<SimDuration> = vec![
+        SimDuration::from_days(30),
+        SimDuration::from_nanos(1),
+        SimDuration::from_nanos(63),
+        SimDuration::from_nanos(64),
+        SimDuration::from_nanos(64 * 64 + 17),
+        SimDuration::from_millis(1),
+        SimDuration::from_secs(1),
+        SimDuration::from_hours(1),
+        SimDuration::from_days(1),
+    ];
+    for (token, d) in delays.iter().enumerate() {
+        sim.schedule_timer(id, *d, token as u64);
+    }
+    sim.run_to_completion();
+    let log = fired(&sim, id);
+    assert_eq!(log.len(), delays.len());
+    let mut sorted: Vec<SimTime> = delays.iter().map(|d| SimTime::ZERO + *d).collect();
+    sorted.sort();
+    assert_eq!(log.iter().map(|(t, _)| *t).collect::<Vec<_>>(), sorted);
+}
+
+#[test]
+fn timers_scheduled_mid_run_keep_order() {
+    // A timer fired at t schedules follow-ups at t (same tick) and t+Δ;
+    // the same-tick follow-up must fire before anything later.
+    struct Chain {
+        fired: Vec<u64>,
+    }
+    impl Node for Chain {
+        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _dgram: Datagram) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            self.fired.push(token);
+            if token == 0 {
+                ctx.set_timer(SimDuration::from_millis(5), 2);
+                ctx.set_timer(SimDuration::ZERO, 1);
+            }
+        }
+    }
+    let mut sim = Sim::new(3);
+    let id = sim.add_node(
+        Ipv4Addr::new(10, 99, 0, 3),
+        GeoPoint::new(0.0, 0.0),
+        Box::new(Chain { fired: vec![] }),
+    );
+    sim.schedule_timer(id, SimDuration::from_millis(1), 0);
+    sim.schedule_timer(id, SimDuration::from_millis(2), 3);
+    sim.run_to_completion();
+    let chain = (sim.node(id) as &dyn std::any::Any).downcast_ref::<Chain>().unwrap();
+    assert_eq!(chain.fired, vec![0, 1, 3, 2]);
+}
+
+#[test]
+fn cancel_then_reschedule_same_token() {
+    let mut sim = Sim::new(4);
+    let id = log_node(&mut sim, 4);
+    let h = sim.schedule_timer_cancellable(id, SimDuration::from_millis(10), 42);
+    assert!(sim.cancel_event(h), "first cancel succeeds");
+    assert!(!sim.cancel_event(h), "second cancel is a no-op");
+    // Reschedule the same token later; the stale handle must not touch it.
+    let h2 = sim.schedule_timer_cancellable(id, SimDuration::from_millis(20), 42);
+    assert!(!sim.cancel_event(h), "stale handle cannot cancel the recycled slot");
+    sim.run_to_completion();
+    assert_eq!(fired(&sim, id), vec![(SimTime::ZERO + SimDuration::from_millis(20), 42)]);
+    assert!(!sim.cancel_event(h2), "fired events cannot be cancelled");
+}
+
+#[test]
+fn cancelled_events_do_not_fire_and_do_not_count() {
+    let mut sim = Sim::new(5);
+    let id = log_node(&mut sim, 5);
+    let mut handles: Vec<EventHandle> = Vec::new();
+    for token in 0..10u64 {
+        handles.push(sim.schedule_timer_cancellable(id, SimDuration::from_millis(token), token));
+    }
+    for h in handles.iter().skip(1).step_by(2) {
+        assert!(sim.cancel_event(*h));
+    }
+    assert_eq!(sim.pending_events(), 5);
+    let processed = sim.run_to_completion();
+    assert_eq!(processed, 5);
+    assert_eq!(
+        fired(&sim, id).iter().map(|(_, t)| *t).collect::<Vec<_>>(),
+        vec![0, 2, 4, 6, 8]
+    );
+}
+
+/// The seed's scheduler: a min-heap on `(time, sequence)` with a grow-only
+/// side table. Kept here as the ordering oracle for the proptest.
+struct HeapSched<T> {
+    seq: u64,
+    queue: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    events: Vec<Option<T>>,
+}
+
+impl<T> HeapSched<T> {
+    fn new() -> Self {
+        HeapSched { seq: 0, queue: BinaryHeap::new(), events: Vec::new() }
+    }
+    fn schedule(&mut self, at: u64, value: T) -> usize {
+        let idx = self.events.len();
+        self.events.push(Some(value));
+        self.seq += 1;
+        self.queue.push(Reverse((at, self.seq, idx)));
+        idx
+    }
+    fn cancel(&mut self, idx: usize) -> bool {
+        self.events[idx].take().is_some()
+    }
+    fn pop(&mut self) -> Option<(u64, T)> {
+        while let Some(Reverse((at, _, idx))) = self.queue.pop() {
+            if let Some(v) = self.events[idx].take() {
+                return Some((at, v));
+            }
+        }
+        None
+    }
+}
+
+/// One step of the random schedule: push an event `delay` ticks past the
+/// current time, pop the next event, or cancel a prior (still live) push.
+#[derive(Clone, Debug)]
+enum Op {
+    Push(u64),
+    Pop,
+    Cancel(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // The vendored prop_oneof! is unweighted, so weights are expressed by
+    // repeating entries. Delays span same-tick collisions (0), single-slot
+    // steps, and multi-level jumps past the 64- and 4096-tick windows.
+    prop_oneof![
+        (0u64..200_000).prop_map(Op::Push),
+        (0u64..200_000).prop_map(Op::Push),
+        (0u64..200_000).prop_map(Op::Push),
+        (0u64..4).prop_map(Op::Push),
+        (1u64 << 30..1u64 << 45).prop_map(Op::Push),
+        Just(Op::Pop),
+        Just(Op::Pop),
+        Just(Op::Pop),
+        (0usize..64).prop_map(Op::Cancel),
+    ]
+}
+
+// The wheel's pop sequence equals the reference heap's over any
+// interleaving of schedules, pops, and cancels.
+proptest! {
+    #[test]
+    fn wheel_matches_heap_pop_order(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut wheel: TimingWheel<u64> = TimingWheel::new();
+        let mut heap: HeapSched<u64> = HeapSched::new();
+        let mut now = 0u64;
+        let mut event_id = 0u64;
+        // Parallel histories of live handles, index-aligned.
+        let mut wheel_handles: Vec<Option<EventHandle>> = Vec::new();
+        let mut heap_handles: Vec<Option<usize>> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Push(delay) => {
+                    let at = now.saturating_add(delay);
+                    wheel_handles.push(Some(wheel.schedule(at, event_id)));
+                    heap_handles.push(Some(heap.schedule(at, event_id)));
+                    event_id += 1;
+                }
+                Op::Pop => {
+                    let a = wheel.pop_at_or_before(u64::MAX);
+                    let b = heap.pop();
+                    prop_assert_eq!(a, b);
+                    if let Some((at, _)) = a {
+                        now = at;
+                    }
+                }
+                Op::Cancel(i) => {
+                    if wheel_handles.is_empty() {
+                        continue;
+                    }
+                    let i = i % wheel_handles.len();
+                    if let (Some(wh), Some(hh)) = (wheel_handles[i], heap_handles[i]) {
+                        let a = wheel.cancel(wh).is_some();
+                        let b = heap.cancel(hh);
+                        prop_assert_eq!(a, b);
+                        wheel_handles[i] = None;
+                        heap_handles[i] = None;
+                    }
+                }
+            }
+        }
+        // Drain: the tails must agree too.
+        loop {
+            let a = wheel.pop_at_or_before(u64::MAX);
+            let b = heap.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert!(wheel.is_empty());
+    }
+}
+
+/// Ping-pong traffic under a long flap schedule: tens of thousands of
+/// events flow through the queue while only a handful are ever pending at
+/// once. The slab must stay at the high-water mark instead of growing by
+/// one slot per event (the seed's `events: Vec<Option<EventKind>>` leak).
+#[test]
+fn slot_reclaim_bounded_across_long_flap_schedule() {
+    struct Pinger {
+        peer: Ipv4Addr,
+        rounds: u64,
+        replies: u64,
+    }
+    impl Node for Pinger {
+        fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _dgram: Datagram) {
+            self.replies += 1;
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            // One outstanding retry timer, like a resolver's query loop:
+            // pending events stay O(1) while total events grow unbounded.
+            if self.rounds > 0 {
+                self.rounds -= 1;
+                ctx.send(self.peer, b"ping".to_vec());
+                ctx.set_timer(SimDuration::from_millis(25), 0);
+            }
+        }
+    }
+    struct Echo;
+    impl Node for Echo {
+        fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+            ctx.send(dgram.src, dgram.payload);
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+    }
+
+    let mut sim = Sim::new(6);
+    let server = Ipv4Addr::new(10, 98, 0, 1);
+    let sid = sim.add_node(server, GeoPoint::new(40.7, -74.0), Box::new(Echo));
+    let pid = sim.add_node(
+        Ipv4Addr::new(10, 98, 0, 2),
+        GeoPoint::new(51.5, -0.1),
+        Box::new(Pinger { peer: server, rounds: 20_000, replies: 0 }),
+    );
+    // The server flaps for the whole run: 200 up/down cycles, so retries,
+    // losses, and re-arms all churn through the queue.
+    sim.faults.flap(
+        sid,
+        SimTime::ZERO,
+        SimDuration::from_secs(2),
+        SimDuration::from_secs(2),
+        200,
+    );
+    sim.schedule_timer(pid, SimDuration::ZERO, 0);
+    let processed = sim.run_to_completion();
+    assert!(processed > 30_000, "flap schedule exercised the queue ({processed} events)");
+    assert_eq!(sim.pending_events(), 0);
+    assert!(
+        sim.event_slot_capacity() <= 16,
+        "slab must stay at the pending high-water mark, got {} slots after {} events",
+        sim.event_slot_capacity(),
+        processed
+    );
+}

@@ -276,6 +276,31 @@ impl Snapshot {
             .sum()
     }
 
+    /// Sums `other` into `self`: counters and histogram buckets add,
+    /// gauges add signed. This is the reduction the parallel sweep
+    /// executor uses to fold independent per-task registries into one
+    /// aggregate — addition is commutative, but the executor still merges
+    /// in canonical task order so derived orderings (e.g. first-seen
+    /// iteration) cannot depend on worker scheduling.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            let into = self.histograms.entry(k.clone()).or_default();
+            into.count += h.count;
+            into.sum += h.sum;
+            let mut buckets: BTreeMap<u8, u64> = into.buckets.iter().copied().collect();
+            for &(i, n) in &h.buckets {
+                *buckets.entry(i).or_insert(0) += n;
+            }
+            into.buckets = buckets.into_iter().collect();
+        }
+    }
+
     /// What changed since `earlier`: counters subtract (saturating, so a
     /// mismatched pair degrades to 0 rather than wrapping), gauges
     /// subtract signed, histograms subtract bucket-wise. Names present
@@ -366,6 +391,33 @@ mod tests {
         assert_eq!(dh.count, 2);
         assert_eq!(dh.sum, 107);
         assert_eq!(dh.buckets, vec![(3, 1), (7, 1)]);
+    }
+
+    #[test]
+    fn merge_sums_counters_gauges_and_histogram_buckets() {
+        let mk = |c: u64, g: i64, samples: &[u64]| {
+            let r = Registry::new();
+            r.counter("sent").add(c);
+            r.gauge("depth").add(g);
+            let h = r.histogram("lat");
+            for &s in samples {
+                h.observe(s);
+            }
+            r.snapshot()
+        };
+        let mut a = mk(3, 2, &[1, 100]);
+        let b = mk(4, -1, &[1, 5]);
+        a.merge(&b);
+        assert_eq!(a.counter("sent"), 7);
+        assert_eq!(a.gauge("depth"), 1);
+        let h = a.histogram("lat").unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 107);
+        assert_eq!(h.buckets, vec![(1, 2), (3, 1), (7, 1)]);
+        // Merging is order-insensitive: fold the other way and compare.
+        let mut c = mk(4, -1, &[1, 5]);
+        c.merge(&mk(3, 2, &[1, 100]));
+        assert_eq!(a, c);
     }
 
     #[test]

@@ -29,6 +29,21 @@ cargo test -q -p rootless-netsim --test prop_fault --offline
 # and the distribution-channel byte-equivalence tests.
 cargo test -q --test metrics_conservation --offline
 cargo test -q -p rootless-resolver --test alloc_free --offline
+# Scheduler gates, by name: the timing-wheel ordering suite (same-tick
+# FIFO, overflow cascades, cancel-then-reschedule, the wheel-vs-heap
+# property test) and the event-slot reclaim regression.
+cargo test -q -p rootless-netsim --test sched_wheel --offline
+# Parallel-sweep determinism gate: the robust/perf/rootload reports must
+# be byte-identical between --jobs 1, 2 and 4 (stdout only; wall-clock
+# throughput goes to stderr by design).
+for exp in robust perf rootload; do
+  target/release/experiments "$exp" --fast --jobs 1 >"/tmp/tier1_${exp}_j1.out" 2>/dev/null
+  target/release/experiments "$exp" --fast --jobs 2 >"/tmp/tier1_${exp}_j2.out" 2>/dev/null
+  target/release/experiments "$exp" --fast --jobs 4 >"/tmp/tier1_${exp}_j4.out" 2>/dev/null
+  cmp "/tmp/tier1_${exp}_j1.out" "/tmp/tier1_${exp}_j2.out"
+  cmp "/tmp/tier1_${exp}_j1.out" "/tmp/tier1_${exp}_j4.out"
+  rm -f "/tmp/tier1_${exp}_j1.out" "/tmp/tier1_${exp}_j2.out" "/tmp/tier1_${exp}_j4.out"
+done
 cargo test -q -p rootless-dnssec --test adversarial --offline
 cargo test -q -p rootless-delta --test distribution_equivalence --offline
 cargo test -q -p rootless-zone --test prop_zone --offline
