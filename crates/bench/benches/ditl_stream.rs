@@ -1,0 +1,78 @@
+//! DITL replay bench — materialized vs streaming, seed vs tentpole.
+//!
+//! The seed pipeline materialized the whole day (`generate`: build a
+//! `Vec<Query>`, stably sort it by time, classify the Vec). The tentpole
+//! replaces it with `TraceStream`: per-resolver substreams classified as
+//! they are produced — no trace Vec, no sort — and shardable into disjoint
+//! resolver ranges that replay on the PR-5 sweep executor. Three
+//! measurements at the 1/8000 unit (~712K queries):
+//!
+//! * `materialized_classify` — the seed path, generate + classify.
+//! * `stream_classify/1` — one-shot streaming classification, same report.
+//! * `stream_classify/4` (jobs 1 and 4) — sharded replay, per-shard
+//!   reports folded via `TrafficReport::merge`; byte-identical output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rootless_ditl::{classify, classify_stream, generate, TraceStream, WorkloadConfig};
+use rootless_experiments::sweep;
+use std::hint::black_box;
+
+fn unit() -> WorkloadConfig {
+    WorkloadConfig {
+        total_queries: 5_700_000_000 / 8_000,
+        resolvers: (4_100_000 / 8_000) as u32,
+        ..WorkloadConfig::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ditl_stream");
+    g.sample_size(10);
+    let cfg = unit();
+
+    // Seed path: materialize the trace (Vec build + stable time sort),
+    // then classify the Vec.
+    g.bench_function("materialized_classify", |b| {
+        b.iter(|| {
+            let trace = generate(black_box(&cfg));
+            let report = classify(&trace);
+            black_box(report.total)
+        })
+    });
+
+    // Tentpole, unsharded: classify queries as the stream yields them.
+    g.bench_function("stream_classify_1shard", |b| {
+        b.iter(|| {
+            let report = classify_stream(TraceStream::new(black_box(&cfg), 1));
+            black_box(report.total)
+        })
+    });
+
+    // Tentpole, sharded: 4 disjoint resolver ranges on the sweep
+    // executor, folded in shard order. jobs=1 isolates the sharding
+    // overhead; jobs=4 adds thread-level parallelism (bounded by the
+    // machine's cores — this container exposes one).
+    for jobs in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("stream_classify_4shards_jobs", jobs),
+            &jobs,
+            |b, &jobs| {
+                b.iter(|| {
+                    let shards: Vec<u64> = (0..4).collect();
+                    let reports = sweep::run_tasks(&shards, jobs, |_, &s| {
+                        classify_stream(TraceStream::shard(&cfg, 1, 4, s))
+                    });
+                    let mut total = rootless_ditl::TrafficReport::default();
+                    for r in &reports {
+                        total.merge(r);
+                    }
+                    black_box(total.total)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

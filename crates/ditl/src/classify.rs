@@ -71,6 +71,29 @@ impl TrafficReport {
     pub fn valid_qps_per_instance(&self, instances: u64) -> f64 {
         self.valid_window as f64 / 86_400.0 / instances as f64
     }
+
+    /// Folds a resolver-disjoint shard's report into `self`: every count
+    /// adds, including the distinct-resolver tallies — which is only sound
+    /// because [`crate::trace::TraceStream::shard`] partitions the resolver
+    /// space, so no resolver (and hence no (resolver, TLD) pair or window
+    /// slot) can be counted by two shards. Merging in shard order keeps the
+    /// fold independent of worker scheduling.
+    pub fn merge(&mut self, shard: &TrafficReport) {
+        self.total += shard.total;
+        self.distinct_resolvers += shard.distinct_resolvers;
+        self.bogus_only_resolvers += shard.bogus_only_resolvers;
+        self.bogus_queries += shard.bogus_queries;
+        self.repeats_ideal += shard.repeats_ideal;
+        self.repeats_window += shard.repeats_window;
+        self.valid_ideal += shard.valid_ideal;
+        self.valid_window += shard.valid_window;
+        for (&tld, &n) in &shard.per_tld_queries {
+            *self.per_tld_queries.entry(tld).or_insert(0) += n;
+        }
+        for (&tld, &n) in &shard.per_tld_resolvers {
+            *self.per_tld_resolvers.entry(tld).or_insert(0) += n;
+        }
+    }
 }
 
 /// Runs the classifier over a trace (single pass per model).
@@ -80,7 +103,19 @@ pub fn classify(trace: &Trace) -> TrafficReport {
 
 /// Runs the classifier over raw queries.
 pub fn classify_queries(queries: &[Query]) -> TrafficReport {
-    let mut report = TrafficReport { total: queries.len() as u64, ..TrafficReport::default() };
+    classify_stream(queries.iter().copied())
+}
+
+/// Runs the classifier over a query stream without materializing it.
+///
+/// State is O(distinct resolvers + distinct (resolver, TLD) pairs) for the
+/// queries *this call sees* — which is why the paper-scale run shards the
+/// stream by resolver range ([`crate::trace::TraceStream::shard`]),
+/// classifies each shard independently, and folds the reports with
+/// [`TrafficReport::merge`]: per-shard state stays bounded by the unit
+/// population no matter how many billions of queries flow through.
+pub fn classify_stream<I: IntoIterator<Item = Query>>(queries: I) -> TrafficReport {
+    let mut report = TrafficReport::default();
 
     let mut resolvers: HashSet<u32> = HashSet::new();
     let mut resolvers_with_valid: HashSet<u32> = HashSet::new();
@@ -92,6 +127,8 @@ pub fn classify_queries(queries: &[Query]) -> TrafficReport {
 
     debug_assert!(WINDOWS_PER_DAY as usize <= 128);
     for q in queries {
+        let q = &q;
+        report.total += 1;
         resolvers.insert(q.resolver);
         match q.name {
             QueryName::BogusTld(_) => {
@@ -274,6 +311,52 @@ mod tests {
         );
         let bogus_only_frac = r.bogus_only_resolvers as f64 / r.distinct_resolvers as f64;
         assert!((bogus_only_frac - 0.176).abs() < 0.05, "bogus-only {bogus_only_frac}");
+    }
+
+    #[test]
+    fn sharded_classify_merges_to_the_unsharded_report() {
+        use crate::trace::TraceStream;
+        let cfg = WorkloadConfig::tiny();
+        let full = classify_stream(TraceStream::new(&cfg, 2));
+        for shards in [1u64, 3, 4] {
+            let mut merged = TrafficReport::default();
+            for i in 0..shards {
+                merged.merge(&classify_stream(TraceStream::shard(&cfg, 2, shards, i)));
+            }
+            assert_eq!(merged.total, full.total);
+            assert_eq!(merged.distinct_resolvers, full.distinct_resolvers);
+            assert_eq!(merged.bogus_only_resolvers, full.bogus_only_resolvers);
+            assert_eq!(merged.bogus_queries, full.bogus_queries);
+            assert_eq!(merged.repeats_ideal, full.repeats_ideal);
+            assert_eq!(merged.repeats_window, full.repeats_window);
+            assert_eq!(merged.valid_ideal, full.valid_ideal);
+            assert_eq!(merged.valid_window, full.valid_window);
+            assert_eq!(merged.per_tld_queries, full.per_tld_queries);
+            assert_eq!(merged.per_tld_resolvers, full.per_tld_resolvers);
+        }
+    }
+
+    #[test]
+    fn replication_scaling_preserves_every_fraction_exactly() {
+        use crate::trace::TraceStream;
+        // The determinism net: counts scale by exactly k, and since both
+        // numerator and denominator stay exactly representable, the f64
+        // quotients — and so every rendered percentage — are bit-identical.
+        let cfg = WorkloadConfig::tiny();
+        let base = classify_stream(TraceStream::new(&cfg, 1));
+        let scaled = classify_stream(TraceStream::new(&cfg, 3));
+        assert_eq!(scaled.total, base.total * 3);
+        assert_eq!(scaled.distinct_resolvers, base.distinct_resolvers * 3);
+        assert_eq!(scaled.valid_window, base.valid_window * 3);
+        assert_eq!(scaled.bogus_fraction().to_bits(), base.bogus_fraction().to_bits());
+        assert_eq!(
+            scaled.valid_window_fraction().to_bits(),
+            base.valid_window_fraction().to_bits()
+        );
+        assert_eq!(
+            scaled.repeats_ideal_fraction().to_bits(),
+            base.repeats_ideal_fraction().to_bits()
+        );
     }
 
     #[test]

@@ -7,10 +7,14 @@
 //!
 //! * [`population`] — resolver classes, bogus-label pool, TLD popularity
 //!   with the new-TLD adoption discount.
-//! * [`trace`] — one-day trace generation (bursty repeats per
-//!   resolver×TLD, heavy-tailed volumes).
+//! * [`trace`] — constant-memory streaming trace generation
+//!   ([`trace::TraceStream`]: per-resolver splitmix64 substreams, bursty
+//!   repeats per resolver×TLD, heavy-tailed volumes, replica scaling to
+//!   the paper's 4.1M resolvers / 5.7B queries, order-stable resolver
+//!   sharding).
 //! * [`classify`] — the ideal-cache and 15-minute-window junk classifiers
-//!   and the report formatter.
+//!   (streaming via [`classify::classify_stream`], shard folding via
+//!   [`TrafficReport::merge`]) and the report formatter.
 
 #![warn(missing_docs)]
 
@@ -18,6 +22,6 @@ pub mod classify;
 pub mod population;
 pub mod trace;
 
-pub use classify::{classify, TrafficReport};
+pub use classify::{classify, classify_stream, TrafficReport};
 pub use population::WorkloadConfig;
-pub use trace::{generate, Query, QueryName, Trace};
+pub use trace::{generate, Query, QueryName, Trace, TraceStream};

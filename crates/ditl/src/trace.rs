@@ -1,6 +1,39 @@
-//! Trace generation: one day of root-bound queries in a compact form.
+//! Trace generation: one day of root-bound queries, streamed in constant
+//! memory.
+//!
+//! The seed materialized the whole day as a `Vec<Query>` before
+//! classification, which caps the study at ~1/1000 of the paper's DITL-2018
+//! volume (5.7B queries would need ~68 GB). This module replaces that with
+//! [`TraceStream`], an iterator that yields queries on demand:
+//!
+//! * **Per-resolver substreams.** Every resolver owns an independent
+//!   `DetRng` seeded by `splitmix64(seed, resolver)` and emits its whole
+//!   day before the next resolver starts (resolver-major order). Nothing is
+//!   buffered beyond the current burst, so memory is O(unit population),
+//!   never O(queries).
+//! * **Exact budgets without global state.** The §2.2 budget split (61%
+//!   bogus, the bogus-only vs normal shares, the valid remainder) is
+//!   enforced by cumulative rounding over per-resolver heavy-tailed
+//!   weights: resolver *r* emits `floor(W_r/W · B) - floor(W_{r-1}/W · B)`
+//!   queries of a budget `B`, so any prefix of the population has consumed
+//!   exactly the floor of its weight share and the full population lands on
+//!   `B` exactly — no top-up pass over a materialized trace needed.
+//! * **Scale by unit replication.** `replicas = k` appends `k` copies of
+//!   the calibrated 1/1000 unit with relabeled resolver ids (replica `j`
+//!   owns ids `[j·R, (j+1)·R)`). Every classified count scales by exactly
+//!   `k`, so every *fraction* in the §2.2 report is bit-identical at every
+//!   scale — the determinism net that lets the 1/1000 report stand in for
+//!   the 5.7B-query run — while distinct-resolver and query counts reach
+//!   the paper's absolute numbers.
+//! * **Order-stable sharding.** [`TraceStream::shard`] cuts the global
+//!   resolver space into `n` contiguous ranges; shard outputs are disjoint
+//!   by construction and concatenating them in shard order reproduces the
+//!   unsharded stream byte for byte (gated by `tests/prop_stream.rs`).
+//!
+//! [`generate`] survives as a thin collect-and-sort wrapper over the
+//! single-unit stream for tests and benches that want the old [`Trace`].
 
-use rootless_util::rng::DetRng;
+use rootless_util::rng::{substream_seed, DetRng};
 
 use crate::population::{classify_resolvers, tld_weights, ResolverClass, WorkloadConfig};
 
@@ -8,6 +41,8 @@ use crate::population::{classify_resolvers, tld_weights, ResolverClass, Workload
 pub const DAY_SECS: u32 = 86_400;
 /// 15-minute windows per day (the §2.2 relaxed cache model).
 pub const WINDOWS_PER_DAY: u32 = 96;
+/// Seconds per 15-minute window.
+const WINDOW_SECS: u32 = DAY_SECS / WINDOWS_PER_DAY;
 
 /// What a query asked for.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -19,7 +54,7 @@ pub enum QueryName {
 }
 
 /// One query in the trace.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Query {
     /// Second-of-day timestamp.
     pub time: u32,
@@ -32,7 +67,7 @@ pub struct Query {
 impl Query {
     /// The 15-minute window this query falls in.
     pub fn window(&self) -> u32 {
-        self.time / (DAY_SECS / WINDOWS_PER_DAY)
+        self.time / WINDOW_SECS
     }
 }
 
@@ -46,134 +81,420 @@ pub struct Trace {
     pub config: WorkloadConfig,
 }
 
-/// Generates the trace for `cfg`.
-///
-/// Budget split: `bogus_query_fraction` of queries are bogus, divided
-/// between bogus-only resolvers (`bogus_only_share`) and normal resolvers;
-/// the valid remainder is distributed over (resolver, TLD) pairs as bursts
-/// within a few 15-minute windows, which is what makes the ideal-cache and
-/// 15-minute classifications differ.
-pub fn generate(cfg: &WorkloadConfig) -> Trace {
-    let mut rng = DetRng::seed_from_u64(cfg.seed);
-    let classes = classify_resolvers(cfg);
-    let bogus_only: Vec<u32> = (0..cfg.resolvers)
-        .filter(|&r| classes[r as usize] == ResolverClass::BogusOnly)
-        .collect();
-    let normal: Vec<u32> = (0..cfg.resolvers)
-        .filter(|&r| classes[r as usize] == ResolverClass::Normal)
-        .collect();
+/// The per-resolver RNG: an independent splitmix64-derived substream, so a
+/// shard can regenerate any resolver's day without replaying its neighbors.
+fn resolver_rng(cfg: &WorkloadConfig, unit_resolver: u32) -> DetRng {
+    DetRng::seed_from_u64(substream_seed(cfg.seed ^ 0x5eed_d171, unit_resolver as u64))
+}
 
-    let weights = tld_weights(cfg);
-    let total_weight: f64 = weights.iter().sum();
-    // Cumulative distribution for fast sampling.
-    let cdf: Vec<f64> = {
-        let mut acc = 0.0;
-        weights
-            .iter()
-            .map(|w| {
-                acc += w / total_weight;
-                acc
-            })
-            .collect()
-    };
-    let sample_tld = |rng: &mut DetRng| -> u32 {
-        let u = rng.next_f64();
-        match cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
-            Ok(i) => i as u32,
-            Err(i) => (i.min(cdf.len() - 1)) as u32,
-        }
-    };
+/// Heavy-tail shape for bogus-only per-resolver volumes (one stuck device
+/// can hammer the roots all day).
+const BOGUS_ONLY_PARETO_ALPHA: f64 = 1.2;
+/// Milder heavy tail for normal resolvers' valid-query volumes.
+const NORMAL_PARETO_ALPHA: f64 = 1.6;
 
-    let bogus_total = (cfg.total_queries as f64 * cfg.bogus_query_fraction) as u64;
-    let bogus_from_bogus_only = (bogus_total as f64 * cfg.bogus_only_share) as u64;
-    let bogus_from_normal = bogus_total - bogus_from_bogus_only;
-    let valid_total = cfg.total_queries - bogus_total;
+/// The first draw from a resolver's substream is its day-volume weight;
+/// emission re-derives the rng and re-takes this draw, so weights never
+/// need storing.
+fn resolver_weight(class: ResolverClass, rng: &mut DetRng) -> f64 {
+    match class {
+        ResolverClass::BogusOnly => rng.pareto(1.0, BOGUS_ONLY_PARETO_ALPHA),
+        ResolverClass::Normal => rng.pareto(1.0, NORMAL_PARETO_ALPHA),
+    }
+}
 
-    let mut queries: Vec<Query> = Vec::with_capacity(cfg.total_queries as usize);
+/// Everything about one calibrated unit that is shared by all replicas and
+/// shards: classes, the TLD popularity CDF, total weights and budgets. Size
+/// is O(unit population + TLD count) — constant in both query volume and
+/// replica count.
+struct UnitPlan {
+    classes: Vec<ResolverClass>,
+    /// Cumulative TLD popularity for fast inverse sampling.
+    cdf: Vec<f64>,
+    bogus_w_total: f64,
+    valid_w_total: f64,
+    n_normal: u64,
+    bogus_from_bogus_only: u64,
+    bogus_from_normal: u64,
+    valid_total: u64,
+    mean_queries_per_pair: f64,
+}
 
-    // Bogus-only resolvers: per-resolver volume is heavy-tailed (one stuck
-    // device can hammer the roots all day).
-    if !bogus_only.is_empty() {
-        let weights: Vec<f64> = bogus_only.iter().map(|_| rng.pareto(1.0, 1.2)).collect();
-        let wsum: f64 = weights.iter().sum();
-        let mut emitted = 0u64;
-        for (i, &r) in bogus_only.iter().enumerate() {
-            let share = ((weights[i] / wsum) * bogus_from_bogus_only as f64) as u64;
-            // Every bogus-only resolver emits at least one query so the
-            // distinct-resolver count matches the class assignment.
-            let count = share.max(1);
-            emitted += count;
-            for _ in 0..count {
-                queries.push(Query {
-                    time: rng.below(DAY_SECS as u64) as u32,
-                    resolver: r,
-                    name: QueryName::BogusTld(rng.below(cfg.bogus_label_count as u64) as u32),
-                });
+impl UnitPlan {
+    fn build(cfg: &WorkloadConfig) -> UnitPlan {
+        let classes = classify_resolvers(cfg);
+        let weights = tld_weights(cfg);
+        let total_weight: f64 = weights.iter().sum();
+        let cdf: Vec<f64> = {
+            let mut acc = 0.0;
+            weights
+                .iter()
+                .map(|w| {
+                    acc += w / total_weight;
+                    acc
+                })
+                .collect()
+        };
+
+        let mut bogus_w_total = 0.0;
+        let mut valid_w_total = 0.0;
+        let mut n_bogus_only = 0u64;
+        let mut n_normal = 0u64;
+        for (r, &class) in classes.iter().enumerate() {
+            let mut rng = resolver_rng(cfg, r as u32);
+            let w = resolver_weight(class, &mut rng);
+            match class {
+                ResolverClass::BogusOnly => {
+                    bogus_w_total += w;
+                    n_bogus_only += 1;
+                }
+                ResolverClass::Normal => {
+                    valid_w_total += w;
+                    n_normal += 1;
+                }
             }
         }
-        // Per-resolver truncation undershoots the budget; top up from random
-        // bogus-only resolvers so totals stay predictable.
-        while emitted < bogus_from_bogus_only {
-            let r = bogus_only[rng.index(bogus_only.len())];
-            queries.push(Query {
-                time: rng.below(DAY_SECS as u64) as u32,
-                resolver: r,
-                name: QueryName::BogusTld(rng.below(cfg.bogus_label_count as u64) as u32),
-            });
-            emitted += 1;
+
+        let bogus_total = (cfg.total_queries as f64 * cfg.bogus_query_fraction) as u64;
+        // The bogus-only share of the bogus budget goes unemitted if the
+        // class is empty, mirroring the population: no devices, no leaks.
+        let bogus_from_bogus_only = if n_bogus_only > 0 {
+            (bogus_total as f64 * cfg.bogus_only_share) as u64
+        } else {
+            0
+        };
+        let bogus_from_normal = if n_normal > 0 { bogus_total - bogus_from_bogus_only } else { 0 };
+        let valid_total = if n_normal > 0 { cfg.total_queries - bogus_total } else { 0 };
+        let target_pairs = ((n_normal as f64) * cfg.tlds_per_resolver).max(1.0) as u64;
+        let mean_queries_per_pair = valid_total as f64 / target_pairs as f64;
+
+        UnitPlan {
+            classes,
+            cdf,
+            bogus_w_total,
+            valid_w_total,
+            n_normal,
+            bogus_from_bogus_only,
+            bogus_from_normal,
+            valid_total,
+            mean_queries_per_pair,
         }
     }
 
-    // Normal resolvers: bogus background noise...
-    if !normal.is_empty() {
-        for _ in 0..bogus_from_normal {
-            let r = normal[rng.index(normal.len())];
-            queries.push(Query {
-                time: rng.below(DAY_SECS as u64) as u32,
-                resolver: r,
-                name: QueryName::BogusTld(rng.below(cfg.bogus_label_count as u64) as u32),
-            });
+    fn sample_tld(&self, rng: &mut DetRng) -> u32 {
+        let u = rng.next_f64();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i as u32,
+            Err(i) => (i.min(self.cdf.len() - 1)) as u32,
         }
+    }
+}
 
-        // ...plus the valid workload: (resolver, TLD) pairs with bursty
-        // repeats.
-        let target_pairs =
-            ((normal.len() as f64) * cfg.tlds_per_resolver).max(1.0) as u64;
-        let mean_queries_per_pair = valid_total as f64 / target_pairs as f64;
-        let mut emitted = 0u64;
-        let mut pair_index = 0u64;
-        'outer: loop {
-            let r = normal[(pair_index % normal.len() as u64) as usize];
-            pair_index += 1;
-            let tld = sample_tld(&mut rng);
-            // Pair volume: exponential around the mean, at least 1.
-            let volume = (rng.exponential(mean_queries_per_pair).round() as u64).max(1);
-            // Occupied windows: 1 + Poisson-ish around windows_per_pair - 1.
-            let windows = 1 + (rng.exponential((cfg.windows_per_pair - 1.0).max(0.01)).round() as u32)
-                .min(WINDOWS_PER_DAY - 1);
-            let mut slots: Vec<u32> = (0..windows)
-                .map(|_| rng.below(WINDOWS_PER_DAY as u64) as u32)
-                .collect();
-            slots.sort_unstable();
-            slots.dedup();
-            for k in 0..volume {
-                let w = slots[(k % slots.len() as u64) as usize];
-                let base = w * (DAY_SECS / WINDOWS_PER_DAY);
-                queries.push(Query {
-                    time: base + rng.below((DAY_SECS / WINDOWS_PER_DAY) as u64) as u32,
-                    resolver: r,
-                    name: QueryName::ValidTld(tld),
-                });
-                emitted += 1;
-                if emitted >= valid_total {
-                    break 'outer;
+/// Cumulative-rounding state over one unit's resolver order. Reset at every
+/// replica boundary, so replicas emit identical streams modulo resolver-id
+/// relabeling.
+#[derive(Default)]
+struct UnitPrefix {
+    bogus_w: f64,
+    bogus_emitted: u64,
+    normal_seen: u64,
+    noise_emitted: u64,
+    valid_w: f64,
+    valid_emitted: u64,
+}
+
+impl UnitPrefix {
+    /// Advances past resolver `unit_r`, returning this resolver's
+    /// `(bogus, noise, valid)` query quotas.
+    fn advance(&mut self, plan: &UnitPlan, class: ResolverClass, weight: f64) -> (u64, u64, u64) {
+        match class {
+            ResolverClass::BogusOnly => {
+                self.bogus_w += weight;
+                let upto =
+                    (self.bogus_w / plan.bogus_w_total * plan.bogus_from_bogus_only as f64) as u64;
+                // Every bogus-only resolver emits at least one query so the
+                // distinct-resolver count matches the class assignment.
+                let count = (upto - self.bogus_emitted).max(1);
+                self.bogus_emitted = upto.max(self.bogus_emitted);
+                (count, 0, 0)
+            }
+            ResolverClass::Normal => {
+                self.normal_seen += 1;
+                // Bogus background noise is spread evenly over the class.
+                let noise_upto = plan.bogus_from_normal * self.normal_seen / plan.n_normal;
+                let noise = noise_upto - self.noise_emitted;
+                self.noise_emitted = noise_upto;
+                self.valid_w += weight;
+                let valid_upto =
+                    (self.valid_w / plan.valid_w_total * plan.valid_total as f64) as u64;
+                let valid = valid_upto - self.valid_emitted;
+                self.valid_emitted = valid_upto;
+                (0, noise, valid)
+            }
+        }
+    }
+}
+
+/// Emission state for the resolver currently streaming. The slot buffer is
+/// the only "collection" and it is a fixed 96-entry array — the stream
+/// allocates nothing per query. One `EmitState` exists per stream (not per
+/// query or resolver), so the inline array beats boxing it: a `Box` would
+/// cost one heap allocation per (resolver, TLD) pair — millions per day.
+#[allow(clippy::large_enum_variant)]
+enum EmitState {
+    /// Set up the resolver at the cursor.
+    Fetch,
+    /// A bogus-only resolver with `left` queries to go.
+    Bogus { rng: DetRng, resolver: u32, left: u64 },
+    /// A normal resolver's bogus background noise.
+    Noise { rng: DetRng, resolver: u32, left: u64, valid_left: u64 },
+    /// A normal resolver's bursty (resolver, TLD) pairs.
+    Pairs {
+        rng: DetRng,
+        resolver: u32,
+        /// Valid queries still owed by this resolver after the open pair.
+        valid_left: u64,
+        tld: u32,
+        slots: [u32; WINDOWS_PER_DAY as usize],
+        nslots: u32,
+        k: u64,
+        left_in_pair: u64,
+    },
+    /// Past the last resolver.
+    Done,
+}
+
+/// A constant-memory iterator over one day of root-bound queries at
+/// `replicas` × the configured unit volume, optionally restricted to a
+/// contiguous shard of the global resolver space. See the module docs for
+/// the determinism and memory arguments.
+pub struct TraceStream {
+    cfg: WorkloadConfig,
+    plan: UnitPlan,
+    /// Global resolver ids `[cursor, end)` remain to stream.
+    cursor: u64,
+    end: u64,
+    prefix: UnitPrefix,
+    state: EmitState,
+}
+
+impl TraceStream {
+    /// The full stream: `replicas` copies of the unit, resolver-major.
+    pub fn new(cfg: &WorkloadConfig, replicas: u64) -> TraceStream {
+        Self::over_range(cfg, 0, replicas.saturating_mul(cfg.resolvers as u64))
+    }
+
+    /// Shard `index` of `shards`: the contiguous global resolver range
+    /// `[index·G/shards, (index+1)·G/shards)` where `G = replicas ×
+    /// unit resolvers`. Shards are disjoint, cover the population exactly,
+    /// and concatenating them in index order reproduces [`TraceStream::new`]
+    /// byte for byte — the property `root_load`/`traffic` replays and the
+    /// tier-1 shard-equality gates stand on.
+    pub fn shard(cfg: &WorkloadConfig, replicas: u64, shards: u64, index: u64) -> TraceStream {
+        assert!(shards > 0, "shard(shards=0)");
+        assert!(index < shards, "shard index {index} out of {shards}");
+        let global = replicas.saturating_mul(cfg.resolvers as u64);
+        let start = index * global / shards;
+        let end = (index + 1) * global / shards;
+        Self::over_range(cfg, start, end)
+    }
+
+    /// Total distinct resolvers in the full `replicas`-scaled population.
+    pub fn global_resolvers(cfg: &WorkloadConfig, replicas: u64) -> u64 {
+        replicas.saturating_mul(cfg.resolvers as u64)
+    }
+
+    /// Queries the full `replicas`-scaled stream will emit, up to the
+    /// at-least-one slack of the bogus-only class (exact lower bound).
+    pub fn expected_queries(cfg: &WorkloadConfig, replicas: u64) -> u64 {
+        replicas.saturating_mul(cfg.total_queries)
+    }
+
+    fn over_range(cfg: &WorkloadConfig, start: u64, end: u64) -> TraceStream {
+        let global = end.max(start);
+        assert!(
+            global <= u32::MAX as u64 + 1,
+            "resolver id space {global} exceeds u32 (lower replicas or unit size)"
+        );
+        let plan = UnitPlan::build(cfg);
+        let mut stream = TraceStream {
+            cfg: cfg.clone(),
+            plan,
+            cursor: start,
+            end,
+            prefix: UnitPrefix::default(),
+            state: if start >= end { EmitState::Done } else { EmitState::Fetch },
+        };
+        // Warm the cumulative-rounding state up to the shard's first
+        // resolver: replicas reset the prefix, so only the partial unit the
+        // shard starts inside needs replaying — O(unit), never O(global).
+        let unit_start = (start % stream.cfg.resolvers.max(1) as u64) as u32;
+        for unit_r in 0..unit_start {
+            let class = stream.plan.classes[unit_r as usize];
+            let mut rng = resolver_rng(&stream.cfg, unit_r);
+            let w = resolver_weight(class, &mut rng);
+            stream.prefix.advance(&stream.plan, class, w);
+        }
+        stream
+    }
+
+    /// Sets up emission for the resolver at the cursor and advances it.
+    fn fetch_resolver(&mut self) {
+        let global = self.cursor;
+        self.cursor += 1;
+        let unit_r = (global % self.cfg.resolvers as u64) as u32;
+        if unit_r == 0 {
+            // Replica boundary: budgets and weights restart.
+            self.prefix = UnitPrefix::default();
+        }
+        let class = self.plan.classes[unit_r as usize];
+        let mut rng = resolver_rng(&self.cfg, unit_r);
+        let w = resolver_weight(class, &mut rng);
+        let (bogus, noise, valid) = self.prefix.advance(&self.plan, class, w);
+        let resolver = global as u32;
+        self.state = match class {
+            ResolverClass::BogusOnly => EmitState::Bogus { rng, resolver, left: bogus },
+            ResolverClass::Normal => {
+                EmitState::Noise { rng, resolver, left: noise, valid_left: valid }
+            }
+        };
+    }
+
+    /// Opens the next (resolver, TLD) burst: a heavy-tailed volume split
+    /// round-robin over a few 15-minute windows, which is exactly what
+    /// makes the ideal-cache and 15-minute classifications differ.
+    fn open_pair(
+        plan: &UnitPlan,
+        cfg: &WorkloadConfig,
+        rng: &mut DetRng,
+        valid_left: u64,
+    ) -> (u32, [u32; WINDOWS_PER_DAY as usize], u32, u64) {
+        let tld = plan.sample_tld(rng);
+        let volume = (rng.exponential(plan.mean_queries_per_pair).round() as u64)
+            .max(1)
+            .min(valid_left);
+        let windows = 1 + (rng.exponential((cfg.windows_per_pair - 1.0).max(0.01)).round() as u32)
+            .min(WINDOWS_PER_DAY - 1);
+        let mut slots = [0u32; WINDOWS_PER_DAY as usize];
+        for slot in slots.iter_mut().take(windows as usize) {
+            *slot = rng.below(WINDOWS_PER_DAY as u64) as u32;
+        }
+        slots[..windows as usize].sort_unstable();
+        let mut nslots = 0u32;
+        for i in 0..windows as usize {
+            if i == 0 || slots[i] != slots[nslots as usize - 1] {
+                slots[nslots as usize] = slots[i];
+                nslots += 1;
+            }
+        }
+        (tld, slots, nslots, volume)
+    }
+}
+
+impl Iterator for TraceStream {
+    type Item = Query;
+
+    fn next(&mut self) -> Option<Query> {
+        loop {
+            match &mut self.state {
+                EmitState::Done => return None,
+                EmitState::Fetch => {
+                    if self.cursor >= self.end {
+                        self.state = EmitState::Done;
+                        return None;
+                    }
+                    self.fetch_resolver();
+                }
+                EmitState::Bogus { rng, resolver, left } => {
+                    if *left == 0 {
+                        self.state = EmitState::Fetch;
+                        continue;
+                    }
+                    *left -= 1;
+                    return Some(Query {
+                        time: rng.below(DAY_SECS as u64) as u32,
+                        resolver: *resolver,
+                        name: QueryName::BogusTld(
+                            rng.below(self.cfg.bogus_label_count as u64) as u32
+                        ),
+                    });
+                }
+                EmitState::Noise { rng, resolver, left, valid_left } => {
+                    if *left > 0 {
+                        *left -= 1;
+                        return Some(Query {
+                            time: rng.below(DAY_SECS as u64) as u32,
+                            resolver: *resolver,
+                            name: QueryName::BogusTld(
+                                rng.below(self.cfg.bogus_label_count as u64) as u32,
+                            ),
+                        });
+                    }
+                    if *valid_left == 0 {
+                        self.state = EmitState::Fetch;
+                        continue;
+                    }
+                    let (resolver, valid_left) = (*resolver, *valid_left);
+                    let mut rng = rng.clone();
+                    let (tld, slots, nslots, volume) =
+                        Self::open_pair(&self.plan, &self.cfg, &mut rng, valid_left);
+                    self.state = EmitState::Pairs {
+                        rng,
+                        resolver,
+                        valid_left: valid_left - volume,
+                        tld,
+                        slots,
+                        nslots,
+                        k: 0,
+                        left_in_pair: volume,
+                    };
+                }
+                EmitState::Pairs {
+                    rng,
+                    resolver,
+                    valid_left,
+                    tld,
+                    slots,
+                    nslots,
+                    k,
+                    left_in_pair,
+                } => {
+                    if *left_in_pair > 0 {
+                        let w = slots[(*k % *nslots as u64) as usize];
+                        *k += 1;
+                        *left_in_pair -= 1;
+                        return Some(Query {
+                            time: w * WINDOW_SECS + rng.below(WINDOW_SECS as u64) as u32,
+                            resolver: *resolver,
+                            name: QueryName::ValidTld(*tld),
+                        });
+                    }
+                    if *valid_left == 0 {
+                        self.state = EmitState::Fetch;
+                        continue;
+                    }
+                    let (t, s, n, volume) =
+                        Self::open_pair(&self.plan, &self.cfg, rng, *valid_left);
+                    *valid_left -= volume;
+                    *tld = t;
+                    *slots = s;
+                    *nslots = n;
+                    *k = 0;
+                    *left_in_pair = volume;
                 }
             }
         }
     }
+}
 
+/// Generates the single-unit trace for `cfg` by collecting the stream and
+/// time-sorting it — the materialized form tests and benches compare the
+/// streaming path against. Production paths should iterate [`TraceStream`]
+/// instead; this allocates O(queries).
+pub fn generate(cfg: &WorkloadConfig) -> Trace {
+    let mut queries: Vec<Query> = TraceStream::new(cfg, 1).collect();
     queries.sort_by_key(|q| q.time);
-    Trace { queries, classes, config: cfg.clone() }
+    Trace { queries, classes: classify_resolvers(cfg), config: cfg.clone() }
 }
 
 #[cfg(test)]
@@ -229,7 +550,8 @@ mod tests {
     fn every_resolver_appears() {
         let t = tiny_trace();
         let seen: std::collections::HashSet<u32> = t.queries.iter().map(|q| q.resolver).collect();
-        // Normal resolvers get pairs round-robin, bogus-only get ≥1 query.
+        // Bogus-only resolvers get ≥1 query; normal resolvers' weight floor
+        // guarantees a valid share at any test scale.
         assert!(
             seen.len() as f64 > t.config.resolvers as f64 * 0.95,
             "only {} of {} resolvers appear",
@@ -272,5 +594,68 @@ mod tests {
         let head: u64 = counts[..10].iter().sum();
         let tail: u64 = counts[t.config.valid_tld_count - 10..].iter().sum();
         assert!(head > tail * 5, "head {head} tail {tail}");
+    }
+
+    #[test]
+    fn stream_is_resolver_major_and_matches_generate() {
+        let cfg = WorkloadConfig::tiny();
+        let streamed: Vec<Query> = TraceStream::new(&cfg, 1).collect();
+        assert!(
+            streamed.windows(2).all(|w| w[0].resolver <= w[1].resolver),
+            "stream must emit resolver-major"
+        );
+        let mut sorted = streamed;
+        sorted.sort_by_key(|q| q.time);
+        assert_eq!(sorted, generate(&cfg).queries, "generate is collect + stable time sort");
+    }
+
+    #[test]
+    fn replicas_relabel_but_do_not_reshape() {
+        let cfg = WorkloadConfig::tiny();
+        let one: Vec<Query> = TraceStream::new(&cfg, 1).collect();
+        let two: Vec<Query> = TraceStream::new(&cfg, 2).collect();
+        assert_eq!(two.len(), one.len() * 2);
+        for (a, b) in one.iter().zip(&two[one.len()..]) {
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.resolver + cfg.resolvers, b.resolver, "replica 1 relabels ids");
+        }
+        assert_eq!(&two[..one.len()], &one[..], "replica 0 is the unit verbatim");
+    }
+
+    #[test]
+    fn shards_are_disjoint_and_concatenate_to_the_full_stream() {
+        let cfg = WorkloadConfig::tiny();
+        for replicas in [1u64, 3] {
+            let full: Vec<Query> = TraceStream::new(&cfg, replicas).collect();
+            for shards in [1u64, 2, 5] {
+                let mut glued = Vec::new();
+                let mut prev_max: Option<u32> = None;
+                for i in 0..shards {
+                    let part: Vec<Query> =
+                        TraceStream::shard(&cfg, replicas, shards, i).collect();
+                    if let (Some(p), Some(first)) = (prev_max, part.first()) {
+                        assert!(first.resolver > p, "shards must own disjoint resolver ranges");
+                    }
+                    if let Some(last) = part.last() {
+                        prev_max = Some(last.resolver);
+                    }
+                    glued.extend(part);
+                }
+                assert_eq!(glued, full, "replicas={replicas} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn mid_unit_shard_warmup_matches_unsharded_quotas() {
+        // A shard that starts mid-unit must replay the cumulative-rounding
+        // prefix, or its first resolver would get a wrong quota.
+        let cfg = WorkloadConfig::tiny();
+        let full: Vec<Query> = TraceStream::new(&cfg, 1).collect();
+        // 7 shards of 200 resolvers: every boundary lands mid-unit.
+        let glued: Vec<Query> =
+            (0..7).flat_map(|i| TraceStream::shard(&cfg, 1, 7, i)).collect();
+        assert_eq!(glued, full);
     }
 }

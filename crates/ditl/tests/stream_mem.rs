@@ -1,0 +1,126 @@
+//! The hard memory ceiling for streaming replay.
+//!
+//! The whole point of `TraceStream` is that a paper-scale day (5.7B
+//! queries) replays without ever holding a trace in memory: live heap is
+//! bounded by one unit's classifier state, independent of `--scale`. A
+//! peak-tracking global allocator turns that claim into a gate — the test
+//! classifies a multi-replica stream (millions of queries) under a hard
+//! live-heap ceiling a materialized `Vec<Query>` of the same workload
+//! could not fit in, then checks the peak barely moves when the scale
+//! triples.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rootless_ditl::{classify_stream, TraceStream, WorkloadConfig};
+
+struct PeakAlloc;
+
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+fn note_alloc(size: usize) {
+    let live = LIVE.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+fn note_dealloc(size: usize) {
+    LIVE.fetch_sub(size as u64, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note_alloc(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        note_dealloc(layout.size());
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size >= layout.size() {
+            note_alloc(new_size - layout.size());
+        } else {
+            note_dealloc(layout.size() - new_size);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: PeakAlloc = PeakAlloc;
+
+/// Serializes measurements: PEAK is process-global, so concurrent tests
+/// would attribute each other's allocations.
+static MEASURE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Runs `f` and returns the high-water mark of live heap (bytes) it added
+/// above the live heap at entry.
+fn peak_over_baseline(f: impl FnOnce()) -> u64 {
+    let _guard = MEASURE.lock().unwrap();
+    let baseline = LIVE.load(Ordering::Relaxed);
+    PEAK.store(baseline, Ordering::Relaxed);
+    f();
+    PEAK.load(Ordering::Relaxed).saturating_sub(baseline)
+}
+
+fn unit(divisor: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        total_queries: 5_700_000_000 / divisor,
+        resolvers: (4_100_000 / divisor) as u32,
+        ..WorkloadConfig::default()
+    }
+}
+
+#[test]
+fn streaming_replay_stays_under_the_memory_ceiling() {
+    // 3 replicas of the 1/4000 unit ≈ 4.3M queries. Materialized, the
+    // trace alone is 4.3M × 16 B ≈ 68 MB before classifier state; the
+    // streaming replay must peak far below that. The ceiling is sized at
+    // ~3× the measured per-unit classifier state so an accidental
+    // O(queries) buffer trips it immediately while honest growth in the
+    // classifier (hash-map resizes land at powers of two) does not.
+    const CEILING_BYTES: u64 = 24 << 20;
+    let cfg = unit(4_000);
+    let replicas = 3;
+    let mut total = 0u64;
+    let peak = peak_over_baseline(|| {
+        for shard in 0..replicas {
+            let report =
+                classify_stream(TraceStream::shard(&cfg, replicas, replicas, shard));
+            total += report.total;
+        }
+    });
+    assert!(total > 4_000_000, "workload too small to prove anything: {total}");
+    assert!(
+        peak < CEILING_BYTES,
+        "streaming replay peaked at {} bytes (> {} ceiling) over {} queries",
+        peak,
+        CEILING_BYTES,
+        total
+    );
+}
+
+#[test]
+fn peak_heap_is_independent_of_scale() {
+    // One shard per replica keeps per-shard state at one unit; tripling
+    // the scale must not meaningfully move the peak (allowance 1.5× for
+    // allocator jitter), because each shard's state is dropped before the
+    // next starts.
+    let cfg = unit(8_000);
+    let run = |replicas: u64| {
+        peak_over_baseline(|| {
+            for shard in 0..replicas {
+                let _ = classify_stream(TraceStream::shard(&cfg, replicas, replicas, shard));
+            }
+        })
+    };
+    // Warm both paths once so one-time lazy init doesn't skew either side.
+    let _ = run(1);
+    let peak1 = run(1);
+    let peak3 = run(3);
+    assert!(
+        peak3 <= peak1 * 3 / 2 + (1 << 20),
+        "peak grew with scale: 1 replica -> {peak1} bytes, 3 replicas -> {peak3} bytes"
+    );
+}

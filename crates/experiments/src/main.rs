@@ -1,16 +1,24 @@
 //! The `experiments` binary: regenerates every figure, table and claim.
 //!
 //! Usage:
-//!   experiments [all|fig1|fig2|traffic|sizes|cache|extract|dist|ttl|llc|perf|robust|sec|priv] [--fast] [--jobs N]
+//!   experiments [all|fig1|fig2|traffic|sizes|cache|extract|dist|ttl|llc|perf|robust|sec|priv] [--fast] [--jobs N] [--scale K] [--shards N]
 //!
 //! `--fast` shrinks the workloads for a quick smoke pass; the default runs
 //! paper-comparable scales (a few minutes total).
 //!
-//! `--jobs N` fans the sweep-style experiments (robust, perf, rootload)
-//! across N worker threads; `--jobs 0` means auto (available parallelism).
-//! Reports on stdout are byte-identical at any jobs value — only stderr
-//! carries wall-clock numbers. Default is 1, except `--fast` defaults to 2
-//! so the smoke pass exercises the parallel executor.
+//! `--jobs N` fans the sweep-style experiments (robust, perf, rootload,
+//! traffic, llc) across N worker threads; `--jobs 0` means auto (available
+//! parallelism). Reports on stdout are byte-identical at any jobs value —
+//! only stderr carries wall-clock numbers. Default is 1, except `--fast`
+//! defaults to 2 so the smoke pass exercises the parallel executor.
+//!
+//! `--scale K` streams K replicas of the calibrated DITL unit through the
+//! trace experiments (traffic, rootload, llc). `--scale 1000` is the full
+//! paper day — 4.1M resolvers, 5.7B queries — replayed in constant memory;
+//! classified fractions are bit-identical at every K (unit replication),
+//! which is the cross-scale determinism gate. `--shards N` overrides the
+//! stream shard count (default: one shard per replica, at least the
+//! experiment's instance count); the merged report is shard-invariant.
 
 use rootless_experiments as exp;
 
@@ -18,31 +26,48 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
     let mut jobs_arg: Option<usize> = None;
+    let mut scale_arg: Option<u64> = None;
+    let mut shards_arg: Option<usize> = None;
     let mut which: Vec<&str> = Vec::new();
     let mut it = args.iter();
+    let flag = |name: &'static str| {
+        move |v: Option<&String>| -> u64 {
+            match v.and_then(|v| v.parse().ok()) {
+                Some(n) => n,
+                None => {
+                    eprintln!("{name} needs a number");
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
     while let Some(a) = it.next() {
         if a == "--fast" {
             continue;
         }
         if a == "--jobs" {
-            let n = it.next().and_then(|v| v.parse().ok());
-            match n {
-                Some(n) => jobs_arg = Some(n),
-                None => {
-                    eprintln!("--jobs needs a number (0 = auto)");
-                    std::process::exit(2);
-                }
-            }
+            jobs_arg = Some(flag("--jobs (0 = auto)")(it.next()) as usize);
             continue;
         }
         if let Some(v) = a.strip_prefix("--jobs=") {
-            match v.parse() {
-                Ok(n) => jobs_arg = Some(n),
-                Err(_) => {
-                    eprintln!("--jobs needs a number (0 = auto)");
-                    std::process::exit(2);
-                }
-            }
+            jobs_arg = Some(flag("--jobs (0 = auto)")(Some(&v.to_string())) as usize);
+            continue;
+        }
+        if a == "--scale" {
+            scale_arg = Some(flag("--scale (replicas of the DITL unit)")(it.next()).max(1));
+            continue;
+        }
+        if let Some(v) = a.strip_prefix("--scale=") {
+            scale_arg =
+                Some(flag("--scale (replicas of the DITL unit)")(Some(&v.to_string())).max(1));
+            continue;
+        }
+        if a == "--shards" {
+            shards_arg = Some(flag("--shards")(it.next()).max(1) as usize);
+            continue;
+        }
+        if let Some(v) = a.strip_prefix("--shards=") {
+            shards_arg = Some(flag("--shards")(Some(&v.to_string())).max(1) as usize);
             continue;
         }
         which.push(a.as_str());
@@ -55,6 +80,11 @@ fn main() {
         None if fast => 2,
         None => 1,
     };
+    let scale = scale_arg.unwrap_or(1);
+    // Default shard layout must not depend on --jobs (stdout would still
+    // be identical, but the stderr shard line would drift): one shard per
+    // replica, floored at 4 so sub-unit sharding is exercised at scale 1.
+    let shards = |floor: usize| shards_arg.unwrap_or_else(|| scale.clamp(floor as u64, 4096) as usize);
     let which = if which.is_empty() { vec!["all"] } else { which };
     let all = which.contains(&"all");
     let wants = |name: &str| all || which.contains(&name);
@@ -70,13 +100,20 @@ fn main() {
         ran += 1;
     }
     if wants("traffic") {
-        let scale = if fast { 8_000 } else { 1_000 };
-        println!("{}", exp::traffic::render(&exp::traffic::run(scale)));
+        let unit_divisor = if fast { 8_000 } else { 1_000 };
+        let ts = exp::traffic::TrafficScale {
+            shards: shards(4),
+            jobs,
+            ..exp::traffic::TrafficScale::new(unit_divisor, scale)
+        };
+        let r = exp::traffic::run(&ts);
+        println!("{}", exp::traffic::render(&r));
+        eprint!("{}", exp::traffic::render_throughput(&r));
         ran += 1;
     }
     if wants("rootload") {
-        let (scale, instances) = if fast { (20_000, 2) } else { (2_000, 4) };
-        let r = exp::root_load::run(scale, instances, jobs);
+        let (unit_divisor, instances) = if fast { (20_000, 2) } else { (2_000, 4) };
+        let r = exp::root_load::run(unit_divisor, scale, shards(instances), jobs);
         println!("{}", exp::root_load::render(&r));
         eprint!("{}", exp::root_load::render_throughput(&r));
         ran += 1;
@@ -114,8 +151,13 @@ fn main() {
         ran += 1;
     }
     if wants("llc") {
-        let scale = if fast { 4_000 } else { 1_000 };
-        println!("{}", exp::new_tld::render(&exp::new_tld::run(scale)));
+        let unit_divisor = if fast { 4_000 } else { 1_000 };
+        let ts = exp::traffic::TrafficScale {
+            shards: shards(4),
+            jobs,
+            ..exp::traffic::TrafficScale::new(unit_divisor, scale)
+        };
+        println!("{}", exp::new_tld::render(&exp::new_tld::run(&ts)));
         ran += 1;
     }
     if wants("perf") {
@@ -145,7 +187,7 @@ fn main() {
     }
     if ran == 0 {
         eprintln!(
-            "unknown experiment; choose from: all fig1 fig2 traffic rootload sizes cache extract dist ttl llc perf anycast robust sec priv (plus --fast, --jobs N)"
+            "unknown experiment; choose from: all fig1 fig2 traffic rootload sizes cache extract dist ttl llc perf anycast robust sec priv (plus --fast, --jobs N, --scale K, --shards N)"
         );
         std::process::exit(2);
     }

@@ -11,15 +11,16 @@
 //! new TLD becomes visible under different zone TTLs, and the size of the
 //! diff feed that would eliminate it.
 
-use rootless_ditl::classify::classify;
-use rootless_ditl::population::WorkloadConfig;
-use rootless_ditl::trace::generate;
+use rootless_ditl::classify::{classify_stream, TrafficReport};
+use rootless_ditl::trace::TraceStream;
 use rootless_util::time::Date;
 use rootless_zone::churn::{ChurnConfig, Timeline};
 use rootless_zone::diff::ZoneDiff;
 use rootless_zone::rootzone::RootZoneConfig;
 
 use crate::report::{render_rows, Row};
+use crate::sweep;
+use crate::traffic::TrafficScale;
 
 /// Experiment output.
 pub struct NewTldReport {
@@ -37,15 +38,20 @@ pub struct NewTldReport {
     pub diff_feed_bytes: f64,
 }
 
-/// Runs the analysis. `scale_divisor` shrinks the paper's trace volume.
-pub fn run(scale_divisor: u64) -> NewTldReport {
-    let config = WorkloadConfig {
-        total_queries: 5_700_000_000 / scale_divisor,
-        resolvers: (4_100_000 / scale_divisor) as u32,
-        ..WorkloadConfig::default()
-    };
-    let trace = generate(&config);
-    let report = classify(&trace);
+/// Runs the analysis over the streaming classifier: shards of the
+/// (possibly replicated) DITL stream classify independently and fold in
+/// shard order, so the trace is never materialized and the adoption
+/// fractions are bit-identical at any scale/shard/jobs combination.
+pub fn run(scale: &TrafficScale) -> NewTldReport {
+    let config = scale.unit();
+    let shards: Vec<u64> = (0..scale.shards as u64).collect();
+    let shard_reports = sweep::run_tasks(&shards, scale.jobs, |_, &shard| {
+        classify_stream(TraceStream::shard(&config, scale.replicas, scale.shards as u64, shard))
+    });
+    let mut report = TrafficReport::default();
+    for r in &shard_reports {
+        report.merge(r);
+    }
     let newest = (config.valid_tld_count - 1) as u32;
     let newest_queries = report.per_tld_queries.get(&newest).copied().unwrap_or(0);
     let newest_resolvers = report.per_tld_resolvers.get(&newest).copied().unwrap_or(0);
@@ -116,10 +122,19 @@ mod tests {
 
     #[test]
     fn newest_tld_is_unpopular() {
-        let r = run(4_000);
+        let r = run(&TrafficScale::new(4_000, 1));
         let text = render(&r);
         assert!(!text.contains("DIVERGES"), "{text}");
         assert!(r.diff_feed_bytes > 0.0);
         assert!(r.diff_feed_bytes < 100_000.0, "diff feed should be tiny: {}", r.diff_feed_bytes);
+    }
+
+    #[test]
+    fn adoption_fractions_survive_replication_and_sharding() {
+        let base = run(&TrafficScale::new(8_000, 1));
+        let scaled = run(&TrafficScale { shards: 3, jobs: 2, ..TrafficScale::new(8_000, 2) });
+        assert_eq!(scaled.total_queries, base.total_queries * 2);
+        assert_eq!(scaled.newest_queries, base.newest_queries * 2);
+        assert_eq!(scaled.newest_resolvers, base.newest_resolvers * 2);
     }
 }

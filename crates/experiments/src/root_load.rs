@@ -1,18 +1,20 @@
 //! ROOTLOAD — the server-side view of §2.2.
 //!
 //! TRAFFIC classifies the query stream; this experiment actually *serves*
-//! it: the scaled DITL trace is replayed through real root `AuthServer`
-//! instances (the exact referral/NXDOMAIN code paths a root instance runs),
-//! sharded across worker threads the way anycast shards clients across
-//! instances. Outputs: the server-side junk fraction (NXDOMAIN + repeat
-//! referrals), per-instance load, and the throughput a single instance
-//! sustains — the "immense torrent" of §1 measured against our own server.
+//! it: the DITL stream is replayed through real root `AuthServer` instances
+//! (the exact referral/NXDOMAIN code paths a root instance runs), sharded
+//! across worker threads the way anycast shards clients across instances.
+//! Each shard streams its own contiguous resolver range — no materialized
+//! trace, no per-shard rescan of the whole day — so memory stays bounded at
+//! any `--scale`. Outputs: the server-side junk fraction (NXDOMAIN + repeat
+//! referrals), and the throughput a single instance sustains — the
+//! "immense torrent" of §1 measured against our own server.
 
 use std::sync::Arc;
 
 use rootless_ditl::population::{bogus_labels, WorkloadConfig};
+use rootless_ditl::trace::{QueryName, TraceStream};
 use rootless_obs::metrics::{Registry, Snapshot};
-use rootless_ditl::trace::{generate, QueryName};
 use rootless_proto::message::Message;
 use rootless_proto::name::Name;
 use rootless_proto::rr::RType;
@@ -30,52 +32,54 @@ pub struct RootLoadReport {
     pub nxdomain_fraction: f64,
     /// Referral fraction.
     pub referral_fraction: f64,
-    /// Simulated instances (threads).
+    /// Simulated instances (stream shards).
     pub instances: usize,
     /// Wall-clock queries/second/instance achieved by the Rust server.
     pub qps_per_instance: f64,
+    /// Aggregate wall-clock queries/second across all shards.
+    pub aggregate_qps: f64,
 }
 
-/// Replays a 1/`scale_divisor` DITL day through `instances` shards on
-/// `jobs` worker threads. The shard matrix is fixed by `instances`;
-/// `jobs` only controls how many run concurrently, so the deterministic
-/// part of the report ([`render`]) is byte-identical at any `jobs` value.
-/// Only [`render_throughput`] (stderr) carries wall-clock numbers.
-pub fn run(scale_divisor: u64, instances: usize, jobs: usize) -> RootLoadReport {
+/// Replays `replicas` copies of the 1/`unit_divisor` DITL unit through
+/// `instances` shards on `jobs` worker threads. Shards are contiguous
+/// resolver ranges of the stream (anycast catchment-style); every shard is
+/// one sweep task with its own server and registry, and the per-shard
+/// snapshots come back in shard order and fold into one total via
+/// `Snapshot::merge`. The deterministic report ([`render`]) is
+/// byte-identical at any `instances`/`jobs` combination, and its fractions
+/// are bit-identical at any `replicas` (unit replication); only
+/// [`render_throughput`] (stderr) carries wall-clock numbers.
+pub fn run(unit_divisor: u64, replicas: u64, instances: usize, jobs: usize) -> RootLoadReport {
     let config = WorkloadConfig {
-        total_queries: 5_700_000_000 / scale_divisor,
-        resolvers: (4_100_000 / scale_divisor) as u32,
+        total_queries: 5_700_000_000 / unit_divisor,
+        resolvers: (4_100_000 / unit_divisor) as u32,
         ..WorkloadConfig::default()
     };
-    let trace = generate(&config);
     let zone = Arc::new(rootzone::build(&RootZoneConfig {
         tld_count: config.valid_tld_count,
         ..RootZoneConfig::default()
     }));
-    let tlds: Vec<Name> = zone.tlds();
-    let bogus: Vec<Name> = bogus_labels(config.bogus_label_count, config.seed)
+    // Build the qname pools once and share them across sweep tasks: `Name`
+    // is itself Arc-backed, so an `Arc<[Name]>` clone per shard shares one
+    // table instead of re-parsing ~2K names per instance.
+    let tlds: Arc<[Name]> = zone.tlds().into();
+    let bogus: Arc<[Name]> = bogus_labels(config.bogus_label_count, config.seed)
         .iter()
         .map(|l| Name::parse(l).unwrap())
-        .collect();
+        .collect::<Vec<Name>>()
+        .into();
 
-    // Shard queries across instances by resolver (anycast catchment-style).
-    // Every shard is one sweep task with its own server and registry; the
-    // per-shard snapshots come back in shard order and fold into one total
-    // via `Snapshot::merge`, so the counters are independent of how many
-    // workers ran the shards.
-    let shards: Vec<usize> = (0..instances).collect();
-    let queries = trace.queries;
+    let shards: Vec<u64> = (0..instances as u64).collect();
     let start = std::time::Instant::now();
     let shard_snaps = sweep::run_tasks(&shards, jobs, |_, &shard| {
         let registry = Registry::new();
         let mut server = AuthServer::new_shared(Arc::clone(&zone));
         server.dnssec_enabled = false;
         server.attach_obs(&registry);
-        for (i, q) in queries
-            .iter()
-            .filter(|q| q.resolver as usize % instances == shard)
-            .enumerate()
-        {
+        let tlds = Arc::clone(&tlds);
+        let bogus = Arc::clone(&bogus);
+        let stream = TraceStream::shard(&config, replicas, instances as u64, shard);
+        for (i, q) in stream.enumerate() {
             let qname = match q.name {
                 QueryName::ValidTld(i) => tlds[i as usize].clone(),
                 QueryName::BogusTld(i) => bogus[i as usize % bogus.len()].clone(),
@@ -99,13 +103,14 @@ pub fn run(scale_divisor: u64, instances: usize, jobs: usize) -> RootLoadReport 
         referral_fraction: referrals as f64 / served as f64,
         instances,
         qps_per_instance: served as f64 / elapsed / instances as f64,
+        aggregate_qps: served as f64 / elapsed,
     }
 }
 
 /// Renders the deterministic server-side table. Everything here is a pure
-/// function of the workload inputs — wall-clock throughput lives in
-/// [`render_throughput`] so this report stays byte-identical across runs
-/// and `--jobs` values.
+/// function of the workload inputs — wall-clock throughput and the shard
+/// layout live in [`render_throughput`] so this report stays byte-identical
+/// across runs, `--jobs` values and shard counts.
 pub fn render(r: &RootLoadReport) -> String {
     let rows = vec![
         Row::new(
@@ -127,11 +132,9 @@ pub fn render(r: &RootLoadReport) -> String {
             (r.nxdomain_fraction + r.referral_fraction) > 0.99,
         ),
     ];
-    let mut out = render_rows("ROOTLOAD (§2.2 server side): replaying the trace through AuthServer", &rows);
-    out.push_str(&format!(
-        "  served {} queries across {} instance shards\n",
-        r.served, r.instances
-    ));
+    let mut out =
+        render_rows("ROOTLOAD (§2.2 server side): replaying the stream through AuthServer", &rows);
+    out.push_str(&format!("  served {} queries\n", r.served));
     out
 }
 
@@ -145,7 +148,12 @@ pub fn render_throughput(r: &RootLoadReport) -> String {
         format!("{:.0} q/s/instance in this build", r.qps_per_instance),
         r.qps_per_instance > 460.0,
     )];
-    render_rows("ROOTLOAD throughput (wall clock, stderr only)", &rows)
+    let mut out = render_rows("ROOTLOAD throughput (wall clock, stderr only)", &rows);
+    out.push_str(&format!(
+        "  {:.0} q/s aggregate across {} instance shards\n",
+        r.aggregate_qps, r.instances
+    ));
+    out
 }
 
 #[cfg(test)]
@@ -154,7 +162,7 @@ mod tests {
 
     #[test]
     fn server_side_fractions_match_the_trace() {
-        let r = run(20_000, 2, 2);
+        let r = run(20_000, 1, 2, 2);
         let text = render(&r);
         assert!(!text.contains("DIVERGES"), "{text}");
         assert_eq!(r.instances, 2);
@@ -166,9 +174,25 @@ mod tests {
     }
 
     #[test]
-    fn report_is_byte_identical_across_jobs() {
-        let serial = render(&run(100_000, 4, 1));
-        let parallel = render(&run(100_000, 4, 3));
-        assert_eq!(serial, parallel);
+    fn report_is_byte_identical_across_shards_and_jobs() {
+        let serial = render(&run(100_000, 1, 1, 1));
+        for (instances, jobs) in [(2, 1), (4, 1), (4, 3)] {
+            assert_eq!(serial, render(&run(100_000, 1, instances, jobs)));
+        }
+    }
+
+    #[test]
+    fn fractions_are_scale_invariant() {
+        // Unit replication multiplies every counter by exactly k, so the
+        // rendered fractions cannot move by a byte.
+        let base = run(100_000, 1, 2, 1);
+        let scaled = run(100_000, 3, 2, 1);
+        assert_eq!(scaled.served, base.served * 3);
+        assert_eq!(
+            scaled.nxdomain_fraction.to_bits(),
+            base.nxdomain_fraction.to_bits(),
+            "NXDOMAIN fraction must be bit-identical under replication"
+        );
+        assert_eq!(scaled.referral_fraction.to_bits(), base.referral_fraction.to_bits());
     }
 }

@@ -41,10 +41,7 @@ pub fn auto_jobs() -> usize {
 /// give statistically unrelated streams, and the result depends only on
 /// `(base, index)` — never on which worker runs the task or when.
 pub fn derive_seed(base: u64, index: u64) -> u64 {
-    let mut z = base ^ (index.wrapping_add(1)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+    rootless_util::rng::substream_seed(base, index)
 }
 
 /// Runs `f` over every task on `jobs` scoped worker threads and returns the

@@ -1,53 +1,131 @@
-//! TRAFFIC — the §2.2 DITL traffic study.
+//! TRAFFIC — the §2.2 DITL traffic study, at paper scale.
 //!
 //! Paper values (DITL-2018, j-root, 2018-04-11, 142 instances): 5.7B queries
 //! = ~66K q/s from 4.1M resolvers (723K bogus-only); 61.0% bogus TLDs;
 //! ideal-cache model leaves 0.5% valid; 15-minute model leaves 3.3% valid =
 //! 187M queries ≈ 15 valid q/s per instance.
 //!
-//! The reproduction runs the calibrated synthetic workload at 1/1000 scale
-//! by default; fractions are scale-free, and absolute counts are reported
-//! alongside the scale factor.
+//! The reproduction streams the calibrated synthetic workload through the
+//! sharded classifier: `--scale K` replays `K` replicas of the 1/1000 unit
+//! (`--scale 1000` = the full 4.1M resolvers / 5.7B queries) in constant
+//! memory, each sweep shard owning its own classifier state, with per-shard
+//! reports folded in shard order. Fractions are *bit-identical* at every
+//! scale, shard count and `--jobs` value (the replication determinism net);
+//! absolute counts scale to the paper's numbers. Wall-clock aggregate q/s
+//! renders separately for stderr.
 
-use rootless_ditl::classify::{classify, format_report, TrafficReport};
+use rootless_ditl::classify::{classify_stream, format_report, TrafficReport};
 use rootless_ditl::population::WorkloadConfig;
-use rootless_ditl::trace::generate;
-use rootless_util::stats::pct;
+use rootless_ditl::trace::TraceStream;
+use rootless_util::stats::{group_digits, pct};
 
 use crate::report::{render_rows, within, Row};
+use crate::sweep;
 
 /// j-root instances in the DITL-2018 dataset.
 pub const JROOT_INSTANCES: u64 = 142;
 
+/// The paper's day volume; fractions project onto it for the scale-free
+/// "vs paper" rows.
+pub const PAPER_QUERIES: u64 = 5_700_000_000;
+
+/// How a run maps onto the paper's 5.7B-query day.
+#[derive(Clone, Debug)]
+pub struct TrafficScale {
+    /// Divisor shrinking the paper volume to one calibrated unit
+    /// (1000 = the 5.7M-query / 4.1K-resolver laptop unit).
+    pub unit_divisor: u64,
+    /// Replicas of that unit to stream (`1000 × unit_divisor 1000` = the
+    /// full paper day).
+    pub replicas: u64,
+    /// Sweep shards (resolver-range partitions). Any value yields the same
+    /// merged report; more shards bound per-task classifier state.
+    pub shards: usize,
+    /// Worker threads for the sweep executor.
+    pub jobs: usize,
+}
+
+impl TrafficScale {
+    /// `replicas` copies of the `1/unit_divisor` unit, one shard per
+    /// replica (so per-shard classifier state never exceeds one unit).
+    pub fn new(unit_divisor: u64, replicas: u64) -> TrafficScale {
+        TrafficScale {
+            unit_divisor,
+            replicas,
+            shards: replicas.clamp(1, 4096) as usize,
+            jobs: 1,
+        }
+    }
+
+    /// The workload of one unit.
+    pub fn unit(&self) -> WorkloadConfig {
+        WorkloadConfig {
+            total_queries: PAPER_QUERIES / self.unit_divisor,
+            resolvers: (4_100_000 / self.unit_divisor) as u32,
+            ..WorkloadConfig::default()
+        }
+    }
+}
+
 /// Experiment output.
 pub struct TrafficExperiment {
-    /// The classifier output.
+    /// The merged classifier output.
     pub report: TrafficReport,
-    /// The workload used.
+    /// The unit workload streamed.
     pub config: WorkloadConfig,
-    /// Scale relative to the paper (1000 = paper volume / ours).
-    pub scale: f64,
+    /// The scale mapping used.
+    pub scale: TrafficScale,
+    /// Wall-clock seconds the streaming replay took (stderr only).
+    pub elapsed: f64,
 }
 
-/// Runs the study. `scale_divisor` shrinks the paper's 5.7B queries / 4.1M
-/// resolvers (1000 = default laptop scale).
-pub fn run(scale_divisor: u64) -> TrafficExperiment {
-    let config = WorkloadConfig {
-        total_queries: 5_700_000_000 / scale_divisor,
-        resolvers: (4_100_000 / scale_divisor) as u32,
-        ..WorkloadConfig::default()
-    };
-    let trace = generate(&config);
-    let report = classify(&trace);
-    TrafficExperiment { report, config, scale: scale_divisor as f64 }
+impl TrafficExperiment {
+    /// Aggregate streamed queries per second of wall clock (stderr only).
+    pub fn aggregate_qps(&self) -> f64 {
+        self.report.total as f64 / self.elapsed.max(1e-9)
+    }
 }
 
-/// Renders the paper-vs-measured table.
+/// Streams the study: every shard classifies its own resolver range of the
+/// replicated population, and the reports fold in shard order. The stdout
+/// report is a pure function of `(unit_divisor, replicas)` — byte-identical
+/// across `shards` and `jobs` (gated in tier1.sh).
+pub fn run(scale: &TrafficScale) -> TrafficExperiment {
+    let config = scale.unit();
+    let shards: Vec<u64> = (0..scale.shards as u64).collect();
+    let start = std::time::Instant::now();
+    let shard_reports = sweep::run_tasks(&shards, scale.jobs, |_, &shard| {
+        classify_stream(TraceStream::shard(&config, scale.replicas, scale.shards as u64, shard))
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let mut report = TrafficReport::default();
+    for r in &shard_reports {
+        report.merge(r);
+    }
+    TrafficExperiment { report, config, scale: scale.clone(), elapsed }
+}
+
+/// Backwards-compatible single-unit entry point (tests, quick runs).
+pub fn run_at(scale_divisor: u64) -> TrafficExperiment {
+    run(&TrafficScale::new(scale_divisor, 1))
+}
+
+/// Renders the paper-vs-measured table. Every row is scale-free: fractions
+/// are bit-identical across `--scale`, and the absolute projections
+/// multiply fractions by the paper's 5.7B-query day rather than the run's
+/// own volume, so this whole table is byte-identical from 1/8000 up to the
+/// full paper-scale replay (the cross-scale tier-1 gate compares it).
 pub fn render(exp: &TrafficExperiment) -> String {
     let r = &exp.report;
-    let mut out = format_report(r, &format!("(scale 1/{:.0})", exp.scale));
+    let mut out = format_report(
+        r,
+        &format!("(scale {}/{} of DITL-2018)", exp.scale.replicas, exp.scale.unit_divisor),
+    );
     let bogus_only_frac = r.bogus_only_resolvers as f64 / r.distinct_resolvers as f64;
-    let valid_qps = r.valid_qps_per_instance(JROOT_INSTANCES);
+    // Project the valid residue onto the paper's absolute day: fraction ×
+    // 5.7B / 86400 s / 142 instances.
+    let valid_qps = r.valid_window_fraction() * PAPER_QUERIES as f64 / 86_400.0
+        / JROOT_INSTANCES as f64;
     let rows = vec![
         Row::new(
             "bogus-TLD query fraction",
@@ -86,14 +164,30 @@ pub fn render(exp: &TrafficExperiment) -> String {
             within(bogus_only_frac, 0.176, 0.25),
         ),
         Row::new(
-            "valid q/s per instance (scaled up)",
+            "valid q/s per instance (paper volume)",
             "~15",
-            format!("{:.1}", valid_qps * exp.scale),
-            within(valid_qps * exp.scale, 15.0, 0.8),
+            format!("{:.1}", valid_qps),
+            within(valid_qps, 15.0, 0.8),
         ),
     ];
     out.push_str(&render_rows("TRAFFIC vs paper (§2.2)", &rows));
     out
+}
+
+/// Renders the wall-clock headline: aggregate streamed q/s across the
+/// sharded replay. Printed to stderr by the binary — stdout must stay a
+/// pure function of the workload inputs.
+pub fn render_throughput(exp: &TrafficExperiment) -> String {
+    format!(
+        "TRAFFIC throughput (wall clock, stderr only): streamed {} queries \
+         from {} resolvers in {:.1}s = {} q/s aggregate ({} shards, {} jobs)\n",
+        group_digits(exp.report.total),
+        group_digits(exp.report.distinct_resolvers),
+        exp.elapsed,
+        group_digits(exp.aggregate_qps() as u64),
+        exp.scale.shards,
+        exp.scale.jobs,
+    )
 }
 
 #[cfg(test)]
@@ -103,15 +197,39 @@ mod tests {
     #[test]
     fn small_scale_run_matches_paper_shape() {
         // 1/8000 scale keeps the test fast; fractions are scale-free.
-        let exp = run(8_000);
+        let exp = run_at(8_000);
         let text = render(&exp);
         assert!(!text.contains("DIVERGES"), "{text}");
     }
 
     #[test]
     fn junk_dominates() {
-        let exp = run(8_000);
+        let exp = run_at(8_000);
         let junk = exp.report.bogus_fraction() + exp.report.repeats_window_fraction();
         assert!(junk > 0.9, "junk fraction {junk} must exceed 90% (paper: 96.7%)");
+    }
+
+    #[test]
+    fn report_is_invariant_across_shards_and_jobs() {
+        let base = render(&run(&TrafficScale { shards: 1, jobs: 1, ..TrafficScale::new(8_000, 2) }));
+        for (shards, jobs) in [(2, 1), (3, 2), (7, 4)] {
+            let alt = render(&run(&TrafficScale { shards, jobs, ..TrafficScale::new(8_000, 2) }));
+            assert_eq!(base, alt, "shards={shards} jobs={jobs} diverged");
+        }
+    }
+
+    #[test]
+    fn comparison_table_is_byte_identical_across_scales() {
+        // The determinism net: the replicated population multiplies every
+        // count by exactly k, so the scale-free table (everything from the
+        // "TRAFFIC vs paper" header down) must not change by a byte.
+        let table = |replicas: u64| {
+            let text = render(&run(&TrafficScale::new(8_000, replicas)));
+            let at = text.find("== TRAFFIC vs paper").expect("table header");
+            text[at..].to_string()
+        };
+        let one = table(1);
+        assert_eq!(one, table(2));
+        assert_eq!(one, table(5));
     }
 }

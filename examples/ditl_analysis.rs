@@ -1,44 +1,62 @@
-//! DITL analysis: generate one day of root-bound traffic at a configurable
-//! scale and run the §2.2 junk classification — the experiment that
+//! DITL analysis: stream one day of root-bound traffic at a configurable
+//! scale through the §2.2 junk classification — the experiment that
 //! motivates the whole paper (">95% of root traffic is junk").
 //!
-//! Run with: `cargo run --release --example ditl_analysis [scale_divisor]`
-//! (default 2000: 2.85M queries; use 1000 for the paper-comparable run).
+//! Run with:
+//!   cargo run --release --example ditl_analysis [unit_divisor] [scale]
+//!
+//! `unit_divisor` shrinks the paper's 5.7B-query day to one calibrated
+//! unit (default 2000: 2.85M queries; 1000 = the paper-comparable unit).
+//! `scale` streams that many replicas of the unit — `1000 1000` replays
+//! the full 4.1M-resolver / 5.7B-query day in constant memory; the
+//! classified fractions are bit-identical at every scale.
 
-use rootless::ditl::classify::{classify, format_report};
+use rootless::ditl::classify::{classify_stream, format_report, TrafficReport};
 use rootless::ditl::population::WorkloadConfig;
-use rootless::ditl::trace::generate;
+use rootless::ditl::trace::TraceStream;
 
 fn main() {
-    let scale: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2_000);
+    let mut args = std::env::args().skip(1);
+    let unit_divisor: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2_000);
+    let scale: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1).max(1);
 
     let config = WorkloadConfig {
-        total_queries: 5_700_000_000 / scale,
-        resolvers: (4_100_000 / scale) as u32,
+        total_queries: 5_700_000_000 / unit_divisor,
+        resolvers: (4_100_000 / unit_divisor) as u32,
         ..WorkloadConfig::default()
     };
     println!(
-        "generating {} queries from {} resolvers (1/{scale} of DITL-2018 j-root)...",
-        config.total_queries, config.resolvers
+        "streaming {} queries from {} resolvers ({scale}/{unit_divisor} of DITL-2018 j-root)...",
+        config.total_queries * scale,
+        config.resolvers as u64 * scale
     );
-    let trace = generate(&config);
-    let report = classify(&trace);
-    println!("{}", format_report(&report, &format!("(scale 1/{scale})")));
+    // One shard per replica: the stream is classified as it is produced,
+    // so live memory stays at one unit's classifier state no matter the
+    // scale — nothing here ever materializes a trace.
+    let start = std::time::Instant::now();
+    let mut report = TrafficReport::default();
+    for shard in 0..scale {
+        report.merge(&classify_stream(TraceStream::shard(&config, scale, scale, shard)));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    println!("{}", format_report(&report, &format!("(scale {scale}/{unit_divisor})")));
 
     println!("paper (DITL-2018): 61.0% bogus; ideal cache leaves 0.5% valid;");
     println!("15-minute model leaves 3.3% valid (~15 valid q/s per instance).");
     println!(
-        "this trace: {:.1}% bogus; {:.1}% valid (ideal); {:.1}% valid (15-min).",
+        "this stream: {:.1}% bogus; {:.1}% valid (ideal); {:.1}% valid (15-min).",
         report.bogus_fraction() * 100.0,
         report.valid_ideal_fraction() * 100.0,
         report.valid_window_fraction() * 100.0
     );
-    let per_instance = report.valid_qps_per_instance(142) * scale as f64;
+    let per_instance = report.valid_window_fraction() * 5_700_000_000.0 / 86_400.0 / 142.0;
     println!(
-        "scaled to paper volume, each of j-root's 142 instances would answer ~{per_instance:.1} valid q/s."
+        "at paper volume, each of j-root's 142 instances would answer ~{per_instance:.1} valid q/s."
+    );
+    println!(
+        "replayed {} queries in {elapsed:.1}s = {:.0} q/s of streaming classification.",
+        report.total,
+        report.total as f64 / elapsed.max(1e-9)
     );
     println!(
         "\nthe paper's question: is a service where {:.1}% of the effort is fruitless correctly architected?",

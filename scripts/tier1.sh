@@ -33,6 +33,11 @@ cargo test -q -p rootless-resolver --test alloc_free --offline
 # FIFO, overflow cascades, cancel-then-reschedule, the wheel-vs-heap
 # property test) and the event-slot reclaim regression.
 cargo test -q -p rootless-netsim --test sched_wheel --offline
+# Streaming-trace gates, by name: the TraceStream ≡ generate / exact-shard
+# -partition property suite, and the hard memory ceiling (peak-tracking
+# allocator proves a multi-million-query replay never materializes).
+cargo test -q -p rootless-ditl --test prop_stream --offline
+cargo test -q -p rootless-ditl --test stream_mem --offline
 # Parallel-sweep determinism gate: the robust/perf/rootload reports must
 # be byte-identical between --jobs 1, 2 and 4 (stdout only; wall-clock
 # throughput goes to stderr by design).
@@ -44,6 +49,25 @@ for exp in robust perf rootload; do
   cmp "/tmp/tier1_${exp}_j1.out" "/tmp/tier1_${exp}_j4.out"
   rm -f "/tmp/tier1_${exp}_j1.out" "/tmp/tier1_${exp}_j2.out" "/tmp/tier1_${exp}_j4.out"
 done
+# Sharded-replay determinism gate: at a fixed --scale, the traffic report
+# must be byte-identical across shard counts and jobs values — shards are
+# disjoint resolver ranges folded in shard order, so the partition cannot
+# show through.
+target/release/experiments traffic --fast --scale 2 --shards 1 --jobs 1 >/tmp/tier1_traffic_s1.out 2>/dev/null
+for layout in "2 1" "3 2" "4 4"; do
+  set -- $layout
+  target/release/experiments traffic --fast --scale 2 --shards "$1" --jobs "$2" >/tmp/tier1_traffic_alt.out 2>/dev/null
+  cmp /tmp/tier1_traffic_s1.out /tmp/tier1_traffic_alt.out
+done
+rm -f /tmp/tier1_traffic_s1.out /tmp/tier1_traffic_alt.out
+# Cross-scale determinism net: the scale-free "vs paper" table (fractions
+# and paper-volume projections) must not move by a byte between --scale 1
+# and --scale 3 — unit replication multiplies every count by exactly k, so
+# any drift means the replicas are not independent copies.
+target/release/experiments traffic --fast --scale 1 2>/dev/null | sed -n '/TRAFFIC vs paper/,$p' >/tmp/tier1_scale1.tbl
+target/release/experiments traffic --fast --scale 3 2>/dev/null | sed -n '/TRAFFIC vs paper/,$p' >/tmp/tier1_scale3.tbl
+cmp /tmp/tier1_scale1.tbl /tmp/tier1_scale3.tbl
+rm -f /tmp/tier1_scale1.tbl /tmp/tier1_scale3.tbl
 cargo test -q -p rootless-dnssec --test adversarial --offline
 cargo test -q -p rootless-delta --test distribution_equivalence --offline
 cargo test -q -p rootless-zone --test prop_zone --offline
