@@ -1,0 +1,127 @@
+//! Serving-runtime saturation bench — the PR-7 tentpole's numbers.
+//!
+//! Four measurements, all on the 1/8000 DITL unit (~712K queries, 512
+//! resolvers) against the default root zone:
+//!
+//! * `serve_threads/{1,2,4}` — the full pipeline (injector encoding into
+//!   recycled batches, SPSC rings, per-core shards answering through the
+//!   wire fast path with the referral/NXDOMAIN memo). Scaling across
+//!   thread counts; on this single-CPU container the counts time-slice one
+//!   core, so the 1-thread number is the honest q/s/core headline.
+//! * `serve_batch/{16,64,256}` — batch-size sensitivity at 2 threads:
+//!   smaller batches mean more ring handoffs per query.
+//! * `serve_memo_off` — the memo's contribution: every query runs the full
+//!   `AuthServer::handle_into` path instead.
+//! * `shard_direct` — one `ShardState` fed pre-encoded wires with no
+//!   injector or ring in the loop: the per-shard upper bound (pure serve
+//!   cost, zero transport).
+//!
+//! Results land in `BENCH_runtime.json`; the zero-allocation claim behind
+//! the steady-state numbers is gated in `crates/runtime/tests/alloc_serve.rs`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rootless_ditl::WorkloadConfig;
+use rootless_proto::message::Message;
+use rootless_proto::rr::RType;
+use rootless_proto::wire::Encoder;
+use rootless_runtime::shard::{NameTable, ShardState};
+use rootless_runtime::{serve, QnamePools, RuntimeConfig};
+use rootless_zone::rootzone::{self, RootZoneConfig};
+use rootless_zone::zone::Zone;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn unit() -> WorkloadConfig {
+    WorkloadConfig {
+        total_queries: 5_700_000_000 / 8_000,
+        resolvers: (4_100_000 / 8_000) as u32,
+        ..WorkloadConfig::default()
+    }
+}
+
+fn world(cfg: &WorkloadConfig) -> (Arc<Zone>, QnamePools) {
+    let zone = Arc::new(rootzone::build(&RootZoneConfig {
+        tld_count: cfg.valid_tld_count,
+        ..RootZoneConfig::default()
+    }));
+    let pools = QnamePools::build(cfg, &zone);
+    (zone, pools)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_saturation");
+    g.sample_size(10);
+    let cfg = unit();
+    let (zone, pools) = world(&cfg);
+
+    // Full pipeline at 1, 2, 4 shard threads.
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("serve_threads", threads), &threads, |b, &threads| {
+            let rt = RuntimeConfig { threads, ..RuntimeConfig::default() };
+            b.iter(|| {
+                let r = serve(black_box(&cfg), 1, &zone, &pools, &rt);
+                assert_eq!(r.served, r.injected);
+                black_box(r.served)
+            })
+        });
+    }
+
+    // Batch-size sensitivity at 2 threads.
+    for batch_frames in [16usize, 64, 256] {
+        g.bench_with_input(
+            BenchmarkId::new("serve_batch", batch_frames),
+            &batch_frames,
+            |b, &batch_frames| {
+                let rt = RuntimeConfig { threads: 2, batch_frames, ..RuntimeConfig::default() };
+                b.iter(|| {
+                    let r = serve(black_box(&cfg), 1, &zone, &pools, &rt);
+                    black_box(r.served)
+                })
+            },
+        );
+    }
+
+    // The memo's contribution: full handle_into on every query.
+    g.bench_function("serve_memo_off", |b| {
+        let rt = RuntimeConfig { threads: 1, memo: false, ..RuntimeConfig::default() };
+        b.iter(|| {
+            let r = serve(black_box(&cfg), 1, &zone, &pools, &rt);
+            black_box(r.served)
+        })
+    });
+
+    // Per-shard upper bound: no injector, no rings — pre-encoded wires
+    // straight into one shard's serve_frame. One iteration = one pass over
+    // every pool name (valid TLDs + bogus), warm so the memo answers.
+    g.bench_function("shard_direct", |b| {
+        let table = Arc::new(NameTable::build(&pools.tlds, &pools.bogus));
+        let rt = RuntimeConfig::default();
+        let mut state = ShardState::new(Arc::clone(&zone), table, 0, &rt);
+        let mut enc = Encoder::new();
+        let wires: Vec<Vec<u8>> = pools
+            .tlds
+            .iter()
+            .chain(pools.bogus.iter())
+            .enumerate()
+            .map(|(i, name)| {
+                let msg = Message::query(i as u16, name.clone(), RType::A);
+                msg.encode_into(&mut enc);
+                enc.wire().to_vec()
+            })
+            .collect();
+        for (i, wire) in wires.iter().enumerate() {
+            state.serve_frame(0, i as u32, wire); // warm: populate the memo
+        }
+        b.iter(|| {
+            for (i, wire) in wires.iter().enumerate() {
+                state.serve_frame(0, i as u32, black_box(wire));
+            }
+            black_box(wires.len())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -15,7 +15,7 @@ use std::collections::{HashMap, HashSet};
 use crate::trace::{Query, QueryName, Trace, WINDOWS_PER_DAY};
 
 /// The output table of the traffic study.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TrafficReport {
     /// Total queries observed.
     pub total: u64,
@@ -106,6 +106,78 @@ pub fn classify_queries(queries: &[Query]) -> TrafficReport {
     classify_stream(queries.iter().copied())
 }
 
+/// Incremental form of the classifier: feed queries one at a time with
+/// [`Classifier::observe`], then [`Classifier::finish`] into the report.
+///
+/// This is what lets the serving runtime classify *while serving* — each
+/// per-core shard owns one `Classifier` and observes queries as they come
+/// off its ring, instead of making a second pass over the stream. State is
+/// O(distinct resolvers + distinct (resolver, TLD) pairs) for the queries
+/// observed, so shards bounded to a resolver range keep it bounded too.
+#[derive(Debug, Default)]
+pub struct Classifier {
+    report: TrafficReport,
+    resolvers: HashSet<u32>,
+    resolvers_with_valid: HashSet<u32>,
+    /// (resolver, tld) → seen
+    pair_seen: HashSet<(u32, u32)>,
+    /// (resolver, tld) → bitmap over 96 windows
+    window_seen: HashMap<(u32, u32), [u64; 2]>,
+    tld_resolver_seen: HashSet<(u32, u32)>,
+}
+
+impl Classifier {
+    /// Fresh classifier state.
+    pub fn new() -> Classifier {
+        debug_assert!(WINDOWS_PER_DAY as usize <= 128);
+        Classifier::default()
+    }
+
+    /// Accounts one query.
+    pub fn observe(&mut self, q: &Query) {
+        self.report.total += 1;
+        self.resolvers.insert(q.resolver);
+        match q.name {
+            QueryName::BogusTld(_) => {
+                self.report.bogus_queries += 1;
+            }
+            QueryName::ValidTld(tld) => {
+                self.resolvers_with_valid.insert(q.resolver);
+                *self.report.per_tld_queries.entry(tld).or_insert(0) += 1;
+                if self.tld_resolver_seen.insert((tld, q.resolver)) {
+                    *self.report.per_tld_resolvers.entry(tld).or_insert(0) += 1;
+                }
+                let key = (q.resolver, tld);
+                if self.pair_seen.insert(key) {
+                    self.report.valid_ideal += 1;
+                } else {
+                    self.report.repeats_ideal += 1;
+                }
+                let w = q.window() as usize;
+                let bitmap = self.window_seen.entry(key).or_insert([0, 0]);
+                let (word, bit) = (w / 64, w % 64);
+                if bitmap[word] & (1 << bit) == 0 {
+                    bitmap[word] |= 1 << bit;
+                    self.report.valid_window += 1;
+                } else {
+                    self.report.repeats_window += 1;
+                }
+            }
+        }
+    }
+
+    /// Resolves the distinct-resolver tallies and returns the report.
+    pub fn finish(mut self) -> TrafficReport {
+        self.report.distinct_resolvers = self.resolvers.len() as u64;
+        self.report.bogus_only_resolvers = self
+            .resolvers
+            .iter()
+            .filter(|r| !self.resolvers_with_valid.contains(r))
+            .count() as u64;
+        self.report
+    }
+}
+
 /// Runs the classifier over a query stream without materializing it.
 ///
 /// State is O(distinct resolvers + distinct (resolver, TLD) pairs) for the
@@ -115,53 +187,11 @@ pub fn classify_queries(queries: &[Query]) -> TrafficReport {
 /// [`TrafficReport::merge`]: per-shard state stays bounded by the unit
 /// population no matter how many billions of queries flow through.
 pub fn classify_stream<I: IntoIterator<Item = Query>>(queries: I) -> TrafficReport {
-    let mut report = TrafficReport::default();
-
-    let mut resolvers: HashSet<u32> = HashSet::new();
-    let mut resolvers_with_valid: HashSet<u32> = HashSet::new();
-    // (resolver, tld) → seen
-    let mut pair_seen: HashSet<(u32, u32)> = HashSet::new();
-    // (resolver, tld) → bitmap over 96 windows
-    let mut window_seen: HashMap<(u32, u32), [u64; 2]> = HashMap::new();
-    let mut tld_resolver_seen: HashSet<(u32, u32)> = HashSet::new();
-
-    debug_assert!(WINDOWS_PER_DAY as usize <= 128);
+    let mut c = Classifier::new();
     for q in queries {
-        let q = &q;
-        report.total += 1;
-        resolvers.insert(q.resolver);
-        match q.name {
-            QueryName::BogusTld(_) => {
-                report.bogus_queries += 1;
-            }
-            QueryName::ValidTld(tld) => {
-                resolvers_with_valid.insert(q.resolver);
-                *report.per_tld_queries.entry(tld).or_insert(0) += 1;
-                if tld_resolver_seen.insert((tld, q.resolver)) {
-                    *report.per_tld_resolvers.entry(tld).or_insert(0) += 1;
-                }
-                let key = (q.resolver, tld);
-                if pair_seen.insert(key) {
-                    report.valid_ideal += 1;
-                } else {
-                    report.repeats_ideal += 1;
-                }
-                let w = q.window() as usize;
-                let bitmap = window_seen.entry(key).or_insert([0, 0]);
-                let (word, bit) = (w / 64, w % 64);
-                if bitmap[word] & (1 << bit) == 0 {
-                    bitmap[word] |= 1 << bit;
-                    report.valid_window += 1;
-                } else {
-                    report.repeats_window += 1;
-                }
-            }
-        }
+        c.observe(&q);
     }
-    report.distinct_resolvers = resolvers.len() as u64;
-    report.bogus_only_resolvers =
-        resolvers.iter().filter(|r| !resolvers_with_valid.contains(r)).count() as u64;
-    report
+    c.finish()
 }
 
 /// Formats the report as the paper's §2.2 narrative table.

@@ -43,5 +43,6 @@ pub mod scenarios;
 pub mod security;
 pub mod sizes;
 pub mod sweep;
+pub mod throughput;
 pub mod traffic;
 pub mod ttl_stability;

@@ -1,7 +1,7 @@
 //! The `experiments` binary: regenerates every figure, table and claim.
 //!
 //! Usage:
-//!   experiments [all|fig1|fig2|traffic|sizes|cache|extract|dist|ttl|llc|perf|robust|sec|priv] [--fast] [--jobs N] [--scale K] [--shards N]
+//!   experiments [all|fig1|fig2|traffic|sizes|cache|extract|dist|ttl|llc|perf|robust|sec|priv] [--fast] [--jobs N] [--scale K] [--shards N] [--runtime-threads N]
 //!
 //! `--fast` shrinks the workloads for a quick smoke pass; the default runs
 //! paper-comparable scales (a few minutes total).
@@ -19,6 +19,13 @@
 //! which is the cross-scale determinism gate. `--shards N` overrides the
 //! stream shard count (default: one shard per replica, at least the
 //! experiment's instance count); the merged report is shard-invariant.
+//!
+//! `--runtime-threads N` routes traffic and rootload through the
+//! thread-per-core serving runtime (`rootless-runtime`): encoded queries
+//! ride SPSC rings into N per-core shards answering through the wire fast
+//! path. `N = 0` means auto (same capped detection as `--jobs 0`). Stdout
+//! is byte-identical to the default path at any N — the tier-1 gates
+//! compare them — and only stderr shows which engine ran.
 
 use rootless_experiments as exp;
 
@@ -28,6 +35,7 @@ fn main() {
     let mut jobs_arg: Option<usize> = None;
     let mut scale_arg: Option<u64> = None;
     let mut shards_arg: Option<usize> = None;
+    let mut runtime_arg: Option<usize> = None;
     let mut which: Vec<&str> = Vec::new();
     let mut it = args.iter();
     let flag = |name: &'static str| {
@@ -70,6 +78,15 @@ fn main() {
             shards_arg = Some(flag("--shards")(Some(&v.to_string())).max(1) as usize);
             continue;
         }
+        if a == "--runtime-threads" {
+            runtime_arg = Some(flag("--runtime-threads (0 = auto)")(it.next()) as usize);
+            continue;
+        }
+        if let Some(v) = a.strip_prefix("--runtime-threads=") {
+            runtime_arg =
+                Some(flag("--runtime-threads (0 = auto)")(Some(&v.to_string())) as usize);
+            continue;
+        }
         which.push(a.as_str());
     }
     // --fast without an explicit --jobs still exercises the parallel
@@ -106,14 +123,28 @@ fn main() {
             jobs,
             ..exp::traffic::TrafficScale::new(unit_divisor, scale)
         };
-        let r = exp::traffic::run(&ts);
+        let r = match runtime_arg {
+            Some(threads) => {
+                let r = exp::traffic::run_served(&ts, threads);
+                eprintln!("TRAFFIC engine: serving runtime, {} threads", r.scale.shards);
+                r
+            }
+            None => exp::traffic::run(&ts),
+        };
         println!("{}", exp::traffic::render(&r));
         eprint!("{}", exp::traffic::render_throughput(&r));
         ran += 1;
     }
     if wants("rootload") {
         let (unit_divisor, instances) = if fast { (20_000, 2) } else { (2_000, 4) };
-        let r = exp::root_load::run(unit_divisor, scale, shards(instances), jobs);
+        let r = match runtime_arg {
+            Some(threads) => {
+                let r = exp::root_load::run_served(unit_divisor, scale, threads);
+                eprintln!("ROOTLOAD engine: serving runtime, {} threads", r.instances);
+                r
+            }
+            None => exp::root_load::run(unit_divisor, scale, shards(instances), jobs),
+        };
         println!("{}", exp::root_load::render(&r));
         eprint!("{}", exp::root_load::render_throughput(&r));
         ran += 1;
@@ -187,7 +218,7 @@ fn main() {
     }
     if ran == 0 {
         eprintln!(
-            "unknown experiment; choose from: all fig1 fig2 traffic rootload sizes cache extract dist ttl llc perf anycast robust sec priv (plus --fast, --jobs N, --scale K, --shards N)"
+            "unknown experiment; choose from: all fig1 fig2 traffic rootload sizes cache extract dist ttl llc perf anycast robust sec priv (plus --fast, --jobs N, --scale K, --shards N, --runtime-threads N)"
         );
         std::process::exit(2);
     }

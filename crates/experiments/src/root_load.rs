@@ -18,11 +18,14 @@ use rootless_obs::metrics::{Registry, Snapshot};
 use rootless_proto::message::Message;
 use rootless_proto::name::Name;
 use rootless_proto::rr::RType;
+use rootless_runtime::{serve, QnamePools, RuntimeConfig};
 use rootless_server::auth::AuthServer;
 use rootless_zone::rootzone::{self, RootZoneConfig};
+use rootless_zone::zone::Zone;
 
 use crate::report::{render_rows, within, Row};
 use crate::sweep;
+use crate::throughput;
 
 /// Experiment output.
 pub struct RootLoadReport {
@@ -38,6 +41,41 @@ pub struct RootLoadReport {
     pub qps_per_instance: f64,
     /// Aggregate wall-clock queries/second across all shards.
     pub aggregate_qps: f64,
+    /// Wall-clock seconds the replay took (stderr only).
+    pub elapsed: f64,
+}
+
+/// Builds the calibrated workload unit and its root zone (shared by the
+/// sweep path and the serving-runtime path so they cannot drift).
+fn workload_and_zone(unit_divisor: u64) -> (WorkloadConfig, Arc<Zone>) {
+    let config = WorkloadConfig {
+        total_queries: 5_700_000_000 / unit_divisor,
+        resolvers: (4_100_000 / unit_divisor) as u32,
+        ..WorkloadConfig::default()
+    };
+    let zone = Arc::new(rootzone::build(&RootZoneConfig {
+        tld_count: config.valid_tld_count,
+        ..RootZoneConfig::default()
+    }));
+    (config, zone)
+}
+
+/// Folds merged `auth.*` counters plus timing into the report shape both
+/// run paths share.
+fn report_from(snap: &Snapshot, instances: usize, elapsed: f64) -> RootLoadReport {
+    let served = snap.counter("auth.queries");
+    let nxdomain = snap.counter("auth.nxdomain");
+    let referrals = snap.counter("auth.referrals");
+    let aggregate_qps = throughput::aggregate_qps(served, elapsed);
+    RootLoadReport {
+        served,
+        nxdomain_fraction: nxdomain as f64 / served as f64,
+        referral_fraction: referrals as f64 / served as f64,
+        instances,
+        qps_per_instance: aggregate_qps / instances as f64,
+        aggregate_qps,
+        elapsed,
+    }
 }
 
 /// Replays `replicas` copies of the 1/`unit_divisor` DITL unit through
@@ -50,15 +88,7 @@ pub struct RootLoadReport {
 /// are bit-identical at any `replicas` (unit replication); only
 /// [`render_throughput`] (stderr) carries wall-clock numbers.
 pub fn run(unit_divisor: u64, replicas: u64, instances: usize, jobs: usize) -> RootLoadReport {
-    let config = WorkloadConfig {
-        total_queries: 5_700_000_000 / unit_divisor,
-        resolvers: (4_100_000 / unit_divisor) as u32,
-        ..WorkloadConfig::default()
-    };
-    let zone = Arc::new(rootzone::build(&RootZoneConfig {
-        tld_count: config.valid_tld_count,
-        ..RootZoneConfig::default()
-    }));
+    let (config, zone) = workload_and_zone(unit_divisor);
     // Build the qname pools once and share them across sweep tasks: `Name`
     // is itself Arc-backed, so an `Arc<[Name]>` clone per shard shares one
     // table instead of re-parsing ~2K names per instance.
@@ -94,17 +124,23 @@ pub fn run(unit_divisor: u64, replicas: u64, instances: usize, jobs: usize) -> R
     for s in &shard_snaps {
         snap.merge(s);
     }
-    let served = snap.counter("auth.queries");
-    let nxdomain = snap.counter("auth.nxdomain");
-    let referrals = snap.counter("auth.referrals");
-    RootLoadReport {
-        served,
-        nxdomain_fraction: nxdomain as f64 / served as f64,
-        referral_fraction: referrals as f64 / served as f64,
-        instances,
-        qps_per_instance: served as f64 / elapsed / instances as f64,
-        aggregate_qps: served as f64 / elapsed,
-    }
+    report_from(&snap, instances, elapsed)
+}
+
+/// Replays the same workload through the thread-per-core serving runtime
+/// (`--runtime-threads`): encoded queries ride SPSC rings into per-core
+/// shards that answer through the wire fast path with the referral/NXDOMAIN
+/// memo in front. The deterministic report ([`render`]) is byte-identical
+/// to [`run`]'s — the runtime's counters equal the simulation path's, gated
+/// in `crates/runtime/tests/determinism.rs` and in `scripts/tier1.sh`'s
+/// end-to-end comparison. `threads == 0` means auto; `instances` in the
+/// returned report is the resolved shard count.
+pub fn run_served(unit_divisor: u64, replicas: u64, threads: usize) -> RootLoadReport {
+    let (config, zone) = workload_and_zone(unit_divisor);
+    let pools = QnamePools::build(&config, &zone);
+    let rt = RuntimeConfig { threads, ..RuntimeConfig::default() };
+    let r = serve(&config, replicas, &zone, &pools, &rt);
+    report_from(&r.snapshot, r.threads, r.elapsed)
 }
 
 /// Renders the deterministic server-side table. Everything here is a pure
@@ -149,9 +185,11 @@ pub fn render_throughput(r: &RootLoadReport) -> String {
         r.qps_per_instance > 460.0,
     )];
     let mut out = render_rows("ROOTLOAD throughput (wall clock, stderr only)", &rows);
-    out.push_str(&format!(
-        "  {:.0} q/s aggregate across {} instance shards\n",
-        r.aggregate_qps, r.instances
+    out.push_str(&throughput::aggregate_line(
+        "ROOTLOAD",
+        r.served,
+        r.elapsed,
+        &format!("{} instance shards", r.instances),
     ));
     out
 }
@@ -178,6 +216,17 @@ mod tests {
         let serial = render(&run(100_000, 1, 1, 1));
         for (instances, jobs) in [(2, 1), (4, 1), (4, 3)] {
             assert_eq!(serial, render(&run(100_000, 1, instances, jobs)));
+        }
+    }
+
+    #[test]
+    fn serving_runtime_report_is_byte_identical_to_the_sweep_path() {
+        // The --runtime-threads path serves through the wire fast path with
+        // the memo in front; its deterministic report must not differ by a
+        // byte from the sweep path's, at any thread count.
+        let swept = render(&run(20_000, 1, 2, 1));
+        for threads in [1, 2, 4] {
+            assert_eq!(swept, render(&run_served(20_000, 1, threads)), "threads={threads}");
         }
     }
 

@@ -30,10 +30,12 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Worker threads to use when the user passes `--jobs 0` ("auto"): the
-/// machine's available parallelism, capped so a sweep never oversubscribes
-/// small task matrices.
+/// machine's capped available parallelism. Shared with the serving
+/// runtime's `--runtime-threads 0` via
+/// [`rootless_util::parallelism::auto_parallelism`] so the two defaults
+/// cannot drift.
 pub fn auto_jobs() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    rootless_util::parallelism::auto_parallelism()
 }
 
 /// Derives an independent per-task RNG seed from a base seed and a task
@@ -116,6 +118,15 @@ mod tests {
         assert_eq!(out, vec![2, 4]);
         let none: Vec<u64> = run_tasks(&[], 4, |_, t: &u64| *t);
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn auto_jobs_is_the_shared_capped_default() {
+        // `--jobs 0` and `--runtime-threads 0` must resolve identically.
+        let auto = auto_jobs();
+        assert_eq!(auto, rootless_util::parallelism::auto_parallelism());
+        assert!(auto >= 1);
+        assert!(auto <= rootless_util::parallelism::DEFAULT_PARALLELISM_CAP);
     }
 
     #[test]

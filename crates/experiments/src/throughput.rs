@@ -1,0 +1,51 @@
+//! Shared wall-clock throughput reporting.
+//!
+//! TRAFFIC, ROOTLOAD and the serving-runtime paths all end with the same
+//! sentence — "N queries in S seconds = Q q/s aggregate" — and all of them
+//! must keep it **off stdout**: the experiment reports are pure functions
+//! of their inputs and are byte-compared across `--jobs`,
+//! `--runtime-threads` and scale values in `scripts/tier1.sh`, so anything
+//! wall-clock renders separately and the binary sends it to stderr. This
+//! module is that one sentence, written once.
+
+use rootless_util::stats::group_digits;
+
+/// Aggregate queries per second of wall clock, guarding the zero-elapsed
+/// edge (sub-millisecond fast runs) instead of returning `inf`.
+pub fn aggregate_qps(served: u64, elapsed: f64) -> f64 {
+    served as f64 / elapsed.max(1e-9)
+}
+
+/// The shared one-line summary: `{label} throughput (wall clock, stderr
+/// only): N queries in S s = Q q/s aggregate ({context})`. `context` names
+/// whatever sharding produced the number ("4 instance shards", "2 runtime
+/// threads", …) so the line stays honest about what was measured.
+pub fn aggregate_line(label: &str, served: u64, elapsed: f64, context: &str) -> String {
+    format!(
+        "{label} throughput (wall clock, stderr only): {} queries in {:.1}s = {} q/s aggregate ({context})\n",
+        group_digits(served),
+        elapsed,
+        group_digits(aggregate_qps(served, elapsed) as u64),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qps_is_served_over_elapsed() {
+        assert_eq!(aggregate_qps(1_000, 2.0), 500.0);
+        assert!(aggregate_qps(1_000, 0.0).is_finite(), "zero elapsed must not be inf");
+    }
+
+    #[test]
+    fn line_carries_label_context_and_grouped_digits() {
+        let line = aggregate_line("ROOTLOAD", 1_234_567, 2.0, "4 instance shards");
+        assert!(line.starts_with("ROOTLOAD throughput (wall clock, stderr only):"));
+        assert!(line.contains("1,234,567 queries"));
+        assert!(line.contains("617,283 q/s aggregate"));
+        assert!(line.contains("(4 instance shards)"));
+        assert!(line.ends_with('\n'));
+    }
+}

@@ -14,13 +14,18 @@
 //! absolute counts scale to the paper's numbers. Wall-clock aggregate q/s
 //! renders separately for stderr.
 
+use std::sync::Arc;
+
 use rootless_ditl::classify::{classify_stream, format_report, TrafficReport};
 use rootless_ditl::population::WorkloadConfig;
 use rootless_ditl::trace::TraceStream;
+use rootless_runtime::{serve, QnamePools, RuntimeConfig};
 use rootless_util::stats::{group_digits, pct};
+use rootless_zone::rootzone::{self, RootZoneConfig};
 
 use crate::report::{render_rows, within, Row};
 use crate::sweep;
+use crate::throughput;
 
 /// j-root instances in the DITL-2018 dataset.
 pub const JROOT_INSTANCES: u64 = 142;
@@ -82,7 +87,7 @@ pub struct TrafficExperiment {
 impl TrafficExperiment {
     /// Aggregate streamed queries per second of wall clock (stderr only).
     pub fn aggregate_qps(&self) -> f64 {
-        self.report.total as f64 / self.elapsed.max(1e-9)
+        throughput::aggregate_qps(self.report.total, self.elapsed)
     }
 }
 
@@ -108,6 +113,32 @@ pub fn run(scale: &TrafficScale) -> TrafficExperiment {
 /// Backwards-compatible single-unit entry point (tests, quick runs).
 pub fn run_at(scale_divisor: u64) -> TrafficExperiment {
     run(&TrafficScale::new(scale_divisor, 1))
+}
+
+/// Runs the study through the thread-per-core serving runtime
+/// (`--runtime-threads`): real `AuthServer`s answer every query while each
+/// shard classifies its own resolver range in-line, instead of a
+/// classify-only second pass. The merged report equals [`run`]'s — gated in
+/// `crates/runtime/tests/determinism.rs` and byte-compared end to end in
+/// `scripts/tier1.sh` — so [`render`] output is identical between the two
+/// paths. `threads == 0` means auto. In the returned scale, `shards` and
+/// `jobs` are both the resolved thread count: in this path the stream
+/// shard *is* the worker.
+pub fn run_served(scale: &TrafficScale, threads: usize) -> TrafficExperiment {
+    let config = scale.unit();
+    let zone = Arc::new(rootzone::build(&RootZoneConfig {
+        tld_count: config.valid_tld_count,
+        ..RootZoneConfig::default()
+    }));
+    let pools = QnamePools::build(&config, &zone);
+    let rt = RuntimeConfig { threads, classify: true, ..RuntimeConfig::default() };
+    let r = serve(&config, scale.replicas, &zone, &pools, &rt);
+    TrafficExperiment {
+        report: r.traffic.expect("classification was enabled"),
+        config,
+        scale: TrafficScale { shards: r.threads, jobs: r.threads, ..scale.clone() },
+        elapsed: r.elapsed,
+    }
 }
 
 /// Renders the paper-vs-measured table. Every row is scale-free: fractions
@@ -178,15 +209,16 @@ pub fn render(exp: &TrafficExperiment) -> String {
 /// sharded replay. Printed to stderr by the binary — stdout must stay a
 /// pure function of the workload inputs.
 pub fn render_throughput(exp: &TrafficExperiment) -> String {
-    format!(
-        "TRAFFIC throughput (wall clock, stderr only): streamed {} queries \
-         from {} resolvers in {:.1}s = {} q/s aggregate ({} shards, {} jobs)\n",
-        group_digits(exp.report.total),
-        group_digits(exp.report.distinct_resolvers),
+    throughput::aggregate_line(
+        "TRAFFIC",
+        exp.report.total,
         exp.elapsed,
-        group_digits(exp.aggregate_qps() as u64),
-        exp.scale.shards,
-        exp.scale.jobs,
+        &format!(
+            "{} resolvers, {} shards, {} jobs",
+            group_digits(exp.report.distinct_resolvers),
+            exp.scale.shards,
+            exp.scale.jobs,
+        ),
     )
 }
 
@@ -215,6 +247,18 @@ mod tests {
         for (shards, jobs) in [(2, 1), (3, 2), (7, 4)] {
             let alt = render(&run(&TrafficScale { shards, jobs, ..TrafficScale::new(8_000, 2) }));
             assert_eq!(base, alt, "shards={shards} jobs={jobs} diverged");
+        }
+    }
+
+    #[test]
+    fn serving_runtime_report_is_byte_identical_to_the_classifier_path() {
+        // The --runtime-threads path must not change a single stdout byte:
+        // serving through real AuthServers with in-line classification is
+        // observationally equal to the classify-only sweep.
+        let scale = TrafficScale::new(8_000, 1);
+        let classified = render(&run(&scale));
+        for threads in [1, 2] {
+            assert_eq!(classified, render(&run_served(&scale, threads)), "threads={threads}");
         }
     }
 

@@ -55,7 +55,9 @@ pub struct Name {
     hash: u64,
 }
 
-pub(crate) fn eq_ignore_case(a: &[u8], b: &[u8]) -> bool {
+/// Byte-wise ASCII-case-insensitive equality — the DNS name comparison
+/// rule, usable on raw label bytes without materializing a [`Name`].
+pub fn eq_ignore_case(a: &[u8], b: &[u8]) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.eq_ignore_ascii_case(y))
 }
 
@@ -67,8 +69,12 @@ fn cmp_ignore_case(a: &[u8], b: &[u8]) -> Ordering {
 
 /// FNV-1a over `bytes` with ASCII case folded. Length-prefix bytes are ≤ 63
 /// and therefore unaffected by the fold, so hashing the raw encoding this
-/// way is equivalent to hashing (len, lowercased label) pairs.
-pub(crate) fn folded_hash(bytes: &[u8]) -> u64 {
+/// way is equivalent to hashing (len, lowercased label) pairs. Hashing a
+/// flat qname slice taken straight off the wire (via [`Name::slice`])
+/// yields the same value as [`Name::folded_hash`] on the parsed name,
+/// which is what lets serving-side lookup tables match queries without
+/// allocating.
+pub fn folded_hash(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b.to_ascii_lowercase() as u64;
@@ -98,9 +104,13 @@ impl<'a> Iterator for LabelIter<'a> {
 }
 
 impl Name {
-    /// This name's length-prefixed encoding (no trailing root byte).
+    /// This name's length-prefixed encoding (no trailing root byte) — the
+    /// exact bytes an uncompressed wire qname carries before its
+    /// terminating zero, original case preserved. Serving-side lookup
+    /// tables compare these against raw question bytes with
+    /// [`eq_ignore_case`] / [`folded_hash`].
     #[inline]
-    pub(crate) fn slice(&self) -> &[u8] {
+    pub fn slice(&self) -> &[u8] {
         &self.buf[self.start as usize..]
     }
 

@@ -102,6 +102,13 @@ impl<'a> MessageView<'a> {
         (self.ancount, self.nscount, self.arcount)
     }
 
+    /// Declared question count (QDCOUNT). Serving fast paths that rebuild
+    /// a query from its view need this to know the first question is the
+    /// *only* one.
+    pub fn question_count(&self) -> u16 {
+        self.qdcount
+    }
+
     /// Lazily walks all records in section order. Each item is a borrowed
     /// [`RecordView`]; the first malformed record yields an `Err` and fuses
     /// the iterator.

@@ -21,7 +21,7 @@ const MAX_JUMPS: usize = 64;
 /// (length-prefixed, pointer-free) form. A slot is live iff its generation
 /// matches the dictionary's current generation, which makes clearing the
 /// table a counter bump instead of a memset.
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, Debug)]
 struct Slot {
     hash: u64,
     gen: u32,
@@ -34,6 +34,7 @@ const EMPTY_SLOT: Slot = Slot { hash: 0, gen: 0, offset: 0 };
 /// stored: equality is settled by walking the wire-format name at
 /// `slot.offset` in the output buffer (following pointers) and comparing it
 /// label-by-label against the candidate suffix.
+#[derive(Clone, Debug)]
 struct Dict {
     slots: Vec<Slot>,
     /// Live entries in the current generation.
@@ -153,7 +154,10 @@ pub(crate) fn suffix_matches_at(buf: &[u8], mut pos: usize, mut want: &[u8]) -> 
     }
 }
 
-/// Wire encoder with a compression dictionary.
+/// Wire encoder with a compression dictionary. `Clone` copies the buffer
+/// and dictionary as-is (a cloned pooled encoder starts with the same
+/// steady-state capacity).
+#[derive(Clone, Debug)]
 pub struct Encoder {
     buf: Vec<u8>,
     dict: Dict,

@@ -1,0 +1,381 @@
+//! # rootless-runtime
+//!
+//! The thread-per-core serving runtime: replaying the paper's §2.2 query
+//! torrent through real [`AuthServer`](rootless_server::auth::AuthServer)s
+//! at saturation, with the same determinism guarantees as the simulation
+//! path.
+//!
+//! ## Architecture
+//!
+//! One **injector** (the calling thread) and `N` **shards** (scoped worker
+//! threads). Each shard owns everything it touches — `AuthServer`, metrics
+//! registry, referral/NXDOMAIN memo, pooled encoder, RNG substream
+//! ([`shard::ShardState`]) — so state crosses threads only by move, never
+//! by sharing. Per shard there are two bounded SPSC rings ([`ring`]): a
+//! work ring carrying [`Batch`](batch::Batch)es of encoded queries inward,
+//! and a recycle ring carrying emptied batches back. A fixed set of batches
+//! circulates per shard, so the whole pipeline runs in constant memory and
+//! — after warm-up — zero allocations per query (gated in
+//! `tests/alloc_serve.rs`).
+//!
+//! ## Determinism
+//!
+//! The query stream is partitioned by the order-stable resolver sharding
+//! from [`TraceStream::shard`]: shard `i` of `N` serves a contiguous,
+//! disjoint resolver range, exactly as the simulation path shards its
+//! sweep tasks. Every observable is additive — `auth.*` counters, traffic
+//! classification, the id-independent response checksum — and the runtime
+//! folds per-shard results **in shard order**, so the merged
+//! [`ServeReport`] is invariant across `--runtime-threads` values and
+//! byte-identical to the single-threaded simulation path (gated in
+//! `tests/determinism.rs` and `scripts/tier1.sh`). Wall-clock numbers stay
+//! out of the deterministic surface.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod ring;
+pub mod shard;
+
+use std::sync::Arc;
+
+use rootless_ditl::classify::TrafficReport;
+use rootless_ditl::population::{bogus_labels, WorkloadConfig};
+use rootless_ditl::trace::{QueryName, TraceStream};
+use rootless_obs::metrics::Snapshot;
+use rootless_proto::message::Message;
+use rootless_proto::name::Name;
+use rootless_proto::rr::RType;
+use rootless_proto::wire::Encoder;
+use rootless_zone::zone::Zone;
+
+use batch::Batch;
+use ring::{Consumer, Full, Producer};
+use shard::{NameTable, ShardOutcome, ShardState};
+
+/// Tuning knobs for a [`serve`] run. `Default` is the configuration the
+/// experiments binary uses.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Shard threads. `0` means auto: the capped available parallelism
+    /// from [`rootless_util::parallelism::auto_parallelism`].
+    pub threads: usize,
+    /// Queries per batch (the injector's encode granularity and the
+    /// shard's drain granularity).
+    pub batch_frames: usize,
+    /// Batches in flight per shard (work-ring depth; the recycle ring is
+    /// one deeper so returning a batch can never block).
+    pub ring_depth: usize,
+    /// Run the §2.2 traffic classifier on each shard while serving.
+    pub classify: bool,
+    /// Enable the per-shard referral/NXDOMAIN memo.
+    pub memo: bool,
+    /// Memo capacity; `0` means auto-size to the qname pools so steady
+    /// state never evicts.
+    pub memo_capacity: usize,
+    /// Base seed; shard `i` gets splitmix64 substream `i`.
+    pub seed: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            threads: 0,
+            batch_frames: 128,
+            ring_depth: 4,
+            classify: false,
+            memo: true,
+            memo_capacity: 0,
+            seed: 0,
+        }
+    }
+}
+
+/// Resolves a `--runtime-threads` value: `0` means the machine's capped
+/// available parallelism (shared with the sweep executor's `--jobs 0`).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        rootless_util::parallelism::auto_parallelism()
+    } else {
+        threads
+    }
+}
+
+/// The interned qname pools a workload queries from: the zone's TLDs (by
+/// [`QueryName::ValidTld`] index) and the bogus-label pool (by
+/// [`QueryName::BogusTld`] index, modulo pool size — mirroring the
+/// simulation path's indexing exactly).
+#[derive(Clone, Debug)]
+pub struct QnamePools {
+    /// Valid TLD names, in zone order (index = `ValidTld` index).
+    pub tlds: Arc<[Name]>,
+    /// Bogus labels, in pool order.
+    pub bogus: Arc<[Name]>,
+}
+
+impl QnamePools {
+    /// Builds the pools for a workload against its zone: `zone.tlds()`
+    /// must cover `cfg.valid_tld_count` (the zone is normally built with
+    /// exactly that TLD count).
+    pub fn build(cfg: &WorkloadConfig, zone: &Zone) -> QnamePools {
+        let tlds: Arc<[Name]> = zone.tlds().into();
+        let bogus: Arc<[Name]> = bogus_labels(cfg.bogus_label_count, cfg.seed)
+            .iter()
+            .map(|l| Name::parse(l).expect("bogus labels are valid names"))
+            .collect::<Vec<Name>>()
+            .into();
+        QnamePools { tlds, bogus }
+    }
+}
+
+/// The merged outcome of a [`serve`] run. Everything except `elapsed` is a
+/// pure function of `(workload, replicas, zone)` — invariant across thread
+/// counts, batch sizes, ring depths, and memo on/off.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Shard threads actually used.
+    pub threads: usize,
+    /// Queries injected into the rings.
+    pub injected: u64,
+    /// Queries served (responses encoded) across all shards.
+    pub served: u64,
+    /// Response bytes encoded across all shards.
+    pub bytes_out: u64,
+    /// Memo hits across all shards.
+    pub memo_hits: u64,
+    /// Slow-path (owning-decode) queries across all shards.
+    pub slow_path: u64,
+    /// Unparseable frames across all shards.
+    pub parse_errors: u64,
+    /// XOR-folded id-independent response checksum (see
+    /// [`shard::ShardOutcome::resp_xor`]).
+    pub resp_xor: u64,
+    /// `auth.*` counters folded in shard order.
+    pub snapshot: Snapshot,
+    /// Traffic classification folded in shard order, when enabled.
+    pub traffic: Option<TrafficReport>,
+    /// Wall-clock seconds (stderr-only by convention; never part of the
+    /// deterministic surface).
+    pub elapsed: f64,
+}
+
+/// Replays `replicas` copies of the workload unit through `cfg.threads`
+/// shards, each serving its contiguous resolver range of the stream, and
+/// folds the per-shard outcomes in shard order.
+///
+/// The injector runs on the calling thread: it round-robins the shard
+/// streams, encoding queries into recycled batches and handing them over
+/// non-blocking — a shard that is busy never stalls the others. Shards
+/// exit when their stream's producer hangs up and their ring drains.
+pub fn serve(
+    workload: &WorkloadConfig,
+    replicas: u64,
+    zone: &Arc<Zone>,
+    pools: &QnamePools,
+    cfg: &RuntimeConfig,
+) -> ServeReport {
+    let threads = resolve_threads(cfg.threads).max(1);
+    let table = Arc::new(NameTable::build(&pools.tlds, &pools.bogus));
+    let batch_frames = cfg.batch_frames.max(1);
+    let ring_depth = cfg.ring_depth.max(1);
+    let start = std::time::Instant::now();
+
+    let mut injected = 0u64;
+    let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+        let mut producers: Vec<Option<Producer<Batch>>> = Vec::with_capacity(threads);
+        let mut recycles: Vec<Consumer<Batch>> = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let (work_tx, mut work_rx) = ring::ring::<Batch>(ring_depth);
+            let (mut recycle_tx, recycle_rx) = ring::ring::<Batch>(ring_depth + 1);
+            for _ in 0..ring_depth {
+                let pushed = recycle_tx.try_push(Batch::with_capacity(batch_frames));
+                assert!(pushed.is_ok(), "preload fits the recycle ring");
+            }
+            producers.push(Some(work_tx));
+            recycles.push(recycle_rx);
+            let zone = Arc::clone(zone);
+            let table = Arc::clone(&table);
+            handles.push(scope.spawn(move || {
+                let mut state = ShardState::new(zone, table, i as u64, cfg);
+                while let Some(batch) = work_rx.pop() {
+                    for frame in batch.iter() {
+                        state.serve_frame(frame.time, frame.resolver, frame.wire);
+                    }
+                    let mut batch = batch;
+                    batch.clear();
+                    // Full only after the injector hung up; drop then.
+                    let _ = recycle_tx.try_push(batch);
+                }
+                state.finish()
+            }));
+        }
+
+        // The injector: encode each shard's stream into recycled batches.
+        let mut streams: Vec<Option<TraceStream>> = (0..threads as u64)
+            .map(|i| Some(TraceStream::shard(workload, replicas, threads as u64, i)))
+            .collect();
+        let mut ready: Vec<Option<Batch>> = (0..threads).map(|_| None).collect();
+        let mut seqs = vec![0u16; threads];
+        let mut enc = Encoder::new();
+        let mut qmsg = Message::query(0, Name::root(), RType::A);
+        loop {
+            let mut open = 0usize;
+            let mut progress = false;
+            for i in 0..threads {
+                let Some(producer) = producers[i].as_mut() else { continue };
+                open += 1;
+                // Flush a filled batch first; if the work ring is full,
+                // leave it parked and move on to other shards.
+                if let Some(b) = ready[i].take() {
+                    match producer.try_push(b) {
+                        Ok(()) => progress = true,
+                        Err(Full(b)) => {
+                            ready[i] = Some(b);
+                            continue;
+                        }
+                    }
+                }
+                let Some(stream) = streams[i].as_mut() else {
+                    // Stream exhausted and last batch flushed: hang up so
+                    // the shard drains and exits.
+                    producers[i] = None;
+                    progress = true;
+                    continue;
+                };
+                let Some(mut batch) = recycles[i].try_pop() else { continue };
+                let mut exhausted = false;
+                while batch.len() < batch_frames {
+                    let Some(q) = stream.next() else {
+                        exhausted = true;
+                        break;
+                    };
+                    let qname = match q.name {
+                        QueryName::ValidTld(t) => pools.tlds[t as usize].clone(),
+                        QueryName::BogusTld(b) => pools.bogus[b as usize % pools.bogus.len()].clone(),
+                    };
+                    // Same id sequence as the simulation path: the running
+                    // query index within the shard's stream, as u16.
+                    qmsg.header.id = seqs[i];
+                    seqs[i] = seqs[i].wrapping_add(1);
+                    qmsg.questions[0].qname = qname;
+                    qmsg.encode_into(&mut enc);
+                    batch.push(q.time, q.resolver, enc.wire());
+                    injected += 1;
+                }
+                if exhausted {
+                    streams[i] = None;
+                }
+                if batch.is_empty() {
+                    drop(batch); // stream ended exactly on a batch boundary
+                } else {
+                    ready[i] = Some(batch);
+                }
+                progress = true;
+            }
+            if open == 0 {
+                break;
+            }
+            if !progress {
+                std::thread::yield_now();
+            }
+        }
+        drop(recycles);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect()
+    });
+
+    let elapsed = start.elapsed().as_secs_f64();
+    let mut report = ServeReport {
+        threads,
+        injected,
+        served: 0,
+        bytes_out: 0,
+        memo_hits: 0,
+        slow_path: 0,
+        parse_errors: 0,
+        resp_xor: 0,
+        snapshot: Snapshot::default(),
+        traffic: cfg.classify.then(TrafficReport::default),
+        elapsed,
+    };
+    for o in &outcomes {
+        report.served += o.served;
+        report.bytes_out += o.bytes_out;
+        report.memo_hits += o.memo_hits;
+        report.slow_path += o.slow_path;
+        report.parse_errors += o.parse_errors;
+        report.resp_xor ^= o.resp_xor;
+        report.snapshot.merge(&o.snapshot);
+        if let (Some(total), Some(shard)) = (&mut report.traffic, &o.traffic) {
+            total.merge(shard);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rootless_zone::rootzone::{self, RootZoneConfig};
+
+    fn tiny_workload() -> WorkloadConfig {
+        WorkloadConfig {
+            total_queries: 20_000,
+            resolvers: 40,
+            valid_tld_count: 50,
+            bogus_label_count: 60,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    fn zone_for(cfg: &WorkloadConfig) -> Arc<Zone> {
+        Arc::new(rootzone::build(&RootZoneConfig {
+            tld_count: cfg.valid_tld_count,
+            ..RootZoneConfig::default()
+        }))
+    }
+
+    #[test]
+    fn serve_accounts_for_every_injected_query() {
+        let w = tiny_workload();
+        let zone = zone_for(&w);
+        let pools = QnamePools::build(&w, &zone);
+        let rt = RuntimeConfig { threads: 2, ..RuntimeConfig::default() };
+        let r = serve(&w, 1, &zone, &pools, &rt);
+        assert_eq!(r.threads, 2);
+        assert!(r.injected > 10_000);
+        assert_eq!(r.served, r.injected);
+        assert_eq!(r.parse_errors, 0);
+        assert_eq!(r.slow_path, 0, "the whole workload must take the fast path");
+        assert_eq!(r.snapshot.counter("auth.queries"), r.served);
+        assert!(r.bytes_out > r.served * 12);
+        assert!(r.memo_hits > 0);
+    }
+
+    #[test]
+    fn resolve_threads_zero_is_auto() {
+        assert_eq!(resolve_threads(0), rootless_util::parallelism::auto_parallelism());
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn extreme_ring_and_batch_shapes_still_account_exactly() {
+        let w = WorkloadConfig { total_queries: 3_000, resolvers: 7, ..tiny_workload() };
+        let zone = zone_for(&w);
+        let pools = QnamePools::build(&w, &zone);
+        // batch_frames 1 / ring_depth 1 maximizes handoffs; threads beyond
+        // the resolver count leaves some shards with empty streams.
+        let rt = RuntimeConfig {
+            threads: 16,
+            batch_frames: 1,
+            ring_depth: 1,
+            ..RuntimeConfig::default()
+        };
+        let r = serve(&w, 1, &zone, &pools, &rt);
+        assert_eq!(r.served, r.injected);
+        assert_eq!(r.snapshot.counter("auth.queries"), r.served);
+    }
+}

@@ -1,0 +1,296 @@
+//! Bounded single-producer/single-consumer rings.
+//!
+//! The serving runtime moves batches of encoded queries from one injector
+//! thread to N shard threads, and recycled (emptied) batches back. Each
+//! direction of each shard link is one of these rings: a fixed power-of-two
+//! slot buffer, a producer-owned tail, a consumer-owned head, and two
+//! liveness flags so either side can observe the other hanging up.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **SPSC by construction.** [`ring`] returns one [`Producer`] and one
+//!    [`Consumer`]; neither is `Clone`, and the mutating operations take
+//!    `&mut self`, so exclusivity is enforced by the type system rather
+//!    than by runtime locking. The only synchronization on the hot path is
+//!    one Acquire load and one Release store per operation.
+//! 2. **Bounded.** The ring never grows: a full ring pushes back on the
+//!    producer ([`Producer::try_push`] hands the value back), which is what
+//!    keeps the whole pipeline's memory constant regardless of how far the
+//!    injector runs ahead of a shard.
+//! 3. **Clean shutdown.** Dropping the producer closes the ring: the
+//!    consumer drains what remains and then sees end-of-stream
+//!    ([`Consumer::pop`] returns `None`). Dropping the consumer makes
+//!    further pushes fail instead of spinning forever. Values still queued
+//!    when both sides are gone are dropped with the shared buffer.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Error returned by [`Producer::try_push`] on a full ring: hands the
+/// rejected value back to the caller.
+#[derive(Debug)]
+pub struct Full<T>(pub T);
+
+struct Shared<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot to write (owned by the producer; consumer Acquire-loads).
+    tail: AtomicUsize,
+    /// Next slot to read (owned by the consumer; producer Acquire-loads).
+    head: AtomicUsize,
+    producer_alive: AtomicBool,
+    consumer_alive: AtomicBool,
+}
+
+// SAFETY: the slot buffer is only touched through the single Producer
+// (writes at tail) and single Consumer (reads at head), and every slot
+// index passes through a Release store / Acquire load pair before the
+// other side touches it, so the `UnsafeCell` accesses never race.
+unsafe impl<T: Send> Sync for Shared<T> {}
+unsafe impl<T: Send> Send for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Sole owner at this point: drain whatever was still queued.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        for i in head..tail {
+            // SAFETY: slots in [head, tail) were initialized by the
+            // producer and never consumed.
+            unsafe { self.slots[i & self.mask].get_mut().assume_init_drop() };
+        }
+    }
+}
+
+/// Creates a ring with at least `capacity` slots (rounded up to a power of
+/// two, minimum 1) and returns its two endpoints.
+pub fn ring<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(1).next_power_of_two();
+    let slots = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let shared = Arc::new(Shared {
+        slots,
+        mask: cap - 1,
+        tail: AtomicUsize::new(0),
+        head: AtomicUsize::new(0),
+        producer_alive: AtomicBool::new(true),
+        consumer_alive: AtomicBool::new(true),
+    });
+    (Producer { shared: Arc::clone(&shared) }, Consumer { shared })
+}
+
+/// Brief spin, then yield: the shards and the injector share cores on
+/// small machines (this container exposes one), so burning a timeslice
+/// spinning would *create* the latency it is waiting out.
+fn backoff(spins: &mut u32) {
+    if *spins < 8 {
+        std::hint::spin_loop();
+        *spins += 1;
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// The write side of a ring. Not `Clone` — single producer by type.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T: Send> Producer<T> {
+    /// Attempts to enqueue without blocking. On a full ring the value comes
+    /// back in [`Full`].
+    pub fn try_push(&mut self, value: T) -> Result<(), Full<T>> {
+        let tail = self.shared.tail.load(Ordering::Relaxed); // own counter
+        let head = self.shared.head.load(Ordering::Acquire);
+        if tail - head > self.shared.mask {
+            return Err(Full(value));
+        }
+        // SAFETY: slot `tail` is unoccupied (checked above) and only this
+        // producer writes slots.
+        unsafe {
+            (*self.shared.slots[tail & self.shared.mask].get()).write(value);
+        }
+        self.shared.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Enqueues, waiting for space. Fails (returning the value) only if the
+    /// consumer is gone, so a crashed shard cannot wedge the injector.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let mut value = value;
+        let mut spins = 0;
+        loop {
+            match self.try_push(value) {
+                Ok(()) => return Ok(()),
+                Err(Full(back)) => {
+                    if !self.shared.consumer_alive.load(Ordering::Acquire) {
+                        return Err(back);
+                    }
+                    value = back;
+                    backoff(&mut spins);
+                }
+            }
+        }
+    }
+
+    /// Whether the consumer endpoint still exists.
+    pub fn consumer_alive(&self) -> bool {
+        self.shared.consumer_alive.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.shared.producer_alive.store(false, Ordering::Release);
+    }
+}
+
+/// The read side of a ring. Not `Clone` — single consumer by type.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T: Send> Consumer<T> {
+    /// Attempts to dequeue without blocking. `None` means "empty right
+    /// now", not end-of-stream; see [`Consumer::pop`] for the distinction.
+    pub fn try_pop(&mut self) -> Option<T> {
+        let head = self.shared.head.load(Ordering::Relaxed); // own counter
+        let tail = self.shared.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: slot `head` was initialized by the producer (tail is past
+        // it, Acquire-observed) and only this consumer reads slots.
+        let value = unsafe { (*self.shared.slots[head & self.shared.mask].get()).assume_init_read() };
+        self.shared.head.store(head + 1, Ordering::Release);
+        Some(value)
+    }
+
+    /// Dequeues, waiting for data. Returns `None` only after the producer
+    /// has hung up *and* the ring is drained — the end-of-stream signal the
+    /// shard loop terminates on.
+    pub fn pop(&mut self) -> Option<T> {
+        let mut spins = 0;
+        loop {
+            if let Some(v) = self.try_pop() {
+                return Some(v);
+            }
+            if !self.shared.producer_alive.load(Ordering::Acquire) {
+                // The producer may have pushed between our failed try_pop
+                // and the liveness check; one more look settles it.
+                return self.try_pop();
+            }
+            backoff(&mut spins);
+        }
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        self.shared.consumer_alive.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let (mut tx, mut rx) = ring::<u32>(4);
+        for i in 0..4 {
+            tx.try_push(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+        assert!(rx.try_pop().is_none());
+    }
+
+    #[test]
+    fn full_ring_hands_value_back() {
+        let (mut tx, mut rx) = ring::<u32>(2);
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        let Full(v) = tx.try_push(3).unwrap_err();
+        assert_eq!(v, 3);
+        assert_eq!(rx.try_pop(), Some(1));
+        tx.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (mut tx, _rx) = ring::<u8>(3);
+        for i in 0..4 {
+            tx.try_push(i).unwrap(); // 3 rounds up to 4 slots
+        }
+        assert!(tx.try_push(9).is_err());
+    }
+
+    #[test]
+    fn dropped_producer_signals_end_of_stream_after_drain() {
+        let (mut tx, mut rx) = ring::<u32>(4);
+        tx.try_push(7).unwrap();
+        tx.try_push(8).unwrap();
+        drop(tx);
+        assert_eq!(rx.pop(), Some(7));
+        assert_eq!(rx.pop(), Some(8));
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn dropped_consumer_fails_blocking_push() {
+        let (mut tx, rx) = ring::<u32>(1);
+        tx.try_push(1).unwrap();
+        drop(rx);
+        assert_eq!(tx.push(2), Err(2));
+        assert!(!tx.consumer_alive());
+    }
+
+    #[test]
+    fn queued_values_drop_with_the_ring() {
+        // A drop-counting payload proves Shared::drop drains leftovers.
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut tx, rx) = ring::<D>(4);
+        tx.try_push(D).unwrap();
+        tx.try_push(D).unwrap();
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn cross_thread_stress_delivers_everything_in_order() {
+        const N: u64 = 100_000;
+        let (mut tx, mut rx) = ring::<u64>(8);
+        let consumer = std::thread::spawn(move || {
+            let mut expect = 0u64;
+            let mut sum = 0u64;
+            while let Some(v) = rx.pop() {
+                assert_eq!(v, expect, "out-of-order delivery");
+                expect += 1;
+                sum += v;
+            }
+            (expect, sum)
+        });
+        for i in 0..N {
+            tx.push(i).unwrap();
+        }
+        drop(tx);
+        let (count, sum) = consumer.join().unwrap();
+        assert_eq!(count, N);
+        assert_eq!(sum, N * (N - 1) / 2);
+    }
+}

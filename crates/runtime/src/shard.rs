@@ -1,0 +1,609 @@
+//! Per-core shard state: one `AuthServer`, one referral/NXDOMAIN memo, one
+//! pooled encoder, one RNG substream — everything a shard thread owns.
+//!
+//! A shard consumes [`Frame`](crate::batch::Frame)s (encoded queries) and
+//! runs the full serving path: wire parse → qname intern → real
+//! [`AuthServer::handle_into`] → wire encode. The hot path is engineered to
+//! be allocation-free at steady state (gated by `tests/alloc_serve.rs`):
+//!
+//! * [`MessageView`] parses the query without materializing records.
+//! * [`NameTable`] maps the raw wire qname to an interned [`Name`] from the
+//!   workload's TLD/bogus pools (clone = refcount bump), so rebuilding the
+//!   query `Message` touches no heap.
+//! * The response `Message`, the output [`Encoder`], and the server's own
+//!   length-check encoder are all pooled and reach steady-state capacity
+//!   after warm-up.
+//! * The referral/NXDOMAIN **memo** (a [`Cache`] in LRU mode, sized to the
+//!   qname pools so it never evicts) short-circuits repeat queries: a root
+//!   server's responses for a fixed zone serial are a pure function of the
+//!   question, so the memo replays the exact records — byte-identical
+//!   output, same `auth.*` counter movement — without re-walking the zone.
+//!
+//! Determinism: per-shard counters are additive and the runtime folds
+//! snapshots in shard order, so every observable total is invariant across
+//! shard counts, memo on/off, and batch sizes.
+
+use std::sync::Arc;
+
+use rootless_ditl::classify::{Classifier, TrafficReport};
+use rootless_ditl::trace::{Query, QueryName};
+use rootless_obs::metrics::{Registry, Snapshot};
+use rootless_proto::message::{Header, Message, Opcode, Rcode};
+use rootless_proto::name::{eq_ignore_case, folded_hash, Name};
+use rootless_proto::rr::{RClass, RType, Record};
+use rootless_proto::view::MessageView;
+use rootless_proto::wire::Encoder;
+use rootless_resolver::cache::{Cache, CacheAnswer, Eviction};
+use rootless_server::auth::{AuthObs, AuthServer};
+use rootless_util::rng::{substream_seed, DetRng};
+use rootless_util::time::{SimTime, NANOS_PER_SEC};
+use rootless_zone::zone::Zone;
+
+use crate::RuntimeConfig;
+
+/// Open-addressed intern table from raw wire qnames to the workload's
+/// pooled [`Name`]s and their [`QueryName`] classification.
+///
+/// Keys are compared in the zone's canonical form: the hash is
+/// [`folded_hash`] (case-folded FNV over label bytes — identical for a
+/// wire-format slice and [`Name::folded_hash`]), and equality is
+/// [`eq_ignore_case`] against [`Name::slice`]. Lookup takes the qname
+/// exactly as it sits in the packet (length-prefixed labels, no trailing
+/// root byte) and allocates nothing.
+#[derive(Debug)]
+pub struct NameTable {
+    /// (hash, entry index + 1); index 0 marks an empty slot.
+    slots: Vec<(u64, u32)>,
+    mask: usize,
+    entries: Vec<(Name, QueryName)>,
+}
+
+impl NameTable {
+    /// Builds the table over the valid-TLD pool (index ↦
+    /// [`QueryName::ValidTld`]) and the bogus-label pool (index ↦
+    /// [`QueryName::BogusTld`]). Valid TLDs win a (never-expected)
+    /// name collision between the pools.
+    pub fn build(tlds: &[Name], bogus: &[Name]) -> NameTable {
+        let n = tlds.len() + bogus.len();
+        let cap = (n * 2).max(8).next_power_of_two();
+        let mut table = NameTable {
+            slots: vec![(0, 0); cap],
+            mask: cap - 1,
+            entries: Vec::with_capacity(n),
+        };
+        for (i, name) in tlds.iter().enumerate() {
+            table.insert(name.clone(), QueryName::ValidTld(i as u32));
+        }
+        for (i, name) in bogus.iter().enumerate() {
+            table.insert(name.clone(), QueryName::BogusTld(i as u32));
+        }
+        table
+    }
+
+    fn insert(&mut self, name: Name, kind: QueryName) {
+        if self.lookup(name.slice()).is_some() {
+            return; // first insertion wins
+        }
+        let h = name.folded_hash();
+        let mut pos = (h as usize) & self.mask;
+        loop {
+            if self.slots[pos].1 == 0 {
+                self.entries.push((name, kind));
+                self.slots[pos] = (h, self.entries.len() as u32);
+                return;
+            }
+            pos = (pos + 1) & self.mask;
+        }
+    }
+
+    /// Looks up a wire-format qname (length-prefixed labels, no trailing
+    /// root byte). Case-insensitive; no allocation.
+    pub fn lookup(&self, flat: &[u8]) -> Option<(&Name, QueryName)> {
+        let h = folded_hash(flat);
+        let mut pos = (h as usize) & self.mask;
+        loop {
+            let (slot_hash, idx) = self.slots[pos];
+            if idx == 0 {
+                return None;
+            }
+            if slot_hash == h {
+                let (name, kind) = &self.entries[idx as usize - 1];
+                if eq_ignore_case(name.slice(), flat) {
+                    return Some((name, *kind));
+                }
+            }
+            pos = (pos + 1) & self.mask;
+        }
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Extracts the first qname from an encoded message as the flat slice
+/// [`NameTable::lookup`] wants: the label bytes starting right after the
+/// 12-byte header, without the terminating root byte. Returns `None` on a
+/// compression pointer or malformed length — callers fall back to the
+/// owning decoder.
+pub fn flat_qname(wire: &[u8]) -> Option<&[u8]> {
+    let mut pos = 12usize;
+    loop {
+        let &len = wire.get(pos)?;
+        if len == 0 {
+            return Some(&wire[12..pos]);
+        }
+        if len & 0xC0 != 0 {
+            return None; // compression pointer (never in our injector's queries)
+        }
+        pos += 1 + len as usize;
+    }
+}
+
+/// FNV-1a over a byte slice; used for the order-independent response
+/// checksum ([`ShardOutcome::resp_xor`]).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// What a shard hands back when its stream ends; the runtime folds these
+/// in shard order.
+#[derive(Debug)]
+pub struct ShardOutcome {
+    /// The shard's metrics registry snapshot (`auth.*` counters).
+    pub snapshot: Snapshot,
+    /// The shard's traffic classification, when classification was on.
+    pub traffic: Option<TrafficReport>,
+    /// Queries served (responses encoded).
+    pub served: u64,
+    /// Response bytes encoded.
+    pub bytes_out: u64,
+    /// Queries answered from the referral/NXDOMAIN memo.
+    pub memo_hits: u64,
+    /// Queries that fell off the zero-alloc fast path (unknown qname,
+    /// EDNS, non-query opcode, …) into the owning decoder.
+    pub slow_path: u64,
+    /// Frames that failed to parse at all (dropped, no response).
+    pub parse_errors: u64,
+    /// XOR-fold of an id-independent FNV-1a hash of every response's wire
+    /// bytes. XOR is commutative, and the hash skips the 2-byte id (the
+    /// only partition-dependent bytes), so this checksum is invariant
+    /// across shard counts, batch sizes, and memo on/off — a byte-level
+    /// determinism witness stronger than the counters.
+    pub resp_xor: u64,
+}
+
+/// All the state one shard thread owns. Crosses threads only by move
+/// (gated by `tests/send_audit.rs`); nothing in here is shared mutably.
+pub struct ShardState {
+    server: AuthServer,
+    registry: Arc<Registry>,
+    obs: AuthObs,
+    table: Arc<NameTable>,
+    memo: Option<Cache>,
+    /// Root SOA records for memoized NXDOMAIN rebuilds (same set, same
+    /// order as the server's `attach_soa`).
+    soa: Vec<Record>,
+    neg_ttl: u32,
+    /// Pooled output encoder: every response encodes into this buffer.
+    enc: Encoder,
+    /// Scratch query rebuilt from each frame without allocating.
+    query: Message,
+    /// Pooled response message; section vectors keep their capacity.
+    resp: Message,
+    /// The shard's own splitmix64-derived RNG substream. Serving is
+    /// deterministic and does not consume it; it is reserved for
+    /// shard-local randomized behaviors (e.g. jittered load shedding) so
+    /// they can never entangle shards.
+    pub rng: DetRng,
+    classifier: Option<Classifier>,
+    served: u64,
+    bytes_out: u64,
+    memo_hits: u64,
+    slow_path: u64,
+    parse_errors: u64,
+    resp_xor: u64,
+}
+
+impl ShardState {
+    /// Builds shard `index`'s state: its own registry + `AuthServer` over
+    /// the shared zone, its own memo (when enabled; capacity 0 means
+    /// "auto": double the intern table, so steady state never evicts), and
+    /// its own RNG substream of `cfg.seed`.
+    pub fn new(zone: Arc<Zone>, table: Arc<NameTable>, index: u64, cfg: &RuntimeConfig) -> ShardState {
+        let registry = Registry::new();
+        let mut server = AuthServer::new_shared(Arc::clone(&zone));
+        server.dnssec_enabled = false;
+        server.attach_obs(&registry);
+        let obs = AuthObs::new(&registry);
+        let soa = zone
+            .get(zone.origin(), RType::SOA)
+            .map(|set| set.records())
+            .unwrap_or_default();
+        let neg_ttl = zone.soa().map(|soa| soa.minimum).unwrap_or(3_600);
+        let memo = cfg.memo.then(|| {
+            let capacity = if cfg.memo_capacity == 0 {
+                (table.len() * 2).max(1_024)
+            } else {
+                cfg.memo_capacity
+            };
+            Cache::new(capacity, Eviction::Lru)
+        });
+        ShardState {
+            server,
+            registry,
+            obs,
+            table,
+            memo,
+            soa,
+            neg_ttl,
+            enc: Encoder::new(),
+            query: Message::query(0, Name::root(), RType::A),
+            resp: Message::default(),
+            rng: DetRng::seed_from_u64(substream_seed(cfg.seed, index)),
+            classifier: cfg.classify.then(Classifier::new),
+            served: 0,
+            bytes_out: 0,
+            memo_hits: 0,
+            slow_path: 0,
+            parse_errors: 0,
+            resp_xor: 0,
+        }
+    }
+
+    /// Serves one frame end to end: parse, classify, answer, encode.
+    ///
+    /// The fast path (plain single-question query, empty record sections,
+    /// qname interned) rebuilds the query into the pooled scratch message
+    /// and allocates nothing. Anything else takes the owning decoder — the
+    /// same semantics, one allocation-paying detour, counted in
+    /// [`ShardOutcome::slow_path`].
+    pub fn serve_frame(&mut self, time: u32, resolver: u32, wire: &[u8]) {
+        let Ok(view) = MessageView::parse(wire) else {
+            self.parse_errors += 1;
+            return;
+        };
+        let header = *view.header();
+        let (an, ns, ar) = view.record_counts();
+        let fast = header.opcode == Opcode::Query
+            && !header.response
+            && view.question_count() == 1
+            && an == 0
+            && ns == 0
+            && ar == 0;
+        // Clone the interned Name (refcount bump) to end the table borrow.
+        let interned = if fast {
+            flat_qname(wire)
+                .and_then(|flat| self.table.lookup(flat))
+                .map(|(name, kind)| (name.clone(), kind))
+        } else {
+            None
+        };
+        match interned {
+            Some((name, kind)) => {
+                let q = view.question().expect("QDCOUNT == 1 was parsed");
+                self.query.header = header;
+                self.query.questions[0].qname = name;
+                self.query.questions[0].qtype = q.qtype;
+                self.query.questions[0].qclass = q.qclass;
+                self.query.edns = None; // ARCOUNT == 0 ⇒ no OPT present
+                if let Some(c) = &mut self.classifier {
+                    c.observe(&Query { time, resolver, name: kind });
+                }
+                self.dispatch(time, kind);
+            }
+            None => {
+                // Off the fast path: full owning decode, same server
+                // semantics. Not classified — the classifier's input is
+                // the workload's (resolver, TLD-index) schema, which an
+                // arbitrary foreign qname does not map onto.
+                self.slow_path += 1;
+                match view.to_owned() {
+                    Ok(owned) => {
+                        self.server.handle_into(&owned, &mut self.resp);
+                        self.finish_response();
+                    }
+                    Err(_) => self.parse_errors += 1,
+                }
+            }
+        }
+    }
+
+    /// Answers the rebuilt scratch query, through the memo when eligible.
+    ///
+    /// Memo eligibility is deliberately narrow — plain A/IN query, no
+    /// EDNS, single-label qname (so the qname *is* the delegation cut or
+    /// the denied name, making the cache key exact) — which is precisely
+    /// the shape of the DITL workload's torrent.
+    fn dispatch(&mut self, time: u32, kind: QueryName) {
+        let question = &self.query.questions[0];
+        let memo_eligible = self.memo.is_some()
+            && question.qtype == RType::A
+            && question.qclass == RClass::IN
+            && self.query.edns.is_none()
+            && question.qname.label_count() == 1;
+        if !memo_eligible {
+            self.server.handle_into(&self.query, &mut self.resp);
+            self.finish_response();
+            return;
+        }
+        let now = SimTime(time as u64 * NANOS_PER_SEC);
+        let name = self.query.questions[0].qname.clone();
+        match kind {
+            QueryName::ValidTld(_) => {
+                let hit = self.memo.as_mut().expect("eligible").get(now, &name, RType::NS);
+                if let Some(CacheAnswer::Positive(records)) = hit {
+                    self.replay_referral(&records);
+                } else {
+                    self.handle_and_memo(now, name, kind);
+                }
+            }
+            QueryName::BogusTld(_) => {
+                let hit = self.memo.as_mut().expect("eligible").get(now, &name, RType::A);
+                if let Some(CacheAnswer::Negative) = hit {
+                    self.replay_nxdomain();
+                } else {
+                    self.handle_and_memo(now, name, kind);
+                }
+            }
+        }
+    }
+
+    /// Miss path: run the real server, then memoize the response when it
+    /// has the canonical shape. Only non-truncated responses are stored
+    /// (a stage-2 truncated response carries state — the TC bit and its
+    /// counter — that a replay must re-derive, so those stay unmemoized;
+    /// responses that merely shed glue in stage 1 are stored post-shed and
+    /// replay byte-identically).
+    fn handle_and_memo(&mut self, now: SimTime, name: Name, kind: QueryName) {
+        self.server.handle_into(&self.query, &mut self.resp);
+        if !self.resp.header.truncated {
+            match kind {
+                QueryName::ValidTld(_) => {
+                    let referral_shape = self.resp.header.rcode == Rcode::NoError
+                        && !self.resp.header.authoritative
+                        && self.resp.answers.is_empty()
+                        && !self.resp.authorities.is_empty()
+                        && self.resp.authorities.iter().all(|r| r.rtype() == RType::NS)
+                        && self.resp.authorities[0].name == name;
+                    if referral_shape {
+                        // Key = (tld, NS): the cache keys on records[0].
+                        let mut records = Vec::with_capacity(
+                            self.resp.authorities.len() + self.resp.additionals.len(),
+                        );
+                        records.extend(self.resp.authorities.iter().cloned());
+                        records.extend(self.resp.additionals.iter().cloned());
+                        if let Some(m) = &mut self.memo {
+                            m.insert(now, records);
+                        }
+                    }
+                }
+                QueryName::BogusTld(_) => {
+                    if self.resp.header.rcode == Rcode::NxDomain {
+                        let neg_ttl = self.neg_ttl;
+                        if let Some(m) = &mut self.memo {
+                            m.insert_negative(now, &name, RType::A, neg_ttl);
+                        }
+                    }
+                }
+            }
+        }
+        self.finish_response();
+    }
+
+    /// Memo hit, valid TLD: rebuild the referral from the stored records.
+    /// Byte-identical to the server's own referral (the records are the
+    /// server's post-truncation-stage-1 output; only the question section
+    /// differs per query and it is rebuilt from the live query), and the
+    /// `auth.*` counters move exactly as the miss path would move them —
+    /// the memo is observationally transparent.
+    fn replay_referral(&mut self, records: &[Record]) {
+        self.memo_hits += 1;
+        self.obs.queries.inc();
+        self.obs.referrals.inc();
+        self.rebuild_skeleton(Rcode::NoError, false);
+        for r in records {
+            if r.rtype() == RType::NS {
+                self.resp.authorities.push(r.clone());
+            } else {
+                self.resp.additionals.push(r.clone());
+            }
+        }
+        self.finish_response();
+    }
+
+    /// Memo hit, bogus TLD: rebuild the authoritative NXDOMAIN (AA set,
+    /// SOA in authority — the same records `attach_soa` appends).
+    fn replay_nxdomain(&mut self) {
+        self.memo_hits += 1;
+        self.obs.queries.inc();
+        self.obs.nxdomain.inc();
+        self.rebuild_skeleton(Rcode::NxDomain, true);
+        for r in &self.soa {
+            self.resp.authorities.push(r.clone());
+        }
+        self.finish_response();
+    }
+
+    /// Resets the pooled response to the same skeleton the server's own
+    /// reset builds: query identity carried over, sections emptied with
+    /// capacity kept, EDNS cleared (memoized responses are EDNS-free by
+    /// eligibility).
+    fn rebuild_skeleton(&mut self, rcode: Rcode, authoritative: bool) {
+        self.resp.header = Header {
+            id: self.query.header.id,
+            response: true,
+            opcode: self.query.header.opcode,
+            recursion_desired: self.query.header.recursion_desired,
+            authoritative,
+            rcode,
+            ..Header::default()
+        };
+        self.resp.questions.clone_from(&self.query.questions);
+        self.resp.answers.clear();
+        self.resp.authorities.clear();
+        self.resp.additionals.clear();
+        self.resp.edns = None;
+    }
+
+    /// Encodes the pooled response and folds it into the shard tallies.
+    fn finish_response(&mut self) {
+        self.resp.encode_into(&mut self.enc);
+        self.served += 1;
+        let wire = self.enc.wire();
+        self.bytes_out += wire.len() as u64;
+        // Skip the 2-byte id: it is assigned per shard stream and is the
+        // only partition-dependent part of the response bytes.
+        self.resp_xor ^= fnv1a(&wire[2..]);
+    }
+
+    /// Consumes the shard into its outcome (snapshot taken here, traffic
+    /// report finished here).
+    pub fn finish(self) -> ShardOutcome {
+        ShardOutcome {
+            snapshot: self.registry.snapshot(),
+            traffic: self.classifier.map(Classifier::finish),
+            served: self.served,
+            bytes_out: self.bytes_out,
+            memo_hits: self.memo_hits,
+            slow_path: self.slow_path,
+            parse_errors: self.parse_errors,
+            resp_xor: self.resp_xor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rootless_zone::rootzone::{self, RootZoneConfig};
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn name_table_interns_and_classifies() {
+        let tlds = vec![n("com"), n("org")];
+        let bogus = vec![n("local"), n("belkin")];
+        let t = NameTable::build(&tlds, &bogus);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        let (name, kind) = t.lookup(n("ORG").slice()).expect("case-folded hit");
+        assert_eq!(*name, n("org"));
+        assert_eq!(kind, QueryName::ValidTld(1));
+        let (_, kind) = t.lookup(n("belkin").slice()).unwrap();
+        assert_eq!(kind, QueryName::BogusTld(1));
+        assert!(t.lookup(n("nope").slice()).is_none());
+    }
+
+    #[test]
+    fn flat_qname_scans_uncompressed_names_only() {
+        let msg = Message::query(7, n("www.example.com"), RType::A);
+        let wire = msg.encode();
+        let flat = flat_qname(&wire).expect("plain qname");
+        assert_eq!(flat, n("www.example.com").slice());
+        // A pointer byte where a label length should be → None.
+        let mut compressed = wire.clone();
+        compressed[12] = 0xC0;
+        assert!(flat_qname(&compressed).is_none());
+    }
+
+    #[test]
+    fn served_frame_response_matches_direct_server() {
+        let zone = Arc::new(rootzone::build(&RootZoneConfig::small(30)));
+        let tlds = zone.tlds();
+        let table = Arc::new(NameTable::build(&tlds, &[n("bogus-zzz")]));
+        let cfg = RuntimeConfig::default();
+        let mut shard = ShardState::new(Arc::clone(&zone), table, 0, &cfg);
+
+        let mut reference = AuthServer::new_shared(Arc::clone(&zone));
+        reference.dnssec_enabled = false;
+
+        for (id, qname) in [(0u16, tlds[0].clone()), (1, n("bogus-zzz")), (2, tlds[0].clone())] {
+            let query = Message::query(id, qname, RType::A);
+            let expected = reference.handle(&query).encode();
+            shard.serve_frame(0, 0, &query.encode());
+            assert_eq!(shard.enc.wire(), &expected[..], "response bytes diverge at id {id}");
+        }
+        let outcome = shard.finish();
+        assert_eq!(outcome.served, 3);
+        assert_eq!(outcome.memo_hits, 1, "third query repeats the first → memo hit");
+        assert_eq!(outcome.slow_path, 0);
+        assert_eq!(outcome.snapshot.counter("auth.queries"), 3);
+        assert_eq!(outcome.snapshot.counter("auth.referrals"), 2);
+        assert_eq!(outcome.snapshot.counter("auth.nxdomain"), 1);
+    }
+
+    #[test]
+    fn foreign_query_takes_slow_path_with_same_semantics() {
+        let zone = Arc::new(rootzone::build(&RootZoneConfig::small(10)));
+        let tlds = zone.tlds();
+        let table = Arc::new(NameTable::build(&tlds, &[]));
+        let cfg = RuntimeConfig::default();
+        let mut shard = ShardState::new(Arc::clone(&zone), table, 0, &cfg);
+
+        // A child qname under a real TLD is not in the intern table.
+        let qname = tlds[0].child("www").unwrap();
+        let query = Message::query(9, qname, RType::A);
+        let mut reference = AuthServer::new_shared(zone);
+        reference.dnssec_enabled = false;
+        let expected = reference.handle(&query).encode();
+        shard.serve_frame(0, 0, &query.encode());
+        assert_eq!(shard.enc.wire(), &expected[..]);
+        let outcome = shard.finish();
+        assert_eq!(outcome.slow_path, 1);
+        assert_eq!(outcome.snapshot.counter("auth.referrals"), 1);
+    }
+
+    #[test]
+    fn garbage_frame_counts_as_parse_error() {
+        let zone = Arc::new(rootzone::build(&RootZoneConfig::small(5)));
+        let table = Arc::new(NameTable::build(&zone.tlds(), &[]));
+        let cfg = RuntimeConfig::default();
+        let mut shard = ShardState::new(zone, table, 0, &cfg);
+        shard.serve_frame(0, 0, &[0xFF, 0x01]);
+        let outcome = shard.finish();
+        assert_eq!(outcome.parse_errors, 1);
+        assert_eq!(outcome.served, 0);
+    }
+
+    #[test]
+    fn memo_off_serves_identical_bytes_and_counters() {
+        let zone = Arc::new(rootzone::build(&RootZoneConfig::small(20)));
+        let tlds = zone.tlds();
+        let bogus = vec![n("junk-aaa"), n("junk-bbb")];
+        let table = Arc::new(NameTable::build(&tlds, &bogus));
+        let on = RuntimeConfig::default();
+        let off = RuntimeConfig { memo: false, ..RuntimeConfig::default() };
+        let mut with_memo = ShardState::new(Arc::clone(&zone), Arc::clone(&table), 0, &on);
+        let mut without = ShardState::new(zone, table, 0, &off);
+        let mut id = 0u16;
+        for _ in 0..3 {
+            for qname in tlds.iter().take(5).cloned().chain(bogus.iter().cloned()) {
+                let wire = Message::query(id, qname, RType::A).encode();
+                with_memo.serve_frame(0, 0, &wire);
+                without.serve_frame(0, 0, &wire);
+                id += 1;
+            }
+        }
+        let (a, b) = (with_memo.finish(), without.finish());
+        assert!(a.memo_hits > 0);
+        assert_eq!(b.memo_hits, 0);
+        assert_eq!(a.resp_xor, b.resp_xor, "memo must be byte-transparent");
+        for c in ["auth.queries", "auth.referrals", "auth.nxdomain", "auth.truncated"] {
+            assert_eq!(a.snapshot.counter(c), b.snapshot.counter(c), "{c} diverged");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Steady-state allocation gate for the serving hot path: after warm-up, a
+//! shard serving the workload's qname pools must not touch the heap at all
+//! — with the referral/NXDOMAIN memo on *or* off.
+//!
+//! Same thread-local counting-allocator idiom as
+//! `crates/proto/tests/alloc_free.rs`: the claim is about *this code path*,
+//! and a process-global counter also picks up libtest's harness threads,
+//! which made zero-allocation assertions flake under load.
+//!
+//! Warm-up does real work the steady state then never repeats: first pass
+//! populates the memo, the server's per-TLD stat maps, and the response
+//! section capacities; second pass lets every pooled buffer (encoder
+//! output, compression dict, scratch messages) reach its high-water mark.
+//! The measured third pass replays the exact same wires.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+use rootless_proto::message::Message;
+use rootless_proto::name::Name;
+use rootless_proto::rr::RType;
+use rootless_proto::wire::Encoder;
+use rootless_runtime::shard::{NameTable, ShardState};
+use rootless_runtime::RuntimeConfig;
+use rootless_zone::rootzone::{self, RootZoneConfig};
+use rootless_zone::zone::Zone;
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn count_one() {
+    // try_with: TLS may be unavailable during thread teardown; those
+    // allocations belong to no measured window anyway.
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_one();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+/// Pre-encodes one query wire per pool name (valid TLDs and bogus labels
+/// interleaved), so the measured loop replays fixed bytes.
+fn query_wires(zone: &Zone, bogus: &[Name]) -> Vec<Vec<u8>> {
+    let mut enc = Encoder::new();
+    let mut wires = Vec::new();
+    for (i, name) in zone.tlds().iter().chain(bogus.iter()).enumerate() {
+        let msg = Message::query(i as u16, name.clone(), RType::A);
+        msg.encode_into(&mut enc);
+        wires.push(enc.wire().to_vec());
+    }
+    wires
+}
+
+fn gate_zero_alloc_steady_state(memo: bool) {
+    let zone = Arc::new(rootzone::build(&RootZoneConfig::small(40)));
+    let bogus: Vec<Name> =
+        (0..50).map(|i| Name::parse(&format!("zz-bogus-{i}")).unwrap()).collect();
+    let table = Arc::new(NameTable::build(&zone.tlds(), &bogus));
+    let cfg = RuntimeConfig { memo, ..RuntimeConfig::default() };
+    let mut state = ShardState::new(Arc::clone(&zone), table, 0, &cfg);
+    let wires = query_wires(&zone, &bogus);
+
+    // Warm-up: two full passes (see module docs).
+    for _ in 0..2 {
+        for (i, wire) in wires.iter().enumerate() {
+            state.serve_frame(0, i as u32, wire);
+        }
+    }
+
+    // Steady state: not one heap allocation across three more full passes.
+    let before = allocs();
+    for _ in 0..3 {
+        for (i, wire) in wires.iter().enumerate() {
+            state.serve_frame(0, i as u32, wire);
+        }
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "steady-state serve must not allocate (memo={memo})"
+    );
+
+    let outcome = state.finish();
+    assert_eq!(outcome.served, wires.len() as u64 * 5);
+    assert_eq!(outcome.parse_errors, 0);
+    assert_eq!(outcome.slow_path, 0, "pool queries must all take the fast path");
+    if memo {
+        // Passes 2..5 hit the memo for every query.
+        assert_eq!(outcome.memo_hits, wires.len() as u64 * 4);
+    } else {
+        assert_eq!(outcome.memo_hits, 0);
+    }
+}
+
+#[test]
+fn steady_state_serve_allocates_nothing_with_memo() {
+    gate_zero_alloc_steady_state(true);
+}
+
+#[test]
+fn steady_state_serve_allocates_nothing_without_memo() {
+    gate_zero_alloc_steady_state(false);
+}

@@ -1,0 +1,184 @@
+//! Determinism gates: the runtime's merged observables must be *equal to
+//! the simulation path's* — not merely self-consistent — and invariant
+//! across every tuning knob (thread count, batch size, ring depth, memo).
+//!
+//! The reference is the exact loop the ROOTLOAD experiment runs: one
+//! `AuthServer` per shard fed by `TraceStream::shard`, counters in a
+//! metrics registry, classification by `classify_stream`. If the runtime
+//! ever diverges from that — a dropped query, a double-count, a response
+//! byte out of place — these tests (and the byte-equality loops in
+//! `scripts/tier1.sh`) catch it.
+
+use std::sync::Arc;
+
+use rootless_ditl::classify::{classify_stream, TrafficReport};
+use rootless_ditl::population::WorkloadConfig;
+use rootless_ditl::trace::{QueryName, TraceStream};
+use rootless_obs::metrics::{Registry, Snapshot};
+use rootless_proto::message::Message;
+use rootless_proto::rr::RType;
+use rootless_runtime::{serve, QnamePools, RuntimeConfig, ServeReport};
+use rootless_server::auth::AuthServer;
+use rootless_zone::rootzone::{self, RootZoneConfig};
+use rootless_zone::zone::Zone;
+
+/// Every counter the authoritative server exports.
+const AUTH_COUNTERS: &[&str] = &[
+    "auth.queries",
+    "auth.answers",
+    "auth.referrals",
+    "auth.nxdomain",
+    "auth.nodata",
+    "auth.refused",
+    "auth.truncated",
+];
+
+fn workload() -> WorkloadConfig {
+    WorkloadConfig {
+        total_queries: 30_000,
+        resolvers: 60,
+        valid_tld_count: 50,
+        bogus_label_count: 70,
+        ..WorkloadConfig::default()
+    }
+}
+
+fn zone_for(cfg: &WorkloadConfig) -> Arc<Zone> {
+    Arc::new(rootzone::build(&RootZoneConfig {
+        tld_count: cfg.valid_tld_count,
+        ..RootZoneConfig::default()
+    }))
+}
+
+/// The simulation path, verbatim from the ROOTLOAD experiment: serve the
+/// stream through a plain `AuthServer` loop, classify it separately.
+fn sim_reference(w: &WorkloadConfig, replicas: u64, zone: &Arc<Zone>) -> (Snapshot, TrafficReport) {
+    let pools = QnamePools::build(w, zone);
+    let registry = Registry::new();
+    let mut server = AuthServer::new_shared(Arc::clone(zone));
+    server.dnssec_enabled = false;
+    server.attach_obs(&registry);
+    for (i, q) in TraceStream::shard(w, replicas, 1, 0).enumerate() {
+        let qname = match q.name {
+            QueryName::ValidTld(t) => pools.tlds[t as usize].clone(),
+            QueryName::BogusTld(b) => pools.bogus[b as usize % pools.bogus.len()].clone(),
+        };
+        let msg = Message::query(i as u16, qname, RType::A);
+        let _resp = server.handle(&msg);
+    }
+    let traffic = classify_stream(TraceStream::shard(w, replicas, 1, 0));
+    (registry.snapshot(), traffic)
+}
+
+fn run(w: &WorkloadConfig, zone: &Arc<Zone>, pools: &QnamePools, rt: &RuntimeConfig) -> ServeReport {
+    serve(w, 1, zone, pools, rt)
+}
+
+#[test]
+fn runtime_counters_match_the_simulation_path() {
+    let w = workload();
+    let zone = zone_for(&w);
+    let pools = QnamePools::build(&w, &zone);
+    let (sim_snap, sim_traffic) = sim_reference(&w, 1, &zone);
+
+    let rt = RuntimeConfig { threads: 2, classify: true, ..RuntimeConfig::default() };
+    let r = run(&w, &zone, &pools, &rt);
+
+    for name in AUTH_COUNTERS {
+        assert_eq!(
+            r.snapshot.counter(name),
+            sim_snap.counter(name),
+            "runtime and simulation disagree on {name}"
+        );
+    }
+    assert_eq!(r.served, sim_snap.counter("auth.queries"));
+    assert_eq!(
+        r.traffic.as_ref().expect("classify was on"),
+        &sim_traffic,
+        "while-serving classification must equal the stream classifier"
+    );
+}
+
+#[test]
+fn report_is_invariant_across_thread_counts() {
+    let w = workload();
+    let zone = zone_for(&w);
+    let pools = QnamePools::build(&w, &zone);
+    let base = run(
+        &w,
+        &zone,
+        &pools,
+        &RuntimeConfig { threads: 1, classify: true, ..RuntimeConfig::default() },
+    );
+    for threads in [2, 4] {
+        let r = run(
+            &w,
+            &zone,
+            &pools,
+            &RuntimeConfig { threads, classify: true, ..RuntimeConfig::default() },
+        );
+        assert_eq!(r.threads, threads);
+        assert_eq!(r.served, base.served, "served diverges at {threads} threads");
+        assert_eq!(r.bytes_out, base.bytes_out, "bytes_out diverges at {threads} threads");
+        assert_eq!(r.resp_xor, base.resp_xor, "response bytes diverge at {threads} threads");
+        for name in AUTH_COUNTERS {
+            assert_eq!(r.snapshot.counter(name), base.snapshot.counter(name), "{name}");
+        }
+        assert_eq!(r.traffic, base.traffic, "classification diverges at {threads} threads");
+    }
+}
+
+#[test]
+fn report_is_invariant_across_memo_and_batch_shape() {
+    let w = workload();
+    let zone = zone_for(&w);
+    let pools = QnamePools::build(&w, &zone);
+    let base = run(
+        &w,
+        &zone,
+        &pools,
+        &RuntimeConfig { threads: 2, ..RuntimeConfig::default() },
+    );
+    assert!(base.memo_hits > 0, "memo must engage on a repeat-heavy workload");
+
+    // Memo off: same bytes, same counters, just slower.
+    let no_memo = run(
+        &w,
+        &zone,
+        &pools,
+        &RuntimeConfig { threads: 2, memo: false, ..RuntimeConfig::default() },
+    );
+    assert_eq!(no_memo.memo_hits, 0);
+    assert_eq!(no_memo.resp_xor, base.resp_xor, "memo must be byte-transparent");
+    assert_eq!(no_memo.bytes_out, base.bytes_out);
+    for name in AUTH_COUNTERS {
+        assert_eq!(no_memo.snapshot.counter(name), base.snapshot.counter(name), "{name}");
+    }
+
+    // Batch/ring shape: transport granularity must be unobservable.
+    for (batch_frames, ring_depth) in [(1, 1), (512, 2)] {
+        let r = run(
+            &w,
+            &zone,
+            &pools,
+            &RuntimeConfig { threads: 2, batch_frames, ring_depth, ..RuntimeConfig::default() },
+        );
+        assert_eq!(r.resp_xor, base.resp_xor, "batch {batch_frames}/depth {ring_depth}");
+        assert_eq!(r.served, base.served);
+        assert_eq!(r.bytes_out, base.bytes_out);
+    }
+}
+
+#[test]
+fn replication_scales_every_counter_exactly() {
+    let w = workload();
+    let zone = zone_for(&w);
+    let pools = QnamePools::build(&w, &zone);
+    let rt = RuntimeConfig { threads: 2, ..RuntimeConfig::default() };
+    let one = serve(&w, 1, &zone, &pools, &rt);
+    let three = serve(&w, 3, &zone, &pools, &rt);
+    assert_eq!(three.served, one.served * 3);
+    for name in AUTH_COUNTERS {
+        assert_eq!(three.snapshot.counter(name), one.snapshot.counter(name) * 3, "{name}");
+    }
+}

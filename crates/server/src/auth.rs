@@ -9,12 +9,13 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use rootless_obs::metrics::{Counter, Registry};
-use rootless_proto::message::{Message, Opcode, Rcode};
+use rootless_proto::message::{Header, Message, Opcode, Rcode};
 use rootless_proto::name::Name;
 use rootless_proto::rr::{RClass, RData, RType, Record};
+use rootless_proto::wire::Encoder;
 use rootless_dnssec::nsec;
 use rootless_dnssec::sign;
-use rootless_zone::zone::{Lookup, Zone};
+use rootless_zone::zone::{LookupRef, Zone};
 
 /// Per-server query counters.
 #[derive(Clone, Debug, Default)]
@@ -94,6 +95,12 @@ pub struct AuthServer {
     /// Counters.
     pub stats: ServerStats,
     obs: Option<AuthObs>,
+    /// Pooled encoder for response-size checks (truncation); reusing it
+    /// keeps [`AuthServer::handle_into`] allocation-free at steady state.
+    len_enc: Encoder,
+    /// Scratch for the lowercased TLD label so per-TLD accounting only
+    /// allocates the first time a TLD is seen.
+    tld_scratch: String,
 }
 
 impl AuthServer {
@@ -104,7 +111,14 @@ impl AuthServer {
 
     /// Creates a server sharing an existing zone copy (anycast fleets).
     pub fn new_shared(zone: Arc<Zone>) -> AuthServer {
-        AuthServer { zones: vec![zone], dnssec_enabled: true, stats: ServerStats::default(), obs: None }
+        AuthServer {
+            zones: vec![zone],
+            dnssec_enabled: true,
+            stats: ServerStats::default(),
+            obs: None,
+            len_enc: Encoder::new(),
+            tld_scratch: String::new(),
+        }
     }
 
     /// Mirrors this server's counters into `registry` under `auth.*`.
@@ -141,19 +155,35 @@ impl AuthServer {
         Arc::clone(&self.zones[0])
     }
 
-    /// Handles one query message, producing the response.
+    /// Handles one query message, producing the response. Convenience
+    /// wrapper over [`AuthServer::handle_into`] that allocates a fresh
+    /// response; the serving runtime reuses one response message instead.
     pub fn handle(&mut self, query: &Message) -> Message {
+        let mut resp = Message::default();
+        self.handle_into(query, &mut resp);
+        resp
+    }
+
+    /// Handles one query message into a caller-owned (typically pooled)
+    /// response. The response is fully reset first, so the result is
+    /// byte-identical to [`AuthServer::handle`] regardless of what `resp`
+    /// held before — but its section vectors keep their capacity, which
+    /// together with the pooled length-check encoder makes steady-state
+    /// serving allocation-free per query.
+    pub fn handle_into(&mut self, query: &Message, resp: &mut Message) {
         self.stats.queries += 1;
         if let Some(o) = &self.obs {
             o.queries.inc();
         }
         if query.header.opcode != Opcode::Query {
             self.stats.notimp += 1;
-            return Message::response_to(query, Rcode::NotImp);
+            reset_response(query, Rcode::NotImp, resp);
+            return;
         }
         let Some(q) = query.question().cloned() else {
             self.stats.formerr += 1;
-            return Message::response_to(query, Rcode::FormErr);
+            reset_response(query, Rcode::FormErr, resp);
+            return;
         };
         *self.stats.by_qtype.entry(q.qtype.to_u16()).or_insert(0) += 1;
         let Some(zone) = self.zone_for(&q.qname).cloned() else {
@@ -162,27 +192,44 @@ impl AuthServer {
             if let Some(o) = &self.obs {
                 o.refused.inc();
             }
-            return Message::response_to(query, Rcode::Refused);
+            reset_response(query, Rcode::Refused, resp);
+            return;
         };
         {
             let tld_depth = zone.origin().label_count() + 1;
-            let tld = if q.qname.label_count() >= tld_depth {
-                q.qname
-                    .suffix(tld_depth)
-                    .first_label()
-                    .map(|l| String::from_utf8_lossy(l).to_ascii_lowercase())
-                    .unwrap_or_default()
+            self.tld_scratch.clear();
+            let suffix;
+            let label = if q.qname.label_count() >= tld_depth {
+                suffix = q.qname.suffix(tld_depth);
+                suffix.first_label()
             } else {
-                String::new()
+                None
             };
-            *self.stats.by_tld.entry(tld).or_insert(0) += 1;
+            if let Some(l) = label {
+                if l.is_ascii() {
+                    for &b in l {
+                        self.tld_scratch.push(b.to_ascii_lowercase() as char);
+                    }
+                } else {
+                    // Rare non-ASCII label: match the historical lossy
+                    // conversion exactly (replacement chars and all).
+                    self.tld_scratch
+                        .push_str(&String::from_utf8_lossy(l).to_ascii_lowercase());
+                }
+            }
+            if let Some(c) = self.stats.by_tld.get_mut(self.tld_scratch.as_str()) {
+                *c += 1;
+            } else {
+                self.stats.by_tld.insert(self.tld_scratch.clone(), 1);
+            }
         }
         if q.qclass != RClass::IN {
             self.stats.refused += 1;
             if let Some(o) = &self.obs {
                 o.refused.inc();
             }
-            return Message::response_to(query, Rcode::Refused);
+            reset_response(query, Rcode::Refused, resp);
+            return;
         }
         if q.qtype == RType::AXFR {
             // Zone transfer requires the stream service (axfr module).
@@ -190,31 +237,32 @@ impl AuthServer {
             if let Some(o) = &self.obs {
                 o.refused.inc();
             }
-            return Message::response_to(query, Rcode::Refused);
+            reset_response(query, Rcode::Refused, resp);
+            return;
         }
         let want_dnssec = self.dnssec_enabled && query.edns.map(|e| e.dnssec_ok).unwrap_or(false);
 
-        let mut resp = Message::response_to(query, Rcode::NoError);
+        reset_response(query, Rcode::NoError, resp);
         resp.edns = query.edns;
         if q.qtype == RType::ANY {
             // ANY: every RRset at the name (when not below a cut).
-            match zone.lookup(&q.qname, RType::SOA) {
-                Lookup::Delegation { ns, glue } => {
+            match zone.lookup_ref(&q.qname, RType::SOA) {
+                LookupRef::Delegation { ns } => {
                     self.stats.referrals += 1;
                     if let Some(o) = &self.obs {
                         o.referrals.inc();
                     }
-                    resp.authorities.extend(ns.records());
-                    resp.additionals.extend(glue);
+                    ns.push_records_into(&mut resp.authorities);
+                    zone.glue_for(ns, |set| set.push_records_into(&mut resp.additionals));
                 }
-                Lookup::NxDomain => {
+                LookupRef::NxDomain => {
                     self.stats.nxdomain += 1;
                     if let Some(o) = &self.obs {
                         o.nxdomain.inc();
                     }
                     resp.header.authoritative = true;
                     resp.header.rcode = Rcode::NxDomain;
-                    attach_soa(&zone, &mut resp);
+                    attach_soa(&zone, resp);
                 }
                 _ => {
                     self.stats.answers += 1;
@@ -224,61 +272,62 @@ impl AuthServer {
                     resp.header.authoritative = true;
                     for set in zone.rrsets_at(&q.qname) {
                         if set.rtype != RType::RRSIG || want_dnssec {
-                            resp.answers.extend(set.records());
+                            set.push_records_into(&mut resp.answers);
                         }
                     }
                 }
             }
-            return self.truncate_if_needed(query, resp);
+            self.truncate_in_place(query, resp);
+            return;
         }
-        match zone.lookup(&q.qname, q.qtype) {
-            Lookup::Answer(set) => {
+        match zone.lookup_ref(&q.qname, q.qtype) {
+            LookupRef::Answer(set) => {
                 self.stats.answers += 1;
                 if let Some(o) = &self.obs {
                     o.answers.inc();
                 }
                 resp.header.authoritative = true;
-                resp.answers.extend(set.records());
+                set.push_records_into(&mut resp.answers);
                 if want_dnssec {
                     if let Some(sig) = sign::find_signature(&zone, &set.name, set.rtype) {
                         resp.answers.push(Record::new(set.name.clone(), set.ttl, RData::Rrsig(sig.clone())));
                     }
                 }
             }
-            Lookup::Delegation { ns, glue } => {
+            LookupRef::Delegation { ns } => {
                 self.stats.referrals += 1;
                 if let Some(o) = &self.obs {
                     o.referrals.inc();
                 }
                 // Referrals are not authoritative answers (AA clear).
-                resp.authorities.extend(ns.records());
+                ns.push_records_into(&mut resp.authorities);
                 if want_dnssec {
                     // DS (or its absence proof) travels with the referral.
                     if let Some(ds) = zone.get(&ns.name, RType::DS) {
-                        resp.authorities.extend(ds.records());
+                        ds.push_records_into(&mut resp.authorities);
                         if let Some(sig) = sign::find_signature(&zone, &ns.name, RType::DS) {
                             resp.authorities.push(Record::new(ns.name.clone(), ds.ttl, RData::Rrsig(sig.clone())));
                         }
                     }
                 }
-                resp.additionals.extend(glue);
+                zone.glue_for(ns, |set| set.push_records_into(&mut resp.additionals));
             }
-            Lookup::NoData => {
+            LookupRef::NoData => {
                 self.stats.nodata += 1;
                 if let Some(o) = &self.obs {
                     o.nodata.inc();
                 }
                 resp.header.authoritative = true;
-                attach_soa(&zone, &mut resp);
+                attach_soa(&zone, resp);
             }
-            Lookup::NxDomain => {
+            LookupRef::NxDomain => {
                 self.stats.nxdomain += 1;
                 if let Some(o) = &self.obs {
                     o.nxdomain.inc();
                 }
                 resp.header.authoritative = true;
                 resp.header.rcode = Rcode::NxDomain;
-                attach_soa(&zone, &mut resp);
+                attach_soa(&zone, resp);
                 if want_dnssec {
                     if let Some(denial) = nsec::denial_for(&zone, &q.qname) {
                         let owner = denial.name.clone();
@@ -291,7 +340,14 @@ impl AuthServer {
                 }
             }
         }
-        self.truncate_if_needed(query, resp)
+        self.truncate_in_place(query, resp);
+    }
+
+    /// Encoded length via the pooled scratch encoder — same bytes as
+    /// [`Message::encoded_len`] without the fresh-encoder allocation.
+    fn encoded_len_pooled(&mut self, resp: &Message) -> usize {
+        resp.encode_into(&mut self.len_enc);
+        self.len_enc.len()
     }
 
     /// Enforces the UDP payload limit (512 bytes without EDNS, the
@@ -299,30 +355,32 @@ impl AuthServer {
     /// additional-section data (glue) is dropped first; only if the message
     /// still does not fit is it emptied and marked TC so the client retries
     /// over a stream transport (RFC 1035 §4.2.1, RFC 2181 §9).
-    fn truncate_if_needed(&mut self, query: &Message, mut resp: Message) -> Message {
+    fn truncate_in_place(&mut self, query: &Message, resp: &mut Message) {
         let limit = query
             .edns
             .map(|e| e.udp_payload_size.max(512) as usize)
             .unwrap_or(512);
-        if resp.encoded_len() <= limit {
-            return resp;
+        if self.encoded_len_pooled(resp) <= limit {
+            return;
         }
         // Stage 1: shed additionals (glue is an optimization, not a promise).
-        while !resp.additionals.is_empty() && resp.encoded_len() > limit {
+        while !resp.additionals.is_empty() && self.encoded_len_pooled(resp) > limit {
             resp.additionals.pop();
         }
-        if resp.encoded_len() <= limit {
-            return resp;
+        if self.encoded_len_pooled(resp) <= limit {
+            return;
         }
         self.stats.truncated += 1;
         if let Some(o) = &self.obs {
             o.truncated.inc();
         }
-        let mut tc = Message::response_to(query, resp.header.rcode);
-        tc.header.authoritative = resp.header.authoritative;
-        tc.header.truncated = true;
-        tc.edns = resp.edns;
-        tc
+        // Stage 2: empty the message and set TC; header identity (id,
+        // opcode, RD), AA, rcode and EDNS carry over unchanged, exactly as
+        // a freshly built TC response would.
+        resp.answers.clear();
+        resp.authorities.clear();
+        resp.additionals.clear();
+        resp.header.truncated = true;
     }
 
     /// Fraction of handled queries that were NXDOMAIN — the server-side view
@@ -336,9 +394,29 @@ impl AuthServer {
     }
 }
 
+/// Resets `resp` to the skeleton [`Message::response_to`] builds, reusing
+/// its buffers: same header identity and rcode, the query's questions
+/// cloned into the existing vector, all record sections emptied (capacity
+/// kept), EDNS cleared.
+fn reset_response(query: &Message, rcode: Rcode, resp: &mut Message) {
+    resp.header = Header {
+        id: query.header.id,
+        response: true,
+        opcode: query.header.opcode,
+        recursion_desired: query.header.recursion_desired,
+        rcode,
+        ..Header::default()
+    };
+    resp.questions.clone_from(&query.questions);
+    resp.answers.clear();
+    resp.authorities.clear();
+    resp.additionals.clear();
+    resp.edns = None;
+}
+
 fn attach_soa(zone: &Zone, resp: &mut Message) {
     if let Some(set) = zone.get(zone.origin(), RType::SOA) {
-        resp.authorities.extend(set.records());
+        set.push_records_into(&mut resp.authorities);
     }
 }
 

@@ -13,6 +13,9 @@
 //! * [`varint`] — LEB128 varints for the container and delta formats.
 //! * [`rng`] — self-contained xoshiro256** PRNG plus the samplers the
 //!   workload generators use (Zipf, exponential, weighted choice).
+//! * [`parallelism`] — capped available-parallelism detection shared by the
+//!   sweep executor's `--jobs 0` and the serving runtime's core-count
+//!   default.
 //! * [`stats`] — Welford accumulators, percentiles, histograms, formatting.
 //! * [`time`] — simulated clock types and civil-calendar arithmetic for the
 //!   longitudinal experiments.
@@ -22,6 +25,7 @@
 
 pub mod hex;
 pub mod lzss;
+pub mod parallelism;
 pub mod rng;
 pub mod rolling;
 pub mod sha256;

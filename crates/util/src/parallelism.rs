@@ -1,0 +1,68 @@
+//! Capped available-parallelism detection.
+//!
+//! Two very different consumers ask "how many threads should I use by
+//! default?": the experiment sweep executor (`--jobs 0`) and the serving
+//! runtime's per-core shard count (`--runtime-threads 0`). Both answers
+//! must come from one place so they cannot drift — and both need a cap,
+//! because `available_parallelism()` on a large host would otherwise spawn
+//! hundreds of workers for task matrices (or ring topologies) that max out
+//! far earlier.
+
+use std::num::NonZeroUsize;
+
+/// Default ceiling on auto-detected parallelism. Sweep matrices and shard
+/// counts in this workspace saturate well below this; anything higher just
+/// burns memory on idle per-worker state.
+pub const DEFAULT_PARALLELISM_CAP: usize = 64;
+
+/// The machine's available parallelism clamped to `[1, cap.max(1)]`.
+/// Detection failure (exotic platforms, restricted cgroups) degrades to 1,
+/// never to a panic — a serial run is always a valid schedule.
+pub fn available_parallelism_capped(cap: usize) -> usize {
+    let detected = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    detected.clamp(1, cap.max(1))
+}
+
+/// The default "auto" answer: available parallelism under
+/// [`DEFAULT_PARALLELISM_CAP`]. This is what `--jobs 0` and
+/// `--runtime-threads 0` resolve to.
+pub fn auto_parallelism() -> usize {
+    available_parallelism_capped(DEFAULT_PARALLELISM_CAP)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_is_respected() {
+        assert_eq!(available_parallelism_capped(1), 1);
+        for cap in [1, 2, 3, 7, 64] {
+            let n = available_parallelism_capped(cap);
+            assert!(n >= 1, "cap {cap} gave {n}");
+            assert!(n <= cap, "cap {cap} gave {n}");
+        }
+    }
+
+    #[test]
+    fn zero_cap_degrades_to_one_not_zero() {
+        assert_eq!(available_parallelism_capped(0), 1);
+    }
+
+    #[test]
+    fn auto_is_the_capped_default() {
+        let auto = auto_parallelism();
+        assert!(auto >= 1);
+        assert!(auto <= DEFAULT_PARALLELISM_CAP);
+        assert_eq!(auto, available_parallelism_capped(DEFAULT_PARALLELISM_CAP));
+    }
+
+    #[test]
+    fn huge_cap_equals_detected_parallelism() {
+        // With a cap far above any real machine, the helper must return the
+        // raw detection (floored at 1), so the cap is the only thing it adds.
+        let detected =
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+        assert_eq!(available_parallelism_capped(usize::MAX), detected.max(1));
+    }
+}

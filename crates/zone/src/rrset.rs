@@ -105,6 +105,18 @@ impl RrSet {
             .collect()
     }
 
+    /// Appends this set's records to an existing vector — the serving hot
+    /// path's variant of [`RrSet::records`]: no intermediate `Vec`, so once
+    /// `out` has reached steady-state capacity the append is
+    /// allocation-free for the referral record types (NS/A/AAAA/SOA clone
+    /// by refcount bump or by value).
+    pub fn push_records_into(&self, out: &mut Vec<Record>) {
+        out.reserve(self.rdatas.len());
+        for rd in &self.rdatas {
+            out.push(Record::new(self.name.clone(), self.ttl, rd.clone()));
+        }
+    }
+
     /// Key for this RRset.
     pub fn key(&self) -> RrKey {
         RrKey::new(self.name.clone(), self.rtype)

@@ -28,6 +28,26 @@ pub enum Lookup {
     NxDomain,
 }
 
+/// Borrowed variant of [`Lookup`] — the serving hot path's view. Nothing is
+/// cloned or collected: `Answer`/`Delegation` borrow the zone's RRsets, and
+/// glue is walked on demand via [`Zone::glue_for`]. [`Zone::lookup`] is the
+/// owning wrapper over this.
+#[derive(Clone, Copy, Debug)]
+pub enum LookupRef<'a> {
+    /// The RRset exists at this name.
+    Answer(&'a RrSet),
+    /// The name sits at or below a zone cut; glue comes separately from
+    /// [`Zone::glue_for`] on the same NS set.
+    Delegation {
+        /// NS RRset at the cut.
+        ns: &'a RrSet,
+    },
+    /// Name exists but has no RRset of the requested type.
+    NoData,
+    /// Name does not exist in the zone.
+    NxDomain,
+}
+
 /// An authoritative zone: origin name, serial via SOA, and RRsets stored in
 /// canonical order (the order DNSSEC digests and NSEC chains require).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -127,10 +147,29 @@ impl Zone {
     }
 
     /// Authoritative lookup implementing the referral logic of RFC 1034
-    /// §4.3.2 restricted to what the root/TLD servers in this workspace need.
+    /// §4.3.2 restricted to what the root/TLD servers in this workspace
+    /// need. Owning wrapper over [`Zone::lookup_ref`]; servers on the
+    /// per-query hot path use the borrowed form directly.
     pub fn lookup(&self, qname: &Name, qtype: RType) -> Lookup {
+        match self.lookup_ref(qname, qtype) {
+            LookupRef::Answer(set) => Lookup::Answer(set.clone()),
+            LookupRef::Delegation { ns } => {
+                let mut glue = Vec::new();
+                self.glue_for(ns, |set| set.push_records_into(&mut glue));
+                Lookup::Delegation { ns: ns.clone(), glue }
+            }
+            LookupRef::NoData => Lookup::NoData,
+            LookupRef::NxDomain => Lookup::NxDomain,
+        }
+    }
+
+    /// Borrowed authoritative lookup — same decision procedure as
+    /// [`Zone::lookup`], zero allocation: answers and delegations borrow
+    /// the zone's own RRsets, and delegation glue is iterated separately
+    /// with [`Zone::glue_for`].
+    pub fn lookup_ref(&self, qname: &Name, qtype: RType) -> LookupRef<'_> {
         if !qname.is_within(&self.origin) {
-            return Lookup::NxDomain;
+            return LookupRef::NxDomain;
         }
         // Walk down from the origin looking for a zone cut strictly above
         // qname (an NS RRset at a name that is not the origin).
@@ -144,17 +183,32 @@ impl Zone {
                 if ancestor == *qname && qtype == RType::DS {
                     break;
                 }
-                let glue = self.collect_glue(ns);
-                return Lookup::Delegation { ns: ns.clone(), glue };
+                return LookupRef::Delegation { ns };
             }
         }
         match self.records.get(&RrKey::new(qname.clone(), qtype)) {
-            Some(set) => Lookup::Answer(set.clone()),
+            Some(set) => LookupRef::Answer(set),
             None => {
                 if self.name_exists(qname) {
-                    Lookup::NoData
+                    LookupRef::NoData
                 } else {
-                    Lookup::NxDomain
+                    LookupRef::NxDomain
+                }
+            }
+        }
+    }
+
+    /// Visits the A/AAAA glue RRsets for the nameserver targets of an NS
+    /// RRset, in the same order [`Lookup::Delegation`] collects them
+    /// (per-target, A before AAAA). Callback form so the serving hot path
+    /// can append straight into a pooled response vector.
+    pub fn glue_for(&self, ns: &RrSet, mut f: impl FnMut(&RrSet)) {
+        for rd in ns.rdatas() {
+            if let RData::Ns(target) = rd {
+                for t in [RType::A, RType::AAAA] {
+                    if let Some(set) = self.records.get(&RrKey::new(target.clone(), t)) {
+                        f(set);
+                    }
                 }
             }
         }
@@ -163,15 +217,7 @@ impl Zone {
     /// Collects A/AAAA glue for the nameserver targets of an NS RRset.
     fn collect_glue(&self, ns: &RrSet) -> Vec<Record> {
         let mut glue = Vec::new();
-        for rd in ns.rdatas() {
-            if let RData::Ns(target) = rd {
-                for t in [RType::A, RType::AAAA] {
-                    if let Some(set) = self.records.get(&RrKey::new(target.clone(), t)) {
-                        glue.extend(set.records());
-                    }
-                }
-            }
-        }
+        self.glue_for(ns, |set| set.push_records_into(&mut glue));
         glue
     }
 

@@ -38,6 +38,14 @@ cargo test -q -p rootless-netsim --test sched_wheel --offline
 # allocator proves a multi-million-query replay never materializes).
 cargo test -q -p rootless-ditl --test prop_stream --offline
 cargo test -q -p rootless-ditl --test stream_mem --offline
+# Serving-runtime gates, by name: the runtime-vs-simulation determinism
+# suite (counters, classification, and the id-independent response
+# checksum equal across thread counts, batch shapes, and memo on/off),
+# the steady-state zero-allocation audit of the serve hot path, and the
+# Send/move-only concurrency audit.
+cargo test -q -p rootless-runtime --test determinism --offline
+cargo test -q -p rootless-runtime --test alloc_serve --offline
+cargo test -q -p rootless-runtime --test send_audit --offline
 # Parallel-sweep determinism gate: the robust/perf/rootload reports must
 # be byte-identical between --jobs 1, 2 and 4 (stdout only; wall-clock
 # throughput goes to stderr by design).
@@ -68,6 +76,18 @@ target/release/experiments traffic --fast --scale 1 2>/dev/null | sed -n '/TRAFF
 target/release/experiments traffic --fast --scale 3 2>/dev/null | sed -n '/TRAFFIC vs paper/,$p' >/tmp/tier1_scale3.tbl
 cmp /tmp/tier1_scale1.tbl /tmp/tier1_scale3.tbl
 rm -f /tmp/tier1_scale1.tbl /tmp/tier1_scale3.tbl
+# Serving-runtime equivalence gate: routing traffic/rootload through the
+# thread-per-core runtime (--runtime-threads) must leave stdout
+# byte-identical to the sweep path, at every thread count — the runtime's
+# whole determinism story, end to end through the binary.
+for exp in traffic rootload; do
+  target/release/experiments "$exp" --fast >"/tmp/tier1_${exp}_sim.out" 2>/dev/null
+  for rt in 1 2 4; do
+    target/release/experiments "$exp" --fast --runtime-threads "$rt" >"/tmp/tier1_${exp}_rt.out" 2>/dev/null
+    cmp "/tmp/tier1_${exp}_sim.out" "/tmp/tier1_${exp}_rt.out"
+  done
+  rm -f "/tmp/tier1_${exp}_sim.out" "/tmp/tier1_${exp}_rt.out"
+done
 cargo test -q -p rootless-dnssec --test adversarial --offline
 cargo test -q -p rootless-delta --test distribution_equivalence --offline
 cargo test -q -p rootless-zone --test prop_zone --offline

@@ -46,6 +46,7 @@
 //! | [`delta`] | distribution channels: mirrors, rsync, IXFR, p2p swarm |
 //! | [`core`] | the proposal: RootZoneManager (obtain → verify → refresh) |
 //! | [`ditl`] | the §2.2 traffic study workload + classifier |
+//! | [`runtime`] | thread-per-core serving runtime: sharded replay over SPSC rings |
 //! | [`experiments`] | one module per figure/table/claim in the paper |
 
 pub use rootless_core as core;
@@ -56,6 +57,7 @@ pub use rootless_experiments as experiments;
 pub use rootless_netsim as netsim;
 pub use rootless_proto as proto;
 pub use rootless_resolver as resolver;
+pub use rootless_runtime as runtime;
 pub use rootless_server as server;
 pub use rootless_util as util;
 pub use rootless_zone as zone;
