@@ -49,16 +49,13 @@ impl<T> HeapSched<T> {
 }
 
 /// splitmix64 — cheap deterministic delays so both schedulers see the
-/// exact same workload.
+/// exact same workload. Steps through the shared definition in
+/// `rootless_util::rng` rather than carrying its own copy of the mixer.
 struct Rng(u64);
 
 impl Rng {
     fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
+        rootless_util::rng::splitmix64(&mut self.0)
     }
 
     fn delay(&mut self) -> u64 {

@@ -22,6 +22,7 @@
 //! | ANYCAST | [`anycast`] | §1/§4 fleet-size vs root RTT |
 //! | ROBUST | [`robustness`] | §4 robustness |
 //! | SCEN | [`scenarios`] | §4 robustness, packet-level fault scenarios |
+//! | MODELCHECK | [`modelcheck`] | §4 robustness, exhaustive interleaving proof |
 //! | SEC | [`security`] | §4 security (root manipulation) |
 //! | PRIV | [`privacy`] | §4 privacy |
 
@@ -33,6 +34,7 @@ pub mod distribution;
 pub mod extract;
 pub mod fig1;
 pub mod fig2;
+pub mod modelcheck;
 pub mod new_tld;
 pub mod performance;
 pub mod privacy;

@@ -1,7 +1,7 @@
 //! The `experiments` binary: regenerates every figure, table and claim.
 //!
 //! Usage:
-//!   experiments [all|fig1|fig2|traffic|sizes|cache|extract|dist|ttl|llc|perf|robust|sec|priv] [--fast] [--jobs N] [--scale K] [--shards N] [--runtime-threads N]
+//!   experiments [all|fig1|fig2|traffic|sizes|cache|extract|dist|ttl|llc|perf|robust|modelcheck|sec|priv] [--fast] [--jobs N] [--scale K] [--shards N] [--runtime-threads N]
 //!
 //! `--fast` shrinks the workloads for a quick smoke pass; the default runs
 //! paper-comparable scales (a few minutes total).
@@ -206,6 +206,12 @@ fn main() {
         println!("{}", exp::robustness::render(&exp::robustness::run(lookups, tlds, jobs)));
         ran += 1;
     }
+    if wants("modelcheck") {
+        // Exhaustive, bounded and deterministic at any --fast/--jobs
+        // setting; the tier-1 gate compares two runs byte-for-byte.
+        println!("{}", exp::modelcheck::render(&exp::modelcheck::run()));
+        ran += 1;
+    }
     if wants("sec") {
         let (lookups, tlds) = if fast { (20, 12) } else { (100, 30) };
         println!("{}", exp::security::render(&exp::security::run(lookups, tlds)));
@@ -218,7 +224,7 @@ fn main() {
     }
     if ran == 0 {
         eprintln!(
-            "unknown experiment; choose from: all fig1 fig2 traffic rootload sizes cache extract dist ttl llc perf anycast robust sec priv (plus --fast, --jobs N, --scale K, --shards N, --runtime-threads N)"
+            "unknown experiment; choose from: all fig1 fig2 traffic rootload sizes cache extract dist ttl llc perf anycast robust modelcheck sec priv (plus --fast, --jobs N, --scale K, --shards N, --runtime-threads N)"
         );
         std::process::exit(2);
     }

@@ -1,0 +1,331 @@
+//! The exhaustive explorer: depth-first search over scheduler choices with
+//! visited-state pruning, honest bounds, counterexample minimization and
+//! trace replay.
+//!
+//! The simulator cannot be snapshotted, so backtracking rebuilds the world
+//! from its factory and replays the current path — worlds are tiny and
+//! deterministic, which keeps memory at one live world plus the DFS stack
+//! regardless of how many states the search visits.
+//!
+//! Pruning is a `digest → shallowest depth seen` map: a state is re-entered
+//! only when rediscovered at a strictly shallower depth, which keeps the
+//! search sound under a depth bound (a deeper first visit may have been
+//! truncated before exhausting the state's subtree). Without truncation the
+//! rule degenerates to plain visited-set pruning.
+
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+use crate::invariant::{self, Violation};
+use crate::scenario::{Choice, WorldFactory};
+
+/// Search bounds. Exceeding one never aborts the run — it truncates the
+/// offending path and the report says so.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    /// Longest path (in transitions) the DFS will follow.
+    pub max_depth: usize,
+    /// Most distinct states the search will expand.
+    pub max_states: u64,
+    /// Most states the BFS counterexample minimizer will expand before
+    /// falling back to the (unminimized) DFS trace.
+    pub minimize_states: u64,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> ExploreConfig {
+        ExploreConfig { max_depth: 256, max_states: 200_000, minimize_states: 50_000 }
+    }
+}
+
+/// A violating schedule, printed as a replayable trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterExample {
+    /// Dot-separated choice tokens (`f<i>` fire, `d<i>` drop) naming
+    /// sorted-frontier indices; feed to [`replay`] to reproduce.
+    pub trace: String,
+    /// The violated invariant, rendered.
+    pub violation: String,
+    /// True when the BFS minimizer proved the trace is a shortest one.
+    pub minimal: bool,
+}
+
+/// What one exhaustive exploration found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExploreReport {
+    /// Scenario name (stable display key).
+    pub scenario: &'static str,
+    /// Root mode name (stable display key).
+    pub mode: &'static str,
+    /// Distinct states expanded (root included).
+    pub explored: u64,
+    /// Transitions into an already-visited state that were merged away.
+    pub pruned: u64,
+    /// Distinct quiesced states reached.
+    pub terminals: u64,
+    /// Total transitions applied while searching (replays excluded).
+    pub transitions: u64,
+    /// Paths cut by the depth bound (0 = the space was fully exhausted).
+    pub depth_truncations: u64,
+    /// True when the state cap stopped expansion (coverage incomplete).
+    pub state_capped: bool,
+    /// Every distinct terminal outcome: `(query index, rcode, answers)`
+    /// per settled query, sorted by index.
+    pub outcomes: BTreeSet<Vec<(u16, u8, usize)>>,
+    /// The first violation found, if any (search stops on it).
+    pub violation: Option<CounterExample>,
+}
+
+impl ExploreReport {
+    /// True when every reachable state was visited within the bounds.
+    pub fn exhaustive(&self) -> bool {
+        self.depth_truncations == 0 && !self.state_capped && self.violation.is_none()
+    }
+}
+
+struct Frame {
+    choices: Vec<Choice>,
+    next: usize,
+}
+
+/// Exhaustively explores every scheduler interleaving of the factory's
+/// scenario, checking step invariants after every transition and terminal
+/// invariants at every quiesced state. Deterministic: the same factory and
+/// config produce a byte-identical report.
+pub fn explore(factory: &WorldFactory, cfg: &ExploreConfig) -> ExploreReport {
+    let drop_budget = factory.kind.drop_budget();
+    let mut report = ExploreReport {
+        scenario: factory.kind.name(),
+        mode: factory.mode.name(),
+        explored: 0,
+        pruned: 0,
+        terminals: 0,
+        transitions: 0,
+        depth_truncations: 0,
+        state_capped: false,
+        outcomes: BTreeSet::new(),
+        violation: None,
+    };
+
+    let mut world = factory.build();
+    let mut world_current = true; // world state == state(path)
+    let mut path: Vec<Choice> = Vec::new();
+    let mut visited: HashMap<u64, usize> = HashMap::new();
+    visited.insert(world.digest(), 0);
+    report.explored = 1;
+    let mut stack = vec![Frame { choices: world.choices(drop_budget), next: 0 }];
+
+    while let Some(frame) = stack.last_mut() {
+        if frame.next >= frame.choices.len() {
+            stack.pop();
+            path.pop();
+            world_current = false;
+            continue;
+        }
+        let choice = frame.choices[frame.next];
+        frame.next += 1;
+
+        if !world_current {
+            world = replay_path(factory, &path);
+            world_current = true;
+        }
+        assert!(world.apply(choice), "explorer applied a stale choice");
+        report.transitions += 1;
+        path.push(choice);
+
+        if let Some(v) = invariant::check_step(&mut world) {
+            report.violation = Some(finish_counterexample(factory, cfg, &path, v));
+            return report;
+        }
+
+        let depth = path.len();
+        let digest = world.digest();
+        match visited.get(&digest) {
+            Some(&seen) if seen <= depth => {
+                report.pruned += 1;
+                path.pop();
+                world_current = false;
+                continue;
+            }
+            _ => {
+                visited.insert(digest, depth);
+                report.explored += 1;
+            }
+        }
+
+        if world.terminal() {
+            if let Some(v) = invariant::check_terminal(&world) {
+                report.violation = Some(finish_counterexample(factory, cfg, &path, v));
+                return report;
+            }
+            report.terminals += 1;
+            report.outcomes.insert(world.outcome());
+            path.pop();
+            world_current = false;
+            continue;
+        }
+        if depth >= cfg.max_depth {
+            report.depth_truncations += 1;
+            path.pop();
+            world_current = false;
+            continue;
+        }
+        if report.explored >= cfg.max_states {
+            report.state_capped = true;
+            path.pop();
+            world_current = false;
+            continue;
+        }
+
+        let drops_used = path.iter().filter(|c| matches!(c, Choice::Drop(_))).count();
+        stack.push(Frame {
+            choices: world.choices(drop_budget.saturating_sub(drops_used)),
+            next: 0,
+        });
+    }
+    report
+}
+
+/// Rebuilds a world and replays `path` without re-checking invariants
+/// (every prefix was checked when first explored).
+fn replay_path(factory: &WorldFactory, path: &[Choice]) -> crate::scenario::McWorld {
+    let mut world = factory.build();
+    for &c in path {
+        assert!(world.apply(c), "replay diverged from recorded path");
+    }
+    // Replay re-emits the prefix's trace events; they were already checked.
+    world.trace_seen = world.tracer.len();
+    world
+}
+
+fn finish_counterexample(
+    factory: &WorldFactory,
+    cfg: &ExploreConfig,
+    path: &[Choice],
+    violation: Violation,
+) -> CounterExample {
+    let fallback = CounterExample {
+        trace: format_trace(path),
+        violation: violation.to_string(),
+        minimal: false,
+    };
+    minimize(factory, cfg).unwrap_or(fallback)
+}
+
+/// Breadth-first search for a shortest violating schedule. Returns `None`
+/// when the expansion cap is hit before any violation is found (the DFS
+/// trace then stands, marked non-minimal).
+fn minimize(factory: &WorldFactory, cfg: &ExploreConfig) -> Option<CounterExample> {
+    let drop_budget = factory.kind.drop_budget();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut queue: VecDeque<Vec<Choice>> = VecDeque::new();
+    queue.push_back(Vec::new());
+    {
+        let world = factory.build();
+        seen.insert(world.digest());
+    }
+    let mut expanded: u64 = 0;
+    while let Some(prefix) = queue.pop_front() {
+        if expanded >= cfg.minimize_states || prefix.len() >= cfg.max_depth {
+            return None;
+        }
+        expanded += 1;
+        let world = replay_path(factory, &prefix);
+        let drops_used = prefix.iter().filter(|c| matches!(c, Choice::Drop(_))).count();
+        for choice in world.choices(drop_budget.saturating_sub(drops_used)) {
+            let mut next = replay_path(factory, &prefix);
+            assert!(next.apply(choice), "minimizer applied a stale choice");
+            let mut path = prefix.clone();
+            path.push(choice);
+            // The replayed prefix's events are marked consumed; only the
+            // final transition's events are fresh here.
+            if let Some(v) = invariant::check_step(&mut next) {
+                return Some(CounterExample {
+                    trace: format_trace(&path),
+                    violation: v.to_string(),
+                    minimal: true,
+                });
+            }
+            if next.terminal() {
+                if let Some(v) = invariant::check_terminal(&next) {
+                    return Some(CounterExample {
+                        trace: format_trace(&path),
+                        violation: v.to_string(),
+                        minimal: true,
+                    });
+                }
+                continue;
+            }
+            if seen.insert(next.digest()) {
+                queue.push_back(path);
+            }
+        }
+    }
+    None
+}
+
+/// Renders a path as its replayable dot-separated token trace.
+pub fn format_trace(path: &[Choice]) -> String {
+    path.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(".")
+}
+
+/// Parses a trace produced by [`format_trace`].
+pub fn parse_trace(trace: &str) -> Result<Vec<Choice>, String> {
+    if trace.is_empty() {
+        return Ok(Vec::new());
+    }
+    trace
+        .split('.')
+        .map(|tok| {
+            let (kind, idx) = tok.split_at(1);
+            let index: usize =
+                idx.parse().map_err(|_| format!("bad trace token {tok:?}"))?;
+            match kind {
+                "f" => Ok(Choice::Fire(index)),
+                "d" => Ok(Choice::Drop(index)),
+                _ => Err(format!("bad trace token {tok:?}")),
+            }
+        })
+        .collect()
+}
+
+/// What replaying a recorded trace reproduced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayOutcome {
+    /// The violation the trace ends in, if any, rendered.
+    pub violation: Option<String>,
+    /// Transitions successfully applied.
+    pub steps: usize,
+    /// True when the replayed world quiesced at the end of the trace.
+    pub terminal: bool,
+    /// The client outcomes at the end of the replay.
+    pub outcome: Vec<(u16, u8, usize)>,
+}
+
+/// Replays a counterexample trace step by step, re-checking invariants
+/// after every transition — the independent confirmation that a reported
+/// schedule really violates what the report claims.
+pub fn replay(factory: &WorldFactory, trace: &str) -> Result<ReplayOutcome, String> {
+    let path = parse_trace(trace)?;
+    let mut world = factory.build();
+    let mut steps = 0;
+    for choice in path {
+        if !world.apply(choice) {
+            return Err(format!("trace step {steps} ({choice}) names no pending frontier entry"));
+        }
+        steps += 1;
+        if let Some(v) = invariant::check_step(&mut world) {
+            return Ok(ReplayOutcome {
+                violation: Some(v.to_string()),
+                steps,
+                terminal: world.terminal(),
+                outcome: world.outcome(),
+            });
+        }
+    }
+    let violation = if world.terminal() {
+        invariant::check_terminal(&world).map(|v| v.to_string())
+    } else {
+        None
+    };
+    Ok(ReplayOutcome { violation, steps, terminal: world.terminal(), outcome: world.outcome() })
+}

@@ -1,0 +1,186 @@
+//! The checkable predicates the explorer proves over every interleaving.
+//!
+//! Step invariants hold at *every* reached state; terminal invariants hold
+//! once a scenario quiesces (empty frontier, no pending phase):
+//!
+//! - **Packet conservation** (step): every datagram ever sent is delivered,
+//!   dropped with a recorded cause, or still pending in the frontier.
+//! - **Stale-window bound** (step): a serve-stale answer is only given for
+//!   a positive entry that is expired but still inside the configured
+//!   window.
+//! - **No negative resurrection** (step): an expired negative entry is
+//!   never served as a stale answer.
+//! - **Every query settles** (terminal): each planned client query ends in
+//!   exactly one of NoError / NxDomain / ServFail — no livelock, no lost
+//!   query, no wedged resolver job.
+
+use rootless_obs::trace::TraceKind;
+use rootless_util::time::SimTime;
+
+use crate::scenario::McWorld;
+
+/// One invariant violation, carrying enough context to read the failure
+/// off the report without replaying (though the trace replays too).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Sent ≠ delivered + dropped(with cause) + in flight.
+    Conservation {
+        /// Datagrams sent so far.
+        sent: u64,
+        /// Sum of delivered, cause-attributed drops, and pending frontier
+        /// deliveries.
+        accounted: u64,
+    },
+    /// A stale answer outside `[expires, expires + stale_window)`.
+    StaleWindow {
+        /// Case-folded hash of the served qname.
+        qhash: u64,
+        /// When the stale answer was served.
+        at: SimTime,
+        /// The served entry's expiry (`None`: no matching entry existed
+        /// at all, which a stale serve cannot legitimately produce).
+        expires: Option<SimTime>,
+    },
+    /// A stale answer synthesized from an expired negative entry.
+    NegativeResurrection {
+        /// Case-folded hash of the served qname.
+        qhash: u64,
+        /// When the resurrection happened.
+        at: SimTime,
+    },
+    /// Terminal: planned queries that never got any answer.
+    UnresolvedQueries {
+        /// Answers received vs. planned.
+        settled: usize,
+        /// Total queries the scenario planned.
+        planned: usize,
+    },
+    /// Terminal: a query settled with an rcode outside the allowed set.
+    BadRcode {
+        /// The query's plan index.
+        index: u16,
+        /// Its raw rcode.
+        rcode: u8,
+    },
+    /// Terminal: the resolver still holds in-flight jobs after quiesce.
+    WedgedResolver {
+        /// Number of jobs left in the table.
+        in_flight: usize,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Conservation { sent, accounted } => write!(
+                f,
+                "packet conservation: sent {sent} != accounted {accounted} (delivered + attributed drops + in flight)"
+            ),
+            Violation::StaleWindow { qhash, at, expires: Some(e) } => write!(
+                f,
+                "stale answer for qhash {qhash:#018x} at {} ns outside [expires, expires+window) (expires {} ns)",
+                at.as_nanos(),
+                e.as_nanos()
+            ),
+            Violation::StaleWindow { qhash, at, expires: None } => write!(
+                f,
+                "stale answer for qhash {qhash:#018x} at {} ns with no matching cache entry",
+                at.as_nanos()
+            ),
+            Violation::NegativeResurrection { qhash, at } => write!(
+                f,
+                "negative entry for qhash {qhash:#018x} resurrected as a stale answer at {} ns",
+                at.as_nanos()
+            ),
+            Violation::UnresolvedQueries { settled, planned } => {
+                write!(f, "only {settled} of {planned} planned queries settled (livelock or lost query)")
+            }
+            Violation::BadRcode { index, rcode } => {
+                write!(f, "query {index} settled with disallowed rcode {rcode}")
+            }
+            Violation::WedgedResolver { in_flight } => {
+                write!(f, "resolver still holds {in_flight} in-flight jobs at quiesce")
+            }
+        }
+    }
+}
+
+/// Checks the step invariants against the state just reached. Consumes
+/// (and remembers) any new trace events, so call it exactly once per
+/// applied transition.
+pub fn check_step(world: &mut McWorld) -> Option<Violation> {
+    if let Some(v) = check_conservation(world) {
+        return Some(v);
+    }
+    check_stale_serves(world)
+}
+
+fn check_conservation(world: &McWorld) -> Option<Violation> {
+    let s = &world.sim.stats;
+    let accounted = s.delivered
+        + s.dropped_loss
+        + s.dropped_unreachable
+        + s.middlebox_drops
+        + world.sim.frontier_in_flight() as u64;
+    if s.sent != accounted {
+        return Some(Violation::Conservation { sent: s.sent, accounted });
+    }
+    None
+}
+
+/// Cross-checks every new `CacheStale` trace event against the resolver's
+/// actual cache contents at the end of the transition that emitted it
+/// (serve-stale never removes the entry it serves, so the snapshot is
+/// still faithful).
+fn check_stale_serves(world: &mut McWorld) -> Option<Violation> {
+    let events = world.tracer.events();
+    let fresh = &events[world.trace_seen.min(events.len())..];
+    let new_seen = events.len();
+    let mut found = None;
+    for ev in fresh {
+        let TraceKind::CacheStale { qhash } = ev.kind else { continue };
+        let entries = world.resolver_node().cache.entries();
+        let positive = entries.iter().find(|e| e.name_hash == qhash && !e.negative);
+        let negative = entries.iter().find(|e| e.name_hash == qhash && e.negative);
+        found = match (positive, negative) {
+            (Some(p), _) => {
+                let lower = p.expires;
+                let upper = p.expires + world.stale_window;
+                if ev.at < lower || ev.at >= upper {
+                    Some(Violation::StaleWindow { qhash, at: ev.at, expires: Some(p.expires) })
+                } else {
+                    None
+                }
+            }
+            (None, Some(_)) => Some(Violation::NegativeResurrection { qhash, at: ev.at }),
+            (None, None) => Some(Violation::StaleWindow { qhash, at: ev.at, expires: None }),
+        };
+        if found.is_some() {
+            break;
+        }
+    }
+    world.trace_seen = new_seen;
+    found
+}
+
+/// Checks the terminal invariants once a world has quiesced.
+pub fn check_terminal(world: &McWorld) -> Option<Violation> {
+    let outcome = world.outcome();
+    if outcome.len() != world.plan_len {
+        return Some(Violation::UnresolvedQueries {
+            settled: outcome.len(),
+            planned: world.plan_len,
+        });
+    }
+    for (index, rcode, _) in &outcome {
+        // NoError (0), ServFail (2), NxDomain (3): resolve or hard-fail.
+        if ![0u8, 2, 3].contains(rcode) {
+            return Some(Violation::BadRcode { index: *index, rcode: *rcode });
+        }
+    }
+    let in_flight = world.resolver_node().in_flight();
+    if in_flight != 0 {
+        return Some(Violation::WedgedResolver { in_flight });
+    }
+    None
+}

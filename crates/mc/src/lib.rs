@@ -1,0 +1,107 @@
+//! # rootless-mc
+//!
+//! An exhaustive small-world model checker for the resolution pipeline.
+//! Where `rootless-experiments`' scenarios run *one* deterministic schedule
+//! per seed, this crate runs *all of them*: the simulator's controlled
+//! scheduler exposes every pending delivery and timer as an explicit
+//! frontier, and a depth-first search with canonical state-digest pruning
+//! enumerates every order (and, under a drop budget, every per-packet
+//! drop/deliver decision) a bounded scenario admits.
+//!
+//! Invariants checked on every explored path:
+//!
+//! 1. every client query eventually resolves or hard-fails (no livelock),
+//! 2. serve-stale answers only occur inside the configured stale window,
+//! 3. negative cache entries are never resurrected,
+//! 4. packet conservation holds at every intermediate state,
+//! 5. the four root modes agree on final answers when no fault fires
+//!    (checked across reports by [`modes_agree`]).
+//!
+//! Violations are reported as minimal, replayable counterexample traces
+//! ([`explore::replay`] re-confirms them independently). The
+//! `plant-stale-bug` feature forwards a known off-by-one into the cache so
+//! CI can prove the explorer actually finds bugs — see
+//! `tests/planted_bug.rs`.
+
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod invariant;
+pub mod scenario;
+
+pub use explore::{explore, replay, CounterExample, ExploreConfig, ExploreReport};
+pub use invariant::Violation;
+pub use scenario::{Choice, McWorld, RootMode, ScenarioKind, WorldFactory};
+
+/// One terminal outcome: `(query index, rcode, answer count)` per settled
+/// query, sorted by index.
+pub type SettledOutcome = Vec<(u16, u8, usize)>;
+
+/// Explores one `(scenario, mode)` pair under the default bounds.
+pub fn explore_pair(kind: ScenarioKind, mode: RootMode, seed: u64) -> ExploreReport {
+    explore(&WorldFactory::new(kind, mode, seed), &ExploreConfig::default())
+}
+
+/// Runs the CI gate: every [`ScenarioKind::GATE`] scenario across all four
+/// root modes, in deterministic order.
+pub fn run_gate(seed: u64) -> Vec<ExploreReport> {
+    let mut out = Vec::new();
+    for kind in ScenarioKind::GATE {
+        for mode in RootMode::ALL {
+            out.push(explore_pair(kind, mode, seed));
+        }
+    }
+    out
+}
+
+/// Checks invariant 5 over a set of reports: every baseline (fault-free)
+/// report must have exactly one terminal outcome and all modes must agree
+/// on it, `(query index, rcode, answer count)` for `(query index, rcode)`
+/// — answer *contents* can legitimately differ across modes only in record
+/// order, which the count compare is insensitive to. Returns the agreed
+/// outcome, or an error naming the disagreeing modes.
+pub fn modes_agree(reports: &[ExploreReport]) -> Result<SettledOutcome, String> {
+    let baselines: Vec<&ExploreReport> =
+        reports.iter().filter(|r| r.scenario == ScenarioKind::Baseline.name()).collect();
+    if baselines.is_empty() {
+        return Err("no baseline reports to compare".into());
+    }
+    let mut agreed: Option<(&str, SettledOutcome)> = None;
+    for r in baselines {
+        if r.outcomes.len() != 1 {
+            return Err(format!(
+                "baseline/{} has {} distinct terminal outcomes (want exactly 1)",
+                r.mode,
+                r.outcomes.len()
+            ));
+        }
+        let outcome = r.outcomes.iter().next().expect("one outcome").clone();
+        match &agreed {
+            None => agreed = Some((r.mode, outcome)),
+            Some((first_mode, first)) if *first != outcome => {
+                return Err(format!(
+                    "baseline outcomes disagree: {first_mode} {first:?} vs {} {outcome:?}",
+                    r.mode
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(agreed.expect("nonempty baselines").1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_tokens_round_trip() {
+        let path = vec![Choice::Fire(0), Choice::Drop(2), Choice::Fire(11)];
+        let trace = explore::format_trace(&path);
+        assert_eq!(trace, "f0.d2.f11");
+        assert_eq!(explore::parse_trace(&trace).unwrap(), path);
+        assert_eq!(explore::parse_trace("").unwrap(), Vec::new());
+        assert!(explore::parse_trace("x3").is_err());
+        assert!(explore::parse_trace("f").is_err());
+    }
+}

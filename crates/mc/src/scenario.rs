@@ -1,0 +1,513 @@
+//! Bounded scenario library and the small worlds the model checker drives.
+//!
+//! Each scenario is a deliberately tiny packet-level world — two root
+//! letters with one anycast instance each, one TLD, one recursive resolver,
+//! one stub client — so that the full interleaving space of its events fits
+//! in an exhaustive search. The world mirrors the wiring idiom of
+//! `rootless-experiments`' `scenarios` module but runs the simulator in
+//! controlled-scheduler mode: every send and timer lands in an explicit
+//! frontier and the explorer, not the timing wheel, decides what happens
+//! next.
+//!
+//! Multi-query scenarios are *phased*: later client queries are held back
+//! and injected only once the frontier drains. Without this, a far-future
+//! query timer would sit in the frontier for the whole first phase and the
+//! monotone-clock rule would let the explorer fire it first, cross-
+//! multiplying the two phases' interleavings for no extra coverage.
+
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use rootless_netsim::geo::{city_point, GeoPoint};
+use rootless_netsim::sim::{FrontierKind, NodeId, Sim};
+use rootless_obs::metrics::Registry;
+use rootless_obs::trace::Tracer;
+use rootless_proto::name::Name;
+use rootless_proto::rr::{RData, RType};
+use rootless_resolver::node::{NodeRootSource, RecursiveNode, StubClient};
+use rootless_server::auth::{tld_server, AuthServer};
+use rootless_server::node::{deploy_root_fleet, ServerNode};
+use rootless_util::rng::DetRng;
+use rootless_util::time::{SimDuration, SimTime};
+use rootless_util::StateDigest;
+use rootless_zone::rootzone::{self, RootZoneConfig};
+use rootless_zone::zone::Zone;
+
+/// The resolver's address in every model-checked world.
+pub const RESOLVER_ADDR: Ipv4Addr = Ipv4Addr::new(10, 53, 0, 53);
+/// The RFC 7706 loopback authoritative root, for [`RootMode::Loopback`].
+pub const LOOPBACK_ROOT: Ipv4Addr = Ipv4Addr::new(10, 53, 0, 1);
+/// The stub client's address; its legs are exempt from adversarial drops.
+pub const CLIENT_ADDR: Ipv4Addr = Ipv4Addr::new(10, 53, 0, 2);
+
+/// Effectively-forever horizon for permanent fault windows.
+const FOREVER: SimDuration = SimDuration::from_days(3_650);
+
+/// Root-information strategy under test — the paper's §3 strategies plus
+/// the status-quo baseline, mirroring the experiment harness' modes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RootMode {
+    /// Baseline: iterate from the root anycast addresses (hints file).
+    Hints,
+    /// §3 strategy 2: consult a local root zone copy per consultation.
+    LocalZone,
+    /// §3 strategy 1: the root zone preloaded into the cache.
+    Preload,
+    /// §3 strategy 3 / RFC 7706: authoritative root on a local address.
+    Loopback,
+}
+
+impl RootMode {
+    /// Every mode, in presentation order.
+    pub const ALL: [RootMode; 4] =
+        [RootMode::Hints, RootMode::LocalZone, RootMode::Preload, RootMode::Loopback];
+
+    /// Short display name, stable across runs (report rows key on it).
+    pub fn name(self) -> &'static str {
+        match self {
+            RootMode::Hints => "hints",
+            RootMode::LocalZone => "local-zone",
+            RootMode::Preload => "preload",
+            RootMode::Loopback => "loopback",
+        }
+    }
+}
+
+/// A bounded failure narrative whose interleavings the checker enumerates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ScenarioKind {
+    /// One query, no faults, no drop budget. The reference scenario for
+    /// the four-modes-agree invariant.
+    Baseline,
+    /// One query; the explorer may drop up to `drop_budget` in-flight
+    /// datagrams on resolver↔upstream legs (adversarial loss).
+    Loss,
+    /// Both root instances dark from t=0; no drop budget. Separates hints
+    /// from the local-root modes.
+    RootOutage,
+    /// The resolver partitioned from both root instances from t=0 (roots
+    /// stay alive — drops are partition drops, not outage drops).
+    Partition,
+    /// Serve-stale boundary probe: a query warms the cache, every upstream
+    /// goes dark, and a re-query lands just past the end of the stale
+    /// window. Clean on a correct cache; the planted off-by-one serves one
+    /// second past the window and trips the stale-window invariant.
+    StaleExpiry,
+    /// Negative-entry probe: an NXDOMAIN warms the negative cache, every
+    /// upstream goes dark, and a re-query lands after the negative TTL but
+    /// inside the stale window. Clean on a correct cache (negatives are
+    /// never served stale); the planted bug resurrects the entry as an
+    /// empty positive answer.
+    NegativeExpiry,
+}
+
+impl ScenarioKind {
+    /// The fault scenarios gated in CI: at least one outage and one loss
+    /// narrative, explored across all four root modes.
+    pub const GATE: [ScenarioKind; 4] =
+        [ScenarioKind::Baseline, ScenarioKind::Loss, ScenarioKind::RootOutage, ScenarioKind::Partition];
+
+    /// Short display name, stable across runs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::Baseline => "baseline",
+            ScenarioKind::Loss => "loss",
+            ScenarioKind::RootOutage => "root-outage",
+            ScenarioKind::Partition => "partition",
+            ScenarioKind::StaleExpiry => "stale-expiry",
+            ScenarioKind::NegativeExpiry => "negative-expiry",
+        }
+    }
+
+    /// How many adversarial in-flight drops the explorer may spend on one
+    /// path of this scenario.
+    pub fn drop_budget(self) -> usize {
+        match self {
+            ScenarioKind::Loss => 1,
+            _ => 0,
+        }
+    }
+
+    /// The bounded-delay adversary's slack: an in-flight datagram may be
+    /// reordered behind others only while its due time stays within this
+    /// much of the earliest pending event. This bounds network reordering
+    /// without admitting unbounded holds — a response delayed *past* a
+    /// retry timer is modeled by the loss scenario's drop budget instead,
+    /// which keeps the fault-free baseline's outcome single-valued (the
+    /// four-modes-agree invariant is about answers, not tail latency).
+    pub fn delay_slack(self) -> SimDuration {
+        SimDuration::from_secs(1)
+    }
+
+    /// The serve-stale window configured on the resolver's cache.
+    fn stale_window(self) -> SimDuration {
+        match self {
+            ScenarioKind::StaleExpiry => SimDuration::from_secs(60),
+            ScenarioKind::NegativeExpiry => SimDuration::from_secs(7_200),
+            _ => SimDuration::ZERO,
+        }
+    }
+}
+
+/// Builds identical worlds on demand so the explorer can rebuild + replay
+/// a path when it backtracks. The root zone and the TLD's authoritative
+/// zone are built once and shared by `Arc` — a rebuild only re-wires nodes.
+pub struct WorldFactory {
+    /// The scenario being explored.
+    pub kind: ScenarioKind,
+    /// The resolver's root-information mode.
+    pub mode: RootMode,
+    /// Simulator seed (geo placement and latencies derive from it).
+    pub seed: u64,
+    zone: Arc<Zone>,
+    tld_auth: AuthServer,
+    tld_glue: Vec<Ipv4Addr>,
+    waves: Vec<Vec<(SimTime, Name, RType)>>,
+}
+
+impl WorldFactory {
+    /// Prepares the shared immutable parts of `(kind, mode, seed)` worlds.
+    pub fn new(kind: ScenarioKind, mode: RootMode, seed: u64) -> WorldFactory {
+        let zone = Arc::new(rootzone::build(&RootZoneConfig::small(1)));
+        let tld = zone.tlds().remove(0);
+        let tld_auth = tld_server(&tld, 1, 0);
+        let mut tld_glue: Vec<Ipv4Addr> = zone
+            .delegation_records(&tld)
+            .into_iter()
+            .filter_map(|r| match r.rdata {
+                RData::A(a) => Some(a),
+                _ => None,
+            })
+            .collect();
+        tld_glue.sort_unstable();
+        tld_glue.dedup();
+
+        let www = tld.child("domain0").unwrap().child("www").unwrap();
+        let apex = tld.child("domain0").unwrap();
+        let nx = tld.child("domain0").unwrap().child("nope").unwrap();
+        let at = |s: f64| SimTime::ZERO + SimDuration::from_millis_f64(s * 1_000.0);
+        // A wave's queries are injected together, so everything inside one
+        // wave genuinely runs concurrently and interleaves.
+        let waves: Vec<Vec<(SimTime, Name, RType)>> = match kind {
+            // Two simultaneous lookups: their resolution chains overlap in
+            // the frontier, which is where delivery-order races live.
+            ScenarioKind::Baseline | ScenarioKind::Loss => {
+                vec![vec![(at(0.0), www, RType::A), (at(0.0), apex, RType::A)]]
+            }
+            ScenarioKind::RootOutage | ScenarioKind::Partition => {
+                vec![vec![(at(0.0), www, RType::A)]]
+            }
+            // The www A TTL is 3600 s and the window 60 s. Serve-stale is
+            // consulted when the retry ladder exhausts, not when the query
+            // arrives: with every upstream dark the ladder runs a fixed
+            // 30.45 s (deterministic — jitter is zeroed), so a re-query at
+            // 3630 s reaches the cache at ~3660.45 s. That instant sits
+            // just past the 60 s window (phase 1 settles at ~0.14 s) but
+            // inside the planted +1 s retention, which is exactly the
+            // boundary the off-by-one self-test must be able to see.
+            ScenarioKind::StaleExpiry => vec![
+                vec![(at(0.0), www.clone(), RType::A)],
+                vec![(at(3_630.0), www, RType::A)],
+            ],
+            // The negative TTL (SOA minimum) is 3600 s and the window 7200 s:
+            // at 5400 s the entry is expired but well inside the window.
+            ScenarioKind::NegativeExpiry => vec![
+                vec![(at(0.0), nx.clone(), RType::A)],
+                vec![(at(5_400.0), nx, RType::A)],
+            ],
+        };
+
+        WorldFactory { kind, mode, seed, zone, tld_auth, tld_glue, waves }
+    }
+
+    /// The scenario's configured serve-stale window.
+    pub fn stale_window(&self) -> SimDuration {
+        self.kind.stale_window()
+    }
+
+    /// Builds a fresh world at its initial state with the first phase
+    /// already injected into the frontier.
+    pub fn build(&self) -> McWorld {
+        let mut sim = Sim::new(self.seed);
+        let registry = Registry::new();
+        let tracer = Tracer::new(4_096);
+        // Before any event exists: from here on, sends and timers land in
+        // the explicit frontier instead of the timing wheel.
+        sim.enable_controlled_scheduler();
+
+        let fleet = deploy_root_fleet(&mut sim, Arc::clone(&self.zone), &[('a', 1), ('b', 1)], 1);
+        let root_instances: Vec<NodeId> =
+            fleet.instances.iter().flat_map(|(_, ids)| ids.iter().copied()).collect();
+
+        let mut rng = DetRng::seed_from_u64(self.seed ^ 0x51d);
+        let mut tld_nodes = Vec::new();
+        for (i, addr) in self.tld_glue.iter().enumerate() {
+            let node = ServerNode::new(self.tld_auth.clone());
+            tld_nodes.push(sim.add_node(*addr, city_point(i + 3, &mut rng), Box::new(node)));
+        }
+
+        let source = match self.mode {
+            RootMode::Hints => NodeRootSource::Hints,
+            RootMode::LocalZone => NodeRootSource::LocalZone(Arc::clone(&self.zone)),
+            RootMode::Preload => NodeRootSource::Preload(Arc::clone(&self.zone)),
+            RootMode::Loopback => NodeRootSource::Loopback(LOOPBACK_ROOT),
+        };
+        let mut resolver = RecursiveNode::new(source);
+        resolver.cache.stale_window = self.kind.stale_window();
+        // Jitter would draw from the shared RNG per retry, splitting states
+        // that differ only in backoff noise; the explorer wants the timeout
+        // ladder itself, not its jitter, to be the branching point.
+        resolver.backoff_jitter = 0.0;
+        if matches!(self.mode, RootMode::Hints | RootMode::Preload) {
+            resolver.set_root_addrs(fleet.root_addrs());
+        }
+        resolver.attach_obs(&registry, Some(Arc::clone(&tracer)));
+        let resolver_id = sim.add_node(RESOLVER_ADDR, GeoPoint::new(51.5, -0.1), Box::new(resolver));
+        if self.mode == RootMode::Loopback {
+            let local_root = ServerNode::new(AuthServer::new_shared(Arc::clone(&self.zone)));
+            sim.add_node(LOOPBACK_ROOT, GeoPoint::new(51.5, -0.1), Box::new(local_root));
+        }
+
+        let flat_plan: Vec<(SimDuration, Name, RType)> = self
+            .waves
+            .iter()
+            .flatten()
+            .map(|(at, n, t)| (*at - SimTime::ZERO, n.clone(), *t))
+            .collect();
+        let plan_len = flat_plan.len();
+        let client = StubClient::new(RESOLVER_ADDR, flat_plan);
+        let client_id = sim.add_node(CLIENT_ADDR, GeoPoint::new(51.6, -0.2), Box::new(client));
+
+        match self.kind {
+            ScenarioKind::Baseline | ScenarioKind::Loss => {}
+            ScenarioKind::RootOutage => {
+                for id in &root_instances {
+                    sim.faults.node_outage(*id, SimTime::ZERO, SimTime::ZERO + FOREVER);
+                }
+            }
+            ScenarioKind::Partition => {
+                sim.faults.partition(
+                    vec![resolver_id],
+                    root_instances.clone(),
+                    SimTime::ZERO,
+                    SimTime::ZERO + FOREVER,
+                );
+            }
+            ScenarioKind::StaleExpiry | ScenarioKind::NegativeExpiry => {
+                // Every remote upstream goes dark long after phase 1 settles
+                // and long before the re-query, so the second phase must
+                // fall back to the cache. The RFC 7706 loopback (Loopback
+                // mode) is local and deliberately stays up.
+                let dark = SimTime::ZERO + SimDuration::from_secs(600);
+                for id in root_instances.iter().chain(&tld_nodes) {
+                    sim.faults.node_outage(*id, dark, SimTime::ZERO + FOREVER);
+                }
+            }
+        }
+
+        let mut next_idx = 0u64;
+        let phases: VecDeque<Vec<(SimTime, u64)>> = self
+            .waves
+            .iter()
+            .map(|wave| {
+                wave.iter()
+                    .map(|(at, _, _)| {
+                        let idx = next_idx;
+                        next_idx += 1;
+                        (*at, idx)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut world = McWorld {
+            sim,
+            resolver: resolver_id,
+            client: client_id,
+            plan_len,
+            stale_window: self.kind.stale_window(),
+            phases,
+            tracer,
+            trace_seen: 0,
+            delay_slack: self.kind.delay_slack(),
+            _registry: registry,
+        };
+        world.inject_ready();
+        world
+    }
+}
+
+/// One concrete world, advanced along some path of scheduler choices.
+pub struct McWorld {
+    /// The controlled-scheduler simulator.
+    pub sim: Sim,
+    /// The recursive resolver's node id.
+    pub resolver: NodeId,
+    /// The stub client's node id.
+    pub client: NodeId,
+    /// Total queries the scenario plans (across all phases).
+    pub plan_len: usize,
+    /// The cache's configured serve-stale window (invariant bound).
+    pub stale_window: SimDuration,
+    /// Waves of client query timers not yet injected, each entry
+    /// `(absolute time, plan index)`; a wave is injected whole so its
+    /// queries run concurrently.
+    pub phases: VecDeque<Vec<(SimTime, u64)>>,
+    /// Trace sink the resolver reports cache-stale serves into.
+    pub tracer: Arc<Tracer>,
+    /// How many trace events the invariant checker has already consumed.
+    pub trace_seen: usize,
+    /// Bounded-delay adversary window (see [`ScenarioKind::delay_slack`]).
+    pub delay_slack: SimDuration,
+    // Keeps the metrics registry alive for the world's lifetime.
+    _registry: Arc<Registry>,
+}
+
+/// One scheduler decision at some frontier: fire or adversarially drop the
+/// entry at `index` of the frontier sorted by `(due time, id)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Choice {
+    /// Deliver/fire the frontier entry at this sorted index.
+    Fire(usize),
+    /// Drop the in-flight datagram at this sorted index (loss adversary).
+    Drop(usize),
+}
+
+impl std::fmt::Display for Choice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Choice::Fire(i) => write!(f, "f{i}"),
+            Choice::Drop(i) => write!(f, "d{i}"),
+        }
+    }
+}
+
+impl McWorld {
+    /// Injects the next phase's client query once the frontier drains.
+    /// Called after every transition (and once at build) so phase
+    /// injection is part of the transition semantics, not a choice.
+    pub fn inject_ready(&mut self) {
+        while self.sim.frontier_len() == 0 {
+            let Some(wave) = self.phases.pop_front() else { break };
+            for (at, idx) in wave {
+                self.sim.schedule_timer_at(self.client, at, idx);
+            }
+        }
+    }
+
+    /// True once no event is pending and no phase remains: the scenario
+    /// has quiesced and terminal invariants apply.
+    pub fn terminal(&self) -> bool {
+        self.sim.frontier_len() == 0 && self.phases.is_empty()
+    }
+
+    /// Enumerates every scheduler decision available at the current state,
+    /// in deterministic order: fire each fireable frontier entry, then
+    /// drop each droppable in-flight datagram while `drops_left` allows.
+    ///
+    /// The adversary distinguishes the two event kinds:
+    ///
+    /// - **Timers are exact local clocks.** A timer fires only once it is
+    ///   the earliest pending event (due-time ties included) — the network
+    ///   cannot hasten or stall a node's own clock. A retry timer still
+    ///   races a response whenever its due time genuinely precedes the
+    ///   response's arrival, and a *dropped* response (below) makes it the
+    ///   minimum naturally.
+    /// - **Deliveries reorder within a bounded window.** An in-flight
+    ///   datagram is fireable while its due time lies within
+    ///   [`Self::delay_slack`] of the earliest pending event, so packets
+    ///   race and overtake each other locally, but a response cannot be
+    ///   silently held past a retry timer — that behavior is the loss
+    ///   adversary's, paid from `drops_left`.
+    ///
+    /// Client legs are exempt from drops — the stub client does not
+    /// retry, so losing its query or its answer would trivially (and
+    /// uninterestingly) violate the every-query-settles invariant; the
+    /// adversary models WAN loss on resolver↔upstream paths, where the
+    /// resolver's timeout ladder guarantees progress.
+    pub fn choices(&self, drops_left: usize) -> Vec<Choice> {
+        let frontier = self.sim.frontier();
+        let Some(first) = frontier.first() else { return Vec::new() };
+        let horizon = first.at + self.delay_slack;
+        let mut out = Vec::with_capacity(frontier.len() * 2);
+        for (i, e) in frontier.iter().enumerate() {
+            let fireable = match e.kind {
+                FrontierKind::Deliver { .. } => e.at <= horizon,
+                FrontierKind::Timer { .. } => e.at <= first.at,
+            };
+            if fireable {
+                out.push(Choice::Fire(i));
+            }
+        }
+        if drops_left > 0 {
+            for (i, e) in frontier.iter().enumerate() {
+                if e.at > horizon {
+                    continue;
+                }
+                if let FrontierKind::Deliver { src, dst, .. } = e.kind {
+                    if src != CLIENT_ADDR && dst != CLIENT_ADDR {
+                        out.push(Choice::Drop(i));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies one decision and injects any newly-ready phase. Returns
+    /// `false` if the index does not name a (droppable) frontier entry.
+    pub fn apply(&mut self, choice: Choice) -> bool {
+        let frontier = self.sim.frontier();
+        let ok = match choice {
+            Choice::Fire(i) => {
+                frontier.get(i).is_some_and(|e| self.sim.fire_frontier(e.id))
+            }
+            Choice::Drop(i) => {
+                frontier.get(i).is_some_and(|e| self.sim.drop_frontier(e.id))
+            }
+        };
+        if ok {
+            self.inject_ready();
+        }
+        ok
+    }
+
+    /// Canonical digest of the full model-checking state: the simulator's
+    /// behavioral digest plus the not-yet-injected phases (which the sim
+    /// cannot see but which determine the future).
+    pub fn digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.write_u64(self.sim.state_digest());
+        d.write_usize(self.phases.len());
+        for wave in &self.phases {
+            d.write_usize(wave.len());
+            for (at, idx) in wave {
+                d.write_u64(at.as_nanos());
+                d.write_u64(*idx);
+            }
+        }
+        d.finish()
+    }
+
+    /// The client's settled outcomes `(query index, rcode, answer count)`,
+    /// sorted by query index — arrival order is path history, not outcome.
+    pub fn outcome(&self) -> Vec<(u16, u8, usize)> {
+        let client = (self.sim.node(self.client) as &dyn std::any::Any)
+            .downcast_ref::<StubClient>()
+            .expect("client node");
+        let mut v: Vec<(u16, u8, usize)> = client
+            .results
+            .iter()
+            .map(|(idx, _, rcode, answers)| (*idx, rcode.to_u8(), answers.len()))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The recursive resolver, for invariant inspection.
+    pub fn resolver_node(&self) -> &RecursiveNode {
+        (self.sim.node(self.resolver) as &dyn std::any::Any)
+            .downcast_ref::<RecursiveNode>()
+            .expect("resolver node")
+    }
+}

@@ -1,0 +1,173 @@
+//! Exhaustive exploration of the gate scenarios on the *correct* build:
+//! every interleaving of every bounded scenario must satisfy every
+//! invariant, the four root modes must agree on fault-free answers, and
+//! the search itself must be deterministic and honest about bounds.
+
+// The planted-bug feature deliberately breaks the cache; these properties
+// only hold on the correct build (tests/planted_bug.rs covers the other).
+#![cfg(not(feature = "plant-stale-bug"))]
+
+use rootless_mc::{
+    explore, explore_pair, modes_agree, run_gate, ExploreConfig, RootMode, ScenarioKind,
+    WorldFactory,
+};
+
+const SEED: u64 = 0xb0075;
+
+#[test]
+fn baseline_is_clean_and_all_modes_agree() {
+    let reports: Vec<_> = RootMode::ALL
+        .iter()
+        .map(|m| explore_pair(ScenarioKind::Baseline, *m, SEED))
+        .collect();
+    for r in &reports {
+        assert!(r.violation.is_none(), "{}/{}: {:?}", r.scenario, r.mode, r.violation);
+        assert!(r.exhaustive(), "{}/{} was truncated: {r:?}", r.scenario, r.mode);
+        assert!(r.terminals >= 1);
+        assert_eq!(r.outcomes.len(), 1, "{}/{} outcomes diverge: {:?}", r.scenario, r.mode, r.outcomes);
+    }
+    let agreed = modes_agree(&reports).expect("modes agree");
+    // Two concurrent queries, each answered with at least one A record,
+    // regardless of how their resolution chains interleaved.
+    assert_eq!(agreed.len(), 2);
+    for (i, (idx, rcode, answers)) in agreed.iter().enumerate() {
+        assert_eq!((*idx, *rcode), (i as u16, 0), "baseline answer must be NoError");
+        assert!(*answers >= 1, "baseline answer carries records");
+    }
+}
+
+#[test]
+fn adversarial_loss_is_exhausted_without_violations() {
+    for mode in [RootMode::Hints, RootMode::LocalZone] {
+        let base = explore_pair(ScenarioKind::Baseline, mode, SEED);
+        let loss = explore_pair(ScenarioKind::Loss, mode, SEED);
+        assert!(loss.violation.is_none(), "loss/{}: {:?}", loss.mode, loss.violation);
+        assert!(loss.exhaustive(), "loss/{} was truncated: {loss:?}", loss.mode);
+        // The drop budget genuinely enlarges the interleaving space.
+        assert!(
+            loss.explored > base.explored,
+            "loss/{} explored {} states, baseline {}",
+            loss.mode,
+            loss.explored,
+            base.explored
+        );
+        // With server diversity (two root letters, or no root leg at all),
+        // a dropped packet costs a retry but never the answer: every path
+        // still settles both queries with NoError.
+        for outcome in &loss.outcomes {
+            assert_eq!(outcome.len(), 2, "loss/{} outcome {:?}", loss.mode, outcome);
+            for entry in outcome {
+                assert_eq!(entry.1, 0, "loss/{} outcome {:?}", loss.mode, outcome);
+            }
+        }
+    }
+}
+
+#[test]
+fn loss_exposes_loopback_single_upstream_fragility() {
+    // The RFC 7706 loopback runs ONE local root instance, and the resolver
+    // tries each known server exactly once before failing over to the
+    // cache. Exhaustive search proves the flip side of eliminating remote
+    // roots: a single well-placed drop on the loopback leg turns into a
+    // hard ServFail, an outcome no interleaving of the two-letter hints
+    // deployment can produce. No invariant breaks — the query still
+    // settles, conservation holds — the *answer* is just worse.
+    let loss = explore_pair(ScenarioKind::Loss, RootMode::Loopback, SEED);
+    assert!(loss.violation.is_none(), "loss/loopback: {:?}", loss.violation);
+    assert!(loss.exhaustive(), "loss/loopback was truncated: {loss:?}");
+    let rcodes: std::collections::BTreeSet<u8> =
+        loss.outcomes.iter().flat_map(|o| o.iter().map(|e| e.1)).collect();
+    assert!(rcodes.contains(&0), "some loopback paths still resolve: {:?}", loss.outcomes);
+    assert!(
+        rcodes.contains(&2),
+        "a drop on the only root upstream must surface as ServFail: {:?}",
+        loss.outcomes
+    );
+}
+
+#[test]
+fn root_outage_separates_hints_from_local_root_modes() {
+    for mode in RootMode::ALL {
+        let r = explore_pair(ScenarioKind::RootOutage, mode, SEED);
+        assert!(r.violation.is_none(), "root-outage/{}: {:?}", r.mode, r.violation);
+        assert!(r.exhaustive(), "root-outage/{} was truncated: {r:?}", r.mode);
+        assert_eq!(r.outcomes.len(), 1, "root-outage/{} outcomes: {:?}", r.mode, r.outcomes);
+        let outcome = r.outcomes.iter().next().unwrap();
+        let want_rcode = if mode == RootMode::Hints { 2 } else { 0 };
+        assert_eq!(
+            outcome[0].1, want_rcode,
+            "root-outage/{} settled {:?}, want rcode {want_rcode}",
+            r.mode, outcome
+        );
+    }
+}
+
+#[test]
+fn partition_from_roots_matches_outage_outcomes() {
+    for mode in [RootMode::Hints, RootMode::LocalZone] {
+        let r = explore_pair(ScenarioKind::Partition, mode, SEED);
+        assert!(r.violation.is_none(), "partition/{}: {:?}", r.mode, r.violation);
+        assert!(r.exhaustive(), "partition/{} was truncated: {r:?}", r.mode);
+        let outcome = r.outcomes.iter().next().unwrap();
+        let want_rcode = if mode == RootMode::Hints { 2 } else { 0 };
+        assert_eq!(outcome[0].1, want_rcode, "partition/{} settled {:?}", r.mode, outcome);
+    }
+}
+
+#[test]
+fn stale_scenarios_are_clean_on_the_correct_cache() {
+    // These are the planted-bug probes; on the correct build the re-query
+    // past the window must hard-fail without any stale-serve violation.
+    for kind in [ScenarioKind::StaleExpiry, ScenarioKind::NegativeExpiry] {
+        let r = explore_pair(kind, RootMode::Hints, SEED);
+        assert!(r.violation.is_none(), "{}: {:?}", r.scenario, r.violation);
+        assert!(r.exhaustive(), "{} was truncated: {r:?}", r.scenario);
+        for outcome in &r.outcomes {
+            assert_eq!(outcome.len(), 2, "{} outcomes: {outcome:?}", r.scenario);
+            // Phase 2 re-queries against dark upstreams: ServFail, never a
+            // stale or resurrected answer.
+            assert_eq!(outcome[1].1, 2, "{} phase-2 settled {:?}", r.scenario, outcome);
+            assert_eq!(outcome[1].2, 0, "{} phase-2 carried answers: {outcome:?}", r.scenario);
+        }
+    }
+}
+
+#[test]
+fn exploration_is_deterministic() {
+    let a = run_gate(SEED);
+    let b = run_gate(SEED);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn depth_bound_truncates_honestly() {
+    let factory = WorldFactory::new(ScenarioKind::Baseline, RootMode::Hints, SEED);
+    let full = explore(&factory, &ExploreConfig::default());
+    assert!(full.exhaustive());
+    let mut tight = ExploreConfig::default();
+    tight.max_depth = 2;
+    let cut = explore(&factory, &tight);
+    assert!(cut.depth_truncations > 0, "expected truncations: {cut:?}");
+    assert!(!cut.exhaustive());
+    assert!(cut.explored < full.explored);
+}
+
+#[test]
+fn replay_follows_a_recorded_schedule() {
+    let factory = WorldFactory::new(ScenarioKind::Baseline, RootMode::Hints, SEED);
+    // The baseline frontier always holds exactly one event until the
+    // answer lands, so the all-f0 schedule is the canonical run.
+    let mut world = factory.build();
+    let mut tokens = Vec::new();
+    while !world.terminal() {
+        tokens.push("f0".to_string());
+        assert!(world.apply(rootless_mc::Choice::Fire(0)));
+        assert!(tokens.len() < 256, "baseline failed to quiesce");
+    }
+    let trace = tokens.join(".");
+    let replayed = rootless_mc::replay(&factory, &trace).expect("replay parses");
+    assert!(replayed.terminal);
+    assert_eq!(replayed.violation, None);
+    assert_eq!(replayed.outcome, world.outcome());
+    assert_eq!(replayed.steps, tokens.len());
+}

@@ -1,0 +1,63 @@
+//! The explorer's own gate: with the `plant-stale-bug` feature forwarded
+//! into the cache (a one-second stale-window off-by-one plus a negative-
+//! entry resurrection), the search MUST find a violating schedule and
+//! print it as a minimal, replayable counterexample. A silently-vacuous
+//! explorer — one that explores nothing, checks nothing, or cannot
+//! reproduce its own findings — fails here, which is what lets CI trust
+//! the zero-violation reports on the correct build.
+
+#![cfg(feature = "plant-stale-bug")]
+
+use rootless_mc::{explore, replay, ExploreConfig, RootMode, ScenarioKind, WorldFactory};
+
+const SEED: u64 = 0xb0075;
+
+#[test]
+fn planted_stale_window_off_by_one_is_found() {
+    let factory = WorldFactory::new(ScenarioKind::StaleExpiry, RootMode::Hints, SEED);
+    let report = explore(&factory, &ExploreConfig::default());
+    let cx = report.violation.as_ref().unwrap_or_else(|| {
+        panic!("explorer missed the planted stale-window bug: {report:?}")
+    });
+    assert!(
+        cx.violation.contains("stale answer"),
+        "wrong violation for the planted off-by-one: {}",
+        cx.violation
+    );
+    assert!(cx.minimal, "counterexample was not minimized: {cx:?}");
+    assert!(!cx.trace.is_empty());
+
+    // The counterexample must replay: an independent world, driven by the
+    // recorded schedule alone, reproduces the same invariant violation.
+    let replayed = replay(&factory, &cx.trace).expect("trace replays");
+    assert_eq!(replayed.violation.as_deref(), Some(cx.violation.as_str()));
+}
+
+#[test]
+fn planted_negative_resurrection_is_found() {
+    let factory = WorldFactory::new(ScenarioKind::NegativeExpiry, RootMode::Hints, SEED);
+    let report = explore(&factory, &ExploreConfig::default());
+    let cx = report
+        .violation
+        .as_ref()
+        .unwrap_or_else(|| panic!("explorer missed the planted resurrection: {report:?}"));
+    assert!(
+        cx.violation.contains("resurrected"),
+        "wrong violation for the planted resurrection: {}",
+        cx.violation
+    );
+    assert!(cx.minimal, "counterexample was not minimized: {cx:?}");
+
+    let replayed = replay(&factory, &cx.trace).expect("trace replays");
+    assert_eq!(replayed.violation.as_deref(), Some(cx.violation.as_str()));
+}
+
+#[test]
+fn fault_free_scenarios_stay_clean_even_with_the_planted_bug() {
+    // The bug only fires on the serve-stale path; baseline interleavings
+    // never reach it, so a violation here would mean a checker bug.
+    let factory = WorldFactory::new(ScenarioKind::Baseline, RootMode::Hints, SEED);
+    let report = explore(&factory, &ExploreConfig::default());
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(report.exhaustive());
+}

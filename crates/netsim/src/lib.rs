@@ -20,5 +20,8 @@ pub mod wheel;
 
 pub use fault::{FaultSchedule, FaultStats, LinkFilter, LossGate, Window};
 pub use geo::GeoPoint;
-pub use sim::{Ctx, Datagram, Middlebox, Node, NodeId, Payload, Sim, SimStats, Verdict};
+pub use sim::{
+    Ctx, Datagram, FrontierEntry, FrontierKind, Middlebox, Node, NodeId, Payload, Sim, SimStats,
+    Verdict,
+};
 pub use wheel::{EventHandle, TimingWheel};

@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use rootless_obs::metrics::{Counter, Registry};
 use rootless_obs::trace::{FaultKind, TraceKind, Tracer};
+use rootless_util::digest::StateDigest;
 use rootless_util::rng::DetRng;
 use rootless_util::time::{SimDuration, SimTime};
 
@@ -162,6 +163,16 @@ pub trait Node: std::any::Any {
     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram);
     /// A timer set with [`Ctx::set_timer`] fired.
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64);
+    /// Feeds a canonical digest of this node's *behavioral* state (the
+    /// state that influences future transitions — caches, in-flight
+    /// request tables, retry counters; not observational tallies). The
+    /// model checker merges two interleavings exactly when every node
+    /// digest, the pending-event frontier, and the clock agree, so a node
+    /// that leaves this as the default no-op opts its state out of the
+    /// equivalence — sound only for stateless nodes (pure responders).
+    fn state_digest(&self, digest: &mut StateDigest) {
+        let _ = digest;
+    }
 }
 
 /// Side-effect buffer handed to node callbacks.
@@ -211,6 +222,53 @@ impl<'a> Ctx<'a> {
 enum EventKind {
     Deliver(NodeId, Datagram),
     Timer(NodeId, u64),
+}
+
+/// One pending event exposed by the controlled scheduler — see
+/// [`Sim::enable_controlled_scheduler`].
+#[derive(Clone, Debug)]
+pub struct FrontierEntry {
+    /// Stable identifier (scheduling order) to pass to
+    /// [`Sim::fire_frontier`] / [`Sim::drop_frontier`]. Ids are never
+    /// reused within one run.
+    pub id: u64,
+    /// The event's natural due time. The controlled scheduler may fire
+    /// any pending event first; firing one past another's due time models
+    /// the other being delayed in flight.
+    pub at: SimTime,
+    /// What the event is.
+    pub kind: FrontierKind,
+}
+
+/// The observable shape of a [`FrontierEntry`].
+#[derive(Clone, Debug)]
+pub enum FrontierKind {
+    /// A datagram in flight toward `node`.
+    Deliver {
+        /// Receiving node.
+        node: NodeId,
+        /// Sender address.
+        src: Ipv4Addr,
+        /// Wire destination address (possibly anycast).
+        dst: Ipv4Addr,
+        /// Payload length in bytes.
+        bytes: usize,
+    },
+    /// A pending timer for `node`.
+    Timer {
+        /// The node whose timer it is.
+        node: NodeId,
+        /// The token the node passed to [`Ctx::set_timer`].
+        token: u64,
+    },
+}
+
+/// Pending-event store for the controlled (model-checking) scheduler:
+/// a flat queue the explorer picks from, in place of the timing wheel's
+/// (time, seq) order.
+struct Controlled {
+    next_id: u64,
+    queue: Vec<(u64, SimTime, EventKind)>,
 }
 
 /// Traffic counters, including the per-destination accounting the root
@@ -325,6 +383,9 @@ pub struct Sim {
     /// Counters.
     pub stats: SimStats,
     obs: Option<SimObs>,
+    /// `Some` once [`Sim::enable_controlled_scheduler`] has been called:
+    /// events bypass the wheel and wait in an explicit frontier.
+    controlled: Option<Controlled>,
 }
 
 impl Sim {
@@ -346,6 +407,7 @@ impl Sim {
             rng: DetRng::seed_from_u64(seed),
             stats: SimStats::default(),
             obs: None,
+            controlled: None,
         }
     }
 
@@ -469,6 +531,16 @@ impl Sim {
         self.push_event(at, EventKind::Timer(node, token))
     }
 
+    /// Schedules a timer at an *absolute* simulated time (engine-level).
+    /// If `at` is already in the past, the timer becomes due immediately.
+    /// The model checker's scenario phases use this so a phase boundary is
+    /// pinned to one wall time regardless of how the previous phase's
+    /// interleaving played out.
+    pub fn schedule_timer_at(&mut self, node: NodeId, at: SimTime, token: u64) {
+        let at = at.max(self.now);
+        self.push_event(at, EventKind::Timer(node, token));
+    }
+
     /// Cancels a pending event. Returns `false` if it already fired or was
     /// already cancelled (the handle's generation tag makes this a safe
     /// no-op even after the slot has been recycled).
@@ -495,7 +567,17 @@ impl Sim {
     }
 
     fn push_event(&mut self, at: SimTime, kind: EventKind) -> EventHandle {
-        self.wheel.schedule(at.as_nanos(), kind)
+        match &mut self.controlled {
+            Some(c) => {
+                let id = c.next_id;
+                c.next_id += 1;
+                c.queue.push((id, at, kind));
+                // Frontier events cannot be cancelled through wheel
+                // handles; cancelling an inert handle is a safe no-op.
+                EventHandle::INERT
+            }
+            None => self.wheel.schedule(at.as_nanos(), kind),
+        }
     }
 
     fn dispatch_send(&mut self, from_geo: GeoPoint, mut dgram: Datagram) {
@@ -629,50 +711,213 @@ impl Sim {
     /// Runs until the event queue empties or `deadline` passes. Returns the
     /// number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        assert!(
+            self.controlled.is_none(),
+            "run_until on a controlled-scheduler sim; drive it via fire_frontier"
+        );
         let mut processed = 0;
         while let Some((at, kind)) = self.wheel.pop_at_or_before(deadline.as_nanos()) {
             self.now = SimTime(at);
             processed += 1;
-            match kind {
-                EventKind::Deliver(node_id, dgram) => {
-                    // The node may have entered an outage window while the
-                    // packet was in flight.
-                    if !self.is_live(node_id) {
-                        self.stats.dropped_unreachable += 1;
-                        let outage = !self.down[node_id.0];
-                        if outage {
-                            self.stats.faults.outage_drops += 1;
-                        }
-                        if let Some(o) = &self.obs {
-                            o.dropped_unreachable.inc();
-                            if outage {
-                                o.outage_drops.inc();
-                                o.fault_drop(self.now, FaultKind::Outage);
-                            }
-                        }
-                        continue;
-                    }
-                    self.stats.delivered += 1;
-                    if let Some(o) = &self.obs {
-                        o.delivered.inc();
-                    }
-                    *self.stats.per_dst.entry(dgram.dst).or_insert(0) += 1;
-                    self.with_node(node_id, |node, ctx| node.on_datagram(ctx, dgram));
-                }
-                EventKind::Timer(node_id, token) => {
-                    if !self.is_live(node_id) {
-                        continue;
-                    }
-                    self.with_node(node_id, |node, ctx| node.on_timer(ctx, token));
-                }
-            }
+            self.process_event(kind);
         }
         processed
+    }
+
+    /// Executes one event at the already-advanced `self.now` — the shared
+    /// tail of both schedulers (wheel order in [`Sim::run_until`],
+    /// explorer-chosen order in [`Sim::fire_frontier`]).
+    fn process_event(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Deliver(node_id, dgram) => {
+                // The node may have entered an outage window while the
+                // packet was in flight.
+                if !self.is_live(node_id) {
+                    self.stats.dropped_unreachable += 1;
+                    let outage = !self.down[node_id.0];
+                    if outage {
+                        self.stats.faults.outage_drops += 1;
+                    }
+                    if let Some(o) = &self.obs {
+                        o.dropped_unreachable.inc();
+                        if outage {
+                            o.outage_drops.inc();
+                            o.fault_drop(self.now, FaultKind::Outage);
+                        }
+                    }
+                    return;
+                }
+                self.stats.delivered += 1;
+                if let Some(o) = &self.obs {
+                    o.delivered.inc();
+                }
+                *self.stats.per_dst.entry(dgram.dst).or_insert(0) += 1;
+                self.with_node(node_id, |node, ctx| node.on_datagram(ctx, dgram));
+            }
+            EventKind::Timer(node_id, token) => {
+                if !self.is_live(node_id) {
+                    return;
+                }
+                self.with_node(node_id, |node, ctx| node.on_timer(ctx, token));
+            }
+        }
     }
 
     /// Runs until the queue is empty.
     pub fn run_to_completion(&mut self) -> u64 {
         self.run_until(SimTime(u64::MAX))
+    }
+
+    /// Switches the engine into controlled-scheduler mode: from now on,
+    /// scheduled events (sends in flight, timers) accumulate in an explicit
+    /// frontier instead of the timing wheel, and the caller decides which
+    /// pending event happens next via [`Sim::fire_frontier`] — or drops an
+    /// in-flight datagram via [`Sim::drop_frontier`]. This is the model
+    /// checker's hook: enumerating all frontier choices enumerates all
+    /// delivery/timeout interleavings of a scenario.
+    ///
+    /// Must be called before any event is scheduled (the wheel must be
+    /// empty); [`Sim::run_until`] panics once the sim is controlled.
+    pub fn enable_controlled_scheduler(&mut self) {
+        assert!(self.wheel.is_empty(), "enable_controlled_scheduler with events already queued");
+        assert!(self.controlled.is_none(), "controlled scheduler enabled twice");
+        self.controlled = Some(Controlled { next_id: 0, queue: Vec::new() });
+    }
+
+    /// The current frontier of pending events, sorted by (due time, id).
+    /// Panics unless the controlled scheduler is enabled.
+    pub fn frontier(&self) -> Vec<FrontierEntry> {
+        let c = self.controlled.as_ref().expect("frontier: controlled scheduler not enabled");
+        let mut entries: Vec<FrontierEntry> = c
+            .queue
+            .iter()
+            .map(|(id, at, kind)| FrontierEntry {
+                id: *id,
+                at: *at,
+                kind: match kind {
+                    EventKind::Deliver(node, d) => FrontierKind::Deliver {
+                        node: *node,
+                        src: d.src,
+                        dst: d.dst,
+                        bytes: d.payload.len(),
+                    },
+                    EventKind::Timer(node, token) => {
+                        FrontierKind::Timer { node: *node, token: *token }
+                    }
+                },
+            })
+            .collect();
+        entries.sort_by_key(|e| (e.at, e.id));
+        entries
+    }
+
+    /// Number of pending events in the controlled frontier.
+    pub fn frontier_len(&self) -> usize {
+        self.controlled.as_ref().expect("frontier_len: controlled scheduler not enabled").queue.len()
+    }
+
+    /// Number of in-flight datagrams (pending `Deliver` events) in the
+    /// frontier — the "on the wire" term of the packet-conservation
+    /// invariant at intermediate states.
+    pub fn frontier_in_flight(&self) -> usize {
+        let c = self.controlled.as_ref().expect("frontier_in_flight: controlled scheduler not enabled");
+        c.queue.iter().filter(|(_, _, k)| matches!(k, EventKind::Deliver(..))).count()
+    }
+
+    /// Fires pending event `id` next: the clock advances to
+    /// `max(now, event.at)` — time is monotone, timers never fire early,
+    /// and firing an event past another's due time models the other being
+    /// delayed — and the event executes exactly as the wheel scheduler
+    /// would have executed it. Returns `false` if no such id is pending.
+    pub fn fire_frontier(&mut self, id: u64) -> bool {
+        let c = self.controlled.as_mut().expect("fire_frontier: controlled scheduler not enabled");
+        let Some(pos) = c.queue.iter().position(|(eid, _, _)| *eid == id) else {
+            return false;
+        };
+        let (_, at, kind) = c.queue.remove(pos);
+        self.now = self.now.max(at);
+        self.process_event(kind);
+        true
+    }
+
+    /// Adversarially drops pending in-flight datagram `id` (a `Deliver`
+    /// entry; timers cannot be dropped). Accounted as a loss drop so packet
+    /// conservation holds on every explored path. Returns `false` if `id`
+    /// is not a pending delivery.
+    pub fn drop_frontier(&mut self, id: u64) -> bool {
+        let c = self.controlled.as_mut().expect("drop_frontier: controlled scheduler not enabled");
+        let Some(pos) = c
+            .queue
+            .iter()
+            .position(|(eid, _, k)| *eid == id && matches!(k, EventKind::Deliver(..)))
+        else {
+            return false;
+        };
+        c.queue.remove(pos);
+        self.stats.dropped_loss += 1;
+        if let Some(o) = &self.obs {
+            o.dropped_loss.inc();
+            o.fault_drop(self.now, FaultKind::BaseLoss);
+        }
+        true
+    }
+
+    /// Canonical digest of the complete behavioral simulation state: the
+    /// clock, manual liveness flags, the RNG, every pending frontier event
+    /// (content included, scheduling ids excluded, order-independent), and
+    /// each node's [`Node::state_digest`]. Two interleavings with equal
+    /// digests have identical futures, which is what makes visited-state
+    /// pruning in the model checker sound.
+    pub fn state_digest(&self) -> u64 {
+        let c = self.controlled.as_ref().expect("state_digest: controlled scheduler not enabled");
+        let mut d = StateDigest::new();
+        d.write_u64(self.now.as_nanos());
+        d.write_usize(self.down.len());
+        for &down in &self.down {
+            d.write_u8(down as u8);
+        }
+        for w in self.rng.state_words() {
+            d.write_u64(w);
+        }
+        // Frontier: digest each entry standalone, then sort the entry
+        // digests — the queue's insertion order reflects the path taken,
+        // not the state reached, and must not prevent merging.
+        let mut entry_digests: Vec<u64> = c
+            .queue
+            .iter()
+            .map(|(_, at, kind)| {
+                let mut e = StateDigest::new();
+                e.write_u64(at.as_nanos());
+                match kind {
+                    EventKind::Deliver(node, dgram) => {
+                        e.write_u8(1);
+                        e.write_usize(node.0);
+                        e.write_u32(u32::from(dgram.src));
+                        e.write_u32(u32::from(dgram.dst));
+                        e.write_usize(dgram.payload.len());
+                        e.write_bytes(&dgram.payload);
+                    }
+                    EventKind::Timer(node, token) => {
+                        e.write_u8(2);
+                        e.write_usize(node.0);
+                        e.write_u64(*token);
+                    }
+                }
+                e.finish()
+            })
+            .collect();
+        entry_digests.sort_unstable();
+        d.write_usize(entry_digests.len());
+        for ed in entry_digests {
+            d.write_u64(ed);
+        }
+        for (i, slot) in self.nodes.iter().enumerate() {
+            d.write_usize(i);
+            if let Some(node) = slot {
+                node.state_digest(&mut d);
+            }
+        }
+        d.finish()
     }
 
     fn with_node<F: FnOnce(&mut dyn Node, &mut Ctx<'_>)>(&mut self, id: NodeId, f: F) {

@@ -47,6 +47,13 @@ pub struct EventHandle {
     gen: u32,
 }
 
+impl EventHandle {
+    /// A handle that refers to nothing: cancelling it is always a no-op.
+    /// The controlled scheduler (model checking) returns this for events
+    /// it tracks outside the wheel.
+    pub const INERT: EventHandle = EventHandle { idx: u32::MAX, gen: u32::MAX };
+}
+
 struct Slot<T> {
     at: u64,
     gen: u32,

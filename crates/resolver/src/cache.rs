@@ -23,6 +23,7 @@ use std::sync::Arc;
 use rootless_obs::metrics::{Counter, Registry};
 use rootless_proto::name::Name;
 use rootless_proto::rr::{RType, Record};
+use rootless_util::digest::StateDigest;
 use rootless_util::time::{SimDuration, SimTime};
 
 /// Eviction policy when the cache is full.
@@ -347,7 +348,7 @@ impl Cache {
             // Expired: a miss either way. Drop the entry only once it is
             // also past the serve-stale window; inside the window it stays
             // resident for [`Cache::get_stale`] to rescue.
-            if expires + self.stale_window <= now {
+            if expires + self.stale_retention() <= now {
                 self.remove_slot(idx);
                 self.stats.expirations += 1;
                 if let Some(o) = &self.obs {
@@ -403,16 +404,40 @@ impl Cache {
     pub fn get_stale(&mut self, now: SimTime, name: &Name, rtype: RType) -> Option<Arc<[Record]>> {
         let idx = self.find(name, rtype.to_u16())?;
         let slot = self.slots[idx as usize].as_ref().expect("slot live");
-        if slot.expires + self.stale_window <= now {
+        if slot.expires + self.stale_retention() <= now {
             return None;
         }
-        let Value::Positive(records) = &slot.value else { return None };
-        let records = Arc::clone(records);
+        let records = match &slot.value {
+            Value::Positive(records) => Arc::clone(records),
+            Value::Negative => {
+                if cfg!(feature = "plant-stale-bug") {
+                    // Planted bug (test-only feature): resurrect the cached
+                    // name error as an empty positive answer. The model
+                    // checker's planted-bug gate must flag this.
+                    Arc::from(Vec::new())
+                } else {
+                    return None;
+                }
+            }
+        };
         self.stats.stale_hits += 1;
         if let Some(o) = &self.obs {
             o.stale_hits.inc();
         }
         Some(records)
+    }
+
+    /// How long past expiry an entry stays resident (and servable via
+    /// [`Cache::get_stale`]). This is exactly `stale_window`, except under
+    /// the test-only `plant-stale-bug` feature, which widens it by one
+    /// second — the off-by-one the model checker's planted-bug self-test
+    /// must catch (a vacuous explorer would miss it).
+    fn stale_retention(&self) -> SimDuration {
+        if cfg!(feature = "plant-stale-bug") {
+            self.stale_window + SimDuration::from_secs(1)
+        } else {
+            self.stale_window
+        }
     }
 
     /// Inserts a positive RRset; TTL comes from the records (minimum).
@@ -597,6 +622,78 @@ impl Cache {
             .filter(|s| s.rtype == rtype.to_u16() && s.name.label_count() == 1)
             .count()
     }
+
+    /// A point-in-time snapshot of every live entry, sorted canonically by
+    /// (owner-name hash, type, expiry). External invariant checkers use
+    /// this to validate the cache's *decisions* — e.g. the model checker
+    /// cross-checks each stale serve against the matching entry's expiry
+    /// and polarity rather than trusting the lookup's return value.
+    pub fn entries(&self) -> Vec<EntrySnapshot> {
+        let mut out: Vec<EntrySnapshot> = self
+            .live_slots()
+            .map(|s| EntrySnapshot {
+                name_hash: s.name.folded_hash(),
+                rtype: s.rtype,
+                expires: s.expires,
+                negative: matches!(s.value, Value::Negative),
+            })
+            .collect();
+        out.sort_by_key(|e| (e.name_hash, e.rtype, e.expires));
+        out
+    }
+
+    /// Feeds a canonical digest of the cache's behavioral contents:
+    /// entries sorted independently of slab layout and insertion order,
+    /// with owner name, type, expiry, polarity, and the full record data.
+    /// Recency/frequency bookkeeping (`hits`, `last_used`, the LRU/LFU
+    /// structures) is deliberately excluded — it only influences eviction,
+    /// and the model checker's worlds run unbounded caches, so including
+    /// it would split semantically identical states. Counters are likewise
+    /// observational and excluded.
+    pub fn state_digest(&self, d: &mut StateDigest) {
+        d.write_u64(self.stale_window.as_nanos());
+        let mut slot_digests: Vec<u64> = self
+            .live_slots()
+            .map(|s| {
+                let mut e = StateDigest::new();
+                e.write_u64(s.name.folded_hash());
+                e.write_u16(s.rtype);
+                e.write_u64(s.expires.as_nanos());
+                match &s.value {
+                    Value::Positive(records) => {
+                        e.write_u8(1);
+                        e.write_usize(records.len());
+                        for rec in records.iter() {
+                            // Debug form covers name, type, ttl and rdata;
+                            // canonical for a given record value.
+                            e.write_str(&format!("{rec:?}"));
+                        }
+                    }
+                    Value::Negative => e.write_u8(0),
+                }
+                e.finish()
+            })
+            .collect();
+        slot_digests.sort_unstable();
+        d.write_usize(slot_digests.len());
+        for sd in slot_digests {
+            d.write_u64(sd);
+        }
+    }
+}
+
+/// One live cache entry as seen by [`Cache::entries`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EntrySnapshot {
+    /// Case-folded hash of the owner name (compare with
+    /// [`Name::folded_hash`]).
+    pub name_hash: u64,
+    /// Record type, wire value.
+    pub rtype: u16,
+    /// Absolute expiry instant.
+    pub expires: SimTime,
+    /// Whether the entry is a cached name error (negative).
+    pub negative: bool,
 }
 
 #[cfg(test)]
@@ -799,6 +896,7 @@ mod tests {
         assert_eq!(c.len(), 0);
     }
 
+    #[cfg(not(feature = "plant-stale-bug"))]
     #[test]
     fn serve_stale_never_resurrects_negative_entries() {
         let mut c = Cache::new(0, Eviction::Lru);
@@ -806,6 +904,85 @@ mod tests {
         c.insert_negative(t(0), &n("gone.example"), RType::A, 60);
         assert!(c.get_stale(t(100), &n("gone.example"), RType::A).is_none());
         assert_eq!(c.stats.stale_hits, 0);
+    }
+
+    // The serve-stale boundary tests pin the exact `<=` comparisons that
+    // the `plant-stale-bug` feature deliberately breaks; they are compiled
+    // out under that feature so the planted-bug build stays self-consistent.
+    #[cfg(not(feature = "plant-stale-bug"))]
+    #[test]
+    fn serve_stale_window_end_is_exclusive() {
+        // Entry expires at t=60 with a 60 s window: the last servable
+        // instant is one tick *before* t=120. At exactly expires + window
+        // the entry is refused and get() drops it — `expires + window <=
+        // now` on both paths. An off-by-one here is precisely the bug the
+        // model checker's planted-bug gate plants and must find.
+        let mut c = Cache::new(0, Eviction::Lru);
+        c.stale_window = SimDuration::from_secs(60);
+        c.insert(t(0), vec![rec("www.example.com", 60)]);
+        let window_end = t(120);
+        let last_inside = t(0) + (SimDuration::from_secs(120) - SimDuration::from_nanos(1));
+        assert!(c.get_stale(last_inside, &n("www.example.com"), RType::A).is_some());
+        assert_eq!(c.stats.stale_hits, 1);
+        assert!(c.get_stale(window_end, &n("www.example.com"), RType::A).is_none());
+        assert_eq!(c.stats.stale_hits, 1, "boundary serve must not count");
+        assert_eq!(c.len(), 1, "get_stale never removes entries");
+        assert!(c.get(window_end, &n("www.example.com"), RType::A).is_none());
+        assert_eq!(c.len(), 0, "get at the window end drops the entry");
+        assert_eq!(c.stats.expirations, 1);
+    }
+
+    #[cfg(not(feature = "plant-stale-bug"))]
+    #[test]
+    fn entry_expiring_exactly_now_misses_but_serves_stale() {
+        // At now == expires the entry is dead for get() (`expires <= now`)
+        // but freshly inside the stale window for the degraded path.
+        let mut c = Cache::new(0, Eviction::Lru);
+        c.stale_window = SimDuration::from_secs(60);
+        c.insert(t(0), vec![rec("www.example.com", 60)]);
+        assert!(c.get(t(60), &n("www.example.com"), RType::A).is_none());
+        assert_eq!(c.len(), 1, "retained for serve-stale");
+        assert!(c.get_stale(t(60), &n("www.example.com"), RType::A).is_some());
+    }
+
+    #[cfg(not(feature = "plant-stale-bug"))]
+    #[test]
+    fn expired_negative_entry_stays_resident_but_is_never_served() {
+        // Regression for the PR 3 rule: within the window an expired
+        // negative entry is *retained* (get leaves it in place) yet
+        // get_stale still refuses it — staleness rescue applies to
+        // positive data only.
+        let mut c = Cache::new(0, Eviction::Lru);
+        c.stale_window = SimDuration::from_secs(3_600);
+        c.insert_negative(t(0), &n("gone.example"), RType::A, 60);
+        assert!(c.get(t(100), &n("gone.example"), RType::A).is_none());
+        assert_eq!(c.len(), 1, "inside the window the entry is resident");
+        assert!(c.get_stale(t(100), &n("gone.example"), RType::A).is_none());
+        assert_eq!(c.stats.stale_hits, 0);
+        let entries = c.entries();
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].negative);
+        assert_eq!(entries[0].expires, t(60));
+    }
+
+    #[test]
+    fn state_digest_is_insertion_order_independent() {
+        let build = |flip: bool| {
+            let mut c = Cache::new(0, Eviction::Lru);
+            c.stale_window = SimDuration::from_secs(60);
+            let (a, b) = (vec![rec("a.com", 600)], vec![rec("b.com", 600)]);
+            if flip {
+                c.insert(t(0), b);
+                c.insert(t(0), a);
+            } else {
+                c.insert(t(0), a);
+                c.insert(t(0), b);
+            }
+            let mut d = StateDigest::new();
+            c.state_digest(&mut d);
+            d.finish()
+        };
+        assert_eq!(build(false), build(true));
     }
 
     #[test]

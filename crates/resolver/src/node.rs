@@ -31,6 +31,7 @@ use rootless_proto::name::Name;
 use rootless_proto::rr::{RData, RType, Record};
 use rootless_proto::view::{MessageView, Section};
 use rootless_proto::wire::Encoder;
+use rootless_util::digest::StateDigest;
 use rootless_util::time::{SimDuration, SimTime};
 use rootless_zone::hints::RootHints;
 use rootless_zone::zone::{Lookup, Zone};
@@ -205,6 +206,22 @@ impl RecursiveNode {
             enc: Encoder::new(),
             obs: None,
         }
+    }
+
+    /// Replaces the root-hints address set (all 13 letters by default).
+    /// Small-world scenarios — the model checker's bounded topologies —
+    /// deploy only a couple of letters and point the node at exactly
+    /// those, so a root outage exhausts two retry chains instead of
+    /// thirteen.
+    pub fn set_root_addrs(&mut self, addrs: Vec<Ipv4Addr>) {
+        assert!(!addrs.is_empty(), "empty root address set");
+        self.root_addrs = addrs;
+    }
+
+    /// Number of in-flight client jobs. The model checker's no-livelock
+    /// invariant requires this to be zero at every quiescent state.
+    pub fn in_flight(&self) -> usize {
+        self.jobs.len()
     }
 
     /// Mirrors this node's counters (`node.*`), its cache (`cache.*`) and
@@ -610,6 +627,39 @@ impl Node for RecursiveNode {
             }
         }
     }
+
+    fn state_digest(&self, d: &mut StateDigest) {
+        // Behavioral state only: the in-flight job table (sorted by txid —
+        // HashMap order is not canonical), the txid allocator, the cache,
+        // and the SRTT tracker. Counters in `stats` are observational and
+        // deliberately excluded so interleavings that converge on the same
+        // future behavior merge in the model checker's visited set.
+        d.write_u16(self.next_txid);
+        let mut txids: Vec<u16> = self.jobs.keys().copied().collect();
+        txids.sort_unstable();
+        d.write_usize(txids.len());
+        for txid in txids {
+            let job = &self.jobs[&txid];
+            d.write_u16(txid);
+            d.write_u32(u32::from(job.client));
+            d.write_u16(job.client_txid);
+            d.write_u64(job.qname.folded_hash());
+            d.write_u16(job.qtype.to_u16());
+            d.write_u64(job.zone.folded_hash());
+            d.write_usize(job.servers.len());
+            for s in &job.servers {
+                d.write_u32(u32::from(*s));
+            }
+            d.write_usize(job.next_server);
+            d.write_usize(job.steps);
+            d.write_u32(job.attempt);
+            d.write_u32(job.timeouts);
+            d.write_u32(u32::from(job.server));
+            d.write_u64(job.sent_at.as_nanos());
+        }
+        self.cache.state_digest(d);
+        self.srtt.state_digest(d);
+    }
 }
 
 /// A stub client: fires a list of queries at a recursive resolver on a
@@ -665,6 +715,33 @@ impl Node for StubClient {
             self.sent_at.insert(idx as u16, ctx.now());
             ctx.send(self.resolver, q.encode());
         }
+    }
+
+    fn state_digest(&self, d: &mut StateDigest) {
+        // Results sorted by query index: arrival order is path history,
+        // not state (two interleavings that answered the same queries the
+        // same way must merge). Latencies are excluded for the same reason
+        // — they never influence future behavior or any invariant.
+        let mut results: Vec<(u16, u8, u64)> = self
+            .results
+            .iter()
+            .map(|(idx, _, rcode, answers)| {
+                let mut a = StateDigest::new();
+                a.write_usize(answers.len());
+                for rec in answers {
+                    a.write_str(&format!("{rec:?}"));
+                }
+                (*idx, rcode.to_u8(), a.finish())
+            })
+            .collect();
+        results.sort_unstable();
+        d.write_usize(results.len());
+        for (idx, rcode, answers) in results {
+            d.write_u16(idx);
+            d.write_u8(rcode);
+            d.write_u64(answers);
+        }
+        d.write_usize(self.plan.len());
     }
 }
 

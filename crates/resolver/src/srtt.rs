@@ -212,6 +212,24 @@ impl SrttSelector {
     pub fn is_empty(&self) -> bool {
         self.servers.is_empty()
     }
+
+    /// Feeds a canonical digest of the tracker: per-server estimates
+    /// sorted by address (HashMap order is not canonical), floats by bit
+    /// pattern. The estimates drive timeout hints and retry ordering, so
+    /// they are behavioral state for the model checker; the `picks` /
+    /// `explorations` tallies are observational and excluded.
+    pub fn state_digest(&self, d: &mut rootless_util::digest::StateDigest) {
+        let mut addrs: Vec<Ipv4Addr> = self.servers.keys().copied().collect();
+        addrs.sort_unstable();
+        d.write_usize(addrs.len());
+        for addr in addrs {
+            let s = &self.servers[&addr];
+            d.write_u32(u32::from(addr));
+            d.write_f64(s.srtt_ms);
+            d.write_u64(s.samples);
+            d.write_u64(s.timeouts);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -53,13 +53,17 @@ unsafe impl<T: Send> Send for Shared<T> {}
 
 impl<T> Drop for Shared<T> {
     fn drop(&mut self) {
-        // Sole owner at this point: drain whatever was still queued.
-        let head = *self.head.get_mut();
+        // Sole owner at this point: drain whatever was still queued. The
+        // indices are free-running and may wrap, so walk head→tail with
+        // wrapping arithmetic rather than a `head..tail` range (which is
+        // empty when tail has wrapped past zero and head has not).
+        let mut head = *self.head.get_mut();
         let tail = *self.tail.get_mut();
-        for i in head..tail {
+        while head != tail {
             // SAFETY: slots in [head, tail) were initialized by the
             // producer and never consumed.
-            unsafe { self.slots[i & self.mask].get_mut().assume_init_drop() };
+            unsafe { self.slots[head & self.mask].get_mut().assume_init_drop() };
+            head = head.wrapping_add(1);
         }
     }
 }
@@ -67,6 +71,20 @@ impl<T> Drop for Shared<T> {
 /// Creates a ring with at least `capacity` slots (rounded up to a power of
 /// two, minimum 1) and returns its two endpoints.
 pub fn ring<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    ring_from(capacity, 0)
+}
+
+/// Like [`ring`] but with the free-running head/tail counters starting at
+/// `start` instead of 0. The counters wrap modulo `usize::MAX + 1` by
+/// design; starting them near the wrap point exercises the overflow path
+/// that a from-zero test could only reach after 2^64 pushes. Test-only:
+/// production rings always start at 0.
+#[cfg(test)]
+fn ring_near_wrap<T: Send>(capacity: usize, start: usize) -> (Producer<T>, Consumer<T>) {
+    ring_from(capacity, start)
+}
+
+fn ring_from<T: Send>(capacity: usize, start: usize) -> (Producer<T>, Consumer<T>) {
     let cap = capacity.max(1).next_power_of_two();
     let slots = (0..cap)
         .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
@@ -75,8 +93,8 @@ pub fn ring<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     let shared = Arc::new(Shared {
         slots,
         mask: cap - 1,
-        tail: AtomicUsize::new(0),
-        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(start),
+        head: AtomicUsize::new(start),
         producer_alive: AtomicBool::new(true),
         consumer_alive: AtomicBool::new(true),
     });
@@ -106,7 +124,10 @@ impl<T: Send> Producer<T> {
     pub fn try_push(&mut self, value: T) -> Result<(), Full<T>> {
         let tail = self.shared.tail.load(Ordering::Relaxed); // own counter
         let head = self.shared.head.load(Ordering::Acquire);
-        if tail - head > self.shared.mask {
+        // The counters are free-running and wrap; the occupancy
+        // `tail - head` is only correct under wrapping subtraction (plain
+        // `-` panics in debug builds at the wrap point).
+        if tail.wrapping_sub(head) > self.shared.mask {
             return Err(Full(value));
         }
         // SAFETY: slot `tail` is unoccupied (checked above) and only this
@@ -114,7 +135,7 @@ impl<T: Send> Producer<T> {
         unsafe {
             (*self.shared.slots[tail & self.shared.mask].get()).write(value);
         }
-        self.shared.tail.store(tail + 1, Ordering::Release);
+        self.shared.tail.store(tail.wrapping_add(1), Ordering::Release);
         Ok(())
     }
 
@@ -166,7 +187,7 @@ impl<T: Send> Consumer<T> {
         // SAFETY: slot `head` was initialized by the producer (tail is past
         // it, Acquire-observed) and only this consumer reads slots.
         let value = unsafe { (*self.shared.slots[head & self.shared.mask].get()).assume_init_read() };
-        self.shared.head.store(head + 1, Ordering::Release);
+        self.shared.head.store(head.wrapping_add(1), Ordering::Release);
         Some(value)
     }
 
@@ -266,6 +287,91 @@ mod tests {
         let (mut tx, rx) = ring::<D>(4);
         tx.try_push(D).unwrap();
         tx.try_push(D).unwrap();
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn capacity_one_ring_alternates_push_pop() {
+        let (mut tx, mut rx) = ring::<u32>(1);
+        for i in 0..100 {
+            tx.try_push(i).unwrap();
+            let Full(back) = tx.try_push(i + 1000).unwrap_err();
+            assert_eq!(back, i + 1000, "one slot: second push must bounce");
+            assert_eq!(rx.try_pop(), Some(i));
+            assert!(rx.try_pop().is_none(), "drained after one pop");
+        }
+    }
+
+    #[test]
+    fn full_ring_backpressure_releases_per_slot() {
+        // Blocking push on a full ring must wake exactly as slots free up:
+        // the consumer releases slots one at a time and the producer's
+        // blocked push completes each time without losing or reordering.
+        let (mut tx, mut rx) = ring::<u64>(2);
+        tx.try_push(0).unwrap();
+        tx.try_push(1).unwrap();
+        assert!(tx.try_push(2).is_err(), "ring starts full");
+        let producer = std::thread::spawn(move || {
+            for i in 2..50u64 {
+                tx.push(i).unwrap(); // blocks until the consumer makes room
+            }
+        });
+        let mut expect = 0u64;
+        while expect < 50 {
+            if let Some(v) = rx.try_pop() {
+                assert_eq!(v, expect, "backpressure must preserve FIFO order");
+                expect += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert!(rx.try_pop().is_none());
+    }
+
+    #[test]
+    fn indices_survive_wrap_around_at_usize_max() {
+        // Start the free-running counters 3 steps before the wrap point so
+        // pushes cross usize::MAX while the test is watching. Before the
+        // wrapping-arithmetic fix this panicked (debug overflow) on the
+        // push that wrapped tail, and the occupancy check miscomputed.
+        let (mut tx, mut rx) = ring_near_wrap::<u64>(4, usize::MAX - 3);
+        for i in 0..4 {
+            tx.try_push(i).unwrap();
+        }
+        assert!(tx.try_push(99).is_err(), "full ring detected across the wrap");
+        for i in 0..4 {
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+        assert!(rx.try_pop().is_none());
+        // Keep cycling well past the wrap: order and occupancy stay exact.
+        for i in 0..64u64 {
+            tx.try_push(i).unwrap();
+            tx.try_push(i + 100).unwrap();
+            assert_eq!(rx.try_pop(), Some(i));
+            assert_eq!(rx.try_pop(), Some(i + 100));
+        }
+    }
+
+    #[test]
+    fn queued_values_drop_with_the_ring_across_wrap() {
+        // Shared::drop used to drain `head..tail` as a range, which is
+        // empty once tail wraps past zero while head has not — leaking the
+        // queued values. The wrap-straddling drain must still drop both.
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut tx, rx) = ring_near_wrap::<D>(4, usize::MAX);
+        tx.try_push(D).unwrap(); // written at index usize::MAX
+        tx.try_push(D).unwrap(); // written at index 0 (tail wrapped)
         drop(tx);
         drop(rx);
         assert_eq!(DROPS.load(Ordering::SeqCst), 2);

@@ -1,0 +1,151 @@
+//! Canonical state digests for the model checker.
+//!
+//! The exhaustive explorer in `crates/mc` prunes revisited states by
+//! hashing the *semantic* state of a simulation — cache contents,
+//! in-flight queries, pending timers — into one `u64`. Two requirements
+//! shape this type:
+//!
+//! 1. **Canonical.** The digest must be a pure function of the state's
+//!    meaning, not its memory layout: callers sort hash-map contents
+//!    before feeding them in, and float fields go through their IEEE bit
+//!    patterns. Two interleavings that converge to the same semantic
+//!    state must produce the same digest, or pruning silently stops
+//!    working.
+//! 2. **Self-contained.** No `std::hash` randomization, no dependency on
+//!    `DefaultHasher`'s unstable algorithm — digests must be identical
+//!    across runs and across toolchain updates, because tier-1 gates
+//!    compare explorer reports byte for byte.
+//!
+//! The construction is FNV-1a over a byte stream with a splitmix64-style
+//! finalizer, which is plenty for a visited-set over a few million states
+//! (collisions only cost soundness of *pruning*, and a 64-bit space keeps
+//! the birthday bound far away at model-checking scales).
+
+/// Accumulates a canonical 64-bit digest of semantic state.
+///
+/// Write order matters: callers are responsible for feeding fields in a
+/// deterministic, layout-independent order (sort collections first).
+#[derive(Clone, Debug)]
+pub struct StateDigest {
+    h: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl StateDigest {
+    /// Starts a fresh digest.
+    pub fn new() -> StateDigest {
+        StateDigest { h: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.h = (self.h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.h = (self.h ^ v as u64).wrapping_mul(FNV_PRIME);
+    }
+
+    /// Feeds a `u16` (little-endian).
+    pub fn write_u16(&mut self, v: u16) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `usize` widened to 64 bits, so digests agree across
+    /// pointer widths.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds an `f64` via its IEEE-754 bit pattern (canonical: the same
+    /// float always digests the same, and `-0.0 != 0.0` stays visible).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Feeds a length-prefixed string, so `("ab","c")` and `("a","bc")`
+    /// digest differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Finishes with an avalanche pass (splitmix64 finalizer) so that
+    /// digests of near-identical states spread over the whole 64-bit
+    /// space — FNV alone clusters short inputs.
+    pub fn finish(&self) -> u64 {
+        let mut z = self.h;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl Default for StateDigest {
+    fn default() -> StateDigest {
+        StateDigest::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let mut a = StateDigest::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = StateDigest::new();
+        b.write_u64(1);
+        b.write_u64(2);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = StateDigest::new();
+        c.write_u64(2);
+        c.write_u64(1);
+        assert_ne!(a.finish(), c.finish(), "field order must matter");
+    }
+
+    #[test]
+    fn string_framing_prevents_concatenation_collisions() {
+        let mut a = StateDigest::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StateDigest::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn empty_digest_is_stable() {
+        // Pins the construction: FNV-1a offset basis through the
+        // splitmix64 finalizer. If this moves, every visited-set and
+        // every recorded counterexample token in the repo is invalidated.
+        assert_eq!(StateDigest::new().finish(), 0xf52a_15e9_a9b5_e89b);
+    }
+
+    #[test]
+    fn floats_digest_by_bit_pattern() {
+        let mut a = StateDigest::new();
+        a.write_f64(0.0);
+        let mut b = StateDigest::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

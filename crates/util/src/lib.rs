@@ -12,7 +12,10 @@
 //! * [`lzss`] — LZSS compression; stands in for gzip on the root zone file.
 //! * [`varint`] — LEB128 varints for the container and delta formats.
 //! * [`rng`] — self-contained xoshiro256** PRNG plus the samplers the
-//!   workload generators use (Zipf, exponential, weighted choice).
+//!   workload generators use (Zipf, exponential, weighted choice), and the
+//!   one splitmix64 definition every seed-derivation path routes through.
+//! * [`digest`] — canonical FNV-1a/splitmix state digests for the model
+//!   checker's visited-state pruning.
 //! * [`parallelism`] — capped available-parallelism detection shared by the
 //!   sweep executor's `--jobs 0` and the serving runtime's core-count
 //!   default.
@@ -23,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod digest;
 pub mod hex;
 pub mod lzss;
 pub mod parallelism;
@@ -33,5 +37,6 @@ pub mod stats;
 pub mod time;
 pub mod varint;
 
+pub use digest::StateDigest;
 pub use rng::DetRng;
 pub use time::{Date, SimDuration, SimTime};

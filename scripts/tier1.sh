@@ -88,6 +88,20 @@ for exp in traffic rootload; do
   done
   rm -f "/tmp/tier1_${exp}_sim.out" "/tmp/tier1_${exp}_rt.out"
 done
+# Model-checker gates, by name: the exhaustive-exploration suite on the
+# correct build (all interleavings clean, four modes agree, bounds honest),
+# then the planted-bug build, where the explorer MUST find the cache's
+# deliberate stale-window off-by-one and negative resurrection as minimal
+# replayable counterexamples — the proof the zero-violation reports above
+# are not vacuous.
+cargo test -q -p rootless-mc --offline
+cargo test -q -p rootless-mc --features plant-stale-bug --test planted_bug --offline
+# Modelcheck report determinism: two runs, byte-identical stdout.
+target/release/experiments modelcheck >/tmp/tier1_mc_a.out 2>/dev/null
+target/release/experiments modelcheck >/tmp/tier1_mc_b.out 2>/dev/null
+cmp /tmp/tier1_mc_a.out /tmp/tier1_mc_b.out
+grep -q "0 truncated, 0 invariant violations" /tmp/tier1_mc_a.out
+rm -f /tmp/tier1_mc_a.out /tmp/tier1_mc_b.out
 cargo test -q -p rootless-dnssec --test adversarial --offline
 cargo test -q -p rootless-delta --test distribution_equivalence --offline
 cargo test -q -p rootless-zone --test prop_zone --offline

@@ -47,6 +47,7 @@
 //! | [`core`] | the proposal: RootZoneManager (obtain → verify → refresh) |
 //! | [`ditl`] | the §2.2 traffic study workload + classifier |
 //! | [`runtime`] | thread-per-core serving runtime: sharded replay over SPSC rings |
+//! | [`mc`] | exhaustive small-world model checker over scheduler interleavings |
 //! | [`experiments`] | one module per figure/table/claim in the paper |
 
 pub use rootless_core as core;
@@ -54,6 +55,7 @@ pub use rootless_delta as delta;
 pub use rootless_ditl as ditl;
 pub use rootless_dnssec as dnssec;
 pub use rootless_experiments as experiments;
+pub use rootless_mc as mc;
 pub use rootless_netsim as netsim;
 pub use rootless_proto as proto;
 pub use rootless_resolver as resolver;
