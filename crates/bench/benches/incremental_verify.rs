@@ -1,0 +1,84 @@
+//! Full vs incremental re-validation across daily root-zone churn
+//! (BENCH_verify.json): the per-update cost a local-root resolver pays, at
+//! the 2009 zone size and at the paper's 2019 plateau. The incremental path
+//! re-checks only what the daily diff touched, so its cost should track
+//! churn, not zone size (~O(touched/total) of the full pass).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rootless_dnssec::incremental::{Publisher, VerifiedZone};
+use rootless_dnssec::keys::ZoneKey;
+use rootless_proto::name::Name;
+use rootless_util::time::Date;
+use rootless_zone::diff::ZoneDiff;
+use rootless_zone::history;
+use std::hint::black_box;
+
+const DAYS: u64 = 8;
+
+/// Published day zones + per-day diffs + a pre-verified day-0 state for one
+/// era of the history.
+struct Fixture {
+    key: ZoneKey,
+    zones: Vec<rootless_zone::zone::Zone>,
+    diffs: Vec<ZoneDiff>,
+    day0: VerifiedZone,
+}
+
+fn fixture(start: Date) -> Fixture {
+    let key = ZoneKey::generate(Name::root(), true, 0xBE7C);
+    let publisher = Publisher::new(key.clone(), 0, ((DAYS + 10) * 86_400) as u32);
+    let timeline = history::churn_timeline(start, DAYS, 0xBE7C);
+    let zones: Vec<_> = (0..DAYS).map(|d| publisher.publish(&timeline.snapshot(d))).collect();
+    let diffs: Vec<_> = zones.windows(2).map(|w| ZoneDiff::compute(&w[0], &w[1])).collect();
+    let day0 = VerifiedZone::full_verify(&zones[0], &key, 3_600).unwrap();
+    Fixture { key, zones, diffs, day0 }
+}
+
+fn bench_era(c: &mut Criterion, label: &str, start: Date) {
+    let f = fixture(start);
+    let mut g = c.benchmark_group("incremental_verify");
+    g.sample_size(10);
+
+    // Full path: re-validate the newest day from scratch.
+    let newest = &f.zones[DAYS as usize - 1];
+    let now = ((DAYS - 1) * 86_400 + 3_600) as u32;
+    g.bench_function(format!("full_{label}"), |b| {
+        b.iter(|| VerifiedZone::full_verify(black_box(newest), &f.key, now).unwrap())
+    });
+
+    // Incremental path: advance the cached day-0 state through all the daily
+    // diffs (clone included — that is part of the consumer's real cost).
+    g.bench_function(format!("incremental_{label}"), |b| {
+        b.iter(|| {
+            let mut vz = f.day0.clone();
+            for (i, diff) in f.diffs.iter().enumerate() {
+                let day_now = ((i as u64 + 1) * 86_400 + 3_600) as u32;
+                vz.apply_diff(black_box(diff), day_now).unwrap();
+            }
+            vz
+        })
+    });
+
+    // One single-day step, the steady-state unit of work.
+    g.bench_function(format!("incremental_one_day_{label}"), |b| {
+        b.iter(|| {
+            let mut vz = f.day0.clone();
+            vz.apply_diff(black_box(&f.diffs[0]), 90_000).unwrap();
+            vz
+        })
+    });
+
+    // Clone-only baseline: a real consumer (the manager) mutates its cached
+    // state in place, so subtracting this from the one-day number gives the
+    // steady-state verification cost itself.
+    g.bench_function(format!("state_clone_{label}"), |b| b.iter(|| f.day0.clone()));
+    g.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    bench_era(c, "2009_280tld", Date::new(2009, 5, 1));
+    bench_era(c, "2019_1532tld", Date::new(2019, 4, 1));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

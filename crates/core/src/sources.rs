@@ -5,12 +5,14 @@
 use std::sync::Arc;
 
 use rootless_delta::channel::{Channel, ZoneFile};
+use rootless_dnssec::incremental::Publisher;
 use rootless_dnssec::keys::ZoneKey;
 use rootless_dnssec::zonemd;
 use rootless_proto::name::Name;
 use rootless_proto::rr::{RData, RType};
 use rootless_util::time::{SimDuration, SimTime};
 use rootless_zone::churn::Timeline;
+use rootless_zone::diff::ZoneDiff;
 use rootless_zone::rrset::RrSet;
 use rootless_zone::zone::Zone;
 
@@ -25,6 +27,9 @@ pub struct MirrorZoneSource {
     timeline: Arc<Timeline>,
     key: ZoneKey,
     rrset_sign: bool,
+    /// Fixed-window publisher for incremental consumers (see
+    /// [`Self::with_incremental_publishing`]).
+    incremental_publisher: Option<Publisher>,
     channel: Channel,
     /// Day → prepared artifact cache (zones are deterministic).
     prepared: std::collections::HashMap<u64, (Zone, ZoneFile)>,
@@ -38,6 +43,7 @@ impl MirrorZoneSource {
             timeline,
             key,
             rrset_sign: false,
+            incremental_publisher: None,
             channel: Channel::FullMirror,
             prepared: std::collections::HashMap::new(),
         }
@@ -46,6 +52,19 @@ impl MirrorZoneSource {
     /// Also signs every RRset (needed for `Verification::FullRrset`).
     pub fn with_rrset_signing(mut self) -> Self {
         self.rrset_sign = true;
+        self
+    }
+
+    /// Publishes for incremental consumers (`Verification::Incremental`):
+    /// full per-RRset signatures *plus* an NSEC chain, with a signature
+    /// window fixed across the whole timeline so unchanged RRsets keep
+    /// byte-identical RRSIGs day over day and the daily diff stays
+    /// proportional to actual churn. (Per-fetch windows would re-sign
+    /// everything daily, degenerating incremental verification into the
+    /// full pass.)
+    pub fn with_incremental_publishing(mut self) -> Self {
+        let expiration = ((self.timeline.horizon() + 10) * 86_400) as u32;
+        self.incremental_publisher = Some(Publisher::new(self.key.clone(), 0, expiration));
         self
     }
 
@@ -70,14 +89,18 @@ impl MirrorZoneSource {
     fn prepare(&mut self, day: u64, now: SimTime) -> &(Zone, ZoneFile) {
         if !self.prepared.contains_key(&day) {
             let raw = self.timeline.snapshot(day);
-            let inception = now.as_secs().saturating_sub(3_600) as u32;
-            let expiration = (now + SIG_VALIDITY).as_secs() as u32;
-            let signed_base = if self.rrset_sign {
-                rootless_dnssec::sign::sign_zone(&raw, &self.key, inception, expiration)
+            let published = if let Some(publisher) = &self.incremental_publisher {
+                publisher.publish(&raw)
             } else {
-                raw
+                let inception = now.as_secs().saturating_sub(3_600) as u32;
+                let expiration = (now + SIG_VALIDITY).as_secs() as u32;
+                let signed_base = if self.rrset_sign {
+                    rootless_dnssec::sign::sign_zone(&raw, &self.key, inception, expiration)
+                } else {
+                    raw
+                };
+                zonemd::attach(&signed_base, Some(&self.key), inception, expiration)
             };
-            let published = zonemd::attach(&signed_base, Some(&self.key), inception, expiration);
             let prev = day
                 .checked_sub(1)
                 .and_then(|d| self.prepared.get(&d).map(|(z, _)| z.clone()));
@@ -95,14 +118,16 @@ impl ZoneSource for MirrorZoneSource {
 
     fn fetch(&mut self, now: SimTime, have: Option<u32>) -> Option<FetchedZone> {
         let day = self.day_of(now);
-        // Cost accounting wants the holder's old artifact when it exists.
-        let old_file = have
+        // Cost accounting (and diff building) wants the holder's old
+        // artifact when it exists.
+        let old = have
             .and_then(|s| self.day_of_serial(s))
             .filter(|d| *d < day)
-            .map(|d| self.prepare(d, now).1.clone());
+            .map(|d| self.prepare(d, now).clone());
         let (zone, file) = self.prepare(day, now).clone();
-        let cost = self.channel.update_cost(old_file.as_ref(), &file);
-        Some(FetchedZone { zone, bytes_down: cost.down, bytes_up: cost.up })
+        let cost = self.channel.update_cost(old.as_ref().map(|(_, f)| f), &file);
+        let diff = old.map(|(old_zone, _)| ZoneDiff::compute(&old_zone, &zone));
+        Some(FetchedZone { zone, diff, bytes_down: cost.down, bytes_up: cost.up })
     }
 }
 
@@ -229,6 +254,36 @@ mod tests {
             r1.bytes_up,
             f1.bytes_down
         );
+    }
+
+    #[test]
+    fn incremental_publishing_serves_verifiable_zone_and_diff() {
+        use rootless_dnssec::incremental::VerifiedZone;
+        let mut src = MirrorZoneSource::new(timeline(), key()).with_incremental_publishing();
+        let f0 = src.fetch(SimTime::ZERO, None).unwrap();
+        assert!(f0.diff.is_none(), "nothing held, nothing to diff against");
+        let mut vz = VerifiedZone::full_verify(&f0.zone, &key(), 100).unwrap();
+        let day1 = SimTime::ZERO + SimDuration::from_days(1);
+        let f1 = src.fetch(day1, Some(f0.zone.serial())).unwrap();
+        let diff = f1.diff.expect("held serial maps to a previous day");
+        assert_eq!(diff.serial_from, f0.zone.serial());
+        assert_eq!(diff.serial_to, f1.zone.serial());
+        vz.apply_diff(&diff, day1.as_secs() as u32).unwrap();
+        assert_eq!(vz.zone(), &f1.zone, "diff advances exactly to the published day");
+    }
+
+    #[test]
+    fn fixed_window_keeps_diffs_small() {
+        // The whole point of with_incremental_publishing: unchanged RRsets
+        // keep byte-identical signatures, so a one-day diff touches a
+        // handful of RRsets, not the entire re-signed zone.
+        let mut src = MirrorZoneSource::new(timeline(), key()).with_incremental_publishing();
+        let f0 = src.fetch(SimTime::ZERO, None).unwrap();
+        let day1 = SimTime::ZERO + SimDuration::from_days(1);
+        let f1 = src.fetch(day1, Some(f0.zone.serial())).unwrap();
+        let touched = f1.diff.unwrap().touched();
+        let total = f1.zone.rrsets().count();
+        assert!(touched * 4 < total, "diff touches {touched} of {total} RRsets");
     }
 
     #[test]

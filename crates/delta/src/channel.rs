@@ -46,6 +46,14 @@ impl ZoneFile {
             axfr_bytes,
         }
     }
+
+    /// Decodes the carried diff, if any — what an IXFR consumer feeds to
+    /// incremental verification (`dnssec::incremental`) instead of
+    /// re-validating the whole file. `None` when this artifact was built
+    /// without a predecessor; `Some(Err(_))` surfaces wire corruption.
+    pub fn diff(&self) -> Option<Result<ZoneDiff, rootless_proto::ProtoError>> {
+        self.diff_from_prev.as_deref().map(ZoneDiff::decode)
+    }
 }
 
 /// Network cost of one update check/transfer.
@@ -175,6 +183,20 @@ mod tests {
         let f0 = ZoneFile::build(&z0, None);
         let f1 = ZoneFile::build(&z1, Some(&z0));
         (f0, f1)
+    }
+
+    #[test]
+    fn zonefile_diff_decodes_to_the_computed_diff() {
+        let (f0, f1) = two_versions();
+        assert!(f0.diff().is_none(), "no predecessor, no diff");
+        let diff = f1.diff().expect("built against a predecessor").expect("decodes");
+        assert_eq!(diff.serial_from, f0.serial);
+        assert_eq!(diff.serial_to, f1.serial);
+        assert!(!diff.is_empty());
+        // Corruption surfaces as an error, not a bogus diff.
+        let mut bad = f1.clone();
+        bad.diff_from_prev.as_mut().unwrap().push(0xFF);
+        assert!(bad.diff().unwrap().is_err());
     }
 
     #[test]

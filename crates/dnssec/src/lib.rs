@@ -19,10 +19,13 @@
 //!   workload.
 //! * [`chain`] — full chains of trust: anchor → root DNSKEY → TLD DS → TLD
 //!   DNSKEY → TLD data.
+//! * [`incremental`] — cached validation state re-checked per [`rootless_zone::diff::ZoneDiff`],
+//!   so a daily update costs O(touched) instead of O(zone).
 
 #![warn(missing_docs)]
 
 pub mod chain;
+pub mod incremental;
 pub mod keys;
 pub mod nsec;
 pub mod sign;

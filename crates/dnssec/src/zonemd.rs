@@ -8,9 +8,11 @@
 //! covers. Verification is one hash pass + one signature check, versus one
 //! check per RRset (benched in `resolve_modes`/`zone_ops`).
 
+use rootless_proto::name::Name;
 use rootless_proto::rr::{RData, RType, Record, Zonemd};
 use rootless_proto::wire::Encoder;
 use rootless_util::sha256::Sha256;
+use rootless_zone::rrset::RrSet;
 use rootless_zone::zone::Zone;
 
 use crate::keys::{ZoneKey, ZONEMD_HASH_ALG};
@@ -19,33 +21,47 @@ use crate::sign::{self, DnssecError};
 /// ZONEMD scheme number: 1 = SIMPLE (hash all records in canonical order).
 pub const SCHEME_SIMPLE: u8 = 1;
 
+/// The exact bytes one RRset contributes to the SIMPLE-scheme digest: its
+/// records in canonical wire form, honoring the RFC 8976 §3.4.1 exclusions
+/// (the apex ZONEMD set contributes nothing, and apex RRSIG rdatas covering
+/// ZONEMD are skipped). Returns `None` for the fully-excluded apex ZONEMD
+/// set. [`crate::incremental`] hashes these per-set to maintain its digest
+/// tree, so the leaves agree byte-for-byte with the flat [`digest`] stream.
+pub fn leaf_bytes(origin: &Name, set: &RrSet) -> Option<Vec<u8>> {
+    if set.name == *origin && set.rtype == RType::ZONEMD {
+        return None;
+    }
+    let canon = set.canonicalized();
+    let mut out = Vec::new();
+    for rdata in canon.rdatas() {
+        if set.name == *origin && set.rtype == RType::RRSIG {
+            if let RData::Rrsig(sig) = rdata {
+                if sig.type_covered == RType::ZONEMD {
+                    continue;
+                }
+            }
+        }
+        let mut enc = Encoder::new();
+        enc.bytes(&set.name.canonical_wire());
+        enc.u16(set.rtype.to_u16());
+        enc.u16(1); // class IN
+        enc.u32(set.ttl);
+        let rd = rdata.canonical_bytes();
+        enc.u16(rd.len() as u16);
+        enc.bytes(&rd);
+        out.extend_from_slice(&enc.finish());
+    }
+    Some(out)
+}
+
 /// Computes the SIMPLE-scheme digest over the zone: every record in
 /// canonical order, in canonical wire form, excluding the apex ZONEMD record
 /// itself and any RRSIG covering ZONEMD (RFC 8976 §3.4.1).
 pub fn digest(zone: &Zone) -> [u8; 32] {
     let mut h = Sha256::new();
     for set in zone.rrsets() {
-        if set.name == *zone.origin() && set.rtype == RType::ZONEMD {
-            continue;
-        }
-        let canon = set.canonicalized();
-        for rdata in canon.rdatas() {
-            if set.name == *zone.origin() && set.rtype == RType::RRSIG {
-                if let RData::Rrsig(sig) = rdata {
-                    if sig.type_covered == RType::ZONEMD {
-                        continue;
-                    }
-                }
-            }
-            let mut enc = Encoder::new();
-            enc.bytes(&set.name.canonical_wire());
-            enc.u16(set.rtype.to_u16());
-            enc.u16(1); // class IN
-            enc.u32(set.ttl);
-            let rd = rdata.canonical_bytes();
-            enc.u16(rd.len() as u16);
-            enc.bytes(&rd);
-            h.update(&enc.finish());
+        if let Some(bytes) = leaf_bytes(zone.origin(), set) {
+            h.update(&bytes);
         }
     }
     h.finish()

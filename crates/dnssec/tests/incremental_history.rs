@@ -1,0 +1,232 @@
+//! Full-vs-incremental verdict equality over sampled windows of the
+//! generated 2009→2019 root-zone history (`zone::history::churn_timeline`),
+//! plus the adversarial cases the incremental shortcut must not weaken:
+//! silent whole-delegation deletion and fabricated removals are rejected on
+//! the *incremental* path, where no signature covers the missing data and
+//! only the adjacent NSEC span gives the attack away.
+
+use rootless_dnssec::incremental::{Publisher, VerifiedZone, VerifyError};
+use rootless_dnssec::ZoneKey;
+use rootless_proto::name::Name;
+use rootless_proto::rr::RType;
+use rootless_util::time::Date;
+use rootless_zone::diff::ZoneDiff;
+use rootless_zone::history;
+use rootless_zone::zone::Zone;
+
+fn key() -> ZoneKey {
+    ZoneKey::generate(Name::root(), true, 0x2009_2019)
+}
+
+fn publisher(horizon_days: u64) -> Publisher {
+    Publisher::new(key(), 0, ((horizon_days + 10) * 86_400) as u32)
+}
+
+fn now_on(day: u64) -> u32 {
+    (day * 86_400 + 3_600) as u32
+}
+
+/// Replays `days` of history starting at `start` through both verification
+/// paths, asserting verdict + state + zone equality every day, and returns
+/// (incremental sets verified, full sets verified) summed over the window.
+fn replay_window(start: Date, days: u64, seed: u64) -> (u64, u64) {
+    let t = history::churn_timeline(start, days, seed);
+    let k = key();
+    let p = publisher(days);
+    let mut vz =
+        VerifiedZone::full_verify(&p.publish(&t.snapshot(0)), &k, now_on(0)).unwrap_or_else(|e| {
+            panic!("day 0 of {start} must verify: {e}");
+        });
+    let (mut inc_sets, mut full_sets) = (0u64, 0u64);
+    for day in 1..days {
+        let next = p.publish(&t.snapshot(day));
+        let diff = ZoneDiff::compute(vz.zone(), &next);
+        let stats = vz
+            .apply_diff(&diff, now_on(day))
+            .unwrap_or_else(|e| panic!("day {day} of {start} must verify incrementally: {e}"));
+        let fresh = VerifiedZone::full_verify(&next, &k, now_on(day))
+            .unwrap_or_else(|e| panic!("day {day} of {start} must verify from scratch: {e}"));
+        assert_eq!(vz.zone(), &next, "day {day} of {start}: zone mismatch");
+        assert_eq!(
+            vz.state_digest(),
+            fresh.state_digest(),
+            "day {day} of {start}: cached state diverged from scratch"
+        );
+        inc_sets += stats.sets_verified;
+        full_sets += fresh.stats.sets_verified;
+    }
+    (inc_sets, full_sets)
+}
+
+/// The tier1 sweep: a sampled month (28 days) from each era of the Fig. 1
+/// history — pre-gTLD 2009, ramp 2014, plateau 2019 — with verdicts, state,
+/// and zones equal on every day, and incremental work sublinear overall.
+#[test]
+fn sampled_history_verdicts_match_full() {
+    for (start, seed) in [
+        (Date::new(2009, 5, 1), 1u64),
+        (Date::new(2014, 6, 1), 2),
+        (Date::new(2019, 4, 1), 3),
+    ] {
+        let days = if start.year == 2009 { 28 } else { 7 };
+        let (inc, full) = replay_window(start, days, seed);
+        assert!(
+            inc * 5 < full,
+            "{start}: incremental {inc} sets vs full {full} — not sublinear"
+        );
+    }
+}
+
+/// An empty diff (serials aside, nothing changed) is accepted with zero
+/// re-verification work.
+#[test]
+fn empty_diff_verifies_for_free() {
+    let t = history::churn_timeline(Date::new(2019, 4, 1), 2, 9);
+    let k = key();
+    let p = publisher(2);
+    let z0 = p.publish(&t.snapshot(0));
+    let mut vz = VerifiedZone::full_verify(&z0, &k, now_on(0)).unwrap();
+    let diff = ZoneDiff::compute(&z0, &z0);
+    assert!(diff.is_empty());
+    let stats = vz.apply_diff(&diff, now_on(1)).unwrap();
+    assert_eq!(stats.sets_verified, 0);
+    assert_eq!(stats.spans_checked, 0);
+    assert_eq!(stats.owners_touched, 0);
+    assert_eq!(vz.zone(), &z0);
+}
+
+/// Appends removal entries for one whole delegation (the TLD and everything
+/// under it) to an otherwise-honest diff — the signature-less deletion attack
+/// IXFR makes possible.
+fn inject_delegation_removal(diff: &mut ZoneDiff, zone: &Zone, victim: &Name) {
+    for set in zone.rrsets() {
+        if set.name.is_within(victim) {
+            diff.removed.push((set.name.clone(), set.rtype));
+        }
+    }
+}
+
+/// Picks a TLD untouched by the honest diff, so the only dishonest entries
+/// are the injected removals.
+fn untouched_tld(zone: &Zone, diff: &ZoneDiff) -> Name {
+    zone.tlds()
+        .into_iter()
+        .find(|tld| {
+            let in_added = diff.added.iter().chain(&diff.changed).any(|s| s.name.is_within(tld));
+            let in_removed = diff.removed.iter().any(|(n, _)| n.is_within(tld));
+            !in_added && !in_removed
+        })
+        .expect("some TLD untouched by a daily diff")
+}
+
+/// A man-in-the-middle deletes a whole delegation from an honest daily diff.
+/// No RRset it *adds* is unsigned — the attack is pure removal — so the only
+/// tripwire on the incremental path is the predecessor's NSEC span, which
+/// still names the victim as its successor.
+#[test]
+fn malicious_removal_is_rejected_incrementally() {
+    let t = history::churn_timeline(Date::new(2019, 4, 1), 2, 5);
+    let k = key();
+    let p = publisher(2);
+    let z0 = p.publish(&t.snapshot(0));
+    let z1 = p.publish(&t.snapshot(1));
+    let mut diff = ZoneDiff::compute(&z0, &z1);
+    let victim = untouched_tld(&z1, &diff);
+    inject_delegation_removal(&mut diff, &z1, &victim);
+
+    let mut vz = VerifiedZone::full_verify(&z0, &k, now_on(0)).unwrap();
+    match vz.apply_diff(&diff, now_on(1)) {
+        Err(VerifyError::BadNsecSpan { found, .. }) => {
+            assert_eq!(found, victim, "the stale span should still name the victim");
+        }
+        other => panic!("silent deletion must break an adjacent span, got {other:?}"),
+    }
+
+    // Ground truth: the from-scratch path rejects the same doctored zone
+    // (ZONEMD no longer matches and the NSEC chain is broken).
+    let mut doctored = z0.clone();
+    diff.apply(&mut doctored).unwrap();
+    assert!(VerifiedZone::full_verify(&doctored, &k, now_on(1)).is_err());
+    assert!(!doctored.name_exists(&victim));
+}
+
+/// Removing a single RRset (a TLD's DS) rather than the whole delegation is
+/// caught by the owner's own bitmap re-check: the NSEC at the owner still
+/// lists the type the diff claims is gone.
+#[test]
+fn single_rrset_removal_is_rejected_incrementally() {
+    let t = history::churn_timeline(Date::new(2019, 4, 1), 2, 6);
+    let k = key();
+    let p = publisher(2);
+    let z0 = p.publish(&t.snapshot(0));
+    let z1 = p.publish(&t.snapshot(1));
+    let mut diff = ZoneDiff::compute(&z0, &z1);
+    let victim = z1
+        .tlds()
+        .into_iter()
+        .find(|tld| {
+            z1.get(tld, RType::DS).is_some()
+                && !diff.added.iter().chain(&diff.changed).any(|s| s.name == *tld)
+                && !diff.removed.iter().any(|(n, _)| n == tld)
+        })
+        .expect("an untouched signed TLD");
+    diff.removed.push((victim.clone(), RType::DS));
+
+    let mut vz = VerifiedZone::full_verify(&z0, &k, now_on(0)).unwrap();
+    assert!(
+        matches!(
+            vz.apply_diff(&diff, now_on(1)),
+            Err(VerifyError::BadNsecBitmap(n)) if n == victim
+        ),
+        "DS strip must be caught by the owner's NSEC bitmap"
+    );
+}
+
+/// A diff whose content changed but which leaves the apex ZONEMD untouched
+/// is rejected — even when the attacker also replays yesterday's (valid!)
+/// ZONEMD-covering RRSIG so every signature at the apex still verifies.
+/// Honest publishers always re-digest; "content changed, digest didn't" is
+/// a contradiction the incremental path refuses outright.
+#[test]
+fn zonemd_untouched_by_nonempty_diff_is_rejected() {
+    use rootless_proto::rr::RData;
+    use rootless_zone::rrset::RrSet;
+
+    let t = history::churn_timeline(Date::new(2019, 4, 1), 2, 7);
+    let k = key();
+    let p = publisher(2);
+    let z0 = p.publish(&t.snapshot(0));
+    let z1 = p.publish(&t.snapshot(1));
+    let mut diff = ZoneDiff::compute(&z0, &z1);
+    // Keep yesterday's ZONEMD record ...
+    diff.added.retain(|s| s.rtype != RType::ZONEMD);
+    diff.changed.retain(|s| s.rtype != RType::ZONEMD);
+    // ... and splice yesterday's still-valid ZONEMD-covering RRSIG into the
+    // new apex RRSIG set, so no signature check can object.
+    let apex = z0.origin().clone();
+    let covers_zonemd = |rd: &RData| matches!(rd, RData::Rrsig(s) if s.type_covered == RType::ZONEMD);
+    let stale_sig = z0
+        .get(&apex, RType::RRSIG)
+        .unwrap()
+        .rdatas()
+        .iter()
+        .find(|rd| covers_zonemd(rd))
+        .unwrap()
+        .clone();
+    let new_sigs = diff
+        .changed
+        .iter_mut()
+        .find(|s| s.name == apex && s.rtype == RType::RRSIG)
+        .expect("apex RRSIG changes every day");
+    let mut spliced = RrSet::new(apex.clone(), RType::RRSIG, new_sigs.ttl);
+    for rd in new_sigs.rdatas() {
+        if !covers_zonemd(rd) {
+            spliced.push(new_sigs.ttl, rd.clone());
+        }
+    }
+    spliced.push(new_sigs.ttl, stale_sig);
+    *new_sigs = spliced.canonicalized();
+
+    let mut vz = VerifiedZone::full_verify(&z0, &k, now_on(0)).unwrap();
+    assert!(matches!(vz.apply_diff(&diff, now_on(1)), Err(VerifyError::ZonemdFields)));
+}

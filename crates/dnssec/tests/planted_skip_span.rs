@@ -1,0 +1,102 @@
+//! Proof the differential gates are not vacuous (the PR 8 `plant-stale-bug`
+//! pattern): the `plant-skip-span` feature deletes exactly one check from
+//! the incremental path — the adjacent-NSEC-span re-check after an owner
+//! vanishes — and this suite shows that buggy build *accepting* a silent
+//! delegation deletion that from-scratch verification rejects. A harness
+//! that compares the two paths therefore detects the plant; tier1 runs this
+//! build by name so the gate can never rot into tautology.
+
+#![cfg(feature = "plant-skip-span")]
+
+use rootless_dnssec::incremental::{Publisher, VerifiedZone};
+use rootless_dnssec::ZoneKey;
+use rootless_proto::name::Name;
+use rootless_util::time::Date;
+use rootless_zone::diff::ZoneDiff;
+use rootless_zone::history;
+
+fn key() -> ZoneKey {
+    ZoneKey::generate(Name::root(), true, 0x2009_2019)
+}
+
+fn now_on(day: u64) -> u32 {
+    (day * 86_400 + 3_600) as u32
+}
+
+/// Same attack as `incremental_history::malicious_removal_is_rejected_incrementally`,
+/// same seed: an honest daily diff with one whole delegation's removals
+/// appended. The planted build skips the predecessor-span re-check, so the
+/// incremental verdict flips to *accept* — while full verification still
+/// rejects the doctored zone. The disagreement IS the detection.
+#[test]
+fn planted_span_skip_is_caught_by_differential_harness() {
+    let t = history::churn_timeline(Date::new(2019, 4, 1), 2, 5);
+    let k = key();
+    let p = Publisher::new(k.clone(), 0, 12 * 86_400);
+    let z0 = p.publish(&t.snapshot(0));
+    let z1 = p.publish(&t.snapshot(1));
+    let mut diff = ZoneDiff::compute(&z0, &z1);
+    // The plant only skips span checks at predecessors of *vanished* owners;
+    // a predecessor the honest diff touched anyway gets checked regardless.
+    // Pick a victim whose predecessor is untouched, so the skipped check is
+    // the ONLY thing standing between the deletion and acceptance.
+    let mut owner_list: Vec<Name> = Vec::new();
+    for set in z1.rrsets() {
+        if owner_list.last() != Some(&set.name) {
+            owner_list.push(set.name.clone());
+        }
+    }
+    let touched: std::collections::BTreeSet<Name> = diff
+        .added
+        .iter()
+        .chain(&diff.changed)
+        .map(|s| s.name.clone())
+        .chain(diff.removed.iter().map(|(n, _)| n.clone()))
+        .collect();
+    let victim = z1
+        .tlds()
+        .into_iter()
+        .find(|tld| {
+            if touched.iter().any(|n| n.is_within(tld)) {
+                return false;
+            }
+            let idx = owner_list.iter().position(|n| n == tld).expect("tld is an owner");
+            idx > 0 && !touched.contains(&owner_list[idx - 1])
+        })
+        .expect("some TLD with an untouched predecessor");
+    for set in z1.rrsets() {
+        if set.name.is_within(&victim) {
+            diff.removed.push((set.name.clone(), set.rtype));
+        }
+    }
+
+    let mut vz = VerifiedZone::full_verify(&z0, &k, now_on(0)).unwrap();
+    // The planted bug: the buggy incremental path swallows the deletion.
+    vz.apply_diff(&diff, now_on(1))
+        .expect("the planted build must wrongly ACCEPT the silent deletion");
+    assert!(!vz.zone().name_exists(&victim), "the victim really was deleted");
+
+    // The from-scratch path still rejects the same zone, so a differential
+    // comparison flags the divergence.
+    assert!(
+        VerifiedZone::full_verify(vz.zone(), &k, now_on(1)).is_err(),
+        "full verification must still reject — otherwise the plant is undetectable"
+    );
+}
+
+/// The plant only weakens removal handling: an honest churn day must still
+/// verify identically to the from-scratch path even on the buggy build, so
+/// the planted feature cannot mask itself behind spurious failures.
+#[test]
+fn planted_build_still_accepts_honest_days() {
+    let t = history::churn_timeline(Date::new(2019, 4, 1), 4, 5);
+    let k = key();
+    let p = Publisher::new(k.clone(), 0, 14 * 86_400);
+    let mut vz = VerifiedZone::full_verify(&p.publish(&t.snapshot(0)), &k, now_on(0)).unwrap();
+    for day in 1..4 {
+        let next = p.publish(&t.snapshot(day));
+        let diff = ZoneDiff::compute(vz.zone(), &next);
+        vz.apply_diff(&diff, now_on(day)).expect("honest day verifies on the planted build");
+        assert_eq!(vz.zone(), &next);
+    }
+}

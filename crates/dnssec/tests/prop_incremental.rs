@@ -1,0 +1,92 @@
+//! Differential property gate for `dnssec::incremental` (fixed-point style,
+//! like `prop_zone`): over random churn sequences drawn from `zone::churn`,
+//! replay each day's diff through the cached [`VerifiedZone`] and assert the
+//! incremental path is indistinguishable from re-validating from scratch —
+//! same accept verdict, byte-identical cached state (owner map, span links,
+//! signature windows, digest-tree leaves, via `state_digest`), identical
+//! [`denial_for`] answers (also pinned to `nsec::denial_for` ground truth) —
+//! while doing sublinear work.
+//!
+//! [`VerifiedZone`]: rootless_dnssec::incremental::VerifiedZone
+//! [`denial_for`]: rootless_dnssec::incremental::VerifiedZone::denial_for
+
+use proptest::prelude::*;
+use rootless_dnssec::incremental::{Publisher, VerifiedZone};
+use rootless_dnssec::nsec;
+use rootless_dnssec::ZoneKey;
+use rootless_proto::name::Name;
+use rootless_util::time::Date;
+use rootless_zone::churn::{ChurnConfig, Timeline};
+use rootless_zone::diff::ZoneDiff;
+use rootless_zone::rootzone::RootZoneConfig;
+
+fn timeline(tlds: usize, days: u64, seed: u64) -> Timeline {
+    // Churn boosted an order of magnitude over the paper's rates so a short
+    // horizon still exercises adds, deletes, and migrations together.
+    let churn = ChurnConfig {
+        add_rate_per_day: 0.4,
+        delete_rate_per_day: 0.4,
+        migration_rate_per_day: 0.4,
+        migration_step_days: 2,
+        seed: seed ^ 0x1C4E,
+        ..ChurnConfig::default()
+    };
+    Timeline::generate(RootZoneConfig::small(tlds), churn, Date::new(2019, 4, 1), days)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn prop_incremental(tlds in 30usize..90, days in 3u64..7, seed in 0u64..1000) {
+        let t = timeline(tlds, days, seed);
+        let key = ZoneKey::generate(Name::root(), true, seed ^ 0xD5);
+        let publisher = Publisher::new(key.clone(), 0, ((days + 10) * 86_400) as u32);
+
+        let published: Vec<_> = (0..days).map(|d| publisher.publish(&t.snapshot(d))).collect();
+        let now_on = |day: u64| (day * 86_400 + 3_600) as u32;
+
+        let mut vz = VerifiedZone::full_verify(&published[0], &key, now_on(0))
+            .expect("day 0 verifies from scratch");
+        let full_day0_sets = vz.stats.sets_verified;
+
+        for day in 1..days {
+            let now = now_on(day);
+            let next = &published[day as usize];
+            let diff = ZoneDiff::compute(vz.zone(), next);
+            let stats = vz.apply_diff(&diff, now).expect("honest daily diff verifies");
+
+            // Same verdict and same zone as a from-scratch pass ...
+            let fresh = VerifiedZone::full_verify(next, &key, now)
+                .expect("published zone verifies from scratch");
+            prop_assert_eq!(vz.zone(), next);
+            // ... and byte-identical cached state: owners, span links,
+            // per-owner signature windows, digest-tree leaves.
+            prop_assert_eq!(vz.state_digest(), fresh.state_digest(), "day {} state", day);
+
+            // Per-delegation state agrees name by name.
+            for tld in next.tlds() {
+                prop_assert_eq!(vz.owner_state(&tld), fresh.owner_state(&tld));
+            }
+
+            // Denial answers: incremental == full == the nsec module.
+            for i in 0..12 {
+                let q = Name::parse(&format!("hole-{seed}-{i}-no-such-tld")).unwrap();
+                let inc = vz.denial_for(&q);
+                prop_assert_eq!(&inc, &fresh.denial_for(&q));
+                prop_assert_eq!(&inc, &nsec::denial_for(next, &q));
+            }
+            let exists = next.tlds()[0].clone();
+            prop_assert_eq!(vz.denial_for(&exists), None);
+
+            // Sublinear: a churn day re-verifies far fewer sets than day 0's
+            // full pass (and than today's fresh pass).
+            prop_assert!(
+                stats.sets_verified * 2 < full_day0_sets,
+                "day {}: incremental {} vs full {}",
+                day, stats.sets_verified, full_day0_sets
+            );
+            prop_assert!(stats.sets_verified * 2 < fresh.stats.sets_verified);
+        }
+    }
+}

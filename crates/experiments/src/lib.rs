@@ -25,6 +25,7 @@
 //! | MODELCHECK | [`modelcheck`] | §4 robustness, exhaustive interleaving proof |
 //! | SEC | [`security`] | §4 security (root manipulation) |
 //! | PRIV | [`privacy`] | §4 privacy |
+//! | VERIFY | [`verify`] | §5 operational cost, incremental re-validation |
 
 #![warn(missing_docs)]
 
@@ -48,3 +49,4 @@ pub mod sweep;
 pub mod throughput;
 pub mod traffic;
 pub mod ttl_stability;
+pub mod verify;

@@ -1,7 +1,7 @@
 //! The `experiments` binary: regenerates every figure, table and claim.
 //!
 //! Usage:
-//!   experiments [all|fig1|fig2|traffic|sizes|cache|extract|dist|ttl|llc|perf|robust|modelcheck|sec|priv] [--fast] [--jobs N] [--scale K] [--shards N] [--runtime-threads N]
+//!   experiments [all|fig1|fig2|traffic|sizes|cache|extract|dist|ttl|llc|perf|robust|modelcheck|sec|priv|verify] [--fast] [--jobs N] [--scale K] [--shards N] [--runtime-threads N]
 //!
 //! `--fast` shrinks the workloads for a quick smoke pass; the default runs
 //! paper-comparable scales (a few minutes total).
@@ -217,6 +217,10 @@ fn main() {
         println!("{}", exp::security::render(&exp::security::run(lookups, tlds)));
         ran += 1;
     }
+    if wants("verify") {
+        println!("{}", exp::verify::render(&exp::verify::run(fast)));
+        ran += 1;
+    }
     if wants("priv") {
         let (lookups, tlds) = if fast { (20, 12) } else { (100, 30) };
         println!("{}", exp::privacy::render(&exp::privacy::run(lookups, tlds)));
@@ -224,7 +228,7 @@ fn main() {
     }
     if ran == 0 {
         eprintln!(
-            "unknown experiment; choose from: all fig1 fig2 traffic rootload sizes cache extract dist ttl llc perf anycast robust modelcheck sec priv (plus --fast, --jobs N, --scale K, --shards N, --runtime-threads N)"
+            "unknown experiment; choose from: all fig1 fig2 traffic rootload sizes cache extract dist ttl llc perf anycast robust modelcheck sec priv verify (plus --fast, --jobs N, --scale K, --shards N, --runtime-threads N)"
         );
         std::process::exit(2);
     }

@@ -1,0 +1,143 @@
+//! VERIFY: incremental vs full re-validation under daily root-zone churn.
+//!
+//! The §5 operational-cost argument assumes a resolver holding a local root
+//! copy can cheaply re-validate it on every daily update. This experiment
+//! replays sampled windows of the generated 2009→2019 history
+//! (`zone::history::churn_timeline`) through both verification paths —
+//! from-scratch `dnssec` validation and `dnssec::incremental` fed the daily
+//! `ZoneDiff` — asserting byte-identical cached state every day and
+//! tabulating the work each path did. The table is a pure function of the
+//! fixed window anchors and seeds: the tier-1 gate runs the subcommand
+//! twice and compares bytes.
+
+use rootless_dnssec::incremental::{Publisher, VerifiedZone};
+use rootless_dnssec::ZoneKey;
+use rootless_proto::name::Name;
+use rootless_util::time::Date;
+use rootless_zone::diff::ZoneDiff;
+use rootless_zone::history;
+
+/// Seed for the churn draws, shared across windows.
+pub const SEED: u64 = 0x5EC5;
+
+/// Aggregates for one replayed window of history.
+pub struct WindowStats {
+    /// First day of the window.
+    pub start: Date,
+    /// Days replayed (day 0 is the from-scratch baseline).
+    pub days: u64,
+    /// TLD count of the day-0 zone (the Fig. 1 anchor).
+    pub tlds: usize,
+    /// RRsets in the day-0 published (signed) zone.
+    pub rrsets: usize,
+    /// Owners touched by diffs, summed over days 1.. .
+    pub owners_touched: u64,
+    /// Signature checks on the full path, summed over days 1.. .
+    pub full_sets: u64,
+    /// Signature checks on the incremental path, summed over days 1.. .
+    pub inc_sets: u64,
+    /// NSEC span checks on the incremental path, summed over days 1.. .
+    pub inc_spans: u64,
+    /// Whether cached state matched the from-scratch state every single day.
+    pub state_identical: bool,
+}
+
+/// The VERIFY report: one row per sampled era of the Fig. 1 history.
+pub struct Report {
+    /// Per-window aggregates, in chronological order.
+    pub windows: Vec<WindowStats>,
+}
+
+/// Era anchors: pre-gTLD flat (2009), early ramp (2013), steep growth
+/// (2016), plateau (2019).
+const WINDOWS: [Date; 4] = [
+    Date { year: 2009, month: 5, day: 1 },
+    Date { year: 2013, month: 7, day: 1 },
+    Date { year: 2016, month: 7, day: 1 },
+    Date { year: 2019, month: 4, day: 1 },
+];
+
+fn replay(start: Date, days: u64) -> WindowStats {
+    let key = ZoneKey::generate(Name::root(), true, SEED);
+    let publisher = Publisher::new(key.clone(), 0, ((days + 10) * 86_400) as u32);
+    let timeline = history::churn_timeline(start, days, SEED);
+    let now_on = |day: u64| (day * 86_400 + 3_600) as u32;
+
+    let day0 = publisher.publish(&timeline.snapshot(0));
+    let mut vz = VerifiedZone::full_verify(&day0, &key, now_on(0))
+        .unwrap_or_else(|e| panic!("day 0 of {start} must verify: {e}"));
+    let mut stats = WindowStats {
+        start,
+        days,
+        tlds: timeline.base.tld_count,
+        rrsets: day0.rrsets().count(),
+        owners_touched: 0,
+        full_sets: 0,
+        inc_sets: 0,
+        inc_spans: 0,
+        state_identical: true,
+    };
+    for day in 1..days {
+        let next = publisher.publish(&timeline.snapshot(day));
+        let diff = ZoneDiff::compute(vz.zone(), &next);
+        let day_stats = vz
+            .apply_diff(&diff, now_on(day))
+            .unwrap_or_else(|e| panic!("day {day} of {start} must verify incrementally: {e}"));
+        let fresh = VerifiedZone::full_verify(&next, &key, now_on(day))
+            .unwrap_or_else(|e| panic!("day {day} of {start} must verify from scratch: {e}"));
+        stats.state_identical &= vz.state_digest() == fresh.state_digest();
+        stats.owners_touched += day_stats.owners_touched;
+        stats.full_sets += fresh.stats.sets_verified;
+        stats.inc_sets += day_stats.sets_verified;
+        stats.inc_spans += day_stats.spans_checked;
+    }
+    stats
+}
+
+/// Replays every era window: 7 churn days each in `fast` mode, 28 (a full
+/// sampled month, the tier1 sweep) otherwise.
+pub fn run(fast: bool) -> Report {
+    let days = if fast { 7 } else { 28 };
+    Report { windows: WINDOWS.iter().map(|w| replay(*w, days)).collect() }
+}
+
+/// Renders the deterministic churn-verification table (EXPERIMENTS.md
+/// VERIFY section).
+pub fn render(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("VERIFY — incremental vs full re-validation under daily churn\n");
+    out.push_str(&format!(
+        "{:<12} {:>5} {:>6} {:>8} {:>12} {:>11} {:>11} {:>10} {:>7}  {}\n",
+        "window", "days", "TLDs", "RRsets", "owners/day", "full/day", "incr/day", "spans/day", "work", "state"
+    ));
+    for w in &report.windows {
+        let churn_days = (w.days - 1).max(1);
+        let ratio = w.inc_sets as f64 / w.full_sets.max(1) as f64;
+        out.push_str(&format!(
+            "{:<12} {:>5} {:>6} {:>8} {:>12.1} {:>11.0} {:>11.1} {:>10.1} {:>6.1}%  {}\n",
+            format!("{}", w.start),
+            w.days,
+            w.tlds,
+            w.rrsets,
+            w.owners_touched as f64 / churn_days as f64,
+            w.full_sets as f64 / churn_days as f64,
+            w.inc_sets as f64 / churn_days as f64,
+            w.inc_spans as f64 / churn_days as f64,
+            ratio * 100.0,
+            if w.state_identical { "identical" } else { "DIVERGED" },
+        ));
+    }
+    let all_identical = report.windows.iter().all(|w| w.state_identical);
+    let worst = report
+        .windows
+        .iter()
+        .map(|w| w.inc_sets as f64 / w.full_sets.max(1) as f64)
+        .fold(0.0f64, f64::max);
+    out.push_str(&format!(
+        "verdict: {} windows, cached state {}, worst-case incremental work {:.1}% of full\n",
+        report.windows.len(),
+        if all_identical { "identical to from-scratch on every day" } else { "DIVERGED" },
+        worst * 100.0,
+    ));
+    out
+}

@@ -79,26 +79,31 @@ impl ZoneDiff {
             zone.remove_rrset(name, *rtype);
         }
         for set in self.added.iter().chain(&self.changed) {
-            zone.insert_rrset(set.clone()).map_err(|e| DiffError::Apply(e.to_string()))?;
+            zone.insert_rrset(set.clone()).map_err(|e| DiffError::Apply {
+                owner: set.name.clone(),
+                reason: e.to_string(),
+            })?;
         }
         Ok(())
     }
 
-    /// Binary encoding for distribution.
+    /// Binary encoding for distribution. Counts are u32: a root-history diff
+    /// after a long gap (or a whole-delegation bulk change) can exceed the
+    /// 65 535 RRsets a u16 silently truncates at.
     pub fn encode(&self) -> Vec<u8> {
         let mut enc = Encoder::new();
         enc.u32(self.serial_from);
         enc.u32(self.serial_to);
-        enc.u16(self.removed.len() as u16);
-        enc.u16(self.added.len() as u16);
-        enc.u16(self.changed.len() as u16);
+        enc.u32(self.removed.len() as u32);
+        enc.u32(self.added.len() as u32);
+        enc.u32(self.changed.len() as u32);
         for (name, rtype) in &self.removed {
             enc.name_uncompressed(name);
             enc.u16(rtype.to_u16());
         }
         for set in self.added.iter().chain(&self.changed) {
             let records = set.records();
-            enc.u16(records.len() as u16);
+            enc.u32(records.len() as u32);
             for r in records {
                 r.encode(&mut enc);
             }
@@ -111,9 +116,9 @@ impl ZoneDiff {
         let mut dec = Decoder::new(buf);
         let serial_from = dec.u32()?;
         let serial_to = dec.u32()?;
-        let removed_n = dec.u16()? as usize;
-        let added_n = dec.u16()? as usize;
-        let changed_n = dec.u16()? as usize;
+        let removed_n = dec.u32()? as usize;
+        let added_n = dec.u32()? as usize;
+        let changed_n = dec.u32()? as usize;
         let mut removed = Vec::with_capacity(removed_n);
         for _ in 0..removed_n {
             let name = dec.name()?;
@@ -123,7 +128,7 @@ impl ZoneDiff {
         let read_sets = |dec: &mut Decoder<'_>, n: usize| -> Result<Vec<RrSet>, ProtoError> {
             let mut out = Vec::with_capacity(n);
             for _ in 0..n {
-                let count = dec.u16()? as usize;
+                let count = dec.u32()? as usize;
                 if count == 0 {
                     return Err(ProtoError::BadMessage("empty RRset in diff"));
                 }
@@ -168,8 +173,14 @@ pub enum DiffError {
         /// Serial the zone actually has.
         found: u32,
     },
-    /// An RRset failed to insert.
-    Apply(String),
+    /// An RRset failed to insert, naming the owner so incremental-verify
+    /// consumers can report *which* delegation a bad diff touched.
+    Apply {
+        /// Owner name of the RRset that failed to insert.
+        owner: Name,
+        /// The underlying zone error.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for DiffError {
@@ -178,7 +189,9 @@ impl std::fmt::Display for DiffError {
             DiffError::SerialMismatch { expected, found } => {
                 write!(f, "diff applies to serial {expected} but zone is at {found}")
             }
-            DiffError::Apply(e) => write!(f, "diff apply failed: {e}"),
+            DiffError::Apply { owner, reason } => {
+                write!(f, "diff apply failed at {owner}: {reason}")
+            }
         }
     }
 }
@@ -196,12 +209,23 @@ mod tests {
         rootzone::build(&cfg)
     }
 
+    /// Every diff the suite produces must survive the wire: the encode/apply
+    /// paths would otherwise be free to drift apart (`decode(encode(d)) == d`).
+    fn assert_roundtrip(diff: &ZoneDiff) {
+        assert_eq!(&ZoneDiff::decode(&diff.encode()).unwrap(), diff);
+    }
+
     #[test]
     fn identical_zones_produce_empty_diff() {
         let z = zone_with_serial(30, 1);
         let diff = ZoneDiff::compute(&z, &z);
         assert!(diff.is_empty());
         assert_eq!(diff.touched(), 0);
+        assert_roundtrip(&diff);
+        // The empty diff applies as a no-op.
+        let mut copy = z.clone();
+        diff.apply(&mut copy).unwrap();
+        assert_eq!(copy, z);
     }
 
     #[test]
@@ -221,6 +245,7 @@ mod tests {
         let old = zone_with_serial(30, 1);
         let new = zone_with_serial(35, 2);
         let diff = ZoneDiff::compute(&old, &new);
+        assert_roundtrip(&diff);
         let mut z = old.clone();
         diff.apply(&mut z).unwrap();
         assert_eq!(z, new);
@@ -232,6 +257,7 @@ mod tests {
         let new = zone_with_serial(30, 2);
         let diff = ZoneDiff::compute(&old, &new);
         assert!(!diff.removed.is_empty());
+        assert_roundtrip(&diff);
         let mut z = old.clone();
         diff.apply(&mut z).unwrap();
         assert_eq!(z, new);
@@ -300,6 +326,7 @@ mod tests {
         assert_eq!(diff.changed.len(), 2); // SOA + com NS
         assert!(diff.added.is_empty());
         assert!(diff.removed.is_empty());
+        assert_roundtrip(&diff);
         let mut z = old.clone();
         diff.apply(&mut z).unwrap();
         assert_eq!(z, new);
@@ -311,5 +338,120 @@ mod tests {
         let new = zone_with_serial(22, 2);
         let buf = ZoneDiff::compute(&old, &new).encode();
         assert!(ZoneDiff::decode(&buf[..buf.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn whole_delegation_removal_roundtrips_and_applies() {
+        // Delete one TLD's entire delegation — NS, any DS, and its in-zone
+        // glue hosts — the shape the incremental verifier's adjacent-span
+        // invalidation leans on.
+        let old = zone_with_serial(30, 1);
+        let victim = old.tlds()[7].clone();
+        let mut new = old.clone();
+        let keys: Vec<(Name, RType)> = new
+            .rrsets()
+            .filter(|s| s.name.is_within(&victim))
+            .map(|s| (s.name.clone(), s.rtype))
+            .collect();
+        assert!(keys.len() >= 2, "delegation should span NS + glue");
+        for (name, rtype) in &keys {
+            new.remove_rrset(name, *rtype);
+        }
+        let mut soa = new.soa().unwrap().clone();
+        soa.serial = 2;
+        let mut set = RrSet::new(Name::root(), RType::SOA, 86_400);
+        set.push(86_400, RData::Soa(soa));
+        new.insert_rrset(set).unwrap();
+
+        let diff = ZoneDiff::compute(&old, &new);
+        assert_eq!(diff.removed.len(), keys.len());
+        assert!(diff.added.is_empty());
+        assert_roundtrip(&diff);
+        let mut z = old.clone();
+        diff.apply(&mut z).unwrap();
+        assert_eq!(z, new);
+        assert!(!z.name_exists(&victim));
+    }
+
+    #[test]
+    fn apex_touching_diff_roundtrips_and_applies() {
+        // A diff that rewrites apex sets (SOA serial + root NS set), not just
+        // delegations.
+        let old = zone_with_serial(10, 1);
+        let mut new = old.clone();
+        let mut soa = new.soa().unwrap().clone();
+        soa.serial = 2;
+        let mut soa_set = RrSet::new(Name::root(), RType::SOA, 86_400);
+        soa_set.push(86_400, RData::Soa(soa));
+        new.insert_rrset(soa_set).unwrap();
+        let mut ns = new.get(&Name::root(), RType::NS).unwrap().clone();
+        ns.push(518_400, RData::Ns(Name::parse("new.root-servers.net").unwrap()));
+        new.insert_rrset(ns).unwrap();
+
+        let diff = ZoneDiff::compute(&old, &new);
+        assert!(diff.changed.iter().any(|s| s.name.is_root() && s.rtype == RType::SOA));
+        assert!(diff.changed.iter().any(|s| s.name.is_root() && s.rtype == RType::NS));
+        assert_roundtrip(&diff);
+        let mut z = old.clone();
+        diff.apply(&mut z).unwrap();
+        assert_eq!(z, new);
+    }
+
+    #[test]
+    fn decode_rejects_empty_rrset() {
+        // Hand-craft a diff claiming one added RRset with zero records.
+        let mut enc = Encoder::new();
+        enc.u32(1); // serial_from
+        enc.u32(2); // serial_to
+        enc.u32(0); // removed
+        enc.u32(1); // added
+        enc.u32(0); // changed
+        enc.u32(0); // record count of the single added set
+        assert_eq!(
+            ZoneDiff::decode(&enc.finish()),
+            Err(ProtoError::BadMessage("empty RRset in diff"))
+        );
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let old = zone_with_serial(10, 1);
+        let new = zone_with_serial(11, 2);
+        let mut buf = ZoneDiff::compute(&old, &new).encode();
+        buf.push(0);
+        assert_eq!(
+            ZoneDiff::decode(&buf),
+            Err(ProtoError::BadMessage("trailing bytes in diff"))
+        );
+    }
+
+    #[test]
+    fn apply_reports_failing_owner() {
+        // An added set outside the target zone's origin must fail, naming the
+        // offending owner.
+        let origin = Name::parse("example").unwrap();
+        let mut zone = Zone::new(origin.clone());
+        let mut soa_set = RrSet::new(origin, RType::SOA, 60);
+        soa_set.push(
+            60,
+            RData::Soa(Soa {
+                mname: Name::parse("m").unwrap(),
+                rname: Name::parse("r").unwrap(),
+                serial: 1,
+                refresh: 1,
+                retry: 1,
+                expire: 1,
+                minimum: 1,
+            }),
+        );
+        zone.insert_rrset(soa_set).unwrap();
+        let outside = Name::parse("elsewhere").unwrap();
+        let mut evil = RrSet::new(outside.clone(), RType::NS, 60);
+        evil.push(60, RData::Ns(Name::parse("ns.elsewhere").unwrap()));
+        let diff = ZoneDiff { serial_from: 1, serial_to: 2, added: vec![evil], ..ZoneDiff::default() };
+        match diff.apply(&mut zone) {
+            Err(DiffError::Apply { owner, .. }) => assert_eq!(owner, outside),
+            other => panic!("expected Apply error naming the owner, got {other:?}"),
+        }
     }
 }

@@ -15,6 +15,7 @@
 
 use rootless_util::time::{monthly_series, Date};
 
+use crate::churn::{ChurnConfig, Timeline};
 use crate::rootzone::{self, RootZoneConfig};
 
 // ---------------------------------------------------------------------------
@@ -81,6 +82,20 @@ pub fn fig1_series(start: Date, end: Date, exact: bool) -> Vec<(Date, usize)> {
             (date, rrs)
         })
         .collect()
+}
+
+/// A daily-churn [`Timeline`] anchored at `start` in the Fig. 1 history: the
+/// day-0 zone has [`tld_count_on`]`(start)` TLDs and a YYYYMMDD00-style
+/// serial, and churn events are drawn from the default rates reseeded with
+/// `seed`. This is how the incremental-verification gates replay windows of
+/// the 2009→2019 history end to end (any era, same one call).
+pub fn churn_timeline(start: Date, horizon_days: u64, seed: u64) -> Timeline {
+    let base = RootZoneConfig {
+        serial: (start.year as u32) * 1_000_000 + (start.month as u32) * 10_000 + (start.day as u32) * 100,
+        ..RootZoneConfig::small(tld_count_on(start))
+    };
+    let churn = ChurnConfig { seed: seed ^ 0xC4A2, ..ChurnConfig::default() };
+    Timeline::generate(base, churn, start, horizon_days)
 }
 
 // ---------------------------------------------------------------------------
@@ -191,6 +206,18 @@ mod tests {
             let err = (exact as f64 - est as f64).abs() / exact as f64;
             assert!(err < 0.05, "estimate off by {:.1}% at {tlds} TLDs", err * 100.0);
         }
+    }
+
+    #[test]
+    fn churn_timeline_anchors_to_fig1() {
+        let start = Date::new(2009, 5, 1);
+        let t = churn_timeline(start, 5, 7);
+        assert_eq!(t.base.tld_count, tld_count_on(start));
+        assert_eq!(t.snapshot(0).serial(), 2_009_050_100);
+        // Day serials advance one per day; different seeds, different events.
+        assert_eq!(t.snapshot(3).serial(), 2_009_050_103);
+        let u = churn_timeline(start, 5, 8);
+        assert_eq!(u.snapshot(0).serial(), t.snapshot(0).serial());
     }
 
     #[test]

@@ -105,5 +105,25 @@ rm -f /tmp/tier1_mc_a.out /tmp/tier1_mc_b.out
 cargo test -q -p rootless-dnssec --test adversarial --offline
 cargo test -q -p rootless-delta --test distribution_equivalence --offline
 cargo test -q -p rootless-zone --test prop_zone --offline
+# Incremental-verification gates, by name: the randomized churn
+# differential (incremental verdicts, state digests and denial answers
+# byte-equal to from-scratch validation), the sampled 2009–2019 history
+# replay with its hand-built attacks (silent delegation removal, DS strip,
+# replayed ZONEMD), and the ZoneDiff codec edge suite the diffs ride on.
+cargo test -q -p rootless-dnssec --test prop_incremental --offline
+cargo test -q -p rootless-dnssec --test incremental_history --offline
+cargo test -q -p rootless-zone --lib diff --offline
+# Planted-bug build: with plant-skip-span the incremental path skips the
+# NSEC-span re-check around vanished owners, and the differential harness
+# MUST catch the resulting silent-deletion acceptance — the proof the
+# green gates above are not vacuous.
+cargo test -q -p rootless-dnssec --features plant-skip-span --test planted_skip_span --offline
+# VERIFY report determinism: two runs, byte-identical stdout, and the
+# cached-state-equals-from-scratch verdict must actually appear.
+target/release/experiments verify --fast >/tmp/tier1_verify_a.out 2>/dev/null
+target/release/experiments verify --fast >/tmp/tier1_verify_b.out 2>/dev/null
+cmp /tmp/tier1_verify_a.out /tmp/tier1_verify_b.out
+grep -q "identical" /tmp/tier1_verify_a.out
+rm -f /tmp/tier1_verify_a.out /tmp/tier1_verify_b.out
 cargo clippy --workspace --offline -- -D warnings
 echo "tier1: OK"
