@@ -1,0 +1,144 @@
+//! Sharded-simulation bench — the parallel-DES tentpole's numbers.
+//!
+//! Two families, results in `BENCH_psim.json`:
+//!
+//! * `pingpong_plain` vs `pingpong_shards/{1,2,4}` — an identical 128-node
+//!   ping-pong world (64 probe/echo pairs, 100 rounds each, ~25K events)
+//!   run on the plain `Sim` and on `ShardedSim`. The 1-shard number is the
+//!   wrapper-overhead check: a single shard takes the bypass path (plain
+//!   `run_to_completion`, no egress capture, no barriers) and must stay
+//!   within 10% of `Sim`. The 2/4-shard numbers price the conservative
+//!   epoch loop itself — peeks, barrier exchanges, scoped-thread fan-out.
+//! * `perf_replay_threads/{1,2,4}` — the PARSIM §4 fast report end to end:
+//!   full recursive resolution (stub clients → resolvers → root fleet →
+//!   TLD servers) through the sharded engine at each thread count. The
+//!   rendered stdout is byte-identical across counts (gated in tier1.sh);
+//!   this measures what that invariance costs.
+//!
+//! Determinism means the event totals are asserted equal across layouts
+//! inside the bench loop — a layout that drifted would panic, not just
+//! report a different time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rootless_experiments::parsim;
+use rootless_netsim::sim::{Ctx, Datagram, Node, Payload, Sim};
+use rootless_netsim::{GeoPoint, ShardedSim};
+use rootless_util::time::SimDuration;
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+const PAIRS: usize = 64;
+const ROUNDS: u64 = 100;
+
+/// Echoes every datagram back to its source.
+struct Echo;
+
+impl Node for Echo {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+        ctx.send(dgram.src, dgram.payload);
+    }
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+}
+
+/// Fires one probe at `target` per timer tick.
+struct Probe {
+    target: Ipv4Addr,
+    replies: u64,
+}
+
+impl Node for Probe {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, _dgram: Datagram) {
+        self.replies += 1;
+        let _ = ctx;
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        ctx.send(self.target, Payload::copy_from_slice(b"ping"));
+    }
+}
+
+fn echo_addr(i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 1, (i >> 8) as u8, (i & 0xff) as u8)
+}
+
+fn probe_addr(i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 2, (i >> 8) as u8, (i & 0xff) as u8)
+}
+
+/// Spreads pair `i`'s endpoints: echoes ring the globe, probes sit an
+/// ocean away, so cross-shard traffic is real at any partition.
+fn pair_geo(i: usize) -> (GeoPoint, GeoPoint) {
+    let lon = -180.0 + (i as f64) * 360.0 / PAIRS as f64;
+    (GeoPoint::new(40.0, lon), GeoPoint::new(-30.0, -lon))
+}
+
+fn pingpong_plain() -> u64 {
+    let mut sim = Sim::new(7);
+    for i in 0..PAIRS {
+        let (eg, pg) = pair_geo(i);
+        let _echo = sim.add_node(echo_addr(i), eg, Box::new(Echo));
+        let probe =
+            sim.add_node(probe_addr(i), pg, Box::new(Probe { target: echo_addr(i), replies: 0 }));
+        for r in 0..ROUNDS {
+            sim.schedule_timer(probe, SimDuration::from_millis(5 * (r + 1)), r);
+        }
+    }
+    sim.run_to_completion()
+}
+
+fn pingpong_sharded(shards: usize) -> u64 {
+    let mut sim = ShardedSim::new(7, shards);
+    for i in 0..PAIRS {
+        let (eg, pg) = pair_geo(i);
+        let _echo = sim.add_node(i % shards, echo_addr(i), eg, Box::new(Echo));
+        let probe = sim.add_node(
+            (i + 1) % shards,
+            probe_addr(i),
+            pg,
+            Box::new(Probe { target: echo_addr(i), replies: 0 }),
+        );
+        for r in 0..ROUNDS {
+            sim.schedule_timer(probe, SimDuration::from_millis(5 * (r + 1)), r);
+        }
+    }
+    sim.run_to_completion()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("psim");
+    g.sample_size(10);
+
+    // Every layout must process the same event total: timers + probe
+    // sends + echo deliveries + replies, independent of the partition.
+    let expect = pingpong_plain();
+    for shards in [1usize, 2, 4] {
+        assert_eq!(pingpong_sharded(shards), expect, "shards={shards} event total drifted");
+    }
+
+    g.bench_function("pingpong_plain", |b| b.iter(|| black_box(pingpong_plain())));
+    for shards in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("pingpong_shards", shards), &shards, |b, &s| {
+            b.iter(|| black_box(pingpong_sharded(s)))
+        });
+    }
+
+    // The paper-facing workload: the PARSIM fast PERF report, full
+    // recursive resolution on the sharded engine. Byte-identity of the
+    // render across thread counts is asserted here too — the timing claim
+    // and the determinism claim are the same experiment.
+    let baseline = parsim::render_perf(&parsim::run_perf(true, 1));
+    for threads in [1usize, 2, 4] {
+        assert_eq!(
+            baseline,
+            parsim::render_perf(&parsim::run_perf(true, threads)),
+            "threads={threads} report drifted"
+        );
+        g.bench_with_input(BenchmarkId::new("perf_replay_threads", threads), &threads, |b, &t| {
+            b.iter(|| black_box(parsim::run_perf(true, t).modes[0].answered))
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -19,6 +19,7 @@
 //! | TTL | [`ttl_stability`] | §5.2 zone stability |
 //! | LLC | [`new_tld`] | §5.3 new-TLD adoption |
 //! | PERF | [`performance`] | §4 performance |
+//! | PARSIM | [`parsim`] | §2.2/§4 at packet level on the sharded engine (`--sim-threads`) |
 //! | ANYCAST | [`anycast`] | §1/§4 fleet-size vs root RTT |
 //! | ROBUST | [`robustness`] | §4 robustness |
 //! | SCEN | [`scenarios`] | §4 robustness, packet-level fault scenarios |
@@ -37,6 +38,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod modelcheck;
 pub mod new_tld;
+pub mod parsim;
 pub mod performance;
 pub mod privacy;
 pub mod report;

@@ -1,7 +1,7 @@
 //! The `experiments` binary: regenerates every figure, table and claim.
 //!
 //! Usage:
-//!   experiments [all|fig1|fig2|traffic|sizes|cache|extract|dist|ttl|llc|perf|robust|modelcheck|sec|priv|verify] [--fast] [--jobs N] [--scale K] [--shards N] [--runtime-threads N]
+//!   experiments [all|fig1|fig2|traffic|sizes|cache|extract|dist|ttl|llc|perf|robust|modelcheck|sec|priv|verify] [--fast] [--jobs N] [--scale K] [--shards N] [--runtime-threads N] [--sim-threads N]
 //!
 //! `--fast` shrinks the workloads for a quick smoke pass; the default runs
 //! paper-comparable scales (a few minutes total).
@@ -26,6 +26,15 @@
 //! path. `N = 0` means auto (same capped detection as `--jobs 0`). Stdout
 //! is byte-identical to the default path at any N — the tier-1 gates
 //! compare them — and only stderr shows which engine ran.
+//!
+//! `--sim-threads N` routes perf, robust and rootload through the
+//! packet-level sharded simulation (`rootless-netsim`'s `ShardedSim`):
+//! resolvers, stub clients and server fleets are partitioned across N
+//! share-nothing timing wheels synchronized by conservative lookahead
+//! epochs, and rootload becomes a full recursive-resolution replay of the
+//! streamed DITL trace. `N = 0` means auto (same capped detection as
+//! `--jobs 0`). Stdout is byte-identical at any N — tier-1 compares
+//! N = 1/2/4 — and only stderr names the engine.
 
 use rootless_experiments as exp;
 
@@ -36,6 +45,7 @@ fn main() {
     let mut scale_arg: Option<u64> = None;
     let mut shards_arg: Option<usize> = None;
     let mut runtime_arg: Option<usize> = None;
+    let mut sim_arg: Option<usize> = None;
     let mut which: Vec<&str> = Vec::new();
     let mut it = args.iter();
     let flag = |name: &'static str| {
@@ -87,6 +97,14 @@ fn main() {
                 Some(flag("--runtime-threads (0 = auto)")(Some(&v.to_string())) as usize);
             continue;
         }
+        if a == "--sim-threads" {
+            sim_arg = Some(flag("--sim-threads (0 = auto)")(it.next()) as usize);
+            continue;
+        }
+        if let Some(v) = a.strip_prefix("--sim-threads=") {
+            sim_arg = Some(flag("--sim-threads (0 = auto)")(Some(&v.to_string())) as usize);
+            continue;
+        }
         which.push(a.as_str());
     }
     // --fast without an explicit --jobs still exercises the parallel
@@ -98,6 +116,8 @@ fn main() {
         None => 1,
     };
     let scale = scale_arg.unwrap_or(1);
+    // `--sim-threads 0` resolves like `--jobs 0`: capped auto-detection.
+    let sim_threads = sim_arg.map(|n| if n == 0 { exp::sweep::auto_jobs() } else { n });
     // Default shard layout must not depend on --jobs (stdout would still
     // be identical, but the stderr shard line would drift): one shard per
     // replica, floored at 4 so sub-unit sharding is exercised at scale 1.
@@ -137,16 +157,22 @@ fn main() {
     }
     if wants("rootload") {
         let (unit_divisor, instances) = if fast { (20_000, 2) } else { (2_000, 4) };
-        let r = match runtime_arg {
-            Some(threads) => {
-                let r = exp::root_load::run_served(unit_divisor, scale, threads);
-                eprintln!("ROOTLOAD engine: serving runtime, {} threads", r.instances);
-                r
-            }
-            None => exp::root_load::run(unit_divisor, scale, shards(instances), jobs),
-        };
-        println!("{}", exp::root_load::render(&r));
-        eprint!("{}", exp::root_load::render_throughput(&r));
+        if let Some(st) = sim_threads {
+            let r = exp::parsim::run_rootload(unit_divisor, st);
+            eprintln!("ROOTLOAD engine: sharded sim, {st} shards");
+            println!("{}", exp::parsim::render_rootload(&r));
+        } else {
+            let r = match runtime_arg {
+                Some(threads) => {
+                    let r = exp::root_load::run_served(unit_divisor, scale, threads);
+                    eprintln!("ROOTLOAD engine: serving runtime, {} threads", r.instances);
+                    r
+                }
+                None => exp::root_load::run(unit_divisor, scale, shards(instances), jobs),
+            };
+            println!("{}", exp::root_load::render(&r));
+            eprint!("{}", exp::root_load::render_throughput(&r));
+        }
         ran += 1;
     }
     if wants("sizes") {
@@ -192,8 +218,14 @@ fn main() {
         ran += 1;
     }
     if wants("perf") {
-        let (lookups, tlds) = if fast { (400, 30) } else { (3_000, 60) };
-        println!("{}", exp::performance::render(&exp::performance::run(lookups, tlds, jobs)));
+        if let Some(st) = sim_threads {
+            let r = exp::parsim::run_perf(fast, st);
+            eprintln!("PERF engine: sharded sim, {st} shards");
+            println!("{}", exp::parsim::render_perf(&r));
+        } else {
+            let (lookups, tlds) = if fast { (400, 30) } else { (3_000, 60) };
+            println!("{}", exp::performance::render(&exp::performance::run(lookups, tlds, jobs)));
+        }
         ran += 1;
     }
     if wants("anycast") {
@@ -202,8 +234,14 @@ fn main() {
         ran += 1;
     }
     if wants("robust") {
-        let (lookups, tlds) = if fast { (30, 20) } else { (100, 40) };
-        println!("{}", exp::robustness::render(&exp::robustness::run(lookups, tlds, jobs)));
+        if let Some(st) = sim_threads {
+            let r = exp::parsim::run_robust(fast, st);
+            eprintln!("ROBUST engine: sharded sim, {st} shards");
+            println!("{}", exp::parsim::render_robust(&r));
+        } else {
+            let (lookups, tlds) = if fast { (30, 20) } else { (100, 40) };
+            println!("{}", exp::robustness::render(&exp::robustness::run(lookups, tlds, jobs)));
+        }
         ran += 1;
     }
     if wants("modelcheck") {
@@ -228,7 +266,7 @@ fn main() {
     }
     if ran == 0 {
         eprintln!(
-            "unknown experiment; choose from: all fig1 fig2 traffic rootload sizes cache extract dist ttl llc perf anycast robust modelcheck sec priv verify (plus --fast, --jobs N, --scale K, --shards N, --runtime-threads N)"
+            "unknown experiment; choose from: all fig1 fig2 traffic rootload sizes cache extract dist ttl llc perf anycast robust modelcheck sec priv verify (plus --fast, --jobs N, --scale K, --shards N, --runtime-threads N, --sim-threads N)"
         );
         std::process::exit(2);
     }

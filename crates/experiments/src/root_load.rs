@@ -46,8 +46,9 @@ pub struct RootLoadReport {
 }
 
 /// Builds the calibrated workload unit and its root zone (shared by the
-/// sweep path and the serving-runtime path so they cannot drift).
-fn workload_and_zone(unit_divisor: u64) -> (WorkloadConfig, Arc<Zone>) {
+/// sweep path, the serving-runtime path and the PARSIM recursive-resolution
+/// replay so they cannot drift).
+pub(crate) fn workload_and_zone(unit_divisor: u64) -> (WorkloadConfig, Arc<Zone>) {
     let config = WorkloadConfig {
         total_queries: 5_700_000_000 / unit_divisor,
         resolvers: (4_100_000 / unit_divisor) as u32,

@@ -15,11 +15,13 @@
 
 pub mod fault;
 pub mod geo;
+pub mod psim;
 pub mod sim;
 pub mod wheel;
 
 pub use fault::{FaultSchedule, FaultStats, LinkFilter, LossGate, Window};
 pub use geo::GeoPoint;
+pub use psim::{PNodeId, ShardedSim};
 pub use sim::{
     Ctx, Datagram, FrontierEntry, FrontierKind, Middlebox, Node, NodeId, Payload, Sim, SimStats,
     Verdict,

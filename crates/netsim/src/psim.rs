@@ -1,0 +1,510 @@
+//! Conservative-synchronization parallel simulation: N share-nothing
+//! [`Sim`] shards advance in lockstep epochs whose width is the minimum
+//! cross-shard link latency (the *lookahead*), exchanging cross-shard
+//! packets only at epoch barriers.
+//!
+//! # Why this is exact, not approximate
+//!
+//! Every one-way delay in the latency model is at least
+//! [`HOP_OVERHEAD_MS`](crate::geo::HOP_OVERHEAD_MS) (the fixed per-hop
+//! processing cost at zero distance), so a packet dispatched at time `s`
+//! can never arrive before `s + lookahead`. The coordinator therefore
+//! picks the globally earliest pending event time `t`, lets every shard
+//! run its own wheel through `[t, t + lookahead)` *in parallel*, and only
+//! then routes the captured cross-shard sends — each of which is due at
+//! `>= t + lookahead`, i.e. strictly after the window just executed. No
+//! shard can ever receive a packet "from the past": event order inside
+//! each shard is exactly what a single wheel would have produced.
+//!
+//! # Determinism
+//!
+//! Within a shard, the timing wheel's (time, insertion) order is already
+//! deterministic. Cross-shard packets are injected in the canonical order
+//! `(arrival time, source shard, capture sequence)` at every barrier, so
+//! two runs of the same world on the same shard layout are bit-identical
+//! regardless of thread scheduling. Shard-count *invariance* of a report
+//! additionally requires the world to follow the sharding contract:
+//! per-node RNG substreams ([`Sim::add_node_seeded`]), no base loss, no
+//! middleboxes, and only RNG-free fault kinds (outage windows / flaps) —
+//! see DESIGN.md §16 for the proof sketch and the exact-tie caveat.
+//!
+//! Nodes whose behavior other shards depend on (anycast server fleets)
+//! should be effectively stateless responders; resolver/stub state is
+//! shard-private by construction.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use rootless_obs::metrics::Registry;
+use rootless_obs::trace::Tracer;
+use rootless_util::rng::substream_seed;
+use rootless_util::time::{SimDuration, SimTime};
+
+use crate::fault::Window;
+use crate::geo::{GeoPoint, HOP_OVERHEAD_MS};
+use crate::sim::{Datagram, Node, NodeId, Sim, SimStats};
+
+/// Above this node count the coordinator stops computing the exact
+/// all-pairs minimum cross-shard latency (quadratic) and uses the
+/// always-sound floor instead: the zero-distance hop overhead.
+const EXACT_LOOKAHEAD_NODE_LIMIT: usize = 2_048;
+
+/// Handle to a node living on one shard of a [`ShardedSim`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PNodeId {
+    /// Which shard hosts the node.
+    pub shard: usize,
+    /// Its id within that shard's [`Sim`].
+    pub node: NodeId,
+    /// Index into the coordinator's global tables.
+    global: usize,
+}
+
+/// Coordinator-side view of one node: where it is (for routing and delay)
+/// and where it lives (for delivery).
+struct GlobalNode {
+    geo: GeoPoint,
+    shard: usize,
+    node: NodeId,
+}
+
+/// N share-nothing [`Sim`]s plus a global routing view, advanced by a
+/// conservative epoch loop. With `shards == 1` the coordinator gets out
+/// of the way entirely: no egress capture, no barriers — the single shard
+/// is a plain `Sim` run at full speed (the <10% single-thread overhead
+/// target is met by not paying any).
+pub struct ShardedSim {
+    shards: Vec<Sim>,
+    nodes: Vec<GlobalNode>,
+    unicast: HashMap<Ipv4Addr, usize>,
+    /// Anycast groups in instance insertion order — ties in the nearest-
+    /// instance rule resolve to the first minimal entry, exactly like
+    /// [`Sim::route`]'s `min_by` over its insertion-ordered instance list.
+    anycast: HashMap<Ipv4Addr, Vec<usize>>,
+    down: Vec<bool>,
+    /// Outage windows mirrored from the owning shards' fault schedules, so
+    /// barrier-time routing sees the same liveness a single sim would.
+    outages: Vec<(usize, Window)>,
+    /// Coordinator-level accounting (cross-shard unreachable drops).
+    coord_stats: SimStats,
+    seq: u64,
+    bandwidth_bytes_per_ms: f64,
+}
+
+impl ShardedSim {
+    /// Creates a sharded engine with `shards` share-nothing partitions.
+    /// Each shard's engine RNG gets its own substream of `seed` (unused
+    /// under the sharding contract, but never aliased).
+    pub fn new(seed: u64, shards: usize) -> ShardedSim {
+        assert!(shards >= 1, "at least one shard");
+        let mut sims: Vec<Sim> = (0..shards)
+            .map(|i| Sim::new(substream_seed(seed, i as u64)))
+            .collect();
+        if shards > 1 {
+            for sim in &mut sims {
+                sim.enable_egress_capture();
+            }
+        }
+        let bandwidth = sims[0].bandwidth_bytes_per_ms;
+        ShardedSim {
+            shards: sims,
+            nodes: Vec::new(),
+            unicast: HashMap::new(),
+            anycast: HashMap::new(),
+            down: Vec::new(),
+            outages: Vec::new(),
+            coord_stats: SimStats::default(),
+            seq: 0,
+            bandwidth_bytes_per_ms: bandwidth,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Registers a node on `shard` with its own RNG substream (the
+    /// sharding contract requires every rng-drawing node to be seeded; use
+    /// a layout-stable seed such as `substream_seed(world, global_index)`).
+    pub fn add_node_seeded(
+        &mut self,
+        shard: usize,
+        addr: Ipv4Addr,
+        geo: GeoPoint,
+        node: Box<dyn Node>,
+        rng_seed: u64,
+    ) -> PNodeId {
+        let id = self.shards[shard].add_node_seeded(addr, geo, node, rng_seed);
+        self.register(shard, id, addr, geo)
+    }
+
+    /// Registers a node that never draws randomness (pure responders).
+    pub fn add_node(
+        &mut self,
+        shard: usize,
+        addr: Ipv4Addr,
+        geo: GeoPoint,
+        node: Box<dyn Node>,
+    ) -> PNodeId {
+        let id = self.shards[shard].add_node(addr, geo, node);
+        self.register(shard, id, addr, geo)
+    }
+
+    fn register(&mut self, shard: usize, node: NodeId, addr: Ipv4Addr, geo: GeoPoint) -> PNodeId {
+        let global = self.nodes.len();
+        self.nodes.push(GlobalNode { geo, shard, node });
+        self.down.push(false);
+        let prev = self.unicast.insert(addr, global);
+        assert!(prev.is_none(), "duplicate unicast address {addr} across shards");
+        PNodeId { shard, node, global }
+    }
+
+    /// Declares `anycast_addr` served by `instances` (anywhere in the
+    /// world). Instance order is significant for exact-distance ties, as
+    /// in [`Sim::add_anycast`].
+    pub fn add_anycast(&mut self, anycast_addr: Ipv4Addr, instances: Vec<PNodeId>) {
+        assert!(!instances.is_empty());
+        if self.shards.len() == 1 {
+            // Single-shard bypass: let the plain engine route it.
+            self.shards[0].add_anycast(anycast_addr, instances.iter().map(|p| p.node).collect());
+        }
+        self.anycast.insert(anycast_addr, instances.iter().map(|p| p.global).collect());
+    }
+
+    /// Mirrors one shard's packet counters into `registry` (see
+    /// [`Sim::attach_obs`]). Callers keep one registry per shard and merge
+    /// snapshots in shard order.
+    pub fn attach_obs(&mut self, shard: usize, registry: &Arc<Registry>, tracer: Option<Arc<Tracer>>) {
+        self.shards[shard].attach_obs(registry, tracer);
+    }
+
+    /// Schedules an engine-level timer for a node (kickoff injection).
+    pub fn schedule_timer(&mut self, node: PNodeId, delay: SimDuration, token: u64) {
+        self.shards[node.shard].schedule_timer(node.node, delay, token);
+    }
+
+    /// Schedules an outage window `[from, to)` for `node`, installed both
+    /// in the owning shard's fault schedule (delivery-time liveness, local
+    /// routing, drop attribution) and in the coordinator's routing view
+    /// (barrier-time anycast/unicast liveness).
+    pub fn node_outage(&mut self, node: PNodeId, from: SimTime, to: SimTime) {
+        self.shards[node.shard].faults.node_outage(node.node, from, to);
+        self.outages.push((node.global, Window::new(from, to)));
+    }
+
+    /// Marks a node up or down in both views (see [`Sim::set_down`]).
+    pub fn set_down(&mut self, node: PNodeId, down: bool) {
+        self.shards[node.shard].set_down(node.node, down);
+        self.down[node.global] = down;
+    }
+
+    /// Borrows a node for inspection after a run.
+    pub fn node(&self, id: PNodeId) -> &dyn Node {
+        self.shards[id.shard].node(id.node)
+    }
+
+    /// Mutably borrows a node between runs.
+    pub fn node_mut(&mut self, id: PNodeId) -> &mut dyn Node {
+        self.shards[id.shard].node_mut(id.node)
+    }
+
+    /// Direct access to one shard's engine (experiment plumbing: loss-free
+    /// knob checks, per-shard fault schedules).
+    pub fn shard(&mut self, shard: usize) -> &mut Sim {
+        &mut self.shards[shard]
+    }
+
+    /// Merged traffic counters: the per-shard stats plus the coordinator's
+    /// own accounting, folded in shard order.
+    pub fn stats(&self) -> SimStats {
+        let mut total = self.coord_stats.clone();
+        for sim in &self.shards {
+            total.merge(&sim.stats);
+        }
+        total
+    }
+
+    /// The epoch width: a lower bound on every cross-shard one-way delay.
+    /// Exact (minimum over cross-shard node pairs) for small worlds; the
+    /// zero-distance hop overhead — sound for any geometry — beyond
+    /// [`EXACT_LOOKAHEAD_NODE_LIMIT`] nodes.
+    pub fn lookahead(&self) -> SimDuration {
+        let floor = SimDuration::from_millis_f64(HOP_OVERHEAD_MS);
+        if self.nodes.len() > EXACT_LOOKAHEAD_NODE_LIMIT {
+            return floor;
+        }
+        let mut min: Option<SimDuration> = None;
+        for (i, a) in self.nodes.iter().enumerate() {
+            for b in &self.nodes[i + 1..] {
+                if a.shard == b.shard {
+                    continue;
+                }
+                let d = a.geo.one_way_delay(&b.geo);
+                if min.is_none_or(|m| d < m) {
+                    min = Some(d);
+                }
+            }
+        }
+        min.unwrap_or(floor).max(floor)
+    }
+
+    /// Runs every shard to completion. Returns the total number of events
+    /// processed. Single shard: a plain [`Sim::run_to_completion`]. Multi-
+    /// shard: the conservative epoch loop, shards on scoped threads.
+    pub fn run_to_completion(&mut self) -> u64 {
+        if self.shards.len() == 1 {
+            return self.shards[0].run_to_completion();
+        }
+        let la = self.lookahead().as_nanos().max(1);
+        let mut processed = 0u64;
+        loop {
+            let nexts: Vec<Option<u64>> =
+                self.shards.iter_mut().map(|s| s.next_event_nanos()).collect();
+            let Some(t) = nexts.iter().flatten().copied().min() else {
+                break;
+            };
+            let end = t.saturating_add(la);
+            // Inclusive deadline: everything strictly before the barrier.
+            let deadline = SimTime(end.saturating_sub(1).max(t));
+            let active: Vec<bool> =
+                nexts.iter().map(|n| matches!(n, Some(x) if *x <= deadline.0)).collect();
+            if active.iter().filter(|a| **a).count() <= 1 {
+                // One busy shard — run it inline, skip the thread round-trip.
+                for (sim, run) in self.shards.iter_mut().zip(&active) {
+                    if *run {
+                        processed += sim.run_until(deadline);
+                    }
+                }
+            } else {
+                let counts = std::thread::scope(|scope| {
+                    let handles: Vec<_> = self
+                        .shards
+                        .iter_mut()
+                        .zip(&active)
+                        .filter(|(_, run)| **run)
+                        .map(|(sim, _)| scope.spawn(move || sim.run_until(deadline)))
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("shard panicked")).sum::<u64>()
+                });
+                processed += counts;
+            }
+            self.exchange();
+        }
+        processed
+    }
+
+    /// The epoch barrier: drain every shard's captured egress, route each
+    /// packet against the global view *at its dispatch time*, and inject
+    /// the survivors into their destination shards in the canonical
+    /// `(arrival, source shard, sequence)` order.
+    fn exchange(&mut self) {
+        let mut inbound: Vec<(SimTime, usize, u64, usize, NodeId, Datagram)> = Vec::new();
+        for src_shard in 0..self.shards.len() {
+            for pkt in self.shards[src_shard].take_egress() {
+                let seq = self.seq;
+                self.seq += 1;
+                let Some(gidx) = self.route_global(pkt.from_geo, pkt.dgram.dst, pkt.sent_at)
+                else {
+                    self.coord_stats.dropped_unreachable += 1;
+                    if self.route_ignoring_outages(pkt.from_geo, pkt.dgram.dst).is_some() {
+                        self.coord_stats.faults.outage_drops += 1;
+                    }
+                    continue;
+                };
+                let target = &self.nodes[gidx];
+                let delay = pkt.from_geo.one_way_delay(&target.geo)
+                    + SimDuration::from_millis_f64(
+                        pkt.dgram.payload.len() as f64 / self.bandwidth_bytes_per_ms,
+                    );
+                let at = pkt.sent_at + delay;
+                inbound.push((at, src_shard, seq, target.shard, target.node, pkt.dgram));
+            }
+        }
+        inbound.sort_by_key(|a| (a.0, a.1, a.2));
+        for (at, _, _, shard, node, dgram) in inbound {
+            self.shards[shard].schedule_deliver_at(at, node, dgram);
+        }
+    }
+
+    fn live_at(&self, global: usize, t: SimTime) -> bool {
+        !self.down[global]
+            && !self.outages.iter().any(|(g, w)| *g == global && w.contains(t))
+    }
+
+    /// Global analogue of [`Sim::route`]: nearest live anycast instance
+    /// (first minimal in insertion order) or the live unicast owner.
+    fn route_global(&self, from: GeoPoint, dst: Ipv4Addr, t: SimTime) -> Option<usize> {
+        if let Some(instances) = self.anycast.get(&dst) {
+            instances
+                .iter()
+                .copied()
+                .filter(|g| self.live_at(*g, t))
+                .min_by(|a, b| {
+                    from.distance_km(&self.nodes[*a].geo)
+                        .partial_cmp(&from.distance_km(&self.nodes[*b].geo))
+                        .unwrap()
+                })
+        } else {
+            self.unicast.get(&dst).copied().filter(|g| self.live_at(*g, t))
+        }
+    }
+
+    /// Routing that ignores outage windows (but not manual `set_down`) —
+    /// decides whether an unreachable drop is outage-attributable, exactly
+    /// like the plain engine's internal fallback.
+    fn route_ignoring_outages(&self, from: GeoPoint, dst: Ipv4Addr) -> Option<usize> {
+        if let Some(instances) = self.anycast.get(&dst) {
+            instances
+                .iter()
+                .copied()
+                .filter(|g| !self.down[*g])
+                .min_by(|a, b| {
+                    from.distance_km(&self.nodes[*a].geo)
+                        .partial_cmp(&from.distance_km(&self.nodes[*b].geo))
+                        .unwrap()
+                })
+        } else {
+            self.unicast.get(&dst).copied().filter(|g| !self.down[*g])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{Ctx, Payload};
+
+    /// Echoes every datagram back to its source.
+    struct Echo {
+        received: u64,
+    }
+
+    impl Node for Echo {
+        fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+            self.received += 1;
+            ctx.send(dgram.src, dgram.payload);
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+    }
+
+    /// Sends one probe to `target` per timer tick; counts replies.
+    struct Probe {
+        target: Ipv4Addr,
+        replies: Vec<SimTime>,
+    }
+
+    impl Node for Probe {
+        fn on_datagram(&mut self, ctx: &mut Ctx<'_>, _dgram: Datagram) {
+            self.replies.push(ctx.now());
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            ctx.send(self.target, Payload::copy_from_slice(b"ping"));
+        }
+    }
+
+    fn addr(a: u8, b: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, a, b)
+    }
+
+    fn world(shards: usize) -> (ShardedSim, PNodeId, PNodeId) {
+        let mut sim = ShardedSim::new(7, shards);
+        let echo_shard = shards - 1;
+        let echo = sim.add_node(
+            echo_shard,
+            addr(0, 1),
+            GeoPoint::new(50.0, 8.0),
+            Box::new(Echo { received: 0 }),
+        );
+        let probe = sim.add_node(
+            0,
+            addr(0, 2),
+            GeoPoint::new(40.0, -74.0),
+            Box::new(Probe { target: addr(0, 1), replies: Vec::new() }),
+        );
+        for i in 0..5u64 {
+            sim.schedule_timer(probe, SimDuration::from_millis(10 * (i + 1)), i);
+        }
+        (sim, echo, probe)
+    }
+
+    #[test]
+    fn cross_shard_echo_matches_single_shard() {
+        let (mut one, e1, p1) = world(1);
+        one.run_to_completion();
+        let (mut two, e2, p2) = world(2);
+        two.run_to_completion();
+        let r1 = &(one.node(p1) as &dyn std::any::Any)
+            .downcast_ref::<Probe>()
+            .unwrap()
+            .replies;
+        let r2 = &(two.node(p2) as &dyn std::any::Any)
+            .downcast_ref::<Probe>()
+            .unwrap()
+            .replies;
+        assert_eq!(r1.len(), 5);
+        assert_eq!(r1, r2, "reply times must not depend on shard count");
+        let rx1 = (one.node(e1) as &dyn std::any::Any).downcast_ref::<Echo>().unwrap().received;
+        let rx2 = (two.node(e2) as &dyn std::any::Any).downcast_ref::<Echo>().unwrap().received;
+        assert_eq!(rx1, rx2);
+        assert_eq!(one.stats(), two.stats());
+    }
+
+    #[test]
+    fn anycast_routes_to_nearest_live_instance_across_shards() {
+        let run = |shards: usize, outage: bool| {
+            let mut sim = ShardedSim::new(3, shards);
+            let near = sim.add_node(
+                0 % shards,
+                addr(1, 1),
+                GeoPoint::new(40.5, -74.5),
+                Box::new(Echo { received: 0 }),
+            );
+            let far = sim.add_node(
+                1 % shards,
+                addr(1, 2),
+                GeoPoint::new(35.7, 139.7),
+                Box::new(Echo { received: 0 }),
+            );
+            let any = Ipv4Addr::new(198, 41, 0, 4);
+            sim.add_anycast(any, vec![near, far]);
+            let probe = sim.add_node(
+                (shards - 1).min(2),
+                addr(1, 3),
+                GeoPoint::new(40.0, -74.0),
+                Box::new(Probe { target: any, replies: Vec::new() }),
+            );
+            if outage {
+                sim.node_outage(near, SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(3600));
+            }
+            sim.schedule_timer(probe, SimDuration::from_millis(5), 0);
+            sim.run_to_completion();
+            let near_rx =
+                (sim.node(near) as &dyn std::any::Any).downcast_ref::<Echo>().unwrap().received;
+            let far_rx =
+                (sim.node(far) as &dyn std::any::Any).downcast_ref::<Echo>().unwrap().received;
+            let replies = (sim.node(probe) as &dyn std::any::Any)
+                .downcast_ref::<Probe>()
+                .unwrap()
+                .replies
+                .clone();
+            (near_rx, far_rx, replies)
+        };
+        for shards in [1, 2, 3] {
+            let (near_rx, far_rx, replies) = run(shards, false);
+            assert_eq!((near_rx, far_rx), (1, 0), "shards={shards}: nearest instance wins");
+            assert_eq!(replies, run(1, false).2, "shards={shards}: latency identical");
+            let (near_rx, far_rx, replies) = run(shards, true);
+            assert_eq!((near_rx, far_rx), (0, 1), "shards={shards}: outage fails over");
+            assert_eq!(replies, run(1, true).2, "shards={shards}: failover latency identical");
+        }
+    }
+
+    #[test]
+    fn lookahead_never_below_hop_overhead() {
+        let (sim, _, _) = world(2);
+        let floor = SimDuration::from_millis_f64(HOP_OVERHEAD_MS);
+        assert!(sim.lookahead() >= floor);
+    }
+}

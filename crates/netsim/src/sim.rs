@@ -149,7 +149,11 @@ pub enum Verdict {
 }
 
 /// An on-path observer/attacker. Sees packets whose path it covers.
-pub trait Middlebox {
+///
+/// `Send` is a supertrait so a whole [`Sim`] can be moved to (or borrowed
+/// by) a worker thread — the sharded engine ([`crate::psim::ShardedSim`])
+/// runs one sim per shard on scoped threads.
+pub trait Middlebox: Send {
     /// Inspect a packet at time `now`; return the action to take.
     fn inspect(&mut self, now: SimTime, dgram: &Datagram) -> Verdict;
 }
@@ -157,8 +161,9 @@ pub trait Middlebox {
 /// Protocol state machine attached to a node.
 ///
 /// `Any` is a supertrait so tests and experiment harnesses can downcast a
-/// `&dyn Node` back to its concrete type after a run.
-pub trait Node: std::any::Any {
+/// `&dyn Node` back to its concrete type after a run; `Send` so shards of
+/// a [`crate::psim::ShardedSim`] can execute on worker threads.
+pub trait Node: std::any::Any + Send {
     /// A datagram arrived.
     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram);
     /// A timer set with [`Ctx::set_timer`] fired.
@@ -222,6 +227,17 @@ impl<'a> Ctx<'a> {
 enum EventKind {
     Deliver(NodeId, Datagram),
     Timer(NodeId, u64),
+}
+
+/// A send whose destination is not registered in this sim, captured for a
+/// coordinating [`crate::psim::ShardedSim`] to route globally.
+pub(crate) struct EgressPacket {
+    /// When the sender dispatched it (the shard clock at dispatch).
+    pub(crate) sent_at: SimTime,
+    /// The sender's position (delay derives from it).
+    pub(crate) from_geo: GeoPoint,
+    /// The packet itself.
+    pub(crate) dgram: Datagram,
 }
 
 /// One pending event exposed by the controlled scheduler — see
@@ -300,6 +316,30 @@ pub struct SimStats {
     pub faults: FaultStats,
 }
 
+impl SimStats {
+    /// Folds `other` into `self` field by field — how a sharded run's
+    /// per-shard stats combine into one total. Addition is commutative, so
+    /// the merged totals are independent of shard layout.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.dropped_loss += other.dropped_loss;
+        self.dropped_unreachable += other.dropped_unreachable;
+        self.middlebox_drops += other.middlebox_drops;
+        self.middlebox_forgeries += other.middlebox_forgeries;
+        self.bytes_sent += other.bytes_sent;
+        for (dst, n) in &other.per_dst {
+            *self.per_dst.entry(*dst).or_insert(0) += n;
+        }
+        self.faults.outage_drops += other.faults.outage_drops;
+        self.faults.burst_drops += other.faults.burst_drops;
+        self.faults.partition_drops += other.faults.partition_drops;
+        self.faults.spiked += other.faults.spiked;
+        self.faults.spike_delay_total =
+            self.faults.spike_delay_total + other.faults.spike_delay_total;
+    }
+}
+
 /// Packet-layer metric handles mirroring [`SimStats`] into a shared
 /// registry under the `sim.` namespace, plus an optional tracer that
 /// records fault-drop events. Handles are registered once at attach time;
@@ -365,6 +405,11 @@ pub struct Sim {
     /// slab-recycled and the pop order is identical (see [`TimingWheel`]).
     wheel: TimingWheel<EventKind>,
     nodes: Vec<Option<Box<dyn Node>>>,
+    /// Per-node RNG substreams (see [`Sim::add_node_seeded`]). A node with
+    /// its own stream draws only from it, so its behavior is a pure
+    /// function of its own event history — the property that makes a
+    /// sharded run's report independent of how nodes are placed on shards.
+    node_rngs: Vec<Option<DetRng>>,
     geos: Vec<GeoPoint>,
     addrs: Vec<Ipv4Addr>,
     down: Vec<bool>,
@@ -386,6 +431,10 @@ pub struct Sim {
     /// `Some` once [`Sim::enable_controlled_scheduler`] has been called:
     /// events bypass the wheel and wait in an explicit frontier.
     controlled: Option<Controlled>,
+    /// `Some` once egress capture is enabled (sharded mode): sends to
+    /// destinations this sim does not know locally are buffered here for
+    /// the coordinator instead of being dropped as unreachable.
+    egress: Option<Vec<EgressPacket>>,
 }
 
 impl Sim {
@@ -395,6 +444,7 @@ impl Sim {
             now: SimTime::ZERO,
             wheel: TimingWheel::new(),
             nodes: Vec::new(),
+            node_rngs: Vec::new(),
             geos: Vec::new(),
             addrs: Vec::new(),
             down: Vec::new(),
@@ -408,6 +458,7 @@ impl Sim {
             stats: SimStats::default(),
             obs: None,
             controlled: None,
+            egress: None,
         }
     }
 
@@ -427,14 +478,75 @@ impl Sim {
 
     /// Registers a node at `addr` / `geo`. The address must be unique.
     pub fn add_node(&mut self, addr: Ipv4Addr, geo: GeoPoint, node: Box<dyn Node>) -> NodeId {
+        self.add_node_inner(addr, geo, node, None)
+    }
+
+    /// Like [`Sim::add_node`] but gives the node its own RNG substream
+    /// seeded from `rng_seed` instead of the shared engine RNG. A seeded
+    /// node's random draws depend only on its own event history, never on
+    /// interleaving with other nodes — the contract the sharded engine
+    /// relies on for shard-count-invariant reports. Use a layout-stable
+    /// derivation (e.g. `substream_seed(world_seed, global_node_index)`).
+    pub fn add_node_seeded(
+        &mut self,
+        addr: Ipv4Addr,
+        geo: GeoPoint,
+        node: Box<dyn Node>,
+        rng_seed: u64,
+    ) -> NodeId {
+        self.add_node_inner(addr, geo, node, Some(DetRng::seed_from_u64(rng_seed)))
+    }
+
+    fn add_node_inner(
+        &mut self,
+        addr: Ipv4Addr,
+        geo: GeoPoint,
+        node: Box<dyn Node>,
+        rng: Option<DetRng>,
+    ) -> NodeId {
         let id = NodeId(self.nodes.len());
         self.nodes.push(Some(node));
+        self.node_rngs.push(rng);
         self.geos.push(geo);
         self.addrs.push(addr);
         self.down.push(false);
         let prev = self.unicast.insert(addr, id);
         assert!(prev.is_none(), "duplicate unicast address {addr}");
         id
+    }
+
+    /// Switches this sim into egress-capture mode: a send whose destination
+    /// is not a locally registered unicast address is buffered (with its
+    /// dispatch time and sender position) instead of being counted
+    /// unreachable. The sharded coordinator routes the buffer globally at
+    /// each epoch barrier.
+    pub(crate) fn enable_egress_capture(&mut self) {
+        self.egress = Some(Vec::new());
+    }
+
+    /// Drains the captured egress buffer (dispatch order).
+    pub(crate) fn take_egress(&mut self) -> Vec<EgressPacket> {
+        match &mut self.egress {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
+        }
+    }
+
+    /// Schedules a datagram delivery at absolute time `at` — the sharded
+    /// coordinator's injection point for cross-shard packets. The send-side
+    /// accounting already happened on the source shard; the delivery-side
+    /// accounting (liveness re-check, delivered/per-dst counters) happens
+    /// here exactly as for a local packet.
+    pub(crate) fn schedule_deliver_at(&mut self, at: SimTime, node: NodeId, dgram: Datagram) {
+        self.push_event(at, EventKind::Deliver(node, dgram));
+    }
+
+    /// The due time of the earliest pending event, in nanoseconds, without
+    /// removing it. Non-mutating: the wheel cursor stays put, so a
+    /// cross-shard injection between "now" and that event keeps its exact
+    /// arrival time (the wheel clamps schedules to its cursor).
+    pub(crate) fn next_event_nanos(&mut self) -> Option<u64> {
+        self.wheel.peek_min()
     }
 
     /// Declares `anycast_addr` served by `instances` (each already added as a
@@ -587,6 +699,18 @@ impl Sim {
             o.sent.inc();
             o.bytes_sent.add(dgram.payload.len() as u64);
             o.sent_to(dgram.dst);
+        }
+
+        // Egress capture (sharded mode): a destination this shard does not
+        // host leaves through the coordinator, which routes it globally at
+        // the next epoch barrier. Send-side accounting stays here; loss /
+        // faults / delay are applied by the coordinator or the dest shard
+        // (sharded worlds run loss-free and middlebox-free by contract).
+        if !self.unicast.contains_key(&dgram.dst) {
+            if let Some(egress) = self.egress.as_mut() {
+                egress.push(EgressPacket { sent_at: self.now, from_geo, dgram });
+                return;
+            }
         }
 
         // Middleboxes inspect in order.
@@ -922,17 +1046,22 @@ impl Sim {
 
     fn with_node<F: FnOnce(&mut dyn Node, &mut Ctx<'_>)>(&mut self, id: NodeId, f: F) {
         let mut node = self.nodes[id.0].take().expect("node re-entered");
+        // Nodes registered via `add_node_seeded` draw from their private
+        // substream, so their randomness is a pure function of their own
+        // event history — independent of how other nodes interleave.
+        let mut private_rng = self.node_rngs[id.0].take();
         let mut ctx = Ctx {
             now: self.now,
             node: id,
             addr: self.addrs[id.0],
-            rng: &mut self.rng,
+            rng: private_rng.as_mut().unwrap_or(&mut self.rng),
             sends: Vec::new(),
             timers: Vec::new(),
         };
         f(node.as_mut(), &mut ctx);
         let Ctx { sends, timers, .. } = ctx;
         self.nodes[id.0] = Some(node);
+        self.node_rngs[id.0] = private_rng;
         let geo = self.geos[id.0];
         for dgram in sends {
             self.dispatch_send(geo, dgram);

@@ -247,9 +247,16 @@ impl<T> TimingWheel<T> {
         }
     }
 
-    /// Advances the cursor to the earliest pending deadline and returns it,
-    /// cascading higher-level slots as their windows open. `None` if empty.
-    fn advance_to_next(&mut self) -> Option<u64> {
+    /// Advances the cursor to the earliest pending deadline `<= limit` and
+    /// returns it, cascading higher-level slots as their windows open. If
+    /// the earliest deadline is beyond `limit` (or the wheel is empty) the
+    /// cursor stops at `limit` and this returns `None` — the cursor never
+    /// overshoots, so a later `schedule` between `limit` and that deadline
+    /// keeps its exact time instead of being clamped forward. The sharded
+    /// simulator depends on this: epoch barriers inject cross-shard packets
+    /// after a shard ran to its deadline, and those arrivals land between
+    /// the deadline and the shard's next local event.
+    fn advance_until(&mut self, limit: u64) -> Option<u64> {
         if self.len == 0 {
             return None;
         }
@@ -270,6 +277,9 @@ impl<T> TimingWheel<T> {
             if mask0 != 0 {
                 let s = mask0.trailing_zeros() as u64;
                 let at = (self.cursor & !(SLOTS as u64 - 1)) + s;
+                if at > limit {
+                    return None;
+                }
                 self.cursor = at;
                 return Some(at);
             }
@@ -286,7 +296,11 @@ impl<T> TimingWheel<T> {
                     let shift = SLOT_BITS as usize * level;
                     let upper = shift + SLOT_BITS as usize;
                     let base = if upper >= 64 { 0 } else { (self.cursor >> upper) << upper };
-                    self.cursor = base + (s << shift);
+                    let target = base + (s << shift);
+                    if target > limit {
+                        return None;
+                    }
+                    self.cursor = target;
                     continue 'outer;
                 }
             }
@@ -294,18 +308,47 @@ impl<T> TimingWheel<T> {
         }
     }
 
-    /// The earliest pending deadline, advancing the cursor (and cascading)
-    /// to find it. Does not remove the event.
-    pub fn peek_next(&mut self) -> Option<u64> {
-        self.advance_to_next()
-    }
-
-    /// Pops the earliest event if its deadline is `<= deadline`.
-    pub fn pop_at_or_before(&mut self, deadline: u64) -> Option<(u64, T)> {
-        let at = self.advance_to_next()?;
-        if at > deadline {
+    /// The earliest pending deadline, without touching the cursor or any
+    /// slot: level 0 answers exactly from its bitmap; for each higher level
+    /// the earliest occupied window's list is scanned for its exact minimum
+    /// (a not-yet-cascaded window containing the cursor can hold the
+    /// soonest event, so window starts alone are not enough).
+    pub fn peek_min(&self) -> Option<u64> {
+        if self.len == 0 {
             return None;
         }
+        let mut best: Option<u64> = None;
+        let cur0 = Self::slot_for(0, self.cursor);
+        let mask0 = self.occupied[0] & (!0u64 << cur0);
+        if mask0 != 0 {
+            best = Some((self.cursor & !(SLOTS as u64 - 1)) + mask0.trailing_zeros() as u64);
+        }
+        for level in 1..LEVELS {
+            let cur = Self::slot_for(level, self.cursor);
+            let mask = self.occupied[level] & (!0u64 << cur);
+            if mask == 0 {
+                continue;
+            }
+            // Later slots at this level hold strictly later windows, and
+            // deeper levels hold windows beyond this one — but a higher
+            // level's cursor window can still contain an earlier event, so
+            // keep scanning upward and take the global minimum.
+            let mut idx = self.heads[level][mask.trailing_zeros() as usize];
+            while idx != NIL {
+                let s = &self.slab[idx as usize];
+                if best.is_none_or(|b| s.at < b) {
+                    best = Some(s.at);
+                }
+                idx = s.next;
+            }
+        }
+        best
+    }
+
+    /// Pops the earliest event if its deadline is `<= deadline`. A failed
+    /// pop never advances the cursor beyond `deadline`.
+    pub fn pop_at_or_before(&mut self, deadline: u64) -> Option<(u64, T)> {
+        let at = self.advance_until(deadline)?;
         let slot = Self::slot_for(0, at);
         let idx = self.heads[0][slot];
         debug_assert!(idx != NIL);
@@ -390,6 +433,46 @@ mod tests {
         w.schedule(10, 1);
         assert_eq!(w.pop_at_or_before(u64::MAX), Some((10, 1)));
         assert_eq!(w.pop_at_or_before(u64::MAX), Some((11, 2)));
+    }
+
+    #[test]
+    fn peek_is_non_mutating_and_late_inserts_keep_their_time() {
+        // The sharded simulator peeks every shard's next deadline to pick
+        // an epoch, then injects cross-shard arrivals that land *before*
+        // that deadline. If peeking moved the cursor, the injection would
+        // be clamped forward onto the next local event.
+        let mut w = TimingWheel::new();
+        w.schedule(200_000_000, 'b');
+        assert_eq!(w.peek_min(), Some(200_000_000));
+        w.schedule(56_829_406, 'a');
+        assert_eq!(w.pop_at_or_before(u64::MAX), Some((56_829_406, 'a')));
+        assert_eq!(w.pop_at_or_before(u64::MAX), Some((200_000_000, 'b')));
+    }
+
+    #[test]
+    fn failed_pop_does_not_advance_past_the_deadline() {
+        // Same property for the pop path: run_until(epoch deadline) ends
+        // with one failed pop, which must not drag the cursor out to the
+        // next pending event.
+        let mut w = TimingWheel::new();
+        w.schedule(1_000_000, 'z');
+        assert_eq!(w.pop_at_or_before(10), None);
+        w.schedule(500, 'a');
+        assert_eq!(w.pop_at_or_before(u64::MAX), Some((500, 'a')));
+        assert_eq!(w.pop_at_or_before(u64::MAX), Some((1_000_000, 'z')));
+    }
+
+    #[test]
+    fn peek_min_sees_uncascaded_windows() {
+        // An event in a higher-level window containing the cursor can be
+        // the true minimum even when a level-0 or past-window candidate
+        // exists; peek must scan the window list, not trust window starts.
+        let mut w = TimingWheel::new();
+        w.schedule(70, 'b'); // level 1 from cursor 0
+        w.schedule(65, 'a'); // same level-1 window, earlier tick
+        assert_eq!(w.peek_min(), Some(65));
+        assert_eq!(w.pop_at_or_before(u64::MAX), Some((65, 'a')));
+        assert_eq!(w.peek_min(), Some(70));
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Property gate for the sharded engine: at ANY shard count, a world's
+//! trace ring is byte-identical to the plain unsharded [`Sim`]'s.
+//!
+//! The worlds are randomized — node counts, geography, timer schedules,
+//! shard assignment, and an RNG-drawing node whose jitter comes from a
+//! per-node substream keyed by its *global* index (the contract
+//! `ShardedSim::add_node_seeded` documents). Every node records what it
+//! does into a tracer stamped with simulated time; per-shard tracers are
+//! merged and serialized through the same [`serialize_events`] wire format
+//! as the single-tracer reference run. One differing nanosecond, payload
+//! byte, or missing event fails the byte comparison.
+//!
+//! Event times can collide across shards (two probes may act in the same
+//! nanosecond), so both runs are canonicalized by a stable sort on
+//! `(time, payload)` before serializing — the property pinned is "same
+//! events at the same times", with intra-tick ordering covered by the
+//! deterministic report gates in `crates/experiments` and `tier1.sh`.
+
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rootless_netsim::geo::GeoPoint;
+use rootless_netsim::psim::ShardedSim;
+use rootless_netsim::sim::{Ctx, Datagram, Node, Payload, Sim};
+use rootless_obs::trace::{serialize_events, TraceEvent, TraceKind, Tracer};
+use rootless_util::rng::substream_seed;
+use rootless_util::time::SimDuration;
+
+/// Echo server: records each delivery, replies to the sender.
+struct Echo {
+    id: u32,
+    tracer: Arc<Tracer>,
+}
+
+impl Node for Echo {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, dgram: Datagram) {
+        self.tracer.record(ctx.now(), TraceKind::QueryStart { qhash: self.id as u64 });
+        ctx.send(dgram.src, dgram.payload);
+    }
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+}
+
+/// Probe: on each timer it draws jitter from its private RNG substream,
+/// re-arms itself, and fires a probe at its echo server. Sends and replies
+/// are both recorded. The RNG draw is the point: its sequence must depend
+/// only on this node's event history, never on the shard layout.
+struct Probe {
+    id: u32,
+    target: Ipv4Addr,
+    rounds: u32,
+    tracer: Arc<Tracer>,
+}
+
+impl Node for Probe {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, _dgram: Datagram) {
+        self.tracer.record(ctx.now(), TraceKind::Answer { rcode: (self.id & 0x0f) as u8 });
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        self.tracer
+            .record(ctx.now(), TraceKind::UpstreamSend { server: self.target, attempt: token as u32 });
+        ctx.send(self.target, Payload::copy_from_slice(b"probe"));
+        if (token as u32) + 1 < self.rounds {
+            let jitter = ctx.rng().below(900_000);
+            ctx.set_timer(SimDuration::from_millis(3) + SimDuration::from_nanos(jitter), token + 1);
+        }
+    }
+}
+
+/// One randomized world: per-pair geography, kickoff offset and rounds.
+#[derive(Debug, Clone)]
+struct PairSpec {
+    echo_lat: f64,
+    echo_lon: f64,
+    probe_lat: f64,
+    probe_lon: f64,
+    kickoff_nanos: u64,
+    rounds: u32,
+}
+
+fn pair_strategy() -> impl Strategy<Value = PairSpec> {
+    (
+        -60.0..60.0f64,
+        -180.0..180.0f64,
+        -60.0..60.0f64,
+        -180.0..180.0f64,
+        0u64..5_000_000,
+        1u32..5,
+    )
+        .prop_map(|(echo_lat, echo_lon, probe_lat, probe_lon, kickoff_nanos, rounds)| PairSpec {
+            echo_lat,
+            echo_lon,
+            probe_lat,
+            probe_lon,
+            kickoff_nanos,
+            rounds,
+        })
+}
+
+fn echo_addr(i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 50, (i >> 8) as u8, (i & 0xff) as u8)
+}
+
+fn probe_addr(i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 60, (i >> 8) as u8, (i & 0xff) as u8)
+}
+
+const WORLD_SEED: u64 = 0x5eed_9e07;
+
+/// Canonical bytes: stable-sort by (time, serialized payload) and run the
+/// events through the tracer wire format.
+fn canonical(mut events: Vec<TraceEvent>) -> Vec<u8> {
+    events.sort_by(|a, b| {
+        (a.at, serialize_events(std::slice::from_ref(a), 0))
+            .cmp(&(b.at, serialize_events(std::slice::from_ref(b), 0)))
+    });
+    serialize_events(&events, 0)
+}
+
+fn run_plain(pairs: &[PairSpec]) -> Vec<u8> {
+    let tracer = Tracer::new(1 << 14);
+    let mut sim = Sim::new(1);
+    for (i, p) in pairs.iter().enumerate() {
+        let echo = Box::new(Echo { id: i as u32, tracer: Arc::clone(&tracer) });
+        sim.add_node(echo_addr(i), GeoPoint::new(p.echo_lat, p.echo_lon), echo);
+        let probe = Box::new(Probe {
+            id: i as u32,
+            target: echo_addr(i),
+            rounds: p.rounds,
+            tracer: Arc::clone(&tracer),
+        });
+        let id = sim.add_node_seeded(
+            probe_addr(i),
+            GeoPoint::new(p.probe_lat, p.probe_lon),
+            probe,
+            substream_seed(WORLD_SEED, i as u64),
+        );
+        sim.schedule_timer(id, SimDuration::from_nanos(p.kickoff_nanos), 0);
+    }
+    sim.run_to_completion();
+    canonical(tracer.events())
+}
+
+fn run_sharded(pairs: &[PairSpec], shards: usize) -> Vec<u8> {
+    let tracers: Vec<Arc<Tracer>> = (0..shards).map(|_| Tracer::new(1 << 14)).collect();
+    let mut sim = ShardedSim::new(1, shards);
+    for (i, p) in pairs.iter().enumerate() {
+        // Deliberately adversarial layout: echo and probe of a pair land
+        // on different shards whenever there is more than one.
+        let echo_shard = i % shards;
+        let probe_shard = (i + 1) % shards;
+        let echo = Box::new(Echo { id: i as u32, tracer: Arc::clone(&tracers[echo_shard]) });
+        sim.add_node(echo_shard, echo_addr(i), GeoPoint::new(p.echo_lat, p.echo_lon), echo);
+        let probe = Box::new(Probe {
+            id: i as u32,
+            target: echo_addr(i),
+            rounds: p.rounds,
+            tracer: Arc::clone(&tracers[probe_shard]),
+        });
+        let id = sim.add_node_seeded(
+            probe_shard,
+            probe_addr(i),
+            GeoPoint::new(p.probe_lat, p.probe_lon),
+            probe,
+            substream_seed(WORLD_SEED, i as u64),
+        );
+        sim.schedule_timer(id, SimDuration::from_nanos(p.kickoff_nanos), 0);
+    }
+    sim.run_to_completion();
+    canonical(tracers.iter().flat_map(|t| t.events()).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sharded_trace_ring_matches_unsharded_sim(
+        pairs in vec(pair_strategy(), 1..12),
+        shards in 1usize..5,
+    ) {
+        let reference = run_plain(&pairs);
+        let sharded = run_sharded(&pairs, shards);
+        prop_assert_eq!(
+            reference,
+            sharded,
+            "shard count {} changed the trace ring for {} pairs",
+            shards,
+            pairs.len()
+        );
+    }
+}

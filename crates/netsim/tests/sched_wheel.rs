@@ -336,3 +336,48 @@ fn slot_reclaim_bounded_across_long_flap_schedule() {
         processed
     );
 }
+
+#[test]
+fn far_future_overflow_mixed_with_near_events() {
+    // Deadlines parked at the top of the u64 tick space (decades beyond any
+    // run's horizon) must coexist with a dense near-term schedule: the
+    // overflow events sit in the highest wheel level while near events
+    // cascade, pop, and re-arm around them, and they still fire last and in
+    // order. This also pins the epoch-barrier cursor contract end to end:
+    // a failed bounded pop must not advance wheel time, so an event
+    // scheduled *after* a failed pop but *before* the parked deadlines
+    // keeps its exact tick instead of being clamped forward.
+    let mut w: TimingWheel<u32> = TimingWheel::new();
+    w.schedule(u64::MAX, 1_000);
+    w.schedule(u64::MAX - 1, 999);
+    w.schedule(1 << 62, 998);
+    for i in 0..64u64 {
+        w.schedule(1_000 + i * 7, i as u32);
+    }
+    // Drain the near ladder with tight per-pop deadlines; every other pop
+    // attempt is short by one tick and must fail without side effects.
+    let mut popped = Vec::new();
+    let mut next_deadline = 999;
+    while let Some(min) = w.peek_min() {
+        if min >= 1 << 62 {
+            break;
+        }
+        assert_eq!(w.pop_at_or_before(next_deadline), None, "deadline {next_deadline} is short");
+        let (at, v) = w.pop_at_or_before(min).expect("exact deadline pops");
+        assert_eq!(at, min);
+        popped.push(v);
+        next_deadline = at;
+    }
+    assert_eq!(popped, (0..64).collect::<Vec<u32>>());
+    // Wheel time sits at the last near event; a fresh mid-range event
+    // scheduled now — with only far-future residents left — fires at its
+    // own tick, then the parked extremes in order.
+    w.schedule(2_000_000, 7);
+    assert_eq!(w.peek_min(), Some(2_000_000));
+    assert_eq!(w.pop_at_or_before(1_999_999), None);
+    assert_eq!(w.pop_at_or_before(u64::MAX), Some((2_000_000, 7)));
+    assert_eq!(w.pop_at_or_before(u64::MAX), Some((1 << 62, 998)));
+    assert_eq!(w.pop_at_or_before(u64::MAX), Some((u64::MAX - 1, 999)));
+    assert_eq!(w.pop_at_or_before(u64::MAX), Some((u64::MAX, 1_000)));
+    assert!(w.is_empty());
+}

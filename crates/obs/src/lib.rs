@@ -29,4 +29,4 @@ pub mod metrics;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
-pub use trace::{FaultKind, RootSource, TraceEvent, TraceKind, Tracer};
+pub use trace::{serialize_events, FaultKind, RootSource, TraceEvent, TraceKind, Tracer};

@@ -227,16 +227,22 @@ impl Tracer {
     /// count) followed by 17 bytes per event (tag, big-endian sim time,
     /// 8-byte payload). Two identical runs serialize identically.
     pub fn serialize(&self) -> Vec<u8> {
-        let events = self.events();
-        let dropped = self.dropped();
-        let mut out = Vec::with_capacity(16 + events.len() * 17);
-        out.extend_from_slice(&(events.len() as u64).to_be_bytes());
-        out.extend_from_slice(&dropped.to_be_bytes());
-        for e in &events {
-            put_event(&mut out, e);
-        }
-        out
+        serialize_events(&self.events(), self.dropped())
     }
+}
+
+/// Serializes an event list in the exact [`Tracer::serialize`] wire format
+/// — the merge point for sharded runs, which collect per-shard `events()`,
+/// interleave them into one canonical order, and serialize the union as if
+/// a single tracer had recorded it.
+pub fn serialize_events(events: &[TraceEvent], dropped: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + events.len() * 17);
+    out.extend_from_slice(&(events.len() as u64).to_be_bytes());
+    out.extend_from_slice(&dropped.to_be_bytes());
+    for e in events {
+        put_event(&mut out, e);
+    }
+    out
 }
 
 #[cfg(test)]

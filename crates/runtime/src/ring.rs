@@ -33,13 +33,22 @@ use std::sync::Arc;
 #[derive(Debug)]
 pub struct Full<T>(pub T);
 
+/// Pads a counter out to its own cache line. The producer Release-stores
+/// `tail` on every push while the consumer Release-stores `head` on every
+/// pop; adjacent in one struct they land on the same line and every store
+/// invalidates the other core's copy (false sharing). 64 bytes covers the
+/// line size of every target this runs on (x86-64, and aarch64's typical
+/// 64/128-byte lines at worst split across two).
+#[repr(align(64))]
+struct CacheAligned(AtomicUsize);
+
 struct Shared<T> {
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
     mask: usize,
     /// Next slot to write (owned by the producer; consumer Acquire-loads).
-    tail: AtomicUsize,
+    tail: CacheAligned,
     /// Next slot to read (owned by the consumer; producer Acquire-loads).
-    head: AtomicUsize,
+    head: CacheAligned,
     producer_alive: AtomicBool,
     consumer_alive: AtomicBool,
 }
@@ -57,8 +66,8 @@ impl<T> Drop for Shared<T> {
         // indices are free-running and may wrap, so walk head→tail with
         // wrapping arithmetic rather than a `head..tail` range (which is
         // empty when tail has wrapped past zero and head has not).
-        let mut head = *self.head.get_mut();
-        let tail = *self.tail.get_mut();
+        let mut head = *self.head.0.get_mut();
+        let tail = *self.tail.0.get_mut();
         while head != tail {
             // SAFETY: slots in [head, tail) were initialized by the
             // producer and never consumed.
@@ -93,8 +102,8 @@ fn ring_from<T: Send>(capacity: usize, start: usize) -> (Producer<T>, Consumer<T
     let shared = Arc::new(Shared {
         slots,
         mask: cap - 1,
-        tail: AtomicUsize::new(start),
-        head: AtomicUsize::new(start),
+        tail: CacheAligned(AtomicUsize::new(start)),
+        head: CacheAligned(AtomicUsize::new(start)),
         producer_alive: AtomicBool::new(true),
         consumer_alive: AtomicBool::new(true),
     });
@@ -122,8 +131,8 @@ impl<T: Send> Producer<T> {
     /// Attempts to enqueue without blocking. On a full ring the value comes
     /// back in [`Full`].
     pub fn try_push(&mut self, value: T) -> Result<(), Full<T>> {
-        let tail = self.shared.tail.load(Ordering::Relaxed); // own counter
-        let head = self.shared.head.load(Ordering::Acquire);
+        let tail = self.shared.tail.0.load(Ordering::Relaxed); // own counter
+        let head = self.shared.head.0.load(Ordering::Acquire);
         // The counters are free-running and wrap; the occupancy
         // `tail - head` is only correct under wrapping subtraction (plain
         // `-` panics in debug builds at the wrap point).
@@ -135,7 +144,7 @@ impl<T: Send> Producer<T> {
         unsafe {
             (*self.shared.slots[tail & self.shared.mask].get()).write(value);
         }
-        self.shared.tail.store(tail.wrapping_add(1), Ordering::Release);
+        self.shared.tail.0.store(tail.wrapping_add(1), Ordering::Release);
         Ok(())
     }
 
@@ -179,15 +188,15 @@ impl<T: Send> Consumer<T> {
     /// Attempts to dequeue without blocking. `None` means "empty right
     /// now", not end-of-stream; see [`Consumer::pop`] for the distinction.
     pub fn try_pop(&mut self) -> Option<T> {
-        let head = self.shared.head.load(Ordering::Relaxed); // own counter
-        let tail = self.shared.tail.load(Ordering::Acquire);
+        let head = self.shared.head.0.load(Ordering::Relaxed); // own counter
+        let tail = self.shared.tail.0.load(Ordering::Acquire);
         if head == tail {
             return None;
         }
         // SAFETY: slot `head` was initialized by the producer (tail is past
         // it, Acquire-observed) and only this consumer reads slots.
         let value = unsafe { (*self.shared.slots[head & self.shared.mask].get()).assume_init_read() };
-        self.shared.head.store(head.wrapping_add(1), Ordering::Release);
+        self.shared.head.0.store(head.wrapping_add(1), Ordering::Release);
         Some(value)
     }
 

@@ -7,6 +7,13 @@
 //! because `available_parallelism()` on a large host would otherwise spawn
 //! hundreds of workers for task matrices (or ring topologies) that max out
 //! far earlier.
+//!
+//! The `ROOTLESS_THREADS` environment variable overrides detection
+//! entirely (clamped to `[1, 64]`): containers and CI runners frequently
+//! misreport their cpu budget, and a pinned override also makes "auto"
+//! reproducible across hosts. Unset, empty or unparsable values fall back
+//! to detection — an operator typo degrades to the default, never to a
+//! panic.
 
 use std::num::NonZeroUsize;
 
@@ -15,17 +22,35 @@ use std::num::NonZeroUsize;
 /// burns memory on idle per-worker state.
 pub const DEFAULT_PARALLELISM_CAP: usize = 64;
 
+/// Environment variable that pins every "auto" thread-count answer
+/// (`--jobs 0`, `--runtime-threads 0`, `--sim-threads 0`) to a fixed
+/// value, clamped to `[1, DEFAULT_PARALLELISM_CAP]`.
+pub const THREADS_ENV: &str = "ROOTLESS_THREADS";
+
+/// The `ROOTLESS_THREADS` override, if set to something parsable.
+/// `0` clamps up to 1 (a serial run, not a panic); values above
+/// [`DEFAULT_PARALLELISM_CAP`] clamp down to it.
+fn env_override() -> Option<usize> {
+    let raw = std::env::var(THREADS_ENV).ok()?;
+    let n: usize = raw.trim().parse().ok()?;
+    Some(n.clamp(1, DEFAULT_PARALLELISM_CAP))
+}
+
 /// The machine's available parallelism clamped to `[1, cap.max(1)]`.
 /// Detection failure (exotic platforms, restricted cgroups) degrades to 1,
-/// never to a panic — a serial run is always a valid schedule.
+/// never to a panic — a serial run is always a valid schedule. A
+/// `ROOTLESS_THREADS` override replaces detection (then the `cap` clamp
+/// still applies, so callers with tighter ceilings keep them).
 pub fn available_parallelism_capped(cap: usize) -> usize {
-    let detected = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    let detected = env_override().unwrap_or_else(|| {
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    });
     detected.clamp(1, cap.max(1))
 }
 
 /// The default "auto" answer: available parallelism under
-/// [`DEFAULT_PARALLELISM_CAP`]. This is what `--jobs 0` and
-/// `--runtime-threads 0` resolve to.
+/// [`DEFAULT_PARALLELISM_CAP`]. This is what `--jobs 0`,
+/// `--runtime-threads 0` and `--sim-threads 0` resolve to.
 pub fn auto_parallelism() -> usize {
     available_parallelism_capped(DEFAULT_PARALLELISM_CAP)
 }
@@ -33,36 +58,93 @@ pub fn auto_parallelism() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Process-wide environment is shared across the test harness's
+    /// threads; every test that reads or writes `ROOTLESS_THREADS` holds
+    /// this lock so they cannot observe each other's values.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Runs `f` with `ROOTLESS_THREADS` set to `val` (or unset for
+    /// `None`), restoring the previous state afterwards.
+    fn with_env<R>(val: Option<&str>, f: impl FnOnce() -> R) -> R {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let saved = std::env::var(THREADS_ENV).ok();
+        match val {
+            Some(v) => std::env::set_var(THREADS_ENV, v),
+            None => std::env::remove_var(THREADS_ENV),
+        }
+        let out = f();
+        match saved {
+            Some(v) => std::env::set_var(THREADS_ENV, v),
+            None => std::env::remove_var(THREADS_ENV),
+        }
+        out
+    }
 
     #[test]
     fn cap_is_respected() {
-        assert_eq!(available_parallelism_capped(1), 1);
-        for cap in [1, 2, 3, 7, 64] {
-            let n = available_parallelism_capped(cap);
-            assert!(n >= 1, "cap {cap} gave {n}");
-            assert!(n <= cap, "cap {cap} gave {n}");
-        }
+        with_env(None, || {
+            assert_eq!(available_parallelism_capped(1), 1);
+            for cap in [1, 2, 3, 7, 64] {
+                let n = available_parallelism_capped(cap);
+                assert!(n >= 1, "cap {cap} gave {n}");
+                assert!(n <= cap, "cap {cap} gave {n}");
+            }
+        });
     }
 
     #[test]
     fn zero_cap_degrades_to_one_not_zero() {
-        assert_eq!(available_parallelism_capped(0), 1);
+        with_env(None, || {
+            assert_eq!(available_parallelism_capped(0), 1);
+        });
     }
 
     #[test]
     fn auto_is_the_capped_default() {
-        let auto = auto_parallelism();
-        assert!(auto >= 1);
-        assert!(auto <= DEFAULT_PARALLELISM_CAP);
-        assert_eq!(auto, available_parallelism_capped(DEFAULT_PARALLELISM_CAP));
+        with_env(None, || {
+            let auto = auto_parallelism();
+            assert!(auto >= 1);
+            assert!(auto <= DEFAULT_PARALLELISM_CAP);
+            assert_eq!(auto, available_parallelism_capped(DEFAULT_PARALLELISM_CAP));
+        });
     }
 
     #[test]
     fn huge_cap_equals_detected_parallelism() {
         // With a cap far above any real machine, the helper must return the
         // raw detection (floored at 1), so the cap is the only thing it adds.
-        let detected =
-            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
-        assert_eq!(available_parallelism_capped(usize::MAX), detected.max(1));
+        with_env(None, || {
+            let detected =
+                std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+            assert_eq!(available_parallelism_capped(usize::MAX), detected.max(1));
+        });
+    }
+
+    #[test]
+    fn env_override_pins_auto() {
+        with_env(Some("3"), || {
+            assert_eq!(auto_parallelism(), 3);
+            assert_eq!(available_parallelism_capped(usize::MAX), 3);
+            // A caller's tighter cap still wins over the override.
+            assert_eq!(available_parallelism_capped(2), 2);
+        });
+    }
+
+    #[test]
+    fn env_override_clamps_to_bounds() {
+        with_env(Some("0"), || assert_eq!(auto_parallelism(), 1));
+        with_env(Some("10000"), || {
+            assert_eq!(auto_parallelism(), DEFAULT_PARALLELISM_CAP);
+        });
+    }
+
+    #[test]
+    fn env_override_garbage_falls_back_to_detection() {
+        let detected = with_env(None, auto_parallelism);
+        with_env(Some("lots"), || assert_eq!(auto_parallelism(), detected));
+        with_env(Some(""), || assert_eq!(auto_parallelism(), detected));
+        with_env(Some(" 2 "), || assert_eq!(auto_parallelism(), 2));
     }
 }

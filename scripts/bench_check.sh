@@ -1,0 +1,65 @@
+#!/usr/bin/env sh
+# Bench-regression tripwire: compare every committed BENCH_*.json headline
+# metric in the working tree against the last committed version (git HEAD).
+# Fails if any headline duration — a "time" or "after" field carrying a
+# ns/us/ms/s value inside "results" — got more than 20% slower. New files,
+# new result keys, and non-duration fields (qps strings, notes, "before"
+# history) are ignored: the gate exists so a PR cannot silently commit a
+# regressed number over a previously published one.
+set -eu
+cd "$(dirname "$0")/.."
+
+python3 - <<'EOF'
+import json, re, subprocess, sys
+from pathlib import Path
+
+THRESHOLD = 1.20
+UNITS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+DUR = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?)\s*(ns|us|ms|s)\b")
+
+def nanos(text):
+    """Parse '4.7760 ms' -> ns; None when the field is not a duration."""
+    if not isinstance(text, str):
+        return None
+    m = DUR.match(text)
+    return float(m.group(1)) * UNITS[m.group(2)] if m else None
+
+def headlines(doc):
+    """Flatten results -> {dotted key: ns} for every duration headline."""
+    out = {}
+    def walk(node, path):
+        if isinstance(node, dict):
+            for k, v in node.items():
+                if k in ("time", "after") and (ns := nanos(v)) is not None:
+                    out[".".join(path + [k])] = ns
+                else:
+                    walk(v, path + [k])
+    walk(doc.get("results", {}), [])
+    return out
+
+failures = []
+for path in sorted(Path(".").glob("BENCH_*.json")):
+    head = subprocess.run(
+        ["git", "show", f"HEAD:{path.name}"], capture_output=True, text=True
+    )
+    if head.returncode != 0:
+        continue  # new in this PR: nothing committed to regress against
+    committed = headlines(json.loads(head.stdout))
+    current = headlines(json.loads(path.read_text()))
+    for key, base in committed.items():
+        now = current.get(key)
+        if now is None:
+            continue  # metric renamed/retired; the diff review owns that
+        if now > base * THRESHOLD:
+            failures.append(
+                f"{path.name}: {key} regressed {now / base:.2f}x "
+                f"({base:.0f} ns -> {now:.0f} ns, limit {THRESHOLD:.2f}x)"
+            )
+
+if failures:
+    print("bench_check: FAIL", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("bench_check: OK")
+EOF

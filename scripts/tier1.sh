@@ -9,7 +9,11 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline
+# --workspace so binary targets (the experiments CLI the cmp gates below
+# drive) are rebuilt too: the root package depends on the experiments
+# *library*, so a bare `cargo build` can leave target/release/experiments
+# stale and the byte-equality gates comparing an old binary to itself.
+cargo build --release --workspace --offline
 cargo test -q --offline
 cargo test -q --workspace --offline
 # Benches must keep compiling (they gate the perf numbers in BENCH_*.json).
@@ -57,6 +61,21 @@ for exp in robust perf rootload; do
   cmp "/tmp/tier1_${exp}_j1.out" "/tmp/tier1_${exp}_j4.out"
   rm -f "/tmp/tier1_${exp}_j1.out" "/tmp/tier1_${exp}_j2.out" "/tmp/tier1_${exp}_j4.out"
 done
+# Parallel-simulation determinism gate: the PARSIM sections run one
+# simulated world on N share-nothing sim shards under conservative
+# lookahead epochs (DESIGN.md §16); stdout must be byte-identical at
+# --sim-threads 1, 2 and 4.
+for exp in perf robust rootload; do
+  target/release/experiments "$exp" --fast --sim-threads 1 >"/tmp/tier1_${exp}_st1.out" 2>/dev/null
+  target/release/experiments "$exp" --fast --sim-threads 2 >"/tmp/tier1_${exp}_st2.out" 2>/dev/null
+  target/release/experiments "$exp" --fast --sim-threads 4 >"/tmp/tier1_${exp}_st4.out" 2>/dev/null
+  cmp "/tmp/tier1_${exp}_st1.out" "/tmp/tier1_${exp}_st2.out"
+  cmp "/tmp/tier1_${exp}_st1.out" "/tmp/tier1_${exp}_st4.out"
+  rm -f "/tmp/tier1_${exp}_st1.out" "/tmp/tier1_${exp}_st2.out" "/tmp/tier1_${exp}_st4.out"
+done
+# Sharded-engine property gate, by name: random worlds at random shard
+# counts must leave the trace ring byte-identical to the unsharded Sim.
+cargo test -q -p rootless-netsim --test prop_psim --offline
 # Sharded-replay determinism gate: at a fixed --scale, the traffic report
 # must be byte-identical across shard counts and jobs values — shards are
 # disjoint resolver ranges folded in shard order, so the partition cannot
@@ -125,5 +144,8 @@ target/release/experiments verify --fast >/tmp/tier1_verify_b.out 2>/dev/null
 cmp /tmp/tier1_verify_a.out /tmp/tier1_verify_b.out
 grep -q "identical" /tmp/tier1_verify_a.out
 rm -f /tmp/tier1_verify_a.out /tmp/tier1_verify_b.out
+# Bench-number tripwire: committed BENCH_*.json headline metrics must not
+# regress >20% vs the last committed version (scripts/bench_check.sh).
+scripts/bench_check.sh
 cargo clippy --workspace --offline -- -D warnings
 echo "tier1: OK"
